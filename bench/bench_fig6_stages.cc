@@ -1,0 +1,177 @@
+// E4 — Figure 6: the summary of the optimization steps. For each query we
+// print the per-stage table (granularity / strategy / PT node kinds) with
+// measured time and work, then sweep spj size to show how generatePT's
+// share grows while rewrite stays irrevocable and flat.
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/graph_gen.h"
+#include "datagen/music_gen.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+
+using namespace rodin;
+
+namespace {
+
+void PrintStages(const char* title, const OptimizeResult& r) {
+  std::printf("--- %s ---\n", title);
+  std::printf("  %-12s | %-22s | %-28s | %-10s | %10s | %8s\n", "procedure",
+              "granularity", "strategy", "generates", "micros", "work");
+  for (const StageReport& s : r.stages) {
+    std::printf("  %-12s | %-22s | %-28s | %-10s | %10.1f | %8zu\n",
+                s.stage.c_str(), s.granularity.c_str(), s.strategy.c_str(),
+                s.nodes_generated.c_str(), s.micros, s.plans_explored);
+  }
+  std::printf("  total plans explored: %zu, final cost: %.1f\n\n",
+              r.plans_explored, r.cost);
+}
+
+// A k-way explicit-join chain over the graph DB's aux classes:
+// Node x, Aux1 a1, ..., Auxk ak joined by x.hop1 = a1, a1.hop2 = a2, ...
+QueryGraph ChainQuery(uint32_t k, const Schema& schema) {
+  QueryGraphBuilder b;
+  NodeBuilder& node = b.Node("Answer");
+  node.Input("Node", "x");
+  std::string prev = "x";
+  for (uint32_t i = 1; i <= k; ++i) {
+    const std::string var = "a" + std::to_string(i);
+    node.Input(StrFormat("Aux%u", i), var);
+    node.Where(Expr::Eq(Expr::Path(prev, {StrFormat("hop%u", i)}),
+                        Expr::Path(var)));
+    prev = var;
+  }
+  node.Where(Expr::Eq(Expr::Path(prev, {"label"}),
+                      Expr::Lit(Value::Str("label_0"))));
+  node.OutPath("n", "x", {"nname"});
+  return b.Build(schema);
+}
+
+// A k-way star over Composer: x0 joined with x1..xk, all on shared master.
+QueryGraph StarQuery(uint32_t k, const Schema& schema) {
+  QueryGraphBuilder b;
+  NodeBuilder& node = b.Node("Answer");
+  node.Input("Composer", "x0");
+  for (uint32_t i = 1; i <= k; ++i) {
+    const std::string var = "x" + std::to_string(i);
+    node.Input("Composer", var);
+    node.Where(Expr::Eq(Expr::Path("x0", {"master"}),
+                        Expr::Path(var, {"master"})));
+  }
+  node.Where(Expr::Eq(Expr::Path("x0", {"name"}),
+                      Expr::Lit(Value::Str("Bach"))));
+  node.OutPath("n", "x0", {"name"});
+  return b.Build(schema);
+}
+
+void StarSweep() {
+  std::printf(
+      "=== generatePT work vs star size (dense predicate graph: every arc "
+      "joins the center) ===\n");
+  std::printf("  %-6s %16s %16s %16s %16s\n", "joins", "DP micros",
+              "DP plans", "exhaustive us", "exhaustive plans");
+  MusicConfig config;
+  config.num_composers = 120;
+  GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+  Stats stats = Stats::Derive(*g.db);
+  CostModel cost(g.db.get(), &stats);
+  for (uint32_t k = 2; k <= 5; ++k) {
+    const QueryGraph q = StarQuery(k, *g.schema);
+    OptimizerOptions dp = CostBasedOptions();
+    dp.transform.rand = RandStrategy::kNone;
+    Optimizer dp_opt(g.db.get(), &stats, &cost, dp);
+    OptimizeResult rd = dp_opt.Optimize(q);
+    OptimizerOptions ex = ExhaustiveOptions();
+    ex.transform.rand = RandStrategy::kNone;
+    Optimizer ex_opt(g.db.get(), &stats, &cost, ex);
+    OptimizeResult re = ex_opt.Optimize(q);
+    double dp_us = 0, ex_us = 0;
+    size_t dp_plans = 0, ex_plans = 0;
+    for (const StageReport& s : rd.stages) {
+      if (s.stage == "generatePT") {
+        dp_us = s.micros;
+        dp_plans = s.plans_explored;
+      }
+    }
+    for (const StageReport& s : re.stages) {
+      if (s.stage == "generatePT") {
+        ex_us = s.micros;
+        ex_plans = s.plans_explored;
+      }
+    }
+    std::printf("  %-6u %16.1f %16zu %16.1f %16zu\n", k, dp_us, dp_plans,
+                ex_us, ex_plans);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: summary of optimization steps ===\n\n");
+
+  MusicConfig config;
+  config.num_composers = 200;
+  GeneratedDb music = GenerateMusicDb(config, PaperMusicPhysical());
+  Stats music_stats = Stats::Derive(*music.db);
+  CostModel music_cost(music.db.get(), &music_stats);
+  Optimizer opt(music.db.get(), &music_stats, &music_cost, CostBasedOptions());
+
+  PrintStages("Figure 2 query (non-recursive spj with path variables)",
+              opt.Optimize(Fig2Query(*music.schema)));
+  PrintStages("Figure 3 query (recursive, with transformPT decision)",
+              opt.Optimize(Fig3Query(*music.schema, 6)));
+  PrintStages("Section 4.5 query (push join through recursion)",
+              opt.Optimize(PushJoinQuery(*music.schema)));
+
+  std::printf(
+      "=== generatePT work vs spj size (explicit-join chains; DP vs "
+      "exhaustive) ===\n");
+  std::printf("  %-6s %16s %16s %16s %16s\n", "joins", "DP micros",
+              "DP plans", "exhaustive us", "exhaustive plans");
+  for (uint32_t k = 2; k <= 6; ++k) {
+    GraphConfig gconfig;
+    gconfig.num_nodes = 200;
+    gconfig.path_len = k;
+    gconfig.num_labels = 10;
+    GeneratedDb g = GenerateGraphDb(gconfig, DefaultGraphPhysical());
+    Stats stats = Stats::Derive(*g.db);
+    CostModel cost(g.db.get(), &stats);
+    const QueryGraph q = ChainQuery(k, *g.schema);
+
+    OptimizerOptions dp = CostBasedOptions();
+    dp.transform.rand = RandStrategy::kNone;
+    Optimizer dp_opt(g.db.get(), &stats, &cost, dp);
+    OptimizeResult rd = dp_opt.Optimize(q);
+
+    OptimizerOptions ex = ExhaustiveOptions();
+    ex.transform.rand = RandStrategy::kNone;
+    Optimizer ex_opt(g.db.get(), &stats, &cost, ex);
+    OptimizeResult re = ex_opt.Optimize(q);
+
+    double dp_us = 0, ex_us = 0;
+    size_t dp_plans = 0, ex_plans = 0;
+    for (const StageReport& s : rd.stages) {
+      if (s.stage == "generatePT") {
+        dp_us = s.micros;
+        dp_plans = s.plans_explored;
+      }
+    }
+    for (const StageReport& s : re.stages) {
+      if (s.stage == "generatePT") {
+        ex_us = s.micros;
+        ex_plans = s.plans_explored;
+      }
+    }
+    std::printf("  %-6u %16.1f %16zu %16.1f %16zu\n", k, dp_us, dp_plans,
+                ex_us, ex_plans);
+  }
+  std::printf("\n");
+  StarSweep();
+  return 0;
+}

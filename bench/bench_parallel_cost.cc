@@ -1,0 +1,76 @@
+// E10 (extension) — the parallel cost mode the paper's conclusion attributes
+// to the DBS3 implementation ("the cost model ... takes parallelism into
+// consideration"). Estimation-only: the bracket divides divisible operator
+// work across workers, charges per-operator startup, and keeps fixpoint
+// iterations as sequential barriers. The table shows the modeled speedup
+// curves of a bulk spj, a selective lookup, and the recursive Figure 3
+// query — the recursive curve flattens first (Amdahl through the barrier).
+
+#include <cstdio>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/music_gen.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+
+using namespace rodin;
+
+int main() {
+  MusicConfig config;
+  config.num_composers = 900;
+  config.lineage_depth = 15;
+  GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+  Stats stats = Stats::Derive(*g.db);
+
+  QueryGraphBuilder bulk_builder;
+  bulk_builder.Node("Answer")
+      .Input("Composer", "x")
+      .Input("Composer", "y")
+      .Where(Expr::Eq(Expr::Path("x", {"master"}), Expr::Path("y", {"master"})))
+      .OutPath("n", "x", {"name"});
+  const QueryGraph bulk = bulk_builder.Build(*g.schema);
+
+  QueryGraphBuilder lookup_builder;
+  lookup_builder.Node("Answer")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("x", {"name"}), Expr::Lit(Value::Str("Bach"))))
+      .OutPath("n", "x", {"birthyear"});
+  const QueryGraph lookup = lookup_builder.Build(*g.schema);
+
+  const QueryGraph recursive = Fig3Query(*g.schema, 5);
+
+  auto cost_at = [&](const QueryGraph& q, unsigned degree) {
+    CostParams params;
+    params.parallel_degree = degree;
+    CostModel model(g.db.get(), &stats, params);
+    Optimizer opt(g.db.get(), &stats, &model, CostBasedOptions());
+    OptimizeResult r = opt.Optimize(q);
+    return r.ok() ? r.cost : -1.0;
+  };
+
+  std::printf(
+      "=== Modeled parallel speedup (bracket cost model; serial executor) "
+      "===\n\n");
+  std::printf("%8s | %14s %8s | %14s %8s | %14s %8s\n", "workers",
+              "bulk spj", "speedup", "lookup", "speedup", "recursive",
+              "speedup");
+  const double bulk1 = cost_at(bulk, 1);
+  const double lookup1 = cost_at(lookup, 1);
+  const double rec1 = cost_at(recursive, 1);
+  for (unsigned p : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    const double b = cost_at(bulk, p);
+    const double l = cost_at(lookup, p);
+    const double r = cost_at(recursive, p);
+    std::printf("%8u | %14.1f %7.2fx | %14.1f %7.2fx | %14.1f %7.2fx\n", p, b,
+                bulk1 / b, l, lookup1 / l, r, rec1 / r);
+  }
+  std::printf(
+      "\nExpected shape: near-linear speedup for the bulk join, overhead-"
+      "dominated slowdown\nfor the one-row lookup, and a flattening curve "
+      "for the recursive query whose\nfixpoint iterations are sequential "
+      "barriers.\n");
+  return 0;
+}

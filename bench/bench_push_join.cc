@@ -1,0 +1,85 @@
+// E7 — §4.5: pushing an explicit JOIN through recursion, the transformation
+// the paper claims had "not been previously explored by optimizers". The
+// "masters of Bach" query joins Influencer with a one-composer relation —
+// extremely selective — so pushing it restricts the recursive computation
+// to the relevant lineage. We sweep join selectivity by varying how many
+// composers carry the selective name.
+
+#include <cstdio>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/music_gen.h"
+#include "exec/executor.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "query/paper_queries.h"
+
+using namespace rodin;
+
+namespace {
+
+struct RunResult {
+  double est = 0;
+  double measured = 0;
+  size_t rows = 0;
+  bool pushed_join = false;
+};
+
+RunResult RunWith(Database* db, const Stats& stats, const CostModel& cost,
+                  const QueryGraph& q, OptimizerOptions options) {
+  Optimizer opt(db, &stats, &cost, options);
+  OptimizeResult r = opt.Optimize(q);
+  RunResult out;
+  if (!r.ok()) {
+    std::printf("optimize failed: %s\n", r.error.c_str());
+    return out;
+  }
+  out.est = r.cost;
+  out.pushed_join = r.pushed_join;
+  Executor exec(db);
+  exec.ResetMeasurement(true);
+  Table t = exec.Execute(*r.plan);
+  t.Dedup();
+  out.measured = exec.MeasuredCost();
+  out.rows = t.rows.size();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Push join through recursion (the 'masters of Bach' query) "
+              "===\n\n");
+  std::printf("%10s | %12s %12s %6s | %12s %12s %6s | %7s %9s\n",
+              "composers", "nopush est", "nopush mea", "rows", "costed est",
+              "costed mea", "rows", "pushed?", "speedup");
+
+  for (uint32_t composers : {100u, 300u, 900u}) {
+    MusicConfig config;
+    config.num_composers = composers;
+    config.lineage_depth = 20;
+    PhysicalConfig physical = PaperMusicPhysical();
+    physical.buffer_pages = 48;
+    GeneratedDb g = GenerateMusicDb(config, physical);
+    Stats stats = Stats::Derive(*g.db);
+    CostModel cost(g.db.get(), &stats);
+    const QueryGraph q = PushJoinQuery(*g.schema);
+
+    const RunResult nopush =
+        RunWith(g.db.get(), stats, cost, q, NaiveOptions());
+    const RunResult costed =
+        RunWith(g.db.get(), stats, cost, q, CostBasedOptions());
+
+    std::printf("%10u | %12.1f %12.1f %6zu | %12.1f %12.1f %6zu | %7s %8.2fx\n",
+                composers, nopush.est, nopush.measured, nopush.rows,
+                costed.est, costed.measured, costed.rows,
+                costed.pushed_join ? "yes" : "no",
+                costed.measured > 0 ? nopush.measured / costed.measured : 0.0);
+  }
+  std::printf(
+      "\nExpected shape: the join is pushed and the advantage grows with "
+      "database size,\nbecause the pushed fixpoint explores a single "
+      "lineage instead of all of them.\n");
+  return 0;
+}

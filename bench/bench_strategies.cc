@@ -1,0 +1,206 @@
+// E8 — search strategies (§4.1, §4.4, [LV91]/[IC90]/[KZ88]): plan quality
+// relative to the exhaustive optimum and optimization effort, across spj
+// sizes and for the recursive query. Also registers google-benchmark timers
+// for the optimizer configurations on a fixed medium query.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/graph_gen.h"
+#include "datagen/music_gen.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+
+using namespace rodin;
+
+namespace {
+
+QueryGraph ChainQuery(uint32_t k, const Schema& schema) {
+  QueryGraphBuilder b;
+  NodeBuilder& node = b.Node("Answer");
+  node.Input("Node", "x");
+  std::string prev = "x";
+  for (uint32_t i = 1; i <= k; ++i) {
+    const std::string var = "a" + std::to_string(i);
+    node.Input(StrFormat("Aux%u", i), var);
+    node.Where(Expr::Eq(Expr::Path(prev, {StrFormat("hop%u", i)}),
+                        Expr::Path(var)));
+    prev = var;
+  }
+  node.Where(Expr::Eq(Expr::Path(prev, {"label"}),
+                      Expr::Lit(Value::Str("label_0"))));
+  node.OutPath("n", "x", {"nname"});
+  return b.Build(schema);
+}
+
+struct StrategyRun {
+  double cost = 0;
+  double micros = 0;
+  size_t plans = 0;
+};
+
+StrategyRun RunStrategy(Database* db, const Stats& stats,
+                        const CostModel& cost, const QueryGraph& q,
+                        OptimizerOptions options) {
+  const auto start = std::chrono::steady_clock::now();
+  Optimizer opt(db, &stats, &cost, options);
+  OptimizeResult r = opt.Optimize(q);
+  StrategyRun out;
+  out.micros = std::chrono::duration_cast<
+                   std::chrono::duration<double, std::micro>>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+  out.cost = r.ok() ? r.cost : -1;
+  out.plans = r.plans_explored;
+  return out;
+}
+
+void SpjShootout() {
+  std::printf(
+      "=== Strategy shoot-out on spj chains (cost ratio to exhaustive "
+      "optimum) ===\n");
+  std::printf("%6s | %21s | %21s | %21s | %21s\n", "joins",
+              "exhaustive (ref)", "dynamic programming", "greedy",
+              "randomized (II)");
+  std::printf("%6s | %8s %6s %6s | %8s %6s %6s | %8s %6s %6s | %8s %6s %6s\n",
+              "", "us", "plans", "ratio", "us", "plans", "ratio", "us",
+              "plans", "ratio", "us", "plans", "ratio");
+  for (uint32_t k = 2; k <= 7; ++k) {
+    GraphConfig config;
+    config.num_nodes = 150;
+    config.path_len = k;
+    config.num_labels = 8;
+    GeneratedDb g = GenerateGraphDb(config, DefaultGraphPhysical());
+    Stats stats = Stats::Derive(*g.db);
+    CostModel cost(g.db.get(), &stats);
+    const QueryGraph q = ChainQuery(k, *g.schema);
+
+    OptimizerOptions ex = ExhaustiveOptions();
+    ex.transform.rand = RandStrategy::kNone;
+    OptimizerOptions dp = CostBasedOptions();
+    dp.transform.rand = RandStrategy::kNone;
+    OptimizerOptions greedy = NaiveOptions();
+    OptimizerOptions randomized = NaiveOptions();
+    randomized.gen_strategy = GenStrategy::kRandomized;
+
+    const StrategyRun re = RunStrategy(g.db.get(), stats, cost, q, ex);
+    const StrategyRun rd = RunStrategy(g.db.get(), stats, cost, q, dp);
+    const StrategyRun rg = RunStrategy(g.db.get(), stats, cost, q, greedy);
+    const StrategyRun rr = RunStrategy(g.db.get(), stats, cost, q, randomized);
+    std::printf(
+        "%6u | %8.0f %6zu %6.2f | %8.0f %6zu %6.2f | %8.0f %6zu %6.2f | "
+        "%8.0f %6zu %6.2f\n",
+        k, re.micros, re.plans, 1.0, rd.micros, rd.plans, rd.cost / re.cost,
+        rg.micros, rg.plans, rg.cost / re.cost, rr.micros, rr.plans,
+        rr.cost / re.cost);
+  }
+  std::printf("\n");
+}
+
+void RecursiveShootout() {
+  std::printf(
+      "=== Strategies on the recursive Figure 3 query (with transformPT) "
+      "===\n");
+  MusicConfig config;
+  config.num_composers = 300;
+  config.lineage_depth = 15;
+  GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+  Stats stats = Stats::Derive(*g.db);
+  CostModel cost(g.db.get(), &stats);
+  const QueryGraph q = Fig3Query(*g.schema, 5);
+
+  struct Named {
+    const char* name;
+    OptimizerOptions options;
+  };
+  OptimizerOptions naive_fix = CostBasedOptions();
+  naive_fix.naive_fixpoint = true;
+  const Named configs[] = {
+      {"cost-based + II (paper)", CostBasedOptions()},
+      {"cost-based + SA", AnnealingOptions()},
+      {"exhaustive + II", ExhaustiveOptions()},
+      {"deductive (always push)", DeductiveOptions()},
+      {"naive (never push, greedy)", NaiveOptions()},
+      {"cost-based, naive fixpoint", naive_fix},
+  };
+  std::printf("%-28s %12s %10s %8s\n", "configuration", "plan cost", "micros",
+              "plans");
+  double best = -1;
+  for (const Named& c : configs) {
+    const StrategyRun r = RunStrategy(g.db.get(), stats, cost, q, c.options);
+    if (best < 0 || (r.cost > 0 && r.cost < best)) best = r.cost;
+    std::printf("%-28s %12.1f %10.0f %8zu\n", c.name, r.cost, r.micros,
+                r.plans);
+  }
+  std::printf("(best plan cost: %.1f)\n\n", best);
+}
+
+// --- google-benchmark microbenchmarks on a fixed query --------------------
+
+struct BenchFixture {
+  BenchFixture() {
+    MusicConfig config;
+    config.num_composers = 200;
+    config.lineage_depth = 10;
+    db = GenerateMusicDb(config, PaperMusicPhysical());
+    stats = std::make_unique<Stats>(Stats::Derive(*db.db));
+    cost = std::make_unique<CostModel>(db.db.get(), stats.get());
+    query = Fig3Query(*db.schema, 5);
+  }
+  GeneratedDb db;
+  std::unique_ptr<Stats> stats;
+  std::unique_ptr<CostModel> cost;
+  QueryGraph query;
+};
+
+BenchFixture& Fixture() {
+  static BenchFixture* fixture = new BenchFixture();
+  return *fixture;
+}
+
+void BM_OptimizeCostBased(benchmark::State& state) {
+  BenchFixture& f = Fixture();
+  for (auto _ : state) {
+    Optimizer opt(f.db.db.get(), f.stats.get(), f.cost.get(),
+                  CostBasedOptions());
+    benchmark::DoNotOptimize(opt.Optimize(f.query));
+  }
+}
+BENCHMARK(BM_OptimizeCostBased)->Unit(benchmark::kMicrosecond);
+
+void BM_OptimizeExhaustive(benchmark::State& state) {
+  BenchFixture& f = Fixture();
+  for (auto _ : state) {
+    Optimizer opt(f.db.db.get(), f.stats.get(), f.cost.get(),
+                  ExhaustiveOptions());
+    benchmark::DoNotOptimize(opt.Optimize(f.query));
+  }
+}
+BENCHMARK(BM_OptimizeExhaustive)->Unit(benchmark::kMicrosecond);
+
+void BM_OptimizeDeductive(benchmark::State& state) {
+  BenchFixture& f = Fixture();
+  for (auto _ : state) {
+    Optimizer opt(f.db.db.get(), f.stats.get(), f.cost.get(),
+                  DeductiveOptions());
+    benchmark::DoNotOptimize(opt.Optimize(f.query));
+  }
+}
+BENCHMARK(BM_OptimizeDeductive)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SpjShootout();
+  RecursiveShootout();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

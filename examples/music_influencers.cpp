@@ -1,0 +1,85 @@
+// The paper's running example end to end, with all three optimizer
+// philosophies side by side:
+//
+//   - the deductive heuristic (always push through recursion),
+//   - never pushing (treat the view as a black box),
+//   - the paper's cost-controlled decision,
+//
+// on two databases: one where the selective predicate is rare (pushing
+// restricts the recursion and wins) and one where it holds everywhere
+// (pushing only drags the path expression into every iteration).
+
+#include <cstdio>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/music_gen.h"
+#include "exec/executor.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "plan/pt_printer.h"
+#include "query/paper_queries.h"
+
+using namespace rodin;
+
+namespace {
+
+void RunScenario(const char* title, double harpsichord_fraction,
+                 uint32_t num_instruments) {
+  MusicConfig config;
+  config.num_composers = 240;
+  config.lineage_depth = 16;
+  config.num_instruments = num_instruments;
+  config.harpsichord_fraction = harpsichord_fraction;
+  GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+  Stats stats = Stats::Derive(*g.db);
+  CostModel cost(g.db.get(), &stats);
+  const QueryGraph query = Fig3Query(*g.schema, 4);
+
+  std::printf("==== %s ====\n", title);
+
+  struct Named {
+    const char* name;
+    OptimizerOptions options;
+  };
+  const Named configs[] = {
+      {"deductive (always push)", DeductiveOptions()},
+      {"naive (never push)", NaiveOptions()},
+      {"cost-controlled (paper)", CostBasedOptions()},
+  };
+  for (const Named& c : configs) {
+    Optimizer opt(g.db.get(), &stats, &cost, c.options);
+    OptimizeResult r = opt.Optimize(query);
+    if (!r.ok()) {
+      std::printf("  %-26s failed: %s\n", c.name, r.error.c_str());
+      continue;
+    }
+    Executor exec(g.db.get());
+    exec.ResetMeasurement(true);
+    Table t = exec.Execute(*r.plan);
+    t.Dedup();
+    std::printf("  %-26s est=%10.1f measured=%10.1f rows=%zu pushed=%s\n",
+                c.name, r.cost, exec.MeasuredCost(), t.rows.size(),
+                r.pushed_sel || r.pushed_join ? "yes" : "no");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("The Figure 3 query: \"composers influenced by composers for\n"
+              "harpsichord that lived 4 generations before\".\n\n");
+
+  RunScenario("Scenario A: harpsichord is rare (selective predicate)",
+              /*harpsichord_fraction=*/0.03, /*num_instruments=*/40);
+  RunScenario("Scenario B: every work uses a harpsichord (unselective)",
+              /*harpsichord_fraction=*/1.0, /*num_instruments=*/1);
+
+  std::printf(
+      "The deductive heuristic wins scenario A and loses scenario B; the\n"
+      "naive plan does the opposite. Only the cost-controlled optimizer\n"
+      "tracks the winner in both — the paper's argument for deciding the\n"
+      "push with a cost model on physical plans.\n");
+  return 0;
+}

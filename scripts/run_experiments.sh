@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite and every experiment binary,
+# and records the outputs the repository's EXPERIMENTS.md refers to
+# (test_output.txt / bench_output.txt in the repo root).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/bench_*; do
+  echo "==================== $(basename "$b") ===================="
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,55 @@
+#include "api/session.h"
+
+#include "common/check.h"
+#include "optimizer/baseline.h"
+#include "plan/pt_printer.h"
+#include "query/parser.h"
+
+namespace rodin {
+
+Session::Session(Database* db, OptimizerOptions options)
+    : db_(db), options_(options) {
+  RODIN_CHECK(db != nullptr && db->finalized(),
+              "Session needs a finalized database");
+  RefreshStats();
+}
+
+void Session::RefreshStats() {
+  stats_ = std::make_unique<Stats>(Stats::Derive(*db_));
+  cost_ = std::make_unique<CostModel>(db_, stats_.get());
+}
+
+OptimizeResult Session::Optimize(const QueryGraph& graph) {
+  Optimizer optimizer(db_, stats_.get(), cost_.get(), options_);
+  return optimizer.Optimize(graph);
+}
+
+QueryRun Session::Run(const QueryGraph& graph, bool cold) {
+  QueryRun run;
+  run.graph = graph;
+  run.optimized = Optimize(graph);
+  if (!run.optimized.ok()) {
+    run.error = run.optimized.error;
+    return run;
+  }
+  run.plan_text = PrintPT(*run.optimized.plan);
+  Executor exec(db_);
+  exec.ResetMeasurement(cold);
+  run.answer = exec.Execute(*run.optimized.plan);
+  run.measured_cost = exec.MeasuredCost();
+  run.counters = exec.counters();
+  run.ok = true;
+  return run;
+}
+
+QueryRun Session::RunText(const std::string& text, bool cold) {
+  const ParseResult parsed = ParseQuery(text, db_->schema());
+  if (!parsed.ok) {
+    QueryRun run;
+    run.error = parsed.error;
+    return run;
+  }
+  return Run(parsed.graph, cold);
+}
+
+}  // namespace rodin

@@ -1,0 +1,70 @@
+#ifndef RODIN_API_SESSION_H_
+#define RODIN_API_SESSION_H_
+
+#include <memory>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "exec/executor.h"
+#include "optimizer/optimizer.h"
+#include "query/query_graph.h"
+#include "storage/database.h"
+
+namespace rodin {
+
+/// Everything one query run produces: the optimizer's decision trail, the
+/// chosen plan (printable), and the executed answer with measured cost.
+struct QueryRun {
+  bool ok = false;
+  std::string error;
+
+  QueryGraph graph;
+  OptimizeResult optimized;
+  std::string plan_text;  // PrintPT of the chosen plan
+
+  Table answer;
+  double measured_cost = 0;
+  ExecCounters counters;
+};
+
+/// Facade over the full pipeline for library users: owns the statistics,
+/// cost model, optimizer and executor for one (finalized) database.
+///
+///   Session session(db);
+///   QueryRun run = session.RunText(R"(select [n: x.name] from x in Composer
+///                                     where x.name = "Bach")");
+///
+/// The database must outlive the session. Statistics are derived once at
+/// construction; call RefreshStats() if the physical layout changed (it
+/// cannot after Finalize, so in practice never).
+class Session {
+ public:
+  explicit Session(Database* db, OptimizerOptions options = {});
+
+  /// Parses (ESQL-flavoured syntax, see query/parser.h), optimizes and
+  /// executes. Measurement starts from a cold buffer when `cold` is set.
+  QueryRun RunText(const std::string& text, bool cold = false);
+
+  /// Optimizes and executes an already-built query graph.
+  QueryRun Run(const QueryGraph& graph, bool cold = false);
+
+  /// Optimizes without executing.
+  OptimizeResult Optimize(const QueryGraph& graph);
+
+  const Stats& stats() const { return *stats_; }
+  const CostModel& cost_model() const { return *cost_; }
+  Database& db() { return *db_; }
+
+  void RefreshStats();
+
+ private:
+  Database* db_;
+  OptimizerOptions options_;
+  std::unique_ptr<Stats> stats_;
+  std::unique_ptr<CostModel> cost_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_API_SESSION_H_

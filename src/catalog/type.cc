@@ -1,0 +1,103 @@
+#include "catalog/type.h"
+
+#include "common/check.h"
+
+namespace rodin {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt:
+      return "int";
+    case TypeKind::kDouble:
+      return "double";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kObject:
+      return "object";
+    case TypeKind::kSet:
+      return "set";
+    case TypeKind::kList:
+      return "list";
+    case TypeKind::kTuple:
+      return "tuple";
+  }
+  return "?";
+}
+
+const Type* Type::FieldType(const std::string& name) const {
+  for (const Field& f : fields_) {
+    if (f.name == name) return f.type;
+  }
+  return nullptr;
+}
+
+std::string Type::ToString() const {
+  switch (kind_) {
+    case TypeKind::kInt:
+    case TypeKind::kDouble:
+    case TypeKind::kString:
+    case TypeKind::kBool:
+      return TypeKindName(kind_);
+    case TypeKind::kObject:
+      return class_name_;
+    case TypeKind::kSet:
+      return "{" + elem_->ToString() + "}";
+    case TypeKind::kList:
+      return "<" + elem_->ToString() + ">";
+    case TypeKind::kTuple: {
+      std::string out = "[";
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += fields_[i].name + ": " + fields_[i].type->ToString();
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+TypePool::TypePool() {
+  int_ = Intern(Type(TypeKind::kInt, "", nullptr, {}));
+  double_ = Intern(Type(TypeKind::kDouble, "", nullptr, {}));
+  string_ = Intern(Type(TypeKind::kString, "", nullptr, {}));
+  bool_ = Intern(Type(TypeKind::kBool, "", nullptr, {}));
+}
+
+const Type* TypePool::Intern(Type t) {
+  types_.push_back(std::unique_ptr<Type>(new Type(std::move(t))));
+  return types_.back().get();
+}
+
+const Type* TypePool::Object(const std::string& class_name) {
+  RODIN_CHECK(!class_name.empty(), "object type needs a class name");
+  for (const auto& t : types_) {
+    if (t->kind() == TypeKind::kObject && t->class_name() == class_name) {
+      return t.get();
+    }
+  }
+  return Intern(Type(TypeKind::kObject, class_name, nullptr, {}));
+}
+
+const Type* TypePool::Set(const Type* elem) {
+  RODIN_CHECK(elem != nullptr, "set element type is null");
+  for (const auto& t : types_) {
+    if (t->kind() == TypeKind::kSet && t->elem() == elem) return t.get();
+  }
+  return Intern(Type(TypeKind::kSet, "", elem, {}));
+}
+
+const Type* TypePool::List(const Type* elem) {
+  RODIN_CHECK(elem != nullptr, "list element type is null");
+  for (const auto& t : types_) {
+    if (t->kind() == TypeKind::kList && t->elem() == elem) return t.get();
+  }
+  return Intern(Type(TypeKind::kList, "", elem, {}));
+}
+
+const Type* TypePool::Tuple(std::vector<Type::Field> fields) {
+  return Intern(Type(TypeKind::kTuple, "", nullptr, std::move(fields)));
+}
+
+}  // namespace rodin

@@ -1,0 +1,106 @@
+#ifndef RODIN_CATALOG_TYPE_H_
+#define RODIN_CATALOG_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rodin {
+
+/// Kinds of conceptual types (paper §2.1): atomic types plus the tuple `[]`,
+/// set `{}` and list `<>` constructors, and references to class instances.
+enum class TypeKind {
+  kInt,
+  kDouble,
+  kString,
+  kBool,
+  kObject,  // reference to an instance of a named class
+  kSet,     // { elem }
+  kList,    // < elem >
+  kTuple,   // [ field: type, ... ]
+};
+
+/// Returns a short printable name ("int", "set", ...).
+const char* TypeKindName(TypeKind kind);
+
+/// An immutable conceptual type. Instances are interned by `TypePool`, so
+/// `const Type*` identity comparison is meaningful for atomic and object
+/// types created through the same pool.
+class Type {
+ public:
+  struct Field {
+    std::string name;
+    const Type* type;
+  };
+
+  TypeKind kind() const { return kind_; }
+  bool IsAtomic() const {
+    return kind_ == TypeKind::kInt || kind_ == TypeKind::kDouble ||
+           kind_ == TypeKind::kString || kind_ == TypeKind::kBool;
+  }
+  bool IsCollection() const {
+    return kind_ == TypeKind::kSet || kind_ == TypeKind::kList;
+  }
+
+  /// Class name for kObject types; empty otherwise.
+  const std::string& class_name() const { return class_name_; }
+
+  /// Element type for kSet / kList; nullptr otherwise.
+  const Type* elem() const { return elem_; }
+
+  /// Fields for kTuple; empty otherwise.
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Looks up a tuple field by name; nullptr if absent or not a tuple.
+  const Type* FieldType(const std::string& name) const;
+
+  /// Human-readable rendering, e.g. "{Instrument}" or "[who: Person, ...]".
+  std::string ToString() const;
+
+ private:
+  friend class TypePool;
+  Type(TypeKind kind, std::string class_name, const Type* elem,
+       std::vector<Field> fields)
+      : kind_(kind),
+        class_name_(std::move(class_name)),
+        elem_(elem),
+        fields_(std::move(fields)) {}
+
+  TypeKind kind_;
+  std::string class_name_;
+  const Type* elem_;
+  std::vector<Field> fields_;
+};
+
+/// Owns and interns Type instances. One pool per Schema.
+class TypePool {
+ public:
+  TypePool();
+  TypePool(const TypePool&) = delete;
+  TypePool& operator=(const TypePool&) = delete;
+
+  const Type* Int() const { return int_; }
+  const Type* Double() const { return double_; }
+  const Type* String() const { return string_; }
+  const Type* Bool() const { return bool_; }
+
+  /// Reference type to instances of `class_name` (interned by name).
+  const Type* Object(const std::string& class_name);
+
+  const Type* Set(const Type* elem);
+  const Type* List(const Type* elem);
+  const Type* Tuple(std::vector<Type::Field> fields);
+
+ private:
+  const Type* Intern(Type t);
+
+  std::vector<std::unique_ptr<Type>> types_;
+  const Type* int_;
+  const Type* double_;
+  const Type* string_;
+  const Type* bool_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_CATALOG_TYPE_H_

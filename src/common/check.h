@@ -1,0 +1,19 @@
+#ifndef RODIN_COMMON_CHECK_H_
+#define RODIN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// RODIN_CHECK(cond, msg): invariant check that aborts with a location
+/// message on failure. Used for programmer errors (schema misuse, malformed
+/// plans); data-dependent failures surface through status returns instead.
+#define RODIN_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "RODIN_CHECK failed at %s:%d: %s\n  %s\n",       \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // RODIN_COMMON_CHECK_H_

@@ -1,0 +1,63 @@
+#ifndef RODIN_COMMON_RNG_H_
+#define RODIN_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace rodin {
+
+/// Deterministic 64-bit PRNG (xorshift128+ seeded via SplitMix64).
+///
+/// Every randomized component of the library (data generators, the
+/// Iterative Improvement / Simulated Annealing strategies) takes an
+/// explicit `Rng` so that experiments are reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 expansion of the seed into the two lanes.
+    uint64_t z = seed;
+    s0_ = SplitMix(&z);
+    s1_ = SplitMix(&z);
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;  // xorshift128+ forbids the zero state
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with success probability `p`.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_COMMON_RNG_H_

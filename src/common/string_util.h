@@ -1,0 +1,20 @@
+#ifndef RODIN_COMMON_STRING_UTIL_H_
+#define RODIN_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace rodin {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a.b").
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits `s` on the single-character separator `sep`; no empty trimming.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace rodin
+
+#endif  // RODIN_COMMON_STRING_UTIL_H_

@@ -1,0 +1,116 @@
+#ifndef RODIN_COST_COST_MODEL_H_
+#define RODIN_COST_COST_MODEL_H_
+
+#include <map>
+#include <string>
+
+#include "cost/params.h"
+#include "cost/stats.h"
+#include "plan/pt.h"
+#include "storage/database.h"
+
+namespace rodin {
+
+/// The cost model of paper §3.2 / Figure 5, generalized to every PT node
+/// kind and made buffer-aware (the paper's footnote 2: access_cost accounts
+/// for data already in main memory; here that is an LRU-hit estimate).
+///
+/// Costs are in abstract time units: one cold page read costs `pr`, one
+/// per-tuple predicate evaluation costs `ev_tuple`, one method call costs
+/// its declared weight. Estimates are written into the PT nodes
+/// (est_rows/est_pages/est_cost) so that transformations can compare plans
+/// and the benches can print per-node tables like Figure 7.
+class CostModel {
+ public:
+  CostModel(const Database* db, const Stats* stats, CostParams params = {});
+
+  /// Costs the subtree bottom-up, annotating every node; returns the total.
+  double Annotate(PTNode* node) const;
+
+  /// Estimated selectivity of `pred` against the columns of `input`
+  /// (nbpages/nbtuples reduction of the paper's basic operations).
+  double Selectivity(const PTNode& input, const ExprPtr& pred) const;
+
+  /// Expected I/O of F random object fetches spread over P pages, given the
+  /// buffer size: min(F, P) when the extent fits in the buffer, otherwise
+  /// F * miss-ratio.
+  double RandomFetchIO(double fetches, double pages) const;
+
+  /// Expected I/O of `scans` sequential scans of P pages (re-scans are free
+  /// when the extent fits in the buffer; LRU thrashes otherwise).
+  double RescanIO(double scans, double pages) const;
+
+  /// Per-row multiplicative fan-out and dereference profile of a path from
+  /// class `start` (object dereferences charged, terminal atomic read free).
+  /// The I/O of the whole path depends on how many rows evaluate it — see
+  /// PathIOCost() — because buffer hits amortize across rows.
+  struct PathEval {
+    struct Deref {
+      double per_row = 0;      // dereferences per input row at this step
+      double target_pages = 0; // pages of the target extent
+      double uncluster = 1;    // fraction NOT co-located with the owner
+      double seq = 0;          // fraction behaving sequentially (AttrStats)
+    };
+    bool valid = false;
+    double fanout = 1;       // output multiplicity per input row
+    double cpu_per_row = 0;  // method-call cost per input row
+    std::vector<Deref> derefs;
+    const ClassDef* terminal_cls = nullptr;  // nullptr if path ends atomic
+    std::string terminal_extent;  // extent owning the terminal attribute
+    std::string terminal_attr;    // "" when the path ends on an object
+  };
+  PathEval EvalPath(const ClassDef* start,
+                    const std::vector<std::string>& path) const;
+
+  /// Total I/O cost of evaluating the path once per each of `rows` rows:
+  /// per dereference step, RandomFetchIO over the aggregated fetch count.
+  double PathIOCost(const PathEval& path, double rows) const;
+
+  const CostParams& params() const { return params_; }
+  const Stats& stats() const { return *stats_; }
+
+ private:
+  double AnnotateRec(PTNode* node) const;
+  double NodeCostRec(PTNode* node) const;
+  double CostEntity(PTNode* node) const;
+  double CostDelta(PTNode* node) const;
+  double CostSel(PTNode* node) const;
+  double CostProj(PTNode* node) const;
+  double CostEJ(PTNode* node) const;
+  double CostIJ(PTNode* node) const;
+  double CostPIJ(PTNode* node) const;
+  double CostUnion(PTNode* node) const;
+  double CostFix(PTNode* node) const;
+
+  /// Total I/O + CPU of evaluating expression `e` once per each of `rows`
+  /// rows of `input` (path dereferences and method calls; comparison CPU is
+  /// handled separately).
+  double ExprEvalCost(const PTNode& input, const ExprPtr& e,
+                      double rows) const;
+
+  /// Resolves the terminal attribute statistics of a (var, path) reference
+  /// against `input`'s columns. Returns nullptr AttrStats when unresolvable.
+  const AttrStats* TerminalAttrStats(const PTNode& input,
+                                     const std::string& var,
+                                     const std::vector<std::string>& path,
+                                     const ClassDef** terminal_cls) const;
+
+  double CompareSelectivity(const PTNode& input, const Expr& cmp) const;
+
+  const Database* db_;
+  const Stats* stats_;
+  CostParams params_;
+
+  /// Memo of fixpoint subtrees already costed in the current Annotate()
+  /// call (fingerprint -> {cost-as-reread, rows}). Mirrors the executor's
+  /// fixpoint memoization: a view instantiated into several consumers is
+  /// computed once; later occurrences only re-scan its materialization.
+  mutable std::map<std::string, std::pair<double, double>> fix_memo_;
+};
+
+/// Default estimate for fixpoint iterations when no chain statistics apply.
+constexpr double kDefaultFixIterations = 10;
+
+}  // namespace rodin
+
+#endif  // RODIN_COST_COST_MODEL_H_

@@ -1,0 +1,261 @@
+#include "cost/fig7.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+namespace {
+
+// Size symbols of a node's output: |X| (pages) and ||X|| (tuples).
+struct NodeSyms {
+  SymPtr pages;
+  SymPtr tuples;
+  std::string name;  // "Cpr", "T3", "Inf_i", ...
+};
+
+double EstPages(const PTNode& n) {
+  if (n.est_pages >= 0) return std::max(1.0, n.est_pages);
+  return 1;
+}
+
+double EstRows(const PTNode& n) { return std::max(0.0, n.est_rows); }
+
+class Walker {
+ public:
+  Walker(const Database& db,
+         const std::map<std::string, std::string>& extent_symbols,
+         int* t_counter, SymbolicCostTable* out)
+      : db_(db),
+        extent_symbols_(extent_symbols),
+        t_counter_(t_counter),
+        out_(out) {}
+
+  // Walks `n`; returns (cost expression, output size symbols). When
+  // `emit` is set, operator nodes get a printed row; rows produced inside a
+  // fixpoint are marked as parts of the fixpoint equation and excluded from
+  // the total (the Fix row covers them, like the paper's T14).
+  std::pair<SymPtr, NodeSyms> Walk(const PTNode& n, bool emit,
+                                   bool inside_fix) {
+    switch (n.kind) {
+      case PTKind::kEntity: {
+        const NodeSyms syms = ExtentSyms(n.entity.extent);
+        // A bare scan's access cost is charged by the consuming operator
+        // (paper style); leaves contribute no row.
+        return {SymExpr::Num(0), syms};
+      }
+      case PTKind::kDelta: {
+        NodeSyms syms = delta_syms_;
+        return {SymExpr::Num(0), syms};
+      }
+      case PTKind::kProj: {
+        // Projections are free in the paper's model; pass through.
+        auto [cost, syms] = Walk(*n.children[0], emit, inside_fix);
+        Bind(syms, n);  // refresh numeric size with this node's estimates
+        return {cost, syms};
+      }
+      case PTKind::kSel: {
+        auto [child_cost, in] = Walk(*n.children[0], emit, inside_fix);
+        // access_cost(C, pred) + nbpages * eval = |C|*pr + |C|*ev.
+        SymPtr cost = in.pages * (Sym("pr") + Sym("ev"));
+        return Emit(n, "Sel", child_cost, cost, emit, inside_fix);
+      }
+      case PTKind::kIJ: {
+        auto [child_cost, in] = Walk(*n.children[0], emit, inside_fix);
+        // access_cost(Ci) + ||Ci|| * access_cost(Ci, Cj) = |X|*pr + ||X||*pr.
+        SymPtr cost = in.pages * Sym("pr") + in.tuples * Sym("pr");
+        return Emit(n, StrFormat("IJ_%s", n.attr.c_str()), child_cost, cost,
+                    emit, inside_fix);
+      }
+      case PTKind::kPIJ: {
+        auto [child_cost, in] = Walk(*n.children[0], emit, inside_fix);
+        const NodeSyms root = ExtentSyms(n.path_index->root_class());
+        // ||C|| * (nblevels + nbleaves / ||C1||).
+        SymPtr per = Sym("lev") + Sym("lea") * Inverse(root.tuples);
+        SymPtr cost = in.tuples * per;
+        return Emit(n, StrFormat("PIJ_%s", Join(n.path, ".").c_str()),
+                    child_cost, cost, emit, inside_fix);
+      }
+      case PTKind::kEJ: {
+        auto [lcost, lsyms] = Walk(*n.children[0], emit, inside_fix);
+        auto [rcost, rsyms] = Walk(*n.children[1], emit, inside_fix);
+        // Nested loop (Figure 5 footnote a):
+        // access(outer) + ||outer|| * (access(inner) + nbpages(inner)*eval).
+        SymPtr cost = lsyms.pages * Sym("pr") +
+                      lsyms.tuples * rsyms.pages * (Sym("pr") + Sym("ev"));
+        return Emit(n, "EJ", lcost + rcost, cost, emit, inside_fix);
+      }
+      case PTKind::kUnion: {
+        SymPtr cost = SymExpr::Num(0);
+        for (const auto& c : n.children) {
+          auto [ccost, csyms] = Walk(*c, emit, inside_fix);
+          cost = cost + ccost;
+        }
+        NodeSyms syms = FreshT(n);
+        return {cost, syms};
+      }
+      case PTKind::kFix: {
+        // Base rows are regular rows; the first iteration of the recursive
+        // arm is expanded with the base result as the delta; subsequent
+        // iterations use the Inf_i symbols.
+        auto [base_cost, base_syms] = Walk(*n.children[0], emit, inside_fix);
+
+        const int fix_idx = ++fix_counter_;
+        const std::string n_sym = StrFormat("n%d", fix_idx);
+        const double iters = n.est_iters > 0 ? n.est_iters : 10;
+        out_->env[n_sym] = iters;
+
+        // First iteration (rows marked as parts of Exp).
+        delta_syms_ = base_syms;
+        auto [first_cost, first_syms] =
+            Walk(*n.children[1], emit, /*inside_fix=*/true);
+
+        // Subsequent iterations with |Inf_i| / ||Inf_i|| (no rows).
+        NodeSyms inf;
+        inf.name = "Inf_i";
+        inf.pages = Sym("|Inf_i|");
+        inf.tuples = Sym("||Inf_i||");
+        const double avg_delta =
+            EstRows(n) / std::max(1.0, iters);  // closure / iterations
+        out_->env["||Inf_i||"] = avg_delta;
+        out_->env["|Inf_i|"] = std::max(
+            1.0, std::ceil(avg_delta * 16 * n.cols.size() / kPageSizeBytes));
+        delta_syms_ = inf;
+        auto [sub_cost, sub_syms] =
+            Walk(*n.children[1], /*emit=*/false, /*inside_fix=*/true);
+        (void)sub_syms;
+
+        SymPtr fix_cost =
+            base_cost + first_cost +
+            (Sym(n_sym) + SymExpr::Num(-1)) * sub_cost;
+        NodeSyms syms = FreshT(n);
+        if (emit) {
+          SymbolicRow row;
+          row.label = syms.name;
+          row.what = StrFormat(
+              "Fix(%s): cost(Exp(%s)) + (%s - 1) * cost(Exp(Inf_i))",
+              n.fix_name.c_str(), first_syms.name.c_str(), n_sym.c_str());
+          row.cost = fix_cost;
+          out_->rows.push_back(row);
+          if (!inside_fix) total_terms_.push_back(fix_cost);
+        }
+        return {fix_cost, syms};
+      }
+    }
+    return {SymExpr::Num(0), NodeSyms{}};
+  }
+
+  SymPtr Total() const {
+    if (total_terms_.empty()) return SymExpr::Num(0);
+    return SymExpr::Add(total_terms_);
+  }
+
+ private:
+  static SymPtr Sym(const std::string& s) { return SymExpr::Sym(s); }
+
+  // lea / ||C|| is rendered as lea * (1/||C||): we bind the inverse symbol.
+  SymPtr Inverse(const SymPtr& tuples) {
+    const std::string name = "1/" + tuples->ToString();
+    const double v = out_->env.count(tuples->ToString()) > 0
+                         ? out_->env[tuples->ToString()]
+                         : 1;
+    out_->env[name] = v == 0 ? 0 : 1.0 / v;
+    return Sym(name);
+  }
+
+  NodeSyms ExtentSyms(const std::string& extent) {
+    auto it = extent_symbols_.find(extent);
+    const std::string short_name = it == extent_symbols_.end() ? extent
+                                                               : it->second;
+    NodeSyms syms;
+    syms.name = short_name;
+    syms.pages = Sym("|" + short_name + "|");
+    syms.tuples = Sym("||" + short_name + "||");
+    const Extent* e = db_.FindExtent(extent);
+    if (e != nullptr && e->finalized()) {
+      out_->env["|" + short_name + "|"] =
+          static_cast<double>(e->ScanPages(0, 0).size());
+      out_->env["||" + short_name + "||"] = static_cast<double>(e->size());
+    }
+    return syms;
+  }
+
+  NodeSyms FreshT(const PTNode& n) {
+    NodeSyms syms;
+    syms.name = StrFormat("T%d", ++*t_counter_);
+    syms.pages = Sym("|" + syms.name + "|");
+    syms.tuples = Sym("||" + syms.name + "||");
+    Bind(syms, n);
+    return syms;
+  }
+
+  void Bind(const NodeSyms& syms, const PTNode& n) {
+    if (syms.name.empty() || syms.name[0] != 'T') return;
+    out_->env["|" + syms.name + "|"] = EstPages(n);
+    out_->env["||" + syms.name + "||"] = EstRows(n);
+  }
+
+  std::pair<SymPtr, NodeSyms> Emit(const PTNode& n, const std::string& what,
+                                   const SymPtr& child_cost, const SymPtr& cost,
+                                   bool emit, bool inside_fix) {
+    NodeSyms syms = FreshT(n);
+    if (emit) {
+      SymbolicRow row;
+      row.label = syms.name;
+      row.what = inside_fix ? what + "  [part of Exp]" : what;
+      row.cost = cost;
+      out_->rows.push_back(row);
+      if (!inside_fix) total_terms_.push_back(cost);
+    }
+    return {child_cost + cost, syms};
+  }
+
+  const Database& db_;
+  const std::map<std::string, std::string>& extent_symbols_;
+  int* t_counter_;
+  SymbolicCostTable* out_;
+  NodeSyms delta_syms_;
+  int fix_counter_ = 0;
+  std::vector<SymPtr> total_terms_;
+};
+
+}  // namespace
+
+std::string SymbolicCostTable::ToString() const {
+  std::string out;
+  for (const SymbolicRow& row : rows) {
+    out += StrFormat("  %-4s | %-38s | %s\n", row.label.c_str(),
+                     row.what.c_str(), row.cost->ToString().c_str());
+  }
+  out += StrFormat("  total = %.1f (with pr=%g ev=%g lev=%g lea=%g)\n",
+                   total->Eval(env), env.count("pr") ? env.at("pr") : 0,
+                   env.count("ev") ? env.at("ev") : 0,
+                   env.count("lev") ? env.at("lev") : 0,
+                   env.count("lea") ? env.at("lea") : 0);
+  return out;
+}
+
+SymbolicCostTable DeriveSymbolicCosts(
+    const PTNode& plan, const Database& db,
+    const std::map<std::string, std::string>& extent_symbols, int* t_counter) {
+  SymbolicCostTable out;
+  // Default unit costs (the paper's constants; override env before Eval to
+  // explore other regimes).
+  out.env["pr"] = 1.0;
+  out.env["ev"] = 0.2;
+  // Path-index shape constants from the first path index, if any.
+  out.env["lev"] = 1.0;
+  out.env["lea"] = 1.0;
+  if (!db.path_indexes().empty()) {
+    out.env["lev"] = static_cast<double>(db.path_indexes()[0]->nblevels());
+    out.env["lea"] = static_cast<double>(db.path_indexes()[0]->nbleaves());
+  }
+  Walker walker(db, extent_symbols, t_counter, &out);
+  walker.Walk(plan, /*emit=*/true, /*inside_fix=*/false);
+  out.total = walker.Total();
+  return out;
+}
+
+}  // namespace rodin

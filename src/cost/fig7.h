@@ -1,0 +1,54 @@
+#ifndef RODIN_COST_FIG7_H_
+#define RODIN_COST_FIG7_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cost/symbolic.h"
+#include "plan/pt.h"
+#include "storage/database.h"
+
+namespace rodin {
+
+/// Reproduction of Figure 7: walks a processing tree and emits one symbolic
+/// cost row per operator node, in the paper's notation and under its §4.6
+/// simplifying assumptions —
+///
+///   access_cost(C, P) = |C| * pr        eval_cost(C, P) = ev (per page)
+///   access_cost(C)    = |C| * pr        nbtuples(C, P)  = ||C||
+///   access_cost(Ci,Cj)= pr              nbpages(C, P)   = |C|
+///   nbleaves = lea, nblevels = lev     (constants)
+///
+/// Intermediate results get symbols |T_k| / ||T_k|| exactly like the paper;
+/// the fixpoint cost is  cost(Exp(first delta)) + (n-1) * cost(Exp(Inf_i)).
+/// Projections are free (the paper does not charge them) and appear with a
+/// zero row for completeness.
+struct SymbolicRow {
+  std::string label;   // "T1", "T2", ...
+  std::string what;    // operator description
+  SymPtr cost;         // the paper-style formula
+};
+
+struct SymbolicCostTable {
+  std::vector<SymbolicRow> rows;
+  SymPtr total;
+  /// Numeric bindings for every symbol used, derived from the database and
+  /// the cost-model estimates on the plan (Annotate must have run).
+  std::map<std::string, double> env;
+
+  double EvalTotal() const { return total->Eval(env); }
+  std::string ToString() const;  // the printable Figure-7-style table
+};
+
+/// `extent_symbols` maps extent names to the paper's short names (e.g.
+/// Composer -> "Cpr"); unmapped extents use their own name. `t_counter`
+/// continues T-numbering across multiple tables (Figure 7 numbers both PTs
+/// consecutively); pass 0-initialized storage.
+SymbolicCostTable DeriveSymbolicCosts(
+    const PTNode& plan, const Database& db,
+    const std::map<std::string, std::string>& extent_symbols, int* t_counter);
+
+}  // namespace rodin
+
+#endif  // RODIN_COST_FIG7_H_

@@ -1,0 +1,225 @@
+#include "cost/stats.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace rodin {
+
+namespace {
+
+// Collects per-attribute statistics for one extent.
+void DeriveAttrStats(const Database& db, const std::string& extent_name,
+                     const std::vector<Attribute>& attrs,
+                     std::map<std::pair<std::string, std::string>, AttrStats>*
+                         out) {
+  const Extent* e = db.FindExtent(extent_name);
+  const uint32_t n = e->size();
+
+  for (const Attribute& a : attrs) {
+    if (a.computed) continue;
+    const int field = db.FieldIndex(extent_name, a.name);
+    RODIN_CHECK(field >= 0, "stats: missing field");
+
+    AttrStats s;
+    std::set<Value> distinct;
+    uint64_t nulls = 0;
+    uint64_t elem_total = 0;
+    uint64_t nonnull = 0;
+    uint64_t colocated = 0;
+    uint64_t ref_total = 0;
+    uint64_t sequential = 0;
+    PageId prev_child_page = UINT64_MAX;
+    bool have_prev = false;
+    bool numeric = true;
+    double minv = 0, maxv = 0;
+    bool have_minmax = false;
+    std::vector<double> numeric_values;
+
+    for (uint32_t slot = 0; slot < n; ++slot) {
+      const Value& v = e->Record(slot)[field];
+      if (v.is_null()) {
+        ++nulls;
+        continue;
+      }
+      ++nonnull;
+      const PageId owner_page =
+          e->finalized() ? e->PageOf(slot, 0) : 0;
+      auto count_ref = [&](Oid ref) {
+        ++ref_total;
+        const Extent* te = db.ExtentOf(ref);
+        if (!te->finalized()) return;
+        const PageId child_page = te->PageOf(ref.slot, 0);
+        if (child_page == owner_page) ++colocated;
+        if (have_prev &&
+            (child_page == prev_child_page || child_page == prev_child_page + 1)) {
+          ++sequential;
+        }
+        prev_child_page = child_page;
+        have_prev = true;
+      };
+      if (v.is_collection()) {
+        elem_total += v.AsCollection().elems.size();
+        for (const Value& ev : v.AsCollection().elems) {
+          if (ev.is_ref()) count_ref(ev.AsRef());
+        }
+        numeric = false;
+      } else {
+        elem_total += 1;
+        if (v.is_ref()) {
+          count_ref(v.AsRef());
+          numeric = false;
+        } else if (v.is_int() || v.is_real()) {
+          const double x = v.AsNumber();
+          numeric_values.push_back(x);
+          if (!have_minmax) {
+            minv = maxv = x;
+            have_minmax = true;
+          } else {
+            minv = std::min(minv, x);
+            maxv = std::max(maxv, x);
+          }
+        } else {
+          numeric = false;
+        }
+        distinct.insert(v);
+      }
+    }
+
+    s.null_frac = n == 0 ? 0 : static_cast<double>(nulls) / n;
+    s.fanout = nonnull == 0 ? 0 : static_cast<double>(elem_total) / nonnull;
+    s.distinct = std::max<double>(1, static_cast<double>(distinct.size()));
+    s.colocated_frac =
+        ref_total == 0 ? 0 : static_cast<double>(colocated) / ref_total;
+    s.seq_frac =
+        ref_total == 0 ? 0 : static_cast<double>(sequential) / ref_total;
+    s.numeric = numeric && have_minmax;
+    s.min_val = minv;
+    s.max_val = maxv;
+    if (s.numeric && maxv > minv && !numeric_values.empty()) {
+      s.hist.assign(kHistBuckets, 0);
+      const double width = (maxv - minv) / kHistBuckets;
+      for (double x : numeric_values) {
+        size_t bucket = static_cast<size_t>((x - minv) / width);
+        if (bucket >= kHistBuckets) bucket = kHistBuckets - 1;
+        s.hist[bucket] += 1;
+      }
+    }
+
+    // Chain depth for self-referencing object attributes.
+    const Type* t = a.type;
+    if (t->IsCollection()) t = t->elem();
+    if (t->kind() == TypeKind::kObject && t->class_name() == extent_name &&
+        !a.type->IsCollection()) {
+      // Single-reference self chain (e.g. Composer.master, Node.parent).
+      std::vector<int> depth(n, -1);
+      std::function<int(uint32_t)> chase = [&](uint32_t slot) -> int {
+        if (depth[slot] >= 0) return depth[slot];
+        depth[slot] = 0;  // cycle guard
+        const Value& v = e->Record(slot)[field];
+        if (v.is_ref()) {
+          depth[slot] = 1 + chase(v.AsRef().slot);
+        }
+        return depth[slot];
+      };
+      double total = 0;
+      int maxd = 0;
+      for (uint32_t slot = 0; slot < n; ++slot) {
+        const int d = chase(slot);
+        total += d;
+        maxd = std::max(maxd, d);
+      }
+      s.chain_depth_max = maxd;
+      s.chain_depth_avg = n == 0 ? 0 : total / n;
+    }
+
+    (*out)[{extent_name, a.name}] = s;
+  }
+}
+
+}  // namespace
+
+Stats Stats::Derive(const Database& db) {
+  RODIN_CHECK(db.finalized(), "stats require a finalized database");
+  Stats stats;
+  stats.buffer_pages_ = db.buffer_pool().capacity();
+
+  const Schema& schema = db.schema();
+  auto sweep = [&](const std::string& name,
+                   const std::vector<Attribute>& attrs) {
+    const Extent* e = db.FindExtent(name);
+    for (uint16_t v = 0; v < e->num_vfrags(); ++v) {
+      for (uint16_t h = 0; h < e->num_hfrags(); ++h) {
+        EntityStats es;
+        es.pages = e->ScanPages(v, h).size();
+        es.instances = e->SlotsOfHfrag(h).size();
+        stats.entities_[name][v][h] = es;
+      }
+    }
+    DeriveAttrStats(db, name, attrs, &stats.attrs_);
+  };
+
+  for (const auto& cls : schema.classes()) {
+    sweep(cls->name(), cls->AllAttributes());
+  }
+  for (const auto& rel : schema.relations()) {
+    sweep(rel->name(), rel->AllAttributes());
+  }
+  return stats;
+}
+
+double AttrStats::FractionBelow(double x) const {
+  if (!numeric || max_val <= min_val) return 0.5;
+  if (x <= min_val) return 0;
+  if (x > max_val) return 1;
+  if (hist.empty()) {
+    return (x - min_val) / (max_val - min_val);  // uniform fallback
+  }
+  double total = 0;
+  for (double b : hist) total += b;
+  if (total <= 0) return 0.5;
+  const double width = (max_val - min_val) / static_cast<double>(hist.size());
+  double below = 0;
+  for (size_t i = 0; i < hist.size(); ++i) {
+    const double lo = min_val + static_cast<double>(i) * width;
+    const double hi = lo + width;
+    if (x >= hi) {
+      below += hist[i];
+    } else if (x > lo) {
+      below += hist[i] * (x - lo) / width;  // partial bucket, uniform inside
+      break;
+    } else {
+      break;
+    }
+  }
+  return below / total;
+}
+
+const EntityStats& Stats::Entity(const EntityRef& ref) const {
+  auto it = entities_.find(ref.extent);
+  if (it == entities_.end()) return default_entity_;
+  auto vit = it->second.find(ref.vfrag);
+  if (vit == it->second.end()) return default_entity_;
+  auto hit = vit->second.find(ref.hfrag);
+  if (hit == vit->second.end()) return default_entity_;
+  return hit->second;
+}
+
+const AttrStats& Stats::Attr(const std::string& extent,
+                             const std::string& attr) const {
+  auto it = attrs_.find({extent, attr});
+  return it == attrs_.end() ? default_attr_ : it->second;
+}
+
+double Stats::TuplesPerPage(const std::string& extent) const {
+  auto it = entities_.find(extent);
+  if (it == entities_.end()) return 1;
+  const EntityStats& es = it->second.begin()->second.begin()->second;
+  if (es.pages == 0) return 1;
+  return std::max(1.0, static_cast<double>(es.instances) / es.pages);
+}
+
+}  // namespace rodin

@@ -1,0 +1,78 @@
+#ifndef RODIN_COST_STATS_H_
+#define RODIN_COST_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/database.h"
+
+namespace rodin {
+
+/// Per-attribute statistics of one extent.
+struct AttrStats {
+  double distinct = 1;        // distinct non-null values (atomic attrs)
+  double null_frac = 0;       // fraction of null values
+  double fanout = 1;          // avg elements per value (collections; 1 for refs)
+  double colocated_frac = 0;  // fraction of referenced objects on the owner's page
+  /// Fraction of dereferences that land on the same page as (or the page
+  /// after) the previous dereference when owners are visited in scan order —
+  /// creation-order correlation that turns "random" fetches sequential.
+  double seq_frac = 0;
+  bool numeric = false;
+  double min_val = 0;
+  double max_val = 0;
+  /// Equi-width histogram over [min_val, max_val] for numeric attributes
+  /// (kHistBuckets buckets of value counts); empty for non-numeric ones.
+  std::vector<double> hist;
+
+  /// Fraction of values strictly below `x`, from the histogram when
+  /// available, else by uniform interpolation.
+  double FractionBelow(double x) const;
+  /// For self-referencing object attributes (Composer.master): maximum and
+  /// average length of reference chains — the recursion depth of a
+  /// transitive closure over this attribute.
+  double chain_depth_max = 0;
+  double chain_depth_avg = 0;
+};
+
+/// Histogram resolution for numeric attribute statistics.
+constexpr size_t kHistBuckets = 16;
+
+/// Page/instance counts of one atomic entity.
+struct EntityStats {
+  uint64_t pages = 0;
+  uint64_t instances = 0;
+};
+
+/// Catalog statistics the cost model consumes: the paper's |C|, ||C||,
+/// nbpages/nbtuples inputs plus per-attribute selectivity and fan-out
+/// information. Derived by one uncharged sweep over a finalized database.
+class Stats {
+ public:
+  static Stats Derive(const Database& db);
+
+  const EntityStats& Entity(const EntityRef& ref) const;
+  /// Stats for extent-level attributes; falls back to defaults when the
+  /// attribute was never populated.
+  const AttrStats& Attr(const std::string& extent,
+                        const std::string& attr) const;
+
+  uint64_t buffer_pages() const { return buffer_pages_; }
+
+  /// Average records of `extent` per page (>= 1).
+  double TuplesPerPage(const std::string& extent) const;
+
+ private:
+  std::map<std::string, std::map<uint16_t, std::map<uint16_t, EntityStats>>>
+      entities_;  // extent -> vfrag -> hfrag
+  std::map<std::pair<std::string, std::string>, AttrStats> attrs_;
+  uint64_t buffer_pages_ = 0;
+  AttrStats default_attr_;
+  EntityStats default_entity_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_COST_STATS_H_

@@ -1,0 +1,128 @@
+#include "cost/symbolic.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+SymPtr SymExpr::Num(double v) {
+  auto e = std::shared_ptr<SymExpr>(new SymExpr());
+  e->kind_ = Kind::kNum;
+  e->value_ = v;
+  return e;
+}
+
+SymPtr SymExpr::Sym(std::string name) {
+  auto e = std::shared_ptr<SymExpr>(new SymExpr());
+  e->kind_ = Kind::kSym;
+  e->name_ = std::move(name);
+  return e;
+}
+
+SymPtr SymExpr::Add(std::vector<SymPtr> terms) {
+  RODIN_CHECK(!terms.empty(), "empty symbolic sum");
+  // Flatten nested sums and drop zero terms.
+  std::vector<SymPtr> flat;
+  for (SymPtr& t : terms) {
+    RODIN_CHECK(t != nullptr, "null symbolic term");
+    if (t->kind() == Kind::kAdd) {
+      flat.insert(flat.end(), t->children().begin(), t->children().end());
+    } else if (t->kind() == Kind::kNum && t->value() == 0) {
+      continue;
+    } else {
+      flat.push_back(std::move(t));
+    }
+  }
+  if (flat.empty()) return Num(0);
+  if (flat.size() == 1) return flat[0];
+  auto e = std::shared_ptr<SymExpr>(new SymExpr());
+  e->kind_ = Kind::kAdd;
+  e->children_ = std::move(flat);
+  return e;
+}
+
+SymPtr SymExpr::Mul(std::vector<SymPtr> factors) {
+  RODIN_CHECK(!factors.empty(), "empty symbolic product");
+  std::vector<SymPtr> flat;
+  for (SymPtr& f : factors) {
+    RODIN_CHECK(f != nullptr, "null symbolic factor");
+    if (f->kind() == Kind::kMul) {
+      flat.insert(flat.end(), f->children().begin(), f->children().end());
+    } else if (f->kind() == Kind::kNum && f->value() == 1) {
+      continue;
+    } else if (f->kind() == Kind::kNum && f->value() == 0) {
+      return Num(0);
+    } else {
+      flat.push_back(std::move(f));
+    }
+  }
+  if (flat.empty()) return Num(1);
+  if (flat.size() == 1) return flat[0];
+  auto e = std::shared_ptr<SymExpr>(new SymExpr());
+  e->kind_ = Kind::kMul;
+  e->children_ = std::move(flat);
+  return e;
+}
+
+double SymExpr::Eval(const std::map<std::string, double>& env) const {
+  switch (kind_) {
+    case Kind::kNum:
+      return value_;
+    case Kind::kSym: {
+      auto it = env.find(name_);
+      RODIN_CHECK(it != env.end(), "unbound symbol in symbolic cost");
+      return it->second;
+    }
+    case Kind::kAdd: {
+      double total = 0;
+      for (const SymPtr& c : children_) total += c->Eval(env);
+      return total;
+    }
+    case Kind::kMul: {
+      double total = 1;
+      for (const SymPtr& c : children_) total *= c->Eval(env);
+      return total;
+    }
+  }
+  return 0;
+}
+
+std::string SymExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kNum: {
+      if (value_ == static_cast<int64_t>(value_)) {
+        return StrFormat("%lld", static_cast<long long>(value_));
+      }
+      return StrFormat("%g", value_);
+    }
+    case Kind::kSym:
+      return name_;
+    case Kind::kAdd: {
+      std::vector<std::string> parts;
+      for (const SymPtr& c : children_) parts.push_back(c->ToString());
+      return Join(parts, " + ");
+    }
+    case Kind::kMul: {
+      std::vector<std::string> parts;
+      for (const SymPtr& c : children_) {
+        if (c->kind() == Kind::kAdd) {
+          parts.push_back("(" + c->ToString() + ")");
+        } else {
+          parts.push_back(c->ToString());
+        }
+      }
+      return Join(parts, "*");
+    }
+  }
+  return "?";
+}
+
+SymPtr operator+(SymPtr a, SymPtr b) {
+  return SymExpr::Add({std::move(a), std::move(b)});
+}
+
+SymPtr operator*(SymPtr a, SymPtr b) {
+  return SymExpr::Mul({std::move(a), std::move(b)});
+}
+
+}  // namespace rodin

@@ -1,0 +1,52 @@
+#ifndef RODIN_COST_SYMBOLIC_H_
+#define RODIN_COST_SYMBOLIC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rodin {
+
+class SymExpr;
+using SymPtr = std::shared_ptr<const SymExpr>;
+
+/// Tiny symbolic-expression algebra used to reproduce Figure 7 of the paper
+/// verbatim: cost formulas over named quantities like |Cpr|, ||Cpr||, pr,
+/// ev, lev, lea, n1, n2 that can be printed in the paper's notation and
+/// evaluated under a parameter binding.
+class SymExpr {
+ public:
+  enum class Kind { kNum, kSym, kAdd, kMul };
+
+  static SymPtr Num(double v);
+  static SymPtr Sym(std::string name);
+  static SymPtr Add(std::vector<SymPtr> terms);
+  static SymPtr Mul(std::vector<SymPtr> factors);
+
+  Kind kind() const { return kind_; }
+  double value() const { return value_; }
+  const std::string& name() const { return name_; }
+  const std::vector<SymPtr>& children() const { return children_; }
+
+  double Eval(const std::map<std::string, double>& env) const;
+
+  /// Paper-style rendering: products with '*', sums with ' + ',
+  /// parenthesized sums inside products.
+  std::string ToString() const;
+
+ private:
+  SymExpr() = default;
+  Kind kind_ = Kind::kNum;
+  double value_ = 0;
+  std::string name_;
+  std::vector<SymPtr> children_;
+};
+
+/// Convenience operators (shared_ptr-based, flattening nested sums/products).
+SymPtr operator+(SymPtr a, SymPtr b);
+SymPtr operator*(SymPtr a, SymPtr b);
+
+}  // namespace rodin
+
+#endif  // RODIN_COST_SYMBOLIC_H_

@@ -1,0 +1,20 @@
+#ifndef RODIN_DATAGEN_GENERATED_DB_H_
+#define RODIN_DATAGEN_GENERATED_DB_H_
+
+#include <memory>
+
+#include "catalog/schema.h"
+#include "storage/database.h"
+
+namespace rodin {
+
+/// A generated schema plus its populated, finalized database. The schema is
+/// owned here because Database keeps a non-owning pointer to it.
+struct GeneratedDb {
+  std::unique_ptr<Schema> schema;
+  std::unique_ptr<Database> db;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_DATAGEN_GENERATED_DB_H_

@@ -1,0 +1,124 @@
+#include "datagen/graph_gen.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+std::vector<std::string> GraphSelectionPath(const GraphConfig& config) {
+  std::vector<std::string> path;
+  for (uint32_t i = 1; i <= config.path_len; ++i) {
+    path.push_back(StrFormat("hop%u", i));
+  }
+  return path;
+}
+
+PhysicalConfig DefaultGraphPhysical() {
+  PhysicalConfig config;
+  config.buffer_pages = 128;
+  return config;
+}
+
+GeneratedDb GenerateGraphDb(const GraphConfig& config,
+                            const PhysicalConfig& physical) {
+  RODIN_CHECK(config.num_nodes > 0, "empty graph");
+  RODIN_CHECK(config.chain_depth > 0, "chain depth must be positive");
+  RODIN_CHECK(config.num_labels > 0, "need labels");
+  RODIN_CHECK(config.hop_fanout > 0, "hop fanout must be positive");
+
+  GeneratedDb out;
+  out.schema = std::make_unique<Schema>();
+  Schema& schema = *out.schema;
+  TypePool& types = schema.types();
+
+  // Aux classes first (referenced bottom-up): Auxk holds `label`; Auxi
+  // holds hop(i+1): Aux(i+1).
+  for (uint32_t i = config.path_len; i >= 1; --i) {
+    ClassDef* aux = schema.AddClass(StrFormat("Aux%u", i));
+    if (i == config.path_len) {
+      schema.AddAttribute(aux, {"label", types.String(), false, 0, "", ""});
+    } else {
+      const std::string next = StrFormat("Aux%u", i + 1);
+      const Type* t = config.hop_fanout == 1
+                          ? types.Object(next)
+                          : types.Set(types.Object(next));
+      schema.AddAttribute(aux, {StrFormat("hop%u", i + 1), t, false, 0, "", ""});
+    }
+    schema.AddAttribute(aux, {"payload", types.Int(), false, 0, "", ""});
+  }
+
+  ClassDef* node = schema.AddClass("Node");
+  schema.AddAttribute(node, {"nname", types.String(), false, 0, "", ""});
+  schema.AddAttribute(node, {"weight", types.Int(), false, 0, "", ""});
+  schema.AddAttribute(node, {"parent", types.Object("Node"), false, 0, "", ""});
+  if (config.path_len == 0) {
+    schema.AddAttribute(node, {"label", types.String(), false, 0, "", ""});
+  } else {
+    const Type* t = config.hop_fanout == 1
+                        ? types.Object("Aux1")
+                        : types.Set(types.Object("Aux1"));
+    schema.AddAttribute(node, {"hop1", t, false, 0, "", ""});
+  }
+
+  out.db = std::make_unique<Database>(out.schema.get());
+  Database& db = *out.db;
+  Rng rng(config.seed);
+
+  auto label_value = [&]() {
+    return Value::Str(StrFormat(
+        "label_%llu", static_cast<unsigned long long>(rng.Below(config.num_labels))));
+  };
+
+  // Builds one aux chain starting at Aux(depth); returns its head oid.
+  std::function<Oid(uint32_t)> make_aux = [&](uint32_t depth) -> Oid {
+    Oid oid = db.NewObject(StrFormat("Aux%u", depth));
+    db.Set(oid, "payload", Value::Int(rng.Range(0, 1000)));
+    if (depth == config.path_len) {
+      db.Set(oid, "label", label_value());
+    } else {
+      if (config.hop_fanout == 1) {
+        db.Set(oid, StrFormat("hop%u", depth + 1),
+               Value::Ref(make_aux(depth + 1)));
+      } else {
+        std::vector<Value> refs;
+        for (uint32_t f = 0; f < config.hop_fanout; ++f) {
+          refs.push_back(Value::Ref(make_aux(depth + 1)));
+        }
+        db.Set(oid, StrFormat("hop%u", depth + 1),
+               Value::MakeSet(std::move(refs)));
+      }
+    }
+    return oid;
+  };
+
+  std::vector<Oid> nodes;
+  for (uint32_t i = 0; i < config.num_nodes; ++i) {
+    nodes.push_back(db.NewObject("Node"));
+  }
+  for (uint32_t i = 0; i < config.num_nodes; ++i) {
+    db.Set(nodes[i], "nname", Value::Str(StrFormat("node_%u", i)));
+    db.Set(nodes[i], "weight", Value::Int(rng.Range(0, 1000)));
+    if (i % config.chain_depth != 0) {
+      db.Set(nodes[i], "parent", Value::Ref(nodes[i - 1]));
+    }
+    if (config.path_len == 0) {
+      db.Set(nodes[i], "label", label_value());
+    } else {
+      if (config.hop_fanout == 1) {
+        db.Set(nodes[i], "hop1", Value::Ref(make_aux(1)));
+      } else {
+        std::vector<Value> refs;
+        for (uint32_t f = 0; f < config.hop_fanout; ++f) {
+          refs.push_back(Value::Ref(make_aux(1)));
+        }
+        db.Set(nodes[i], "hop1", Value::MakeSet(std::move(refs)));
+      }
+    }
+  }
+
+  out.db->Finalize(physical);
+  return out;
+}
+
+}  // namespace rodin

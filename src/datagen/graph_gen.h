@@ -1,0 +1,50 @@
+#ifndef RODIN_DATAGEN_GRAPH_GEN_H_
+#define RODIN_DATAGEN_GRAPH_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/generated_db.h"
+#include "storage/physical_schema.h"
+
+namespace rodin {
+
+/// Fully parameterized recursion substrate for the crossover sweeps (E6):
+/// `Node` objects form parent-chains of exact depth `chain_depth` (the
+/// recursion depth of a transitive closure over `parent`), and each Node is
+/// the head of an auxiliary reference path of length `path_len`
+/// (hop1.hop2...label) whose terminal label is drawn from `num_labels`
+/// distinct values — so the selectivity of `label == "label_0"` is exactly
+/// 1 / num_labels and the cost of evaluating it inside the recursion grows
+/// with `path_len`.
+struct GraphConfig {
+  uint64_t seed = 11;
+
+  uint32_t num_nodes = 1024;
+  uint32_t chain_depth = 16;
+
+  /// Object-hops between a Node and the selectable label: 0 puts `label`
+  /// directly on Node; k > 0 adds classes Aux1..Auxk.
+  uint32_t path_len = 2;
+
+  uint32_t num_labels = 10;
+
+  /// Elements in each set-valued hop (1 = single reference).
+  uint32_t hop_fanout = 1;
+};
+
+/// The attribute path from Node to the label, e.g. {"hop1","hop2"}; empty
+/// when path_len == 0. The terminal atomic attribute is always "label" and
+/// lives on the last class of the path.
+std::vector<std::string> GraphSelectionPath(const GraphConfig& config);
+
+/// Default physical design: no indices, no clustering.
+PhysicalConfig DefaultGraphPhysical();
+
+GeneratedDb GenerateGraphDb(const GraphConfig& config,
+                            const PhysicalConfig& physical);
+
+}  // namespace rodin
+
+#endif  // RODIN_DATAGEN_GRAPH_GEN_H_

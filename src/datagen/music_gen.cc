@@ -1,0 +1,152 @@
+#include "datagen/music_gen.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+PhysicalConfig PaperMusicPhysical() {
+  PhysicalConfig config;
+  config.buffer_pages = 128;
+  config.path_indexes.push_back(
+      PathIndexSpec{"Composer", {"works", "instruments"}});
+  return config;
+}
+
+GeneratedDb GenerateMusicDb(const MusicConfig& config,
+                            const PhysicalConfig& physical) {
+  RODIN_CHECK(config.num_composers > 0, "need composers");
+  RODIN_CHECK(config.num_instruments > 0, "need instruments");
+  RODIN_CHECK(config.lineage_depth > 0, "need lineage depth");
+  RODIN_CHECK(config.works_per_composer_min <= config.works_per_composer_max,
+              "bad works range");
+  RODIN_CHECK(
+      config.instruments_per_work_min <= config.instruments_per_work_max,
+      "bad instruments range");
+
+  GeneratedDb out;
+  out.schema = std::make_unique<Schema>();
+  Schema& schema = *out.schema;
+  TypePool& types = schema.types();
+
+  // --- Conceptual schema of Figure 1 ---------------------------------------
+  ClassDef* person = schema.AddClass("Person");
+  schema.AddAttribute(person, {"name", types.String(), false, 0, "", ""});
+  schema.AddAttribute(person, {"birthyear", types.Int(), false, 0, "", ""});
+  // `age` is the paper's example of a method seen as a computed attribute.
+  schema.AddAttribute(person, {"age", types.Int(), true, 2.0, "", ""});
+
+  ClassDef* instrument = schema.AddClass("Instrument");
+  schema.AddAttribute(instrument, {"iname", types.String(), false, 0, "", ""});
+  schema.AddAttribute(instrument, {"family", types.String(), false, 0, "", ""});
+
+  ClassDef* composer = schema.AddClass("Composer", "Person");
+  ClassDef* composition = schema.AddClass("Composition");
+  schema.AddAttribute(composer,
+                      {"master", types.Object("Composer"), false, 0, "", ""});
+  schema.AddAttribute(
+      composer, {"works", types.Set(types.Object("Composition")), false, 0,
+                 "Composition", "author"});
+  schema.AddAttribute(composition, {"title", types.String(), false, 0, "", ""});
+  schema.AddAttribute(composition, {"author", types.Object("Composer"), false,
+                                    0, "Composer", "works"});
+  schema.AddAttribute(
+      composition,
+      {"instruments", types.Set(types.Object("Instrument")), false, 0, "", ""});
+
+  schema.AddRelation("Play", {{"who", types.Object("Person")},
+                              {"instrument", types.Object("Instrument")}});
+
+  RODIN_CHECK(schema.ValidateInverses().empty(), "inverse declarations broken");
+
+  out.db = std::make_unique<Database>(out.schema.get());
+  Database& db = *out.db;
+  Rng rng(config.seed);
+
+  // --- Instruments ----------------------------------------------------------
+  static const char* kNames[] = {"harpsichord", "flute",    "violin",
+                                 "cello",       "oboe",     "organ",
+                                 "viola",       "trumpet",  "horn",
+                                 "bassoon",     "timpani",  "lute"};
+  static const char* kFamilies[] = {"keyboard", "wind", "string", "brass",
+                                    "percussion"};
+  std::vector<Oid> instruments;
+  for (uint32_t i = 0; i < config.num_instruments; ++i) {
+    Oid oid = db.NewObject("Instrument");
+    const std::string name =
+        i < 12 ? kNames[i] : StrFormat("instrument_%u", i);
+    db.Set(oid, "iname", Value::Str(name));
+    db.Set(oid, "family", Value::Str(kFamilies[i % 5]));
+    instruments.push_back(oid);
+  }
+  const Oid harpsichord = instruments[0];
+
+  // --- Composers in master-lineages ----------------------------------------
+  std::vector<Oid> composers;
+  for (uint32_t i = 0; i < config.num_composers; ++i) {
+    composers.push_back(db.NewObject("Composer"));
+  }
+  for (uint32_t i = 0; i < config.num_composers; ++i) {
+    const uint32_t pos_in_lineage = i % config.lineage_depth;
+    std::string name = StrFormat("composer_%u", i);
+    // Bach closes lineage 0: the deepest composer of the first lineage, so
+    // the Fig. 3 query has a full master-chain above him.
+    if (i == config.lineage_depth - 1) name = "Bach";
+    db.Set(composers[i], "name", Value::Str(name));
+    db.Set(composers[i], "birthyear",
+           Value::Int(1600 + static_cast<int64_t>(rng.Below(150))));
+    if (pos_in_lineage > 0) {
+      db.Set(composers[i], "master", Value::Ref(composers[i - 1]));
+    }
+  }
+
+  // --- Works ----------------------------------------------------------------
+  uint32_t title_counter = 0;
+  for (Oid c : composers) {
+    const uint32_t nworks = static_cast<uint32_t>(
+        rng.Range(config.works_per_composer_min, config.works_per_composer_max));
+    std::vector<Value> works;
+    for (uint32_t w = 0; w < nworks; ++w) {
+      Oid comp = db.NewObject("Composition");
+      db.Set(comp, "title", Value::Str(StrFormat("work_%u", title_counter++)));
+      db.Set(comp, "author", Value::Ref(c));
+      const uint32_t ninstr = static_cast<uint32_t>(rng.Range(
+          config.instruments_per_work_min, config.instruments_per_work_max));
+      std::vector<Value> instrs;
+      const bool with_harpsichord = rng.Chance(config.harpsichord_fraction);
+      if (with_harpsichord) instrs.push_back(Value::Ref(harpsichord));
+      while (instrs.size() < ninstr) {
+        // Draw from index 1 upward so harpsichord appearance is controlled
+        // solely by harpsichord_fraction (unless it is the only instrument).
+        const uint64_t pick =
+            instruments.size() == 1 ? 0 : 1 + rng.Below(instruments.size() - 1);
+        instrs.push_back(Value::Ref(instruments[pick]));
+      }
+      db.Set(comp, "instruments", Value::MakeSet(std::move(instrs)));
+      works.push_back(Value::Ref(comp));
+    }
+    db.Set(c, "works", Value::MakeSet(std::move(works)));
+  }
+
+  // --- Play relation ---------------------------------------------------------
+  for (uint32_t i = 0; i < config.num_plays; ++i) {
+    const Oid who = composers[rng.Below(composers.size())];
+    const Oid instr = instruments[rng.Below(instruments.size())];
+    db.InsertTuple("Play", {Value::Ref(who), Value::Ref(instr)});
+  }
+
+  // --- Methods ----------------------------------------------------------------
+  db.RegisterMethod("Person", "age", [](const Database& d, Oid oid) {
+    const Value birth = d.GetRaw(oid, "birthyear");
+    if (birth.is_null()) return Value::Null();
+    return Value::Int(1992 - birth.AsInt());  // the paper's present day
+  });
+
+  out.db->Finalize(physical);
+  return out;
+}
+
+}  // namespace rodin

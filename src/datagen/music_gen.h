@@ -1,0 +1,50 @@
+#ifndef RODIN_DATAGEN_MUSIC_GEN_H_
+#define RODIN_DATAGEN_MUSIC_GEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datagen/generated_db.h"
+#include "storage/physical_schema.h"
+
+namespace rodin {
+
+/// Parameters for the paper's running-example database (Figure 1): Person /
+/// Composer / Composition / Instrument plus the Play relation, with
+/// composers arranged in master-lineages so the Influencer view has a
+/// controlled recursion depth.
+struct MusicConfig {
+  uint64_t seed = 42;
+
+  uint32_t num_composers = 200;
+  uint32_t num_instruments = 30;
+
+  /// Composers are partitioned into lineages; within a lineage, composer i's
+  /// `master` is composer i-1. Lineage length == Influencer recursion depth.
+  uint32_t lineage_depth = 8;
+
+  uint32_t works_per_composer_min = 3;
+  uint32_t works_per_composer_max = 8;
+  uint32_t instruments_per_work_min = 1;
+  uint32_t instruments_per_work_max = 4;
+
+  /// Fraction of works that include the harpsichord (instrument 0) — the
+  /// selectivity of the paper's i = "harpsichord" predicate.
+  double harpsichord_fraction = 0.15;
+
+  /// Number of Play tuples (who, instrument).
+  uint32_t num_plays = 300;
+};
+
+/// Physical design used throughout the paper's example (§3, §4.6): a path
+/// index on Composer.works.instruments, nothing else; clustering off.
+PhysicalConfig PaperMusicPhysical();
+
+/// Builds and finalizes the music database. The composer named "Bach" is
+/// the last composer of lineage 0 (so its master-chain is maximal).
+GeneratedDb GenerateMusicDb(const MusicConfig& config,
+                            const PhysicalConfig& physical);
+
+}  // namespace rodin
+
+#endif  // RODIN_DATAGEN_MUSIC_GEN_H_

@@ -1,0 +1,87 @@
+#include "datagen/parts_gen.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+PhysicalConfig DefaultPartsPhysical() {
+  PhysicalConfig config;
+  config.buffer_pages = 128;
+  config.sel_indexes.push_back(SelIndexSpec{"Part", "pname"});
+  return config;
+}
+
+GeneratedDb GeneratePartsDb(const PartsConfig& config,
+                            const PhysicalConfig& physical) {
+  RODIN_CHECK(config.parts_per_level > 0 && config.num_levels > 0,
+              "empty parts DB");
+  RODIN_CHECK(config.subparts_min <= config.subparts_max, "bad subparts range");
+
+  GeneratedDb out;
+  out.schema = std::make_unique<Schema>();
+  Schema& schema = *out.schema;
+  TypePool& types = schema.types();
+
+  ClassDef* part = schema.AddClass("Part");
+  schema.AddAttribute(part, {"pname", types.String(), false, 0, "", ""});
+  schema.AddAttribute(part, {"vendor", types.String(), false, 0, "", ""});
+  schema.AddAttribute(part, {"mass", types.Double(), false, 0, "", ""});
+  schema.AddAttribute(part, {"unit_cost", types.Int(), false, 0, "", ""});
+  schema.AddAttribute(part,
+                      {"subparts", types.Set(types.Object("Part")), false, 0,
+                       "", ""});
+  // Example method: cost of the part itself plus its direct sub-parts.
+  schema.AddAttribute(part, {"assembly_cost", types.Int(), true, 5.0, "", ""});
+
+  out.db = std::make_unique<Database>(out.schema.get());
+  Database& db = *out.db;
+  Rng rng(config.seed);
+
+  // Create level by level, leaves first, so subparts reference level L+1.
+  std::vector<std::vector<Oid>> levels(config.num_levels);
+  for (uint32_t lvl = config.num_levels; lvl-- > 0;) {
+    for (uint32_t i = 0; i < config.parts_per_level; ++i) {
+      Oid oid = db.NewObject("Part");
+      db.Set(oid, "pname", Value::Str(StrFormat("part_L%u_%u", lvl, i)));
+      db.Set(oid, "vendor",
+             Value::Str(StrFormat("vendor_%llu",
+                                  static_cast<unsigned long long>(
+                                      rng.Below(config.num_vendors)))));
+      db.Set(oid, "mass", Value::Real(0.1 + rng.NextDouble() * 10));
+      db.Set(oid, "unit_cost", Value::Int(rng.Range(1, 1000)));
+      if (lvl + 1 < config.num_levels) {
+        const std::vector<Oid>& below = levels[lvl + 1];
+        const uint32_t n = static_cast<uint32_t>(
+            rng.Range(config.subparts_min, config.subparts_max));
+        std::vector<Value> subs;
+        for (uint32_t s = 0; s < n; ++s) {
+          subs.push_back(Value::Ref(below[rng.Below(below.size())]));
+        }
+        db.Set(oid, "subparts", Value::MakeSet(std::move(subs)));
+      } else {
+        db.Set(oid, "subparts", Value::MakeSet({}));
+      }
+      levels[lvl].push_back(oid);
+    }
+  }
+
+  db.RegisterMethod("Part", "assembly_cost", [](const Database& d, Oid oid) {
+    int64_t total = d.GetRaw(oid, "unit_cost").AsInt();
+    const Value subs = d.GetRaw(oid, "subparts");
+    if (subs.is_collection()) {
+      for (const Value& s : subs.AsCollection().elems) {
+        if (s.is_ref()) total += d.GetRaw(s.AsRef(), "unit_cost").AsInt();
+      }
+    }
+    return Value::Int(total);
+  });
+
+  out.db->Finalize(physical);
+  return out;
+}
+
+}  // namespace rodin

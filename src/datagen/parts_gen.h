@@ -1,0 +1,39 @@
+#ifndef RODIN_DATAGEN_PARTS_GEN_H_
+#define RODIN_DATAGEN_PARTS_GEN_H_
+
+#include <cstdint>
+
+#include "datagen/generated_db.h"
+#include "storage/physical_schema.h"
+
+namespace rodin {
+
+/// Engineering-database workload from the paper's motivation (§1, [CS90]):
+/// parts connected (recursively) to sub-parts. The assembly graph is a DAG:
+/// parts at level L reference parts at level L+1, with sharing.
+struct PartsConfig {
+  uint64_t seed = 7;
+
+  /// Parts per assembly level; total parts = parts_per_level * num_levels.
+  uint32_t parts_per_level = 100;
+  uint32_t num_levels = 6;
+
+  /// Sub-parts referenced by each non-leaf part.
+  uint32_t subparts_min = 2;
+  uint32_t subparts_max = 5;
+
+  /// Distinct vendor names (selectivity of vendor predicates).
+  uint32_t num_vendors = 20;
+};
+
+/// Default physical design: selection index on Part.pname.
+PhysicalConfig DefaultPartsPhysical();
+
+/// Builds the Part class: pname, vendor, mass, unit_cost, and
+/// subparts: {Part}; plus a computed attribute `assembly_cost`.
+GeneratedDb GeneratePartsDb(const PartsConfig& config,
+                            const PhysicalConfig& physical);
+
+}  // namespace rodin
+
+#endif  // RODIN_DATAGEN_PARTS_GEN_H_

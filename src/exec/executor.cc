@@ -1,0 +1,616 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.h"
+
+namespace rodin {
+
+namespace {
+
+bool CompareValues(CompareOp op, const Value& a, const Value& b) {
+  const int c = a.Compare(b);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+// Expands a (possibly collection-valued) value into individual elements.
+void Expand(const Value& v, std::vector<Value>* out) {
+  if (v.is_null()) return;
+  if (v.is_collection()) {
+    for (const Value& e : v.AsCollection().elems) Expand(e, out);
+    return;
+  }
+  out->push_back(v);
+}
+
+// For an index probe predicate `cmp`, returns the literal side and whether
+// the path is on the left.
+bool SplitProbe(const Expr& cmp, Value* literal, bool* path_on_left) {
+  if (cmp.kind() != ExprKind::kCompare) return false;
+  const ExprPtr& l = cmp.children()[0];
+  const ExprPtr& r = cmp.children()[1];
+  if (l->kind() == ExprKind::kVarPath && r->kind() == ExprKind::kLiteral) {
+    *literal = r->literal();
+    *path_on_left = true;
+    return true;
+  }
+  if (r->kind() == ExprKind::kVarPath && l->kind() == ExprKind::kLiteral) {
+    *literal = l->literal();
+    *path_on_left = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Executor::Executor(Database* db, CostParams params)
+    : db_(db), params_(params) {
+  RODIN_CHECK(db != nullptr, "null database");
+  RODIN_CHECK(db->finalized(), "executor needs a finalized database");
+  start_misses_ = db_->buffer_pool().stats().misses;
+}
+
+double Executor::MeasuredCost() const {
+  const double misses = static_cast<double>(
+      db_->buffer_pool().stats().misses - start_misses_);
+  return misses * params_.pr +
+         static_cast<double>(counters_.predicate_evals) * params_.ev_tuple +
+         counters_.method_cost * params_.method_weight;
+}
+
+void Executor::ResetMeasurement(bool clear_buffer) {
+  counters_ = ExecCounters{};
+  if (clear_buffer) {
+    db_->buffer_pool().Clear();
+  } else {
+    db_->buffer_pool().ResetStats();
+  }
+  start_misses_ = db_->buffer_pool().stats().misses;
+}
+
+Executor::TempFile Executor::MakeTemp(size_t rows, size_t ncols) {
+  const uint64_t bytes = static_cast<uint64_t>(rows) * 16 *
+                         std::max<size_t>(1, ncols);
+  TempFile temp;
+  temp.pages = std::max<uint64_t>(1, (bytes + kPageSizeBytes - 1) / kPageSizeBytes);
+  temp.first = db_->AllocatePages(temp.pages);
+  return temp;
+}
+
+void Executor::ChargeTempScan(const TempFile& temp) {
+  for (uint64_t p = 0; p < temp.pages; ++p) {
+    db_->buffer_pool().Fetch(temp.first + p);
+  }
+}
+
+void Executor::Navigate(const Value& start, const std::vector<std::string>& path,
+                        size_t step, std::vector<Value>* out) {
+  if (start.is_null()) return;
+  if (start.is_collection()) {
+    for (const Value& e : start.AsCollection().elems) {
+      Navigate(e, path, step, out);
+    }
+    return;
+  }
+  if (step == path.size()) {
+    out->push_back(start);
+    return;
+  }
+  if (!start.is_ref()) return;  // atomic value with residual path: no match
+  const Oid oid = start.AsRef();
+  const std::string& attr = path[step];
+  const std::string& extent = db_->ExtentNameOf(oid);
+  const ClassDef* cls = db_->schema().FindClass(extent);
+  if (cls != nullptr) {
+    const Attribute* a = cls->FindAttribute(attr);
+    if (a != nullptr && a->computed) {
+      ++counters_.method_calls;
+      counters_.method_cost += a->method_cost;
+      // Methods read their receiver: charge the record access.
+      db_->ChargeRecordAccess(oid, {});
+      const Value v = db_->InvokeMethod(oid, attr);
+      Navigate(v, path, step + 1, out);
+      return;
+    }
+  }
+  const Value v = db_->GetCharged(oid, attr);
+  Navigate(v, path, step + 1, out);
+}
+
+std::vector<Value> Executor::EvalMulti(const RowSchema& schema, const Row& row,
+                                       const ExprPtr& expr) {
+  std::vector<Value> out;
+  if (expr == nullptr) return out;
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      out.push_back(expr->literal());
+      return out;
+    case ExprKind::kVarPath: {
+      int col = -1;
+      std::vector<std::string> rest;
+      RODIN_CHECK(schema.ResolveVarPath(expr->var(), expr->path(), &col, &rest),
+                  "unresolvable variable path in executor");
+      Navigate(row[col], rest, 0, &out);
+      return out;
+    }
+    case ExprKind::kArith: {
+      const std::vector<Value> l = EvalMulti(schema, row, expr->children()[0]);
+      const std::vector<Value> r = EvalMulti(schema, row, expr->children()[1]);
+      for (const Value& a : l) {
+        for (const Value& b : r) {
+          if (a.is_int() && b.is_int()) {
+            out.push_back(Value::Int(expr->arith_op() == ArithOp::kAdd
+                                         ? a.AsInt() + b.AsInt()
+                                         : a.AsInt() - b.AsInt()));
+          } else {
+            const double x = a.AsNumber();
+            const double y = b.AsNumber();
+            out.push_back(Value::Real(expr->arith_op() == ArithOp::kAdd
+                                          ? x + y
+                                          : x - y));
+          }
+        }
+      }
+      return out;
+    }
+    case ExprKind::kCompare:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+      out.push_back(Value::Bool(EvalPred(schema, row, expr)));
+      return out;
+  }
+  return out;
+}
+
+bool Executor::EvalPred(const RowSchema& schema, const Row& row,
+                        const ExprPtr& pred) {
+  if (pred == nullptr) return true;
+  switch (pred->kind()) {
+    case ExprKind::kAnd:
+      for (const ExprPtr& c : pred->children()) {
+        if (!EvalPred(schema, row, c)) return false;
+      }
+      return true;
+    case ExprKind::kOr:
+      for (const ExprPtr& c : pred->children()) {
+        if (EvalPred(schema, row, c)) return true;
+      }
+      return false;
+    case ExprKind::kNot:
+      return !EvalPred(schema, row, pred->children()[0]);
+    case ExprKind::kCompare: {
+      const std::vector<Value> l = EvalMulti(schema, row, pred->children()[0]);
+      const std::vector<Value> r = EvalMulti(schema, row, pred->children()[1]);
+      // Exists-semantics over multi-valued paths.
+      for (const Value& a : l) {
+        for (const Value& b : r) {
+          if (CompareValues(pred->compare_op(), a, b)) return true;
+        }
+      }
+      return false;
+    }
+    case ExprKind::kLiteral:
+      return pred->literal().is_bool() && pred->literal().AsBool();
+    case ExprKind::kArith:
+      return false;  // a bare arithmetic expression is not a predicate
+    case ExprKind::kVarPath: {
+      const std::vector<Value> vals = EvalMulti(schema, row, pred);
+      for (const Value& v : vals) {
+        if (v.is_bool() && v.AsBool()) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+Table Executor::EvalEntity(const PTNode& node) {
+  Table out;
+  out.schema.cols = node.cols;
+  db_->ScanEntity(node.entity, [&](Oid oid, const std::vector<Value>&) {
+    out.rows.push_back({Value::Ref(oid)});
+  });
+  return out;
+}
+
+Table Executor::EvalDelta(const PTNode& node) {
+  auto it = deltas_.find(node.fix_name);
+  RODIN_CHECK(it != deltas_.end(), "delta referenced outside its fixpoint");
+  const Table* delta = it->second.first;
+  ChargeTempScan(it->second.second);
+  Table out;
+  out.schema.cols = node.cols;
+  RODIN_CHECK(delta->schema.cols.size() == node.cols.size(),
+              "delta column arity mismatch");
+  out.rows = delta->rows;
+  return out;
+}
+
+Table Executor::EvalSel(const PTNode& node) {
+  const PTNode& child = *node.children[0];
+  Table out;
+  out.schema.cols = node.cols;
+
+  if (node.sel_access != SelAccess::kSeqScan) {
+    RODIN_CHECK(child.kind == PTKind::kEntity, "index access needs entity");
+    RODIN_CHECK(node.sel_index != nullptr, "index access without an index");
+    Value literal;
+    bool path_left = true;
+    RODIN_CHECK(node.sel_index_pred != nullptr &&
+                    SplitProbe(*node.sel_index_pred, &literal, &path_left),
+                "malformed index probe predicate");
+    std::vector<uint64_t> payloads;
+    if (node.sel_access == SelAccess::kIndexEq) {
+      payloads = node.sel_index->Lookup(literal, &db_->buffer_pool());
+    } else {
+      // One-sided range: orient by operator and which side the path is on.
+      const CompareOp op = node.sel_index_pred->compare_op();
+      const bool upper = path_left ? (op == CompareOp::kLt || op == CompareOp::kLe)
+                                   : (op == CompareOp::kGt || op == CompareOp::kGe);
+      const bool strict = op == CompareOp::kLt || op == CompareOp::kGt;
+      if (upper) {
+        payloads = node.sel_index->RangeLookup(Value::Null(), false, literal,
+                                               strict, &db_->buffer_pool());
+      } else {
+        payloads = node.sel_index->RangeLookup(literal, strict, Value::Null(),
+                                               false, &db_->buffer_pool());
+      }
+    }
+    for (uint64_t p : payloads) {
+      const Oid oid = db_->PayloadToOid(child.entity.extent, p);
+      db_->ChargeRecordAccess(oid, {});
+      Row row = {Value::Ref(oid)};
+      ++counters_.predicate_evals;
+      if (EvalPred(out.schema, row, node.pred)) {
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;
+  }
+
+  if (child.kind == PTKind::kEntity) {
+    // Fused scan + filter: one pass over the extent (Figure 5's Sel(C)).
+    db_->ScanEntity(child.entity, [&](Oid oid, const std::vector<Value>&) {
+      Row row = {Value::Ref(oid)};
+      ++counters_.predicate_evals;
+      if (EvalPred(out.schema, row, node.pred)) {
+        out.rows.push_back(std::move(row));
+      }
+    });
+    return out;
+  }
+
+  Table input = Eval(child);
+  for (Row& row : input.rows) {
+    ++counters_.predicate_evals;
+    if (EvalPred(input.schema, row, node.pred)) {
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+Table Executor::EvalProj(const PTNode& node) {
+  Table input = Eval(*node.children[0]);
+  Table out;
+  out.schema.cols = node.cols;
+  for (const Row& row : input.rows) {
+    // Cartesian product of the (possibly multi-valued) projections.
+    std::vector<std::vector<Value>> cols;
+    bool any_empty = false;
+    for (const OutCol& c : node.proj) {
+      cols.push_back(EvalMulti(input.schema, row, c.expr));
+      if (cols.back().empty()) any_empty = true;
+    }
+    if (any_empty) continue;
+    std::vector<size_t> idx(cols.size(), 0);
+    bool done = false;
+    while (!done) {
+      Row r;
+      r.reserve(cols.size());
+      for (size_t i = 0; i < cols.size(); ++i) r.push_back(cols[i][idx[i]]);
+      out.rows.push_back(std::move(r));
+      // Odometer increment, rightmost column fastest.
+      size_t k = cols.size();
+      while (true) {
+        if (k == 0) {
+          done = true;
+          break;
+        }
+        --k;
+        if (++idx[k] < cols[k].size()) break;
+        idx[k] = 0;
+      }
+    }
+  }
+  if (node.dedup) out.Dedup();
+  return out;
+}
+
+Table Executor::EvalEJ(const PTNode& node) {
+  const PTNode& left_node = *node.children[0];
+  const PTNode& right_node = *node.children[1];
+  Table left = Eval(left_node);
+  Table out;
+  out.schema.cols = node.cols;
+
+  if (node.algo == JoinAlgo::kIndexJoin) {
+    RODIN_CHECK(right_node.kind == PTKind::kEntity,
+                "index join needs an entity inner");
+    RODIN_CHECK(node.join_index != nullptr, "index join without an index");
+    // The probe expression is the conjunct side that references outer
+    // columns: find Cmp(=, inner.attr, outer_expr) among the conjuncts.
+    ExprPtr probe;
+    ExprPtr residual_pred;
+    {
+      std::vector<ExprPtr> residual;
+      for (const ExprPtr& c :
+           (node.pred == nullptr ? std::vector<ExprPtr>{} : node.pred->Conjuncts())) {
+        if (probe == nullptr && c->kind() == ExprKind::kCompare &&
+            c->compare_op() == CompareOp::kEq) {
+          const ExprPtr& l = c->children()[0];
+          const ExprPtr& r = c->children()[1];
+          auto is_inner_attr = [&](const ExprPtr& e) {
+            return e->kind() == ExprKind::kVarPath &&
+                   e->var() == right_node.binding &&
+                   e->path().size() == 1 &&
+                   e->path()[0] == node.join_index_attr;
+          };
+          if (is_inner_attr(l) && r->FreeVars().count(right_node.binding) == 0) {
+            probe = r;
+            continue;
+          }
+          if (is_inner_attr(r) && l->FreeVars().count(right_node.binding) == 0) {
+            probe = l;
+            continue;
+          }
+        }
+        residual.push_back(c);
+      }
+      residual_pred = ConjunctionOf(std::move(residual));
+    }
+    RODIN_CHECK(probe != nullptr, "index join probe not found in predicate");
+
+    for (const Row& lrow : left.rows) {
+      const std::vector<Value> keys = EvalMulti(left.schema, lrow, probe);
+      for (const Value& key : keys) {
+        const std::vector<uint64_t> payloads =
+            node.join_index->Lookup(key, &db_->buffer_pool());
+        for (uint64_t p : payloads) {
+          const Oid oid = db_->PayloadToOid(right_node.entity.extent, p);
+          db_->ChargeRecordAccess(oid, {});
+          Row row = lrow;
+          row.push_back(Value::Ref(oid));
+          ++counters_.predicate_evals;
+          if (EvalPred(out.schema, row, residual_pred)) {
+            out.rows.push_back(std::move(row));
+          }
+        }
+      }
+    }
+    return out;
+  }
+
+  // Nested loop. The inner is evaluated once; re-scans of an entity inner
+  // charge its pages per outer row (buffer hits when it fits).
+  Table right = Eval(right_node);
+  const bool inner_entity =
+      right_node.kind == PTKind::kEntity || right_node.kind == PTKind::kDelta;
+  TempFile temp;
+  std::vector<PageId> inner_pages;
+  if (inner_entity && right_node.kind == PTKind::kEntity) {
+    const Extent* e = db_->FindExtent(right_node.entity.extent);
+    inner_pages = e->ScanPages(right_node.entity.vfrag, right_node.entity.hfrag);
+  } else if (!inner_entity) {
+    temp = MakeTemp(right.rows.size(), right.schema.cols.size());
+  }
+
+  bool first_outer = true;
+  for (const Row& lrow : left.rows) {
+    if (!first_outer) {
+      // Re-scan charge for the inner.
+      if (!inner_pages.empty()) {
+        for (PageId p : inner_pages) db_->buffer_pool().Fetch(p);
+      } else if (temp.pages > 0) {
+        ChargeTempScan(temp);
+      }
+      // Delta inners are charged by EvalDelta once; re-scans of the delta
+      // temp are charged here through deltas_.
+      if (right_node.kind == PTKind::kDelta) {
+        auto it = deltas_.find(right_node.fix_name);
+        if (it != deltas_.end()) ChargeTempScan(it->second.second);
+      }
+    }
+    first_outer = false;
+    for (const Row& rrow : right.rows) {
+      Row row = lrow;
+      row.insert(row.end(), rrow.begin(), rrow.end());
+      ++counters_.predicate_evals;
+      if (EvalPred(out.schema, row, node.pred)) {
+        out.rows.push_back(std::move(row));
+      }
+    }
+  }
+  return out;
+}
+
+Table Executor::EvalIJ(const PTNode& node) {
+  Table input = Eval(*node.children[0]);
+  Table out;
+  out.schema.cols = node.cols;
+  int col = -1;
+  std::vector<std::string> rest;
+  RODIN_CHECK(input.schema.ResolveVarPath(node.src_var, {node.attr}, &col, &rest),
+              "IJ source unresolvable at runtime");
+  for (const Row& row : input.rows) {
+    std::vector<Value> targets;
+    if (rest.empty()) {
+      // Dotted column: the reference is already materialized in the row.
+      Expand(row[col], &targets);
+    } else {
+      Navigate(row[col], {node.attr}, 0, &targets);
+    }
+    for (const Value& t : targets) {
+      if (!t.is_ref()) continue;
+      db_->ChargeRecordAccess(t.AsRef(), {});
+      Row r = row;
+      r.push_back(t);
+      out.rows.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+Table Executor::EvalPIJ(const PTNode& node) {
+  Table input = Eval(*node.children[0]);
+  Table out;
+  out.schema.cols = node.cols;
+  const int col = input.schema.IndexOf(node.src_var);
+  RODIN_CHECK(col >= 0, "PIJ source column missing at runtime");
+  for (const Row& row : input.rows) {
+    if (!row[col].is_ref()) continue;
+    const auto entries =
+        node.path_index->Lookup(row[col].AsRef(), &db_->buffer_pool());
+    for (const std::vector<Oid>* entry : entries) {
+      Row r = row;
+      for (size_t i = 0; i < node.path_out_vars.size(); ++i) {
+        if (!node.path_out_vars[i].empty()) {
+          r.push_back(Value::Ref((*entry)[i + 1]));
+        }
+      }
+      out.rows.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+Table Executor::EvalUnion(const PTNode& node) {
+  Table out;
+  out.schema.cols = node.cols;
+  for (const auto& c : node.children) {
+    Table t = Eval(*c);
+    for (Row& r : t.rows) out.rows.push_back(std::move(r));
+  }
+  out.Dedup();
+  return out;
+}
+
+namespace {
+
+// True when `tree` contains a delta leaf of a fixpoint other than `own` —
+// such a subtree's value depends on the enclosing fixpoint's iteration
+// state and must not be memoized.
+bool HasForeignDelta(const PTNode& tree, const std::string& own) {
+  if (tree.kind == PTKind::kDelta && tree.fix_name != own) return true;
+  for (const auto& c : tree.children) {
+    if (HasForeignDelta(*c, own)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Table Executor::EvalFix(const PTNode& node) {
+  const bool cacheable = !HasForeignDelta(node, node.fix_name);
+  std::string key;
+  if (cacheable) {
+    key = node.Fingerprint();
+    auto it = fix_cache_.find(key);
+    if (it != fix_cache_.end()) {
+      ChargeTempScan(it->second.second);
+      return it->second.first;
+    }
+  }
+  Table base = Eval(*node.children[0]);
+  base.Dedup();
+
+  Table result;
+  result.schema.cols = node.cols;
+  result.rows = base.rows;
+
+  std::set<Row, bool (*)(const Row&, const Row&)> seen(&Table::RowLess);
+  for (const Row& r : base.rows) seen.insert(r);
+
+  // Semi-naive: feed only the last iteration's new tuples into the
+  // recursive arm. Naive mode feeds the whole accumulated result each
+  // round (re-deriving everything) — the evaluation strategy Figure 5's
+  // cost formula improves on.
+  Table delta = base;
+  bool progress = true;
+  while (progress && !result.rows.empty()) {
+    ++counters_.fix_iterations;
+    const Table& input = node.naive_fix ? result : delta;
+    if (!node.naive_fix && delta.rows.empty()) break;
+    const TempFile temp =
+        MakeTemp(input.rows.size(), input.schema.cols.size());
+    deltas_[node.fix_name] = {&input, temp};
+    Table produced = Eval(*node.children[1]);
+    deltas_.erase(node.fix_name);
+
+    Table next;
+    next.schema = result.schema;
+    for (Row& r : produced.rows) {
+      if (seen.insert(r).second) {
+        result.rows.push_back(r);
+        next.rows.push_back(std::move(r));
+      }
+    }
+    progress = !next.rows.empty();
+    delta = std::move(next);
+  }
+  if (cacheable) {
+    const TempFile temp =
+        MakeTemp(result.rows.size(), result.schema.cols.size());
+    fix_cache_[key] = {result, temp};
+  }
+  return result;
+}
+
+Table Executor::Eval(const PTNode& node) {
+  switch (node.kind) {
+    case PTKind::kEntity:
+      return EvalEntity(node);
+    case PTKind::kDelta:
+      return EvalDelta(node);
+    case PTKind::kSel:
+      return EvalSel(node);
+    case PTKind::kProj:
+      return EvalProj(node);
+    case PTKind::kEJ:
+      return EvalEJ(node);
+    case PTKind::kIJ:
+      return EvalIJ(node);
+    case PTKind::kPIJ:
+      return EvalPIJ(node);
+    case PTKind::kUnion:
+      return EvalUnion(node);
+    case PTKind::kFix:
+      return EvalFix(node);
+  }
+  return Table{};
+}
+
+Table Executor::Execute(const PTNode& plan) {
+  Table out = Eval(plan);
+  counters_.rows_produced += out.rows.size();
+  return out;
+}
+
+}  // namespace rodin

@@ -1,0 +1,77 @@
+#include "exec/row.h"
+
+#include <algorithm>
+
+namespace rodin {
+
+int RowSchema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool RowSchema::ResolveVarPath(const std::string& var,
+                               const std::vector<std::string>& path,
+                               int* col_index,
+                               std::vector<std::string>* rest) const {
+  if (!path.empty()) {
+    const int dotted = IndexOf(var + "." + path[0]);
+    if (dotted >= 0) {
+      *col_index = dotted;
+      rest->assign(path.begin() + 1, path.end());
+      return true;
+    }
+  }
+  const int plain = IndexOf(var);
+  if (plain >= 0) {
+    *col_index = plain;
+    *rest = path;
+    return true;
+  }
+  return false;
+}
+
+bool Table::RowLess(const Row& a, const Row& b) {
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+bool Table::RowEq(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+void Table::Dedup() {
+  std::sort(rows.begin(), rows.end(), RowLess);
+  rows.erase(std::unique(rows.begin(), rows.end(), RowEq), rows.end());
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < schema.cols.size(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema.cols[i].name;
+  }
+  out += "\n";
+  for (size_t r = 0; r < rows.size() && r < max_rows; ++r) {
+    for (size_t i = 0; i < rows[r].size(); ++i) {
+      if (i > 0) out += " | ";
+      out += rows[r][i].ToString();
+    }
+    out += "\n";
+  }
+  if (rows.size() > max_rows) {
+    out += "... (" + std::to_string(rows.size()) + " rows total)\n";
+  }
+  return out;
+}
+
+}  // namespace rodin

@@ -1,0 +1,47 @@
+#ifndef RODIN_EXEC_ROW_H_
+#define RODIN_EXEC_ROW_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/pt.h"
+#include "storage/value.h"
+
+namespace rodin {
+
+/// A runtime row: one Value per column of the producing PT node.
+using Row = std::vector<Value>;
+
+/// Column layout of a table: mirrors the PTCols of the producing node.
+struct RowSchema {
+  std::vector<PTCol> cols;
+
+  int IndexOf(const std::string& name) const;
+
+  /// Same resolution rule as PTNode::ResolveVarPath (dotted columns first).
+  bool ResolveVarPath(const std::string& var,
+                      const std::vector<std::string>& path, int* col_index,
+                      std::vector<std::string>* rest) const;
+};
+
+/// A fully materialized intermediate result.
+struct Table {
+  RowSchema schema;
+  std::vector<Row> rows;
+
+  bool empty() const { return rows.empty(); }
+  size_t size() const { return rows.size(); }
+
+  /// Set semantics: sorts and removes duplicate rows.
+  void Dedup();
+
+  /// Lexicographic row order (for Dedup and set difference).
+  static bool RowLess(const Row& a, const Row& b);
+  static bool RowEq(const Row& a, const Row& b);
+
+  std::string ToString(size_t max_rows = 20) const;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_EXEC_ROW_H_

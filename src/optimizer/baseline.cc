@@ -1,0 +1,49 @@
+#include "optimizer/baseline.h"
+
+namespace rodin {
+
+OptimizerOptions CostBasedOptions(uint64_t seed) {
+  OptimizerOptions o;
+  o.gen_strategy = GenStrategy::kDP;
+  o.transform.rand = RandStrategy::kIterativeImprovement;
+  o.seed = seed;
+  return o;
+}
+
+OptimizerOptions DeductiveOptions(uint64_t seed) {
+  OptimizerOptions o;
+  o.gen_strategy = GenStrategy::kDP;
+  o.transform.always_push = true;
+  o.transform.rand = RandStrategy::kNone;
+  o.seed = seed;
+  return o;
+}
+
+OptimizerOptions NaiveOptions(uint64_t seed) {
+  OptimizerOptions o;
+  o.gen_strategy = GenStrategy::kGreedy;
+  o.transform.never_push = true;
+  o.transform.rand = RandStrategy::kNone;
+  o.seed = seed;
+  return o;
+}
+
+OptimizerOptions ExhaustiveOptions(uint64_t seed) {
+  OptimizerOptions o;
+  o.gen_strategy = GenStrategy::kExhaustive;
+  o.transform.rand = RandStrategy::kIterativeImprovement;
+  o.transform.rand_moves = 600;
+  o.transform.rand_restarts = 4;
+  o.seed = seed;
+  return o;
+}
+
+OptimizerOptions AnnealingOptions(uint64_t seed) {
+  OptimizerOptions o;
+  o.gen_strategy = GenStrategy::kDP;
+  o.transform.rand = RandStrategy::kSimulatedAnnealing;
+  o.seed = seed;
+  return o;
+}
+
+}  // namespace rodin

@@ -1,0 +1,30 @@
+#ifndef RODIN_OPTIMIZER_BASELINE_H_
+#define RODIN_OPTIMIZER_BASELINE_H_
+
+#include "optimizer/optimizer.h"
+
+namespace rodin {
+
+/// The cost-controlled optimizer the paper proposes: DP join enumeration,
+/// delayed push decision, Iterative-Improvement re-optimization.
+OptimizerOptions CostBasedOptions(uint64_t seed = 1);
+
+/// The deductive-DB baseline ([BR86]-style): selections, projections and
+/// joins are pushed through recursion *irrevocably*, with no cost
+/// comparison — the heuristic the paper argues is unsound for objects.
+OptimizerOptions DeductiveOptions(uint64_t seed = 1);
+
+/// The naive baseline: never pushes anything through recursion and uses a
+/// greedy join order; no randomized improvement.
+OptimizerOptions NaiveOptions(uint64_t seed = 1);
+
+/// The exhaustive-enumeration strategy ([KZ88]-style): optimality at the
+/// price of search time. Used by E8 to calibrate plan-quality ratios.
+OptimizerOptions ExhaustiveOptions(uint64_t seed = 1);
+
+/// Cost-based with Simulated Annealing instead of Iterative Improvement.
+OptimizerOptions AnnealingOptions(uint64_t seed = 1);
+
+}  // namespace rodin
+
+#endif  // RODIN_OPTIMIZER_BASELINE_H_

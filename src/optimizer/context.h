@@ -1,0 +1,65 @@
+#ifndef RODIN_OPTIMIZER_CONTEXT_H_
+#define RODIN_OPTIMIZER_CONTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "storage/database.h"
+
+namespace rodin {
+
+/// Join-enumeration strategy of generatePT (paper §4.4: a *generative*
+/// strategy in the style of [Se79]).
+enum class GenStrategy {
+  kExhaustive,   // all orders (with best-cost pruning per completed plan)
+  kDP,           // System-R dynamic programming over bound-unit sets
+  kGreedy,       // cheapest-next-unit, single plan
+  kRandomized,   // greedy start + Iterative Improvement over local moves
+};
+
+/// Randomized re-optimization strategy of transformPT (paper §4.5, [IC90]).
+enum class RandStrategy {
+  kNone,
+  kIterativeImprovement,
+  kSimulatedAnnealing,
+};
+
+const char* GenStrategyName(GenStrategy s);
+const char* RandStrategyName(RandStrategy s);
+
+/// Everything the optimizer stages share: the physical database, statistics,
+/// cost model, and a deterministic RNG for the randomized strategies.
+struct OptContext {
+  Database* db = nullptr;
+  const Stats* stats = nullptr;
+  const CostModel* cost = nullptr;
+  Rng rng{1};
+
+  /// Instrumentation: plans fully costed during the current optimization.
+  size_t plans_explored = 0;
+
+  /// Fresh generated variable ("v1", "v2", ...). Generated names use a
+  /// prefix that cannot collide with user variables or dotted columns.
+  std::string FreshVar() { return "v" + std::to_string(++var_counter_); }
+
+  uint64_t var_counter_ = 0;
+};
+
+/// Per-stage instrumentation for the Figure 6 reproduction (E4): what each
+/// stage did, at which granularity, and how long it took.
+struct StageReport {
+  std::string stage;        // rewrite / translate / generatePT / transformPT
+  std::string granularity;  // per Figure 6
+  std::string strategy;
+  std::string nodes_generated;  // PT node kinds produced
+  double micros = 0;
+  size_t plans_explored = 0;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_OPTIMIZER_CONTEXT_H_

@@ -1,0 +1,44 @@
+#ifndef RODIN_OPTIMIZER_GENERATE_H_
+#define RODIN_OPTIMIZER_GENERATE_H_
+
+#include <map>
+#include <string>
+
+#include "optimizer/context.h"
+#include "optimizer/translate.h"
+#include "plan/pt.h"
+
+namespace rodin {
+
+/// Result of optimizing one predicate node.
+struct GenResult {
+  PTPtr plan;
+  double cost = 0;
+  size_t plans_explored = 0;
+};
+
+/// Plans of already-optimized views, by name, with columns named after the
+/// plain view columns. Consumers instantiate (clone + rename) them.
+using ViewPlans = std::map<std::string, const PTNode*>;
+
+/// generatePT (paper §4.4): builds the optimal PT for one predicate node by
+/// a generative, bottom-up strategy. The enumeration interleaves:
+///   - arc leaves (entities, deltas, instantiated view plans) joined by EJ
+///     (nested-loop or index join),
+///   - implicit-join steps (IJ), honouring root-variable dependencies,
+///   - PIJ collapse of step chains matching a path index,
+///   - eager selections (the `sel` action fires before `join`, §4.4),
+///   - access-method choice for entity leaves (scan vs. B+-tree probe).
+/// Left-deep join trees; horizontal fragments are unioned or pruned by
+/// equality predicates on the partitioning attribute.
+GenResult GenerateSPJ(const NormalizedSPJ& spj, OptContext& ctx,
+                      GenStrategy strategy, const ViewPlans& views);
+
+/// Instantiates a view plan for a consumer variable: clones it and renames
+/// its output columns "col" -> "var.col" (rewriting the final projections
+/// inside Fix/Union arms).
+PTPtr InstantiateViewPlan(const PTNode& view_plan, const std::string& var);
+
+}  // namespace rodin
+
+#endif  // RODIN_OPTIMIZER_GENERATE_H_

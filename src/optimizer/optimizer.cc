@@ -1,0 +1,177 @@
+#include "optimizer/optimizer.h"
+
+#include <chrono>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "optimizer/strategy.h"
+#include "optimizer/translate.h"
+
+namespace rodin {
+
+namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+double EstimateFixIters(const NormalizedSPJ& rec, const std::string& delta_var,
+                        const Stats& stats) {
+  double best = 0;
+  for (const ExprPtr& c : rec.conjuncts) {
+    if (c->kind() != ExprKind::kCompare ||
+        c->compare_op() != CompareOp::kEq) {
+      continue;
+    }
+    const ExprPtr& l = c->children()[0];
+    const ExprPtr& r = c->children()[1];
+    if (l->kind() != ExprKind::kVarPath || r->kind() != ExprKind::kVarPath) {
+      continue;
+    }
+    // One side must come from the delta, the other from a class arc through
+    // a self-chaining attribute.
+    for (int flip = 0; flip < 2; ++flip) {
+      const ExprPtr& delta_side = flip == 0 ? l : r;
+      const ExprPtr& class_side = flip == 0 ? r : l;
+      if (delta_side->var() != delta_var) continue;
+      const ArcInfo* arc = rec.FindArc(class_side->var());
+      if (arc == nullptr || arc->kind != NameKind::kClass ||
+          class_side->path().size() != 1) {
+        continue;
+      }
+      const AttrStats& as =
+          stats.Attr(arc->name, class_side->path()[0]);
+      if (as.chain_depth_max > 0) {
+        best = std::max(best, as.chain_depth_max);
+      }
+    }
+  }
+  return best > 0 ? best : kDefaultFixIterations;
+}
+
+Optimizer::Optimizer(Database* db, const Stats* stats, const CostModel* cost,
+                     OptimizerOptions options)
+    : db_(db), stats_(stats), cost_(cost), options_(options) {
+  RODIN_CHECK(db != nullptr && stats != nullptr && cost != nullptr,
+              "null optimizer inputs");
+}
+
+OptimizeResult Optimizer::Optimize(const QueryGraph& query) {
+  OptimizeResult result;
+  OptContext ctx;
+  ctx.db = db_;
+  ctx.stats = stats_;
+  ctx.cost = cost_;
+  ctx.rng = Rng(options_.seed);
+
+  const Schema& schema = db_->schema();
+
+  // --- Stage 1: rewrite -------------------------------------------------------
+  auto t0 = std::chrono::steady_clock::now();
+  RewrittenGraph rewritten = Rewrite(query, schema, options_.fold_views);
+  if (!rewritten.ok()) {
+    result.error = Join(rewritten.errors, "; ");
+    return result;
+  }
+  result.stages.push_back(StageReport{"rewrite", "entire query (graph)",
+                                      "irrevocable", "Fix, Union",
+                                      MicrosSince(t0), 0});
+
+  // --- Stage 2: translate -----------------------------------------------------
+  // One NormalizedSPJ per predicate node, bottom-up over views.
+  t0 = std::chrono::steady_clock::now();
+  struct ViewWork {
+    const ViewDef* view;
+    std::vector<NormalizedSPJ> base;
+    std::vector<NormalizedSPJ> rec;
+  };
+  std::vector<ViewWork> work;
+  size_t steps_total = 0;
+  for (const ViewDef& view : rewritten.views) {
+    ViewWork w;
+    w.view = &view;
+    for (const PredicateNode* p : view.base) {
+      w.base.push_back(Translate(*p, *rewritten.graph, schema, ctx));
+      steps_total += w.base.back().steps.size();
+    }
+    for (const PredicateNode* p : view.rec) {
+      w.rec.push_back(Translate(*p, *rewritten.graph, schema, ctx, view.name));
+      steps_total += w.rec.back().steps.size();
+    }
+    work.push_back(std::move(w));
+  }
+  result.stages.push_back(StageReport{
+      "translate", "one arc", "cost-based", "IJ, PIJ",
+      MicrosSince(t0), steps_total});
+
+  // --- Stage 3: generatePT -----------------------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  const size_t explored_before = ctx.plans_explored;
+  ViewPlans view_plans;
+  std::vector<PTPtr> owned_plans;
+  PTPtr answer_plan;
+  for (ViewWork& w : work) {
+    auto gen_union = [&](std::vector<NormalizedSPJ>& spjs) -> PTPtr {
+      std::vector<PTPtr> parts;
+      for (NormalizedSPJ& spj : spjs) {
+        GenResult r = GenerateSPJ(spj, ctx, options_.gen_strategy, view_plans);
+        parts.push_back(std::move(r.plan));
+      }
+      if (parts.size() == 1) return std::move(parts[0]);
+      return MakeUnion(std::move(parts));
+    };
+    PTPtr plan = gen_union(w.base);
+    if (w.view->recursive) {
+      PTPtr rec = gen_union(w.rec);
+      PTPtr fix = MakeFix(w.view->name, std::move(plan), std::move(rec));
+      fix->naive_fix = options_.naive_fixpoint;
+      // Iterations from chain statistics (first recursive rule's delta var).
+      std::string delta_var;
+      for (const ArcInfo& a : w.rec[0].arcs) {
+        if (a.is_self_delta) delta_var = a.var;
+      }
+      fix->est_iters = EstimateFixIters(w.rec[0], delta_var, *stats_);
+      plan = std::move(fix);
+    }
+    cost_->Annotate(plan.get());
+    if (w.view->name == rewritten.graph->answer) {
+      answer_plan = std::move(plan);
+    } else {
+      owned_plans.push_back(std::move(plan));
+      view_plans[w.view->name] = owned_plans.back().get();
+    }
+  }
+  if (answer_plan == nullptr) {
+    result.error = "no plan produced for the answer";
+    return result;
+  }
+  result.stages.push_back(StageReport{
+      "generatePT", "one predicate node", GenStrategyName(options_.gen_strategy),
+      "EJ, Sel", MicrosSince(t0), ctx.plans_explored - explored_before});
+
+  // --- Stage 4: transformPT ----------------------------------------------------
+  t0 = std::chrono::steady_clock::now();
+  const size_t explored_before_t = ctx.plans_explored;
+  TransformResult tr = TransformPT(std::move(answer_plan), ctx,
+                                   options_.transform);
+  result.stages.push_back(StageReport{
+      "transformPT", "entire query (PT)",
+      StrFormat("cost-based + %s", RandStrategyName(options_.transform.rand)),
+      "none", MicrosSince(t0), ctx.plans_explored - explored_before_t});
+
+  result.plan = std::move(tr.plan);
+  result.cost = tr.cost;
+  result.pushed_sel = tr.pushed_sel;
+  result.pushed_join = tr.pushed_join;
+  result.pushed_proj = tr.pushed_proj;
+  result.pushed_variant_cost = tr.pushed_variant_cost;
+  result.unpushed_variant_cost = tr.unpushed_variant_cost;
+  result.plans_explored = ctx.plans_explored;
+  return result;
+}
+
+}  // namespace rodin

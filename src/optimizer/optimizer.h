@@ -1,0 +1,82 @@
+#ifndef RODIN_OPTIMIZER_OPTIMIZER_H_
+#define RODIN_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "optimizer/context.h"
+#include "optimizer/generate.h"
+#include "optimizer/rewrite.h"
+#include "optimizer/transform.h"
+#include "query/query_graph.h"
+
+namespace rodin {
+
+/// Configuration of the full optimizer pipeline. The generative and
+/// randomized strategies are independent knobs — the extensibility claim of
+/// the paper ([LV91]): the search space (rules, moves) is fixed; strategies
+/// controlling it are swappable.
+struct OptimizerOptions {
+  GenStrategy gen_strategy = GenStrategy::kDP;
+  TransformOptions transform;
+  bool fold_views = false;
+  /// Evaluate fixpoints naively instead of semi-naively (ablation only;
+  /// Figure 5's Fix formula assumes semi-naive).
+  bool naive_fixpoint = false;
+  uint64_t seed = 1;
+};
+
+/// Result of optimizing one query graph.
+struct OptimizeResult {
+  PTPtr plan;
+  double cost = 0;
+  std::string error;  // non-empty on failure (plan is null then)
+
+  size_t plans_explored = 0;
+  std::vector<StageReport> stages;  // rewrite/translate/generatePT/transformPT
+
+  // transformPT outcome (the paper's delayed push decision).
+  bool pushed_sel = false;
+  bool pushed_join = false;
+  bool pushed_proj = false;
+  double pushed_variant_cost = -1;
+  double unpushed_variant_cost = -1;
+
+  bool ok() const { return error.empty(); }
+};
+
+/// The optimizer of §4.1:
+///
+///   optimize(Q) { rewrite(Q);
+///                 for each arc: translate;
+///                 for each predicate node (bottom-up): generatePT;
+///                 repeat transformPT until saturation; }
+///
+/// Pushing selective operations through recursion is *delayed* until a
+/// costed PT exists, then decided by comparing the costed alternatives.
+class Optimizer {
+ public:
+  Optimizer(Database* db, const Stats* stats, const CostModel* cost,
+            OptimizerOptions options = {});
+
+  OptimizeResult Optimize(const QueryGraph& query);
+
+  const OptimizerOptions& options() const { return options_; }
+
+ private:
+  Database* db_;
+  const Stats* stats_;
+  const CostModel* cost_;
+  OptimizerOptions options_;
+};
+
+/// Estimates the semi-naive iteration count of a recursive rule from chain
+/// statistics: if the rule joins the delta with a class whose join attribute
+/// forms self-reference chains, the chain depth bounds the iterations.
+double EstimateFixIters(const NormalizedSPJ& rec, const std::string& delta_var,
+                        const Stats& stats);
+
+}  // namespace rodin
+
+#endif  // RODIN_OPTIMIZER_OPTIMIZER_H_

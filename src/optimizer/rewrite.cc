@@ -1,0 +1,253 @@
+#include "optimizer/rewrite.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+const ViewDef* RewrittenGraph::FindView(const std::string& name) const {
+  for (const ViewDef& v : views) {
+    if (v.name == name) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool ReadsName(const PredicateNode& node, const std::string& name) {
+  for (const Arc& a : node.inputs) {
+    if (a.name == name) return true;
+  }
+  return false;
+}
+
+// Substitutes references to view variable `var` in `e`: a path var.col.rest
+// becomes the producer's expression for `col` (already renamed into the
+// consumer's namespace) with `rest` appended. Returns nullptr if some
+// reference cannot be folded.
+ExprPtr SubstituteViewVar(const ExprPtr& e, const std::string& var,
+                          const std::map<std::string, ExprPtr>& col_exprs) {
+  if (e == nullptr) return nullptr;
+  if (e->kind() == ExprKind::kVarPath) {
+    if (e->var() != var) return e;
+    if (e->path().empty()) return nullptr;  // whole-tuple reference: no fold
+    auto it = col_exprs.find(e->path()[0]);
+    if (it == col_exprs.end()) return nullptr;
+    const ExprPtr& repl = it->second;
+    std::vector<std::string> rest(e->path().begin() + 1, e->path().end());
+    if (rest.empty()) return repl;
+    if (repl->kind() != ExprKind::kVarPath) return nullptr;
+    std::vector<std::string> path = repl->path();
+    path.insert(path.end(), rest.begin(), rest.end());
+    return Expr::Path(repl->var(), std::move(path));
+  }
+  // Rebuild interior nodes.
+  std::vector<ExprPtr> kids;
+  for (const ExprPtr& c : e->children()) {
+    ExprPtr nc = SubstituteViewVar(c, var, col_exprs);
+    if (nc == nullptr) return nullptr;
+    kids.push_back(std::move(nc));
+  }
+  switch (e->kind()) {
+    case ExprKind::kCompare:
+      return Expr::Cmp(e->compare_op(), kids[0], kids[1]);
+    case ExprKind::kArith:
+      return Expr::Arith(e->arith_op(), kids[0], kids[1]);
+    case ExprKind::kAnd:
+      return Expr::And(std::move(kids));
+    case ExprKind::kOr:
+      return Expr::Or(std::move(kids));
+    case ExprKind::kNot:
+      return Expr::Not(kids[0]);
+    default:
+      return e;
+  }
+}
+
+// Renames every variable of `e` with prefix + "_".
+ExprPtr RenameAll(const ExprPtr& e, const std::string& prefix,
+                  const std::set<std::string>& vars) {
+  ExprPtr out = e;
+  for (const std::string& v : vars) {
+    out = out->RenameVar(v, prefix + "_" + v);
+  }
+  return out;
+}
+
+}  // namespace
+
+QueryGraph FoldViews(const QueryGraph& query, const Schema& schema) {
+  (void)schema;
+  QueryGraph g = query;
+  bool changed = true;
+  size_t guard = 0;
+  while (changed && guard++ < 100) {
+    changed = false;
+    // Pick a foldable view: derived, non-recursive, single producer, not the
+    // answer.
+    for (const std::string& view : g.DerivedNames()) {
+      if (view == g.answer) continue;
+      if (g.IsRecursiveName(view)) continue;
+      std::vector<const PredicateNode*> producers = g.ProducersOf(view);
+      if (producers.size() != 1) continue;
+      const PredicateNode producer = *producers[0];  // copy: g mutates below
+
+      // Try to fold into every consumer; all must succeed.
+      QueryGraph candidate = g;
+      bool all_ok = true;
+      for (PredicateNode& node : candidate.nodes) {
+        if (node.output == view) continue;
+        // Fold each arc reading the view.
+        for (size_t ai = 0; ai < node.inputs.size();) {
+          if (node.inputs[ai].name != view) {
+            ++ai;
+            continue;
+          }
+          const std::string v = node.inputs[ai].var;
+          // Collect the producer's variable names for renaming.
+          std::set<std::string> pvars;
+          for (const Arc& a : producer.inputs) pvars.insert(a.var);
+          for (const PathVar& l : producer.lets) pvars.insert(l.var);
+
+          std::map<std::string, ExprPtr> col_exprs;
+          for (const OutCol& c : producer.out) {
+            col_exprs[c.name] = RenameAll(c.expr, v, pvars);
+          }
+          // Substitute view references in the consumer's expressions.
+          ExprPtr new_pred =
+              node.pred == nullptr ? nullptr
+                                   : SubstituteViewVar(node.pred, v, col_exprs);
+          if (node.pred != nullptr && new_pred == nullptr) {
+            all_ok = false;
+            break;
+          }
+          std::vector<OutCol> new_out;
+          for (const OutCol& c : node.out) {
+            ExprPtr ne = SubstituteViewVar(c.expr, v, col_exprs);
+            if (ne == nullptr) {
+              all_ok = false;
+              break;
+            }
+            new_out.push_back(OutCol{c.name, std::move(ne)});
+          }
+          if (!all_ok) break;
+          // Lets rooted at the view variable cannot be folded generically.
+          for (const PathVar& l : node.lets) {
+            if (l.root == v) {
+              all_ok = false;
+              break;
+            }
+          }
+          if (!all_ok) break;
+
+          node.pred = new_pred;
+          node.out = std::move(new_out);
+          node.inputs.erase(node.inputs.begin() + ai);
+          for (const Arc& a : producer.inputs) {
+            node.inputs.push_back(Arc{a.name, v + "_" + a.var});
+          }
+          for (const PathVar& l : producer.lets) {
+            node.lets.push_back(
+                PathVar{v + "_" + l.var, v + "_" + l.root, l.path});
+          }
+          if (producer.pred != nullptr) {
+            ExprPtr p = RenameAll(producer.pred, v, pvars);
+            node.pred = node.pred == nullptr ? p : Expr::And({node.pred, p});
+          }
+        }
+        if (!all_ok) break;
+      }
+      if (!all_ok) continue;
+      // Remove the producer node.
+      for (size_t i = 0; i < candidate.nodes.size(); ++i) {
+        if (candidate.nodes[i].output == view) {
+          candidate.nodes.erase(candidate.nodes.begin() + i);
+          break;
+        }
+      }
+      g = std::move(candidate);
+      changed = true;
+      break;
+    }
+  }
+  return g;
+}
+
+RewrittenGraph Rewrite(const QueryGraph& query, const Schema& schema,
+                       bool fold_views) {
+  RewrittenGraph out;
+  if (fold_views) {
+    out.folded_storage = FoldViews(query, schema);
+    out.graph = &out.folded_storage;
+  } else {
+    out.graph = &query;
+  }
+  const QueryGraph& g = *out.graph;
+
+  // Union action: group producers by output name; fixpoint action: split
+  // into base and recursive producers and validate linear recursion.
+  std::set<std::string> derived = g.DerivedNames();
+  std::map<std::string, ViewDef> defs;
+  for (const std::string& name : derived) {
+    ViewDef def;
+    def.name = name;
+    def.recursive = g.IsRecursiveName(name);
+    def.columns = g.ColumnsOf(name);
+    for (const PredicateNode* p : g.ProducersOf(name)) {
+      if (ReadsName(*p, name)) {
+        size_t self_arcs = 0;
+        for (const Arc& a : p->inputs) {
+          if (a.name == name) ++self_arcs;
+        }
+        if (self_arcs != 1) {
+          out.errors.push_back(StrFormat(
+              "view %s: non-linear recursion (%zu self arcs in one rule)",
+              name.c_str(), self_arcs));
+        }
+        def.rec.push_back(p);
+      } else {
+        def.base.push_back(p);
+      }
+    }
+    if (def.recursive && def.base.empty()) {
+      out.errors.push_back("recursive view " + name + " has no base rule");
+    }
+    if (!def.recursive && !def.rec.empty()) {
+      out.errors.push_back("view " + name + " misclassified recursion");
+    }
+    // Mutual recursion across distinct names is out of scope (the paper's
+    // fixpoint action handles one equation per name).
+    if (def.recursive && def.rec.empty()) {
+      out.errors.push_back("view " + name +
+                           " is mutually recursive; only linear "
+                           "self-recursion is supported");
+    }
+    defs[name] = std::move(def);
+  }
+
+  // Topological order: dependencies before consumers, answer last.
+  std::set<std::string> visited;
+  std::function<void(const std::string&)> visit = [&](const std::string& name) {
+    if (visited.count(name) > 0 || defs.count(name) == 0) return;
+    visited.insert(name);
+    for (const PredicateNode* p : g.ProducersOf(name)) {
+      for (const Arc& a : p->inputs) {
+        if (a.name != name && derived.count(a.name) > 0) visit(a.name);
+      }
+    }
+    out.views.push_back(defs[name]);
+  };
+  visit(g.answer);
+  // Any views unreachable from the answer still get optimized last (they
+  // are dead code but must not crash downstream stages).
+  for (const std::string& name : derived) visit(name);
+
+  (void)schema;
+  return out;
+}
+
+}  // namespace rodin

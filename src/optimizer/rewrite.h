@@ -1,0 +1,52 @@
+#ifndef RODIN_OPTIMIZER_REWRITE_H_
+#define RODIN_OPTIMIZER_REWRITE_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace rodin {
+
+/// One derived name node after rewriting: its producers grouped (the
+/// paper's `union` action) and split into base and recursive parts (the
+/// `fixpoint` action — fixpointRecursion(Name) holds iff `recursive`).
+struct ViewDef {
+  std::string name;
+  bool recursive = false;
+  std::vector<const PredicateNode*> base;  // producers not reading the view
+  std::vector<const PredicateNode*> rec;   // linear recursive producers
+  std::vector<std::string> columns;
+};
+
+/// Result of the rewrite stage (paper §4.2): an irrevocable, saturating
+/// analysis of the query graph. No cost decisions here.
+struct RewrittenGraph {
+  /// The graph the views refer to. When folding fired this points at
+  /// `folded_storage`, otherwise at the input graph.
+  const QueryGraph* graph = nullptr;
+  QueryGraph folded_storage;
+
+  /// Views in dependency order (a view precedes its consumers); the answer
+  /// view is last.
+  std::vector<ViewDef> views;
+
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+  const ViewDef* FindView(const std::string& name) const;
+};
+
+/// Runs the union and fixpoint actions (and, optionally, the fold action
+/// the paper mentions for eliminating non-recursive view definitions).
+RewrittenGraph Rewrite(const QueryGraph& query, const Schema& schema,
+                       bool fold_views = false);
+
+/// Inlines every non-recursive, single-producer view into its consumers.
+/// Views whose consumption cannot be folded (non-path producer expressions
+/// under residual paths) are left in place.
+QueryGraph FoldViews(const QueryGraph& query, const Schema& schema);
+
+}  // namespace rodin
+
+#endif  // RODIN_OPTIMIZER_REWRITE_H_

@@ -1,0 +1,61 @@
+#include "optimizer/rule.h"
+
+namespace rodin {
+
+const char* GenStrategyName(GenStrategy s) {
+  switch (s) {
+    case GenStrategy::kExhaustive:
+      return "exhaustive";
+    case GenStrategy::kDP:
+      return "dynamic-programming";
+    case GenStrategy::kGreedy:
+      return "greedy";
+    case GenStrategy::kRandomized:
+      return "randomized (greedy + II)";
+  }
+  return "?";
+}
+
+const char* RandStrategyName(RandStrategy s) {
+  switch (s) {
+    case RandStrategy::kNone:
+      return "none";
+    case RandStrategy::kIterativeImprovement:
+      return "iterative-improvement";
+    case RandStrategy::kSimulatedAnnealing:
+      return "simulated-annealing";
+  }
+  return "?";
+}
+
+void VisitSubtrees(PTPtr& root, const std::function<void(PTPtr&)>& fn) {
+  fn(root);
+  for (auto& c : root->children) {
+    VisitSubtrees(c, fn);
+  }
+}
+
+std::vector<PTPtr*> CollectSubtrees(PTPtr& root) {
+  std::vector<PTPtr*> out;
+  VisitSubtrees(root, [&](PTPtr& site) { out.push_back(&site); });
+  return out;
+}
+
+bool ApplyRuleOnce(PTPtr& root, const Rule& rule, OptContext& ctx) {
+  if (rule.ApplyAt(root, ctx)) return true;
+  for (auto& c : root->children) {
+    if (ApplyRuleOnce(c, rule, ctx)) return true;
+  }
+  return false;
+}
+
+size_t ApplyRuleSaturate(PTPtr& root, const Rule& rule, OptContext& ctx,
+                         size_t max_applications) {
+  size_t n = 0;
+  while (n < max_applications && ApplyRuleOnce(root, rule, ctx)) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace rodin

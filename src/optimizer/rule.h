@@ -1,0 +1,63 @@
+#ifndef RODIN_OPTIMIZER_RULE_H_
+#define RODIN_OPTIMIZER_RULE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "optimizer/context.h"
+#include "plan/pt.h"
+
+namespace rodin {
+
+/// A declarative transformation action in the paper's sense (§4.1):
+///
+///     action:  F | constraint  ->  G
+///
+/// `apply_at` receives a subtree root (by owning reference). It plays both
+/// the pattern F and the constraint: if the subtree matches and the
+/// constraint holds, it replaces the subtree with G (rewriting in place) and
+/// returns true; otherwise it must leave the subtree untouched and return
+/// false. Context patterns like the paper's pt(X) — "any PT containing X" —
+/// are expressed by the rule inspecting descendants of the site.
+class Rule {
+ public:
+  using ApplyFn = std::function<bool(PTPtr& site, OptContext& ctx)>;
+
+  Rule(std::string name, ApplyFn apply_at)
+      : name_(std::move(name)), apply_at_(std::move(apply_at)) {}
+
+  const std::string& name() const { return name_; }
+
+  bool ApplyAt(PTPtr& site, OptContext& ctx) const {
+    return apply_at_(site, ctx);
+  }
+
+ private:
+  std::string name_;
+  ApplyFn apply_at_;
+};
+
+/// Calls `fn` on every owning subtree reference in preorder (root first).
+/// `fn` may rewrite the subtree it receives; children of a rewritten subtree
+/// are still visited (of the new tree).
+void VisitSubtrees(PTPtr& root, const std::function<void(PTPtr&)>& fn);
+
+/// Collects pointers to every owning subtree reference, preorder. The
+/// pointers are invalidated by any rewrite — use for read-only scans or
+/// single rewrites.
+std::vector<PTPtr*> CollectSubtrees(PTPtr& root);
+
+/// Applies the rule at the first matching site (preorder); returns whether
+/// it fired.
+bool ApplyRuleOnce(PTPtr& root, const Rule& rule, OptContext& ctx);
+
+/// Applies the rule until saturation (the paper's irrevocable strategies);
+/// returns the number of applications. `max_applications` guards against
+/// non-terminating rule sets.
+size_t ApplyRuleSaturate(PTPtr& root, const Rule& rule, OptContext& ctx,
+                         size_t max_applications = 1000);
+
+}  // namespace rodin
+
+#endif  // RODIN_OPTIMIZER_RULE_H_

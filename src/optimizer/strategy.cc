@@ -1,0 +1,437 @@
+#include "optimizer/strategy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace rodin {
+
+namespace {
+
+bool Evaluable(const PTNode& plan, const ExprPtr& e) {
+  if (e == nullptr) return true;
+  if (e->kind() == ExprKind::kVarPath) {
+    int col = -1;
+    std::vector<std::string> rest;
+    return plan.ResolveVarPath(e->var(), e->path(), &col, &rest);
+  }
+  for (const ExprPtr& c : e->children()) {
+    if (!Evaluable(plan, c)) return false;
+  }
+  return true;
+}
+
+// Splits pred's conjuncts into (probe-compatible eq conjunct on
+// entity.attr-with-index, everything else). Used by the EJ algo toggle.
+bool FindIndexableJoinConjunct(const PTNode& ej, OptContext& ctx,
+                               const BTreeIndex** index, std::string* attr) {
+  const PTNode& inner = *ej.children[1];
+  if (inner.kind != PTKind::kEntity || ej.pred == nullptr) return false;
+  for (const ExprPtr& c : ej.pred->Conjuncts()) {
+    if (c->kind() != ExprKind::kCompare ||
+        c->compare_op() != CompareOp::kEq) {
+      continue;
+    }
+    auto inner_side = [&](const ExprPtr& e) {
+      return e->kind() == ExprKind::kVarPath && e->var() == inner.binding &&
+             e->path().size() == 1;
+    };
+    const ExprPtr& l = c->children()[0];
+    const ExprPtr& r = c->children()[1];
+    const ExprPtr* in = nullptr;
+    const ExprPtr* out = nullptr;
+    if (inner_side(l) && r->FreeVars().count(inner.binding) == 0) {
+      in = &l;
+      out = &r;
+    } else if (inner_side(r) && l->FreeVars().count(inner.binding) == 0) {
+      in = &r;
+      out = &l;
+    } else {
+      continue;
+    }
+    if (!Evaluable(*ej.children[0], *out)) continue;
+    const BTreeIndex* idx =
+        ctx.db->FindSelIndex(inner.entity.extent, (*in)->path()[0]);
+    if (idx == nullptr) continue;
+    *index = idx;
+    *attr = (*in)->path()[0];
+    return true;
+  }
+  return false;
+}
+
+std::vector<Rule> BuildMoves() {
+  std::vector<Rule> moves;
+
+  // Join commutativity (nested loop only; an index join is directional).
+  moves.emplace_back("swap-ej", [](PTPtr& site, OptContext&) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kEJ || n->algo != JoinAlgo::kNestedLoop) {
+      return false;
+    }
+    std::swap(n->children[0], n->children[1]);
+    n->cols = n->children[0]->cols;
+    n->cols.insert(n->cols.end(), n->children[1]->cols.begin(),
+                   n->children[1]->cols.end());
+    return true;
+  });
+
+  // Nested loop -> index join.
+  moves.emplace_back("ej-to-index", [](PTPtr& site, OptContext& ctx) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kEJ || n->algo != JoinAlgo::kNestedLoop) {
+      return false;
+    }
+    const BTreeIndex* index = nullptr;
+    std::string attr;
+    if (!FindIndexableJoinConjunct(*n, ctx, &index, &attr)) return false;
+    n->algo = JoinAlgo::kIndexJoin;
+    n->join_index = index;
+    n->join_index_attr = attr;
+    return true;
+  });
+
+  // Index join -> nested loop.
+  moves.emplace_back("ej-to-nl", [](PTPtr& site, OptContext&) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kEJ || n->algo != JoinAlgo::kIndexJoin) {
+      return false;
+    }
+    n->algo = JoinAlgo::kNestedLoop;
+    n->join_index = nullptr;
+    n->join_index_attr.clear();
+    return true;
+  });
+
+  // Sequential scan -> index access for a Sel over an entity.
+  moves.emplace_back("sel-to-index", [](PTPtr& site, OptContext& ctx) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kSel || n->sel_access != SelAccess::kSeqScan ||
+        n->pred == nullptr || n->children[0]->kind != PTKind::kEntity) {
+      return false;
+    }
+    const PTNode& entity = *n->children[0];
+    for (const ExprPtr& c : n->pred->Conjuncts()) {
+      if (c->kind() != ExprKind::kCompare) continue;
+      const ExprPtr& l = c->children()[0];
+      const ExprPtr& r = c->children()[1];
+      const ExprPtr* path = nullptr;
+      if (l->kind() == ExprKind::kVarPath && r->kind() == ExprKind::kLiteral) {
+        path = &l;
+      } else if (r->kind() == ExprKind::kVarPath &&
+                 l->kind() == ExprKind::kLiteral) {
+        path = &r;
+      } else {
+        continue;
+      }
+      if ((*path)->var() != entity.binding || (*path)->path().size() != 1) {
+        continue;
+      }
+      if (c->compare_op() == CompareOp::kNe) continue;
+      const BTreeIndex* index =
+          ctx.db->FindSelIndex(entity.entity.extent, (*path)->path()[0]);
+      if (index == nullptr) continue;
+      n->sel_access = c->compare_op() == CompareOp::kEq
+                          ? SelAccess::kIndexEq
+                          : SelAccess::kIndexRange;
+      n->sel_index = index;
+      n->sel_index_pred = c;
+      return true;
+    }
+    return false;
+  });
+
+  // Index access -> sequential scan.
+  moves.emplace_back("sel-to-scan", [](PTPtr& site, OptContext&) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kSel || n->sel_access == SelAccess::kSeqScan) {
+      return false;
+    }
+    n->sel_access = SelAccess::kSeqScan;
+    n->sel_index = nullptr;
+    n->sel_index_pred = nullptr;
+    return true;
+  });
+
+  // Collapse an IJ chain into a PIJ (the §4.3 collapse action as a move).
+  moves.emplace_back("collapse-ij", [](PTPtr& site, OptContext& ctx) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kIJ || n->children[0]->kind != PTKind::kIJ) {
+      return false;
+    }
+    // Gather the downward straight chain ending at `n`.
+    std::vector<PTNode*> chain = {n};
+    while (chain.back()->children[0]->kind == PTKind::kIJ &&
+           chain.back()->src_var == chain.back()->children[0]->out_var) {
+      chain.push_back(chain.back()->children[0].get());
+    }
+    if (chain.size() < 2) return false;
+    std::reverse(chain.begin(), chain.end());
+    for (size_t start = 0; start + 2 <= chain.size(); ++start) {
+      std::vector<std::string> path;
+      std::vector<std::string> out_vars;
+      std::vector<const ClassDef*> classes;
+      for (size_t i = start; i < chain.size(); ++i) {
+        path.push_back(chain[i]->attr);
+        out_vars.push_back(chain[i]->out_var);
+        classes.push_back(chain[i]->target);
+      }
+      const PTNode& bottom_child = *chain[start]->children[0];
+      const PTCol* root_col = bottom_child.FindCol(chain[start]->src_var);
+      if (root_col == nullptr || root_col->cls == nullptr) continue;
+      const PathIndex* index =
+          ctx.db->FindPathIndex(root_col->cls->name(), path);
+      if (index == nullptr) continue;
+      site = MakePIJ(chain[start]->children[0]->Clone(), chain[start]->src_var,
+                     path, out_vars, classes, index);
+      return true;
+    }
+    return false;
+  });
+
+  // Expand a PIJ back into its IJ chain.
+  moves.emplace_back("expand-pij", [](PTPtr& site, OptContext&) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kPIJ) return false;
+    for (const std::string& v : n->path_out_vars) {
+      if (v.empty()) return false;
+    }
+    // Step classes from the node's columns.
+    PTPtr cur = n->children[0]->Clone();
+    std::string root = n->src_var;
+    for (size_t i = 0; i < n->path.size(); ++i) {
+      const PTCol* col = n->FindCol(n->path_out_vars[i]);
+      const ClassDef* cls = col == nullptr ? nullptr : col->cls;
+      cur = MakeIJ(std::move(cur), root, n->path[i], n->path_out_vars[i], cls);
+      root = n->path_out_vars[i];
+    }
+    site = std::move(cur);
+    return true;
+  });
+
+  // Join associativity: EJ(EJ(A,B), C) <-> EJ(A, EJ(B,C)). Conjuncts of
+  // both joins are pooled and re-attached where they first become
+  // evaluable; a rotation that strands a conjunct is rejected. Together
+  // with swap-ej this lets the randomized strategies reach any join order.
+  auto rotate = [](PTPtr& site, bool to_right) -> bool {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kEJ || n->algo != JoinAlgo::kNestedLoop) {
+      return false;
+    }
+    const int nested_idx = to_right ? 0 : 1;
+    PTNode* nested = n->children[nested_idx].get();
+    if (nested->kind != PTKind::kEJ || nested->algo != JoinAlgo::kNestedLoop) {
+      return false;
+    }
+    // Pieces: to_right: ((A ⋈ B) ⋈ C) -> (A ⋈ (B ⋈ C));
+    //         to_left:  (A ⋈ (B ⋈ C)) -> ((A ⋈ B) ⋈ C).
+    PTPtr a = to_right ? nested->children[0]->Clone()
+                       : n->children[0]->Clone();
+    PTPtr b_part = to_right ? nested->children[1]->Clone()
+                            : nested->children[0]->Clone();
+    PTPtr c_part = to_right ? n->children[1]->Clone()
+                            : nested->children[1]->Clone();
+    std::vector<ExprPtr> pool;
+    for (const ExprPtr& p : {n->pred, nested->pred}) {
+      if (p == nullptr) continue;
+      for (const ExprPtr& c : p->Conjuncts()) pool.push_back(c);
+    }
+    PTPtr inner = to_right
+                      ? MakeEJ(std::move(b_part), std::move(c_part), nullptr,
+                               JoinAlgo::kNestedLoop)
+                      : MakeEJ(std::move(a), std::move(b_part), nullptr,
+                               JoinAlgo::kNestedLoop);
+    std::vector<ExprPtr> inner_preds;
+    std::vector<ExprPtr> outer_preds;
+    for (const ExprPtr& c : pool) {
+      (Evaluable(*inner, c) ? inner_preds : outer_preds).push_back(c);
+    }
+    inner->pred = ConjunctionOf(std::move(inner_preds));
+    PTPtr outer = to_right
+                      ? MakeEJ(std::move(a), std::move(inner), nullptr,
+                               JoinAlgo::kNestedLoop)
+                      : MakeEJ(std::move(inner), std::move(c_part), nullptr,
+                               JoinAlgo::kNestedLoop);
+    for (const ExprPtr& c : outer_preds) {
+      if (!Evaluable(*outer, c)) return false;  // stranded conjunct
+    }
+    outer->pred = ConjunctionOf(std::move(outer_preds));
+    site = std::move(outer);
+    return true;
+  };
+  moves.emplace_back("rotate-ej-right", [rotate](PTPtr& site, OptContext&) {
+    return rotate(site, true);
+  });
+  moves.emplace_back("rotate-ej-left", [rotate](PTPtr& site, OptContext&) {
+    return rotate(site, false);
+  });
+
+  // Distribute a join over a union (the transformation the paper's
+  // conclusion singles out as efficiently explorable in this framework):
+  // EJ(Union(a, b, ...), c) -> Union(EJ(a, c), EJ(b, c), ...).
+  moves.emplace_back("distribute-ej-over-union", [](PTPtr& site, OptContext&) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kEJ || n->algo != JoinAlgo::kNestedLoop) {
+      return false;
+    }
+    if (n->children[0]->kind != PTKind::kUnion) return false;
+    PTNode* u = n->children[0].get();
+    std::vector<PTPtr> parts;
+    for (auto& member : u->children) {
+      parts.push_back(MakeEJ(member->Clone(), n->children[1]->Clone(),
+                             n->pred, JoinAlgo::kNestedLoop));
+    }
+    site = MakeUnion(std::move(parts));
+    return true;
+  });
+
+  // Factor a union of structurally identical joins back together:
+  // Union(EJ(a, c), EJ(b, c)) -> EJ(Union(a, b), c).
+  moves.emplace_back("factor-union-of-ej", [](PTPtr& site, OptContext&) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kUnion) return false;
+    for (const auto& member : n->children) {
+      if (member->kind != PTKind::kEJ ||
+          member->algo != JoinAlgo::kNestedLoop) {
+        return false;
+      }
+    }
+    const PTNode& first = *n->children[0];
+    const std::string inner_fp = first.children[1]->Fingerprint();
+    const std::string pred_fp =
+        first.pred == nullptr ? "" : first.pred->ToString();
+    for (const auto& member : n->children) {
+      if (member->children[1]->Fingerprint() != inner_fp) return false;
+      const std::string p =
+          member->pred == nullptr ? "" : member->pred->ToString();
+      if (p != pred_fp) return false;
+    }
+    std::vector<PTPtr> outers;
+    for (auto& member : n->children) {
+      outers.push_back(member->children[0]->Clone());
+    }
+    site = MakeEJ(MakeUnion(std::move(outers)), first.children[1]->Clone(),
+                  first.pred, JoinAlgo::kNestedLoop);
+    return true;
+  });
+
+  // Move a selection below its unary child (Sel(X(c)) -> X(Sel(c))).
+  moves.emplace_back("sel-down", [](PTPtr& site, OptContext&) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kSel || n->sel_access != SelAccess::kSeqScan) {
+      return false;
+    }
+    PTNode* child = n->children[0].get();
+    if (child->kind != PTKind::kIJ && child->kind != PTKind::kPIJ) {
+      return false;
+    }
+    if (!Evaluable(*child->children[0], n->pred)) return false;
+    PTPtr inner_sel = MakeSel(child->children[0]->Clone(), n->pred);
+    site = ReRootUnary(*child, std::move(inner_sel));
+    return true;
+  });
+
+  // Move a selection above its unary parent (X(Sel(c)) -> Sel(X(c))).
+  moves.emplace_back("sel-up", [](PTPtr& site, OptContext&) {
+    PTNode* n = site.get();
+    if (n->kind != PTKind::kIJ && n->kind != PTKind::kPIJ) return false;
+    PTNode* child = n->children[0].get();
+    if (child->kind != PTKind::kSel ||
+        child->sel_access != SelAccess::kSeqScan) {
+      return false;
+    }
+    PTPtr lifted = ReRootUnary(*n, child->children[0]->Clone());
+    site = MakeSel(std::move(lifted), child->pred);
+    return true;
+  });
+
+  return moves;
+}
+
+/// Picks a random applicable (site, move) pair and applies it. Ancestor
+/// column lists are recomputed afterwards: a move may reorder a subtree's
+/// output columns (swap-ej, rotations), and stale positional schemas above
+/// it would silently rebind variables.
+bool ApplyRandomMove(PTPtr& plan, OptContext& ctx) {
+  const std::vector<Rule>& moves = LocalMoves();
+  std::vector<PTPtr*> sites = CollectSubtrees(plan);
+  constexpr size_t kAttempts = 24;
+  for (size_t i = 0; i < kAttempts; ++i) {
+    PTPtr* site = sites[ctx.rng.Below(sites.size())];
+    const Rule& move = moves[ctx.rng.Below(moves.size())];
+    if (move.ApplyAt(*site, ctx)) {
+      RecomputePTCols(plan.get(), ctx.db->schema());
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<Rule>& LocalMoves() {
+  static const std::vector<Rule>& moves = *new std::vector<Rule>(BuildMoves());
+  return moves;
+}
+
+RandReport RandomizedImprove(PTPtr& plan, OptContext& ctx,
+                             const TransformOptions& options) {
+  RandReport report;
+  report.initial_cost = ctx.cost->Annotate(plan.get());
+  report.final_cost = report.initial_cost;
+  if (options.rand == RandStrategy::kNone) return report;
+
+  PTPtr best = plan->Clone();
+  double best_cost = report.initial_cost;
+
+  for (size_t restart = 0; restart <= options.rand_restarts; ++restart) {
+    PTPtr cur = best->Clone();
+    double cur_cost = best_cost;
+    if (restart > 0) {
+      // Perturb: a few unconditional random moves to escape the basin.
+      for (int i = 0; i < 3; ++i) ApplyRandomMove(cur, ctx);
+      cur->InvalidateEstimates();
+      cur_cost = ctx.cost->Annotate(cur.get());
+    }
+    double temp = options.sa_initial_temp * std::max(1.0, cur_cost);
+    size_t rejects = 0;
+    for (size_t m = 0;
+         m < options.rand_moves && rejects < options.rand_local_stop; ++m) {
+      PTPtr cand = cur->Clone();
+      if (!ApplyRandomMove(cand, ctx)) {
+        ++rejects;
+        continue;
+      }
+      ++report.tried;
+      cand->InvalidateEstimates();
+      const double cand_cost = ctx.cost->Annotate(cand.get());
+      ++ctx.plans_explored;
+      bool accept = cand_cost < cur_cost;
+      if (!accept && options.rand == RandStrategy::kSimulatedAnnealing &&
+          temp > 0) {
+        accept = ctx.rng.NextDouble() <
+                 std::exp((cur_cost - cand_cost) / temp);
+        temp *= options.sa_cooling;
+      }
+      if (accept) {
+        cur = std::move(cand);
+        cur_cost = cand_cost;
+        ++report.accepted;
+        rejects = 0;
+        if (cur_cost < best_cost) {
+          best = cur->Clone();
+          best_cost = cur_cost;
+        }
+      } else {
+        ++rejects;
+      }
+    }
+  }
+
+  plan = std::move(best);
+  report.final_cost = ctx.cost->Annotate(plan.get());
+  return report;
+}
+
+}  // namespace rodin

@@ -1,0 +1,35 @@
+#ifndef RODIN_OPTIMIZER_STRATEGY_H_
+#define RODIN_OPTIMIZER_STRATEGY_H_
+
+#include <vector>
+
+#include "optimizer/context.h"
+#include "optimizer/rule.h"
+#include "optimizer/transform.h"
+#include "plan/pt.h"
+
+namespace rodin {
+
+/// Instrumentation of one randomized-improvement run.
+struct RandReport {
+  size_t tried = 0;
+  size_t accepted = 0;
+  double initial_cost = 0;
+  double final_cost = 0;
+};
+
+/// The local move set of the randomized strategies (paper §4.5): join
+/// commutativity, join-algorithm and access-method toggles, the collapse /
+/// expand pair for path indices, and selection up/down shifts. Each move is
+/// a Rule that rewrites exactly one matching site.
+const std::vector<Rule>& LocalMoves();
+
+/// Randomized re-optimization (paper §4.5, [IC90]): Iterative Improvement
+/// or Simulated Annealing over the LocalMoves() neighbourhood, with restarts.
+/// `plan` is improved in place (annotated); returns the run report.
+RandReport RandomizedImprove(PTPtr& plan, OptContext& ctx,
+                             const TransformOptions& options);
+
+}  // namespace rodin
+
+#endif  // RODIN_OPTIMIZER_STRATEGY_H_

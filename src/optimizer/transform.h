@@ -1,0 +1,78 @@
+#ifndef RODIN_OPTIMIZER_TRANSFORM_H_
+#define RODIN_OPTIMIZER_TRANSFORM_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/context.h"
+#include "optimizer/rule.h"
+#include "plan/pt.h"
+
+namespace rodin {
+
+/// Options controlling transformPT (paper §4.5).
+struct TransformOptions {
+  bool enable_push_sel = true;
+  bool enable_push_join = true;
+  bool enable_push_proj = true;
+  /// Baselines: `always_push` mimics the deductive heuristic (irrevocable
+  /// push, no comparison); `never_push` skips pushing entirely.
+  bool always_push = false;
+  bool never_push = false;
+
+  RandStrategy rand = RandStrategy::kIterativeImprovement;
+  size_t rand_moves = 300;      // move attempts per start
+  size_t rand_local_stop = 30;  // consecutive rejects ending a start
+  size_t rand_restarts = 2;
+  double sa_initial_temp = 0.1;  // fraction of plan cost
+  double sa_cooling = 0.9;
+};
+
+/// Result of transformPT with instrumentation.
+struct TransformResult {
+  PTPtr plan;
+  double cost = 0;
+  bool pushed_sel = false;
+  bool pushed_join = false;
+  bool pushed_proj = false;
+  size_t push_applications = 0;
+  size_t moves_tried = 0;
+  size_t moves_accepted = 0;
+  double pushed_variant_cost = -1;    // cost of the fully pushed alternative
+  double unpushed_variant_cost = -1;  // cost of the never-pushed alternative
+};
+
+/// transformPT: generates the fully *pushed* alternative of `plan` by
+/// saturating the push actions (filter for selections, the analogous join
+/// action, and projection pushing), re-optimizes both alternatives with the
+/// randomized strategy, and keeps the cheaper — the paper's delayed,
+/// cost-controlled decision. `plan` must be annotated.
+TransformResult TransformPT(PTPtr plan, OptContext& ctx,
+                            const TransformOptions& options);
+
+// --- Individual push actions (exposed for tests and benches) ---------------
+
+/// The paper's `filter` action: pushes one selection (with the implicit-join
+/// steps supporting it) through a fixpoint, into both the base and the
+/// recursive arm. Returns true if some site matched and was rewritten.
+bool PushSelThroughFix(PTPtr& root, OptContext& ctx);
+
+/// Pushes one explicit join (with its non-recursive side) through a
+/// fixpoint as a filtering semijoin on both arms (§4.5).
+bool PushJoinThroughFix(PTPtr& root, OptContext& ctx);
+
+/// Pushes one single-attribute projection step (an IJ used only to read one
+/// atomic attribute) through a fixpoint by extending the view's columns.
+bool PushProjThroughFix(PTPtr& root, OptContext& ctx);
+
+/// The `collapse` action (§4.3) as a standalone rule: rewrites a chain of
+/// IJ nodes matching a path index into one PIJ node. Returns applications.
+size_t CollapseIJChains(PTPtr& root, OptContext& ctx);
+
+/// Rebuilds a unary node (Sel / IJ / PIJ / Proj) of the same shape as
+/// `proto` on a new child. Shared by the push actions and the local moves.
+PTPtr ReRootUnary(const PTNode& proto, PTPtr child);
+
+}  // namespace rodin
+
+#endif  // RODIN_OPTIMIZER_TRANSFORM_H_

@@ -1,0 +1,292 @@
+#include "optimizer/translate.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+const StepInfo* NormalizedSPJ::FindStepByOut(const std::string& var) const {
+  for (const StepInfo& s : steps) {
+    if (s.out_var == var) return &s;
+  }
+  return nullptr;
+}
+
+const ArcInfo* NormalizedSPJ::FindArc(const std::string& var) const {
+  for (const ArcInfo& a : arcs) {
+    if (a.var == var) return &a;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> NormalizedSPJ::RequiredVars(const ExprPtr& e) const {
+  std::vector<std::string> out;
+  if (e == nullptr) return out;
+  for (const std::string& v : e->FreeVars()) out.push_back(v);
+  return out;
+}
+
+namespace {
+
+/// Incremental path decomposer: walks paths from bound variables,
+/// introducing StepInfos for every non-terminal object traversal.
+class Walker {
+ public:
+  Walker(const PredicateNode& node, const QueryGraph& graph,
+         const Schema& schema, OptContext& ctx, NormalizedSPJ* out)
+      : node_(node), graph_(graph), schema_(schema), ctx_(ctx), out_(out) {}
+
+  /// Class of the objects bound to `var` (nullptr for derived-tuple vars).
+  const ClassDef* ClassOfVar(const std::string& var) const {
+    if (const ArcInfo* a = out_->FindArc(var)) return a->cls;
+    if (const StepInfo* s = out_->FindStepByOut(var)) return s->target;
+    return nullptr;
+  }
+
+  const ArcInfo* DerivedArc(const std::string& var) const {
+    const ArcInfo* a = out_->FindArc(var);
+    if (a != nullptr && a->kind != NameKind::kClass) return a;
+    return nullptr;
+  }
+
+  /// Result of resolving one attribute from a variable's context.
+  struct AttrResolution {
+    bool traversable = false;  // object-valued: can become a step
+    bool collection = false;
+    const ClassDef* target = nullptr;
+  };
+
+  AttrResolution ResolveAttr(const std::string& var,
+                             const std::string& attr) const {
+    AttrResolution r;
+    if (const ClassDef* cls = ClassOfVar(var)) {
+      const Attribute* a = cls->FindAttribute(attr);
+      RODIN_CHECK(a != nullptr, "translate: attribute missing");
+      if (a->computed) return r;  // method: terminal
+      const Type* t = a->type;
+      if (t->IsCollection()) {
+        r.collection = true;
+        t = t->elem();
+      }
+      if (t->kind() == TypeKind::kObject) {
+        r.traversable = true;
+        r.target = schema_.FindClass(t->class_name());
+      }
+      return r;
+    }
+    const ArcInfo* a = DerivedArc(var);
+    RODIN_CHECK(a != nullptr, "translate: variable without binding");
+    if (a->kind == NameKind::kRelation) {
+      const RelationDef* rel = schema_.FindRelation(a->name);
+      const Attribute* ra = rel->FindAttribute(attr);
+      RODIN_CHECK(ra != nullptr, "translate: relation column missing");
+      const Type* t = ra->type;
+      if (t->IsCollection()) {
+        r.collection = true;
+        t = t->elem();
+      }
+      if (t->kind() == TypeKind::kObject) {
+        r.traversable = true;
+        r.target = schema_.FindClass(t->class_name());
+      }
+      return r;
+    }
+    // Derived view column.
+    const ClassDef* col_cls = graph_.ColumnClass(a->name, attr, schema_);
+    if (col_cls != nullptr) {
+      r.traversable = true;
+      r.target = col_cls;
+    }
+    return r;
+  }
+
+  std::string IntroduceStep(const std::string& root, const std::string& attr,
+                            const AttrResolution& res,
+                            const std::string& forced_out = "") {
+    // Single-valued steps are shared globally (tree-label factorization);
+    // collection steps and let-declared steps stay private.
+    const bool shareable = !res.collection && forced_out.empty();
+    if (shareable) {
+      auto it = shared_.find({root, attr});
+      if (it != shared_.end()) return it->second;
+    }
+    StepInfo step;
+    step.id = out_->steps.size();
+    step.root = root;
+    step.attr = attr;
+    step.out_var = forced_out.empty() ? ctx_.FreshVar() : forced_out;
+    step.target = res.target;
+    step.collection = res.collection;
+    out_->steps.push_back(step);
+    if (shareable) shared_[{root, attr}] = step.out_var;
+    return step.out_var;
+  }
+
+  /// Decomposes (var, path): introduces steps for non-terminal object
+  /// traversals and returns the rewritten expression referencing the last
+  /// variable with at most one residual attribute.
+  ExprPtr WalkPath(const std::string& var, const std::vector<std::string>& path) {
+    std::string cur = var;
+    for (size_t i = 0; i < path.size(); ++i) {
+      const AttrResolution res = ResolveAttr(cur, path[i]);
+      const bool last = (i + 1 == path.size());
+      if (last || !res.traversable) {
+        // Terminal step (atomic, method, or reference value): keep as a
+        // single residual attribute. Non-traversable non-terminal paths are
+        // rejected by query validation before we get here.
+        RODIN_CHECK(last, "translate: residual path after terminal attribute");
+        return Expr::Path(cur, {path[i]});
+      }
+      cur = IntroduceStep(cur, path[i], res);
+    }
+    return Expr::Path(cur);
+  }
+
+  /// Declares a let chain: steps for every hop, the final one bound to the
+  /// let variable itself.
+  void WalkLet(const PathVar& let) {
+    std::string cur = let.root;
+    for (size_t i = 0; i < let.path.size(); ++i) {
+      const AttrResolution res = ResolveAttr(cur, let.path[i]);
+      RODIN_CHECK(res.traversable, "let path must traverse objects");
+      const bool last = (i + 1 == let.path.size());
+      cur = IntroduceStep(cur, let.path[i], res, last ? let.var : "");
+    }
+  }
+
+  /// Rewrites a whole expression tree through WalkPath.
+  ExprPtr Rewrite(const ExprPtr& e) {
+    if (e == nullptr) return nullptr;
+    switch (e->kind()) {
+      case ExprKind::kLiteral:
+        return e;
+      case ExprKind::kVarPath:
+        if (e->path().empty()) return e;
+        return WalkPath(e->var(), e->path());
+      case ExprKind::kCompare:
+        return Expr::Cmp(e->compare_op(), Rewrite(e->children()[0]),
+                         Rewrite(e->children()[1]));
+      case ExprKind::kArith:
+        return Expr::Arith(e->arith_op(), Rewrite(e->children()[0]),
+                           Rewrite(e->children()[1]));
+      case ExprKind::kAnd: {
+        std::vector<ExprPtr> kids;
+        for (const ExprPtr& c : e->children()) kids.push_back(Rewrite(c));
+        return Expr::And(std::move(kids));
+      }
+      case ExprKind::kOr: {
+        std::vector<ExprPtr> kids;
+        for (const ExprPtr& c : e->children()) kids.push_back(Rewrite(c));
+        return Expr::Or(std::move(kids));
+      }
+      case ExprKind::kNot:
+        return Expr::Not(Rewrite(e->children()[0]));
+    }
+    return e;
+  }
+
+  /// Class of the values produced by a rewritten output expression.
+  const ClassDef* OutClass(const ExprPtr& e) const {
+    if (e == nullptr || e->kind() != ExprKind::kVarPath) return nullptr;
+    if (e->path().empty()) return ClassOfVar(e->var());
+    // One residual attribute: object-valued if it resolves to a class.
+    if (const ClassDef* cls = ClassOfVar(e->var())) {
+      const Attribute* a = cls->FindAttribute(e->path()[0]);
+      if (a == nullptr || a->computed) return nullptr;
+      const Type* t = a->type;
+      if (t->IsCollection()) t = t->elem();
+      if (t->kind() == TypeKind::kObject) {
+        return schema_.FindClass(t->class_name());
+      }
+      return nullptr;
+    }
+    if (const ArcInfo* a = DerivedArc(e->var())) {
+      if (a->kind == NameKind::kRelation) {
+        const RelationDef* rel = schema_.FindRelation(a->name);
+        const Attribute* ra = rel->FindAttribute(e->path()[0]);
+        if (ra == nullptr) return nullptr;
+        const Type* t = ra->type;
+        if (t->IsCollection()) t = t->elem();
+        return t->kind() == TypeKind::kObject
+                   ? schema_.FindClass(t->class_name())
+                   : nullptr;
+      }
+      return graph_.ColumnClass(a->name, e->path()[0], schema_);
+    }
+    return nullptr;
+  }
+
+ private:
+  const PredicateNode& node_;
+  const QueryGraph& graph_;
+  const Schema& schema_;
+  OptContext& ctx_;
+  NormalizedSPJ* out_;
+  std::map<std::pair<std::string, std::string>, std::string> shared_;
+};
+
+}  // namespace
+
+NormalizedSPJ Translate(const PredicateNode& node, const QueryGraph& graph,
+                        const Schema& schema, OptContext& ctx,
+                        const std::string& self_view) {
+  NormalizedSPJ out;
+  out.src = &node;
+  out.view = node.output;
+
+  // Arcs.
+  for (const Arc& arc : node.inputs) {
+    ArcInfo info;
+    info.var = arc.var;
+    info.name = arc.name;
+    if (const ClassDef* cls = schema.FindClass(arc.name)) {
+      info.kind = NameKind::kClass;
+      info.cls = cls;
+    } else if (schema.FindRelation(arc.name) != nullptr) {
+      info.kind = NameKind::kRelation;
+      const RelationDef* rel = schema.FindRelation(arc.name);
+      for (const Attribute& a : rel->AllAttributes()) {
+        const Type* t = a.type;
+        const ClassDef* cls = nullptr;
+        const Type* tt = t->IsCollection() ? t->elem() : t;
+        if (tt->kind() == TypeKind::kObject) {
+          cls = schema.FindClass(tt->class_name());
+        }
+        info.view_cols.push_back(PTCol{arc.var + "." + a.name, cls});
+      }
+    } else {
+      info.kind = NameKind::kDerived;
+      info.is_self_delta = (arc.name == self_view);
+      for (const std::string& col : graph.ColumnsOf(arc.name)) {
+        info.view_cols.push_back(
+            PTCol{arc.var + "." + col, graph.ColumnClass(arc.name, col, schema)});
+      }
+    }
+    out.arcs.push_back(std::move(info));
+  }
+
+  Walker walker(node, graph, schema, ctx, &out);
+
+  // Let chains first (they define shared traversal prefixes).
+  for (const PathVar& let : node.lets) walker.WalkLet(let);
+
+  // Conjuncts.
+  if (node.pred != nullptr) {
+    for (const ExprPtr& c : node.pred->Conjuncts()) {
+      out.conjuncts.push_back(walker.Rewrite(c));
+    }
+  }
+
+  // Output projection.
+  for (const OutCol& c : node.out) {
+    ExprPtr e = walker.Rewrite(c.expr);
+    out.out_cols.push_back(PTCol{c.name, walker.OutClass(e)});
+    out.outs.push_back(OutCol{c.name, std::move(e)});
+  }
+
+  return out;
+}
+
+}  // namespace rodin

@@ -1,0 +1,74 @@
+#ifndef RODIN_OPTIMIZER_TRANSLATE_H_
+#define RODIN_OPTIMIZER_TRANSLATE_H_
+
+#include <string>
+#include <vector>
+
+#include "optimizer/context.h"
+#include "optimizer/rewrite.h"
+#include "query/query_graph.h"
+
+namespace rodin {
+
+/// One input arc after translation to the physical schema.
+struct ArcInfo {
+  std::string var;
+  std::string name;  // extent or view name
+  NameKind kind = NameKind::kClass;
+  const ClassDef* cls = nullptr;      // kClass
+  bool is_self_delta = false;         // the self-arc of a recursive rule
+  std::vector<PTCol> view_cols;       // dotted columns for derived arcs
+  /// Equality conjunct attribute usable for horizontal-fragment pruning
+  /// (filled by the generator when applicable).
+};
+
+/// One implicit-join step (paper: translateArc output). Steps are the units
+/// the generator interleaves with explicit joins; consecutive steps can be
+/// collapsed into a PIJ when a path index applies (the `collapse` action).
+struct StepInfo {
+  size_t id = 0;
+  std::string root;      // arc variable or another step's out_var
+  std::string attr;      // attribute traversed
+  std::string out_var;   // generated or let-declared variable
+  const ClassDef* target = nullptr;
+  bool collection = false;
+};
+
+/// A predicate node translated onto the physical schema: leaves (arcs),
+/// implicit-join steps, rewritten conjuncts and output projection. Every
+/// expression references only (a) arc variables with at most one residual
+/// attribute, (b) dotted derived columns, or (c) step variables with at
+/// most one residual attribute — i.e. all multi-step traversals have been
+/// decomposed into steps.
+struct NormalizedSPJ {
+  const PredicateNode* src = nullptr;
+  std::string view;  // output name node
+  std::vector<ArcInfo> arcs;
+  std::vector<StepInfo> steps;
+  std::vector<ExprPtr> conjuncts;
+  std::vector<OutCol> outs;      // rewritten projection (view column order)
+  std::vector<PTCol> out_cols;   // output columns with classes
+
+  const StepInfo* FindStepByOut(const std::string& var) const;
+  const ArcInfo* FindArc(const std::string& var) const;
+
+  /// Variables a conjunct/expression needs bound before evaluation: the arc
+  /// and step variables it references.
+  std::vector<std::string> RequiredVars(const ExprPtr& e) const;
+};
+
+/// Translates one predicate node. `self_view` names the view whose
+/// recursive rule this is ("" for base rules and plain spj's): its self-arc
+/// becomes the semi-naive delta.
+///
+/// Sharing rules mirror tree-label factorization (§2.2): single-valued
+/// steps with the same root and attribute are shared globally; collection
+/// steps are shared only through declared path variables (lets), because
+/// merging independent existential traversals would change semantics.
+NormalizedSPJ Translate(const PredicateNode& node, const QueryGraph& graph,
+                        const Schema& schema, OptContext& ctx,
+                        const std::string& self_view = "");
+
+}  // namespace rodin
+
+#endif  // RODIN_OPTIMIZER_TRANSLATE_H_

@@ -1,0 +1,376 @@
+#include "plan/pt.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+const char* PTKindName(PTKind kind) {
+  switch (kind) {
+    case PTKind::kEntity:
+      return "Entity";
+    case PTKind::kDelta:
+      return "Delta";
+    case PTKind::kSel:
+      return "Sel";
+    case PTKind::kProj:
+      return "Proj";
+    case PTKind::kEJ:
+      return "EJ";
+    case PTKind::kIJ:
+      return "IJ";
+    case PTKind::kPIJ:
+      return "PIJ";
+    case PTKind::kUnion:
+      return "Union";
+    case PTKind::kFix:
+      return "Fix";
+  }
+  return "?";
+}
+
+std::unique_ptr<PTNode> PTNode::Clone() const {
+  auto out = std::make_unique<PTNode>(kind);
+  out->cols = cols;
+  out->entity = entity;
+  out->binding = binding;
+  out->pred = pred;
+  out->sel_access = sel_access;
+  out->sel_index = sel_index;
+  out->sel_index_pred = sel_index_pred;
+  out->algo = algo;
+  out->join_index = join_index;
+  out->join_index_attr = join_index_attr;
+  out->src_var = src_var;
+  out->attr = attr;
+  out->out_var = out_var;
+  out->target = target;
+  out->path = path;
+  out->path_out_vars = path_out_vars;
+  out->path_index = path_index;
+  out->proj = proj;
+  out->dedup = dedup;
+  out->fix_name = fix_name;
+  out->naive_fix = naive_fix;
+  out->est_rows = est_rows;
+  out->est_pages = est_pages;
+  out->est_cost = est_cost;
+  out->est_iters = est_iters;
+  for (const auto& c : children) out->children.push_back(c->Clone());
+  return out;
+}
+
+void PTNode::InvalidateEstimates() {
+  // est_iters is deliberately preserved: it is a statistic derived from the
+  // data (chain depth), not a per-costing output — transformations must not
+  // reset a fixpoint to the default iteration guess.
+  est_rows = est_pages = est_cost = -1;
+  for (auto& c : children) c->InvalidateEstimates();
+}
+
+int PTNode::ColIndex(const std::string& name) const {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const PTCol* PTNode::FindCol(const std::string& name) const {
+  const int i = ColIndex(name);
+  return i < 0 ? nullptr : &cols[i];
+}
+
+bool PTNode::ResolveVarPath(const std::string& var,
+                            const std::vector<std::string>& path_ref,
+                            int* col_index,
+                            std::vector<std::string>* rest) const {
+  // Longest match first: dotted column "var.step0", then plain "var".
+  if (!path_ref.empty()) {
+    const int dotted = ColIndex(var + "." + path_ref[0]);
+    if (dotted >= 0) {
+      *col_index = dotted;
+      rest->assign(path_ref.begin() + 1, path_ref.end());
+      return true;
+    }
+  }
+  const int plain = ColIndex(var);
+  if (plain >= 0) {
+    *col_index = plain;
+    *rest = path_ref;
+    return true;
+  }
+  return false;
+}
+
+std::string PTNode::ToTerm() const {
+  switch (kind) {
+    case PTKind::kEntity:
+      return entity.ToString();
+    case PTKind::kDelta:
+      return "delta(" + fix_name + ")";
+    case PTKind::kSel: {
+      std::string access;
+      if (sel_access == SelAccess::kIndexEq) access = "[idx=]";
+      if (sel_access == SelAccess::kIndexRange) access = "[idx<>]";
+      return StrFormat("Sel_{%s}%s(%s)",
+                       pred == nullptr ? "true" : pred->ToString().c_str(),
+                       access.c_str(), children[0]->ToTerm().c_str());
+    }
+    case PTKind::kProj: {
+      std::vector<std::string> parts;
+      for (const OutCol& c : proj) {
+        parts.push_back(c.name + (c.expr == nullptr ? "" : "=" + c.expr->ToString()));
+      }
+      return StrFormat("Proj_{%s}%s(%s)", Join(parts, ",").c_str(),
+                       dedup ? "!" : "", children[0]->ToTerm().c_str());
+    }
+    case PTKind::kEJ:
+      return StrFormat("EJ_{%s}%s(%s, %s)",
+                       pred == nullptr ? "true" : pred->ToString().c_str(),
+                       algo == JoinAlgo::kIndexJoin ? "[idx]" : "",
+                       children[0]->ToTerm().c_str(),
+                       children[1]->ToTerm().c_str());
+    case PTKind::kIJ:
+      return StrFormat("IJ_%s(%s, %s)", attr.c_str(),
+                       children[0]->ToTerm().c_str(),
+                       target == nullptr ? "?" : target->name().c_str());
+    case PTKind::kPIJ:
+      return StrFormat("PIJ_%s(%s)", Join(path, ".").c_str(),
+                       children[0]->ToTerm().c_str());
+    case PTKind::kUnion: {
+      std::vector<std::string> parts;
+      for (const auto& c : children) parts.push_back(c->ToTerm());
+      return "Union(" + Join(parts, ", ") + ")";
+    }
+    case PTKind::kFix:
+      return StrFormat("Fix(%s, Union(%s, %s))", fix_name.c_str(),
+                       children[0]->ToTerm().c_str(),
+                       children[1]->ToTerm().c_str());
+  }
+  return "?";
+}
+
+std::string PTNode::Fingerprint() const {
+  std::string out = PTKindName(kind);
+  switch (kind) {
+    case PTKind::kEntity:
+      out += ":" + entity.ToString() + ":" + binding;
+      break;
+    case PTKind::kDelta:
+      out += ":" + fix_name;
+      break;
+    case PTKind::kSel:
+      out += ":" + (pred == nullptr ? "" : pred->ToString());
+      out += sel_access == SelAccess::kSeqScan ? "" : ":idx";
+      break;
+    case PTKind::kProj: {
+      for (const OutCol& c : proj) {
+        out += ":" + c.name + "=" + (c.expr == nullptr ? "" : c.expr->ToString());
+      }
+      if (dedup) out += ":!";
+      break;
+    }
+    case PTKind::kEJ:
+      out += ":" + (pred == nullptr ? "" : pred->ToString());
+      out += algo == JoinAlgo::kIndexJoin ? ":idx" : ":nl";
+      break;
+    case PTKind::kIJ:
+      out += ":" + src_var + "." + attr + "->" + out_var;
+      break;
+    case PTKind::kPIJ:
+      out += ":" + src_var + "." + Join(path, ".");
+      break;
+    case PTKind::kFix:
+      out += ":" + fix_name;
+      if (naive_fix) out += ":naive";
+      break;
+    default:
+      break;
+  }
+  out += "(";
+  for (const auto& c : children) out += c->Fingerprint() + ",";
+  out += ")";
+  return out;
+}
+
+size_t PTNode::TreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children) n += c->TreeSize();
+  return n;
+}
+
+PTPtr MakeEntity(EntityRef entity, std::string binding, const ClassDef* cls) {
+  auto n = std::make_unique<PTNode>(PTKind::kEntity);
+  n->entity = std::move(entity);
+  n->binding = binding;
+  n->cols = {PTCol{std::move(binding), cls}};
+  return n;
+}
+
+PTPtr MakeDelta(std::string fix_name, std::vector<PTCol> cols) {
+  auto n = std::make_unique<PTNode>(PTKind::kDelta);
+  n->fix_name = std::move(fix_name);
+  n->cols = std::move(cols);
+  return n;
+}
+
+PTPtr MakeSel(PTPtr child, ExprPtr pred) {
+  RODIN_CHECK(child != nullptr, "Sel needs a child");
+  auto n = std::make_unique<PTNode>(PTKind::kSel);
+  n->cols = child->cols;
+  n->pred = std::move(pred);
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PTPtr MakeProj(PTPtr child, std::vector<OutCol> proj,
+               std::vector<PTCol> out_cols, bool dedup) {
+  RODIN_CHECK(child != nullptr, "Proj needs a child");
+  RODIN_CHECK(proj.size() == out_cols.size(), "Proj arity mismatch");
+  auto n = std::make_unique<PTNode>(PTKind::kProj);
+  n->proj = std::move(proj);
+  n->cols = std::move(out_cols);
+  n->dedup = dedup;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PTPtr MakeEJ(PTPtr left, PTPtr right, ExprPtr pred, JoinAlgo algo) {
+  RODIN_CHECK(left != nullptr && right != nullptr, "EJ needs two children");
+  auto n = std::make_unique<PTNode>(PTKind::kEJ);
+  n->cols = left->cols;
+  n->cols.insert(n->cols.end(), right->cols.begin(), right->cols.end());
+  n->pred = std::move(pred);
+  n->algo = algo;
+  n->children.push_back(std::move(left));
+  n->children.push_back(std::move(right));
+  return n;
+}
+
+PTPtr MakeIJ(PTPtr child, std::string src_var, std::string attr,
+             std::string out_var, const ClassDef* target) {
+  RODIN_CHECK(child != nullptr, "IJ needs a child");
+  {
+    // The source may be a plain object column or a dotted derived column
+    // ("i.master") that already materializes the reference.
+    int col = -1;
+    std::vector<std::string> rest;
+    RODIN_CHECK(child->ResolveVarPath(src_var, {attr}, &col, &rest),
+                "IJ source column missing");
+  }
+  auto n = std::make_unique<PTNode>(PTKind::kIJ);
+  n->cols = child->cols;
+  n->cols.push_back(PTCol{out_var, target});
+  n->src_var = std::move(src_var);
+  n->attr = std::move(attr);
+  n->out_var = std::move(out_var);
+  n->target = target;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PTPtr MakePIJ(PTPtr child, std::string src_var, std::vector<std::string> path,
+              std::vector<std::string> out_vars,
+              std::vector<const ClassDef*> step_classes,
+              const PathIndex* index) {
+  RODIN_CHECK(child != nullptr, "PIJ needs a child");
+  RODIN_CHECK(index != nullptr, "PIJ needs a path index");
+  RODIN_CHECK(child->HasCol(src_var), "PIJ source column missing");
+  RODIN_CHECK(path.size() == out_vars.size(), "PIJ arity mismatch");
+  RODIN_CHECK(path.size() == step_classes.size(), "PIJ class list mismatch");
+  auto n = std::make_unique<PTNode>(PTKind::kPIJ);
+  n->cols = child->cols;
+  for (size_t i = 0; i < out_vars.size(); ++i) {
+    if (!out_vars[i].empty()) {
+      n->cols.push_back(PTCol{out_vars[i], step_classes[i]});
+    }
+  }
+  n->src_var = std::move(src_var);
+  n->path = std::move(path);
+  n->path_out_vars = std::move(out_vars);
+  n->path_index = index;
+  n->children.push_back(std::move(child));
+  return n;
+}
+
+PTPtr MakeUnion(std::vector<PTPtr> children) {
+  RODIN_CHECK(children.size() >= 2, "Union needs two or more children");
+  auto n = std::make_unique<PTNode>(PTKind::kUnion);
+  n->cols = children[0]->cols;
+  for (size_t i = 1; i < children.size(); ++i) {
+    RODIN_CHECK(children[i]->cols.size() == n->cols.size(),
+                "Union children column mismatch");
+  }
+  for (auto& c : children) n->children.push_back(std::move(c));
+  return n;
+}
+
+void RecomputePTCols(PTNode* node, const Schema& schema) {
+  for (auto& c : node->children) RecomputePTCols(c.get(), schema);
+  switch (node->kind) {
+    case PTKind::kEntity:
+    case PTKind::kDelta:
+    case PTKind::kProj:
+      return;  // leaves and projections define their own columns
+    case PTKind::kSel:
+      node->cols = node->children[0]->cols;
+      return;
+    case PTKind::kEJ:
+      node->cols = node->children[0]->cols;
+      node->cols.insert(node->cols.end(), node->children[1]->cols.begin(),
+                        node->children[1]->cols.end());
+      return;
+    case PTKind::kIJ:
+      node->cols = node->children[0]->cols;
+      node->cols.push_back(PTCol{node->out_var, node->target});
+      return;
+    case PTKind::kPIJ: {
+      const std::vector<PTCol> old = node->cols;
+      node->cols = node->children[0]->cols;
+      // Walk the path from the source column's class to type the steps;
+      // fall back to the previous column entry when the walk fails.
+      const PTCol* src = node->children[0]->FindCol(node->src_var);
+      const ClassDef* cur = src == nullptr ? nullptr : src->cls;
+      for (size_t i = 0; i < node->path.size(); ++i) {
+        const ClassDef* step_cls = nullptr;
+        if (cur != nullptr) {
+          const Attribute* a = cur->FindAttribute(node->path[i]);
+          if (a != nullptr) {
+            const Type* t = a->type;
+            if (t->IsCollection()) t = t->elem();
+            if (t->kind() == TypeKind::kObject) {
+              step_cls = schema.FindClass(t->class_name());
+            }
+          }
+        }
+        cur = step_cls;
+        if (node->path_out_vars[i].empty()) continue;
+        if (step_cls == nullptr) {
+          for (const PTCol& c : old) {
+            if (c.name == node->path_out_vars[i]) step_cls = c.cls;
+          }
+        }
+        node->cols.push_back(PTCol{node->path_out_vars[i], step_cls});
+      }
+      return;
+    }
+    case PTKind::kUnion:
+    case PTKind::kFix:
+      node->cols = node->children[0]->cols;
+      return;
+  }
+}
+
+PTPtr MakeFix(std::string name, PTPtr base, PTPtr recursive) {
+  RODIN_CHECK(base != nullptr && recursive != nullptr, "Fix needs two children");
+  RODIN_CHECK(base->cols.size() == recursive->cols.size(),
+              "Fix children column mismatch");
+  auto n = std::make_unique<PTNode>(PTKind::kFix);
+  n->cols = base->cols;
+  n->fix_name = std::move(name);
+  n->children.push_back(std::move(base));
+  n->children.push_back(std::move(recursive));
+  return n;
+}
+
+}  // namespace rodin

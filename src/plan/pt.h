@@ -1,0 +1,171 @@
+#ifndef RODIN_PLAN_PT_H_
+#define RODIN_PLAN_PT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/expr.h"
+#include "query/query_graph.h"
+#include "storage/btree_index.h"
+#include "storage/database.h"
+#include "storage/path_index.h"
+
+namespace rodin {
+
+/// Processing-tree node kinds (paper §3.1 definition). PTs are the plan
+/// algebra: interior nodes are operators, leaves are atomic entities of the
+/// physical schema (or the delta temporary inside a fixpoint's recursive
+/// arm).
+enum class PTKind {
+  kEntity,  // leaf: atomic entity (extent fragment), k=0
+  kDelta,   // leaf: the delta temporary of the enclosing Fix, k=0
+  kSel,     // selection, k=1
+  kProj,    // projection (possibly computing new columns), k=1
+  kEJ,      // explicit join, k=2
+  kIJ,      // implicit join through one object attribute, k=1 (target extent implied)
+  kPIJ,     // implicit join implemented by a path index, k=1
+  kUnion,   // union, k>=2
+  kFix,     // fixpoint, k=2 (base, recursive)
+};
+
+const char* PTKindName(PTKind kind);
+
+/// Join algorithm of an EJ node (the paper's footnote a of Figure 5 names
+/// Nested_Loop and Index_Join).
+enum class JoinAlgo { kNestedLoop, kIndexJoin };
+
+/// Access method of a Sel node whose child is an entity leaf.
+enum class SelAccess { kSeqScan, kIndexEq, kIndexRange };
+
+/// One output column of a PT node: a named binding. Object-valued columns
+/// carry the class whose Oids they hold; atomic columns have cls == nullptr.
+/// Derived-tuple inputs are flattened into dotted columns ("i.gen").
+struct PTCol {
+  std::string name;
+  const ClassDef* cls = nullptr;
+
+  friend bool operator==(const PTCol& a, const PTCol& b) {
+    return a.name == b.name && a.cls == b.cls;
+  }
+};
+
+/// A processing-tree node. Value-semantic tree: children are owned;
+/// Clone() deep-copies (predicates are shared immutable Exprs).
+///
+/// Estimates (est_rows / est_cost / est_pages) are filled by the cost model
+/// and invalidated (set to -1) by transformations.
+struct PTNode {
+  PTKind kind;
+  std::vector<std::unique_ptr<PTNode>> children;
+  std::vector<PTCol> cols;
+
+  // --- kEntity -------------------------------------------------------------
+  EntityRef entity;
+  std::string binding;  // variable the entity's element is bound to
+
+  // --- kSel ----------------------------------------------------------------
+  ExprPtr pred;  // also the join predicate of kEJ
+  SelAccess sel_access = SelAccess::kSeqScan;
+  const BTreeIndex* sel_index = nullptr;  // when sel_access != kSeqScan
+  ExprPtr sel_index_pred;  // the conjunct the index serves
+
+  // --- kEJ -----------------------------------------------------------------
+  JoinAlgo algo = JoinAlgo::kNestedLoop;
+  const BTreeIndex* join_index = nullptr;  // inner index for kIndexJoin
+  std::string join_index_attr;             // inner attribute it indexes
+
+  // --- kIJ -----------------------------------------------------------------
+  std::string src_var;   // object column navigated from
+  std::string attr;      // attribute traversed
+  std::string out_var;   // column bound to the reached object
+  const ClassDef* target = nullptr;  // class reached
+
+  // --- kPIJ ----------------------------------------------------------------
+  std::vector<std::string> path;           // attribute path
+  std::vector<std::string> path_out_vars;  // binding per step ("" = unbound)
+  const PathIndex* path_index = nullptr;
+
+  // --- kProj ---------------------------------------------------------------
+  std::vector<OutCol> proj;  // computed outputs (name -> expr over child cols)
+  bool dedup = false;        // set semantics at this boundary
+
+  // --- kFix / kDelta ---------------------------------------------------------
+  std::string fix_name;  // view name ("Influencer")
+  /// Evaluate this fixpoint naively (each iteration re-derives from the
+  /// whole accumulated result) instead of semi-naively (delta-driven). The
+  /// paper's Figure 5 cost formula assumes semi-naive; the naive mode exists
+  /// for the ablation benches.
+  bool naive_fix = false;
+
+  // --- Estimates (cost model) -----------------------------------------------
+  double est_rows = -1;
+  double est_pages = -1;
+  double est_cost = -1;
+  double est_iters = -1;  // kFix: estimated semi-naive iterations
+
+  PTNode() : kind(PTKind::kEntity) {}
+  explicit PTNode(PTKind k) : kind(k) {}
+
+  std::unique_ptr<PTNode> Clone() const;
+
+  /// Clears est_rows/est_pages/est_cost on the whole subtree (est_iters is
+  /// preserved: it is a data statistic, not a costing output). Run before
+  /// re-annotating a structurally transformed plan.
+  void InvalidateEstimates();
+
+  int ColIndex(const std::string& name) const;
+  bool HasCol(const std::string& name) const { return ColIndex(name) >= 0; }
+  const PTCol* FindCol(const std::string& name) const;
+
+  /// Resolves a (var, path) reference against this node's columns: finds the
+  /// longest column prefix ("i" alone, or dotted "i.gen") and returns the
+  /// column index plus the remaining path steps. Returns false if no column
+  /// matches.
+  bool ResolveVarPath(const std::string& var,
+                      const std::vector<std::string>& path, int* col_index,
+                      std::vector<std::string>* rest) const;
+
+  /// Functional-term rendering in the paper's style, e.g.
+  /// "IJ_disc(Sel_{iname="harpsichord"}(...), Composer)".
+  std::string ToTerm() const;
+
+  /// Structural fingerprint used to detect already-visited plans during
+  /// randomized search.
+  std::string Fingerprint() const;
+
+  /// Total node count of the subtree.
+  size_t TreeSize() const;
+};
+
+using PTPtr = std::unique_ptr<PTNode>;
+
+// --- Convenience constructors (used heavily by the optimizer) --------------
+
+PTPtr MakeEntity(EntityRef entity, std::string binding, const ClassDef* cls);
+PTPtr MakeDelta(std::string fix_name, std::vector<PTCol> cols);
+PTPtr MakeSel(PTPtr child, ExprPtr pred);
+PTPtr MakeProj(PTPtr child, std::vector<OutCol> proj,
+               std::vector<PTCol> out_cols, bool dedup);
+PTPtr MakeEJ(PTPtr left, PTPtr right, ExprPtr pred, JoinAlgo algo);
+PTPtr MakeIJ(PTPtr child, std::string src_var, std::string attr,
+             std::string out_var, const ClassDef* target);
+/// `out_vars[i]` binds the object reached after path step i ("" = unbound);
+/// `step_classes[i]` is the class at that step (for the bound columns).
+PTPtr MakePIJ(PTPtr child, std::string src_var, std::vector<std::string> path,
+              std::vector<std::string> out_vars,
+              std::vector<const ClassDef*> step_classes, const PathIndex* index);
+PTPtr MakeUnion(std::vector<PTPtr> children);
+PTPtr MakeFix(std::string name, PTPtr base, PTPtr recursive);
+
+/// Recomputes every node's output columns bottom-up from its children —
+/// required after structural transformations that change what a subtree
+/// produces (e.g. pushing a join into a fixpoint removes the other side's
+/// columns from everything above it). Projection columns are authoritative
+/// and kept; PIJ step classes are re-derived from the schema when needed.
+void RecomputePTCols(PTNode* node, const Schema& schema);
+
+}  // namespace rodin
+
+#endif  // RODIN_PLAN_PT_H_

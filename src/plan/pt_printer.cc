@@ -1,0 +1,77 @@
+#include "plan/pt_printer.h"
+
+#include "common/string_util.h"
+
+namespace rodin {
+
+namespace {
+
+void PrintRec(const PTNode& node, int depth, bool with_estimates,
+              std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+
+  std::string head = PTKindName(node.kind);
+  switch (node.kind) {
+    case PTKind::kEntity:
+      head += " " + node.entity.ToString() + " as " + node.binding;
+      break;
+    case PTKind::kDelta:
+      head += " of " + node.fix_name;
+      break;
+    case PTKind::kSel:
+      head += " " + (node.pred == nullptr ? "true" : node.pred->ToString());
+      if (node.sel_access == SelAccess::kIndexEq) head += " via index(=)";
+      if (node.sel_access == SelAccess::kIndexRange) head += " via index(<>)";
+      break;
+    case PTKind::kProj: {
+      std::vector<std::string> parts;
+      for (const OutCol& c : node.proj) {
+        parts.push_back(c.name + "=" +
+                        (c.expr == nullptr ? "?" : c.expr->ToString()));
+      }
+      head += " [" + Join(parts, ", ") + "]";
+      if (node.dedup) head += " dedup";
+      break;
+    }
+    case PTKind::kEJ:
+      head += " " + (node.pred == nullptr ? "true" : node.pred->ToString());
+      head += node.algo == JoinAlgo::kIndexJoin ? " (index join)"
+                                                : " (nested loop)";
+      break;
+    case PTKind::kIJ:
+      head += StrFormat("_%s %s -> %s (%s)", node.attr.c_str(),
+                        node.src_var.c_str(), node.out_var.c_str(),
+                        node.target == nullptr ? "?"
+                                               : node.target->name().c_str());
+      break;
+    case PTKind::kPIJ:
+      head += StrFormat("_%s on %s", Join(node.path, ".").c_str(),
+                        node.src_var.c_str());
+      break;
+    case PTKind::kUnion:
+      break;
+    case PTKind::kFix:
+      head += " " + node.fix_name;
+      if (node.naive_fix) head += " (naive)";
+      break;
+  }
+
+  if (with_estimates && node.est_cost >= 0) {
+    head += StrFormat("   {cost=%.1f rows=%.1f}", node.est_cost, node.est_rows);
+  }
+  out->append(head);
+  out->append("\n");
+  for (const auto& c : node.children) {
+    PrintRec(*c, depth + 1, with_estimates, out);
+  }
+}
+
+}  // namespace
+
+std::string PrintPT(const PTNode& node, bool with_estimates) {
+  std::string out;
+  PrintRec(node, 0, with_estimates, &out);
+  return out;
+}
+
+}  // namespace rodin

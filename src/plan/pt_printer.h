@@ -1,0 +1,17 @@
+#ifndef RODIN_PLAN_PT_PRINTER_H_
+#define RODIN_PLAN_PT_PRINTER_H_
+
+#include <string>
+
+#include "plan/pt.h"
+
+namespace rodin {
+
+/// Multi-line, indented rendering of a processing tree, optionally with the
+/// cost-model estimates on each node — the format the benches print for the
+/// Figure 4 plans.
+std::string PrintPT(const PTNode& node, bool with_estimates = true);
+
+}  // namespace rodin
+
+#endif  // RODIN_PLAN_PT_PRINTER_H_

@@ -1,0 +1,65 @@
+#include "query/builder.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace rodin {
+
+NodeBuilder& NodeBuilder::Input(std::string name, std::string var) {
+  node_.inputs.push_back(Arc{std::move(name), std::move(var)});
+  return *this;
+}
+
+NodeBuilder& NodeBuilder::Let(std::string var, std::string root,
+                              std::vector<std::string> path) {
+  node_.lets.push_back(PathVar{std::move(var), std::move(root), std::move(path)});
+  return *this;
+}
+
+NodeBuilder& NodeBuilder::Where(ExprPtr pred) {
+  RODIN_CHECK(pred != nullptr, "null predicate");
+  if (node_.pred == nullptr) {
+    node_.pred = std::move(pred);
+  } else {
+    node_.pred = Expr::And({node_.pred, std::move(pred)});
+  }
+  return *this;
+}
+
+NodeBuilder& NodeBuilder::Out(std::string col, ExprPtr expr) {
+  RODIN_CHECK(expr != nullptr, "null output expression");
+  node_.out.push_back(OutCol{std::move(col), std::move(expr)});
+  return *this;
+}
+
+NodeBuilder& NodeBuilder::OutPath(std::string col, std::string var,
+                                  std::vector<std::string> path) {
+  return Out(std::move(col), Expr::Path(std::move(var), std::move(path)));
+}
+
+NodeBuilder& QueryGraphBuilder::Node(std::string output, std::string label) {
+  nodes_.emplace_back();
+  nodes_.back().node_.output = std::move(output);
+  nodes_.back().node_.label = std::move(label);
+  return nodes_.back();
+}
+
+QueryGraph QueryGraphBuilder::BuildUnchecked() const {
+  QueryGraph graph;
+  graph.answer = answer_;
+  for (const NodeBuilder& nb : nodes_) graph.nodes.push_back(nb.node_);
+  return graph;
+}
+
+QueryGraph QueryGraphBuilder::Build(const Schema& schema) const {
+  QueryGraph graph = BuildUnchecked();
+  const std::vector<std::string> errors = graph.Validate(schema);
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "QueryGraph error: %s\n", e.c_str());
+  }
+  RODIN_CHECK(errors.empty(), "invalid query graph");
+  return graph;
+}
+
+}  // namespace rodin

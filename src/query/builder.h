@@ -1,0 +1,56 @@
+#ifndef RODIN_QUERY_BUILDER_H_
+#define RODIN_QUERY_BUILDER_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace rodin {
+
+/// Fluent construction of one predicate node. Obtained from
+/// QueryGraphBuilder::Node(); all methods return *this for chaining.
+class NodeBuilder {
+ public:
+  NodeBuilder& Input(std::string name, std::string var);
+  NodeBuilder& Let(std::string var, std::string root,
+                   std::vector<std::string> path);
+  /// Conjoins `pred` onto the node's predicate.
+  NodeBuilder& Where(ExprPtr pred);
+  NodeBuilder& Out(std::string col, ExprPtr expr);
+  /// Shorthand for Out(col, Expr::Path(var, path)).
+  NodeBuilder& OutPath(std::string col, std::string var,
+                       std::vector<std::string> path = {});
+
+ private:
+  friend class QueryGraphBuilder;
+  PredicateNode node_;
+};
+
+/// Builds query graphs through the typed API (the library has no textual
+/// query language; see DESIGN.md §6).
+class QueryGraphBuilder {
+ public:
+  explicit QueryGraphBuilder(std::string answer = "Answer")
+      : answer_(std::move(answer)) {}
+
+  /// Starts a predicate node producing name node `output`.
+  NodeBuilder& Node(std::string output, std::string label = "");
+
+  /// Assembles the graph and validates it against `schema`; aborts with the
+  /// violation list on invalid graphs (tests use QueryGraph::Validate
+  /// directly for negative cases).
+  QueryGraph Build(const Schema& schema) const;
+
+  /// Assembles without validation.
+  QueryGraph BuildUnchecked() const;
+
+ private:
+  std::string answer_;
+  std::deque<NodeBuilder> nodes_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_QUERY_BUILDER_H_

@@ -1,0 +1,215 @@
+#include "query/expr.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Lit(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Path(std::string var, std::vector<std::string> path) {
+  RODIN_CHECK(!var.empty(), "path expression needs a variable");
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kVarPath;
+  e->var_ = std::move(var);
+  e->path_ = std::move(path);
+  return e;
+}
+
+ExprPtr Expr::Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  RODIN_CHECK(lhs != nullptr && rhs != nullptr, "null comparison operand");
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCompare;
+  e->compare_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  RODIN_CHECK(lhs != nullptr && rhs != nullptr, "null arithmetic operand");
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kArith;
+  e->arith_op_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::And(std::vector<ExprPtr> children) {
+  RODIN_CHECK(!children.empty(), "empty conjunction");
+  if (children.size() == 1) return children[0];
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kAnd;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::Or(std::vector<ExprPtr> children) {
+  RODIN_CHECK(!children.empty(), "empty disjunction");
+  if (children.size() == 1) return children[0];
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kOr;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr child) {
+  RODIN_CHECK(child != nullptr, "null negation operand");
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+std::set<std::string> Expr::FreeVars() const {
+  std::set<std::string> out;
+  if (kind_ == ExprKind::kVarPath) out.insert(var_);
+  for (const ExprPtr& c : children_) {
+    const std::set<std::string> sub = c->FreeVars();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<ExprPtr> Expr::Conjuncts() const {
+  std::vector<ExprPtr> out;
+  if (kind_ == ExprKind::kAnd) {
+    for (const ExprPtr& c : children_) {
+      const std::vector<ExprPtr> sub = c->Conjuncts();
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  } else {
+    // Rebuild this node as a shared copy of itself.
+    auto self = std::shared_ptr<Expr>(new Expr(*this));
+    out.push_back(self);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, std::vector<std::string>>> Expr::VarPaths()
+    const {
+  std::vector<std::pair<std::string, std::vector<std::string>>> out;
+  if (kind_ == ExprKind::kVarPath) out.emplace_back(var_, path_);
+  for (const ExprPtr& c : children_) {
+    auto sub = c->VarPaths();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+ExprPtr Expr::RenameVar(const std::string& from, const std::string& to) const {
+  auto e = std::shared_ptr<Expr>(new Expr(*this));
+  if (kind_ == ExprKind::kVarPath && var_ == from) e->var_ = to;
+  for (ExprPtr& c : e->children_) c = c->RenameVar(from, to);
+  return e;
+}
+
+ExprPtr Expr::PrependPath(const std::string& var,
+                          const std::vector<std::string>& prefix) const {
+  auto e = std::shared_ptr<Expr>(new Expr(*this));
+  if (kind_ == ExprKind::kVarPath && var_ == var) {
+    std::vector<std::string> path = prefix;
+    path.insert(path.end(), path_.begin(), path_.end());
+    e->path_ = std::move(path);
+  }
+  for (ExprPtr& c : e->children_) c = c->PrependPath(var, prefix);
+  return e;
+}
+
+ExprPtr Expr::RebaseStep(const std::string& var, const std::string& attr,
+                         const std::string& new_var) const {
+  auto e = std::shared_ptr<Expr>(new Expr(*this));
+  if (kind_ == ExprKind::kVarPath && var_ == var && !path_.empty() &&
+      path_.front() == attr) {
+    e->var_ = new_var;
+    e->path_.assign(path_.begin() + 1, path_.end());
+  }
+  for (ExprPtr& c : e->children_) c = c->RebaseStep(var, attr, new_var);
+  return e;
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      if (literal_ != other.literal_) return false;
+      break;
+    case ExprKind::kVarPath:
+      if (var_ != other.var_ || path_ != other.path_) return false;
+      break;
+    case ExprKind::kCompare:
+      if (compare_op_ != other.compare_op_) return false;
+      break;
+    case ExprKind::kArith:
+      if (arith_op_ != other.arith_op_) return false;
+      break;
+    default:
+      break;
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kVarPath: {
+      std::string out = var_;
+      for (const std::string& a : path_) out += "." + a;
+      return out;
+    }
+    case ExprKind::kCompare:
+      return "(" + children_[0]->ToString() + " " +
+             CompareOpName(compare_op_) + " " + children_[1]->ToString() + ")";
+    case ExprKind::kArith:
+      return "(" + children_[0]->ToString() +
+             (arith_op_ == ArithOp::kAdd ? " + " : " - ") +
+             children_[1]->ToString() + ")";
+    case ExprKind::kAnd: {
+      std::vector<std::string> parts;
+      for (const ExprPtr& c : children_) parts.push_back(c->ToString());
+      return "(" + Join(parts, " and ") + ")";
+    }
+    case ExprKind::kOr: {
+      std::vector<std::string> parts;
+      for (const ExprPtr& c : children_) parts.push_back(c->ToString());
+      return "(" + Join(parts, " or ") + ")";
+    }
+    case ExprKind::kNot:
+      return "not " + children_[0]->ToString();
+  }
+  return "?";
+}
+
+ExprPtr ConjunctionOf(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  return Expr::And(std::move(conjuncts));
+}
+
+}  // namespace rodin

@@ -1,0 +1,109 @@
+#ifndef RODIN_QUERY_EXPR_H_
+#define RODIN_QUERY_EXPR_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace rodin {
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class ExprKind {
+  kLiteral,  // a constant Value
+  kVarPath,  // variable followed by an attribute path: x.master.works.title
+  kCompare,  // binary comparison
+  kArith,    // binary arithmetic (+, -)
+  kAnd,      // n-ary conjunction
+  kOr,       // n-ary disjunction
+  kNot,      // negation
+};
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub };
+
+const char* CompareOpName(CompareOp op);
+
+/// Immutable boolean/scalar expression over variables bound by query-graph
+/// arcs. Path expressions (the paper's O1.A1.A2...An, §1) appear as kVarPath
+/// nodes; method calls are paths whose final attribute is computed.
+/// Instances are shared via ExprPtr and never mutated — transformations
+/// build new nodes.
+class Expr {
+ public:
+  // --- Factories -----------------------------------------------------------
+  static ExprPtr Lit(Value v);
+  static ExprPtr Path(std::string var, std::vector<std::string> path = {});
+  static ExprPtr Cmp(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr And(std::vector<ExprPtr> children);
+  static ExprPtr Or(std::vector<ExprPtr> children);
+  static ExprPtr Not(ExprPtr child);
+
+  /// Convenience: var.path == "literal" etc.
+  static ExprPtr Eq(ExprPtr lhs, ExprPtr rhs) {
+    return Cmp(CompareOp::kEq, std::move(lhs), std::move(rhs));
+  }
+
+  ExprKind kind() const { return kind_; }
+  const Value& literal() const { return literal_; }
+  const std::string& var() const { return var_; }
+  const std::vector<std::string>& path() const { return path_; }
+  CompareOp compare_op() const { return compare_op_; }
+  ArithOp arith_op() const { return arith_op_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  /// Variables referenced anywhere in the expression.
+  std::set<std::string> FreeVars() const;
+
+  /// Splits a top-level conjunction into its conjuncts (a non-AND expression
+  /// is its own single conjunct). This is how the optimizer "consumes" the
+  /// Boolean predicate of a predicate node (paper §4.4).
+  std::vector<ExprPtr> Conjuncts() const;
+
+  /// All (var, attribute-path) pairs referenced in the expression; used to
+  /// derive tree labels and translate paths into implicit joins.
+  std::vector<std::pair<std::string, std::vector<std::string>>> VarPaths() const;
+
+  /// Returns a copy with variable `from` renamed to `to` everywhere.
+  ExprPtr RenameVar(const std::string& from, const std::string& to) const;
+
+  /// Returns a copy where every kVarPath on `var` has `prefix` prepended to
+  /// its path (rebasing a predicate onto an upstream object variable).
+  ExprPtr PrependPath(const std::string& var,
+                      const std::vector<std::string>& prefix) const;
+
+  /// Returns a copy where kVarPath nodes on `var` whose path starts with
+  /// `attr` are rewritten to root at `new_var` with the first step dropped
+  /// (used after an implicit join materializes var.attr as new_var).
+  ExprPtr RebaseStep(const std::string& var, const std::string& attr,
+                     const std::string& new_var) const;
+
+  /// Structural equality.
+  bool Equals(const Expr& other) const;
+
+  std::string ToString() const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  Value literal_;
+  std::string var_;
+  std::vector<std::string> path_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  ArithOp arith_op_ = ArithOp::kAdd;
+  std::vector<ExprPtr> children_;
+};
+
+/// Conjoins a list of conjuncts back into a single predicate; returns
+/// nullptr for an empty list (meaning "true").
+ExprPtr ConjunctionOf(std::vector<ExprPtr> conjuncts);
+
+}  // namespace rodin
+
+#endif  // RODIN_QUERY_EXPR_H_

@@ -1,0 +1,36 @@
+#include "query/graph_queries.h"
+
+#include "query/builder.h"
+
+namespace rodin {
+
+QueryGraph GraphClosureQuery(const GraphConfig& config, const Schema& schema,
+                             const std::string& label) {
+  QueryGraphBuilder b;
+  b.Node("Ancestor", "P1")
+      .Input("Node", "x")
+      .OutPath("anc", "x", {"parent"})
+      .OutPath("node", "x")
+      .Out("dist", Expr::Lit(Value::Int(1)));
+  b.Node("Ancestor", "P2")
+      .Input("Ancestor", "a")
+      .Input("Node", "x")
+      .Where(Expr::Eq(Expr::Path("a", {"node"}), Expr::Path("x", {"parent"})))
+      .OutPath("anc", "a", {"anc"})
+      .OutPath("node", "x")
+      .Out("dist", Expr::Arith(ArithOp::kAdd, Expr::Path("a", {"dist"}),
+                               Expr::Lit(Value::Int(1))));
+
+  std::vector<std::string> sel_path = {"anc"};
+  for (const std::string& hop : GraphSelectionPath(config)) {
+    sel_path.push_back(hop);
+  }
+  sel_path.push_back("label");
+  b.Node("Answer", "P3")
+      .Input("Ancestor", "a")
+      .Where(Expr::Eq(Expr::Path("a", sel_path), Expr::Lit(Value::Str(label))))
+      .OutPath("n", "a", {"node", "nname"});
+  return b.Build(schema);
+}
+
+}  // namespace rodin

@@ -1,0 +1,28 @@
+#ifndef RODIN_QUERY_GRAPH_QUERIES_H_
+#define RODIN_QUERY_GRAPH_QUERIES_H_
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "datagen/graph_gen.h"
+#include "query/query_graph.h"
+
+namespace rodin {
+
+/// The parameterized recursive query over a GenerateGraphDb() database used
+/// by the crossover experiments (E6): the Ancestor closure of Node.parent,
+/// filtered by a selection whose evaluation requires `config.path_len`
+/// implicit joins:
+///
+///   Ancestor(anc, node, dist)  — transitive closure over parent
+///   Answer: node names where anc.hop1...hopK.label = `label`
+///
+/// The selection's estimated selectivity is 1 / config.num_labels; its
+/// evaluation cost grows with config.path_len — the two axes of the paper's
+/// push/no-push trade-off.
+QueryGraph GraphClosureQuery(const GraphConfig& config, const Schema& schema,
+                             const std::string& label = "label_0");
+
+}  // namespace rodin
+
+#endif  // RODIN_QUERY_GRAPH_QUERIES_H_

@@ -1,0 +1,79 @@
+#include "query/paper_queries.h"
+
+#include "query/builder.h"
+
+namespace rodin {
+
+QueryGraph Fig2Query(const Schema& schema) {
+  QueryGraphBuilder b;
+  b.Node("Answer", "P")
+      .Input("Composer", "x")
+      .Let("t", "x", {"works"})
+      .Let("i1", "t", {"instruments"})
+      .Let("i2", "t", {"instruments"})
+      .Where(Expr::Eq(Expr::Path("x", {"name"}), Expr::Lit(Value::Str("Bach"))))
+      .Where(Expr::Eq(Expr::Path("i1", {"iname"}),
+                      Expr::Lit(Value::Str("harpsichord"))))
+      .Where(Expr::Eq(Expr::Path("i2", {"iname"}),
+                      Expr::Lit(Value::Str("flute"))))
+      .OutPath("title", "t", {"title"});
+  return b.Build(schema);
+}
+
+QueryGraph Fig3Query(const Schema& schema, int64_t generations,
+                     const std::string& instrument) {
+  QueryGraphBuilder b;
+  // P1 — base: select [master: x.master, disciple: x, gen: 1] from Composer.
+  b.Node("Influencer", "P1")
+      .Input("Composer", "x")
+      .OutPath("master", "x", {"master"})
+      .OutPath("disciple", "x")
+      .Out("gen", Expr::Lit(Value::Int(1)));
+  // P2 — recursive: join Influencer with Composer on disciple = master.
+  b.Node("Influencer", "P2")
+      .Input("Influencer", "i")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("i", {"disciple"}), Expr::Path("x", {"master"})))
+      .OutPath("master", "i", {"master"})
+      .OutPath("disciple", "x")
+      .Out("gen", Expr::Arith(ArithOp::kAdd, Expr::Path("i", {"gen"}),
+                              Expr::Lit(Value::Int(1))));
+  // P3 — the query on the view: the selective path expression
+  // master.works.instruments.iname plus the gen threshold.
+  b.Node("Answer", "P3")
+      .Input("Influencer", "j")
+      .Where(Expr::Eq(Expr::Path("j", {"master", "works", "instruments", "iname"}),
+                      Expr::Lit(Value::Str(instrument))))
+      .Where(Expr::Cmp(CompareOp::kGe, Expr::Path("j", {"gen"}),
+                       Expr::Lit(Value::Int(generations))))
+      .OutPath("dname", "j", {"disciple", "name"});
+  return b.Build(schema);
+}
+
+QueryGraph PushJoinQuery(const Schema& schema) {
+  QueryGraphBuilder b;
+  b.Node("Influencer", "P1")
+      .Input("Composer", "x")
+      .OutPath("master", "x", {"master"})
+      .OutPath("disciple", "x")
+      .Out("gen", Expr::Lit(Value::Int(1)));
+  b.Node("Influencer", "P2")
+      .Input("Influencer", "i")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("i", {"disciple"}), Expr::Path("x", {"master"})))
+      .OutPath("master", "i", {"master"})
+      .OutPath("disciple", "x")
+      .Out("gen", Expr::Arith(ArithOp::kAdd, Expr::Path("i", {"gen"}),
+                              Expr::Lit(Value::Int(1))));
+  // P3 — Influencer.master = Composer.master and Composer.name = "Bach":
+  // very selective, restricting the recursion to Bach's own lineage.
+  b.Node("Answer", "P3")
+      .Input("Influencer", "j")
+      .Input("Composer", "y")
+      .Where(Expr::Eq(Expr::Path("j", {"master"}), Expr::Path("y", {"master"})))
+      .Where(Expr::Eq(Expr::Path("y", {"name"}), Expr::Lit(Value::Str("Bach"))))
+      .OutPath("dname", "j", {"disciple", "name"});
+  return b.Build(schema);
+}
+
+}  // namespace rodin

@@ -1,0 +1,33 @@
+#ifndef RODIN_QUERY_PAPER_QUERIES_H_
+#define RODIN_QUERY_PAPER_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "catalog/schema.h"
+#include "query/query_graph.h"
+
+namespace rodin {
+
+/// The paper's running-example queries, stated over the music schema
+/// produced by GenerateMusicDb(). (Attribute names follow this library's
+/// schema: Person.name, Instrument.iname, Composition.title.)
+
+/// Figure 2: "the title of the works of Bach including a harpsichord and a
+/// flute" — path variables t (work), i1, i2 (instruments of that work).
+QueryGraph Fig2Query(const Schema& schema);
+
+/// Figure 3: "the names of the composers influenced by composers for
+/// harpsichord that lived `generations` generations before". Defines the
+/// recursive Influencer view (P1 base, P2 recursive) plus the query node P3.
+QueryGraph Fig3Query(const Schema& schema, int64_t generations = 6,
+                     const std::string& instrument = "harpsichord");
+
+/// §4.5: "the composers that were influenced by the masters of Bach" — an
+/// explicit, highly selective join between Influencer and Composer that is
+/// worth pushing through recursion.
+QueryGraph PushJoinQuery(const Schema& schema);
+
+}  // namespace rodin
+
+#endif  // RODIN_QUERY_PAPER_QUERIES_H_

@@ -1,0 +1,425 @@
+#include "query/parser.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "query/builder.h"
+
+namespace rodin {
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kReal,
+  kString,
+  kSymbol,  // punctuation / operators
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int64_t int_value = 0;
+  double real_value = 0;
+  size_t line = 1;
+  size_t col = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& cur() const { return cur_; }
+
+  void Advance() {
+    SkipSpace();
+    cur_ = Token{};
+    cur_.line = line_;
+    cur_.col = col_;
+    if (pos_ >= text_.size()) {
+      cur_.kind = TokKind::kEnd;
+      return;
+    }
+    const char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        Bump();
+      }
+      cur_.kind = TokKind::kIdent;
+      cur_.text = text_.substr(start, pos_ - start);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      bool real = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        // A '.' followed by a non-digit is a path separator, not a decimal
+        // point (e.g. in "1.x" — not valid anyway, but keep lexing sane).
+        if (text_[pos_] == '.') {
+          if (pos_ + 1 >= text_.size() ||
+              !std::isdigit(static_cast<unsigned char>(text_[pos_ + 1]))) {
+            break;
+          }
+          real = true;
+        }
+        Bump();
+      }
+      cur_.text = text_.substr(start, pos_ - start);
+      if (real) {
+        cur_.kind = TokKind::kReal;
+        cur_.real_value = std::stod(cur_.text);
+      } else {
+        cur_.kind = TokKind::kInt;
+        cur_.int_value = std::stoll(cur_.text);
+      }
+      return;
+    }
+    if (c == '"') {
+      Bump();
+      std::string out;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        out += text_[pos_];
+        Bump();
+      }
+      if (pos_ < text_.size()) Bump();  // closing quote
+      cur_.kind = TokKind::kString;
+      cur_.text = std::move(out);
+      return;
+    }
+    // Two-character operators first.
+    static const char* kTwo[] = {"!=", "<=", ">="};
+    for (const char* op : kTwo) {
+      if (text_.compare(pos_, 2, op) == 0) {
+        cur_.kind = TokKind::kSymbol;
+        cur_.text = op;
+        Bump();
+        Bump();
+        return;
+      }
+    }
+    cur_.kind = TokKind::kSymbol;
+    cur_.text = std::string(1, c);
+    Bump();
+  }
+
+ private:
+  void Bump() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Bump();
+        continue;
+      }
+      // Comments: -- to end of line.
+      if (c == '-' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '-') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Bump();
+        continue;
+      }
+      break;
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t col_ = 1;
+  Token cur_;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, const Schema& schema)
+      : lexer_(text), schema_(schema) {}
+
+  ParseResult Run() {
+    ParseResult result;
+    QueryGraphBuilder builder;
+    int label = 0;
+    while (!failed_ && lexer_.cur().kind != TokKind::kEnd) {
+      if (IsKeyword("relation")) {
+        ParseRelationDef(&builder, &label);
+      } else if (IsKeyword("select")) {
+        ParseSelect(&builder, "Answer", StrFormat("P%d", ++label));
+        break;  // the final select is the answer
+      } else {
+        Fail("expected 'relation' or 'select'");
+      }
+    }
+    if (!failed_ && lexer_.cur().kind != TokKind::kEnd) {
+      Fail("unexpected trailing input after the answer select");
+    }
+    if (failed_) {
+      result.error = error_;
+      return result;
+    }
+    QueryGraph graph = builder.BuildUnchecked();
+    const std::vector<std::string> errors = graph.Validate(schema_);
+    if (!errors.empty()) {
+      result.error = "semantic error: " + Join(errors, "; ");
+      return result;
+    }
+    result.ok = true;
+    result.graph = std::move(graph);
+    return result;
+  }
+
+ private:
+  // --- Token helpers --------------------------------------------------------
+
+  bool IsKeyword(const char* kw) const {
+    return lexer_.cur().kind == TokKind::kIdent && lexer_.cur().text == kw;
+  }
+
+  bool IsSymbol(const char* s) const {
+    return lexer_.cur().kind == TokKind::kSymbol && lexer_.cur().text == s;
+  }
+
+  void Expect(const char* what, bool ok) {
+    if (!ok && !failed_) {
+      Fail(StrFormat("expected %s, found '%s'", what,
+                     lexer_.cur().text.c_str()));
+    }
+  }
+
+  void ExpectKeyword(const char* kw) {
+    Expect(kw, IsKeyword(kw));
+    if (!failed_) lexer_.Advance();
+  }
+
+  void ExpectSymbol(const char* s) {
+    Expect(s, IsSymbol(s));
+    if (!failed_) lexer_.Advance();
+  }
+
+  std::string ExpectIdent(const char* what) {
+    if (lexer_.cur().kind != TokKind::kIdent) {
+      Fail(StrFormat("expected %s, found '%s'", what,
+                     lexer_.cur().text.c_str()));
+      return "";
+    }
+    std::string out = lexer_.cur().text;
+    lexer_.Advance();
+    return out;
+  }
+
+  void Fail(const std::string& message) {
+    if (failed_) return;
+    failed_ = true;
+    error_ = StrFormat("parse error at %zu:%zu: %s", lexer_.cur().line,
+                       lexer_.cur().col, message.c_str());
+  }
+
+  // --- Grammar ----------------------------------------------------------------
+
+  // relation NAME includes <select-block> { union <select-block> }
+  void ParseRelationDef(QueryGraphBuilder* builder, int* label) {
+    ExpectKeyword("relation");
+    const std::string name = ExpectIdent("view name");
+    ExpectKeyword("includes");
+    if (failed_) return;
+    while (!failed_) {
+      const bool parenthesized = IsSymbol("(");
+      if (parenthesized) lexer_.Advance();
+      ParseSelect(builder, name, StrFormat("P%d", ++*label));
+      if (parenthesized) ExpectSymbol(")");
+      if (IsKeyword("union")) {
+        lexer_.Advance();
+        continue;
+      }
+      break;
+    }
+  }
+
+  // select [col: expr, ...] from binding {, binding} [where pred]
+  void ParseSelect(QueryGraphBuilder* builder, const std::string& output,
+                   const std::string& label) {
+    ExpectKeyword("select");
+    ExpectSymbol("[");
+    if (failed_) return;
+    NodeBuilder& node = builder->Node(output, label);
+    // Output columns.
+    while (!failed_) {
+      const std::string col = ExpectIdent("output column name");
+      ExpectSymbol(":");
+      ExprPtr e = ParseSum();
+      if (failed_) return;
+      node.Out(col, std::move(e));
+      if (IsSymbol(",")) {
+        lexer_.Advance();
+        continue;
+      }
+      break;
+    }
+    ExpectSymbol("]");
+    ExpectKeyword("from");
+    // Bindings.
+    while (!failed_) {
+      const std::string var = ExpectIdent("variable");
+      ExpectKeyword("in");
+      if (failed_) return;
+      // `x in Composer` (arc) vs `t in x.works` (path variable): a source
+      // with a dot, or whose head is an already-bound variable, is a path.
+      const std::string head = ExpectIdent("source");
+      if (IsSymbol(".")) {
+        std::vector<std::string> path;
+        while (IsSymbol(".")) {
+          lexer_.Advance();
+          path.push_back(ExpectIdent("attribute"));
+        }
+        node.Let(var, head, std::move(path));
+      } else {
+        node.Input(head, var);
+      }
+      if (IsSymbol(",")) {
+        lexer_.Advance();
+        continue;
+      }
+      break;
+    }
+    if (IsKeyword("where")) {
+      lexer_.Advance();
+      ExprPtr pred = ParseOr();
+      if (!failed_) node.Where(std::move(pred));
+    }
+  }
+
+  // or := and { 'or' and }
+  ExprPtr ParseOr() {
+    std::vector<ExprPtr> parts = {ParseAnd()};
+    while (!failed_ && IsKeyword("or")) {
+      lexer_.Advance();
+      parts.push_back(ParseAnd());
+    }
+    if (failed_) return Expr::Lit(Value::Bool(true));
+    return parts.size() == 1 ? parts[0] : Expr::Or(std::move(parts));
+  }
+
+  // and := not { 'and' not }
+  ExprPtr ParseAnd() {
+    std::vector<ExprPtr> parts = {ParseNot()};
+    while (!failed_ && IsKeyword("and")) {
+      lexer_.Advance();
+      parts.push_back(ParseNot());
+    }
+    if (failed_) return Expr::Lit(Value::Bool(true));
+    return parts.size() == 1 ? parts[0] : Expr::And(std::move(parts));
+  }
+
+  ExprPtr ParseNot() {
+    if (IsKeyword("not")) {
+      lexer_.Advance();
+      return failed_ ? Expr::Lit(Value::Bool(true)) : Expr::Not(ParseNot());
+    }
+    return ParseComparison();
+  }
+
+  ExprPtr ParseComparison() {
+    if (IsSymbol("(")) {
+      lexer_.Advance();
+      ExprPtr inner = ParseOr();
+      ExpectSymbol(")");
+      return inner;
+    }
+    ExprPtr lhs = ParseSum();
+    if (failed_) return lhs;
+    static const std::pair<const char*, CompareOp> kOps[] = {
+        {"!=", CompareOp::kNe}, {"<=", CompareOp::kLe},
+        {">=", CompareOp::kGe}, {"=", CompareOp::kEq},
+        {"<", CompareOp::kLt},  {">", CompareOp::kGt},
+    };
+    for (const auto& [sym, op] : kOps) {
+      if (IsSymbol(sym)) {
+        lexer_.Advance();
+        ExprPtr rhs = ParseSum();
+        if (failed_) return lhs;
+        return Expr::Cmp(op, std::move(lhs), std::move(rhs));
+      }
+    }
+    return lhs;  // bare expression (e.g. a boolean path)
+  }
+
+  // sum := term { ('+'|'-') term }
+  ExprPtr ParseSum() {
+    ExprPtr lhs = ParseTerm();
+    while (!failed_ && (IsSymbol("+") || IsSymbol("-"))) {
+      const ArithOp op = IsSymbol("+") ? ArithOp::kAdd : ArithOp::kSub;
+      lexer_.Advance();
+      ExprPtr rhs = ParseTerm();
+      if (failed_) break;
+      lhs = Expr::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // term := literal | var { '.' attr }
+  ExprPtr ParseTerm() {
+    const Token& t = lexer_.cur();
+    switch (t.kind) {
+      case TokKind::kInt: {
+        const int64_t v = t.int_value;
+        lexer_.Advance();
+        return Expr::Lit(Value::Int(v));
+      }
+      case TokKind::kReal: {
+        const double v = t.real_value;
+        lexer_.Advance();
+        return Expr::Lit(Value::Real(v));
+      }
+      case TokKind::kString: {
+        const std::string v = t.text;
+        lexer_.Advance();
+        return Expr::Lit(Value::Str(v));
+      }
+      case TokKind::kIdent: {
+        if (t.text == "true" || t.text == "false") {
+          const bool v = t.text == "true";
+          lexer_.Advance();
+          return Expr::Lit(Value::Bool(v));
+        }
+        const std::string var = t.text;
+        lexer_.Advance();
+        std::vector<std::string> path;
+        while (IsSymbol(".")) {
+          lexer_.Advance();
+          path.push_back(ExpectIdent("attribute"));
+          if (failed_) break;
+        }
+        return Expr::Path(var, std::move(path));
+      }
+      default:
+        Fail(StrFormat("expected an expression, found '%s'", t.text.c_str()));
+        return Expr::Lit(Value::Null());
+    }
+  }
+
+  Lexer lexer_;
+  const Schema& schema_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace
+
+ParseResult ParseQuery(const std::string& text, const Schema& schema) {
+  Parser parser(text, schema);
+  return parser.Run();
+}
+
+}  // namespace rodin

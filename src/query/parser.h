@@ -1,0 +1,39 @@
+#ifndef RODIN_QUERY_PARSER_H_
+#define RODIN_QUERY_PARSER_H_
+
+#include <string>
+
+#include "catalog/schema.h"
+#include "query/query_graph.h"
+
+namespace rodin {
+
+/// Parser for the ESQL-flavoured surface syntax the paper uses to define
+/// recursive views (§2.3):
+///
+///   relation Influencer includes
+///     (select [master: x.master, disciple: x, gen: 1] from x in Composer)
+///     union
+///     (select [master: i.master, disciple: x, gen: i.gen + 1]
+///      from i in Influencer, x in Composer where i.disciple = x.master)
+///
+///   select [dname: j.disciple.name] from j in Influencer
+///   where j.master.works.instruments.iname = "harpsichord" and j.gen >= 6
+///
+/// A query text is a sequence of `relation <Name> includes <select> [union
+/// <select>]...` view definitions followed by one final select (the
+/// answer). `from` bindings are either arcs (`x in Composer`) or path
+/// variables (`t in x.works`, the paper's tree-label variables). The result
+/// is a QueryGraph identical to what the typed builder would produce.
+struct ParseResult {
+  bool ok = false;
+  QueryGraph graph;
+  std::string error;  // with line/column on failure
+};
+
+/// Parses `text` against `schema`. On success the graph is also validated.
+ParseResult ParseQuery(const std::string& text, const Schema& schema);
+
+}  // namespace rodin
+
+#endif  // RODIN_QUERY_PARSER_H_

@@ -1,0 +1,485 @@
+#include "query/query_graph.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+const Arc* PredicateNode::FindInput(const std::string& var) const {
+  for (const Arc& a : inputs) {
+    if (a.var == var) return &a;
+  }
+  return nullptr;
+}
+
+const PathVar* PredicateNode::FindLet(const std::string& var) const {
+  for (const PathVar& p : lets) {
+    if (p.var == var) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<const PredicateNode*> QueryGraph::ProducersOf(
+    const std::string& name) const {
+  std::vector<const PredicateNode*> out;
+  for (const PredicateNode& n : nodes) {
+    if (n.output == name) out.push_back(&n);
+  }
+  return out;
+}
+
+std::set<std::string> QueryGraph::DerivedNames() const {
+  std::set<std::string> out;
+  for (const PredicateNode& n : nodes) out.insert(n.output);
+  return out;
+}
+
+bool QueryGraph::IsRecursiveName(const std::string& name) const {
+  // BFS over "name A feeds a producer of name B" edges, from `name`.
+  std::set<std::string> reached;
+  std::vector<std::string> frontier = {name};
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& cur : frontier) {
+      for (const PredicateNode& n : nodes) {
+        bool uses_cur = false;
+        for (const Arc& a : n.inputs) {
+          if (a.name == cur) uses_cur = true;
+        }
+        if (!uses_cur) continue;
+        if (n.output == name) return true;
+        if (reached.insert(n.output).second) next.push_back(n.output);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return false;
+}
+
+bool QueryGraph::TryBindingOf(const PredicateNode& node, const std::string& var,
+                              const Schema& schema, VarBinding* out) const {
+  if (const Arc* arc = node.FindInput(var)) {
+    if (const ClassDef* cls = schema.FindClass(arc->name)) {
+      out->kind = NameKind::kClass;
+      out->cls = cls;
+    } else if (const RelationDef* rel = schema.FindRelation(arc->name)) {
+      out->kind = NameKind::kRelation;
+      out->rel = rel;
+    } else {
+      out->kind = NameKind::kDerived;
+      out->derived_name = arc->name;
+    }
+    return true;
+  }
+  const PathVar* let = node.FindLet(var);
+  if (let == nullptr) return false;
+  VarBinding root;
+  if (!TryBindingOf(node, let->root, schema, &root)) return false;
+  const PathTarget t = ResolvePath(root, let->path, schema);
+  if (!t.valid || t.cls == nullptr) return false;
+  out->kind = NameKind::kClass;
+  out->cls = t.cls;
+  return true;
+}
+
+VarBinding QueryGraph::BindingOf(const PredicateNode& node,
+                                 const std::string& var,
+                                 const Schema& schema) const {
+  VarBinding b;
+  RODIN_CHECK(TryBindingOf(node, var, schema, &b),
+              "variable unbound or path variable unresolvable");
+  return b;
+}
+
+namespace {
+
+// Walks `path` starting from class `cls`, filling `target`.
+void WalkClassPath(const Schema& schema, const ClassDef* cls,
+                   const std::vector<std::string>& path, size_t start,
+                   PathTarget* target) {
+  const ClassDef* cur = cls;
+  for (size_t i = start; i < path.size(); ++i) {
+    const Attribute* a = cur->FindAttribute(path[i]);
+    if (a == nullptr) {
+      target->valid = false;
+      target->error = StrFormat("attribute %s not found on class %s",
+                                path[i].c_str(), cur->name().c_str());
+      return;
+    }
+    const Type* t = a->type;
+    if (t->IsCollection()) {
+      target->via_collection = true;
+      t = t->elem();
+    }
+    if (t->kind() == TypeKind::kObject) {
+      cur = schema.FindClass(t->class_name());
+      if (cur == nullptr) {
+        target->valid = false;
+        target->error = "dangling class " + t->class_name();
+        return;
+      }
+      continue;
+    }
+    // Atomic endpoint must be the last step.
+    if (i + 1 != path.size()) {
+      target->valid = false;
+      target->error = StrFormat("path continues past atomic attribute %s",
+                                path[i].c_str());
+      return;
+    }
+    target->valid = true;
+    target->atomic = true;
+    target->cls = nullptr;
+    return;
+  }
+  target->valid = true;
+  target->atomic = false;
+  target->cls = cur;
+}
+
+}  // namespace
+
+PathTarget QueryGraph::ResolvePath(const VarBinding& binding,
+                                   const std::vector<std::string>& path,
+                                   const Schema& schema) const {
+  PathTarget target;
+  switch (binding.kind) {
+    case NameKind::kClass:
+      WalkClassPath(schema, binding.cls, path, 0, &target);
+      return target;
+    case NameKind::kRelation: {
+      if (path.empty()) {
+        target.valid = true;
+        target.atomic = false;  // whole tuple
+        return target;
+      }
+      const Attribute* a = binding.rel->FindAttribute(path[0]);
+      if (a == nullptr) {
+        target.error = StrFormat("column %s not in relation %s",
+                                 path[0].c_str(), binding.rel->name().c_str());
+        return target;
+      }
+      const Type* t = a->type;
+      if (t->IsCollection()) {
+        target.via_collection = true;
+        t = t->elem();
+      }
+      if (t->kind() == TypeKind::kObject) {
+        const ClassDef* cls = schema.FindClass(t->class_name());
+        if (cls == nullptr) {
+          target.error = "dangling class " + t->class_name();
+          return target;
+        }
+        WalkClassPath(schema, cls, path, 1, &target);
+        return target;
+      }
+      if (path.size() != 1) {
+        target.error = "path continues past atomic column " + path[0];
+        return target;
+      }
+      target.valid = true;
+      target.atomic = true;
+      return target;
+    }
+    case NameKind::kDerived: {
+      if (path.empty()) {
+        target.valid = true;
+        target.atomic = false;
+        return target;
+      }
+      const ClassDef* col_cls =
+          ColumnClass(binding.derived_name, path[0], schema);
+      if (col_cls == nullptr) {
+        // Atomic column: path must end here. (An unknown column also lands
+        // here; ColumnsOf-based validation reports it.)
+        if (path.size() != 1) {
+          target.error = StrFormat("path continues past atomic column %s.%s",
+                                   binding.derived_name.c_str(),
+                                   path[0].c_str());
+          return target;
+        }
+        target.valid = true;
+        target.atomic = true;
+        return target;
+      }
+      WalkClassPath(schema, col_cls, path, 1, &target);
+      return target;
+    }
+  }
+  return target;
+}
+
+std::vector<std::string> QueryGraph::ColumnsOf(const std::string& view) const {
+  const std::vector<const PredicateNode*> producers = ProducersOf(view);
+  std::vector<std::string> out;
+  if (producers.empty()) return out;
+  for (const OutCol& c : producers[0]->out) out.push_back(c.name);
+  return out;
+}
+
+const ClassDef* QueryGraph::ColumnClass(const std::string& view,
+                                        const std::string& column,
+                                        const Schema& schema) const {
+  std::set<std::string> visiting;
+  return ColumnClassImpl(view, column, schema, &visiting);
+}
+
+const ClassDef* QueryGraph::ColumnClassImpl(
+    const std::string& view, const std::string& column, const Schema& schema,
+    std::set<std::string>* visiting) const {
+  if (!visiting->insert(view).second) return nullptr;  // recursion guard
+  // Prefer a base (non-recursive) producer: one whose inputs do not include
+  // the view itself.
+  const std::vector<const PredicateNode*> producers = ProducersOf(view);
+  const PredicateNode* chosen = nullptr;
+  for (const PredicateNode* p : producers) {
+    bool self = false;
+    for (const Arc& a : p->inputs) {
+      if (a.name == view) self = true;
+    }
+    if (!self) {
+      chosen = p;
+      break;
+    }
+  }
+  if (chosen == nullptr && !producers.empty()) chosen = producers[0];
+  if (chosen == nullptr) return nullptr;
+
+  const OutCol* col = nullptr;
+  for (const OutCol& c : chosen->out) {
+    if (c.name == column) col = &c;
+  }
+  if (col == nullptr || col->expr == nullptr) return nullptr;
+  if (col->expr->kind() != ExprKind::kVarPath) return nullptr;  // atomic
+
+  // The producing expression may be rooted at an arc variable OR a path
+  // variable (let); TryBindingOf covers both. Nested derived names keep the
+  // visiting guard by resolving their first step through this function.
+  if (const Arc* arc = chosen->FindInput(col->expr->var())) {
+    if (schema.FindClass(arc->name) == nullptr &&
+        schema.FindRelation(arc->name) == nullptr) {
+      const std::vector<std::string>& p = col->expr->path();
+      if (p.empty()) return nullptr;
+      const ClassDef* head = ColumnClassImpl(arc->name, p[0], schema, visiting);
+      if (head == nullptr) return nullptr;
+      PathTarget t;
+      WalkClassPath(schema, head, p, 1, &t);
+      return t.valid ? t.cls : nullptr;
+    }
+  }
+  VarBinding binding;
+  if (!TryBindingOf(*chosen, col->expr->var(), schema, &binding)) {
+    return nullptr;
+  }
+  PathTarget t = ResolvePath(binding, col->expr->path(), schema);
+  return t.valid ? t.cls : nullptr;
+}
+
+TreeLabel QueryGraph::DeriveTreeLabel(const PredicateNode& node,
+                                      const Arc& arc) const {
+  // Rewrites (var, path) into an absolute path from the arc variable,
+  // chasing let-roots; returns false when var is not rooted at this arc.
+  auto absolute = [&](std::string var, std::vector<std::string> path,
+                      std::vector<std::string>* out) -> bool {
+    while (var != arc.var) {
+      const PathVar* let = node.FindLet(var);
+      if (let == nullptr) return false;
+      path.insert(path.begin(), let->path.begin(), let->path.end());
+      var = let->root;
+    }
+    *out = std::move(path);
+    return true;
+  };
+
+  std::vector<std::vector<std::string>> paths;
+  // Where along the absolute path each variable sits (path-prefix length).
+  std::vector<std::pair<std::vector<std::string>, std::string>> var_sites;
+
+  auto collect = [&](const ExprPtr& e) {
+    if (e == nullptr) return;
+    for (const auto& [var, path] : e->VarPaths()) {
+      std::vector<std::string> abs;
+      if (absolute(var, path, &abs)) paths.push_back(std::move(abs));
+    }
+  };
+  collect(node.pred);
+  for (const OutCol& c : node.out) collect(c.expr);
+  for (const PathVar& let : node.lets) {
+    std::vector<std::string> abs;
+    if (absolute(let.var, {}, &abs)) {
+      paths.push_back(abs);
+      var_sites.emplace_back(abs, let.var);
+    }
+  }
+
+  TreeLabel root = BuildTreeLabel(arc.var, paths);
+  // Attach declared variables at their nodes.
+  for (const auto& [site, var] : var_sites) {
+    TreeLabel* node_ptr = &root;
+    bool found = true;
+    for (const std::string& step : site) {
+      found = false;
+      for (TreeLabel& c : node_ptr->children) {
+        if (c.attr == step) {
+          node_ptr = &c;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+    }
+    if (found) node_ptr->var = var;
+  }
+  return root;
+}
+
+std::vector<std::string> QueryGraph::Validate(const Schema& schema) const {
+  std::vector<std::string> errors;
+  const std::set<std::string> derived = DerivedNames();
+
+  if (ProducersOf(answer).empty()) {
+    errors.push_back("answer name node '" + answer + "' has no producer");
+  }
+
+  for (const PredicateNode& node : nodes) {
+    std::set<std::string> vars;
+    for (const Arc& a : node.inputs) {
+      if (!vars.insert(a.var).second) {
+        errors.push_back(StrFormat("node %s: duplicate variable %s",
+                                   node.label.c_str(), a.var.c_str()));
+      }
+      const bool stored = schema.FindClass(a.name) != nullptr ||
+                          schema.FindRelation(a.name) != nullptr;
+      if (!stored && derived.count(a.name) == 0) {
+        errors.push_back(StrFormat("node %s: unknown name node %s",
+                                   node.label.c_str(), a.name.c_str()));
+      }
+    }
+    // Path variables: unique names, resolvable acyclic roots, object-valued
+    // endpoints. Roots must be declared before use (no forward references).
+    std::set<std::string> declared = vars;
+    for (const PathVar& let : node.lets) {
+      if (!vars.insert(let.var).second) {
+        errors.push_back(StrFormat("node %s: duplicate variable %s",
+                                   node.label.c_str(), let.var.c_str()));
+        continue;
+      }
+      if (declared.count(let.root) == 0) {
+        errors.push_back(StrFormat(
+            "node %s: path variable %s has undeclared root %s",
+            node.label.c_str(), let.var.c_str(), let.root.c_str()));
+        declared.insert(let.var);
+        continue;
+      }
+      if (let.path.empty()) {
+        errors.push_back(StrFormat("node %s: path variable %s has empty path",
+                                   node.label.c_str(), let.var.c_str()));
+        declared.insert(let.var);
+        continue;
+      }
+      const VarBinding root = BindingOf(node, let.root, schema);
+      const PathTarget t = ResolvePath(root, let.path, schema);
+      if (!t.valid) {
+        errors.push_back(StrFormat("node %s: path variable %s: %s",
+                                   node.label.c_str(), let.var.c_str(),
+                                   t.error.c_str()));
+      } else if (t.cls == nullptr) {
+        errors.push_back(StrFormat(
+            "node %s: path variable %s does not end on an object",
+            node.label.c_str(), let.var.c_str()));
+      }
+      declared.insert(let.var);
+    }
+    auto check_expr = [&](const ExprPtr& e, const char* what) {
+      if (e == nullptr) return;
+      for (const auto& [var, path] : e->VarPaths()) {
+        if (node.FindInput(var) == nullptr && node.FindLet(var) == nullptr) {
+          errors.push_back(StrFormat("node %s: %s references unbound %s",
+                                     node.label.c_str(), what, var.c_str()));
+          continue;
+        }
+        VarBinding b;
+        if (!TryBindingOf(node, var, schema, &b)) continue;  // let reported
+        // Columns of derived names are validated by name membership.
+        if (b.kind == NameKind::kDerived && !path.empty()) {
+          std::vector<std::string> cols = ColumnsOf(b.derived_name);
+          bool found = false;
+          for (const std::string& c : cols) {
+            if (c == path[0]) found = true;
+          }
+          if (!found) {
+            errors.push_back(StrFormat("node %s: %s.%s is not a column of %s",
+                                       node.label.c_str(), var.c_str(),
+                                       path[0].c_str(),
+                                       b.derived_name.c_str()));
+            continue;
+          }
+        }
+        const PathTarget t = ResolvePath(b, path, schema);
+        if (!t.valid) {
+          errors.push_back(StrFormat("node %s: %s: %s", node.label.c_str(),
+                                     what, t.error.c_str()));
+        }
+      }
+    };
+    check_expr(node.pred, "predicate");
+    for (const OutCol& c : node.out) check_expr(c.expr, "projection");
+    if (node.out.empty()) {
+      errors.push_back(StrFormat("node %s: empty output projection",
+                                 node.label.c_str()));
+    }
+    std::set<std::string> colnames;
+    for (const OutCol& c : node.out) {
+      if (!colnames.insert(c.name).second) {
+        errors.push_back(StrFormat("node %s: duplicate output column %s",
+                                   node.label.c_str(), c.name.c_str()));
+      }
+    }
+  }
+
+  // Producers of one derived name must agree on columns (union semantics).
+  for (const std::string& name : derived) {
+    const std::vector<const PredicateNode*> producers = ProducersOf(name);
+    for (size_t i = 1; i < producers.size(); ++i) {
+      if (producers[i]->out.size() != producers[0]->out.size()) {
+        errors.push_back("producers of " + name + " disagree on column count");
+        continue;
+      }
+      for (size_t c = 0; c < producers[0]->out.size(); ++c) {
+        if (producers[i]->out[c].name != producers[0]->out[c].name) {
+          errors.push_back("producers of " + name + " disagree on column " +
+                           producers[0]->out[c].name);
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+std::string QueryGraph::ToString() const {
+  std::string out;
+  for (const PredicateNode& node : nodes) {
+    std::string arcs;
+    for (size_t i = 0; i < node.inputs.size(); ++i) {
+      if (i > 0) arcs += ", ";
+      arcs += "(" + node.inputs[i].name + ", " + node.inputs[i].var + ")";
+    }
+    for (const PathVar& let : node.lets) {
+      arcs += StrFormat(", %s in %s.%s", let.var.c_str(), let.root.c_str(),
+                        Join(let.path, ".").c_str());
+    }
+    std::string proj;
+    for (size_t i = 0; i < node.out.size(); ++i) {
+      if (i > 0) proj += ", ";
+      proj += node.out[i].name + ": " + node.out[i].expr->ToString();
+    }
+    out += node.output + " <- SPJ";
+    if (!node.label.empty()) out += "[" + node.label + "]";
+    out += "({" + arcs + "}, " +
+           (node.pred == nullptr ? std::string("true") : node.pred->ToString()) +
+           ", [" + proj + "])\n";
+  }
+  return out;
+}
+
+}  // namespace rodin

@@ -1,0 +1,139 @@
+#ifndef RODIN_QUERY_QUERY_GRAPH_H_
+#define RODIN_QUERY_QUERY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "query/expr.h"
+#include "query/tree_label.h"
+
+namespace rodin {
+
+/// An incoming arc of a predicate node: the name node it reads and the
+/// variable bound to one element of that name node's extension. The arc's
+/// tree label (adornment) is derived — see DeriveTreeLabel().
+struct Arc {
+  std::string name;
+  std::string var;
+};
+
+/// One column of a predicate node's output projection.
+struct OutCol {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// A variable bound along a path (the paper's tree-label variables, §2.2:
+/// `t`, `i1`, `i2` in Figure 2): `var` ranges over the objects reached from
+/// `root` (an arc variable or another path variable) through `path`. Two
+/// path variables with the same root share the traversal prefix — the
+/// factorization of overlapping paths the query-graph model is built for.
+struct PathVar {
+  std::string var;
+  std::string root;
+  std::vector<std::string> path;
+};
+
+/// A predicate node (paper §2.2): an spj over the extensions of its input
+/// arcs — the order of operations inside it is deliberately *not* fixed;
+/// picking it is generatePT's job.
+struct PredicateNode {
+  std::string label;  // "P1", "P2", ... (display only)
+  std::vector<Arc> inputs;
+  std::vector<PathVar> lets;  // declared path variables
+  ExprPtr pred;  // nullptr means "true"
+  std::vector<OutCol> out;
+  std::string output;  // output name node
+
+  const Arc* FindInput(const std::string& var) const;
+  const PathVar* FindLet(const std::string& var) const;
+};
+
+/// What a name node denotes.
+enum class NameKind { kClass, kRelation, kDerived };
+
+/// Resolved binding of a variable: either a stored class instance, a stored
+/// relation tuple, or a derived (view / answer) tuple.
+struct VarBinding {
+  NameKind kind = NameKind::kDerived;
+  const ClassDef* cls = nullptr;       // kClass
+  const RelationDef* rel = nullptr;    // kRelation
+  std::string derived_name;            // kDerived
+};
+
+/// Resolved type of a path's endpoint.
+struct PathTarget {
+  bool valid = false;
+  const ClassDef* cls = nullptr;  // non-null if the path ends on an object
+  bool atomic = false;            // true if the path ends on an atomic value
+  bool via_collection = false;    // some step traversed a set/list
+  std::string error;              // when !valid
+};
+
+/// A query graph Q = { (Name <- p)_i } (paper §2.2): predicate nodes wired
+/// through name nodes. Recursion appears as a name node that is reachable
+/// from itself (e.g. Influencer, Figure 3).
+class QueryGraph {
+ public:
+  std::vector<PredicateNode> nodes;
+  std::string answer = "Answer";
+
+  /// Predicate nodes producing `name`.
+  std::vector<const PredicateNode*> ProducersOf(const std::string& name) const;
+
+  /// Name nodes that are outputs of some predicate node.
+  std::set<std::string> DerivedNames() const;
+
+  /// True if `name` can reach itself through predicate nodes.
+  bool IsRecursiveName(const std::string& name) const;
+
+  /// Resolves what a variable of predicate node `node` denotes: an arc
+  /// variable, or a path variable (whose binding is the class reached by its
+  /// path). Aborts if the variable is bound by neither.
+  VarBinding BindingOf(const PredicateNode& node, const std::string& var,
+                       const Schema& schema) const;
+
+  /// Non-aborting variant; returns false if the variable is unbound or a
+  /// path variable fails to resolve.
+  bool TryBindingOf(const PredicateNode& node, const std::string& var,
+                    const Schema& schema, VarBinding* out) const;
+
+  /// Resolves the endpoint of `path` starting from `binding`.
+  PathTarget ResolvePath(const VarBinding& binding,
+                         const std::vector<std::string>& path,
+                         const Schema& schema) const;
+
+  /// The class an output column of derived name `view` holds, or nullptr if
+  /// the column is atomic. Uses the base (non-recursive) producer.
+  const ClassDef* ColumnClass(const std::string& view,
+                              const std::string& column,
+                              const Schema& schema) const;
+
+  /// Column names of a derived name (from its first producer).
+  std::vector<std::string> ColumnsOf(const std::string& view) const;
+
+  /// Derives the tree label (adornment) of one input arc of `node`: all
+  /// paths the predicate and output projection use from the arc's variable,
+  /// factorized (paper §2.2, footnote 1).
+  TreeLabel DeriveTreeLabel(const PredicateNode& node, const Arc& arc) const;
+
+  /// Structural and type validation; returns human-readable errors.
+  std::vector<std::string> Validate(const Schema& schema) const;
+
+  /// Rendering in the paper's notation, e.g.
+  /// "Answer <- SPJ({(Composer, x)}, (x.name = "Bach"), [t: x.works.title])".
+  std::string ToString() const;
+
+ private:
+  const ClassDef* ColumnClassImpl(const std::string& view,
+                                  const std::string& column,
+                                  const Schema& schema,
+                                  std::set<std::string>* visiting) const;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_QUERY_QUERY_GRAPH_H_

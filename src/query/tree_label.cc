@@ -1,0 +1,57 @@
+#include "query/tree_label.h"
+
+namespace rodin {
+
+std::string TreeLabel::ToString() const {
+  std::string out = attr.empty() ? (var.empty() ? "*" : var) : attr;
+  if (!attr.empty() && !var.empty()) out += ":" + var;
+  if (!children.empty()) {
+    out += "(";
+    for (size_t i = 0; i < children.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += children[i].ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+size_t TreeLabel::NodeCount() const {
+  size_t n = 1;
+  for (const TreeLabel& c : children) n += c.NodeCount();
+  return n;
+}
+
+size_t TreeLabel::Depth() const {
+  size_t d = 0;
+  for (const TreeLabel& c : children) d = std::max(d, 1 + c.Depth());
+  return d;
+}
+
+TreeLabel BuildTreeLabel(const std::string& var,
+                         const std::vector<std::vector<std::string>>& paths) {
+  TreeLabel root;
+  root.var = var;
+  for (const std::vector<std::string>& path : paths) {
+    TreeLabel* node = &root;
+    for (const std::string& step : path) {
+      TreeLabel* next = nullptr;
+      for (TreeLabel& c : node->children) {
+        if (c.attr == step) {
+          next = &c;
+          break;
+        }
+      }
+      if (next == nullptr) {
+        TreeLabel child;
+        child.attr = step;
+        node->children.push_back(std::move(child));
+        next = &node->children.back();
+      }
+      node = next;
+    }
+  }
+  return root;
+}
+
+}  // namespace rodin

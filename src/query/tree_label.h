@@ -1,0 +1,43 @@
+#ifndef RODIN_QUERY_TREE_LABEL_H_
+#define RODIN_QUERY_TREE_LABEL_H_
+
+#include <string>
+#include <vector>
+
+namespace rodin {
+
+/// Tree-shaped adornment on a query-graph arc (paper §2.2): indicates which
+/// sub-objects of the arc's name node the predicate node needs. In the
+/// relational model adornments are strings; over objects they are trees,
+/// and overlapping path expressions *factorize* into a shared subtree — the
+/// property the paper credits for optimizing overlapping paths without
+/// rewriting.
+///
+/// The root has an empty `attr` and carries the arc variable; each child
+/// names an attribute step. A leaf is an atomic attribute (or an object
+/// node none of whose sub-attributes are needed).
+struct TreeLabel {
+  std::string attr;                 // "" at the root
+  std::string var;                  // variable bound here ("" if none)
+  std::vector<TreeLabel> children;  // ordered by first use
+
+  /// Rendering like "x(works(<elem>(instruments(<elem>(iname)))), name)".
+  std::string ToString() const;
+
+  /// Number of nodes (root included).
+  size_t NodeCount() const;
+
+  /// Maximum attribute depth below this node.
+  size_t Depth() const;
+};
+
+/// Merges the attribute paths used from variable `var` into one tree label;
+/// `paths` is typically Expr::VarPaths() filtered to `var` plus the paths of
+/// the output projection. Duplicate prefixes share nodes.
+TreeLabel BuildTreeLabel(
+    const std::string& var,
+    const std::vector<std::vector<std::string>>& paths);
+
+}  // namespace rodin
+
+#endif  // RODIN_QUERY_TREE_LABEL_H_

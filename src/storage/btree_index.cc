@@ -1,0 +1,131 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rodin {
+
+void BTreeShape::Build(uint64_t num_entries, uint64_t entry_bytes,
+                       PageId first_page) {
+  RODIN_CHECK(entry_bytes > 0 && entry_bytes <= kPageSizeBytes,
+              "bad index entry size");
+  first_page_ = first_page;
+  leaf_capacity_ = std::max<uint64_t>(1, kPageSizeBytes / entry_bytes);
+  fanout_ = std::max<uint64_t>(2, kPageSizeBytes / 16);  // 16B separator+ptr
+  nbleaves_ = num_entries == 0 ? 1 : (num_entries + leaf_capacity_ - 1) / leaf_capacity_;
+
+  level_sizes_.clear();
+  level_first_page_.clear();
+  uint64_t level = nbleaves_;
+  PageId next = first_page + nbleaves_;
+  do {
+    level = (level + fanout_ - 1) / fanout_;
+    level_sizes_.push_back(level);
+    level_first_page_.push_back(next);
+    next += level;
+  } while (level > 1);
+  total_pages_ = next - first_page;
+}
+
+PageId BTreeShape::LeafPage(uint64_t entry_index) const {
+  return first_page_ + entry_index / leaf_capacity_;
+}
+
+void BTreeShape::ChargeDescent(uint64_t entry_index, BufferPool* pool) const {
+  if (pool == nullptr) return;
+  // Walk the internal levels top-down (root first, like a real descent).
+  uint64_t leaf = entry_index / leaf_capacity_;
+  std::vector<PageId> path;
+  uint64_t node = leaf;
+  for (size_t lvl = 0; lvl < level_sizes_.size(); ++lvl) {
+    node = node / fanout_;
+    path.push_back(level_first_page_[lvl] + node);
+  }
+  for (auto it = path.rbegin(); it != path.rend(); ++it) pool->Fetch(*it);
+}
+
+void BTreeShape::ChargeLeaves(uint64_t begin, uint64_t end,
+                              BufferPool* pool) const {
+  if (pool == nullptr || begin >= end) return;
+  const uint64_t first_leaf = begin / leaf_capacity_;
+  const uint64_t last_leaf = (end - 1) / leaf_capacity_;
+  for (uint64_t leaf = first_leaf; leaf <= last_leaf; ++leaf) {
+    pool->Fetch(first_page_ + leaf);
+  }
+}
+
+uint64_t BTreeIndex::Build(std::vector<std::pair<Value, uint64_t>> entries,
+                           uint64_t entry_bytes, PageId first_page) {
+  entries_ = std::move(entries);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const auto& a, const auto& b) {
+              const int c = a.first.Compare(b.first);
+              if (c != 0) return c < 0;
+              return a.second < b.second;
+            });
+  num_distinct_ = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i == 0 || entries_[i].first != entries_[i - 1].first) ++num_distinct_;
+  }
+  shape_.Build(entries_.size(), entry_bytes, first_page);
+  return shape_.total_pages();
+}
+
+std::vector<uint64_t> BTreeIndex::Lookup(const Value& key,
+                                         BufferPool* pool) const {
+  auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& e, const Value& k) { return e.first.Compare(k) < 0; });
+  auto hi = std::upper_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Value& k, const auto& e) { return k.Compare(e.first) < 0; });
+  const uint64_t begin = static_cast<uint64_t>(lo - entries_.begin());
+  const uint64_t end = static_cast<uint64_t>(hi - entries_.begin());
+  shape_.ChargeDescent(begin < entries_.size() ? begin : 0, pool);
+  shape_.ChargeLeaves(begin, end, pool);
+  std::vector<uint64_t> out;
+  out.reserve(end - begin);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  return out;
+}
+
+std::vector<uint64_t> BTreeIndex::RangeLookup(const Value& lo, bool lo_strict,
+                                              const Value& hi, bool hi_strict,
+                                              BufferPool* pool) const {
+  auto key_less = [](const auto& e, const Value& k) {
+    return e.first.Compare(k) < 0;
+  };
+  auto key_leq = [](const auto& e, const Value& k) {
+    return e.first.Compare(k) <= 0;
+  };
+  size_t begin = 0;
+  size_t end = entries_.size();
+  if (!lo.is_null()) {
+    auto it = lo_strict ? std::partition_point(
+                              entries_.begin(), entries_.end(),
+                              [&](const auto& e) { return key_leq(e, lo); })
+                        : std::partition_point(
+                              entries_.begin(), entries_.end(),
+                              [&](const auto& e) { return key_less(e, lo); });
+    begin = static_cast<size_t>(it - entries_.begin());
+  }
+  if (!hi.is_null()) {
+    auto it = hi_strict ? std::partition_point(
+                              entries_.begin(), entries_.end(),
+                              [&](const auto& e) { return key_less(e, hi); })
+                        : std::partition_point(
+                              entries_.begin(), entries_.end(),
+                              [&](const auto& e) { return key_leq(e, hi); });
+    end = static_cast<size_t>(it - entries_.begin());
+  }
+  if (begin > end) end = begin;
+  shape_.ChargeDescent(begin < entries_.size() ? begin : 0, pool);
+  shape_.ChargeLeaves(begin, end, pool);
+  std::vector<uint64_t> out;
+  out.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) out.push_back(entries_[i].second);
+  return out;
+}
+
+}  // namespace rodin

@@ -1,0 +1,96 @@
+#ifndef RODIN_STORAGE_BTREE_INDEX_H_
+#define RODIN_STORAGE_BTREE_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/value.h"
+
+namespace rodin {
+
+/// Simulated B+-tree page structure shared by selection and path indices:
+/// a sorted entry array mapped onto leaf pages, with internal levels sized
+/// by a fanout. Probes charge the descent path plus the touched leaf pages
+/// to the buffer pool — instantiating the paper's `nblevels(I)` and
+/// `nbleaves(I)` cost parameters with real, cacheable page ids.
+class BTreeShape {
+ public:
+  BTreeShape() = default;
+
+  /// Lays out `num_entries` entries of `entry_bytes` each, drawing pages
+  /// from `first_page`. Internal fanout is derived from the page size.
+  void Build(uint64_t num_entries, uint64_t entry_bytes, PageId first_page);
+
+  uint64_t nbleaves() const { return nbleaves_; }
+
+  /// Number of internal (non-leaf) levels descended on a probe; >= 1 (the
+  /// root) for any non-empty index.
+  uint64_t nblevels() const { return level_sizes_.size(); }
+
+  uint64_t total_pages() const { return total_pages_; }
+
+  /// Leaf page holding entry `entry_index`.
+  PageId LeafPage(uint64_t entry_index) const;
+
+  /// Charges the root-to-leaf descent for the leaf holding `entry_index`.
+  void ChargeDescent(uint64_t entry_index, BufferPool* pool) const;
+
+  /// Charges the distinct leaf pages covering entries [begin, end).
+  void ChargeLeaves(uint64_t begin, uint64_t end, BufferPool* pool) const;
+
+ private:
+  uint64_t leaf_capacity_ = 1;
+  uint64_t fanout_ = 2;
+  uint64_t nbleaves_ = 0;
+  uint64_t total_pages_ = 0;
+  PageId first_page_ = 0;
+  /// Internal level sizes bottom-up: level_sizes_[0] sits just above the
+  /// leaves, the last entry is the root (size 1).
+  std::vector<uint64_t> level_sizes_;
+  /// First page id of each internal level, parallel to level_sizes_.
+  std::vector<PageId> level_first_page_;
+};
+
+/// B+-tree selection index on one atomic attribute of an extent: key value
+/// -> Oids (for classes) or row slots (for relations).
+class BTreeIndex {
+ public:
+  BTreeIndex(std::string name, std::string attr)
+      : name_(std::move(name)), attr_(std::move(attr)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& attr() const { return attr_; }
+
+  /// Sorts and lays out the entries. `entry_bytes` approximates key+oid
+  /// size. Returns the number of pages consumed starting at `first_page`.
+  uint64_t Build(std::vector<std::pair<Value, uint64_t>> entries,
+                 uint64_t entry_bytes, PageId first_page);
+
+  /// Equality probe; charges descent + touched leaves to `pool` (may be
+  /// null for a cost-free peek). Returns the matching payloads.
+  std::vector<uint64_t> Lookup(const Value& key, BufferPool* pool) const;
+
+  /// Range probe over [lo, hi] with optional open bounds (null Value means
+  /// unbounded). Charges one descent plus the touched leaves.
+  std::vector<uint64_t> RangeLookup(const Value& lo, bool lo_strict,
+                                    const Value& hi, bool hi_strict,
+                                    BufferPool* pool) const;
+
+  uint64_t nblevels() const { return shape_.nblevels(); }
+  uint64_t nbleaves() const { return shape_.nbleaves(); }
+  uint64_t num_entries() const { return entries_.size(); }
+  uint64_t num_distinct_keys() const { return num_distinct_; }
+
+ private:
+  std::string name_;
+  std::string attr_;
+  std::vector<std::pair<Value, uint64_t>> entries_;  // sorted by key
+  uint64_t num_distinct_ = 0;
+  BTreeShape shape_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_STORAGE_BTREE_INDEX_H_

@@ -1,0 +1,34 @@
+#include "storage/buffer_pool.h"
+
+namespace rodin {
+
+bool BufferPool::Fetch(PageId page) {
+  ++stats_.fetches;
+  if (capacity_ == 0) {
+    ++stats_.misses;
+    return false;
+  }
+  auto it = index_.find(page);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return true;
+  }
+  ++stats_.misses;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(page);
+  index_[page] = lru_.begin();
+  return false;
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace rodin

@@ -1,0 +1,61 @@
+#ifndef RODIN_STORAGE_BUFFER_POOL_H_
+#define RODIN_STORAGE_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace rodin {
+
+/// Global page identifier. Extents, index nodes and temporary files all draw
+/// their pages from one id space (allocated by the Database).
+using PageId = uint64_t;
+
+constexpr uint64_t kPageSizeBytes = 4096;
+
+/// LRU buffer pool simulator. No page contents live here — extents keep the
+/// data — but every *access* to a page goes through Fetch(), which tracks
+/// hits (page already resident, paper §3.2 footnote: "some of the needed
+/// data are already in main memory") and misses (charged as disk reads).
+class BufferPool {
+ public:
+  struct Stats {
+    uint64_t fetches = 0;   // logical page accesses
+    uint64_t misses = 0;    // disk reads (page not resident)
+    uint64_t hits = 0;      // page was resident
+    uint64_t evictions = 0;
+  };
+
+  /// `capacity_pages` == 0 means "no caching": every fetch is a miss.
+  explicit BufferPool(size_t capacity_pages) : capacity_(capacity_pages) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Accesses `page`; returns true on a hit. Misses evict LRU when full.
+  bool Fetch(PageId page);
+
+  /// True if the page is currently resident (no access recorded).
+  bool Resident(PageId page) const { return index_.count(page) > 0; }
+
+  size_t capacity() const { return capacity_; }
+  size_t resident_pages() const { return lru_.size(); }
+  const Stats& stats() const { return stats_; }
+
+  /// Zeroes the counters, keeping resident pages (for warm measurements).
+  void ResetStats() { stats_ = Stats{}; }
+
+  /// Empties the pool and zeroes the counters (cold-start measurements).
+  void Clear();
+
+ private:
+  size_t capacity_;
+  Stats stats_;
+  std::list<PageId> lru_;  // front = most recently used
+  std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,575 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+std::string EntityRef::ToString() const {
+  std::string out = extent;
+  if (vfrag != 0) out += StrFormat(".v%u", vfrag);
+  if (hfrag != 0) out += StrFormat(".h%u", hfrag);
+  return out;
+}
+
+Database::Database(const Schema* schema) : schema_(schema) {
+  RODIN_CHECK(schema != nullptr, "null schema");
+  pool_ = std::make_unique<BufferPool>(256);
+  for (const auto& cls : schema->classes()) {
+    uint32_t stored = 0;
+    for (const Attribute& a : cls->AllAttributes()) {
+      if (!a.computed) ++stored;
+    }
+    ExtentInfo info;
+    info.extent = std::make_unique<Extent>(cls->name(), stored);
+    info.is_relation = false;
+    info.id = cls->id();
+    extents_.push_back(std::move(info));
+  }
+  for (const auto& rel : schema->relations()) {
+    ExtentInfo info;
+    info.extent = std::make_unique<Extent>(
+        rel->name(), static_cast<uint32_t>(rel->AllAttributes().size()));
+    info.is_relation = true;
+    info.id = rel->id();
+    extents_.push_back(std::move(info));
+  }
+}
+
+Database::ExtentInfo* Database::FindInfo(const std::string& name) {
+  for (ExtentInfo& info : extents_) {
+    if (info.extent->name() == name) return &info;
+  }
+  return nullptr;
+}
+
+const Database::ExtentInfo* Database::FindInfo(const std::string& name) const {
+  for (const ExtentInfo& info : extents_) {
+    if (info.extent->name() == name) return &info;
+  }
+  return nullptr;
+}
+
+const Database::ExtentInfo* Database::InfoOf(Oid oid) const {
+  const bool is_rel = IsRelationOid(oid);
+  const uint32_t id = oid.class_id & ~kRelationOidBit;
+  for (const ExtentInfo& info : extents_) {
+    if (info.is_relation == is_rel && info.id == id) return &info;
+  }
+  RODIN_CHECK(false, "oid does not match any extent");
+  return nullptr;
+}
+
+Oid Database::NewObject(const std::string& class_name) {
+  RODIN_CHECK(!finalized_, "NewObject after Finalize");
+  ExtentInfo* info = FindInfo(class_name);
+  RODIN_CHECK(info != nullptr && !info->is_relation, "unknown class");
+  std::vector<Value> fields(info->extent->num_fields());
+  const uint32_t slot = info->extent->Insert(std::move(fields));
+  return Oid{info->id, slot};
+}
+
+int Database::FieldIndex(const std::string& extent_name,
+                         const std::string& attr) const {
+  if (const ClassDef* cls = schema_->FindClass(extent_name)) {
+    int idx = 0;
+    for (const Attribute& a : cls->AllAttributes()) {
+      if (a.computed) continue;
+      if (a.name == attr) return idx;
+      ++idx;
+    }
+    return -1;
+  }
+  if (const RelationDef* rel = schema_->FindRelation(extent_name)) {
+    return rel->AttributeIndex(attr);
+  }
+  return -1;
+}
+
+void Database::Set(Oid oid, const std::string& attr, Value v) {
+  RODIN_CHECK(!finalized_, "Set after Finalize");
+  const ExtentInfo* info = InfoOf(oid);
+  const int field = FieldIndex(info->extent->name(), attr);
+  RODIN_CHECK(field >= 0, "unknown or computed attribute in Set");
+  const_cast<Extent*>(info->extent.get())->MutableRecord(oid.slot)[field] =
+      std::move(v);
+}
+
+Oid Database::InsertTuple(const std::string& relation,
+                          std::vector<Value> fields) {
+  RODIN_CHECK(!finalized_, "InsertTuple after Finalize");
+  ExtentInfo* info = FindInfo(relation);
+  RODIN_CHECK(info != nullptr && info->is_relation, "unknown relation");
+  const uint32_t slot = info->extent->Insert(std::move(fields));
+  return Oid{info->id | kRelationOidBit, slot};
+}
+
+void Database::RegisterMethod(const std::string& class_name,
+                              const std::string& attr, MethodFn fn) {
+  const ClassDef* cls = schema_->FindClass(class_name);
+  RODIN_CHECK(cls != nullptr, "unknown class in RegisterMethod");
+  const Attribute* a = cls->FindAttribute(attr);
+  RODIN_CHECK(a != nullptr && a->computed, "method must be a computed attribute");
+  methods_[{class_name, attr}] = std::move(fn);
+}
+
+bool Database::HasMethod(const std::string& class_name,
+                         const std::string& attr) const {
+  // Methods are inherited: search up the chain.
+  for (const ClassDef* c = schema_->FindClass(class_name); c != nullptr;
+       c = c->super()) {
+    if (methods_.count({c->name(), attr}) > 0) return true;
+  }
+  return false;
+}
+
+Value Database::InvokeMethod(Oid oid, const std::string& attr) const {
+  const ExtentInfo* info = InfoOf(oid);
+  for (const ClassDef* c = schema_->FindClass(info->extent->name());
+       c != nullptr; c = c->super()) {
+    auto it = methods_.find({c->name(), attr});
+    if (it != methods_.end()) return it->second(*this, oid);
+  }
+  RODIN_CHECK(false, "no method registered for attribute");
+  return Value::Null();
+}
+
+Value Database::GetRaw(Oid oid, const std::string& attr) const {
+  const ExtentInfo* info = InfoOf(oid);
+  const int field = FieldIndex(info->extent->name(), attr);
+  RODIN_CHECK(field >= 0, "unknown or computed attribute in GetRaw");
+  return info->extent->Record(oid.slot)[field];
+}
+
+const std::vector<Value>& Database::RecordOf(Oid oid) const {
+  const ExtentInfo* info = InfoOf(oid);
+  return info->extent->Record(oid.slot);
+}
+
+const Extent* Database::FindExtent(const std::string& name) const {
+  const ExtentInfo* info = FindInfo(name);
+  return info == nullptr ? nullptr : info->extent.get();
+}
+
+Extent* Database::FindExtentMutable(const std::string& name) {
+  ExtentInfo* info = FindInfo(name);
+  return info == nullptr ? nullptr : info->extent.get();
+}
+
+bool Database::IsRelation(const std::string& name) const {
+  const ExtentInfo* info = FindInfo(name);
+  return info != nullptr && info->is_relation;
+}
+
+const Extent* Database::ExtentOf(Oid oid) const { return InfoOf(oid)->extent.get(); }
+
+const std::string& Database::ExtentNameOf(Oid oid) const {
+  return InfoOf(oid)->extent->name();
+}
+
+PageId Database::AllocatePages(uint64_t n) {
+  const PageId first = next_page_;
+  next_page_ += n;
+  return first;
+}
+
+uint64_t Database::DeriveRecordBytes(const ExtentInfo& info) const {
+  const uint64_t overridden =
+      config_.RecordBytesOverride(info.extent->name());
+  if (overridden > 0) return std::min(overridden, kPageSizeBytes);
+  // Average the actual value footprints: 8B for scalars/refs, string length
+  // + 8, 8B per collection element + 8 header.
+  uint64_t total = 0;
+  const uint32_t n = info.extent->size();
+  if (n == 0) return 32;
+  for (uint32_t s = 0; s < n; ++s) {
+    for (const Value& v : info.extent->Record(s)) {
+      if (v.is_string()) {
+        total += 8 + v.AsString().size();
+      } else if (v.is_collection()) {
+        total += 8 + 8 * v.AsCollection().elems.size();
+      } else {
+        total += 8;
+      }
+    }
+  }
+  return std::min<uint64_t>(std::max<uint64_t>(8, total / n), kPageSizeBytes);
+}
+
+namespace {
+
+/// Incremental packer of fixed-size records onto 4KB pages.
+class PagePacker {
+ public:
+  explicit PagePacker(PageId first) : next_page_(first), bytes_left_(0) {}
+
+  PageId Place(uint64_t record_bytes) {
+    if (record_bytes > bytes_left_) {
+      current_ = next_page_++;
+      bytes_left_ = kPageSizeBytes;
+    }
+    bytes_left_ -= std::min(record_bytes, bytes_left_);
+    return current_;
+  }
+
+  PageId end_page() const { return next_page_; }
+
+ private:
+  PageId next_page_;
+  PageId current_ = 0;
+  uint64_t bytes_left_;
+};
+
+}  // namespace
+
+void Database::LayoutExtents() {
+  // Fragment bookkeeping first: vertical groups and horizontal assignment.
+  for (ExtentInfo& info : extents_) {
+    Extent* e = info.extent.get();
+    const std::string& name = e->name();
+
+    // Vertical fragments.
+    const VerticalSpec* vspec = config_.FindVertical(name);
+    e->vfrag_fields_.clear();
+    if (vspec == nullptr) {
+      std::vector<int> all(e->num_fields());
+      for (uint32_t i = 0; i < e->num_fields(); ++i) all[i] = i;
+      e->vfrag_fields_.push_back(std::move(all));
+    } else {
+      for (const auto& group : vspec->groups) {
+        std::vector<int> fields;
+        for (const std::string& attr : group) {
+          const int idx = FieldIndex(name, attr);
+          RODIN_CHECK(idx >= 0, "vertical group names unknown attribute");
+          fields.push_back(idx);
+        }
+        e->vfrag_fields_.push_back(std::move(fields));
+      }
+    }
+    e->num_vfrags_ = static_cast<uint16_t>(e->vfrag_fields_.size());
+    e->vfrag_of_field_.assign(e->num_fields(), 0);
+    for (uint16_t v = 0; v < e->num_vfrags_; ++v) {
+      for (int f : e->vfrag_fields_[v]) e->vfrag_of_field_[f] = v;
+    }
+
+    // Horizontal fragments.
+    const HorizontalSpec* hspec = config_.FindHorizontal(name);
+    e->num_hfrags_ = hspec == nullptr ? 1 : hspec->num_fragments;
+    e->hfrag_of_.assign(e->size(), 0);
+    if (hspec != nullptr && hspec->num_fragments > 1) {
+      const int field = FieldIndex(name, hspec->attr);
+      RODIN_CHECK(field >= 0, "horizontal attr missing");
+      for (uint32_t s = 0; s < e->size(); ++s) {
+        const Value& v = e->Record(s)[field];
+        e->hfrag_of_[s] =
+            static_cast<uint16_t>(v.Hash() % hspec->num_fragments);
+      }
+    }
+    e->slots_of_hfrag_.assign(e->num_hfrags_, {});
+    for (uint32_t s = 0; s < e->size(); ++s) {
+      e->slots_of_hfrag_[e->hfrag_of_[s]].push_back(s);
+    }
+    e->page_of_.assign(e->num_vfrags_, std::vector<PageId>(e->size(), 0));
+
+    info.record_bytes = DeriveRecordBytes(info);
+  }
+
+  // Per-vertical-fragment record size: proportional share of the record.
+  auto frag_bytes = [&](const ExtentInfo& info, uint16_t v) -> uint64_t {
+    const Extent* e = info.extent.get();
+    if (e->num_fields() == 0) return info.record_bytes;
+    const uint64_t share = info.record_bytes *
+                           std::max<uint64_t>(1, e->vfrag_fields_[v].size()) /
+                           std::max<uint32_t>(1u, e->num_fields());
+    return std::max<uint64_t>(8, share);
+  };
+
+  // Which classes are clustering targets, and through which owner attr.
+  std::set<std::string> cluster_targets;
+  for (const ClusterSpec& c : config_.clustering) {
+    const ClassDef* owner = schema_->FindClass(c.owner_class);
+    const Attribute* a = owner->FindAttribute(c.attr);
+    const Type* t = a->type;
+    if (t->IsCollection()) t = t->elem();
+    cluster_targets.insert(t->class_name());
+  }
+  for (const std::string& target : cluster_targets) {
+    const Extent* e = FindExtent(target);
+    RODIN_CHECK(e != nullptr, "cluster target extent missing");
+    RODIN_CHECK(config_.FindHorizontal(target) == nullptr,
+                "clustered class cannot be horizontally fragmented");
+  }
+
+  std::vector<std::vector<bool>> placed(extents_.size());
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    placed[i].assign(extents_[i].extent->size(), false);
+  }
+  auto index_of = [&](const std::string& name) -> size_t {
+    for (size_t i = 0; i < extents_.size(); ++i) {
+      if (extents_[i].extent->name() == name) return i;
+    }
+    RODIN_CHECK(false, "extent not found");
+    return 0;
+  };
+
+  // Recursively places the primary fragment of a record and the primary
+  // fragments of its clustered children into `packer`.
+  std::function<void(size_t, uint32_t, PagePacker&)> place_clustered =
+      [&](size_t ext_idx, uint32_t slot, PagePacker& packer) {
+        ExtentInfo& info = extents_[ext_idx];
+        Extent* e = info.extent.get();
+        if (placed[ext_idx][slot]) return;
+        placed[ext_idx][slot] = true;
+        e->page_of_[0][slot] = packer.Place(frag_bytes(info, 0));
+        if (info.is_relation) return;
+        for (const ClusterSpec& c : config_.clustering) {
+          if (c.owner_class != e->name()) continue;
+          const int field = FieldIndex(e->name(), c.attr);
+          if (field < 0) continue;
+          const Value& v = e->Record(slot)[field];
+          std::vector<Oid> children;
+          if (v.is_ref()) {
+            children.push_back(v.AsRef());
+          } else if (v.is_collection()) {
+            for (const Value& ev : v.AsCollection().elems) {
+              if (ev.is_ref()) children.push_back(ev.AsRef());
+            }
+          }
+          for (Oid child : children) {
+            const size_t child_idx = index_of(ExtentNameOf(child));
+            place_clustered(child_idx, child.slot, packer);
+          }
+        }
+      };
+
+  // Primary (vfrag 0) streams: every extent that is not a cluster target
+  // gets one stream per horizontal fragment; cluster targets ride along.
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    ExtentInfo& info = extents_[i];
+    Extent* e = info.extent.get();
+    if (cluster_targets.count(e->name()) > 0) continue;
+    for (uint16_t h = 0; h < e->num_hfrags_; ++h) {
+      PagePacker packer(next_page_);
+      for (uint32_t slot : e->slots_of_hfrag_[h]) {
+        place_clustered(i, slot, packer);
+      }
+      next_page_ = packer.end_page();
+    }
+  }
+  // Leftover cluster-target records (never referenced by an owner) get a
+  // tail stream of their own.
+  for (size_t i = 0; i < extents_.size(); ++i) {
+    ExtentInfo& info = extents_[i];
+    Extent* e = info.extent.get();
+    PagePacker packer(next_page_);
+    for (uint32_t s = 0; s < e->size(); ++s) {
+      if (!placed[i][s]) {
+        placed[i][s] = true;
+        e->page_of_[0][s] = packer.Place(frag_bytes(info, 0));
+      }
+    }
+    next_page_ = packer.end_page();
+  }
+
+  // Secondary vertical fragments: packed contiguously per (v, h).
+  for (ExtentInfo& info : extents_) {
+    Extent* e = info.extent.get();
+    for (uint16_t v = 1; v < e->num_vfrags_; ++v) {
+      for (uint16_t h = 0; h < e->num_hfrags_; ++h) {
+        PagePacker packer(next_page_);
+        for (uint32_t slot : e->slots_of_hfrag_[h]) {
+          e->page_of_[v][slot] = packer.Place(frag_bytes(info, v));
+        }
+        next_page_ = packer.end_page();
+      }
+    }
+  }
+
+  // Scan page lists: distinct pages in first-touch order per (v, h).
+  for (ExtentInfo& info : extents_) {
+    Extent* e = info.extent.get();
+    e->scan_pages_.assign(e->num_vfrags_, {});
+    for (uint16_t v = 0; v < e->num_vfrags_; ++v) {
+      e->scan_pages_[v].assign(e->num_hfrags_, {});
+      for (uint16_t h = 0; h < e->num_hfrags_; ++h) {
+        std::unordered_set<PageId> seen;
+        for (uint32_t slot : e->slots_of_hfrag_[h]) {
+          const PageId p = e->page_of_[v][slot];
+          if (seen.insert(p).second) e->scan_pages_[v][h].push_back(p);
+        }
+      }
+    }
+  }
+}
+
+void Database::BuildIndexes() {
+  for (const SelIndexSpec& spec : config_.sel_indexes) {
+    const ExtentInfo* info = FindInfo(spec.extent_name);
+    RODIN_CHECK(info != nullptr, "sel index on unknown extent");
+    const int field = FieldIndex(spec.extent_name, spec.attr);
+    RODIN_CHECK(field >= 0, "sel index on unknown attribute");
+    std::vector<std::pair<Value, uint64_t>> entries;
+    const Extent* e = info->extent.get();
+    for (uint32_t s = 0; s < e->size(); ++s) {
+      const Value& v = e->Record(s)[field];
+      if (!v.is_null()) entries.emplace_back(v, s);
+    }
+    uint64_t key_bytes = 8;
+    if (!entries.empty() && entries.front().first.is_string()) key_bytes = 24;
+    auto index = std::make_unique<BTreeIndex>(
+        spec.extent_name + "." + spec.attr, spec.attr);
+    const uint64_t pages =
+        index->Build(std::move(entries), key_bytes + 8, next_page_);
+    next_page_ += pages;
+    sel_indexes_.push_back(std::move(index));
+    sel_index_extent_.push_back(spec.extent_name);
+  }
+
+  for (const PathIndexSpec& spec : config_.path_indexes) {
+    const ClassDef* root = schema_->FindClass(spec.root_class);
+    RODIN_CHECK(root != nullptr, "path index on unknown class");
+    // Collect the class ids along the path.
+    std::vector<uint32_t> class_ids = {root->id()};
+    const ClassDef* cls = root;
+    for (const std::string& attr : spec.path) {
+      const Attribute* a = cls->FindAttribute(attr);
+      RODIN_CHECK(a != nullptr, "path index attribute missing");
+      const Type* t = a->type;
+      if (t->IsCollection()) t = t->elem();
+      cls = schema_->FindClass(t->class_name());
+      RODIN_CHECK(cls != nullptr, "path index class missing");
+      class_ids.push_back(cls->id());
+    }
+    // Expand every instantiation of the path.
+    std::vector<std::vector<Oid>> entries;
+    const Extent* root_extent = FindExtent(spec.root_class);
+    std::function<void(Oid, size_t, std::vector<Oid>&)> expand =
+        [&](Oid oid, size_t depth, std::vector<Oid>& cur) {
+          cur.push_back(oid);
+          if (depth == spec.path.size()) {
+            entries.push_back(cur);
+            cur.pop_back();
+            return;
+          }
+          const Value v = GetRaw(oid, spec.path[depth]);
+          if (v.is_ref()) {
+            expand(v.AsRef(), depth + 1, cur);
+          } else if (v.is_collection()) {
+            for (const Value& ev : v.AsCollection().elems) {
+              if (ev.is_ref()) expand(ev.AsRef(), depth + 1, cur);
+            }
+          }
+          cur.pop_back();
+        };
+    for (uint32_t s = 0; s < root_extent->size(); ++s) {
+      std::vector<Oid> cur;
+      expand(Oid{root->id(), s}, 0, cur);
+    }
+    auto index = std::make_unique<PathIndex>(spec.root_class, spec.path,
+                                             std::move(class_ids));
+    const uint64_t pages = index->Build(std::move(entries), next_page_);
+    next_page_ += pages;
+    path_indexes_.push_back(std::move(index));
+  }
+}
+
+void Database::Finalize(PhysicalConfig config) {
+  RODIN_CHECK(!finalized_, "Finalize called twice");
+  const std::vector<std::string> errors = config.Validate(*schema_);
+  for (const std::string& e : errors) {
+    std::fprintf(stderr, "PhysicalConfig error: %s\n", e.c_str());
+  }
+  RODIN_CHECK(errors.empty(), "invalid physical configuration");
+  config_ = std::move(config);
+  pool_ = std::make_unique<BufferPool>(config_.buffer_pages);
+  LayoutExtents();
+  BuildIndexes();
+  finalized_ = true;
+}
+
+Value Database::GetCharged(Oid oid, const std::string& attr) {
+  RODIN_CHECK(finalized_, "charged access before Finalize");
+  const ExtentInfo* info = InfoOf(oid);
+  const int field = FieldIndex(info->extent->name(), attr);
+  RODIN_CHECK(field >= 0, "unknown or computed attribute in GetCharged");
+  const Extent* e = info->extent.get();
+  pool_->Fetch(e->PageOf(oid.slot, e->VfragOfField(field)));
+  return e->Record(oid.slot)[field];
+}
+
+void Database::ChargeRecordAccess(Oid oid, const std::vector<int>& fields) {
+  RODIN_CHECK(finalized_, "charged access before Finalize");
+  const Extent* e = InfoOf(oid)->extent.get();
+  std::set<uint16_t> vfrags;
+  if (fields.empty()) {
+    vfrags.insert(0);
+  } else {
+    for (int f : fields) vfrags.insert(e->VfragOfField(f));
+  }
+  for (uint16_t v : vfrags) pool_->Fetch(e->PageOf(oid.slot, v));
+}
+
+void Database::ScanEntity(
+    const EntityRef& ref,
+    const std::function<void(Oid, const std::vector<Value>&)>& fn) {
+  RODIN_CHECK(finalized_, "scan before Finalize");
+  const ExtentInfo* info = FindInfo(ref.extent);
+  RODIN_CHECK(info != nullptr, "scan of unknown extent");
+  const Extent* e = info->extent.get();
+  RODIN_CHECK(ref.vfrag < e->num_vfrags() && ref.hfrag < e->num_hfrags(),
+              "scan fragment out of range");
+  const uint32_t base_class =
+      info->is_relation ? (info->id | kRelationOidBit) : info->id;
+  for (uint32_t slot : e->SlotsOfHfrag(ref.hfrag)) {
+    pool_->Fetch(e->PageOf(slot, ref.vfrag));
+    fn(Oid{base_class, slot}, e->Record(slot));
+  }
+}
+
+uint64_t Database::EntityPages(const EntityRef& ref) const {
+  const Extent* e = FindExtent(ref.extent);
+  RODIN_CHECK(e != nullptr && e->finalized(), "entity pages of unknown extent");
+  return e->ScanPages(ref.vfrag, ref.hfrag).size();
+}
+
+uint64_t Database::EntityInstances(const EntityRef& ref) const {
+  const Extent* e = FindExtent(ref.extent);
+  RODIN_CHECK(e != nullptr && e->finalized(), "entity size of unknown extent");
+  return e->SlotsOfHfrag(ref.hfrag).size();
+}
+
+const BTreeIndex* Database::FindSelIndex(const std::string& extent_name,
+                                         const std::string& attr) const {
+  for (size_t i = 0; i < sel_indexes_.size(); ++i) {
+    if (sel_index_extent_[i] == extent_name &&
+        sel_indexes_[i]->attr() == attr) {
+      return sel_indexes_[i].get();
+    }
+  }
+  return nullptr;
+}
+
+const PathIndex* Database::FindPathIndex(
+    const std::string& root_class, const std::vector<std::string>& path) const {
+  for (const auto& idx : path_indexes_) {
+    if (idx->root_class() == root_class && idx->path() == path) {
+      return idx.get();
+    }
+  }
+  return nullptr;
+}
+
+Oid Database::PayloadToOid(const std::string& extent_name,
+                           uint64_t payload) const {
+  const ExtentInfo* info = FindInfo(extent_name);
+  RODIN_CHECK(info != nullptr, "payload for unknown extent");
+  const uint32_t base =
+      info->is_relation ? (info->id | kRelationOidBit) : info->id;
+  return Oid{base, static_cast<uint32_t>(payload)};
+}
+
+}  // namespace rodin

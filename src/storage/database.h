@@ -1,0 +1,178 @@
+#ifndef RODIN_STORAGE_DATABASE_H_
+#define RODIN_STORAGE_DATABASE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/btree_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/extent.h"
+#include "storage/path_index.h"
+#include "storage/physical_schema.h"
+#include "storage/value.h"
+
+namespace rodin {
+
+/// Relation tuples are addressed with pseudo-Oids whose class_id has the
+/// high bit set (relations have values, not objects, but a uniform address
+/// simplifies the executor and index payloads).
+constexpr uint32_t kRelationOidBit = 0x80000000u;
+
+inline bool IsRelationOid(Oid oid) {
+  return (oid.class_id & kRelationOidBit) != 0;
+}
+
+/// Identifies an atomic entity of the physical schema (paper §3): a whole
+/// extent, or one (vertical, horizontal) fragment of a decomposed one.
+struct EntityRef {
+  std::string extent;  // class or relation name
+  uint16_t vfrag = 0;
+  uint16_t hfrag = 0;
+
+  friend bool operator==(const EntityRef& a, const EntityRef& b) {
+    return a.extent == b.extent && a.vfrag == b.vfrag && a.hfrag == b.hfrag;
+  }
+  std::string ToString() const;
+};
+
+/// The object store: a populated instance of a conceptual schema laid out on
+/// simulated pages according to a PhysicalConfig. Population happens first
+/// (NewObject/Set/InsertTuple), then Finalize() computes the page layout and
+/// builds indices; afterwards the store is read-only and all charged reads
+/// go through the buffer pool.
+class Database {
+ public:
+  using MethodFn = std::function<Value(const Database&, Oid)>;
+
+  /// `schema` must outlive the database.
+  explicit Database(const Schema* schema);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  const Schema& schema() const { return *schema_; }
+  BufferPool& buffer_pool() { return *pool_; }
+  const BufferPool& buffer_pool() const { return *pool_; }
+  bool finalized() const { return finalized_; }
+  const PhysicalConfig& config() const { return config_; }
+
+  // --- Population (before Finalize) ---------------------------------------
+
+  /// Creates an object of `class_name` with all attributes null.
+  Oid NewObject(const std::string& class_name);
+
+  /// Sets a stored attribute of an object.
+  void Set(Oid oid, const std::string& attr, Value v);
+
+  /// Inserts a tuple into a relation; returns its pseudo-Oid.
+  Oid InsertTuple(const std::string& relation, std::vector<Value> fields);
+
+  /// Registers the body of a computed attribute (method).
+  void RegisterMethod(const std::string& class_name, const std::string& attr,
+                      MethodFn fn);
+
+  // --- Layout --------------------------------------------------------------
+
+  /// Validates `config`, assigns every record to a page (honouring
+  /// clustering and fragmentation), and builds the declared indices.
+  /// Aborts on an invalid configuration.
+  void Finalize(PhysicalConfig config);
+
+  /// Allocates `n` fresh page ids (used for temporaries).
+  PageId AllocatePages(uint64_t n);
+
+  // --- Uncharged access (tests, data generators, stats derivation) --------
+
+  /// Raw field read without cost accounting.
+  Value GetRaw(Oid oid, const std::string& attr) const;
+  const std::vector<Value>& RecordOf(Oid oid) const;
+
+  const Extent* FindExtent(const std::string& name) const;
+  Extent* FindExtentMutable(const std::string& name);
+  bool IsRelation(const std::string& name) const;
+
+  /// Extent of the class/relation an oid belongs to.
+  const Extent* ExtentOf(Oid oid) const;
+  /// Name of the class/relation an oid belongs to.
+  const std::string& ExtentNameOf(Oid oid) const;
+
+  /// Storage field position of `attr` in `extent_name` records; -1 if the
+  /// attribute is computed or absent.
+  int FieldIndex(const std::string& extent_name, const std::string& attr) const;
+
+  // --- Charged access (executor) -------------------------------------------
+
+  /// Reads a field, charging the page holding its vertical fragment.
+  Value GetCharged(Oid oid, const std::string& attr);
+
+  /// Charges the page(s) of record `oid` covering the given fields (one page
+  /// per distinct vertical fragment touched).
+  void ChargeRecordAccess(Oid oid, const std::vector<int>& fields);
+
+  /// Sequentially scans atomic entity `e`, invoking `fn(oid, record)` for
+  /// every record; pages are charged in scan order.
+  void ScanEntity(const EntityRef& e,
+                  const std::function<void(Oid, const std::vector<Value>&)>& fn);
+
+  /// Pages a full scan of `e` touches (for cost estimation).
+  uint64_t EntityPages(const EntityRef& e) const;
+  /// Records in `e`.
+  uint64_t EntityInstances(const EntityRef& e) const;
+
+  // --- Methods --------------------------------------------------------------
+
+  bool HasMethod(const std::string& class_name, const std::string& attr) const;
+
+  /// Invokes a computed attribute. Charges nothing itself; the executor
+  /// accounts for the invocation using the attribute's method_cost.
+  Value InvokeMethod(Oid oid, const std::string& attr) const;
+
+  // --- Indices ---------------------------------------------------------------
+
+  const BTreeIndex* FindSelIndex(const std::string& extent_name,
+                                 const std::string& attr) const;
+  const PathIndex* FindPathIndex(const std::string& root_class,
+                                 const std::vector<std::string>& path) const;
+  const std::vector<std::unique_ptr<PathIndex>>& path_indexes() const {
+    return path_indexes_;
+  }
+
+  /// Converts an index payload back into an Oid for `extent_name`.
+  Oid PayloadToOid(const std::string& extent_name, uint64_t payload) const;
+
+ private:
+  struct ExtentInfo {
+    std::unique_ptr<Extent> extent;
+    bool is_relation = false;
+    uint32_t id = 0;           // class id or relation id
+    uint64_t record_bytes = 8;  // derived or overridden at Finalize
+  };
+
+  ExtentInfo* FindInfo(const std::string& name);
+  const ExtentInfo* FindInfo(const std::string& name) const;
+  const ExtentInfo* InfoOf(Oid oid) const;
+
+  uint64_t DeriveRecordBytes(const ExtentInfo& info) const;
+  void LayoutExtents();
+  void BuildIndexes();
+
+  const Schema* schema_;
+  PhysicalConfig config_;
+  std::unique_ptr<BufferPool> pool_;
+  bool finalized_ = false;
+  PageId next_page_ = 0;
+
+  std::vector<ExtentInfo> extents_;  // classes then relations, stable order
+  std::map<std::pair<std::string, std::string>, MethodFn> methods_;
+  std::vector<std::unique_ptr<BTreeIndex>> sel_indexes_;
+  std::vector<std::string> sel_index_extent_;  // parallel to sel_indexes_
+  std::vector<std::unique_ptr<PathIndex>> path_indexes_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_STORAGE_DATABASE_H_

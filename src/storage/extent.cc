@@ -1,0 +1,24 @@
+#include "storage/extent.h"
+
+#include "common/check.h"
+
+namespace rodin {
+
+uint32_t Extent::Insert(std::vector<Value> fields) {
+  RODIN_CHECK(!finalized(), "insert after layout finalization");
+  RODIN_CHECK(fields.size() == num_fields_, "field count mismatch");
+  records_.push_back(std::move(fields));
+  return static_cast<uint32_t>(records_.size() - 1);
+}
+
+const std::vector<Value>& Extent::Record(uint32_t slot) const {
+  RODIN_CHECK(slot < records_.size(), "slot out of range");
+  return records_[slot];
+}
+
+std::vector<Value>& Extent::MutableRecord(uint32_t slot) {
+  RODIN_CHECK(slot < records_.size(), "slot out of range");
+  return records_[slot];
+}
+
+}  // namespace rodin

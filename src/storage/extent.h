@@ -1,0 +1,88 @@
+#ifndef RODIN_STORAGE_EXTENT_H_
+#define RODIN_STORAGE_EXTENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/value.h"
+
+namespace rodin {
+
+/// Storage for the instances of one class or relation. A record is a vector
+/// of field Values in AllAttributes() order (stored attributes only).
+///
+/// The extent also carries the *physical layout* computed by
+/// Database::Finalize(): the mapping of each record to pages, per vertical
+/// and horizontal fragment. An (extent, vfrag, hfrag) triple is an *atomic
+/// entity* in the paper's sense — the leaves of processing trees.
+class Extent {
+ public:
+  Extent(std::string name, uint32_t num_fields)
+      : name_(std::move(name)), num_fields_(num_fields) {}
+
+  Extent(const Extent&) = delete;
+  Extent& operator=(const Extent&) = delete;
+
+  const std::string& name() const { return name_; }
+  uint32_t num_fields() const { return num_fields_; }
+  uint32_t size() const { return static_cast<uint32_t>(records_.size()); }
+
+  /// Appends a record; returns its slot. Only valid before Finalize.
+  uint32_t Insert(std::vector<Value> fields);
+
+  const std::vector<Value>& Record(uint32_t slot) const;
+  std::vector<Value>& MutableRecord(uint32_t slot);
+
+  // --- Layout (populated by Database::Finalize) ---------------------------
+
+  uint16_t num_vfrags() const { return num_vfrags_; }
+  uint16_t num_hfrags() const { return num_hfrags_; }
+  bool finalized() const { return !page_of_.empty(); }
+
+  /// Fields (storage positions) belonging to vertical fragment `v`.
+  const std::vector<int>& VfragFields(uint16_t v) const {
+    return vfrag_fields_[v];
+  }
+
+  /// Vertical fragment containing field `field`.
+  uint16_t VfragOfField(int field) const { return vfrag_of_field_[field]; }
+
+  /// Horizontal fragment of a record.
+  uint16_t HfragOf(uint32_t slot) const { return hfrag_of_[slot]; }
+
+  /// Page holding the `v` fragment of record `slot`.
+  PageId PageOf(uint32_t slot, uint16_t v) const { return page_of_[v][slot]; }
+
+  /// Distinct pages touched by a full scan of atomic entity (v, h), in scan
+  /// order.
+  const std::vector<PageId>& ScanPages(uint16_t v, uint16_t h) const {
+    return scan_pages_[v][h];
+  }
+
+  /// Slots belonging to horizontal fragment `h`, in scan order.
+  const std::vector<uint32_t>& SlotsOfHfrag(uint16_t h) const {
+    return slots_of_hfrag_[h];
+  }
+
+ private:
+  friend class Database;
+
+  std::string name_;
+  uint32_t num_fields_;
+  std::vector<std::vector<Value>> records_;
+
+  uint16_t num_vfrags_ = 1;
+  uint16_t num_hfrags_ = 1;
+  std::vector<std::vector<int>> vfrag_fields_;
+  std::vector<uint16_t> vfrag_of_field_;
+  std::vector<uint16_t> hfrag_of_;
+  std::vector<std::vector<PageId>> page_of_;                // [v][slot]
+  std::vector<std::vector<std::vector<PageId>>> scan_pages_;  // [v][h]
+  std::vector<std::vector<uint32_t>> slots_of_hfrag_;       // [h]
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_STORAGE_EXTENT_H_

@@ -1,0 +1,47 @@
+#include "storage/path_index.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace rodin {
+
+std::string PathIndex::PathString() const { return Join(path_, "."); }
+
+uint64_t PathIndex::Build(std::vector<std::vector<Oid>> entries,
+                          PageId first_page) {
+  for (const auto& e : entries) {
+    RODIN_CHECK(e.size() == path_.size() + 1, "path index entry arity mismatch");
+  }
+  entries_ = std::move(entries);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const std::vector<Oid>& a, const std::vector<Oid>& b) {
+              return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                                  b.end());
+            });
+  // Entry size: one oid (8B) per class along the path.
+  const uint64_t entry_bytes = 8ULL * (path_.size() + 1);
+  shape_.Build(entries_.size(), entry_bytes, first_page);
+  return shape_.total_pages();
+}
+
+std::vector<const std::vector<Oid>*> PathIndex::Lookup(Oid head,
+                                                       BufferPool* pool) const {
+  auto lo = std::lower_bound(entries_.begin(), entries_.end(), head,
+                             [](const std::vector<Oid>& e, const Oid& k) {
+                               return e[0] < k;
+                             });
+  auto hi = lo;
+  while (hi != entries_.end() && (*hi)[0] == head) ++hi;
+  const uint64_t begin = static_cast<uint64_t>(lo - entries_.begin());
+  const uint64_t end = static_cast<uint64_t>(hi - entries_.begin());
+  shape_.ChargeDescent(begin < entries_.size() ? begin : 0, pool);
+  shape_.ChargeLeaves(begin, end, pool);
+  std::vector<const std::vector<Oid>*> out;
+  out.reserve(end - begin);
+  for (auto it = lo; it != hi; ++it) out.push_back(&*it);
+  return out;
+}
+
+}  // namespace rodin

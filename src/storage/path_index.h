@@ -1,0 +1,57 @@
+#ifndef RODIN_STORAGE_PATH_INDEX_H_
+#define RODIN_STORAGE_PATH_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/btree_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/value.h"
+
+namespace rodin {
+
+/// Path index [MS86] on a path C1.A1...A(n-1): each entry is the tuple of
+/// Oids (o1, ..., on) of one instantiation of the path. Keyed by the head
+/// Oid o1, so it accelerates "all instrument oids reachable from this
+/// Composer through works.instruments" in one probe — the paper's PIJ node.
+///
+/// A path of length 1 (single attribute) is exactly a join index [Va87].
+class PathIndex {
+ public:
+  /// `root_class` and `path` identify the indexed path; `class_ids` are the
+  /// classes along the path including the root (size = path length + 1).
+  PathIndex(std::string root_class, std::vector<std::string> path,
+            std::vector<uint32_t> class_ids)
+      : root_class_(std::move(root_class)),
+        path_(std::move(path)),
+        class_ids_(std::move(class_ids)) {}
+
+  const std::string& root_class() const { return root_class_; }
+  const std::vector<std::string>& path() const { return path_; }
+  size_t path_length() const { return path_.size(); }
+
+  /// Dotted path, e.g. "works.instruments".
+  std::string PathString() const;
+
+  /// Sorts entries by head oid and lays out the B+-tree. Returns pages used.
+  uint64_t Build(std::vector<std::vector<Oid>> entries, PageId first_page);
+
+  /// All path instantiations starting at `head`; charges descent + leaves.
+  /// Each result tuple has path_length()+1 oids (head first).
+  std::vector<const std::vector<Oid>*> Lookup(Oid head, BufferPool* pool) const;
+
+  uint64_t nblevels() const { return shape_.nblevels(); }
+  uint64_t nbleaves() const { return shape_.nbleaves(); }
+  uint64_t num_entries() const { return entries_.size(); }
+
+ private:
+  std::string root_class_;
+  std::vector<std::string> path_;
+  std::vector<uint32_t> class_ids_;
+  std::vector<std::vector<Oid>> entries_;  // sorted by entries[i][0]
+  BTreeShape shape_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_STORAGE_PATH_INDEX_H_

@@ -1,0 +1,167 @@
+#include "storage/physical_schema.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace rodin {
+
+std::string PathIndexSpec::PathString() const { return Join(path, "."); }
+
+namespace {
+
+// Resolves the class reached through attribute `attr` of `cls`; nullptr if
+// the attribute is missing or not (a collection of) an object type.
+const ClassDef* Step(const Schema& schema, const ClassDef* cls,
+                     const std::string& attr) {
+  const Attribute* a = cls->FindAttribute(attr);
+  if (a == nullptr) return nullptr;
+  const Type* t = a->type;
+  if (t->IsCollection()) t = t->elem();
+  if (t->kind() != TypeKind::kObject) return nullptr;
+  return schema.FindClass(t->class_name());
+}
+
+bool HasAtomicAttr(const Schema& schema, const std::string& extent,
+                   const std::string& attr) {
+  if (const ClassDef* c = schema.FindClass(extent)) {
+    const Attribute* a = c->FindAttribute(attr);
+    return a != nullptr && !a->computed && a->type->IsAtomic();
+  }
+  if (const RelationDef* r = schema.FindRelation(extent)) {
+    const Attribute* a = r->FindAttribute(attr);
+    return a != nullptr && a->type->IsAtomic();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> PhysicalConfig::Validate(const Schema& schema) const {
+  std::vector<std::string> errors;
+
+  std::set<std::string> cluster_targets;
+  for (const ClusterSpec& c : clustering) {
+    const ClassDef* owner = schema.FindClass(c.owner_class);
+    if (owner == nullptr) {
+      errors.push_back("clustering: unknown owner class " + c.owner_class);
+      continue;
+    }
+    const ClassDef* target = Step(schema, owner, c.attr);
+    if (target == nullptr) {
+      errors.push_back(StrFormat("clustering: %s.%s is not an object attribute",
+                                 c.owner_class.c_str(), c.attr.c_str()));
+      continue;
+    }
+    if (!cluster_targets.insert(target->name()).second) {
+      errors.push_back("clustering: class " + target->name() +
+                       " clustered via more than one owner");
+    }
+  }
+
+  for (const VerticalSpec& v : vertical) {
+    const ClassDef* cls = schema.FindClass(v.class_name);
+    if (cls == nullptr) {
+      errors.push_back("vertical: unknown class " + v.class_name);
+      continue;
+    }
+    std::set<std::string> seen;
+    for (const auto& group : v.groups) {
+      for (const std::string& attr : group) {
+        const Attribute* a = cls->FindAttribute(attr);
+        if (a == nullptr || a->computed) {
+          errors.push_back(StrFormat("vertical: %s.%s is not a stored attribute",
+                                     v.class_name.c_str(), attr.c_str()));
+        } else if (!seen.insert(attr).second) {
+          errors.push_back(StrFormat("vertical: %s.%s appears in two groups",
+                                     v.class_name.c_str(), attr.c_str()));
+        }
+      }
+    }
+    for (const Attribute& a : cls->AllAttributes()) {
+      if (!a.computed && seen.count(a.name) == 0) {
+        errors.push_back(StrFormat("vertical: %s.%s not covered by any group",
+                                   v.class_name.c_str(), a.name.c_str()));
+      }
+    }
+  }
+
+  for (const HorizontalSpec& h : horizontal) {
+    if (h.num_fragments == 0) {
+      errors.push_back("horizontal: zero fragments for " + h.extent_name);
+    }
+    if (!HasAtomicAttr(schema, h.extent_name, h.attr)) {
+      errors.push_back(StrFormat("horizontal: %s.%s is not an atomic attribute",
+                                 h.extent_name.c_str(), h.attr.c_str()));
+    }
+  }
+
+  for (const SelIndexSpec& s : sel_indexes) {
+    if (!HasAtomicAttr(schema, s.extent_name, s.attr)) {
+      errors.push_back(StrFormat("sel index: %s.%s is not an atomic attribute",
+                                 s.extent_name.c_str(), s.attr.c_str()));
+    }
+  }
+
+  for (const PathIndexSpec& p : path_indexes) {
+    const ClassDef* cls = schema.FindClass(p.root_class);
+    if (cls == nullptr) {
+      errors.push_back("path index: unknown root class " + p.root_class);
+      continue;
+    }
+    if (p.path.empty()) {
+      errors.push_back("path index: empty path on " + p.root_class);
+      continue;
+    }
+    for (const std::string& attr : p.path) {
+      const ClassDef* next = Step(schema, cls, attr);
+      if (next == nullptr) {
+        errors.push_back(StrFormat(
+            "path index: %s.%s does not traverse an object attribute",
+            cls->name().c_str(), attr.c_str()));
+        cls = nullptr;
+        break;
+      }
+      cls = next;
+    }
+  }
+
+  return errors;
+}
+
+const VerticalSpec* PhysicalConfig::FindVertical(
+    const std::string& extent_name) const {
+  for (const VerticalSpec& v : vertical) {
+    if (v.class_name == extent_name) return &v;
+  }
+  return nullptr;
+}
+
+const HorizontalSpec* PhysicalConfig::FindHorizontal(
+    const std::string& extent_name) const {
+  for (const HorizontalSpec& h : horizontal) {
+    if (h.extent_name == extent_name) return &h;
+  }
+  return nullptr;
+}
+
+const ClusterSpec* PhysicalConfig::FindClusterTarget(
+    const Schema& schema, const std::string& class_name) const {
+  for (const ClusterSpec& c : clustering) {
+    const ClassDef* owner = schema.FindClass(c.owner_class);
+    if (owner == nullptr) continue;
+    const ClassDef* target = Step(schema, owner, c.attr);
+    if (target != nullptr && target->name() == class_name) return &c;
+  }
+  return nullptr;
+}
+
+uint64_t PhysicalConfig::RecordBytesOverride(
+    const std::string& extent_name) const {
+  for (const auto& [name, bytes] : record_bytes_override) {
+    if (name == extent_name) return bytes;
+  }
+  return 0;
+}
+
+}  // namespace rodin

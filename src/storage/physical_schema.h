@@ -1,0 +1,87 @@
+#ifndef RODIN_STORAGE_PHYSICAL_SCHEMA_H_
+#define RODIN_STORAGE_PHYSICAL_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+
+namespace rodin {
+
+/// Declares that instances referenced through `owner_class`.`attr` are
+/// stored clustered close to their owner record (same page stream), per the
+/// static clustering strategy of [VKC86] (paper §3). A class may be the
+/// target of at most one clustering declaration.
+struct ClusterSpec {
+  std::string owner_class;
+  std::string attr;
+};
+
+/// Splits a class extent vertically: each group of attribute names becomes a
+/// fragment with its own pages. Groups must partition the class's stored
+/// (non-computed) attributes. Reading an attribute touches only the fragment
+/// holding it — the paper's "decomposition ... to optimize the processing of
+/// selections and projections".
+struct VerticalSpec {
+  std::string class_name;
+  std::vector<std::vector<std::string>> groups;
+};
+
+/// Splits a class or relation extent horizontally into `num_fragments`
+/// fragments by hashing the named atomic attribute. Selections with an
+/// equality predicate on that attribute scan a single fragment.
+struct HorizontalSpec {
+  std::string extent_name;  // class or relation name
+  std::string attr;
+  uint16_t num_fragments = 1;
+};
+
+/// B+-tree selection index on an atomic attribute of a class or relation.
+struct SelIndexSpec {
+  std::string extent_name;
+  std::string attr;
+};
+
+/// Path index [MS86] on root_class.path[0].path[1]...: entries are tuples of
+/// the Oids of every class along the path. A path of length 1 degenerates to
+/// a join index [Va87].
+struct PathIndexSpec {
+  std::string root_class;
+  std::vector<std::string> path;
+
+  /// Dotted rendering, e.g. "works.instruments".
+  std::string PathString() const;
+};
+
+/// The physical database design: everything the optimizer may exploit and
+/// the cost model must price. Validated against the conceptual schema when a
+/// Database is finalized.
+struct PhysicalConfig {
+  /// Buffer pool capacity in pages.
+  size_t buffer_pages = 256;
+
+  /// Fixed record size override per extent name; 0 entries mean "derive the
+  /// record size from the stored values".
+  std::vector<std::pair<std::string, uint64_t>> record_bytes_override;
+
+  std::vector<ClusterSpec> clustering;
+  std::vector<VerticalSpec> vertical;
+  std::vector<HorizontalSpec> horizontal;
+  std::vector<SelIndexSpec> sel_indexes;
+  std::vector<PathIndexSpec> path_indexes;
+
+  /// Validates the configuration against `schema`; returns human-readable
+  /// violations (empty when valid).
+  std::vector<std::string> Validate(const Schema& schema) const;
+
+  const VerticalSpec* FindVertical(const std::string& extent_name) const;
+  const HorizontalSpec* FindHorizontal(const std::string& extent_name) const;
+  const ClusterSpec* FindClusterTarget(const Schema& schema,
+                                       const std::string& class_name) const;
+  uint64_t RecordBytesOverride(const std::string& extent_name) const;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_STORAGE_PHYSICAL_SCHEMA_H_

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "catalog/schema.h"
+#include "catalog/type.h"
+
+namespace rodin {
+namespace {
+
+TEST(TypePoolTest, AtomicSingletons) {
+  TypePool pool;
+  EXPECT_EQ(pool.Int(), pool.Int());
+  EXPECT_EQ(pool.String(), pool.String());
+  EXPECT_TRUE(pool.Int()->IsAtomic());
+  EXPECT_TRUE(pool.Bool()->IsAtomic());
+  EXPECT_EQ(pool.Int()->kind(), TypeKind::kInt);
+}
+
+TEST(TypePoolTest, ObjectTypesInternedByName) {
+  TypePool pool;
+  const Type* a = pool.Object("Composer");
+  const Type* b = pool.Object("Composer");
+  const Type* c = pool.Object("Person");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a->class_name(), "Composer");
+  EXPECT_FALSE(a->IsAtomic());
+}
+
+TEST(TypePoolTest, CollectionTypesInternedByElement) {
+  TypePool pool;
+  const Type* s1 = pool.Set(pool.Object("Composition"));
+  const Type* s2 = pool.Set(pool.Object("Composition"));
+  const Type* l1 = pool.List(pool.Object("Composition"));
+  EXPECT_EQ(s1, s2);
+  EXPECT_NE(s1, l1);
+  EXPECT_TRUE(s1->IsCollection());
+  EXPECT_EQ(s1->elem()->class_name(), "Composition");
+}
+
+TEST(TypePoolTest, TupleFieldsAndToString) {
+  TypePool pool;
+  const Type* t = pool.Tuple({{"who", pool.Object("Person")},
+                              {"n", pool.Int()}});
+  EXPECT_EQ(t->kind(), TypeKind::kTuple);
+  EXPECT_EQ(t->FieldType("who")->class_name(), "Person");
+  EXPECT_EQ(t->FieldType("n"), pool.Int());
+  EXPECT_EQ(t->FieldType("absent"), nullptr);
+  EXPECT_EQ(t->ToString(), "[who: Person, n: int]");
+  EXPECT_EQ(pool.Set(pool.Object("Instrument"))->ToString(), "{Instrument}");
+}
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TypePool& t = schema_.types();
+    person_ = schema_.AddClass("Person");
+    schema_.AddAttribute(person_, {"name", t.String(), false, 0, "", ""});
+    schema_.AddAttribute(person_, {"age", t.Int(), true, 2.0, "", ""});
+    composer_ = schema_.AddClass("Composer", "Person");
+    composition_ = schema_.AddClass("Composition");
+    schema_.AddAttribute(composer_,
+                         {"works", t.Set(t.Object("Composition")), false, 0,
+                          "Composition", "author"});
+    schema_.AddAttribute(composition_, {"author", t.Object("Composer"), false,
+                                        0, "Composer", "works"});
+  }
+
+  Schema schema_;
+  ClassDef* person_ = nullptr;
+  ClassDef* composer_ = nullptr;
+  ClassDef* composition_ = nullptr;
+};
+
+TEST_F(SchemaTest, InheritanceLookup) {
+  EXPECT_TRUE(schema_.IsSubclassOf(composer_, person_));
+  EXPECT_FALSE(schema_.IsSubclassOf(person_, composer_));
+  EXPECT_TRUE(schema_.IsSubclassOf(person_, person_));
+  // Inherited attribute found through the subclass.
+  EXPECT_NE(composer_->FindAttribute("name"), nullptr);
+  EXPECT_EQ(composition_->FindAttribute("name"), nullptr);
+}
+
+TEST_F(SchemaTest, AllAttributesOrdersSuperFirst) {
+  const std::vector<Attribute> all = composer_->AllAttributes();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "name");
+  EXPECT_EQ(all[1].name, "age");
+  EXPECT_EQ(all[2].name, "works");
+  EXPECT_EQ(composer_->AttributeIndex("works"), 2);
+  EXPECT_EQ(composer_->AttributeIndex("missing"), -1);
+}
+
+TEST_F(SchemaTest, ComputedAttributeFlag) {
+  const Attribute* age = composer_->FindAttribute("age");
+  ASSERT_NE(age, nullptr);
+  EXPECT_TRUE(age->computed);
+  EXPECT_DOUBLE_EQ(age->method_cost, 2.0);
+}
+
+TEST_F(SchemaTest, RelationsHaveTupleTypes) {
+  RelationDef* play = schema_.AddRelation(
+      "Play", {{"who", schema_.types().Object("Person")},
+               {"instrument", schema_.types().String()}});
+  EXPECT_EQ(play->AttributeIndex("who"), 0);
+  EXPECT_EQ(play->AttributeIndex("instrument"), 1);
+  EXPECT_EQ(schema_.FindRelation("Play"), play);
+  EXPECT_EQ(schema_.FindRelation("Nope"), nullptr);
+  EXPECT_EQ(play->tuple_type()->fields().size(), 2u);
+}
+
+TEST_F(SchemaTest, ClassById) {
+  EXPECT_EQ(schema_.ClassById(person_->id()), person_);
+  EXPECT_EQ(schema_.ClassById(composer_->id()), composer_);
+}
+
+TEST_F(SchemaTest, ValidInversesPass) {
+  EXPECT_TRUE(schema_.ValidateInverses().empty());
+}
+
+TEST_F(SchemaTest, BrokenInverseDetected) {
+  ClassDef* other = schema_.AddClass("Other");
+  schema_.AddAttribute(other, {"bad", schema_.types().Object("Composer"),
+                               false, 0, "Composer", "nonexistent"});
+  const std::vector<std::string> errors = schema_.ValidateInverses();
+  ASSERT_FALSE(errors.empty());
+}
+
+TEST_F(SchemaTest, MismatchedInverseDetected) {
+  // Declare an inverse that points back to the wrong attribute.
+  ClassDef* a = schema_.AddClass("A");
+  ClassDef* b = schema_.AddClass("B");
+  schema_.AddAttribute(a, {"to_b", schema_.types().Object("B"), false, 0, "B",
+                           "to_a"});
+  schema_.AddAttribute(b, {"to_a", schema_.types().Object("A"), false, 0, "A",
+                           "wrong"});
+  EXPECT_FALSE(schema_.ValidateInverses().empty());
+}
+
+using SchemaDeathTest = SchemaTest;
+
+TEST_F(SchemaDeathTest, DuplicateClassAborts) {
+  EXPECT_DEATH(schema_.AddClass("Person"), "duplicate class");
+}
+
+TEST_F(SchemaDeathTest, DuplicateAttributeAborts) {
+  EXPECT_DEATH(
+      schema_.AddAttribute(composer_,
+                           {"name", schema_.types().Int(), false, 0, "", ""}),
+      "collides");
+}
+
+TEST_F(SchemaDeathTest, UnknownSuperclassAborts) {
+  EXPECT_DEATH(schema_.AddClass("X", "NoSuchClass"), "superclass");
+}
+
+}  // namespace
+}  // namespace rodin

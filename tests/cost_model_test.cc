@@ -1,0 +1,295 @@
+// Cost-model tests: the Figure 5 formulas, selectivity estimation, buffer
+// discounts, clustering awareness, and the fixpoint iteration costing.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/graph_gen.h"
+#include "datagen/music_gen.h"
+#include "plan/pt.h"
+
+namespace rodin {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 300;
+    config.lineage_depth = 10;
+    config.num_instruments = 20;
+    g_ = GenerateMusicDb(config, WithSelIndex());
+    stats_ = std::make_unique<Stats>(Stats::Derive(*g_.db));
+    model_ = std::make_unique<CostModel>(g_.db.get(), stats_.get());
+    composer_ = g_.schema->FindClass("Composer");
+  }
+
+  static PhysicalConfig WithSelIndex() {
+    PhysicalConfig config = PaperMusicPhysical();
+    config.sel_indexes.push_back(SelIndexSpec{"Composer", "name"});
+    return config;
+  }
+
+  PTPtr ComposerScan(const std::string& var = "x") {
+    return MakeEntity(EntityRef{"Composer", 0, 0}, var, composer_);
+  }
+
+  GeneratedDb g_;
+  std::unique_ptr<Stats> stats_;
+  std::unique_ptr<CostModel> model_;
+  const ClassDef* composer_ = nullptr;
+};
+
+TEST_F(CostModelTest, EntityCostIsPageScan) {
+  PTPtr e = ComposerScan();
+  const double cost = model_->Annotate(e.get());
+  EXPECT_DOUBLE_EQ(cost, static_cast<double>(
+                             stats_->Entity(EntityRef{"Composer", 0, 0}).pages));
+  EXPECT_DOUBLE_EQ(e->est_rows, 300.0);
+}
+
+TEST_F(CostModelTest, SelAddsEvalAndReducesRows) {
+  PTPtr s = MakeSel(ComposerScan(),
+                    Expr::Eq(Expr::Path("x", {"name"}),
+                             Expr::Lit(Value::Str("Bach"))));
+  const double scan = model_->Annotate(s->children[0].get());
+  const double cost = model_->Annotate(s.get());
+  EXPECT_GT(cost, scan);
+  // name is unique: selectivity 1/300.
+  EXPECT_NEAR(s->est_rows, 1.0, 0.01);
+}
+
+TEST_F(CostModelTest, IndexAccessBeatsScanForSelectivePredicate) {
+  ExprPtr pred =
+      Expr::Eq(Expr::Path("x", {"name"}), Expr::Lit(Value::Str("Bach")));
+  PTPtr scan_sel = MakeSel(ComposerScan(), pred);
+  PTPtr idx_sel = MakeSel(ComposerScan(), pred);
+  idx_sel->sel_access = SelAccess::kIndexEq;
+  idx_sel->sel_index = g_.db->FindSelIndex("Composer", "name");
+  idx_sel->sel_index_pred = pred;
+  ASSERT_NE(idx_sel->sel_index, nullptr);
+  EXPECT_LT(model_->Annotate(idx_sel.get()), model_->Annotate(scan_sel.get()));
+}
+
+TEST_F(CostModelTest, SelectivityEquality) {
+  PTPtr e = ComposerScan();
+  model_->Annotate(e.get());
+  const double sel = model_->Selectivity(
+      *e, Expr::Eq(Expr::Path("x", {"name"}), Expr::Lit(Value::Str("Bach"))));
+  EXPECT_NEAR(sel, 1.0 / 300, 1e-6);
+}
+
+TEST_F(CostModelTest, SelectivityRangeInterpolates) {
+  PTPtr e = ComposerScan();
+  const AttrStats& birth = stats_->Attr("Composer", "birthyear");
+  const double mid = (birth.min_val + birth.max_val) / 2;
+  const double sel = model_->Selectivity(
+      *e, Expr::Cmp(CompareOp::kLt, Expr::Path("x", {"birthyear"}),
+                    Expr::Lit(Value::Real(mid))));
+  EXPECT_NEAR(sel, 0.5, 0.1);
+  const double sel_hi = model_->Selectivity(
+      *e, Expr::Cmp(CompareOp::kGe, Expr::Path("x", {"birthyear"}),
+                    Expr::Lit(Value::Real(birth.max_val))));
+  EXPECT_LT(sel_hi, 0.05);
+}
+
+TEST_F(CostModelTest, SelectivityConjunctionMultiplies) {
+  PTPtr e = ComposerScan();
+  ExprPtr c1 =
+      Expr::Eq(Expr::Path("x", {"name"}), Expr::Lit(Value::Str("Bach")));
+  const double s1 = model_->Selectivity(*e, c1);
+  const double s_and = model_->Selectivity(*e, Expr::And({c1, c1}));
+  EXPECT_NEAR(s_and, s1 * s1, 1e-9);
+  const double s_not = model_->Selectivity(*e, Expr::Not(c1));
+  EXPECT_NEAR(s_not, 1 - s1, 1e-9);
+  const double s_or = model_->Selectivity(*e, Expr::Or({c1, c1}));
+  EXPECT_NEAR(s_or, 1 - (1 - s1) * (1 - s1), 1e-9);
+}
+
+TEST_F(CostModelTest, OidJoinSelectivity) {
+  // i.disciple = x.master over Composer oids: 1/||Composer||.
+  PTPtr l = ComposerScan("a");
+  PTPtr r = ComposerScan("b");
+  PTPtr ej = MakeEJ(std::move(l), std::move(r),
+                    Expr::Eq(Expr::Path("a", {"master"}),
+                             Expr::Path("b", {"master"})),
+                    JoinAlgo::kNestedLoop);
+  model_->Annotate(ej.get());
+  EXPECT_NEAR(ej->est_rows, 300.0 * 300.0 / 300.0, 40.0);
+}
+
+TEST_F(CostModelTest, IJCostReflectsFanout) {
+  PTPtr ij = MakeIJ(ComposerScan(), "x", "works", "w",
+                    g_.schema->FindClass("Composition"));
+  model_->Annotate(ij.get());
+  const double fanout = stats_->Attr("Composer", "works").fanout;
+  EXPECT_NEAR(ij->est_rows, 300.0 * fanout, 1.0);
+}
+
+TEST_F(CostModelTest, ClusteringReducesDereferenceIO) {
+  // The dereference I/O of the works traversal must shrink under
+  // clustering (co-located children cost nothing to reach). Note the whole
+  // IJ need not get cheaper: clustering inflates the owner extent's scan.
+  MusicConfig config;
+  config.num_composers = 300;
+  PhysicalConfig clustered = PaperMusicPhysical();
+  clustered.buffer_pages = 8;  // small buffer so fetches matter
+  clustered.clustering.push_back(ClusterSpec{"Composer", "works"});
+  GeneratedDb g2 = GenerateMusicDb(config, clustered);
+  Stats s2 = Stats::Derive(*g2.db);
+  CostModel m2(g2.db.get(), &s2);
+
+  PhysicalConfig plain = PaperMusicPhysical();
+  plain.buffer_pages = 8;
+  GeneratedDb g3 = GenerateMusicDb(config, plain);
+  Stats s3 = Stats::Derive(*g3.db);
+  CostModel m3(g3.db.get(), &s3);
+
+  const CostModel::PathEval pe2 =
+      m2.EvalPath(g2.schema->FindClass("Composer"), {"works"});
+  const CostModel::PathEval pe3 =
+      m3.EvalPath(g3.schema->FindClass("Composer"), {"works"});
+  EXPECT_LT(pe2.derefs[0].uncluster, 0.1);
+  EXPECT_GT(pe3.derefs[0].uncluster, 0.9);
+  // Both discounts cut the I/O far below the raw fetch count (clustering
+  // for pe2, creation-order sequentiality for pe3).
+  const double raw_fetches = 300 * pe3.fanout;
+  EXPECT_LT(m2.PathIOCost(pe2, 300), 0.25 * raw_fetches);
+  EXPECT_LT(m3.PathIOCost(pe3, 300), 0.25 * raw_fetches);
+}
+
+TEST_F(CostModelTest, PIJFollowsFigure5Formula) {
+  const PathIndex* index =
+      g_.db->FindPathIndex("Composer", {"works", "instruments"});
+  ASSERT_NE(index, nullptr);
+  PTPtr pij = MakePIJ(ComposerScan(), "x", {"works", "instruments"},
+                      {"w", "i"},
+                      {g_.schema->FindClass("Composition"),
+                       g_.schema->FindClass("Instrument")},
+                      index);
+  model_->Annotate(pij.get());
+  // Rows: ||C|| * entries/||C||= entries.
+  EXPECT_NEAR(pij->est_rows, static_cast<double>(index->num_entries()), 1.0);
+  EXPECT_GT(pij->est_cost, 0);
+}
+
+TEST_F(CostModelTest, RandomFetchIOBufferDiscount) {
+  // Fits in buffer: at most one miss per page.
+  EXPECT_DOUBLE_EQ(model_->RandomFetchIO(1000, 50), 50.0);
+  EXPECT_DOUBLE_EQ(model_->RandomFetchIO(10, 50), 10.0);
+  // Larger than buffer (128 pages): misses proportional to (P-B)/P.
+  const double io = model_->RandomFetchIO(1000, 256);
+  EXPECT_NEAR(io, 1000 * (256.0 - 128.0) / 256.0, 1.0);
+  EXPECT_DOUBLE_EQ(model_->RandomFetchIO(0, 50), 0.0);
+}
+
+TEST_F(CostModelTest, RescanIO) {
+  EXPECT_DOUBLE_EQ(model_->RescanIO(10, 50), 50.0);    // fits: scanned once
+  EXPECT_DOUBLE_EQ(model_->RescanIO(10, 500), 5000.0);  // thrashes
+}
+
+TEST_F(CostModelTest, EvalPathChargesDerefsNotAtomicTail) {
+  // x.name: single atomic step, free.
+  CostModel::PathEval name = model_->EvalPath(composer_, {"name"});
+  EXPECT_TRUE(name.valid);
+  EXPECT_TRUE(name.derefs.empty());
+  EXPECT_DOUBLE_EQ(model_->PathIOCost(name, 300), 0.0);
+  EXPECT_EQ(name.terminal_attr, "name");
+  // x.master.name: one dereference step charged across rows.
+  CostModel::PathEval mn = model_->EvalPath(composer_, {"master", "name"});
+  EXPECT_TRUE(mn.valid);
+  ASSERT_EQ(mn.derefs.size(), 1u);
+  EXPECT_GT(model_->PathIOCost(mn, 300), 0.0);
+  // The buffer discount caps the I/O near the target's page count (the
+  // sequential and random components each fault a page at most once when
+  // the extent fits in the buffer).
+  EXPECT_LE(model_->PathIOCost(mn, 1e9), 2 * mn.derefs[0].target_pages + 1);
+  // Method call: CPU charged, no I/O for the call itself.
+  CostModel::PathEval age = model_->EvalPath(composer_, {"age"});
+  EXPECT_TRUE(age.valid);
+  EXPECT_GT(age.cpu_per_row, 0.0);
+}
+
+TEST_F(CostModelTest, FixCostSumsIterations) {
+  // Fix over composer master chains: more iterations -> more cost.
+  std::vector<PTCol> cols = {{"m", composer_}, {"d", composer_}};
+  auto make_fix = [&](double iters) {
+    PTPtr base = MakeProj(ComposerScan(),
+                          {{"m", Expr::Path("x", {"master"})},
+                           {"d", Expr::Path("x")}},
+                          cols, true);
+    PTPtr delta = MakeDelta("V", cols);
+    PTPtr ej = MakeEJ(std::move(delta), ComposerScan("y"),
+                      Expr::Eq(Expr::Path("d"), Expr::Path("y", {"master"})),
+                      JoinAlgo::kNestedLoop);
+    PTPtr rec = MakeProj(std::move(ej),
+                         {{"m", Expr::Path("m")}, {"d", Expr::Path("y")}},
+                         cols, true);
+    PTPtr fix = MakeFix("V", std::move(base), std::move(rec));
+    fix->est_iters = iters;
+    return fix;
+  };
+  PTPtr short_fix = make_fix(3);
+  PTPtr long_fix = make_fix(12);
+  EXPECT_LT(model_->Annotate(short_fix.get()),
+            model_->Annotate(long_fix.get()));
+  EXPECT_GT(long_fix->est_rows, short_fix->est_rows);
+}
+
+TEST_F(CostModelTest, SharedFixpointCostedOnce) {
+  // Two occurrences of the same fixpoint plan (a self-joined view): the
+  // second occurrence is costed as a re-scan, so the total stays far below
+  // twice the single-occurrence cost — mirroring the executor's memo.
+  std::vector<PTCol> cols = {{"m", composer_}, {"d", composer_}};
+  auto make_fix = [&] {
+    PTPtr base = MakeProj(ComposerScan(),
+                          {{"m", Expr::Path("x", {"master"})},
+                           {"d", Expr::Path("x")}},
+                          cols, true);
+    PTPtr delta = MakeDelta("V", cols);
+    PTPtr ej = MakeEJ(std::move(delta), ComposerScan("y"),
+                      Expr::Eq(Expr::Path("d"), Expr::Path("y", {"master"})),
+                      JoinAlgo::kNestedLoop);
+    PTPtr rec = MakeProj(std::move(ej),
+                         {{"m", Expr::Path("m")}, {"d", Expr::Path("y")}},
+                         cols, true);
+    PTPtr fix = MakeFix("V", std::move(base), std::move(rec));
+    fix->est_iters = 9;
+    return fix;
+  };
+  PTPtr one = make_fix();
+  const double single = model_->Annotate(one.get());
+
+  // Rename the second occurrence's columns so the EJ has distinct names.
+  PTPtr second = make_fix();
+  PTPtr renamed = MakeProj(std::move(second),
+                           {{"m2", Expr::Path("m")}, {"d2", Expr::Path("d")}},
+                           {{"m2", composer_}, {"d2", composer_}}, false);
+  PTPtr both = MakeEJ(make_fix(), std::move(renamed),
+                      Expr::Eq(Expr::Path("m"), Expr::Path("m2")),
+                      JoinAlgo::kNestedLoop);
+  const double doubled = model_->Annotate(both.get());
+  EXPECT_GT(doubled, single);  // the join itself still costs
+  // The second occurrence (under the rename projection) was served from the
+  // memo: it costs a temp re-scan, a tiny fraction of the full fixpoint.
+  const PTNode* fix2 = both->children[1]->children[0].get();
+  ASSERT_EQ(fix2->kind, PTKind::kFix);
+  EXPECT_LT(fix2->est_cost, 0.05 * single);
+  EXPECT_NEAR(fix2->est_rows, one->est_rows, 1.0);
+}
+
+TEST_F(CostModelTest, AnnotateFillsWholeTree) {
+  PTPtr s = MakeSel(ComposerScan(),
+                    Expr::Eq(Expr::Path("x", {"name"}),
+                             Expr::Lit(Value::Str("Bach"))));
+  PTPtr ij = MakeIJ(std::move(s), "x", "works", "w",
+                    g_.schema->FindClass("Composition"));
+  model_->Annotate(ij.get());
+  EXPECT_GE(ij->est_cost, 0);
+  EXPECT_GE(ij->children[0]->est_cost, 0);
+  EXPECT_GE(ij->children[0]->children[0]->est_cost, 0);
+}
+
+}  // namespace
+}  // namespace rodin

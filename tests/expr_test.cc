@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "query/expr.h"
+
+namespace rodin {
+namespace {
+
+TEST(ExprTest, FactoriesAndToString) {
+  ExprPtr e = Expr::Eq(Expr::Path("x", {"name"}), Expr::Lit(Value::Str("Bach")));
+  EXPECT_EQ(e->ToString(), "(x.name = \"Bach\")");
+  ExprPtr n = Expr::Not(e);
+  EXPECT_EQ(n->ToString(), "not (x.name = \"Bach\")");
+  ExprPtr a = Expr::Arith(ArithOp::kAdd, Expr::Path("i", {"gen"}),
+                          Expr::Lit(Value::Int(1)));
+  EXPECT_EQ(a->ToString(), "(i.gen + 1)");
+}
+
+TEST(ExprTest, AndFlattensOnConjuncts) {
+  ExprPtr c1 = Expr::Eq(Expr::Path("x"), Expr::Lit(Value::Int(1)));
+  ExprPtr c2 = Expr::Eq(Expr::Path("y"), Expr::Lit(Value::Int(2)));
+  ExprPtr c3 = Expr::Eq(Expr::Path("z"), Expr::Lit(Value::Int(3)));
+  ExprPtr nested = Expr::And({Expr::And({c1, c2}), c3});
+  const std::vector<ExprPtr> conj = nested->Conjuncts();
+  ASSERT_EQ(conj.size(), 3u);
+  EXPECT_TRUE(conj[0]->Equals(*c1));
+  EXPECT_TRUE(conj[2]->Equals(*c3));
+}
+
+TEST(ExprTest, SingletonAndCollapses) {
+  ExprPtr c1 = Expr::Eq(Expr::Path("x"), Expr::Lit(Value::Int(1)));
+  EXPECT_EQ(Expr::And({c1}), c1);
+  EXPECT_EQ(ConjunctionOf({}), nullptr);
+}
+
+TEST(ExprTest, NonAndIsItsOwnConjunct) {
+  ExprPtr e = Expr::Or({Expr::Eq(Expr::Path("x"), Expr::Lit(Value::Int(1))),
+                        Expr::Eq(Expr::Path("y"), Expr::Lit(Value::Int(2)))});
+  EXPECT_EQ(e->Conjuncts().size(), 1u);
+}
+
+TEST(ExprTest, FreeVars) {
+  ExprPtr e = Expr::And(
+      {Expr::Eq(Expr::Path("i", {"disciple"}), Expr::Path("x", {"master"})),
+       Expr::Cmp(CompareOp::kGe, Expr::Path("i", {"gen"}),
+                 Expr::Lit(Value::Int(6)))});
+  const std::set<std::string> vars = e->FreeVars();
+  EXPECT_EQ(vars, (std::set<std::string>{"i", "x"}));
+}
+
+TEST(ExprTest, VarPathsCollectsAllOccurrences) {
+  ExprPtr e = Expr::And(
+      {Expr::Eq(Expr::Path("x", {"a", "b"}), Expr::Lit(Value::Int(1))),
+       Expr::Eq(Expr::Path("x", {"a", "c"}), Expr::Path("y"))});
+  const auto paths = e->VarPaths();
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0].first, "x");
+  EXPECT_EQ(paths[0].second, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(paths[2].first, "y");
+  EXPECT_TRUE(paths[2].second.empty());
+}
+
+TEST(ExprTest, RenameVar) {
+  ExprPtr e = Expr::Eq(Expr::Path("x", {"name"}), Expr::Path("y", {"name"}));
+  ExprPtr r = e->RenameVar("x", "z");
+  EXPECT_EQ(r->ToString(), "(z.name = y.name)");
+  // Original untouched (immutability).
+  EXPECT_EQ(e->ToString(), "(x.name = y.name)");
+}
+
+TEST(ExprTest, PrependPath) {
+  ExprPtr e = Expr::Eq(Expr::Path("j", {"iname"}), Expr::Lit(Value::Str("h")));
+  ExprPtr p = e->PrependPath("j", {"master", "works"});
+  EXPECT_EQ(p->ToString(), "(j.master.works.iname = \"h\")");
+}
+
+TEST(ExprTest, RebaseStep) {
+  ExprPtr e = Expr::Eq(Expr::Path("j", {"master", "name"}),
+                       Expr::Lit(Value::Str("x")));
+  ExprPtr r = e->RebaseStep("j", "master", "v1");
+  EXPECT_EQ(r->ToString(), "(v1.name = \"x\")");
+  // Paths not starting with the attribute are untouched.
+  ExprPtr u = e->RebaseStep("j", "other", "v1");
+  EXPECT_TRUE(u->Equals(*e));
+}
+
+TEST(ExprTest, StructuralEquality) {
+  ExprPtr a = Expr::Cmp(CompareOp::kLt, Expr::Path("x", {"v"}),
+                        Expr::Lit(Value::Int(3)));
+  ExprPtr b = Expr::Cmp(CompareOp::kLt, Expr::Path("x", {"v"}),
+                        Expr::Lit(Value::Int(3)));
+  ExprPtr c = Expr::Cmp(CompareOp::kLe, Expr::Path("x", {"v"}),
+                        Expr::Lit(Value::Int(3)));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_FALSE(a->Equals(*Expr::Lit(Value::Int(3))));
+}
+
+TEST(ExprTest, CompareOpNames) {
+  EXPECT_STREQ(CompareOpName(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kNe), "!=");
+  EXPECT_STREQ(CompareOpName(CompareOp::kGe), ">=");
+}
+
+TEST(ExprDeathTest, EmptyVarAborts) {
+  EXPECT_DEATH(Expr::Path("", {}), "variable");
+}
+
+TEST(ExprDeathTest, NullOperandsAbort) {
+  EXPECT_DEATH(Expr::Cmp(CompareOp::kEq, nullptr, Expr::Lit(Value::Int(1))),
+               "null");
+  EXPECT_DEATH(Expr::Not(nullptr), "null");
+}
+
+}  // namespace
+}  // namespace rodin

@@ -1,0 +1,186 @@
+// B+-tree selection index and Maier–Stein path index tests, including the
+// page-charging behaviour the cost model's nblevels/nbleaves terms assume.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/schema.h"
+#include "storage/btree_index.h"
+#include "storage/database.h"
+#include "storage/path_index.h"
+
+namespace rodin {
+namespace {
+
+TEST(BTreeShapeTest, SmallIndexHasOneLeafOneLevel) {
+  BTreeShape shape;
+  shape.Build(10, 16, 100);
+  EXPECT_EQ(shape.nbleaves(), 1u);
+  EXPECT_EQ(shape.nblevels(), 1u);
+  EXPECT_EQ(shape.total_pages(), 2u);  // leaf + root
+}
+
+TEST(BTreeShapeTest, LeafCountScalesWithEntries) {
+  BTreeShape shape;
+  shape.Build(100000, 16, 0);
+  // 4096/16 = 256 entries per leaf -> ~391 leaves.
+  EXPECT_NEAR(static_cast<double>(shape.nbleaves()), 391, 2);
+  EXPECT_GE(shape.nblevels(), 2u);
+}
+
+TEST(BTreeShapeTest, EmptyIndexStillWellFormed) {
+  BTreeShape shape;
+  shape.Build(0, 16, 0);
+  EXPECT_EQ(shape.nbleaves(), 1u);
+  EXPECT_GE(shape.nblevels(), 1u);
+}
+
+TEST(BTreeShapeTest, DescentChargesOnePagePerLevel) {
+  BTreeShape shape;
+  shape.Build(100000, 16, 0);
+  BufferPool pool(1000);
+  shape.ChargeDescent(0, &pool);
+  EXPECT_EQ(pool.stats().fetches, shape.nblevels());
+}
+
+TEST(BTreeIndexTest, EqualityLookup) {
+  std::vector<std::pair<Value, uint64_t>> entries;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    entries.emplace_back(Value::Int(static_cast<int64_t>(i % 100)), i);
+  }
+  BTreeIndex index("t.k", "k");
+  index.Build(std::move(entries), 16, 0);
+  EXPECT_EQ(index.num_entries(), 1000u);
+  EXPECT_EQ(index.num_distinct_keys(), 100u);
+
+  BufferPool pool(100);
+  const std::vector<uint64_t> hits = index.Lookup(Value::Int(7), &pool);
+  EXPECT_EQ(hits.size(), 10u);
+  for (uint64_t payload : hits) {
+    EXPECT_EQ(payload % 100, 7u);
+  }
+  EXPECT_GT(pool.stats().fetches, 0u);
+}
+
+TEST(BTreeIndexTest, LookupMissReturnsEmpty) {
+  BTreeIndex index("t.k", "k");
+  index.Build({{Value::Int(1), 0}, {Value::Int(3), 1}}, 16, 0);
+  BufferPool pool(10);
+  EXPECT_TRUE(index.Lookup(Value::Int(2), &pool).empty());
+  EXPECT_TRUE(index.Lookup(Value::Str("x"), &pool).empty());
+}
+
+TEST(BTreeIndexTest, StringKeys) {
+  BTreeIndex index("t.s", "s");
+  index.Build({{Value::Str("bach"), 1},
+               {Value::Str("mozart"), 2},
+               {Value::Str("bach"), 3}},
+              32, 0);
+  const std::vector<uint64_t> hits = index.Lookup(Value::Str("bach"), nullptr);
+  EXPECT_EQ(hits, (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(BTreeIndexTest, RangeLookupBounds) {
+  std::vector<std::pair<Value, uint64_t>> entries;
+  for (uint64_t i = 0; i < 100; ++i) {
+    entries.emplace_back(Value::Int(static_cast<int64_t>(i)), i);
+  }
+  BTreeIndex index("t.k", "k");
+  index.Build(std::move(entries), 16, 0);
+
+  // k >= 90 (inclusive lower bound).
+  auto ge = index.RangeLookup(Value::Int(90), false, Value::Null(), false,
+                              nullptr);
+  EXPECT_EQ(ge.size(), 10u);
+  // k > 90 (strict).
+  auto gt = index.RangeLookup(Value::Int(90), true, Value::Null(), false,
+                              nullptr);
+  EXPECT_EQ(gt.size(), 9u);
+  // k <= 10.
+  auto le = index.RangeLookup(Value::Null(), false, Value::Int(10), false,
+                              nullptr);
+  EXPECT_EQ(le.size(), 11u);
+  // 10 <= k < 20.
+  auto band = index.RangeLookup(Value::Int(10), false, Value::Int(20), true,
+                                nullptr);
+  EXPECT_EQ(band.size(), 10u);
+  // Empty band.
+  auto none = index.RangeLookup(Value::Int(50), true, Value::Int(50), true,
+                                nullptr);
+  EXPECT_TRUE(none.empty());
+}
+
+class PathIndexDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TypePool& t = schema_.types();
+    ClassDef* c = schema_.AddClass("C");
+    schema_.AddAttribute(c, {"name", t.String(), false, 0, "", ""});
+    ClassDef* b = schema_.AddClass("B");
+    schema_.AddAttribute(b, {"cs", t.Set(t.Object("C")), false, 0, "", ""});
+    ClassDef* a = schema_.AddClass("A");
+    schema_.AddAttribute(a, {"bs", t.Set(t.Object("B")), false, 0, "", ""});
+
+    db_ = std::make_unique<Database>(&schema_);
+    // Two A's; each with 2 B's; each B with 3 C's.
+    for (int i = 0; i < 2; ++i) {
+      std::vector<Value> bs;
+      for (int j = 0; j < 2; ++j) {
+        std::vector<Value> cs;
+        for (int k = 0; k < 3; ++k) {
+          Oid c_oid = db_->NewObject("C");
+          db_->Set(c_oid, "name", Value::Str("c"));
+          cs.push_back(Value::Ref(c_oid));
+        }
+        Oid b_oid = db_->NewObject("B");
+        db_->Set(b_oid, "cs", Value::MakeSet(std::move(cs)));
+        bs.push_back(Value::Ref(b_oid));
+      }
+      Oid a_oid = db_->NewObject("A");
+      db_->Set(a_oid, "bs", Value::MakeSet(std::move(bs)));
+      as_.push_back(a_oid);
+    }
+    PhysicalConfig config;
+    config.path_indexes.push_back(PathIndexSpec{"A", {"bs", "cs"}});
+    db_->Finalize(std::move(config));
+  }
+
+  Schema schema_;
+  std::unique_ptr<Database> db_;
+  std::vector<Oid> as_;
+};
+
+TEST_F(PathIndexDbTest, BuildsEveryInstantiation) {
+  const PathIndex* index = db_->FindPathIndex("A", {"bs", "cs"});
+  ASSERT_NE(index, nullptr);
+  // 2 A * 2 B * 3 C = 12 entries of arity 3.
+  EXPECT_EQ(index->num_entries(), 12u);
+  EXPECT_EQ(index->path_length(), 2u);
+  EXPECT_EQ(index->PathString(), "bs.cs");
+}
+
+TEST_F(PathIndexDbTest, LookupReturnsHeadsInstantiations) {
+  const PathIndex* index = db_->FindPathIndex("A", {"bs", "cs"});
+  BufferPool pool(10);
+  const auto entries = index->Lookup(as_[0], &pool);
+  EXPECT_EQ(entries.size(), 6u);  // 2 B * 3 C
+  for (const std::vector<Oid>* e : entries) {
+    ASSERT_EQ(e->size(), 3u);
+    EXPECT_EQ((*e)[0], as_[0]);
+  }
+  EXPECT_GT(pool.stats().fetches, 0u);
+}
+
+TEST_F(PathIndexDbTest, LookupUnknownHeadEmpty) {
+  const PathIndex* index = db_->FindPathIndex("A", {"bs", "cs"});
+  EXPECT_TRUE(index->Lookup(Oid{99, 99}, nullptr).empty());
+}
+
+TEST_F(PathIndexDbTest, ExactPathMatchOnly) {
+  EXPECT_EQ(db_->FindPathIndex("A", {"bs"}), nullptr);
+  EXPECT_EQ(db_->FindPathIndex("B", {"cs"}), nullptr);
+}
+
+}  // namespace
+}  // namespace rodin

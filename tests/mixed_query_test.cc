@@ -1,0 +1,141 @@
+// Queries mixing stored relations, recursive views and classes in one
+// predicate node, checked against brute force; plus executor edge cases
+// (empty probes, delta misuse) and parser precedence details.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "api/session.h"
+#include "datagen/music_gen.h"
+#include "exec/executor.h"
+#include "optimizer/baseline.h"
+#include "query/builder.h"
+#include "query/parser.h"
+
+namespace rodin {
+namespace {
+
+class MixedQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 40;
+    config.lineage_depth = 8;
+    config.num_plays = 120;
+    config.seed = 9;
+    g_ = GenerateMusicDb(config, PaperMusicPhysical());
+    session_ = std::make_unique<Session>(g_.db.get(), CostBasedOptions());
+    composer_ = g_.schema->FindClass("Composer");
+  }
+  GeneratedDb g_;
+  std::unique_ptr<Session> session_;
+  const ClassDef* composer_ = nullptr;
+};
+
+TEST_F(MixedQueryTest, RelationJoinedWithRecursiveView) {
+  // "names of players who are masters at distance >= 2": join the stored
+  // Play relation with the recursive Influencer view.
+  const QueryRun run = session_->RunText(R"(
+relation Influencer includes
+  (select [master: x.master, disciple: x, gen: 1] from x in Composer)
+  union
+  (select [master: i.master, disciple: x, gen: i.gen + 1]
+   from i in Influencer, x in Composer where i.disciple = x.master)
+
+select [n: g.who.name] from g in Play, i in Influencer
+where i.master = g.who and i.gen >= 2
+)",
+                                         /*cold=*/true);
+  ASSERT_TRUE(run.ok) << run.error;
+
+  // Brute force.
+  std::set<std::string> expected;
+  const Extent* plays = g_.db->FindExtent("Play");
+  for (uint32_t s = 0; s < plays->size(); ++s) {
+    const Oid who = plays->Record(s)[0].AsRef();
+    // Is `who` a master at distance >= 2 of anyone? I.e. does any composer
+    // have `who` as an ancestor at depth >= 2?
+    bool qualifies = false;
+    const Extent* composers = g_.db->FindExtent("Composer");
+    for (uint32_t c = 0; c < composers->size() && !qualifies; ++c) {
+      Oid cur{composer_->id(), c};
+      for (int depth = 1;; ++depth) {
+        const Value m = g_.db->GetRaw(cur, "master");
+        if (!m.is_ref()) break;
+        if (depth >= 2 && m.AsRef() == who) {
+          qualifies = true;
+          break;
+        }
+        cur = m.AsRef();
+      }
+    }
+    if (qualifies) {
+      expected.insert(g_.db->GetRaw(who, "name").AsString());
+    }
+  }
+  std::set<std::string> actual;
+  for (const Row& r : run.answer.rows) actual.insert(r[0].AsString());
+  EXPECT_EQ(actual, expected);
+  ASSERT_FALSE(actual.empty());
+}
+
+TEST_F(MixedQueryTest, ParserPrecedenceAndBindsTighterThanOr) {
+  const ParseResult r = ParseQuery(
+      R"(select [n: x.name] from x in Composer
+         where x.name = "Bach" or x.birthyear < 1650 and x.birthyear > 1600)",
+      *g_.schema);
+  ASSERT_TRUE(r.ok) << r.error;
+  // Top level must be an OR whose second branch is the AND.
+  EXPECT_EQ(r.graph.nodes[0].pred->kind(), ExprKind::kOr);
+  ASSERT_EQ(r.graph.nodes[0].pred->children().size(), 2u);
+  EXPECT_EQ(r.graph.nodes[0].pred->children()[1]->kind(), ExprKind::kAnd);
+}
+
+TEST_F(MixedQueryTest, ParserParenthesesOverridePrecedence) {
+  const ParseResult r = ParseQuery(
+      R"(select [n: x.name] from x in Composer
+         where (x.name = "Bach" or x.birthyear < 1650) and x.birthyear > 1600)",
+      *g_.schema);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.graph.nodes[0].pred->kind(), ExprKind::kAnd);
+}
+
+TEST_F(MixedQueryTest, IndexJoinWithNoMatchesIsEmpty) {
+  PhysicalConfig physical = PaperMusicPhysical();
+  physical.sel_indexes.push_back(SelIndexSpec{"Composer", "name"});
+  MusicConfig config;
+  config.num_composers = 20;
+  GeneratedDb g = GenerateMusicDb(config, physical);
+  const ClassDef* composer = g.schema->FindClass("Composer");
+  const ClassDef* composition = g.schema->FindClass("Composition");
+  // Probe with a name that exists nowhere.
+  PTPtr probe_src = MakeProj(
+      MakeEntity(EntityRef{"Composition", 0, 0}, "c", composition),
+      {{"k", Expr::Lit(Value::Str("no-such-name"))}}, {{"k", nullptr}}, false);
+  PTPtr ej = MakeEJ(std::move(probe_src),
+                    MakeEntity(EntityRef{"Composer", 0, 0}, "y", composer),
+                    Expr::Eq(Expr::Path("y", {"name"}), Expr::Path("k")),
+                    JoinAlgo::kIndexJoin);
+  ej->join_index = g.db->FindSelIndex("Composer", "name");
+  ej->join_index_attr = "name";
+  Executor exec(g.db.get());
+  EXPECT_TRUE(exec.Execute(*ej).rows.empty());
+}
+
+TEST_F(MixedQueryTest, DeltaOutsideFixpointAborts) {
+  std::vector<PTCol> cols = {{"m", composer_}};
+  PTPtr delta = MakeDelta("Nowhere", cols);
+  Executor exec(g_.db.get());
+  EXPECT_DEATH(exec.Execute(*delta), "delta referenced outside");
+}
+
+TEST_F(MixedQueryTest, SessionRejectsUnfinalizedDatabase) {
+  Schema schema;
+  schema.AddClass("C");
+  Database db(&schema);
+  EXPECT_DEATH(Session s(&db), "finalized");
+}
+
+}  // namespace
+}  // namespace rodin

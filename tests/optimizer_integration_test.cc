@@ -1,0 +1,254 @@
+// End-to-end pipeline tests: build the paper's music database, optimize the
+// running-example queries with every optimizer configuration, execute the
+// plans, and compare against brute-force reference answers computed by
+// walking the object graph directly.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/music_gen.h"
+#include "exec/executor.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "plan/pt_printer.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+
+namespace rodin {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 60;
+    config.lineage_depth = 10;
+    config.num_instruments = 10;
+    config.harpsichord_fraction = 0.3;
+    db_ = GenerateMusicDb(config, PaperMusicPhysical());
+    stats_ = std::make_unique<Stats>(Stats::Derive(*db_.db));
+    cost_ = std::make_unique<CostModel>(db_.db.get(), stats_.get());
+  }
+
+  // All (master, disciple, generations) chains, brute force.
+  struct Influence {
+    Oid master;
+    Oid disciple;
+    int64_t gen;
+  };
+  std::vector<Influence> BruteForceInfluencer() {
+    std::vector<Influence> out;
+    const Extent* composers = db_.db->FindExtent("Composer");
+    const uint32_t cls_id = db_.db->schema().FindClass("Composer")->id();
+    for (uint32_t s = 0; s < composers->size(); ++s) {
+      Oid disciple{cls_id, s};
+      // Walk up the master chain.
+      Value master = db_.db->GetRaw(disciple, "master");
+      // Base tuple: (x.master, x, 1) exists even when master is null — but
+      // a null master joins nothing downstream; the executor's IJ and
+      // predicate evaluation both skip nulls, so we skip them here too.
+      int64_t gen = 1;
+      Oid cur = disciple;
+      while (true) {
+        const Value m = db_.db->GetRaw(cur, "master");
+        if (!m.is_ref()) break;
+        // Tuple (m, disciple, gen) — note the closure keeps the ORIGINAL
+        // disciple and walks masters upward.
+        out.push_back(Influence{m.AsRef(), disciple, gen});
+        cur = m.AsRef();
+        ++gen;
+      }
+    }
+    return out;
+  }
+
+  bool MasterPlays(Oid master, const std::string& instrument) {
+    const Value works = db_.db->GetRaw(master, "works");
+    if (!works.is_collection()) return false;
+    for (const Value& w : works.AsCollection().elems) {
+      const Value instrs = db_.db->GetRaw(w.AsRef(), "instruments");
+      if (!instrs.is_collection()) continue;
+      for (const Value& i : instrs.AsCollection().elems) {
+        if (db_.db->GetRaw(i.AsRef(), "iname").AsString() == instrument) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  std::set<std::string> ReferenceFig3(int64_t generations,
+                                      const std::string& instrument) {
+    std::set<std::string> names;
+    for (const Influence& inf : BruteForceInfluencer()) {
+      if (inf.gen < generations) continue;
+      if (!MasterPlays(inf.master, instrument)) continue;
+      names.insert(db_.db->GetRaw(inf.disciple, "name").AsString());
+    }
+    return names;
+  }
+
+  std::set<std::string> RunQuery(const QueryGraph& query,
+                                 const OptimizerOptions& options) {
+    Optimizer opt(db_.db.get(), stats_.get(), cost_.get(), options);
+    OptimizeResult result = opt.Optimize(query);
+    EXPECT_TRUE(result.ok()) << result.error;
+    if (!result.ok()) return {};
+    Executor exec(db_.db.get());
+    Table table = exec.Execute(*result.plan);
+    EXPECT_EQ(table.schema.cols.size(), 1u) << PrintPT(*result.plan);
+    std::set<std::string> out;
+    for (const Row& r : table.rows) out.insert(r[0].AsString());
+    return out;
+  }
+
+  GeneratedDb db_;
+  std::unique_ptr<Stats> stats_;
+  std::unique_ptr<CostModel> cost_;
+};
+
+TEST_F(PipelineTest, Fig3CostBasedMatchesBruteForce) {
+  const std::set<std::string> expected = ReferenceFig3(6, "harpsichord");
+  ASSERT_FALSE(expected.empty()) << "workload too small to be meaningful";
+  const QueryGraph q = Fig3Query(db_.db->schema(), 6, "harpsichord");
+  EXPECT_EQ(RunQuery(q, CostBasedOptions()), expected);
+}
+
+TEST_F(PipelineTest, Fig3AllOptimizersAgree) {
+  const std::set<std::string> expected = ReferenceFig3(6, "harpsichord");
+  const QueryGraph q = Fig3Query(db_.db->schema(), 6, "harpsichord");
+  EXPECT_EQ(RunQuery(q, NaiveOptions()), expected);
+  EXPECT_EQ(RunQuery(q, DeductiveOptions()), expected);
+  EXPECT_EQ(RunQuery(q, AnnealingOptions()), expected);
+}
+
+TEST_F(PipelineTest, Fig2MatchesBruteForce) {
+  // Titles of Bach's works including both a harpsichord and a flute.
+  std::set<std::string> expected;
+  const Extent* composers = db_.db->FindExtent("Composer");
+  const uint32_t cls_id = db_.db->schema().FindClass("Composer")->id();
+  for (uint32_t s = 0; s < composers->size(); ++s) {
+    Oid c{cls_id, s};
+    if (db_.db->GetRaw(c, "name").AsString() != "Bach") continue;
+    const Value works = db_.db->GetRaw(c, "works");
+    for (const Value& w : works.AsCollection().elems) {
+      bool harpsi = false;
+      bool flute = false;
+      const Value instrs = db_.db->GetRaw(w.AsRef(), "instruments");
+      for (const Value& i : instrs.AsCollection().elems) {
+        const std::string n = db_.db->GetRaw(i.AsRef(), "iname").AsString();
+        harpsi |= n == "harpsichord";
+        flute |= n == "flute";
+      }
+      if (harpsi && flute) {
+        expected.insert(db_.db->GetRaw(w.AsRef(), "title").AsString());
+      }
+    }
+  }
+  const QueryGraph q = Fig2Query(db_.db->schema());
+  EXPECT_EQ(RunQuery(q, CostBasedOptions()), expected);
+  EXPECT_EQ(RunQuery(q, NaiveOptions()), expected);
+}
+
+TEST_F(PipelineTest, PushJoinQueryMatchesBruteForce) {
+  // Composers influenced by the masters of Bach.
+  std::set<std::string> expected;
+  const Extent* composers = db_.db->FindExtent("Composer");
+  const uint32_t cls_id = db_.db->schema().FindClass("Composer")->id();
+  Oid bach = Oid::Invalid();
+  for (uint32_t s = 0; s < composers->size(); ++s) {
+    Oid c{cls_id, s};
+    if (db_.db->GetRaw(c, "name").AsString() == "Bach") bach = c;
+  }
+  ASSERT_TRUE(bach.valid());
+  const Value bach_master = db_.db->GetRaw(bach, "master");
+  ASSERT_TRUE(bach_master.is_ref());
+  for (const Influence& inf : BruteForceInfluencer()) {
+    if (inf.master == bach_master.AsRef()) {
+      expected.insert(db_.db->GetRaw(inf.disciple, "name").AsString());
+    }
+  }
+  ASSERT_FALSE(expected.empty());
+  const QueryGraph q = PushJoinQuery(db_.db->schema());
+  EXPECT_EQ(RunQuery(q, CostBasedOptions()), expected);
+  EXPECT_EQ(RunQuery(q, NaiveOptions()), expected);
+  EXPECT_EQ(RunQuery(q, DeductiveOptions()), expected);
+}
+
+TEST_F(PipelineTest, ViewConsumedTwiceUsesMemoizedFixpoint) {
+  // Self-join of the recursive view: both arcs instantiate the same Fix
+  // plan; the executor must compute it once and serve the second occurrence
+  // from the memo (visible as a much smaller second marginal cost).
+  QueryGraphBuilder b;
+  b.Node("Influencer", "P1")
+      .Input("Composer", "x")
+      .OutPath("master", "x", {"master"})
+      .OutPath("disciple", "x")
+      .Out("gen", Expr::Lit(Value::Int(1)));
+  b.Node("Influencer", "P2")
+      .Input("Influencer", "i")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("i", {"disciple"}), Expr::Path("x", {"master"})))
+      .OutPath("master", "i", {"master"})
+      .OutPath("disciple", "x")
+      .Out("gen", Expr::Arith(ArithOp::kAdd, Expr::Path("i", {"gen"}),
+                              Expr::Lit(Value::Int(1))));
+  // Pairs of distinct composers influenced by the same master at gen >= 3.
+  b.Node("Answer", "P3")
+      .Input("Influencer", "a")
+      .Input("Influencer", "c")
+      .Where(Expr::Eq(Expr::Path("a", {"master"}), Expr::Path("c", {"master"})))
+      .Where(Expr::Cmp(CompareOp::kGe, Expr::Path("a", {"gen"}),
+                       Expr::Lit(Value::Int(3))))
+      .Where(Expr::Cmp(CompareOp::kGe, Expr::Path("c", {"gen"}),
+                       Expr::Lit(Value::Int(3))))
+      .Where(Expr::Cmp(CompareOp::kNe, Expr::Path("a", {"disciple"}),
+                       Expr::Path("c", {"disciple"})))
+      .OutPath("n1", "a", {"disciple", "name"})
+      .OutPath("n2", "c", {"disciple", "name"});
+  const QueryGraph q = b.Build(db_.db->schema());
+
+  Optimizer opt(db_.db.get(), stats_.get(), cost_.get(), NaiveOptions());
+  OptimizeResult r = opt.Optimize(q);
+  ASSERT_TRUE(r.ok()) << r.error;
+  Executor exec(db_.db.get());
+  exec.ResetMeasurement(true);
+  Table t = exec.Execute(*r.plan);
+  // Brute-force reference: pairs sharing a master at distance >= 3.
+  std::set<std::pair<std::string, std::string>> expected;
+  const std::vector<Influence> closure = BruteForceInfluencer();
+  for (const Influence& a : closure) {
+    for (const Influence& c : closure) {
+      if (a.gen < 3 || c.gen < 3) continue;
+      if (!(a.master == c.master) || a.disciple == c.disciple) continue;
+      expected.insert({db_.db->GetRaw(a.disciple, "name").AsString(),
+                       db_.db->GetRaw(c.disciple, "name").AsString()});
+    }
+  }
+  std::set<std::pair<std::string, std::string>> actual;
+  for (const Row& row : t.rows) {
+    actual.insert({row[0].AsString(), row[1].AsString()});
+  }
+  EXPECT_EQ(actual, expected);
+  EXPECT_FALSE(actual.empty());
+}
+
+TEST_F(PipelineTest, StageReportsCoverFigure6) {
+  const QueryGraph q = Fig3Query(db_.db->schema(), 6, "harpsichord");
+  Optimizer opt(db_.db.get(), stats_.get(), cost_.get(), CostBasedOptions());
+  OptimizeResult result = opt.Optimize(q);
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.stages.size(), 4u);
+  EXPECT_EQ(result.stages[0].stage, "rewrite");
+  EXPECT_EQ(result.stages[1].stage, "translate");
+  EXPECT_EQ(result.stages[2].stage, "generatePT");
+  EXPECT_EQ(result.stages[3].stage, "transformPT");
+  EXPECT_EQ(result.stages[0].strategy, "irrevocable");
+}
+
+}  // namespace
+}  // namespace rodin

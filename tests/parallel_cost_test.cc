@@ -1,0 +1,119 @@
+// Parallel cost bracket tests (estimation only; the executor is serial):
+// divisible operator work speeds up with the degree, tiny plans pay the
+// startup overhead, and fixpoint iterations stay sequential barriers.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/music_gen.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+
+namespace rodin {
+namespace {
+
+class ParallelCostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 600;
+    config.lineage_depth = 12;
+    g_ = GenerateMusicDb(config, PaperMusicPhysical());
+    stats_ = std::make_unique<Stats>(Stats::Derive(*g_.db));
+  }
+
+  double CostAt(unsigned degree, const QueryGraph& q) {
+    CostParams params;
+    params.parallel_degree = degree;
+    CostModel model(g_.db.get(), stats_.get(), params);
+    Optimizer opt(g_.db.get(), stats_.get(), &model, NaiveOptions());
+    OptimizeResult r = opt.Optimize(q);
+    EXPECT_TRUE(r.ok()) << r.error;
+    return r.cost;
+  }
+
+  GeneratedDb g_;
+  std::unique_ptr<Stats> stats_;
+};
+
+TEST_F(ParallelCostTest, BulkWorkSpeedsUp) {
+  // A scan-heavy non-recursive query: more workers -> cheaper, with
+  // diminishing returns (overhead grows with the degree).
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("x", {"works", "instruments", "iname"}),
+                      Expr::Lit(Value::Str("flute"))))
+      .OutPath("n", "x", {"name"});
+  const QueryGraph q = b.Build(*g_.schema);
+  const double c1 = CostAt(1, q);
+  const double c4 = CostAt(4, q);
+  const double c16 = CostAt(16, q);
+  EXPECT_LT(c4, c1);
+  EXPECT_LT(c16, c4);
+  // Far from perfect speedup because of the overhead term.
+  EXPECT_GT(c16, c1 / 16);
+}
+
+TEST_F(ParallelCostTest, TinyPlansPayOverhead) {
+  // A one-row lookup has nothing to divide; high degrees only add startup.
+  Schema schema;
+  ClassDef* c = schema.AddClass("Tiny");
+  schema.AddAttribute(c, {"v", schema.types().Int(), false, 0, "", ""});
+  Database db(&schema);
+  Oid o = db.NewObject("Tiny");
+  db.Set(o, "v", Value::Int(1));
+  db.Finalize(PhysicalConfig{});
+  Stats stats = Stats::Derive(db);
+
+  QueryGraphBuilder b;
+  b.Node("Answer").Input("Tiny", "x").OutPath("v", "x", {"v"});
+  const QueryGraph q = b.Build(schema);
+
+  auto cost_at = [&](unsigned degree) {
+    CostParams params;
+    params.parallel_degree = degree;
+    CostModel model(&db, &stats, params);
+    Optimizer opt(&db, &stats, &model, NaiveOptions());
+    return opt.Optimize(q).cost;
+  };
+  EXPECT_GT(cost_at(16), cost_at(1));
+}
+
+TEST_F(ParallelCostTest, FixpointBarriersLimitSpeedup) {
+  // Recursive query: per-iteration work divides but iterations do not, so
+  // the speedup at high degrees is visibly sublinear compared to the
+  // non-recursive bulk case.
+  const QueryGraph recursive = Fig3Query(*g_.schema, 4);
+  const double r1 = CostAt(1, recursive);
+  const double r8 = CostAt(8, recursive);
+  EXPECT_LT(r8, r1);  // still helps (the arm's work divides)
+
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .Input("Composer", "y")
+      .Where(Expr::Eq(Expr::Path("x", {"master"}), Expr::Path("y", {"master"})))
+      .OutPath("n", "x", {"name"});
+  const QueryGraph bulk = b.Build(*g_.schema);
+  const double b1 = CostAt(1, bulk);
+  const double b8 = CostAt(8, bulk);
+  // Bulk speedup factor exceeds the recursive one.
+  EXPECT_GT(b1 / b8, r1 / r8);
+}
+
+TEST_F(ParallelCostTest, SerialDegreeIsIdentity) {
+  const QueryGraph q = Fig3Query(*g_.schema, 4);
+  CostParams params;  // default degree 1
+  CostModel model(g_.db.get(), stats_.get(), params);
+  CostModel plain(g_.db.get(), stats_.get());
+  Optimizer a(g_.db.get(), stats_.get(), &model, NaiveOptions());
+  Optimizer b(g_.db.get(), stats_.get(), &plain, NaiveOptions());
+  EXPECT_DOUBLE_EQ(a.Optimize(q).cost, b.Optimize(q).cost);
+}
+
+}  // namespace
+}  // namespace rodin

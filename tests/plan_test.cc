@@ -1,0 +1,191 @@
+// Processing-tree structure tests: constructors, columns, cloning,
+// fingerprints, resolution of dotted columns, and the paper's functional
+// term rendering.
+
+#include <gtest/gtest.h>
+
+#include "datagen/music_gen.h"
+#include "plan/pt.h"
+#include "plan/pt_printer.h"
+
+namespace rodin {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 10;
+    g_ = GenerateMusicDb(config, PaperMusicPhysical());
+    composer_ = g_.schema->FindClass("Composer");
+    composition_ = g_.schema->FindClass("Composition");
+  }
+  GeneratedDb g_;
+  const ClassDef* composer_ = nullptr;
+  const ClassDef* composition_ = nullptr;
+};
+
+TEST_F(PlanTest, EntityLeafHasBindingColumn) {
+  PTPtr e = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  ASSERT_EQ(e->cols.size(), 1u);
+  EXPECT_EQ(e->cols[0].name, "x");
+  EXPECT_EQ(e->cols[0].cls, composer_);
+  EXPECT_EQ(e->ToTerm(), "Composer");
+}
+
+TEST_F(PlanTest, SelKeepsColumns) {
+  PTPtr e = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  ExprPtr pred =
+      Expr::Eq(Expr::Path("x", {"name"}), Expr::Lit(Value::Str("Bach")));
+  PTPtr s = MakeSel(std::move(e), pred);
+  EXPECT_EQ(s->cols.size(), 1u);
+  EXPECT_NE(s->ToTerm().find("Sel_{(x.name = \"Bach\")}"), std::string::npos);
+}
+
+TEST_F(PlanTest, IJAppendsTargetColumn) {
+  PTPtr e = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  PTPtr ij = MakeIJ(std::move(e), "x", "master", "m", composer_);
+  ASSERT_EQ(ij->cols.size(), 2u);
+  EXPECT_EQ(ij->cols[1].name, "m");
+  EXPECT_EQ(ij->cols[1].cls, composer_);
+  EXPECT_EQ(ij->ToTerm(), "IJ_master(Composer, Composer)");
+}
+
+TEST_F(PlanTest, IJAcceptsDottedSource) {
+  std::vector<PTCol> delta_cols = {{"i.master", composer_},
+                                   {"i.disciple", composer_},
+                                   {"i.gen", nullptr}};
+  PTPtr d = MakeDelta("Influencer", delta_cols);
+  PTPtr ij = MakeIJ(std::move(d), "i", "master", "m", composer_);
+  EXPECT_EQ(ij->cols.size(), 4u);
+}
+
+TEST_F(PlanTest, EJConcatenatesColumns) {
+  PTPtr l = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  PTPtr r = MakeEntity(EntityRef{"Composition", 0, 0}, "c", composition_);
+  ExprPtr pred = Expr::Eq(Expr::Path("c", {"author"}), Expr::Path("x"));
+  PTPtr ej = MakeEJ(std::move(l), std::move(r), pred, JoinAlgo::kNestedLoop);
+  ASSERT_EQ(ej->cols.size(), 2u);
+  EXPECT_EQ(ej->cols[0].name, "x");
+  EXPECT_EQ(ej->cols[1].name, "c");
+}
+
+TEST_F(PlanTest, PIJBindsStepColumns) {
+  const PathIndex* index =
+      g_.db->FindPathIndex("Composer", {"works", "instruments"});
+  ASSERT_NE(index, nullptr);
+  PTPtr e = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  const ClassDef* instrument = g_.schema->FindClass("Instrument");
+  PTPtr pij = MakePIJ(std::move(e), "x", {"works", "instruments"},
+                      {"w", "i"}, {composition_, instrument}, index);
+  ASSERT_EQ(pij->cols.size(), 3u);
+  EXPECT_EQ(pij->cols[1].name, "w");
+  EXPECT_EQ(pij->cols[2].name, "i");
+  EXPECT_EQ(pij->cols[2].cls, instrument);
+  // Unbound steps add no columns.
+  PTPtr e2 = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  PTPtr pij2 = MakePIJ(std::move(e2), "x", {"works", "instruments"},
+                       {"", "i"}, {composition_, instrument}, index);
+  EXPECT_EQ(pij2->cols.size(), 2u);
+}
+
+TEST_F(PlanTest, FixAndDeltaShapes) {
+  std::vector<PTCol> cols = {{"m", composer_}, {"d", composer_}};
+  PTPtr base = MakeProj(MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_),
+                        {{"m", Expr::Path("x", {"master"})},
+                         {"d", Expr::Path("x")}},
+                        cols, true);
+  PTPtr delta = MakeDelta("V", cols);
+  PTPtr rec = MakeProj(std::move(delta),
+                       {{"m", Expr::Path("m")}, {"d", Expr::Path("d")}}, cols,
+                       true);
+  PTPtr fix = MakeFix("V", std::move(base), std::move(rec));
+  EXPECT_EQ(fix->cols.size(), 2u);
+  EXPECT_NE(fix->ToTerm().find("Fix(V, Union("), std::string::npos);
+}
+
+TEST_F(PlanTest, CloneIsDeepAndEqual) {
+  PTPtr e = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  PTPtr s = MakeSel(std::move(e),
+                    Expr::Eq(Expr::Path("x", {"name"}),
+                             Expr::Lit(Value::Str("Bach"))));
+  s->est_cost = 42;
+  PTPtr c = s->Clone();
+  EXPECT_EQ(c->Fingerprint(), s->Fingerprint());
+  EXPECT_EQ(c->est_cost, 42);
+  // Mutating the clone leaves the original alone.
+  c->children[0]->binding = "y";
+  EXPECT_EQ(s->children[0]->binding, "x");
+}
+
+TEST_F(PlanTest, FingerprintDistinguishesPlans) {
+  PTPtr a = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  PTPtr b = MakeEntity(EntityRef{"Composition", 0, 0}, "x", composition_);
+  EXPECT_NE(a->Fingerprint(), b->Fingerprint());
+  PTPtr ej1 = MakeEJ(a->Clone(), b->Clone(), nullptr, JoinAlgo::kNestedLoop);
+  PTPtr ej2 = MakeEJ(b->Clone(), a->Clone(), nullptr, JoinAlgo::kNestedLoop);
+  EXPECT_NE(ej1->Fingerprint(), ej2->Fingerprint());
+}
+
+TEST_F(PlanTest, ResolveVarPathPrefersDottedColumn) {
+  std::vector<PTCol> cols = {{"i.gen", nullptr}, {"i", composer_}};
+  PTPtr d = MakeDelta("V", cols);
+  int col = -1;
+  std::vector<std::string> rest;
+  ASSERT_TRUE(d->ResolveVarPath("i", {"gen"}, &col, &rest));
+  EXPECT_EQ(col, 0);
+  EXPECT_TRUE(rest.empty());
+  // Plain column fallback keeps the remaining path.
+  ASSERT_TRUE(d->ResolveVarPath("i", {"master"}, &col, &rest));
+  EXPECT_EQ(col, 1);
+  EXPECT_EQ(rest, (std::vector<std::string>{"master"}));
+  EXPECT_FALSE(d->ResolveVarPath("zzz", {}, &col, &rest));
+}
+
+TEST_F(PlanTest, InvalidateEstimatesClearsSubtree) {
+  PTPtr e = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  e->est_cost = 7;
+  PTPtr s = MakeSel(std::move(e), nullptr);
+  s->est_cost = 9;
+  s->InvalidateEstimates();
+  EXPECT_LT(s->est_cost, 0);
+  EXPECT_LT(s->children[0]->est_cost, 0);
+}
+
+TEST_F(PlanTest, TreeSizeCounts) {
+  PTPtr e = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  PTPtr ij = MakeIJ(std::move(e), "x", "master", "m", composer_);
+  PTPtr s = MakeSel(std::move(ij), nullptr);
+  EXPECT_EQ(s->TreeSize(), 3u);
+}
+
+TEST_F(PlanTest, PrinterShowsStructureAndEstimates) {
+  PTPtr e = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  e->est_cost = 3;
+  e->est_rows = 10;
+  const std::string with = PrintPT(*e, true);
+  EXPECT_NE(with.find("cost=3.0"), std::string::npos);
+  const std::string without = PrintPT(*e, false);
+  EXPECT_EQ(without.find("cost="), std::string::npos);
+}
+
+TEST_F(PlanTest, UnionRequiresMatchingArity) {
+  PTPtr a = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  PTPtr b = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  PTPtr u = MakeUnion([&] {
+    std::vector<PTPtr> v;
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    return v;
+  }());
+  EXPECT_EQ(u->cols.size(), 1u);
+}
+
+TEST_F(PlanTest, MakeIJWithBadSourceAborts) {
+  PTPtr e = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+  EXPECT_DEATH(MakeIJ(std::move(e), "nope", "master", "m", composer_),
+               "IJ source");
+}
+
+}  // namespace
+}  // namespace rodin

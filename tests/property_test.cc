@@ -1,0 +1,184 @@
+// Property-based tests (parameterized sweeps): across seeds, dataset shapes
+// and physical designs, every optimizer configuration must produce a plan
+// that (a) computes the same answer set, (b) costs no more than the costed
+// alternatives it rejected, and (c) is deterministic.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/graph_gen.h"
+#include "datagen/music_gen.h"
+#include "exec/executor.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "query/graph_queries.h"
+#include "query/paper_queries.h"
+
+namespace rodin {
+namespace {
+
+std::multiset<std::string> Materialize(Database* db, const PTNode& plan) {
+  Executor exec(db);
+  Table t = exec.Execute(plan);
+  t.Dedup();
+  std::multiset<std::string> out;
+  for (const Row& r : t.rows) {
+    std::string key;
+    for (const Value& v : r) key += v.ToString() + "|";
+    out.insert(key);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Music DB sweep: seed x lineage depth x clustering.
+// ---------------------------------------------------------------------------
+
+using MusicParam = std::tuple<uint64_t /*seed*/, uint32_t /*lineage*/,
+                              bool /*clustered*/>;
+
+class MusicPropertyTest : public ::testing::TestWithParam<MusicParam> {
+ protected:
+  void SetUp() override {
+    const auto [seed, lineage, clustered] = GetParam();
+    MusicConfig config;
+    config.seed = seed;
+    config.num_composers = 48;
+    config.lineage_depth = lineage;
+    config.harpsichord_fraction = 0.2;
+    PhysicalConfig physical = PaperMusicPhysical();
+    physical.sel_indexes.push_back(SelIndexSpec{"Composer", "name"});
+    if (clustered) {
+      physical.clustering.push_back(ClusterSpec{"Composer", "works"});
+    }
+    g_ = GenerateMusicDb(config, physical);
+    stats_ = std::make_unique<Stats>(Stats::Derive(*g_.db));
+    cost_ = std::make_unique<CostModel>(g_.db.get(), stats_.get());
+  }
+
+  OptimizeResult Optimize(const QueryGraph& q, OptimizerOptions options) {
+    Optimizer opt(g_.db.get(), stats_.get(), cost_.get(), options);
+    return opt.Optimize(q);
+  }
+
+  GeneratedDb g_;
+  std::unique_ptr<Stats> stats_;
+  std::unique_ptr<CostModel> cost_;
+};
+
+TEST_P(MusicPropertyTest, AllConfigurationsAgreeOnFig3) {
+  const QueryGraph q = Fig3Query(*g_.schema, 3);
+  OptimizeResult reference = Optimize(q, NaiveOptions());
+  ASSERT_TRUE(reference.ok()) << reference.error;
+  const auto expected = Materialize(g_.db.get(), *reference.plan);
+
+  for (OptimizerOptions options :
+       {CostBasedOptions(), DeductiveOptions(), AnnealingOptions(),
+        ExhaustiveOptions()}) {
+    OptimizeResult r = Optimize(q, options);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(Materialize(g_.db.get(), *r.plan), expected)
+        << GenStrategyName(options.gen_strategy);
+  }
+}
+
+TEST_P(MusicPropertyTest, ChosenCostNeverExceedsAlternatives) {
+  const QueryGraph q = Fig3Query(*g_.schema, 3);
+  OptimizeResult r = Optimize(q, CostBasedOptions());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.cost, 0);
+  EXPECT_LE(r.cost, r.unpushed_variant_cost + 1e-6);
+  if (r.pushed_variant_cost >= 0) {
+    EXPECT_LE(r.cost, r.pushed_variant_cost + 1e-6);
+  }
+}
+
+TEST_P(MusicPropertyTest, OptimizationIsDeterministic) {
+  const QueryGraph q = Fig3Query(*g_.schema, 3);
+  OptimizeResult a = Optimize(q, CostBasedOptions(123));
+  OptimizeResult b = Optimize(q, CostBasedOptions(123));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.plan->Fingerprint(), b.plan->Fingerprint());
+  EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST_P(MusicPropertyTest, PushJoinQueryAgreesEverywhere) {
+  const QueryGraph q = PushJoinQuery(*g_.schema);
+  OptimizeResult reference = Optimize(q, NaiveOptions());
+  ASSERT_TRUE(reference.ok());
+  const auto expected = Materialize(g_.db.get(), *reference.plan);
+  for (OptimizerOptions options : {CostBasedOptions(), DeductiveOptions()}) {
+    OptimizeResult r = Optimize(q, options);
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_EQ(Materialize(g_.db.get(), *r.plan), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MusicPropertyTest,
+    ::testing::Combine(::testing::Values(1, 7, 1234),
+                       ::testing::Values(4, 8, 16),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<MusicParam>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_lineage" +
+             std::to_string(std::get<1>(info.param)) +
+             (std::get<2>(info.param) ? "_clustered" : "_plain");
+    });
+
+// ---------------------------------------------------------------------------
+// Graph DB sweep: selectivity x path length; checks the push decision's
+// consistency with the costed alternatives and result equality.
+// ---------------------------------------------------------------------------
+
+using GraphParam = std::tuple<uint32_t /*num_labels*/, uint32_t /*path_len*/>;
+
+class GraphPropertyTest : public ::testing::TestWithParam<GraphParam> {
+ protected:
+  void SetUp() override {
+    const auto [labels, path_len] = GetParam();
+    config_.num_nodes = 256;
+    config_.chain_depth = 16;
+    config_.num_labels = labels;
+    config_.path_len = path_len;
+    g_ = GenerateGraphDb(config_, DefaultGraphPhysical());
+    stats_ = std::make_unique<Stats>(Stats::Derive(*g_.db));
+    cost_ = std::make_unique<CostModel>(g_.db.get(), stats_.get());
+  }
+
+  GraphConfig config_;
+  GeneratedDb g_;
+  std::unique_ptr<Stats> stats_;
+  std::unique_ptr<CostModel> cost_;
+};
+
+TEST_P(GraphPropertyTest, PushAndNoPushComputeSameClosure) {
+  const QueryGraph q = GraphClosureQuery(config_, *g_.schema);
+  Optimizer never(g_.db.get(), stats_.get(), cost_.get(), NaiveOptions());
+  Optimizer always(g_.db.get(), stats_.get(), cost_.get(), DeductiveOptions());
+  Optimizer costed(g_.db.get(), stats_.get(), cost_.get(), CostBasedOptions());
+  OptimizeResult rn = never.Optimize(q);
+  OptimizeResult ra = always.Optimize(q);
+  OptimizeResult rc = costed.Optimize(q);
+  ASSERT_TRUE(rn.ok() && ra.ok() && rc.ok());
+  const auto expected = Materialize(g_.db.get(), *rn.plan);
+  EXPECT_EQ(Materialize(g_.db.get(), *ra.plan), expected);
+  EXPECT_EQ(Materialize(g_.db.get(), *rc.plan), expected);
+  // Cost-based choice is consistent with its own comparison.
+  EXPECT_LE(rc.cost, rc.unpushed_variant_cost + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GraphPropertyTest,
+    ::testing::Combine(::testing::Values(1, 10, 200),
+                       ::testing::Values(0, 1, 3)),
+    [](const ::testing::TestParamInfo<GraphParam>& info) {
+      return "labels" + std::to_string(std::get<0>(info.param)) + "_path" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace rodin

@@ -1,0 +1,218 @@
+// Query-graph model tests: validation, recursion detection, bindings, path
+// resolution, tree-label derivation (the paper's adornments), and the
+// canned paper queries.
+
+#include <gtest/gtest.h>
+
+#include "datagen/music_gen.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+#include "query/query_graph.h"
+#include "query/tree_label.h"
+
+namespace rodin {
+namespace {
+
+class QueryGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 20;
+    g_ = GenerateMusicDb(config, PaperMusicPhysical());
+  }
+  const Schema& schema() { return *g_.schema; }
+  GeneratedDb g_;
+};
+
+TEST_F(QueryGraphTest, Fig3Validates) {
+  const QueryGraph q = Fig3Query(schema());
+  EXPECT_TRUE(q.Validate(schema()).empty());
+  EXPECT_EQ(q.nodes.size(), 3u);
+}
+
+TEST_F(QueryGraphTest, RecursionDetection) {
+  const QueryGraph q = Fig3Query(schema());
+  EXPECT_TRUE(q.IsRecursiveName("Influencer"));
+  EXPECT_FALSE(q.IsRecursiveName("Answer"));
+  const QueryGraph q2 = Fig2Query(schema());
+  EXPECT_FALSE(q2.IsRecursiveName("Answer"));
+}
+
+TEST_F(QueryGraphTest, ProducersAndColumns) {
+  const QueryGraph q = Fig3Query(schema());
+  EXPECT_EQ(q.ProducersOf("Influencer").size(), 2u);
+  EXPECT_EQ(q.ProducersOf("Answer").size(), 1u);
+  EXPECT_EQ(q.ColumnsOf("Influencer"),
+            (std::vector<std::string>{"master", "disciple", "gen"}));
+}
+
+TEST_F(QueryGraphTest, ColumnClassResolution) {
+  const QueryGraph q = Fig3Query(schema());
+  const ClassDef* composer = schema().FindClass("Composer");
+  EXPECT_EQ(q.ColumnClass("Influencer", "master", schema()), composer);
+  EXPECT_EQ(q.ColumnClass("Influencer", "disciple", schema()), composer);
+  EXPECT_EQ(q.ColumnClass("Influencer", "gen", schema()), nullptr);  // atomic
+}
+
+TEST_F(QueryGraphTest, BindingsForClassRelationDerivedAndLet) {
+  const QueryGraph q2 = Fig2Query(schema());
+  const PredicateNode& node = q2.nodes[0];
+  const VarBinding x = q2.BindingOf(node, "x", schema());
+  EXPECT_EQ(x.kind, NameKind::kClass);
+  EXPECT_EQ(x.cls->name(), "Composer");
+  // Path variable t over x.works -> Composition.
+  const VarBinding t = q2.BindingOf(node, "t", schema());
+  EXPECT_EQ(t.kind, NameKind::kClass);
+  EXPECT_EQ(t.cls->name(), "Composition");
+  // Chained path variable i1 over t.instruments -> Instrument.
+  const VarBinding i1 = q2.BindingOf(node, "i1", schema());
+  EXPECT_EQ(i1.cls->name(), "Instrument");
+}
+
+TEST_F(QueryGraphTest, PathResolution) {
+  const QueryGraph q = Fig3Query(schema());
+  const PredicateNode* p3 = q.ProducersOf("Answer")[0];
+  const VarBinding j = q.BindingOf(*p3, "j", schema());
+  EXPECT_EQ(j.kind, NameKind::kDerived);
+
+  PathTarget t = q.ResolvePath(
+      j, {"master", "works", "instruments", "iname"}, schema());
+  EXPECT_TRUE(t.valid);
+  EXPECT_TRUE(t.atomic);
+  EXPECT_TRUE(t.via_collection);
+
+  t = q.ResolvePath(j, {"master"}, schema());
+  EXPECT_TRUE(t.valid);
+  EXPECT_EQ(t.cls->name(), "Composer");
+
+  t = q.ResolvePath(j, {"gen", "bogus"}, schema());
+  EXPECT_FALSE(t.valid);
+}
+
+TEST_F(QueryGraphTest, TreeLabelFactorizesSharedPrefix) {
+  // Figure 2: t, i1, i2 share the works prefix; the instruments subtree is
+  // shared by i1 and i2 through t.
+  const QueryGraph q = Fig2Query(schema());
+  const PredicateNode& node = q.nodes[0];
+  const TreeLabel label = q.DeriveTreeLabel(node, node.inputs[0]);
+  EXPECT_EQ(label.var, "x");
+  // Children: works (shared) and name.
+  ASSERT_EQ(label.children.size(), 2u);
+  const TreeLabel* works = nullptr;
+  for (const TreeLabel& c : label.children) {
+    if (c.attr == "works") works = &c;
+  }
+  ASSERT_NE(works, nullptr);
+  EXPECT_EQ(works->var, "t");  // the let variable sits at its node
+  // works has children: instruments (shared by i1/i2) and title.
+  ASSERT_GE(works->children.size(), 2u);
+}
+
+TEST_F(QueryGraphTest, TreeLabelMetrics) {
+  const QueryGraph q = Fig3Query(schema());
+  const PredicateNode* p3 = q.ProducersOf("Answer")[0];
+  const TreeLabel label = q.DeriveTreeLabel(*p3, p3->inputs[0]);
+  EXPECT_GE(label.NodeCount(), 6u);  // master.works.instruments.iname + gen + disciple.name
+  EXPECT_EQ(label.Depth(), 4u);
+  EXPECT_FALSE(label.ToString().empty());
+}
+
+TEST_F(QueryGraphTest, ValidateCatchesUnboundVariable) {
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("y", {"name"}), Expr::Lit(Value::Str("a"))))
+      .OutPath("n", "x", {"name"});
+  const QueryGraph q = b.BuildUnchecked();
+  const std::vector<std::string> errors = q.Validate(schema());
+  ASSERT_FALSE(errors.empty());
+  EXPECT_NE(errors[0].find("unbound"), std::string::npos);
+}
+
+TEST_F(QueryGraphTest, ValidateCatchesBadAttribute) {
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("x", {"nonexistent"}),
+                      Expr::Lit(Value::Str("a"))))
+      .OutPath("n", "x", {"name"});
+  EXPECT_FALSE(b.BuildUnchecked().Validate(schema()).empty());
+}
+
+TEST_F(QueryGraphTest, ValidateCatchesPathPastAtomic) {
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .OutPath("n", "x", {"name", "oops"});
+  EXPECT_FALSE(b.BuildUnchecked().Validate(schema()).empty());
+}
+
+TEST_F(QueryGraphTest, ValidateCatchesMissingAnswer) {
+  QueryGraphBuilder b;
+  b.Node("NotAnswer").Input("Composer", "x").OutPath("n", "x", {"name"});
+  const QueryGraph q = b.BuildUnchecked();
+  EXPECT_FALSE(q.Validate(schema()).empty());
+}
+
+TEST_F(QueryGraphTest, ValidateCatchesDuplicateVars) {
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .Input("Composer", "x")
+      .OutPath("n", "x", {"name"});
+  EXPECT_FALSE(b.BuildUnchecked().Validate(schema()).empty());
+}
+
+TEST_F(QueryGraphTest, ValidateCatchesBadLet) {
+  QueryGraphBuilder b;
+  // Let ending on an atomic attribute.
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .Let("t", "x", {"name"})
+      .OutPath("n", "x", {"name"});
+  EXPECT_FALSE(b.BuildUnchecked().Validate(schema()).empty());
+
+  QueryGraphBuilder b2;
+  // Let with undeclared root.
+  b2.Node("Answer")
+      .Input("Composer", "x")
+      .Let("t", "zzz", {"works"})
+      .OutPath("n", "x", {"name"});
+  EXPECT_FALSE(b2.BuildUnchecked().Validate(schema()).empty());
+}
+
+TEST_F(QueryGraphTest, ValidateCatchesColumnDisagreement) {
+  QueryGraphBuilder b;
+  b.Node("V").Input("Composer", "x").OutPath("a", "x", {"name"});
+  b.Node("V").Input("Composer", "y").OutPath("b", "y", {"name"});
+  b.Node("Answer").Input("V", "v").OutPath("a", "v", {"a"});
+  EXPECT_FALSE(b.BuildUnchecked().Validate(schema()).empty());
+}
+
+TEST_F(QueryGraphTest, ToStringMatchesPaperNotation) {
+  const QueryGraph q = Fig3Query(schema());
+  const std::string s = q.ToString();
+  EXPECT_NE(s.find("Influencer <- SPJ"), std::string::npos);
+  EXPECT_NE(s.find("(Composer, x)"), std::string::npos);
+  EXPECT_NE(s.find("(i.gen + 1)"), std::string::npos);
+}
+
+TEST(TreeLabelTest, BuildMergesPrefixes) {
+  const TreeLabel t = BuildTreeLabel(
+      "x", {{"a", "b"}, {"a", "c"}, {"d"}});
+  EXPECT_EQ(t.var, "x");
+  ASSERT_EQ(t.children.size(), 2u);  // a and d
+  EXPECT_EQ(t.children[0].attr, "a");
+  EXPECT_EQ(t.children[0].children.size(), 2u);  // b, c share prefix a
+  EXPECT_EQ(t.NodeCount(), 5u);
+}
+
+TEST(TreeLabelTest, EmptyPathsGiveBareRoot) {
+  const TreeLabel t = BuildTreeLabel("x", {});
+  EXPECT_EQ(t.NodeCount(), 1u);
+  EXPECT_EQ(t.Depth(), 0u);
+  EXPECT_EQ(t.ToString(), "x");
+}
+
+}  // namespace
+}  // namespace rodin

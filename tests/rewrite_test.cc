@@ -1,0 +1,154 @@
+// Rewrite-stage tests: union/fixpoint recognition, linearity validation,
+// topological ordering, and the fold action for non-recursive views.
+
+#include <gtest/gtest.h>
+
+#include "datagen/music_gen.h"
+#include "optimizer/rewrite.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+
+namespace rodin {
+namespace {
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 20;
+    g_ = GenerateMusicDb(config, PaperMusicPhysical());
+  }
+  const Schema& schema() { return *g_.schema; }
+  GeneratedDb g_;
+};
+
+TEST_F(RewriteTest, Fig3SplitsBaseAndRecursive) {
+  const QueryGraph q = Fig3Query(schema());
+  const RewrittenGraph r = Rewrite(q, schema());
+  ASSERT_TRUE(r.ok());
+  const ViewDef* inf = r.FindView("Influencer");
+  ASSERT_NE(inf, nullptr);
+  EXPECT_TRUE(inf->recursive);
+  EXPECT_EQ(inf->base.size(), 1u);
+  EXPECT_EQ(inf->rec.size(), 1u);
+  EXPECT_EQ(inf->columns,
+            (std::vector<std::string>{"master", "disciple", "gen"}));
+  const ViewDef* ans = r.FindView("Answer");
+  ASSERT_NE(ans, nullptr);
+  EXPECT_FALSE(ans->recursive);
+}
+
+TEST_F(RewriteTest, TopologicalOrderPutsDependenciesFirst) {
+  const QueryGraph q = Fig3Query(schema());
+  const RewrittenGraph r = Rewrite(q, schema());
+  ASSERT_EQ(r.views.size(), 2u);
+  EXPECT_EQ(r.views[0].name, "Influencer");
+  EXPECT_EQ(r.views[1].name, "Answer");
+}
+
+TEST_F(RewriteTest, NonLinearRecursionRejected) {
+  // A rule joining the view with itself twice.
+  QueryGraphBuilder b;
+  b.Node("V", "base").Input("Composer", "x").OutPath("c", "x");
+  b.Node("V", "rec")
+      .Input("V", "a")
+      .Input("V", "b")
+      .Where(Expr::Eq(Expr::Path("a", {"c"}), Expr::Path("b", {"c"})))
+      .OutPath("c", "a", {"c"});
+  b.Node("Answer").Input("V", "v").OutPath("c", "v", {"c"});
+  const QueryGraph q = b.BuildUnchecked();
+  const RewrittenGraph r = Rewrite(q, schema());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RewriteTest, RecursiveViewWithoutBaseRejected) {
+  QueryGraphBuilder b;
+  b.Node("V", "rec")
+      .Input("V", "a")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("a", {"c"}), Expr::Path("x", {"master"})))
+      .OutPath("c", "x");
+  b.Node("Answer").Input("V", "v").OutPath("c", "v", {"c"});
+  const RewrittenGraph r = Rewrite(b.BuildUnchecked(), schema());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RewriteTest, MutualRecursionRejected) {
+  QueryGraphBuilder b;
+  b.Node("A", "a0").Input("Composer", "x").OutPath("c", "x");
+  b.Node("A", "a1").Input("B", "b").OutPath("c", "b", {"c"});
+  b.Node("B", "b0").Input("A", "a").OutPath("c", "a", {"c"});
+  b.Node("Answer").Input("A", "v").OutPath("c", "v", {"c"});
+  const RewrittenGraph r = Rewrite(b.BuildUnchecked(), schema());
+  EXPECT_FALSE(r.ok());
+}
+
+TEST_F(RewriteTest, FoldInlinesNonRecursiveView) {
+  // Bachs = selection view over Composer; Answer reads it.
+  QueryGraphBuilder b;
+  b.Node("Bachs")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("x", {"name"}), Expr::Lit(Value::Str("Bach"))))
+      .OutPath("c", "x")
+      .OutPath("born", "x", {"birthyear"});
+  b.Node("Answer")
+      .Input("Bachs", "v")
+      .Where(Expr::Cmp(CompareOp::kGt, Expr::Path("v", {"born"}),
+                       Expr::Lit(Value::Int(1600))))
+      .OutPath("n", "v", {"c", "name"});
+  const QueryGraph q = b.Build(schema());
+  const QueryGraph folded = FoldViews(q, schema());
+  ASSERT_EQ(folded.nodes.size(), 1u);
+  const PredicateNode& node = folded.nodes[0];
+  EXPECT_EQ(node.output, "Answer");
+  ASSERT_EQ(node.inputs.size(), 1u);
+  EXPECT_EQ(node.inputs[0].name, "Composer");
+  EXPECT_EQ(node.inputs[0].var, "v_x");
+  // Both predicates present, rewritten onto the renamed variable.
+  const std::string pred = node.pred->ToString();
+  EXPECT_NE(pred.find("v_x.birthyear"), std::string::npos);
+  EXPECT_NE(pred.find("v_x.name"), std::string::npos);
+  // Folded graph still validates.
+  EXPECT_TRUE(folded.Validate(schema()).empty());
+}
+
+TEST_F(RewriteTest, FoldSkipsRecursiveViews) {
+  const QueryGraph q = Fig3Query(schema());
+  const QueryGraph folded = FoldViews(q, schema());
+  EXPECT_EQ(folded.nodes.size(), q.nodes.size());
+}
+
+TEST_F(RewriteTest, FoldThroughRewriteOption) {
+  QueryGraphBuilder b;
+  b.Node("V").Input("Composer", "x").OutPath("c", "x");
+  b.Node("Answer").Input("V", "v").OutPath("n", "v", {"c", "name"});
+  const QueryGraph q = b.Build(schema());
+  const RewrittenGraph r = Rewrite(q, schema(), /*fold_views=*/true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.views.size(), 1u);
+  EXPECT_EQ(r.views[0].name, "Answer");
+}
+
+TEST_F(RewriteTest, UnionOfTwoBaseRules) {
+  // V produced by two non-recursive rules: both land in `base`.
+  QueryGraphBuilder b;
+  b.Node("V", "r1")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("x", {"name"}), Expr::Lit(Value::Str("Bach"))))
+      .OutPath("c", "x");
+  b.Node("V", "r2")
+      .Input("Composer", "y")
+      .Where(Expr::Eq(Expr::Path("y", {"name"}),
+                      Expr::Lit(Value::Str("composer_1"))))
+      .OutPath("c", "y");
+  b.Node("Answer").Input("V", "v").OutPath("n", "v", {"c", "name"});
+  const RewrittenGraph r = Rewrite(b.Build(schema()), schema());
+  ASSERT_TRUE(r.ok());
+  const ViewDef* v = r.FindView("V");
+  ASSERT_NE(v, nullptr);
+  EXPECT_FALSE(v->recursive);
+  EXPECT_EQ(v->base.size(), 2u);
+}
+
+}  // namespace
+}  // namespace rodin

@@ -1,0 +1,132 @@
+// Rule-framework tests (§4.1: action: F | constraint -> G): application
+// order, saturation guard, traversal helpers, and a worked example — the
+// paper's `collapse` rule expressed through the framework.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/music_gen.h"
+#include "optimizer/rule.h"
+#include "optimizer/transform.h"
+#include "plan/pt.h"
+
+namespace rodin {
+namespace {
+
+class RuleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 20;
+    g_ = GenerateMusicDb(config, PaperMusicPhysical());
+    stats_ = std::make_unique<Stats>(Stats::Derive(*g_.db));
+    cost_ = std::make_unique<CostModel>(g_.db.get(), stats_.get());
+    ctx_.db = g_.db.get();
+    ctx_.stats = stats_.get();
+    ctx_.cost = cost_.get();
+    composer_ = g_.schema->FindClass("Composer");
+  }
+
+  PTPtr Chain() {
+    // Sel(IJ(IJ(Entity))) — four nodes to traverse.
+    PTPtr p = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_);
+    p = MakeIJ(std::move(p), "x", "works", "w",
+               g_.schema->FindClass("Composition"));
+    p = MakeIJ(std::move(p), "w", "instruments", "i",
+               g_.schema->FindClass("Instrument"));
+    return MakeSel(std::move(p),
+                   Expr::Eq(Expr::Path("i", {"iname"}),
+                            Expr::Lit(Value::Str("flute"))));
+  }
+
+  GeneratedDb g_;
+  std::unique_ptr<Stats> stats_;
+  std::unique_ptr<CostModel> cost_;
+  OptContext ctx_;
+  const ClassDef* composer_ = nullptr;
+};
+
+TEST_F(RuleTest, ApplyRuleOncePreorderFirstMatch) {
+  // A rule matching any IJ fires on the topmost IJ first (preorder).
+  std::vector<std::string> fired_attrs;
+  Rule tag_ij("tag-ij", [&](PTPtr& site, OptContext&) {
+    if (site->kind != PTKind::kIJ) return false;
+    fired_attrs.push_back(site->attr);
+    // Rewrite to the child (consuming the node) so saturation terminates.
+    site = std::move(site->children[0]);
+    return true;
+  });
+  PTPtr plan = Chain();
+  EXPECT_TRUE(ApplyRuleOnce(plan, tag_ij, ctx_));
+  ASSERT_EQ(fired_attrs.size(), 1u);
+  EXPECT_EQ(fired_attrs[0], "instruments");  // topmost IJ under the Sel
+}
+
+TEST_F(RuleTest, SaturationConsumesAllMatches) {
+  Rule drop_ij("drop-ij", [](PTPtr& site, OptContext&) {
+    if (site->kind != PTKind::kIJ) return false;
+    site = std::move(site->children[0]);
+    return true;
+  });
+  PTPtr plan = Chain();
+  EXPECT_EQ(ApplyRuleSaturate(plan, drop_ij, ctx_), 2u);
+  EXPECT_EQ(plan->children[0]->kind, PTKind::kEntity);
+}
+
+TEST_F(RuleTest, SaturationGuardStopsRunawayRules) {
+  // A rule that always "applies" without changing anything would loop; the
+  // max_applications guard bounds it.
+  Rule runaway("runaway", [](PTPtr&, OptContext&) { return true; });
+  PTPtr plan = Chain();
+  EXPECT_EQ(ApplyRuleSaturate(plan, runaway, ctx_, 17), 17u);
+}
+
+TEST_F(RuleTest, ConstraintGuardsApplication) {
+  // F | constraint -> G: only fire on IJs whose attribute is set-valued.
+  Rule collection_only("collection-ij", [&](PTPtr& site, OptContext& ctx) {
+    if (site->kind != PTKind::kIJ) return false;
+    const PTCol* src = site->children[0]->FindCol(site->src_var);
+    if (src == nullptr || src->cls == nullptr) return false;
+    const Attribute* a = src->cls->FindAttribute(site->attr);
+    if (a == nullptr || !a->type->IsCollection()) return false;  // constraint
+    (void)ctx;
+    site = std::move(site->children[0]);
+    return true;
+  });
+  PTPtr plan = Chain();
+  // Both works and instruments are set-valued here: two applications.
+  EXPECT_EQ(ApplyRuleSaturate(plan, collection_only, ctx_), 2u);
+
+  // On a single-reference chain (master), the constraint blocks the rule.
+  PTPtr masters = MakeIJ(
+      MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer_), "x", "master",
+      "m", composer_);
+  EXPECT_EQ(ApplyRuleSaturate(masters, collection_only, ctx_), 0u);
+}
+
+TEST_F(RuleTest, CollectSubtreesMatchesTreeSize) {
+  PTPtr plan = Chain();
+  EXPECT_EQ(CollectSubtrees(plan).size(), plan->TreeSize());
+}
+
+TEST_F(RuleTest, CollapseExpressedThroughFramework) {
+  // The paper's collapse action as a Rule, applied through the framework.
+  Rule collapse("collapse", [](PTPtr& site, OptContext& ctx) {
+    PTPtr root = site->Clone();
+    if (CollapseIJChains(root, ctx) == 0) return false;
+    site = std::move(root);
+    return true;
+  });
+  PTPtr plan = Chain();
+  EXPECT_TRUE(ApplyRuleOnce(plan, collapse, ctx_));
+  // The works.instruments chain became a PIJ.
+  bool has_pij = false;
+  VisitSubtrees(plan, [&](PTPtr& n) {
+    if (n->kind == PTKind::kPIJ) has_pij = true;
+  });
+  EXPECT_TRUE(has_pij);
+}
+
+}  // namespace
+}  // namespace rodin

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "cost/stats.h"
+#include "datagen/graph_gen.h"
+#include "datagen/music_gen.h"
+
+namespace rodin {
+namespace {
+
+TEST(StatsTest, EntityCountsMatchExtents) {
+  MusicConfig config;
+  config.num_composers = 50;
+  GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+  const Stats stats = Stats::Derive(*g.db);
+  const EntityRef ref{"Composer", 0, 0};
+  EXPECT_EQ(stats.Entity(ref).instances, 50u);
+  EXPECT_EQ(stats.Entity(ref).pages,
+            g.db->FindExtent("Composer")->ScanPages(0, 0).size());
+  EXPECT_GE(stats.TuplesPerPage("Composer"), 1.0);
+}
+
+TEST(StatsTest, UnknownEntityGetsDefaults) {
+  GeneratedDb g = GenerateMusicDb(MusicConfig{}, PaperMusicPhysical());
+  const Stats stats = Stats::Derive(*g.db);
+  EXPECT_EQ(stats.Entity(EntityRef{"Nope", 0, 0}).instances, 0u);
+  EXPECT_EQ(stats.Attr("Nope", "x").distinct, 1.0);
+}
+
+TEST(StatsTest, DistinctAndNullFraction) {
+  GraphConfig config;
+  config.num_nodes = 1000;
+  config.chain_depth = 10;
+  config.path_len = 0;
+  config.num_labels = 7;
+  GeneratedDb g = GenerateGraphDb(config, DefaultGraphPhysical());
+  const Stats stats = Stats::Derive(*g.db);
+  const AttrStats& label = stats.Attr("Node", "label");
+  EXPECT_EQ(label.distinct, 7.0);
+  EXPECT_DOUBLE_EQ(label.null_frac, 0.0);
+  // One node in ten starts a chain, so parent is null for 10%.
+  const AttrStats& parent = stats.Attr("Node", "parent");
+  EXPECT_NEAR(parent.null_frac, 0.1, 1e-9);
+}
+
+TEST(StatsTest, ChainDepthOfSelfReference) {
+  GraphConfig config;
+  config.num_nodes = 160;
+  config.chain_depth = 16;
+  config.path_len = 0;
+  GeneratedDb g = GenerateGraphDb(config, DefaultGraphPhysical());
+  const Stats stats = Stats::Derive(*g.db);
+  const AttrStats& parent = stats.Attr("Node", "parent");
+  EXPECT_DOUBLE_EQ(parent.chain_depth_max, 15.0);
+  EXPECT_NEAR(parent.chain_depth_avg, 7.5, 0.01);
+}
+
+TEST(StatsTest, FanoutOfCollections) {
+  MusicConfig config;
+  config.num_composers = 100;
+  config.works_per_composer_min = 4;
+  config.works_per_composer_max = 4;
+  GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+  const Stats stats = Stats::Derive(*g.db);
+  EXPECT_DOUBLE_EQ(stats.Attr("Composer", "works").fanout, 4.0);
+}
+
+TEST(StatsTest, NumericMinMax) {
+  GeneratedDb g = GenerateMusicDb(MusicConfig{}, PaperMusicPhysical());
+  const Stats stats = Stats::Derive(*g.db);
+  const AttrStats& birth = stats.Attr("Composer", "birthyear");
+  EXPECT_TRUE(birth.numeric);
+  EXPECT_GE(birth.min_val, 1600);
+  EXPECT_LE(birth.max_val, 1750);
+  EXPECT_FALSE(stats.Attr("Composer", "name").numeric);
+}
+
+TEST(StatsTest, ClusteringColocationMeasured) {
+  // With clustering on Composer.works, compositions land on their owner's
+  // page; colocated_frac must be near 1 (clustered) vs near 0 (unclustered).
+  MusicConfig config;
+  config.num_composers = 200;
+  PhysicalConfig plain = PaperMusicPhysical();
+  GeneratedDb g1 = GenerateMusicDb(config, plain);
+  const Stats s1 = Stats::Derive(*g1.db);
+  EXPECT_LT(s1.Attr("Composer", "works").colocated_frac, 0.4);
+
+  PhysicalConfig clustered = PaperMusicPhysical();
+  clustered.clustering.push_back(ClusterSpec{"Composer", "works"});
+  GeneratedDb g2 = GenerateMusicDb(config, clustered);
+  const Stats s2 = Stats::Derive(*g2.db);
+  EXPECT_GT(s2.Attr("Composer", "works").colocated_frac, 0.9);
+}
+
+TEST(StatsTest, HistogramBuiltForNumericAttributes) {
+  GeneratedDb g = GenerateMusicDb(MusicConfig{}, PaperMusicPhysical());
+  const Stats stats = Stats::Derive(*g.db);
+  const AttrStats& birth = stats.Attr("Composer", "birthyear");
+  ASSERT_EQ(birth.hist.size(), kHistBuckets);
+  double total = 0;
+  for (double b : birth.hist) total += b;
+  EXPECT_DOUBLE_EQ(total, 200.0);  // default num_composers
+  // Non-numeric attributes get no histogram.
+  EXPECT_TRUE(stats.Attr("Composer", "name").hist.empty());
+}
+
+TEST(StatsTest, FractionBelowOnSkewedData) {
+  // Hand-built skew: 90 values at 1, 10 values spread up to 1000. Uniform
+  // interpolation would claim ~1% below 11; the histogram knows better.
+  Schema schema;
+  ClassDef* c = schema.AddClass("C");
+  schema.AddAttribute(c, {"v", schema.types().Int(), false, 0, "", ""});
+  Database db(&schema);
+  for (int i = 0; i < 90; ++i) {
+    Oid o = db.NewObject("C");
+    db.Set(o, "v", Value::Int(1));
+  }
+  for (int i = 1; i <= 10; ++i) {
+    Oid o = db.NewObject("C");
+    db.Set(o, "v", Value::Int(i * 100));
+  }
+  db.Finalize(PhysicalConfig{});
+  const Stats stats = Stats::Derive(db);
+  const AttrStats& v = stats.Attr("C", "v");
+  EXPECT_GT(v.FractionBelow(90), 0.85);   // the 90 ones live in bucket 0
+  EXPECT_LT(v.FractionBelow(90), 0.95);
+  EXPECT_DOUBLE_EQ(v.FractionBelow(0), 0.0);
+  EXPECT_DOUBLE_EQ(v.FractionBelow(2000), 1.0);
+  // Monotone.
+  double prev = 0;
+  for (double x = 0; x <= 1100; x += 50) {
+    const double f = v.FractionBelow(x);
+    EXPECT_GE(f, prev - 1e-12);
+    prev = f;
+  }
+}
+
+TEST(StatsTest, BufferPagesCarried) {
+  PhysicalConfig config = PaperMusicPhysical();
+  config.buffer_pages = 77;
+  GeneratedDb g = GenerateMusicDb(MusicConfig{}, config);
+  EXPECT_EQ(Stats::Derive(*g.db).buffer_pages(), 77u);
+}
+
+}  // namespace
+}  // namespace rodin

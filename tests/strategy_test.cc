@@ -1,0 +1,252 @@
+// Randomized-strategy tests: local moves preserve results, Iterative
+// Improvement never worsens cost, Simulated Annealing behaves, and the rule
+// framework (pattern | constraint -> rewrite) applies and saturates.
+
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/music_gen.h"
+#include "exec/executor.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/rule.h"
+#include "optimizer/strategy.h"
+#include "query/paper_queries.h"
+
+namespace rodin {
+namespace {
+
+class StrategyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 80;
+    config.lineage_depth = 10;
+    PhysicalConfig physical = PaperMusicPhysical();
+    physical.sel_indexes.push_back(SelIndexSpec{"Composer", "name"});
+    g_ = GenerateMusicDb(config, physical);
+    stats_ = std::make_unique<Stats>(Stats::Derive(*g_.db));
+    cost_ = std::make_unique<CostModel>(g_.db.get(), stats_.get());
+    ctx_.db = g_.db.get();
+    ctx_.stats = stats_.get();
+    ctx_.cost = cost_.get();
+  }
+
+  PTPtr Fig3Plan() {
+    OptimizerOptions options = NaiveOptions();
+    options.gen_strategy = GenStrategy::kDP;
+    Optimizer opt(g_.db.get(), stats_.get(), cost_.get(), options);
+    OptimizeResult r = opt.Optimize(Fig3Query(*g_.schema, 4));
+    EXPECT_TRUE(r.ok());
+    return std::move(r.plan);
+  }
+
+  Table Run(const PTNode& plan) {
+    Executor exec(g_.db.get());
+    Table t = exec.Execute(plan);
+    t.Dedup();
+    return t;
+  }
+
+  GeneratedDb g_;
+  std::unique_ptr<Stats> stats_;
+  std::unique_ptr<CostModel> cost_;
+  OptContext ctx_;
+};
+
+TEST_F(StrategyTest, LocalMovesExist) {
+  EXPECT_GE(LocalMoves().size(), 8u);
+}
+
+TEST_F(StrategyTest, EveryApplicableMovePreservesResultsAtEverySite) {
+  // Apply each move at EVERY site of the Fig. 3 plan (one application per
+  // clone); whenever one fires, the rewritten plan must compute the same
+  // answer. This is the key soundness property of the randomized search
+  // space — and it must hold at every site, not just the first: a
+  // column-reordering move applied deep in the tree once silently rebound
+  // variables through stale ancestor schemas (regression).
+  PTPtr plan = Fig3Plan();
+  cost_->Annotate(plan.get());
+  const Table expected = Run(*plan);
+  size_t fired = 0;
+  const size_t num_sites = CollectSubtrees(plan).size();
+  for (const Rule& move : LocalMoves()) {
+    for (size_t i = 0; i < num_sites; ++i) {
+      PTPtr clone = plan->Clone();
+      std::vector<PTPtr*> sites = CollectSubtrees(clone);
+      if (!move.ApplyAt(*sites[i], ctx_)) continue;
+      ++fired;
+      RecomputePTCols(clone.get(), g_.db->schema());
+      clone->InvalidateEstimates();
+      cost_->Annotate(clone.get());
+      EXPECT_EQ(Run(*clone).rows, expected.rows)
+          << "move: " << move.name() << " at site " << i;
+    }
+  }
+  EXPECT_GE(fired, 3u);  // several (move, site) pairs apply to this plan
+}
+
+TEST_F(StrategyTest, IterativeImprovementNeverWorsens) {
+  PTPtr plan = Fig3Plan();
+  const double before = cost_->Annotate(plan.get());
+  TransformOptions options;
+  options.rand = RandStrategy::kIterativeImprovement;
+  options.rand_moves = 120;
+  RandReport report = RandomizedImprove(plan, ctx_, options);
+  EXPECT_LE(report.final_cost, before + 1e-6);
+  EXPECT_DOUBLE_EQ(report.initial_cost, before);
+  // The improved plan still computes the right rows.
+  OptimizerOptions naive = NaiveOptions();
+  Optimizer opt(g_.db.get(), stats_.get(), cost_.get(), naive);
+  OptimizeResult ref = opt.Optimize(Fig3Query(*g_.schema, 4));
+  EXPECT_EQ(Run(*plan).rows, Run(*ref.plan).rows);
+}
+
+TEST_F(StrategyTest, AnnealingReturnsBestSeen) {
+  PTPtr plan = Fig3Plan();
+  const double before = cost_->Annotate(plan.get());
+  TransformOptions options;
+  options.rand = RandStrategy::kSimulatedAnnealing;
+  options.rand_moves = 120;
+  RandReport report = RandomizedImprove(plan, ctx_, options);
+  // SA may accept uphill moves but must return the best plan seen.
+  EXPECT_LE(report.final_cost, before + 1e-6);
+}
+
+TEST_F(StrategyTest, NoneStrategyIsIdentity) {
+  PTPtr plan = Fig3Plan();
+  const double before = cost_->Annotate(plan.get());
+  const std::string fp = plan->Fingerprint();
+  TransformOptions options;
+  options.rand = RandStrategy::kNone;
+  RandReport report = RandomizedImprove(plan, ctx_, options);
+  EXPECT_EQ(report.tried, 0u);
+  EXPECT_EQ(plan->Fingerprint(), fp);
+  EXPECT_DOUBLE_EQ(report.final_cost, before);
+}
+
+TEST_F(StrategyTest, DeterministicUnderSeed) {
+  TransformOptions options;
+  options.rand = RandStrategy::kIterativeImprovement;
+  PTPtr p1 = Fig3Plan();
+  PTPtr p2 = p1->Clone();
+  cost_->Annotate(p1.get());
+  cost_->Annotate(p2.get());
+  OptContext ctx1 = ctx_;
+  ctx1.rng = Rng(77);
+  OptContext ctx2 = ctx_;
+  ctx2.rng = Rng(77);
+  RandomizedImprove(p1, ctx1, options);
+  RandomizedImprove(p2, ctx2, options);
+  EXPECT_EQ(p1->Fingerprint(), p2->Fingerprint());
+}
+
+TEST_F(StrategyTest, UnionJoinDistributionRoundTrips) {
+  // EJ(Union(a,b), c) -> Union(EJ(a,c), EJ(b,c)) and back; results are
+  // preserved and the factored form is recovered structurally.
+  const ClassDef* composer = g_.schema->FindClass("Composer");
+  const ClassDef* composition = g_.schema->FindClass("Composition");
+  auto scan = [&](const char* var) {
+    return MakeEntity(EntityRef{"Composer", 0, 0}, var, composer);
+  };
+  PTPtr u = MakeUnion([&] {
+    std::vector<PTPtr> v;
+    v.push_back(scan("x"));
+    v.push_back(scan("x"));
+    return v;
+  }());
+  PTPtr ej = MakeEJ(std::move(u),
+                    MakeEntity(EntityRef{"Composition", 0, 0}, "c", composition),
+                    Expr::Eq(Expr::Path("c", {"author"}), Expr::Path("x")),
+                    JoinAlgo::kNestedLoop);
+  cost_->Annotate(ej.get());
+  const Table expected = Run(*ej);
+
+  const Rule* distribute = nullptr;
+  const Rule* factor = nullptr;
+  for (const Rule& m : LocalMoves()) {
+    if (m.name() == "distribute-ej-over-union") distribute = &m;
+    if (m.name() == "factor-union-of-ej") factor = &m;
+  }
+  ASSERT_NE(distribute, nullptr);
+  ASSERT_NE(factor, nullptr);
+
+  PTPtr plan = ej->Clone();
+  ASSERT_TRUE(distribute->ApplyAt(plan, ctx_));
+  RecomputePTCols(plan.get(), g_.db->schema());
+  EXPECT_EQ(plan->kind, PTKind::kUnion);
+  cost_->Annotate(plan.get());
+  EXPECT_EQ(Run(*plan).rows, expected.rows);
+
+  ASSERT_TRUE(factor->ApplyAt(plan, ctx_));
+  RecomputePTCols(plan.get(), g_.db->schema());
+  EXPECT_EQ(plan->kind, PTKind::kEJ);
+  cost_->Annotate(plan.get());
+  EXPECT_EQ(Run(*plan).rows, expected.rows);
+}
+
+TEST_F(StrategyTest, FactorRejectsMismatchedInners) {
+  const ClassDef* composer = g_.schema->FindClass("Composer");
+  const ClassDef* composition = g_.schema->FindClass("Composition");
+  PTPtr a = MakeEJ(MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer),
+                   MakeEntity(EntityRef{"Composition", 0, 0}, "c", composition),
+                   Expr::Eq(Expr::Path("c", {"author"}), Expr::Path("x")),
+                   JoinAlgo::kNestedLoop);
+  PTPtr b = MakeEJ(MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer),
+                   MakeEntity(EntityRef{"Instrument", 0, 0}, "c",
+                              g_.schema->FindClass("Instrument")),
+                   Expr::Eq(Expr::Path("c", {"author"}), Expr::Path("x")),
+                   JoinAlgo::kNestedLoop);
+  // Different inner relations: factor must not fire. (Column arity differs
+  // too, so we do not build a real Union; apply the rule to a fake site.)
+  const Rule* factor = nullptr;
+  for (const Rule& m : LocalMoves()) {
+    if (m.name() == "factor-union-of-ej") factor = &m;
+  }
+  PTPtr u = MakeUnion([&] {
+    std::vector<PTPtr> v;
+    v.push_back(std::move(a));
+    v.push_back(std::move(b));
+    return v;
+  }());
+  EXPECT_FALSE(factor->ApplyAt(u, ctx_));
+}
+
+TEST_F(StrategyTest, RuleFrameworkAppliesAndSaturates) {
+  // A toy rule: remove one Sel node (pattern: any Sel; rewrite: child).
+  Rule drop_sel("drop-sel", [](PTPtr& site, OptContext&) {
+    if (site->kind != PTKind::kSel) return false;
+    site = std::move(site->children[0]);
+    return true;
+  });
+  PTPtr plan = Fig3Plan();
+  const size_t sels = [&] {
+    size_t n = 0;
+    for (PTPtr* s : CollectSubtrees(plan)) {
+      if ((*s)->kind == PTKind::kSel) ++n;
+    }
+    return n;
+  }();
+  ASSERT_GT(sels, 0u);
+  EXPECT_EQ(ApplyRuleSaturate(plan, drop_sel, ctx_), sels);
+  // Saturated: no Sel nodes remain.
+  EXPECT_FALSE(ApplyRuleOnce(plan, drop_sel, ctx_));
+}
+
+TEST_F(StrategyTest, VisitSubtreesIsPreorder) {
+  PTPtr plan = Fig3Plan();
+  std::vector<const PTNode*> order;
+  VisitSubtrees(plan, [&](PTPtr& n) { order.push_back(n.get()); });
+  EXPECT_EQ(order.front(), plan.get());
+  EXPECT_EQ(order.size(), plan->TreeSize());
+}
+
+TEST_F(StrategyTest, StrategyNames) {
+  EXPECT_STREQ(GenStrategyName(GenStrategy::kDP), "dynamic-programming");
+  EXPECT_STREQ(RandStrategyName(RandStrategy::kSimulatedAnnealing),
+               "simulated-annealing");
+}
+
+}  // namespace
+}  // namespace rodin

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "cost/symbolic.h"
+
+namespace rodin {
+namespace {
+
+TEST(SymbolicTest, NumAndSymEval) {
+  EXPECT_DOUBLE_EQ(SymExpr::Num(3.5)->Eval({}), 3.5);
+  EXPECT_DOUBLE_EQ(SymExpr::Sym("pr")->Eval({{"pr", 2.0}}), 2.0);
+}
+
+TEST(SymbolicTest, AddAndMulEval) {
+  SymPtr e = SymExpr::Sym("a") * SymExpr::Sym("b") + SymExpr::Num(1);
+  EXPECT_DOUBLE_EQ(e->Eval({{"a", 3}, {"b", 4}}), 13.0);
+}
+
+TEST(SymbolicTest, PaperStyleRendering) {
+  // |Cpr|*pr + ||Cpr||*|Cpr|*(pr + ev) — the shape of T1's first terms.
+  SymPtr cpr_pages = SymExpr::Sym("|Cpr|");
+  SymPtr cpr_n = SymExpr::Sym("||Cpr||");
+  SymPtr pr = SymExpr::Sym("pr");
+  SymPtr ev = SymExpr::Sym("ev");
+  SymPtr t = cpr_pages * pr + cpr_n * cpr_pages * (pr + ev);
+  EXPECT_EQ(t->ToString(), "|Cpr|*pr + ||Cpr||*|Cpr|*(pr + ev)");
+}
+
+TEST(SymbolicTest, FlatteningNestedSums) {
+  SymPtr e = (SymExpr::Sym("a") + SymExpr::Sym("b")) + SymExpr::Sym("c");
+  EXPECT_EQ(e->ToString(), "a + b + c");
+  EXPECT_EQ(e->children().size(), 3u);
+}
+
+TEST(SymbolicTest, FlatteningNestedProducts) {
+  SymPtr e = (SymExpr::Sym("a") * SymExpr::Sym("b")) * SymExpr::Sym("c");
+  EXPECT_EQ(e->ToString(), "a*b*c");
+}
+
+TEST(SymbolicTest, IdentityElimination) {
+  SymPtr a = SymExpr::Sym("a");
+  EXPECT_EQ((a + SymExpr::Num(0))->ToString(), "a");
+  EXPECT_EQ((a * SymExpr::Num(1))->ToString(), "a");
+  EXPECT_EQ((a * SymExpr::Num(0))->ToString(), "0");
+}
+
+TEST(SymbolicTest, IntegerRendering) {
+  EXPECT_EQ(SymExpr::Num(5)->ToString(), "5");
+  EXPECT_EQ(SymExpr::Num(2.5)->ToString(), "2.5");
+}
+
+TEST(SymbolicTest, EvalLargeExpression) {
+  // (n1 - 1) is represented as Add(n1, -1).
+  SymPtr n1 = SymExpr::Sym("n1");
+  SymPtr e = (n1 + SymExpr::Num(-1)) * SymExpr::Sym("x");
+  EXPECT_DOUBLE_EQ(e->Eval({{"n1", 5}, {"x", 10}}), 40.0);
+}
+
+TEST(SymbolicDeathTest, UnboundSymbolAborts) {
+  EXPECT_DEATH(SymExpr::Sym("zz")->Eval({}), "unbound symbol");
+}
+
+}  // namespace
+}  // namespace rodin

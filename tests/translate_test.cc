@@ -1,0 +1,197 @@
+// Translate-stage tests: path decomposition into implicit-join steps,
+// tree-label-style sharing rules, delta arcs, and expression rewriting.
+
+#include <gtest/gtest.h>
+
+#include "datagen/music_gen.h"
+#include "optimizer/translate.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+
+namespace rodin {
+namespace {
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 20;
+    g_ = GenerateMusicDb(config, PaperMusicPhysical());
+    ctx_.db = g_.db.get();
+  }
+  const Schema& schema() { return *g_.schema; }
+  GeneratedDb g_;
+  OptContext ctx_;
+};
+
+TEST_F(TranslateTest, Fig3AnswerDecomposesPath) {
+  const QueryGraph q = Fig3Query(schema());
+  const PredicateNode* p3 = q.ProducersOf("Answer")[0];
+  NormalizedSPJ spj = Translate(*p3, q, schema(), ctx_);
+  // j.master.works.instruments.iname needs 3 steps (master, works,
+  // instruments); j.disciple.name needs 1 (disciple). j.gen needs none.
+  EXPECT_EQ(spj.steps.size(), 4u);
+  EXPECT_EQ(spj.arcs.size(), 1u);
+  EXPECT_EQ(spj.arcs[0].kind, NameKind::kDerived);
+  ASSERT_EQ(spj.arcs[0].view_cols.size(), 3u);
+  EXPECT_EQ(spj.arcs[0].view_cols[0].name, "j.master");
+  // Conjuncts rewritten to single residual attributes.
+  ASSERT_EQ(spj.conjuncts.size(), 2u);
+  for (const ExprPtr& c : spj.conjuncts) {
+    for (const auto& [var, path] : c->VarPaths()) {
+      EXPECT_LE(path.size(), 1u) << c->ToString();
+    }
+  }
+}
+
+TEST_F(TranslateTest, StepChainIsWellRooted) {
+  const QueryGraph q = Fig3Query(schema());
+  const PredicateNode* p3 = q.ProducersOf("Answer")[0];
+  NormalizedSPJ spj = Translate(*p3, q, schema(), ctx_);
+  // master step roots at the arc var; works at master's out; instruments at
+  // works' out.
+  const StepInfo* master = nullptr;
+  for (const StepInfo& s : spj.steps) {
+    if (s.attr == "master") master = &s;
+  }
+  ASSERT_NE(master, nullptr);
+  EXPECT_EQ(master->root, "j");
+  EXPECT_EQ(master->target->name(), "Composer");
+  const StepInfo* works = nullptr;
+  for (const StepInfo& s : spj.steps) {
+    if (s.attr == "works") works = &s;
+  }
+  ASSERT_NE(works, nullptr);
+  EXPECT_EQ(works->root, master->out_var);
+  EXPECT_TRUE(works->collection);
+}
+
+TEST_F(TranslateTest, RecursiveRuleGetsDeltaArc) {
+  const QueryGraph q = Fig3Query(schema());
+  const PredicateNode* p2 = nullptr;
+  for (const PredicateNode* p : q.ProducersOf("Influencer")) {
+    if (p->inputs.size() == 2) p2 = p;
+  }
+  ASSERT_NE(p2, nullptr);
+  NormalizedSPJ spj = Translate(*p2, q, schema(), ctx_, "Influencer");
+  const ArcInfo* self = spj.FindArc("i");
+  ASSERT_NE(self, nullptr);
+  EXPECT_TRUE(self->is_self_delta);
+  // Without self_view, the same arc is a plain derived arc.
+  NormalizedSPJ spj2 = Translate(*p2, q, schema(), ctx_);
+  EXPECT_FALSE(spj2.FindArc("i")->is_self_delta);
+}
+
+TEST_F(TranslateTest, SingleValuedStepsShared) {
+  // Two conjuncts over x.master.name and x.master.birthyear share the
+  // master step (single-valued factorization).
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("x", {"master", "name"}),
+                      Expr::Lit(Value::Str("Bach"))))
+      .Where(Expr::Cmp(CompareOp::kGt, Expr::Path("x", {"master", "birthyear"}),
+                       Expr::Lit(Value::Int(1600))))
+      .OutPath("n", "x", {"name"});
+  const QueryGraph q = b.Build(schema());
+  NormalizedSPJ spj = Translate(q.nodes[0], q, schema(), ctx_);
+  EXPECT_EQ(spj.steps.size(), 1u);
+  EXPECT_EQ(spj.steps[0].attr, "master");
+}
+
+TEST_F(TranslateTest, CollectionStepsNotSharedAcrossConjuncts) {
+  // Two existential traversals of works.instruments must stay independent
+  // (merging them would require one instrument to be both).
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .Where(Expr::Eq(Expr::Path("x", {"works", "instruments", "iname"}),
+                      Expr::Lit(Value::Str("harpsichord"))))
+      .Where(Expr::Eq(Expr::Path("x", {"works", "instruments", "iname"}),
+                      Expr::Lit(Value::Str("flute"))))
+      .OutPath("n", "x", {"name"});
+  const QueryGraph q = b.Build(schema());
+  NormalizedSPJ spj = Translate(q.nodes[0], q, schema(), ctx_);
+  // 2 occurrences x 2 collection steps each.
+  EXPECT_EQ(spj.steps.size(), 4u);
+}
+
+TEST_F(TranslateTest, LetsShareDeclaredPrefix) {
+  // Figure 2: i1 and i2 root at the same let variable t.
+  const QueryGraph q = Fig2Query(schema());
+  NormalizedSPJ spj = Translate(q.nodes[0], q, schema(), ctx_);
+  // Steps: works (t), instruments (i1), instruments (i2) — 3 steps, with
+  // the works step shared through t.
+  EXPECT_EQ(spj.steps.size(), 3u);
+  const StepInfo* t = spj.FindStepByOut("t");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->attr, "works");
+  int instruments = 0;
+  for (const StepInfo& s : spj.steps) {
+    if (s.attr == "instruments") {
+      ++instruments;
+      EXPECT_EQ(s.root, "t");
+    }
+  }
+  EXPECT_EQ(instruments, 2);
+}
+
+TEST_F(TranslateTest, TerminalObjectStepsStayInExpressions) {
+  // out master: x.master ends on an object: the reference value suffices,
+  // no step is introduced.
+  const QueryGraph q = Fig3Query(schema());
+  const PredicateNode* p1 = nullptr;
+  for (const PredicateNode* p : q.ProducersOf("Influencer")) {
+    if (p->inputs.size() == 1) p1 = p;
+  }
+  NormalizedSPJ spj = Translate(*p1, q, schema(), ctx_);
+  EXPECT_TRUE(spj.steps.empty());
+  ASSERT_EQ(spj.outs.size(), 3u);
+  EXPECT_EQ(spj.outs[0].expr->ToString(), "x.master");
+  // Output column classes resolved.
+  EXPECT_EQ(spj.out_cols[0].cls->name(), "Composer");
+  EXPECT_EQ(spj.out_cols[2].cls, nullptr);  // gen is atomic
+}
+
+TEST_F(TranslateTest, JoinConjunctKeptOverReferences) {
+  const QueryGraph q = Fig3Query(schema());
+  const PredicateNode* p2 = nullptr;
+  for (const PredicateNode* p : q.ProducersOf("Influencer")) {
+    if (p->inputs.size() == 2) p2 = p;
+  }
+  NormalizedSPJ spj = Translate(*p2, q, schema(), ctx_, "Influencer");
+  ASSERT_EQ(spj.conjuncts.size(), 1u);
+  EXPECT_EQ(spj.conjuncts[0]->ToString(), "(i.disciple = x.master)");
+  EXPECT_TRUE(spj.steps.empty());
+}
+
+TEST_F(TranslateTest, RelationArcsGetDottedColumns) {
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Play", "p")
+      .OutPath("who", "p", {"who"});
+  const QueryGraph q = b.Build(schema());
+  NormalizedSPJ spj = Translate(q.nodes[0], q, schema(), ctx_);
+  ASSERT_EQ(spj.arcs.size(), 1u);
+  EXPECT_EQ(spj.arcs[0].kind, NameKind::kRelation);
+  ASSERT_EQ(spj.arcs[0].view_cols.size(), 2u);
+  EXPECT_EQ(spj.arcs[0].view_cols[0].name, "p.who");
+  EXPECT_EQ(spj.arcs[0].view_cols[0].cls->name(), "Person");
+}
+
+TEST_F(TranslateTest, MethodCallStaysTerminal) {
+  QueryGraphBuilder b;
+  b.Node("Answer")
+      .Input("Composer", "x")
+      .Where(Expr::Cmp(CompareOp::kGt, Expr::Path("x", {"master", "age"}),
+                       Expr::Lit(Value::Int(300))))
+      .OutPath("n", "x", {"name"});
+  const QueryGraph q = b.Build(schema());
+  NormalizedSPJ spj = Translate(q.nodes[0], q, schema(), ctx_);
+  // One step for master; age remains the residual (computed) attribute.
+  EXPECT_EQ(spj.steps.size(), 1u);
+  EXPECT_NE(spj.conjuncts[0]->ToString().find(".age"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rodin

@@ -1,0 +1,118 @@
+// Executable version of docs/TUTORIAL.md: if this test fails, the tutorial
+// is lying. Keep the two in sync.
+
+#include <gtest/gtest.h>
+
+#include "api/session.h"
+#include "cost/fig7.h"
+#include "optimizer/baseline.h"
+#include "query/parser.h"
+
+namespace rodin {
+namespace {
+
+class TutorialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TypePool& t = schema_.types();
+    ClassDef* pkg = schema_.AddClass("Package");
+    schema_.AddAttribute(pkg, {"pname", t.String(), false, 0, "", ""});
+    schema_.AddAttribute(pkg, {"license", t.String(), false, 0, "", ""});
+    schema_.AddAttribute(pkg, {"kloc", t.Int(), false, 0, "", ""});
+    schema_.AddAttribute(
+        pkg, {"deps", t.Set(t.Object("Package")), false, 0, "", ""});
+    schema_.AddAttribute(pkg, {"risk_score", t.Int(), true, 4.0, "", ""});
+
+    db_ = std::make_unique<Database>(&schema_);
+    std::vector<Oid> pkgs;
+    for (int i = 0; i < 500; ++i) {
+      Oid p = db_->NewObject("Package");
+      db_->Set(p, "pname", Value::Str("pkg" + std::to_string(i)));
+      db_->Set(p, "license", Value::Str(i % 7 == 0 ? "GPL" : "MIT"));
+      db_->Set(p, "kloc", Value::Int(1 + i % 90));
+      pkgs.push_back(p);
+    }
+    for (int i = 1; i < 500; ++i) {
+      std::vector<Value> deps;
+      for (int d = 1; d <= 3 && i - d * 7 >= 0; ++d) {
+        deps.push_back(Value::Ref(pkgs[i - d * 7]));
+      }
+      db_->Set(pkgs[i], "deps", Value::MakeSet(std::move(deps)));
+    }
+    db_->RegisterMethod("Package", "risk_score", [](const Database& d, Oid o) {
+      return Value::Int(d.GetRaw(o, "kloc").AsInt() / 10);
+    });
+
+    PhysicalConfig physical;
+    physical.buffer_pages = 64;
+    physical.sel_indexes.push_back(SelIndexSpec{"Package", "pname"});
+    physical.path_indexes.push_back(PathIndexSpec{"Package", {"deps"}});
+    db_->Finalize(physical);
+  }
+
+  static constexpr const char* kQuery = R"(
+relation DependsOn includes
+  (select [root: x, dep: d, lvl: 1] from x in Package, d in x.deps)
+  union
+  (select [root: r.root, dep: d2, lvl: r.lvl + 1]
+   from r in DependsOn, d2 in r.dep.deps)
+
+select [n: r.root.pname] from r in DependsOn
+where r.dep.license = "GPL" and r.dep.kloc > 50
+)";
+
+  Schema schema_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(TutorialTest, TheTutorialQueryRuns) {
+  Session session(db_.get());
+  const QueryRun run = session.RunText(kQuery, /*cold=*/true);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_FALSE(run.answer.rows.empty());
+  EXPECT_GT(run.measured_cost, 0);
+  EXPECT_FALSE(run.plan_text.empty());
+  EXPECT_GE(run.optimized.unpushed_variant_cost, 0);
+}
+
+TEST_F(TutorialTest, AllConfigurationsAgreeOnTheTutorialQuery) {
+  const ParseResult parsed = ParseQuery(kQuery, schema_);
+  ASSERT_TRUE(parsed.ok) << parsed.error;
+  std::vector<Table> answers;
+  for (OptimizerOptions options :
+       {CostBasedOptions(), DeductiveOptions(), NaiveOptions()}) {
+    Session session(db_.get(), options);
+    QueryRun run = session.Run(parsed.graph);
+    ASSERT_TRUE(run.ok) << run.error;
+    run.answer.Dedup();
+    answers.push_back(std::move(run.answer));
+  }
+  EXPECT_EQ(answers[0].rows, answers[1].rows);
+  EXPECT_EQ(answers[0].rows, answers[2].rows);
+}
+
+TEST_F(TutorialTest, SymbolicTableDerivesForTheTutorialPlan) {
+  Session session(db_.get());
+  const ParseResult parsed = ParseQuery(kQuery, schema_);
+  ASSERT_TRUE(parsed.ok);
+  OptimizeResult plan = session.Optimize(parsed.graph);
+  ASSERT_TRUE(plan.ok());
+  int t = 0;
+  const SymbolicCostTable table =
+      DeriveSymbolicCosts(*plan.plan, *db_, {{"Package", "Pkg"}}, &t);
+  EXPECT_FALSE(table.rows.empty());
+  EXPECT_GT(table.EvalTotal(), 0);
+}
+
+TEST_F(TutorialTest, MethodPredicateWorks) {
+  Session session(db_.get());
+  const QueryRun run = session.RunText(
+      R"(select [n: x.pname] from x in Package where x.risk_score > 8)");
+  ASSERT_TRUE(run.ok) << run.error;
+  // kloc in [1,90] -> risk in [0,9]: only kloc > 80 qualifies.
+  EXPECT_FALSE(run.answer.rows.empty());
+  EXPECT_GT(run.counters.method_calls, 0u);
+}
+
+}  // namespace
+}  // namespace rodin

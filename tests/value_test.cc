@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "storage/value.h"
+
+namespace rodin {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).AsBool());
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).AsReal(), 2.5);
+  EXPECT_EQ(Value::Str("abc").AsString(), "abc");
+  const Oid oid{3, 7};
+  EXPECT_EQ(Value::Ref(oid).AsRef(), oid);
+}
+
+TEST(ValueTest, NumericCrossKindComparison) {
+  EXPECT_EQ(Value::Int(3).Compare(Value::Real(3.0)), 0);
+  EXPECT_LT(Value::Int(3).Compare(Value::Real(3.5)), 0);
+  EXPECT_GT(Value::Real(4.0).Compare(Value::Int(3)), 0);
+}
+
+TEST(ValueTest, NumericCrossKindHashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3), Value::Real(3.0));
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Real(3.0).Hash());
+}
+
+TEST(ValueTest, TotalOrderAcrossKinds) {
+  // Kind rank orders values of distinct kinds deterministically.
+  const Value null = Value::Null();
+  const Value b = Value::Bool(false);
+  const Value s = Value::Str("x");
+  EXPECT_LT(null.Compare(b), 0);
+  EXPECT_LT(b.Compare(s), 0);
+  EXPECT_EQ(null.Compare(Value::Null()), 0);
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value::Str("abc").Compare(Value::Str("abd")), 0);
+  EXPECT_EQ(Value::Str("abc"), Value::Str("abc"));
+  EXPECT_NE(Value::Str("abc"), Value::Str("ABC"));
+}
+
+TEST(ValueTest, OidOrdering) {
+  EXPECT_LT(Value::Ref({1, 5}).Compare(Value::Ref({2, 0})), 0);
+  EXPECT_LT(Value::Ref({1, 5}).Compare(Value::Ref({1, 6})), 0);
+  EXPECT_EQ(Value::Ref({1, 5}), Value::Ref({1, 5}));
+}
+
+TEST(ValueTest, SetsDedupAndSort) {
+  const Value s = Value::MakeSet(
+      {Value::Int(3), Value::Int(1), Value::Int(3), Value::Int(2)});
+  const Collection& c = s.AsCollection();
+  ASSERT_EQ(c.elems.size(), 3u);
+  EXPECT_EQ(c.elems[0].AsInt(), 1);
+  EXPECT_EQ(c.elems[1].AsInt(), 2);
+  EXPECT_EQ(c.elems[2].AsInt(), 3);
+}
+
+TEST(ValueTest, SetEqualityIsOrderInsensitive) {
+  const Value a = Value::MakeSet({Value::Int(1), Value::Int(2)});
+  const Value b = Value::MakeSet({Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, ListsKeepOrderAndDuplicates) {
+  const Value l = Value::MakeList({Value::Int(2), Value::Int(1), Value::Int(2)});
+  ASSERT_EQ(l.AsCollection().elems.size(), 3u);
+  EXPECT_EQ(l.AsCollection().elems[0].AsInt(), 2);
+  const Value l2 =
+      Value::MakeList({Value::Int(1), Value::Int(2), Value::Int(2)});
+  EXPECT_NE(l, l2);
+}
+
+TEST(ValueTest, ListAndSetAreDistinctKinds) {
+  const Value s = Value::MakeSet({Value::Int(1)});
+  const Value l = Value::MakeList({Value::Int(1)});
+  EXPECT_NE(s, l);
+}
+
+TEST(ValueTest, NestedCollections) {
+  const Value inner = Value::MakeTuple({Value::Int(1), Value::Str("a")});
+  const Value outer = Value::MakeSet({inner, inner});
+  EXPECT_EQ(outer.AsCollection().elems.size(), 1u);  // dedup of equal tuples
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(5).ToString(), "5");
+  EXPECT_EQ(Value::Str("x").ToString(), "\"x\"");
+  EXPECT_EQ(Value::MakeSet({Value::Int(2), Value::Int(1)}).ToString(),
+            "{1, 2}");
+  EXPECT_EQ(Value::MakeList({Value::Int(1)}).ToString(), "<1>");
+  EXPECT_EQ(Value::MakeTuple({Value::Int(1)}).ToString(), "[1]");
+}
+
+TEST(ValueTest, CopiesAreCheapAndIndependent) {
+  Value a = Value::MakeSet({Value::Int(1), Value::Int(2)});
+  Value b = a;  // shares the collection
+  EXPECT_EQ(a, b);
+}
+
+TEST(ValueDeathTest, AccessorKindMismatchAborts) {
+  EXPECT_DEATH(Value::Int(1).AsString(), "not a string");
+  EXPECT_DEATH(Value::Str("x").AsInt(), "not an int");
+  EXPECT_DEATH(Value::Null().AsRef(), "not an object");
+}
+
+}  // namespace
+}  // namespace rodin

@@ -1,0 +1,198 @@
+// rodin_cli — command-line front end to the whole pipeline.
+//
+//   rodin_cli [--db=music|parts|graph] [--size=N] [--seed=S]
+//             [--optimizer=cost|deductive|naive|exhaustive|annealing]
+//             [--parallel=P] [--explain] [--symbolic] [--query=FILE]
+//
+// Reads one query (the paper's §2.3 syntax) from --query or stdin,
+// optimizes it with the selected configuration, prints the Figure 6 stage
+// table and the chosen processing tree (plus the Figure 7 style symbolic
+// cost table with --symbolic), executes it, and reports the answer with
+// measured cost. With --explain the plan is printed but not executed.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "api/session.h"
+#include "cost/fig7.h"
+#include "datagen/graph_gen.h"
+#include "datagen/music_gen.h"
+#include "datagen/parts_gen.h"
+#include "optimizer/baseline.h"
+#include "plan/pt_printer.h"
+#include "query/parser.h"
+
+using namespace rodin;
+
+namespace {
+
+struct CliOptions {
+  std::string db = "music";
+  uint32_t size = 200;
+  uint64_t seed = 42;
+  std::string optimizer = "cost";
+  unsigned parallel = 1;
+  bool explain_only = false;
+  bool symbolic = false;
+  std::string query_file;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rodin_cli [--db=music|parts|graph] [--size=N] [--seed=S]\n"
+      "                 [--optimizer=cost|deductive|naive|exhaustive|"
+      "annealing]\n"
+      "                 [--parallel=P] [--explain] [--symbolic] "
+      "[--query=FILE]\n"
+      "Reads a query in the paper's syntax from --query or stdin.\n");
+}
+
+GeneratedDb MakeDb(const CliOptions& options) {
+  if (options.db == "music") {
+    MusicConfig config;
+    config.num_composers = options.size;
+    config.seed = options.seed;
+    return GenerateMusicDb(config, PaperMusicPhysical());
+  }
+  if (options.db == "parts") {
+    PartsConfig config;
+    config.parts_per_level = std::max<uint32_t>(1, options.size / 5);
+    config.seed = options.seed;
+    return GeneratePartsDb(config, DefaultPartsPhysical());
+  }
+  if (options.db == "graph") {
+    GraphConfig config;
+    config.num_nodes = options.size;
+    config.seed = options.seed;
+    return GenerateGraphDb(config, DefaultGraphPhysical());
+  }
+  std::fprintf(stderr, "unknown --db=%s\n", options.db.c_str());
+  std::exit(2);
+}
+
+OptimizerOptions MakeOptimizer(const CliOptions& options) {
+  if (options.optimizer == "cost") return CostBasedOptions(options.seed);
+  if (options.optimizer == "deductive") return DeductiveOptions(options.seed);
+  if (options.optimizer == "naive") return NaiveOptions(options.seed);
+  if (options.optimizer == "exhaustive") return ExhaustiveOptions(options.seed);
+  if (options.optimizer == "annealing") return AnnealingOptions(options.seed);
+  std::fprintf(stderr, "unknown --optimizer=%s\n", options.optimizer.c_str());
+  std::exit(2);
+}
+
+std::string ReadQuery(const CliOptions& options) {
+  if (!options.query_file.empty()) {
+    FILE* f = std::fopen(options.query_file.c_str(), "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", options.query_file.c_str());
+      std::exit(2);
+    }
+    std::string out;
+    char buffer[4096];
+    size_t n;
+    while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0) {
+      out.append(buffer, n);
+    }
+    std::fclose(f);
+    return out;
+  }
+  std::ostringstream ss;
+  ss << std::cin.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "db", &value)) {
+      options.db = value;
+    } else if (ParseFlag(argv[i], "size", &value)) {
+      options.size = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      options.seed = std::stoull(value);
+    } else if (ParseFlag(argv[i], "optimizer", &value)) {
+      options.optimizer = value;
+    } else if (ParseFlag(argv[i], "parallel", &value)) {
+      options.parallel = static_cast<unsigned>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "query", &value)) {
+      options.query_file = value;
+    } else if (std::strcmp(argv[i], "--explain") == 0) {
+      options.explain_only = true;
+    } else if (std::strcmp(argv[i], "--symbolic") == 0) {
+      options.symbolic = true;
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  GeneratedDb g = MakeDb(options);
+  const std::string text = ReadQuery(options);
+  if (text.empty()) {
+    Usage();
+    return 2;
+  }
+
+  const ParseResult parsed = ParseQuery(text, g.db->schema());
+  if (!parsed.ok) {
+    std::fprintf(stderr, "%s\n", parsed.error.c_str());
+    return 1;
+  }
+  std::printf("query graph:\n%s\n", parsed.graph.ToString().c_str());
+
+  Stats stats = Stats::Derive(*g.db);
+  CostParams params;
+  params.parallel_degree = options.parallel;
+  CostModel cost(g.db.get(), &stats, params);
+  Optimizer optimizer(g.db.get(), &stats, &cost, MakeOptimizer(options));
+  OptimizeResult result = optimizer.Optimize(parsed.graph);
+  if (!result.ok()) {
+    std::fprintf(stderr, "optimize failed: %s\n", result.error.c_str());
+    return 1;
+  }
+
+  std::printf("stages:\n");
+  for (const StageReport& s : result.stages) {
+    std::printf("  %-12s %-24s %10.1f us  work=%zu\n", s.stage.c_str(),
+                s.strategy.c_str(), s.micros, s.plans_explored);
+  }
+  std::printf("\nplan (estimated cost %.1f, pushed: %s%s%s):\n%s\n",
+              result.cost, result.pushed_sel ? "sel " : "",
+              result.pushed_join ? "join " : "",
+              !result.pushed_sel && !result.pushed_join ? "no" : "",
+              PrintPT(*result.plan).c_str());
+
+  if (options.symbolic) {
+    int t_counter = 0;
+    const SymbolicCostTable table = DeriveSymbolicCosts(
+        *result.plan, *g.db, {{"Composer", "Cpr"}, {"Composition", "Cpn"},
+                              {"Instrument", "Ins"}},
+        &t_counter);
+    std::printf("symbolic costs (section 4.6 assumptions):\n%s\n",
+                table.ToString().c_str());
+  }
+
+  if (options.explain_only) return 0;
+
+  Executor exec(g.db.get());
+  exec.ResetMeasurement(true);
+  Table answer = exec.Execute(*result.plan);
+  std::printf("answer (%zu rows, measured cost %.1f):\n%s",
+              answer.rows.size(), exec.MeasuredCost(),
+              answer.ToString(20).c_str());
+  return 0;
+}
