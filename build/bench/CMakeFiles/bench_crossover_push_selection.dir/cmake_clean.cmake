@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossover_push_selection.dir/bench_crossover_push_selection.cc.o"
+  "CMakeFiles/bench_crossover_push_selection.dir/bench_crossover_push_selection.cc.o.d"
+  "bench_crossover_push_selection"
+  "bench_crossover_push_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossover_push_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

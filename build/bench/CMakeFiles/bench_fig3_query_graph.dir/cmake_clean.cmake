@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_query_graph.dir/bench_fig3_query_graph.cc.o"
+  "CMakeFiles/bench_fig3_query_graph.dir/bench_fig3_query_graph.cc.o.d"
+  "bench_fig3_query_graph"
+  "bench_fig3_query_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_query_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

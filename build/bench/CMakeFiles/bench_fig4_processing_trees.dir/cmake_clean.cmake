@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_processing_trees.dir/bench_fig4_processing_trees.cc.o"
+  "CMakeFiles/bench_fig4_processing_trees.dir/bench_fig4_processing_trees.cc.o.d"
+  "bench_fig4_processing_trees"
+  "bench_fig4_processing_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_processing_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig4_processing_trees.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_stages.dir/bench_fig6_stages.cc.o"
+  "CMakeFiles/bench_fig6_stages.dir/bench_fig6_stages.cc.o.d"
+  "bench_fig6_stages"
+  "bench_fig6_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_cost_table.dir/bench_fig7_cost_table.cc.o"
+  "CMakeFiles/bench_fig7_cost_table.dir/bench_fig7_cost_table.cc.o.d"
+  "bench_fig7_cost_table"
+  "bench_fig7_cost_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cost_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_cost.dir/bench_parallel_cost.cc.o"
+  "CMakeFiles/bench_parallel_cost.dir/bench_parallel_cost.cc.o.d"
+  "bench_parallel_cost"
+  "bench_parallel_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

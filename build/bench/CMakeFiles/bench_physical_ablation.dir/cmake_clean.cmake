@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_physical_ablation.dir/bench_physical_ablation.cc.o"
+  "CMakeFiles/bench_physical_ablation.dir/bench_physical_ablation.cc.o.d"
+  "bench_physical_ablation"
+  "bench_physical_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_physical_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_push_join.dir/bench_push_join.cc.o"
+  "CMakeFiles/bench_push_join.dir/bench_push_join.cc.o.d"
+  "bench_push_join"
+  "bench_push_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_push_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_design_advisor.dir/design_advisor.cpp.o"
+  "CMakeFiles/example_design_advisor.dir/design_advisor.cpp.o.d"
+  "example_design_advisor"
+  "example_design_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_design_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

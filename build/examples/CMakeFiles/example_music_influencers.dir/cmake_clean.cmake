@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_music_influencers.dir/music_influencers.cpp.o"
+  "CMakeFiles/example_music_influencers.dir/music_influencers.cpp.o.d"
+  "example_music_influencers"
+  "example_music_influencers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_music_influencers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

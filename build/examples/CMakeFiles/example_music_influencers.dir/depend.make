@@ -1,0 +1,2 @@
+# Empty dependencies file for example_music_influencers.
+# This may be replaced when dependencies are built.

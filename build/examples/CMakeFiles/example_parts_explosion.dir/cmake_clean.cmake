@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_parts_explosion.dir/parts_explosion.cpp.o"
+  "CMakeFiles/example_parts_explosion.dir/parts_explosion.cpp.o.d"
+  "example_parts_explosion"
+  "example_parts_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_parts_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_parts_explosion.
+# This may be replaced when dependencies are built.

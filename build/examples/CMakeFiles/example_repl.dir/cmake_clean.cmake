@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_repl.dir/repl.cpp.o"
+  "CMakeFiles/example_repl.dir/repl.cpp.o.d"
+  "example_repl"
+  "example_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

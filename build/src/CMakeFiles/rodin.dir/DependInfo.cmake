@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/session.cc" "src/CMakeFiles/rodin.dir/api/session.cc.o" "gcc" "src/CMakeFiles/rodin.dir/api/session.cc.o.d"
+  "/root/repo/src/catalog/schema.cc" "src/CMakeFiles/rodin.dir/catalog/schema.cc.o" "gcc" "src/CMakeFiles/rodin.dir/catalog/schema.cc.o.d"
+  "/root/repo/src/catalog/type.cc" "src/CMakeFiles/rodin.dir/catalog/type.cc.o" "gcc" "src/CMakeFiles/rodin.dir/catalog/type.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/rodin.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/rodin.dir/common/string_util.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/rodin.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/rodin.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/fig7.cc" "src/CMakeFiles/rodin.dir/cost/fig7.cc.o" "gcc" "src/CMakeFiles/rodin.dir/cost/fig7.cc.o.d"
+  "/root/repo/src/cost/stats.cc" "src/CMakeFiles/rodin.dir/cost/stats.cc.o" "gcc" "src/CMakeFiles/rodin.dir/cost/stats.cc.o.d"
+  "/root/repo/src/cost/symbolic.cc" "src/CMakeFiles/rodin.dir/cost/symbolic.cc.o" "gcc" "src/CMakeFiles/rodin.dir/cost/symbolic.cc.o.d"
+  "/root/repo/src/datagen/graph_gen.cc" "src/CMakeFiles/rodin.dir/datagen/graph_gen.cc.o" "gcc" "src/CMakeFiles/rodin.dir/datagen/graph_gen.cc.o.d"
+  "/root/repo/src/datagen/music_gen.cc" "src/CMakeFiles/rodin.dir/datagen/music_gen.cc.o" "gcc" "src/CMakeFiles/rodin.dir/datagen/music_gen.cc.o.d"
+  "/root/repo/src/datagen/parts_gen.cc" "src/CMakeFiles/rodin.dir/datagen/parts_gen.cc.o" "gcc" "src/CMakeFiles/rodin.dir/datagen/parts_gen.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/CMakeFiles/rodin.dir/exec/executor.cc.o" "gcc" "src/CMakeFiles/rodin.dir/exec/executor.cc.o.d"
+  "/root/repo/src/exec/row.cc" "src/CMakeFiles/rodin.dir/exec/row.cc.o" "gcc" "src/CMakeFiles/rodin.dir/exec/row.cc.o.d"
+  "/root/repo/src/optimizer/baseline.cc" "src/CMakeFiles/rodin.dir/optimizer/baseline.cc.o" "gcc" "src/CMakeFiles/rodin.dir/optimizer/baseline.cc.o.d"
+  "/root/repo/src/optimizer/generate.cc" "src/CMakeFiles/rodin.dir/optimizer/generate.cc.o" "gcc" "src/CMakeFiles/rodin.dir/optimizer/generate.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/rodin.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/rodin.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/rewrite.cc" "src/CMakeFiles/rodin.dir/optimizer/rewrite.cc.o" "gcc" "src/CMakeFiles/rodin.dir/optimizer/rewrite.cc.o.d"
+  "/root/repo/src/optimizer/rule.cc" "src/CMakeFiles/rodin.dir/optimizer/rule.cc.o" "gcc" "src/CMakeFiles/rodin.dir/optimizer/rule.cc.o.d"
+  "/root/repo/src/optimizer/strategy.cc" "src/CMakeFiles/rodin.dir/optimizer/strategy.cc.o" "gcc" "src/CMakeFiles/rodin.dir/optimizer/strategy.cc.o.d"
+  "/root/repo/src/optimizer/transform.cc" "src/CMakeFiles/rodin.dir/optimizer/transform.cc.o" "gcc" "src/CMakeFiles/rodin.dir/optimizer/transform.cc.o.d"
+  "/root/repo/src/optimizer/translate.cc" "src/CMakeFiles/rodin.dir/optimizer/translate.cc.o" "gcc" "src/CMakeFiles/rodin.dir/optimizer/translate.cc.o.d"
+  "/root/repo/src/plan/pt.cc" "src/CMakeFiles/rodin.dir/plan/pt.cc.o" "gcc" "src/CMakeFiles/rodin.dir/plan/pt.cc.o.d"
+  "/root/repo/src/plan/pt_printer.cc" "src/CMakeFiles/rodin.dir/plan/pt_printer.cc.o" "gcc" "src/CMakeFiles/rodin.dir/plan/pt_printer.cc.o.d"
+  "/root/repo/src/query/builder.cc" "src/CMakeFiles/rodin.dir/query/builder.cc.o" "gcc" "src/CMakeFiles/rodin.dir/query/builder.cc.o.d"
+  "/root/repo/src/query/expr.cc" "src/CMakeFiles/rodin.dir/query/expr.cc.o" "gcc" "src/CMakeFiles/rodin.dir/query/expr.cc.o.d"
+  "/root/repo/src/query/graph_queries.cc" "src/CMakeFiles/rodin.dir/query/graph_queries.cc.o" "gcc" "src/CMakeFiles/rodin.dir/query/graph_queries.cc.o.d"
+  "/root/repo/src/query/paper_queries.cc" "src/CMakeFiles/rodin.dir/query/paper_queries.cc.o" "gcc" "src/CMakeFiles/rodin.dir/query/paper_queries.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/rodin.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/rodin.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/query_graph.cc" "src/CMakeFiles/rodin.dir/query/query_graph.cc.o" "gcc" "src/CMakeFiles/rodin.dir/query/query_graph.cc.o.d"
+  "/root/repo/src/query/tree_label.cc" "src/CMakeFiles/rodin.dir/query/tree_label.cc.o" "gcc" "src/CMakeFiles/rodin.dir/query/tree_label.cc.o.d"
+  "/root/repo/src/storage/btree_index.cc" "src/CMakeFiles/rodin.dir/storage/btree_index.cc.o" "gcc" "src/CMakeFiles/rodin.dir/storage/btree_index.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/rodin.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/rodin.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/rodin.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/rodin.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/extent.cc" "src/CMakeFiles/rodin.dir/storage/extent.cc.o" "gcc" "src/CMakeFiles/rodin.dir/storage/extent.cc.o.d"
+  "/root/repo/src/storage/path_index.cc" "src/CMakeFiles/rodin.dir/storage/path_index.cc.o" "gcc" "src/CMakeFiles/rodin.dir/storage/path_index.cc.o.d"
+  "/root/repo/src/storage/physical_schema.cc" "src/CMakeFiles/rodin.dir/storage/physical_schema.cc.o" "gcc" "src/CMakeFiles/rodin.dir/storage/physical_schema.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/rodin.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/rodin.dir/storage/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for rodin.
+# This may be replaced when dependencies are built.

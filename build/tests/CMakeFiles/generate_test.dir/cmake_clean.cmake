@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_test.dir/generate_test.cc.o"
+  "CMakeFiles/generate_test.dir/generate_test.cc.o.d"
+  "generate_test"
+  "generate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

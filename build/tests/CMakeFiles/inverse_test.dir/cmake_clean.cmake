@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inverse_test.dir/inverse_test.cc.o"
+  "CMakeFiles/inverse_test.dir/inverse_test.cc.o.d"
+  "inverse_test"
+  "inverse_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inverse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

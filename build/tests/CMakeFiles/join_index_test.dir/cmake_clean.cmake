@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_index_test.dir/join_index_test.cc.o"
+  "CMakeFiles/join_index_test.dir/join_index_test.cc.o.d"
+  "join_index_test"
+  "join_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

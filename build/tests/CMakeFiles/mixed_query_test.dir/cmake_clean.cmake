@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_query_test.dir/mixed_query_test.cc.o"
+  "CMakeFiles/mixed_query_test.dir/mixed_query_test.cc.o.d"
+  "mixed_query_test"
+  "mixed_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

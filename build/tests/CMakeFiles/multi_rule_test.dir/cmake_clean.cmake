@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_rule_test.dir/multi_rule_test.cc.o"
+  "CMakeFiles/multi_rule_test.dir/multi_rule_test.cc.o.d"
+  "multi_rule_test"
+  "multi_rule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

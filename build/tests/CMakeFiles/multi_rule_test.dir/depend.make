@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_rule_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_cost_test.dir/parallel_cost_test.cc.o"
+  "CMakeFiles/parallel_cost_test.dir/parallel_cost_test.cc.o.d"
+  "parallel_cost_test"
+  "parallel_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

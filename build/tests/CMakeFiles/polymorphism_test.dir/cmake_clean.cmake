@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymorphism_test.dir/polymorphism_test.cc.o"
+  "CMakeFiles/polymorphism_test.dir/polymorphism_test.cc.o.d"
+  "polymorphism_test"
+  "polymorphism_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymorphism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_graph_test.dir/query_graph_test.cc.o"
+  "CMakeFiles/query_graph_test.dir/query_graph_test.cc.o.d"
+  "query_graph_test"
+  "query_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

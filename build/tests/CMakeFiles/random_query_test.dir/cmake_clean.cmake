@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_query_test.dir/random_query_test.cc.o"
+  "CMakeFiles/random_query_test.dir/random_query_test.cc.o.d"
+  "random_query_test"
+  "random_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_test.dir/rule_test.cc.o"
+  "CMakeFiles/rule_test.dir/rule_test.cc.o.d"
+  "rule_test"
+  "rule_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolic_test.dir/symbolic_test.cc.o"
+  "CMakeFiles/symbolic_test.dir/symbolic_test.cc.o.d"
+  "symbolic_test"
+  "symbolic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/translate_test.dir/translate_test.cc.o"
+  "CMakeFiles/translate_test.dir/translate_test.cc.o.d"
+  "translate_test"
+  "translate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/translate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

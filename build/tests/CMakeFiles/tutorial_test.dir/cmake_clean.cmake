@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tutorial_test.dir/tutorial_test.cc.o"
+  "CMakeFiles/tutorial_test.dir/tutorial_test.cc.o.d"
+  "tutorial_test"
+  "tutorial_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tutorial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

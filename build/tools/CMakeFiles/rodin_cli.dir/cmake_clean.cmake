@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rodin_cli.dir/rodin_cli.cc.o"
+  "CMakeFiles/rodin_cli.dir/rodin_cli.cc.o.d"
+  "rodin_cli"
+  "rodin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rodin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
