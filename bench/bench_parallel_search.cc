@@ -1,0 +1,209 @@
+// E9 — parallel randomized search: wall-clock speedup and plans-explored
+// per second of ParallelStrategy across worker counts, on the Figure 3
+// recursive query and a 6-join spj chain. Because restarts use index-derived
+// RNG streams, every row of the sweep chooses the *same plan* — the sweep
+// measures pure search throughput, not plan quality drift.
+//
+// Note: speedup is bounded by the cores the host actually has; on a 1-core
+// container every thread count collapses to ~1×. The plans/sec column is
+// still meaningful as a throughput baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/graph_gen.h"
+#include "datagen/music_gen.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "optimizer/strategy.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+
+using namespace rodin;
+
+namespace {
+
+struct SearchCase {
+  const char* name;
+  GeneratedDb db;
+  std::unique_ptr<Stats> stats;
+  std::unique_ptr<CostModel> cost;
+  PTPtr origin;  // costed plan before the randomized phase
+};
+
+QueryGraph ChainQuery(uint32_t k, const Schema& schema) {
+  QueryGraphBuilder b;
+  NodeBuilder& node = b.Node("Answer");
+  node.Input("Node", "x");
+  std::string prev = "x";
+  for (uint32_t i = 1; i <= k; ++i) {
+    const std::string var = "a" + std::to_string(i);
+    node.Input(StrFormat("Aux%u", i), var);
+    node.Where(Expr::Eq(Expr::Path(prev, {StrFormat("hop%u", i)}),
+                        Expr::Path(var)));
+    prev = var;
+  }
+  node.Where(Expr::Eq(Expr::Path(prev, {"label"}),
+                      Expr::Lit(Value::Str("label_0"))));
+  node.OutPath("n", "x", {"nname"});
+  return b.Build(schema);
+}
+
+PTPtr OptimizeWithoutRand(SearchCase& c, const QueryGraph& q) {
+  OptimizerOptions options = CostBasedOptions();
+  options.transform.rand = RandStrategy::kNone;
+  Optimizer opt(c.db.db.get(), c.stats.get(), c.cost.get(), options);
+  OptimizeResult r = opt.Optimize(q);
+  RODIN_CHECK(r.ok(), r.error.c_str());
+  return std::move(r.plan);
+}
+
+SearchCase MakeRecursiveCase() {
+  SearchCase c;
+  c.name = "fig3 recursive";
+  MusicConfig config;
+  config.num_composers = 300;
+  config.lineage_depth = 12;
+  c.db = GenerateMusicDb(config, PaperMusicPhysical());
+  c.stats = std::make_unique<Stats>(Stats::Derive(*c.db.db));
+  c.cost = std::make_unique<CostModel>(c.db.db.get(), c.stats.get());
+  c.origin = OptimizeWithoutRand(c, Fig3Query(*c.db.schema, 5));
+  return c;
+}
+
+SearchCase MakeChainCase() {
+  SearchCase c;
+  c.name = "spj chain (6 joins)";
+  GraphConfig config;
+  config.num_nodes = 200;
+  config.path_len = 6;
+  config.num_labels = 8;
+  c.db = GenerateGraphDb(config, DefaultGraphPhysical());
+  c.stats = std::make_unique<Stats>(Stats::Derive(*c.db.db));
+  c.cost = std::make_unique<CostModel>(c.db.db.get(), c.stats.get());
+  c.origin = OptimizeWithoutRand(c, ChainQuery(6, *c.db.schema));
+  return c;
+}
+
+TransformOptions SweepOptions() {
+  TransformOptions options;
+  options.rand = RandStrategy::kIterativeImprovement;
+  options.rand_restarts = 32;  // enough independent work to keep 8 busy
+  options.rand_moves = 200;
+  options.rand_local_stop = 40;
+  return options;
+}
+
+struct SweepRow {
+  double millis = 0;
+  double plans_per_sec = 0;
+  size_t plans = 0;
+  double final_cost = 0;
+};
+
+SweepRow RunSweep(SearchCase& c, size_t threads) {
+  const TransformOptions options = SweepOptions();
+  SweepRow row;
+  // Median-ish: best of 3 runs (identical work each time — determinism).
+  for (int rep = 0; rep < 3; ++rep) {
+    OptContext ctx;
+    ctx.db = c.db.db.get();
+    ctx.stats = c.stats.get();
+    ctx.cost = c.cost.get();
+    ctx.rng = Rng(4242);
+    PTPtr plan = c.origin->Clone();
+    c.cost->Annotate(plan.get());
+    ParallelStrategy strategy(threads);
+    const auto start = std::chrono::steady_clock::now();
+    ParallelSearchReport report = strategy.Improve(plan, ctx, options);
+    const double millis =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (rep == 0 || millis < row.millis) {
+      row.millis = millis;
+      row.plans = report.plans_explored;
+      row.plans_per_sec = report.plans_explored / (millis / 1000.0);
+      row.final_cost = report.final_cost;
+    }
+  }
+  return row;
+}
+
+void SpeedupSweep() {
+  std::printf("=== Parallel randomized search: thread sweep ===\n");
+  std::printf("(host reports %u hardware threads)\n\n",
+              std::thread::hardware_concurrency());
+  SearchCase cases[] = {MakeRecursiveCase(), MakeChainCase()};
+  for (SearchCase& c : cases) {
+    std::printf("--- %s: %zu restarts x %zu moves ---\n", c.name,
+                SweepOptions().rand_restarts, SweepOptions().rand_moves);
+    std::printf("%8s %10s %10s %12s %10s %12s\n", "threads", "ms", "plans",
+                "plans/sec", "speedup", "plan cost");
+    double base_ms = 0;
+    double base_cost = 0;
+    for (size_t threads : {1, 2, 4, 8}) {
+      const SweepRow row = RunSweep(c, threads);
+      if (threads == 1) {
+        base_ms = row.millis;
+        base_cost = row.final_cost;
+      }
+      std::printf("%8zu %10.1f %10zu %12.0f %9.2fx %12.1f\n", threads,
+                  row.millis, row.plans, row.plans_per_sec,
+                  base_ms / row.millis, row.final_cost);
+      // Determinism spot check: every thread count lands on the same cost.
+      RODIN_CHECK(row.final_cost == base_cost,
+                  "thread sweep diverged: plans differ across thread counts");
+    }
+    std::printf("\n");
+  }
+}
+
+// --- google-benchmark timers ----------------------------------------------
+
+SearchCase& RecursiveCase() {
+  static SearchCase* c = new SearchCase(MakeRecursiveCase());
+  return *c;
+}
+
+void BM_ParallelSearch(benchmark::State& state) {
+  SearchCase& c = RecursiveCase();
+  const size_t threads = static_cast<size_t>(state.range(0));
+  const TransformOptions options = SweepOptions();
+  size_t plans = 0;
+  for (auto _ : state) {
+    OptContext ctx;
+    ctx.db = c.db.db.get();
+    ctx.stats = c.stats.get();
+    ctx.cost = c.cost.get();
+    ctx.rng = Rng(4242);
+    PTPtr plan = c.origin->Clone();
+    c.cost->Annotate(plan.get());
+    ParallelStrategy strategy(threads);
+    ParallelSearchReport report = strategy.Improve(plan, ctx, options);
+    plans += report.plans_explored;
+    benchmark::DoNotOptimize(report.final_cost);
+  }
+  state.counters["plans/sec"] = benchmark::Counter(
+      static_cast<double>(plans), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ParallelSearch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SpeedupSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

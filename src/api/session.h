@@ -38,6 +38,10 @@ struct QueryRun {
 /// The database must outlive the session. Statistics are derived once at
 /// construction; call RefreshStats() if the physical layout changed (it
 /// cannot after Finalize, so in practice never).
+///
+/// Set `opts.search_threads` (OptimizerOptions) to fan the randomized
+/// transformPT search across a worker pool; answers and chosen plans stay
+/// deterministic under the seed for any thread count.
 class Session {
  public:
   explicit Session(Database* db, OptimizerOptions options = {});

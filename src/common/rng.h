@@ -46,6 +46,19 @@ class Rng {
   /// Bernoulli trial with success probability `p`.
   bool Chance(double p) { return NextDouble() < p; }
 
+  /// Derives an independent, reproducible substream: the (seed, stream)
+  /// pair is hashed through SplitMix64 into a fresh generator state, so
+  /// streams for different indices are decorrelated and a given pair always
+  /// yields the same sequence. This is how parallel search gives each
+  /// restart its own RNG — results depend only on (seed, stream index),
+  /// never on which worker runs the restart or in what order.
+  static Rng Stream(uint64_t seed, uint64_t stream) {
+    uint64_t z = seed;
+    (void)SplitMix(&z);           // decouple from Rng(seed)'s own lanes
+    z ^= 0x9e3779b97f4a7c15ULL * (stream + 1);
+    return Rng(SplitMix(&z));
+  }
+
  private:
   static uint64_t SplitMix(uint64_t* state) {
     uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);

@@ -1,0 +1,65 @@
+#ifndef RODIN_COMMON_THREAD_POOL_H_
+#define RODIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rodin {
+
+/// A small fixed-size worker pool for embarrassingly parallel search work
+/// (independent restarts of the §4.5 randomized strategies).
+///
+/// Tasks are plain `void()` closures; Submit() never blocks the caller
+/// (unbounded queue) and Wait() blocks until every submitted task has
+/// finished running, after which the pool can be reused for another wave.
+/// Determinism is the *caller's* job: tasks must not share mutable state
+/// except through their own synchronization, and anything order-dependent
+/// (RNG streams, result slots) must be keyed by task index, never by worker
+/// or completion order.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one). A pool of one worker is the
+  /// degenerate sequential case — same code path, same results.
+  explicit ThreadPool(size_t threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue, then joins the workers.
+  ~ThreadPool();
+
+  /// Enqueues one task. Never blocks; tasks may run on any worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is in flight.
+  void Wait();
+
+  size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;   // workers wait for tasks / shutdown
+  std::condition_variable all_idle_;     // Wait() waits for drain
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for every i in [0, n) across `threads` workers and blocks
+/// until all calls return. With threads <= 1 the calls happen inline, in
+/// order, on the calling thread — byte-identical behaviour for deterministic
+/// workloads whose tasks are index-keyed.
+void ParallelFor(size_t n, size_t threads,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace rodin
+
+#endif  // RODIN_COMMON_THREAD_POOL_H_

@@ -271,7 +271,7 @@ double CostModel::CostDelta(PTNode* node) const {
   return node->est_cost;
 }
 
-double CostModel::CostSel(PTNode* node) const {
+double CostModel::CostSel(PTNode* node, FixMemo* memo) const {
   PTNode* child = node->children[0].get();
   const double sel = Selectivity(*child, node->pred);
 
@@ -280,7 +280,7 @@ double CostModel::CostSel(PTNode* node) const {
     // entity leaf; enforced by the plan builder).
     RODIN_CHECK(child->kind == PTKind::kEntity, "index access needs entity");
     RODIN_CHECK(node->sel_index != nullptr, "index access without index");
-    AnnotateRec(child);  // annotate for printing, but do not charge its scan
+    AnnotateRec(child, memo);  // annotate for printing, but do not charge its scan
     const double idx_sel = Selectivity(*child, node->sel_index_pred);
     const double matches = child->est_rows * idx_sel;
     const double leaves =
@@ -298,7 +298,7 @@ double CostModel::CostSel(PTNode* node) const {
     return cost;
   }
 
-  const double child_cost = AnnotateRec(child);
+  const double child_cost = AnnotateRec(child, memo);
   double cost = child_cost;
   cost += child->est_rows * params_.ev_tuple +
           ExprEvalCost(*child, node->pred, child->est_rows);
@@ -308,9 +308,9 @@ double CostModel::CostSel(PTNode* node) const {
   return cost;
 }
 
-double CostModel::CostProj(PTNode* node) const {
+double CostModel::CostProj(PTNode* node, FixMemo* memo) const {
   PTNode* child = node->children[0].get();
-  const double child_cost = AnnotateRec(child);
+  const double child_cost = AnnotateRec(child, memo);
   double expr_cost = 0;
   for (const OutCol& c : node->proj) {
     expr_cost += ExprEvalCost(*child, c.expr, child->est_rows);
@@ -326,17 +326,17 @@ double CostModel::CostProj(PTNode* node) const {
   return cost;
 }
 
-double CostModel::CostEJ(PTNode* node) const {
+double CostModel::CostEJ(PTNode* node, FixMemo* memo) const {
   PTNode* left = node->children[0].get();
   PTNode* right = node->children[1].get();
-  const double left_cost = AnnotateRec(left);
+  const double left_cost = AnnotateRec(left, memo);
   const double join_sel = Selectivity(*node, node->pred);
 
   double cost = left_cost;
   if (node->algo == JoinAlgo::kIndexJoin) {
     RODIN_CHECK(right->kind == PTKind::kEntity, "index join needs entity inner");
     RODIN_CHECK(node->join_index != nullptr, "index join without index");
-    AnnotateRec(right);  // no scan charge
+    AnnotateRec(right, memo);  // no scan charge
     const double matches_per_probe =
         right->est_rows /
         std::max(1.0, static_cast<double>(node->join_index->num_distinct_keys()));
@@ -360,7 +360,7 @@ double CostModel::CostEJ(PTNode* node) const {
     // Nested loop: inner evaluated once per outer row. Entity inners re-scan
     // with buffer discount; non-leaf inners are materialized once and the
     // temp is re-scanned.
-    const double right_cost = AnnotateRec(right);
+    const double right_cost = AnnotateRec(right, memo);
     const double outer_rows = std::max(1.0, left->est_rows);
     if (right->kind == PTKind::kEntity || right->kind == PTKind::kDelta) {
       cost += RescanIO(outer_rows, right->est_pages) * params_.pr;
@@ -379,9 +379,9 @@ double CostModel::CostEJ(PTNode* node) const {
   return cost;
 }
 
-double CostModel::CostIJ(PTNode* node) const {
+double CostModel::CostIJ(PTNode* node, FixMemo* memo) const {
   PTNode* child = node->children[0].get();
-  const double child_cost = AnnotateRec(child);
+  const double child_cost = AnnotateRec(child, memo);
   int col = -1;
   std::vector<std::string> rest;
   RODIN_CHECK(child->ResolveVarPath(node->src_var, {node->attr}, &col, &rest),
@@ -408,9 +408,9 @@ double CostModel::CostIJ(PTNode* node) const {
   return cost;
 }
 
-double CostModel::CostPIJ(PTNode* node) const {
+double CostModel::CostPIJ(PTNode* node, FixMemo* memo) const {
   PTNode* child = node->children[0].get();
-  const double child_cost = AnnotateRec(child);
+  const double child_cost = AnnotateRec(child, memo);
   const PathIndex* idx = node->path_index;
   const EntityRef root_ref{idx->root_class(), 0, 0};
   const double root_instances =
@@ -435,11 +435,11 @@ double CostModel::CostPIJ(PTNode* node) const {
   return cost;
 }
 
-double CostModel::CostUnion(PTNode* node) const {
+double CostModel::CostUnion(PTNode* node, FixMemo* memo) const {
   double cost = 0;
   double rows = 0;
   for (auto& c : node->children) {
-    cost += AnnotateRec(c.get());
+    cost += AnnotateRec(c.get(), memo);
     rows += c->est_rows;
   }
   cost += rows * params_.ev_tuple;  // dedup CPU
@@ -474,28 +474,28 @@ bool HasForeignDeltaCost(const PTNode& tree, const std::string& own) {
 
 }  // namespace
 
-double CostModel::CostFix(PTNode* node) const {
+double CostModel::CostFix(PTNode* node, FixMemo* memo) const {
   // Shared-view memo: a second occurrence of the same fixpoint plan within
   // one Annotate() call costs one scan of its materialization.
   const bool cacheable = !HasForeignDeltaCost(*node, node->fix_name);
   std::string key;
   if (cacheable) {
     key = node->Fingerprint();
-    auto it = fix_memo_.find(key);
-    if (it != fix_memo_.end()) {
+    auto it = memo->find(key);
+    if (it != memo->end()) {
       node->est_rows = it->second.second;
       node->est_pages = TempPages(node->est_rows, node->cols.size());
       node->est_cost = it->second.first;
       // Children keep whatever estimates a prior annotation left; annotate
       // them for printability without charging.
-      for (auto& c : node->children) AnnotateRec(c.get());
+      for (auto& c : node->children) AnnotateRec(c.get(), memo);
       node->est_cost = it->second.first;
       return node->est_cost;
     }
   }
   PTNode* base = node->children[0].get();
   PTNode* rec = node->children[1].get();
-  const double base_cost = AnnotateRec(base);
+  const double base_cost = AnnotateRec(base, memo);
 
   const double iters =
       node->est_iters > 0 ? node->est_iters : kDefaultFixIterations;
@@ -509,7 +509,7 @@ double CostModel::CostFix(PTNode* node) const {
                                : closure_rows / std::max(1.0, iters);
 
   SetDeltaRows(rec, node->fix_name, avg_delta);
-  const double rec_cost_per_iter = AnnotateRec(rec);
+  const double rec_cost_per_iter = AnnotateRec(rec, memo);
 
   // Figure 5: Fix(T, P) = sum over iterations of cost(Exp(T_i)).
   double cost = base_cost + iters * rec_cost_per_iter;
@@ -524,13 +524,13 @@ double CostModel::CostFix(PTNode* node) const {
   node->est_pages = TempPages(closure_rows, node->cols.size());
   node->est_cost = cost;
   if (cacheable) {
-    fix_memo_[key] = {node->est_pages * params_.pr, closure_rows};
+    (*memo)[key] = {node->est_pages * params_.pr, closure_rows};
   }
   return cost;
 }
 
-double CostModel::AnnotateRec(PTNode* node) const {
-  const double cost = NodeCostRec(node);
+double CostModel::AnnotateRec(PTNode* node, FixMemo* memo) const {
+  const double cost = NodeCostRec(node, memo);
   if (params_.parallel_degree <= 1) return cost;
   // Parallel bracket: children are already adjusted (recursion), so divide
   // only this node's marginal work, and charge the startup overhead.
@@ -556,34 +556,34 @@ double CostModel::AnnotateRec(PTNode* node) const {
   return adjusted;
 }
 
-double CostModel::NodeCostRec(PTNode* node) const {
+double CostModel::NodeCostRec(PTNode* node, FixMemo* memo) const {
   switch (node->kind) {
     case PTKind::kEntity:
       return CostEntity(node);
     case PTKind::kDelta:
       return CostDelta(node);
     case PTKind::kSel:
-      return CostSel(node);
+      return CostSel(node, memo);
     case PTKind::kProj:
-      return CostProj(node);
+      return CostProj(node, memo);
     case PTKind::kEJ:
-      return CostEJ(node);
+      return CostEJ(node, memo);
     case PTKind::kIJ:
-      return CostIJ(node);
+      return CostIJ(node, memo);
     case PTKind::kPIJ:
-      return CostPIJ(node);
+      return CostPIJ(node, memo);
     case PTKind::kUnion:
-      return CostUnion(node);
+      return CostUnion(node, memo);
     case PTKind::kFix:
-      return CostFix(node);
+      return CostFix(node, memo);
   }
   return 0;
 }
 
 double CostModel::Annotate(PTNode* node) const {
   RODIN_CHECK(node != nullptr, "null plan");
-  fix_memo_.clear();
-  return AnnotateRec(node);
+  FixMemo memo;  // per-call: a const CostModel is shareable across threads
+  return AnnotateRec(node, &memo);
 }
 
 }  // namespace rodin

@@ -20,6 +20,11 @@ namespace rodin {
 /// its declared weight. Estimates are written into the PT nodes
 /// (est_rows/est_pages/est_cost) so that transformations can compare plans
 /// and the benches can print per-node tables like Figure 7.
+///
+/// Thread-safety: a CostModel is immutable after construction and keeps all
+/// per-call state on the stack, so one instance may be shared by concurrent
+/// search workers — as long as each worker annotates its *own* plan tree
+/// (Annotate writes estimates into the nodes it is given).
 class CostModel {
  public:
   CostModel(const Database* db, const Stats* stats, CostParams params = {});
@@ -70,17 +75,25 @@ class CostModel {
   const Stats& stats() const { return *stats_; }
 
  private:
-  double AnnotateRec(PTNode* node) const;
-  double NodeCostRec(PTNode* node) const;
+  /// Memo of fixpoint subtrees already costed within one Annotate() call
+  /// (fingerprint -> {cost-as-reread, rows}). Mirrors the executor's
+  /// fixpoint memoization: a view instantiated into several consumers is
+  /// computed once; later occurrences only re-scan its materialization.
+  /// Carried through the recursion as per-call state (never a member) so
+  /// that a const CostModel is safely shared across search threads.
+  using FixMemo = std::map<std::string, std::pair<double, double>>;
+
+  double AnnotateRec(PTNode* node, FixMemo* memo) const;
+  double NodeCostRec(PTNode* node, FixMemo* memo) const;
   double CostEntity(PTNode* node) const;
   double CostDelta(PTNode* node) const;
-  double CostSel(PTNode* node) const;
-  double CostProj(PTNode* node) const;
-  double CostEJ(PTNode* node) const;
-  double CostIJ(PTNode* node) const;
-  double CostPIJ(PTNode* node) const;
-  double CostUnion(PTNode* node) const;
-  double CostFix(PTNode* node) const;
+  double CostSel(PTNode* node, FixMemo* memo) const;
+  double CostProj(PTNode* node, FixMemo* memo) const;
+  double CostEJ(PTNode* node, FixMemo* memo) const;
+  double CostIJ(PTNode* node, FixMemo* memo) const;
+  double CostPIJ(PTNode* node, FixMemo* memo) const;
+  double CostUnion(PTNode* node, FixMemo* memo) const;
+  double CostFix(PTNode* node, FixMemo* memo) const;
 
   /// Total I/O + CPU of evaluating expression `e` once per each of `rows`
   /// rows of `input` (path dereferences and method calls; comparison CPU is
@@ -100,12 +113,6 @@ class CostModel {
   const Database* db_;
   const Stats* stats_;
   CostParams params_;
-
-  /// Memo of fixpoint subtrees already costed in the current Annotate()
-  /// call (fingerprint -> {cost-as-reread, rows}). Mirrors the executor's
-  /// fixpoint memoization: a view instantiated into several consumers is
-  /// computed once; later occurrences only re-scan its materialization.
-  mutable std::map<std::string, std::pair<double, double>> fix_memo_;
 };
 
 /// Default estimate for fixpoint iterations when no chain statistics apply.

@@ -33,8 +33,12 @@ const char* RandStrategyName(RandStrategy s);
 
 /// Everything the optimizer stages share: the physical database, statistics,
 /// cost model, and a deterministic RNG for the randomized strategies.
+///
+/// db/stats/cost are const and safely shared; the RNG, the counters and the
+/// variable counter are private to one search thread. Parallel search gives
+/// every restart its own OptContext (same const trio, its own Rng stream).
 struct OptContext {
-  Database* db = nullptr;
+  const Database* db = nullptr;
   const Stats* stats = nullptr;
   const CostModel* cost = nullptr;
   Rng rng{1};

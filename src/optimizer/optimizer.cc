@@ -1,5 +1,6 @@
 #include "optimizer/optimizer.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/check.h"
@@ -156,8 +157,11 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query) {
   // --- Stage 4: transformPT ----------------------------------------------------
   t0 = std::chrono::steady_clock::now();
   const size_t explored_before_t = ctx.plans_explored;
+  TransformOptions transform_options = options_.transform;
+  transform_options.search_threads =
+      std::max(transform_options.search_threads, options_.search_threads);
   TransformResult tr = TransformPT(std::move(answer_plan), ctx,
-                                   options_.transform);
+                                   transform_options);
   result.stages.push_back(StageReport{
       "transformPT", "entire query (PT)",
       StrFormat("cost-based + %s", RandStrategyName(options_.transform.rand)),

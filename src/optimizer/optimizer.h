@@ -25,6 +25,12 @@ struct OptimizerOptions {
   /// Figure 5's Fix formula assumes semi-naive).
   bool naive_fixpoint = false;
   uint64_t seed = 1;
+  /// Worker threads for the randomized transformPT search (restart-level
+  /// parallelism, see ParallelStrategy). Convenience alias for
+  /// transform.search_threads: the larger of the two wins. The chosen plan
+  /// is deterministic for a given (seed, search_threads) — and identical
+  /// across thread counts, since restarts use index-derived RNG streams.
+  size_t search_threads = 1;
 };
 
 /// Result of optimizing one query graph.

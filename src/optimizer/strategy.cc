@@ -1,9 +1,12 @@
 #include "optimizer/strategy.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace rodin {
 
@@ -352,8 +355,9 @@ std::vector<Rule> BuildMoves() {
 /// Picks a random applicable (site, move) pair and applies it. Ancestor
 /// column lists are recomputed afterwards: a move may reorder a subtree's
 /// output columns (swap-ej, rotations), and stale positional schemas above
-/// it would silently rebind variables.
-bool ApplyRandomMove(PTPtr& plan, OptContext& ctx) {
+/// it would silently rebind variables. Returns the applied move (nullptr
+/// when no attempt fired).
+const Rule* ApplyRandomMove(PTPtr& plan, OptContext& ctx) {
   const std::vector<Rule>& moves = LocalMoves();
   std::vector<PTPtr*> sites = CollectSubtrees(plan);
   constexpr size_t kAttempts = 24;
@@ -362,10 +366,66 @@ bool ApplyRandomMove(PTPtr& plan, OptContext& ctx) {
     const Rule& move = moves[ctx.rng.Below(moves.size())];
     if (move.ApplyAt(*site, ctx)) {
       RecomputePTCols(plan.get(), ctx.db->schema());
-      return true;
+      return &move;
     }
   }
-  return false;
+  return nullptr;
+}
+
+constexpr uint64_t kFnvBasis = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) h = (h ^ p[i]) * kFnvPrime;
+  return h;
+}
+
+/// One improvement start: the II/SA move loop of paper §4.5 on `cur`
+/// (annotated, cost `cur_cost`), promoting improvements into
+/// (best, best_cost). Shared by the sequential and the parallel strategies
+/// so both explore the exact same neighbourhood per RNG stream.
+void ImproveMoves(PTPtr& cur, double& cur_cost, PTPtr& best, double& best_cost,
+                  OptContext& ctx, const TransformOptions& options,
+                  RestartReport* report) {
+  double temp = options.sa_initial_temp * std::max(1.0, cur_cost);
+  size_t rejects = 0;
+  for (size_t m = 0;
+       m < options.rand_moves && rejects < options.rand_local_stop; ++m) {
+    PTPtr cand = cur->Clone();
+    const Rule* move = ApplyRandomMove(cand, ctx);
+    if (move == nullptr) {
+      ++rejects;
+      continue;
+    }
+    ++report->tried;
+    cand->InvalidateEstimates();
+    const double cand_cost = ctx.cost->Annotate(cand.get());
+    ++ctx.plans_explored;
+    bool accept = cand_cost < cur_cost;
+    if (!accept && options.rand == RandStrategy::kSimulatedAnnealing &&
+        temp > 0) {
+      accept = ctx.rng.NextDouble() <
+               std::exp((cur_cost - cand_cost) / temp);
+      temp *= options.sa_cooling;
+    }
+    report->move_digest =
+        FnvMix(report->move_digest, move->name().data(), move->name().size());
+    const unsigned char accept_byte = accept ? 1 : 0;
+    report->move_digest = FnvMix(report->move_digest, &accept_byte, 1);
+    if (accept) {
+      cur = std::move(cand);
+      cur_cost = cand_cost;
+      ++report->accepted;
+      rejects = 0;
+      if (cur_cost < best_cost) {
+        best = cur->Clone();
+        best_cost = cur_cost;
+      }
+    } else {
+      ++rejects;
+    }
+  }
 }
 
 }  // namespace
@@ -394,42 +454,111 @@ RandReport RandomizedImprove(PTPtr& plan, OptContext& ctx,
       cur->InvalidateEstimates();
       cur_cost = ctx.cost->Annotate(cur.get());
     }
-    double temp = options.sa_initial_temp * std::max(1.0, cur_cost);
-    size_t rejects = 0;
-    for (size_t m = 0;
-         m < options.rand_moves && rejects < options.rand_local_stop; ++m) {
-      PTPtr cand = cur->Clone();
-      if (!ApplyRandomMove(cand, ctx)) {
-        ++rejects;
-        continue;
-      }
-      ++report.tried;
-      cand->InvalidateEstimates();
-      const double cand_cost = ctx.cost->Annotate(cand.get());
-      ++ctx.plans_explored;
-      bool accept = cand_cost < cur_cost;
-      if (!accept && options.rand == RandStrategy::kSimulatedAnnealing &&
-          temp > 0) {
-        accept = ctx.rng.NextDouble() <
-                 std::exp((cur_cost - cand_cost) / temp);
-        temp *= options.sa_cooling;
-      }
-      if (accept) {
-        cur = std::move(cand);
-        cur_cost = cand_cost;
-        ++report.accepted;
-        rejects = 0;
-        if (cur_cost < best_cost) {
-          best = cur->Clone();
-          best_cost = cur_cost;
-        }
-      } else {
-        ++rejects;
-      }
-    }
+    RestartReport rr;
+    ImproveMoves(cur, cur_cost, best, best_cost, ctx, options, &rr);
+    report.tried += rr.tried;
+    report.accepted += rr.accepted;
   }
 
   plan = std::move(best);
+  report.final_cost = ctx.cost->Annotate(plan.get());
+  return report;
+}
+
+ParallelStrategy::ParallelStrategy(size_t threads)
+    : threads_(std::max<size_t>(1, threads)) {
+  if (threads_ > 1) pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+ParallelStrategy::~ParallelStrategy() = default;
+
+ParallelSearchReport ParallelStrategy::Improve(PTPtr& plan, OptContext& ctx,
+                                               const TransformOptions& options) {
+  ParallelSearchReport report;
+  report.threads = threads_;
+  report.initial_cost = ctx.cost->Annotate(plan.get());
+  report.final_cost = report.initial_cost;
+  if (options.rand == RandStrategy::kNone) return report;
+
+  const size_t restarts = options.rand_restarts + 1;
+  report.restarts = restarts;
+  report.per_restart.resize(restarts);
+
+  // One value of the caller's RNG seeds every restart stream, so the whole
+  // search is a pure function of (seed, restart index).
+  const uint64_t stream_base = ctx.rng.Next();
+  const PTNode& origin = *plan;  // workers Clone() from it; read-only
+
+  // The best-plan accumulator. `hint` is a monotonically decreasing copy of
+  // best_cost read without the lock: restarts that cannot win (the common
+  // case) never touch the mutex.
+  std::mutex mu;
+  PTPtr best;               // guarded by mu; null = input plan still best
+  double best_cost = report.initial_cost;  // guarded by mu
+  size_t best_restart = 0;  // guarded by mu
+  std::atomic<double> hint{report.initial_cost};
+
+  auto run_restart = [&](size_t r) {
+    OptContext local;
+    local.db = ctx.db;
+    local.stats = ctx.stats;
+    local.cost = ctx.cost;
+    local.rng = Rng::Stream(stream_base, r);
+    RestartReport& rr = report.per_restart[r];  // index-keyed: no races
+
+    PTPtr cur = origin.Clone();
+    double cur_cost = local.cost->Annotate(cur.get());
+    if (r > 0) {
+      // Perturb away from the common start to diversify the basins.
+      for (int i = 0; i < 3; ++i) ApplyRandomMove(cur, local);
+      cur->InvalidateEstimates();
+      cur_cost = local.cost->Annotate(cur.get());
+    }
+    rr.start_cost = cur_cost;
+
+    PTPtr restart_best = cur->Clone();
+    double restart_best_cost = cur_cost;
+    ImproveMoves(cur, cur_cost, restart_best, restart_best_cost, local,
+                 options, &rr);
+    rr.final_cost = restart_best_cost;
+    rr.plans_explored = local.plans_explored;
+
+    // Publish. The winner is the lexicographic minimum over (cost, restart
+    // index), which no completion order can change; `<=` in the pre-lock
+    // check lets equal-cost lower-index restarts through to the tie-break.
+    if (restart_best_cost <= hint.load(std::memory_order_relaxed)) {
+      std::lock_guard<std::mutex> lock(mu);
+      const bool wins =
+          restart_best_cost < best_cost ||
+          (best != nullptr && restart_best_cost == best_cost &&
+           r < best_restart);
+      if (wins) {
+        best = std::move(restart_best);
+        best_cost = restart_best_cost;
+        best_restart = r;
+        hint.store(best_cost, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  if (pool_ == nullptr) {
+    for (size_t r = 0; r < restarts; ++r) run_restart(r);
+  } else {
+    for (size_t r = 0; r < restarts; ++r) {
+      pool_->Submit([&run_restart, r] { run_restart(r); });
+    }
+    pool_->Wait();
+  }
+
+  for (const RestartReport& rr : report.per_restart) {
+    report.tried += rr.tried;
+    report.accepted += rr.accepted;
+    report.plans_explored += rr.plans_explored;
+  }
+  ctx.plans_explored += report.plans_explored;
+
+  if (best != nullptr) plan = std::move(best);
+  report.best_restart = best_restart;
   report.final_cost = ctx.cost->Annotate(plan.get());
   return report;
 }

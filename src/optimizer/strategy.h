@@ -1,6 +1,8 @@
 #ifndef RODIN_OPTIMIZER_STRATEGY_H_
 #define RODIN_OPTIMIZER_STRATEGY_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "optimizer/context.h"
@@ -10,12 +12,44 @@
 
 namespace rodin {
 
+class ThreadPool;
+
 /// Instrumentation of one randomized-improvement run.
 struct RandReport {
   size_t tried = 0;
   size_t accepted = 0;
   double initial_cost = 0;
   double final_cost = 0;
+};
+
+/// Instrumentation of one restart of the parallel search. Everything here
+/// depends only on (seed, restart index) — never on the worker that ran the
+/// restart or on completion order — so two runs with different thread
+/// counts produce element-wise identical vectors of these.
+struct RestartReport {
+  size_t tried = 0;
+  size_t accepted = 0;
+  size_t plans_explored = 0;
+  double start_cost = 0;   // after the restart's perturbation
+  double final_cost = 0;   // best cost the restart reached
+  /// Order-sensitive FNV-1a digest of the restart's move stream (each
+  /// applied move's name plus its accept/reject outcome). Equal digests
+  /// across thread counts prove the searches explored the same moves.
+  uint64_t move_digest = 0;
+};
+
+/// Aggregate result of one ParallelStrategy::Improve call.
+struct ParallelSearchReport {
+  size_t threads = 1;
+  size_t restarts = 0;
+  size_t tried = 0;
+  size_t accepted = 0;
+  size_t plans_explored = 0;
+  double initial_cost = 0;
+  double final_cost = 0;
+  /// Restart that produced the adopted plan (0 when the input plan won).
+  size_t best_restart = 0;
+  std::vector<RestartReport> per_restart;
 };
 
 /// The local move set of the randomized strategies (paper §4.5): join
@@ -29,6 +63,41 @@ const std::vector<Rule>& LocalMoves();
 /// `plan` is improved in place (annotated); returns the run report.
 RandReport RandomizedImprove(PTPtr& plan, OptContext& ctx,
                              const TransformOptions& options);
+
+/// Parallel flavour of RandomizedImprove: the §4.5 restarts are independent
+/// searches from perturbed copies of the start plan — embarrassingly
+/// parallel — so they fan out across a worker pool and merge into a
+/// mutex-guarded best-plan accumulator (cost is compared against a relaxed
+/// atomic hint *before* the lock, keeping contention off the hot path).
+///
+/// Determinism: each restart draws from its own SplitMix64-derived RNG
+/// stream (Rng::Stream(base, restart)), results merge by (cost, restart
+/// index), and counters aggregate by restart slot. The chosen plan and the
+/// full report are therefore identical for a given seed across *any* worker
+/// count — a 1-thread and an 8-thread search explore the same move stream
+/// per restart.
+class ParallelStrategy {
+ public:
+  /// `threads` <= 1 runs the restarts inline on the calling thread (same
+  /// code path, same results).
+  explicit ParallelStrategy(size_t threads);
+  ~ParallelStrategy();
+
+  ParallelStrategy(const ParallelStrategy&) = delete;
+  ParallelStrategy& operator=(const ParallelStrategy&) = delete;
+
+  size_t threads() const { return threads_; }
+
+  /// Improves `plan` in place (annotated); consumes one value of ctx.rng
+  /// to derive the restart streams and adds the explored-plan total to
+  /// ctx.plans_explored.
+  ParallelSearchReport Improve(PTPtr& plan, OptContext& ctx,
+                               const TransformOptions& options);
+
+ private:
+  size_t threads_;
+  std::unique_ptr<ThreadPool> pool_;  // null when threads_ <= 1
+};
 
 }  // namespace rodin
 

@@ -676,15 +676,24 @@ TransformResult TransformPT(PTPtr plan, OptContext& ctx,
 
   // Randomized re-optimization of each alternative (paper: reoptimization
   // is needed because shifting a PT portion invalidates binding-specific
-  // choices).
+  // choices). Always through ParallelStrategy so one and N threads take the
+  // same code path: with search_threads <= 1 the restarts run inline, and
+  // because restarts use index-derived RNG streams the chosen plan — and
+  // every counter — is identical for a given seed at any thread count.
   RandReport report_a{};
   RandReport report_b{};
-  if (!options.always_push) {
-    report_a = RandomizedImprove(unpushed, ctx, options);
-  }
-  if (have_push && !options.never_push) {
-    report_b = RandomizedImprove(pushed, ctx, options);
-  }
+  ParallelStrategy strategy(options.search_threads);
+  auto improve = [&](PTPtr& alt) {
+    const ParallelSearchReport pr = strategy.Improve(alt, ctx, options);
+    RandReport r;
+    r.tried = pr.tried;
+    r.accepted = pr.accepted;
+    r.initial_cost = pr.initial_cost;
+    r.final_cost = pr.final_cost;
+    return r;
+  };
+  if (!options.always_push) report_a = improve(unpushed);
+  if (have_push && !options.never_push) report_b = improve(pushed);
   result.moves_tried = report_a.tried + report_b.tried;
   result.moves_accepted = report_a.accepted + report_b.accepted;
 

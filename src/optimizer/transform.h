@@ -26,6 +26,11 @@ struct TransformOptions {
   size_t rand_restarts = 2;
   double sa_initial_temp = 0.1;  // fraction of plan cost
   double sa_cooling = 0.9;
+  /// Worker threads for the randomized re-optimization. With > 1 the
+  /// restarts fan out over a ThreadPool (see ParallelStrategy); the chosen
+  /// plan stays deterministic for a given seed — identical, in fact, for
+  /// any thread count, because restarts use index-derived RNG streams.
+  size_t search_threads = 1;
 };
 
 /// Result of transformPT with instrumentation.

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace rodin {
 namespace {
@@ -69,6 +73,110 @@ TEST(RngTest, ChanceRoughlyCalibrated) {
     if (rng.Chance(0.3)) ++hits;
   }
   EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngStreamTest, SameStreamSameSequence) {
+  Rng a = Rng::Stream(42, 3);
+  Rng b = Rng::Stream(42, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngStreamTest, DistinctStreamsDecorrelated) {
+  // Streams for different indices (and the base generator itself) must not
+  // collide: collect the first values of many streams and expect all unique.
+  std::set<uint64_t> firsts;
+  firsts.insert(Rng(42).Next());
+  for (uint64_t s = 0; s < 1000; ++s) {
+    firsts.insert(Rng::Stream(42, s).Next());
+  }
+  EXPECT_EQ(firsts.size(), 1001u);
+  // Different seeds give different streams for the same index.
+  EXPECT_NE(Rng::Stream(1, 0).Next(), Rng::Stream(2, 0).Next());
+}
+
+TEST(RngStreamTest, StreamValuesLookUniform) {
+  // Cheap sanity check that the per-stream first draws are not clustered:
+  // the mean of 4096 stream heads mapped to [0,1) should be near 0.5.
+  double sum = 0;
+  const int n = 4096;
+  for (int s = 0; s < n; ++s) {
+    sum += Rng::Stream(7, static_cast<uint64_t>(s)).NextDouble();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.03);
+}
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WaitThenReuse) {
+  // The pool survives multiple submit/wait waves (the parallel search runs
+  // one wave per Improve call on a long-lived pool).
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 64);
+  }
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted: must not deadlock
+  EXPECT_EQ(pool.thread_count(), 2u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 200; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }  // ~ThreadPool drains before joining
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 1u);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran = 1; });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelForTest, CoversEveryIndexOnce) {
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    std::vector<std::atomic<int>> hits(257);
+    for (auto& h : hits) h = 0;
+    ParallelFor(hits.size(), threads, [&hits](size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelForTest, InlineWhenSingleThreaded) {
+  // threads <= 1 must run in index order on the calling thread.
+  std::vector<size_t> order;
+  const std::thread::id caller = std::this_thread::get_id();
+  ParallelFor(8, 1, [&](size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4, 5, 6, 7}));
 }
 
 TEST(StringUtilTest, JoinBasics) {

@@ -1,0 +1,153 @@
+// Cost-model drift guard: over a pool of ≥50 seeded random queries the
+// *ranking* the cost model induces must track the ranking by measured
+// executor cost. The guard is Spearman's rank correlation ≥ 0.7 — loose
+// enough to tolerate estimation noise on individual plans, tight enough to
+// catch a broken formula (the paper's argument rests on the model ordering
+// alternatives correctly, not on absolute accuracy; cf. Figure 5).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/music_gen.h"
+#include "exec/executor.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "query/builder.h"
+
+namespace rodin {
+namespace {
+
+/// Average ranks (1-based; ties share the mean of the positions they span).
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&values](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0
+                        + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+/// Spearman's rho = Pearson correlation of the rank vectors (the tie-robust
+/// formulation; the 6Σd²/n(n²−1) shortcut is only valid without ties).
+double Spearman(const std::vector<double>& x, const std::vector<double>& y) {
+  const std::vector<double> rx = AverageRanks(x);
+  const std::vector<double> ry = AverageRanks(y);
+  const double n = static_cast<double>(x.size());
+  double mx = 0, my = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    mx += rx[i];
+    my += ry[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sxy += (rx[i] - mx) * (ry[i] - my);
+    sxx += (rx[i] - mx) * (rx[i] - mx);
+    syy += (ry[i] - my) * (ry[i] - my);
+  }
+  if (sxx == 0 || syy == 0) return 0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+TEST(SpearmanTest, PerfectAndInverse) {
+  EXPECT_NEAR(Spearman({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+  EXPECT_NEAR(Spearman({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, TiesUseAverageRanks) {
+  // x has a tie; monotone y still correlates but below 1.
+  const double rho = Spearman({1, 2, 2, 3}, {1, 2, 3, 4});
+  EXPECT_GT(rho, 0.9);
+  EXPECT_LT(rho, 1.0);
+  // All-equal input degenerates to 0, not NaN.
+  EXPECT_EQ(Spearman({5, 5, 5}, {1, 2, 3}), 0.0);
+}
+
+/// Random SPJ query over the music schema with broadly varying shape —
+/// the point is cost *spread*, so arc counts and selectivities vary a lot.
+QueryGraph RandomQuery(Rng* rng, const Schema& schema) {
+  QueryGraphBuilder b;
+  NodeBuilder& node = b.Node("Answer");
+  const int arcs = 1 + static_cast<int>(rng->Below(3));
+  std::vector<std::string> vars;
+  for (int i = 0; i < arcs; ++i) {
+    const std::string var = "x" + std::to_string(i);
+    node.Input("Composer", var);
+    vars.push_back(var);
+    if (i > 0) {
+      node.Where(Expr::Eq(Expr::Path(vars[i - 1], {"master"}),
+                          rng->Chance(0.5) ? Expr::Path(var, {"master"})
+                                           : Expr::Path(var, {})));
+    }
+  }
+  const int sels = static_cast<int>(rng->Below(3));
+  for (int i = 0; i < sels; ++i) {
+    const std::string& var = vars[rng->Below(vars.size())];
+    if (rng->Chance(0.5)) {
+      node.Where(Expr::Cmp(rng->Chance(0.5) ? CompareOp::kGe : CompareOp::kLt,
+                           Expr::Path(var, {"birthyear"}),
+                           Expr::Lit(Value::Int(rng->Range(1600, 1750)))));
+    } else {
+      static const char* kInstr[] = {"harpsichord", "flute", "violin", "organ"};
+      node.Where(Expr::Eq(Expr::Path(var, {"works", "instruments", "iname"}),
+                          Expr::Lit(Value::Str(kInstr[rng->Below(4)]))));
+    }
+  }
+  node.OutPath("n", vars[0], {"name"});
+  return b.Build(schema);
+}
+
+TEST(CostRankCorrelationTest, EstimatedTracksMeasuredOverFiftyQueries) {
+  MusicConfig config;
+  config.num_composers = 80;
+  config.lineage_depth = 6;
+  config.seed = 1234;
+  GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+  Stats stats = Stats::Derive(*g.db);
+  CostModel cost(g.db.get(), &stats);
+
+  std::vector<double> estimated;
+  std::vector<double> measured;
+  Rng rng(99);
+  const int kQueries = 50;
+  for (int i = 0; i < kQueries; ++i) {
+    const QueryGraph q = RandomQuery(&rng, *g.schema);
+    OptimizerOptions options = CostBasedOptions(7 + i);
+    Optimizer opt(g.db.get(), &stats, &cost, options);
+    OptimizeResult r = opt.Optimize(q);
+    ASSERT_TRUE(r.ok()) << r.error << "\n" << q.ToString();
+
+    Executor exec(g.db.get());
+    exec.ResetMeasurement(/*clear_buffer=*/true);  // cold, like the estimate
+    exec.Execute(*r.plan);
+    estimated.push_back(r.cost);
+    measured.push_back(exec.MeasuredCost());
+  }
+
+  const double rho = Spearman(estimated, measured);
+  RecordProperty("spearman_rho", std::to_string(rho));
+  EXPECT_GE(rho, 0.7) << "cost model ranking drifted from measured cost "
+                      << "(rho=" << rho << " over " << kQueries
+                      << " random queries)";
+}
+
+}  // namespace
+}  // namespace rodin

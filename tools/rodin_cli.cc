@@ -2,7 +2,12 @@
 //
 //   rodin_cli [--db=music|parts|graph] [--size=N] [--seed=S]
 //             [--optimizer=cost|deductive|naive|exhaustive|annealing]
-//             [--parallel=P] [--explain] [--symbolic] [--query=FILE]
+//             [--parallel=P] [--threads=N] [--explain] [--symbolic]
+//             [--query=FILE]
+//
+// --parallel models a P-way parallel *execution* in the cost formulas;
+// --threads runs the randomized plan *search* on N worker threads
+// (deterministic under --seed for any N).
 //
 // Reads one query (the paper's §2.3 syntax) from --query or stdin,
 // optimizes it with the selected configuration, prints the Figure 6 stage
@@ -35,6 +40,7 @@ struct CliOptions {
   uint64_t seed = 42;
   std::string optimizer = "cost";
   unsigned parallel = 1;
+  unsigned threads = 1;
   bool explain_only = false;
   bool symbolic = false;
   std::string query_file;
@@ -47,14 +53,24 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+uint64_t ParseCount(const std::string& value, const char* name) {
+  if (value.empty() || value.find_first_not_of("0123456789") !=
+                           std::string::npos) {
+    std::fprintf(stderr, "--%s expects a non-negative integer, got '%s'\n",
+                 name, value.c_str());
+    std::exit(2);
+  }
+  return std::stoull(value);
+}
+
 void Usage() {
   std::fprintf(
       stderr,
       "usage: rodin_cli [--db=music|parts|graph] [--size=N] [--seed=S]\n"
       "                 [--optimizer=cost|deductive|naive|exhaustive|"
       "annealing]\n"
-      "                 [--parallel=P] [--explain] [--symbolic] "
-      "[--query=FILE]\n"
+      "                 [--parallel=P] [--threads=N] [--explain] "
+      "[--symbolic] [--query=FILE]\n"
       "Reads a query in the paper's syntax from --query or stdin.\n");
 }
 
@@ -121,13 +137,15 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "db", &value)) {
       options.db = value;
     } else if (ParseFlag(argv[i], "size", &value)) {
-      options.size = static_cast<uint32_t>(std::stoul(value));
+      options.size = static_cast<uint32_t>(ParseCount(value, "size"));
     } else if (ParseFlag(argv[i], "seed", &value)) {
-      options.seed = std::stoull(value);
+      options.seed = ParseCount(value, "seed");
     } else if (ParseFlag(argv[i], "optimizer", &value)) {
       options.optimizer = value;
     } else if (ParseFlag(argv[i], "parallel", &value)) {
-      options.parallel = static_cast<unsigned>(std::stoul(value));
+      options.parallel = static_cast<unsigned>(ParseCount(value, "parallel"));
+    } else if (ParseFlag(argv[i], "threads", &value)) {
+      options.threads = static_cast<unsigned>(ParseCount(value, "threads"));
     } else if (ParseFlag(argv[i], "query", &value)) {
       options.query_file = value;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
@@ -158,7 +176,9 @@ int main(int argc, char** argv) {
   CostParams params;
   params.parallel_degree = options.parallel;
   CostModel cost(g.db.get(), &stats, params);
-  Optimizer optimizer(g.db.get(), &stats, &cost, MakeOptimizer(options));
+  OptimizerOptions opt_options = MakeOptimizer(options);
+  opt_options.search_threads = options.threads;
+  Optimizer optimizer(g.db.get(), &stats, &cost, opt_options);
   OptimizeResult result = optimizer.Optimize(parsed.graph);
   if (!result.ok()) {
     std::fprintf(stderr, "optimize failed: %s\n", result.error.c_str());
