@@ -1,0 +1,102 @@
+// Observability overhead: the same optimize+execute pipeline with no sinks
+// attached, with the decision log only, and with full span tracing. The
+// no-sink configuration is the one bench_strategies exercises — it must stay
+// within noise of a build without the observability layer at all.
+
+#include <benchmark/benchmark.h>
+
+#include "api/session.h"
+#include "datagen/music_gen.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "optimizer/baseline.h"
+#include "query/paper_queries.h"
+
+using namespace rodin;
+
+namespace {
+
+GeneratedDb& SharedDb() {
+  static GeneratedDb g = [] {
+    MusicConfig config;
+    config.num_composers = 60;
+    config.lineage_depth = 8;
+    return GenerateMusicDb(config, PaperMusicPhysical());
+  }();
+  return g;
+}
+
+void BM_OptimizeNoSinks(benchmark::State& state) {
+  GeneratedDb& g = SharedDb();
+  Session session(g.db.get(), CostBasedOptions());
+  const QueryGraph q = Fig3Query(*g.schema, 6);
+  for (auto _ : state) {
+    OptimizeResult r = session.Optimize(q);
+    benchmark::DoNotOptimize(r.cost);
+  }
+}
+BENCHMARK(BM_OptimizeNoSinks)->Unit(benchmark::kMillisecond);
+
+void BM_ExplainOnlyDecisionLog(benchmark::State& state) {
+  GeneratedDb& g = SharedDb();
+  Session session(g.db.get(), CostBasedOptions());
+  const QueryGraph q = Fig3Query(*g.schema, 6);
+  RunOptions options;
+  options.explain_only = true;
+  for (auto _ : state) {
+    const QueryRun run = session.Run(q, options);
+    benchmark::DoNotOptimize(run.decisions.moves.size());
+  }
+}
+BENCHMARK(BM_ExplainOnlyDecisionLog)->Unit(benchmark::kMillisecond);
+
+void BM_ExplainOnlyWithTrace(benchmark::State& state) {
+  GeneratedDb& g = SharedDb();
+  Session session(g.db.get(), CostBasedOptions());
+  const QueryGraph q = Fig3Query(*g.schema, 6);
+  RunOptions options;
+  options.explain_only = true;
+  options.collect_trace = true;
+  for (auto _ : state) {
+    const QueryRun run = session.Run(q, options);
+    benchmark::DoNotOptimize(run.trace.get());
+  }
+}
+BENCHMARK(BM_ExplainOnlyWithTrace)->Unit(benchmark::kMillisecond);
+
+void BM_RunColdWithProfiledExecutor(benchmark::State& state) {
+  GeneratedDb& g = SharedDb();
+  Session session(g.db.get(), CostBasedOptions());
+  const QueryGraph q = Fig3Query(*g.schema, 6);
+  RunOptions options;
+  options.cold = true;
+  for (auto _ : state) {
+    const ExplainResult ex = session.Explain(q, options);
+    benchmark::DoNotOptimize(ex.measured_cost);
+  }
+}
+BENCHMARK(BM_RunColdWithProfiledExecutor)->Unit(benchmark::kMillisecond);
+
+// Raw primitive costs, for reference when reading the pipeline numbers.
+void BM_CounterIncrement(benchmark::State& state) {
+  obs::Counter* c =
+      obs::MetricsRegistry::Global().GetCounter("rodin.bench.counter");
+  for (auto _ : state) {
+    c->Increment();
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_TracerSpan(benchmark::State& state) {
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    const uint64_t id = tracer.Begin("bench", "bench");
+    tracer.End(id);
+  }
+  benchmark::DoNotOptimize(tracer.event_count());
+}
+BENCHMARK(BM_TracerSpan);
+
+}  // namespace
+
+BENCHMARK_MAIN();

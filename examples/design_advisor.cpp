@@ -80,8 +80,8 @@ int main() {
     bool ok = true;
     for (const char* text : kWorkload) {
       const ParseResult parsed = ParseQuery(text, g.db->schema());
-      if (!parsed.ok) {
-        std::printf("parse error: %s\n", parsed.error.c_str());
+      if (!parsed.ok()) {
+        std::printf("parse error: %s\n", parsed.error().c_str());
         ok = false;
         break;
       }

@@ -46,8 +46,8 @@ select [dname: j.disciple.name] from j in Influencer
 where j.master.works.instruments.iname = "harpsichord" and j.gen >= 4
 )";
   const ParseResult parsed = ParseQuery(text, db.schema());
-  if (!parsed.ok) {
-    std::printf("parse failed: %s\n", parsed.error.c_str());
+  if (!parsed.ok()) {
+    std::printf("parse failed: %s\n", parsed.error().c_str());
     return 1;
   }
   const QueryGraph& query = parsed.graph;

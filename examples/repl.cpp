@@ -20,9 +20,11 @@ using namespace rodin;
 namespace {
 
 void RunOne(Session& session, const std::string& text) {
-  const QueryRun run = session.RunText(text, /*cold=*/true);
-  if (!run.ok) {
-    std::printf("error: %s\n", run.error.c_str());
+  RunOptions options;
+  options.cold = true;
+  const QueryRun run = session.Run(text, options);
+  if (!run.ok()) {
+    std::printf("error: %s\n", run.error().c_str());
     return;
   }
   std::printf("plan (estimated cost %.1f%s):\n%s", run.optimized.cost,

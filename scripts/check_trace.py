@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON written by `rodin_cli --trace-out`.
+
+Usage: check_trace.py TRACE.json [--schema scripts/trace_schema.json]
+                      [--require-span NAME ...]
+
+Checks, with the standard library only:
+  1. the file parses as JSON and matches scripts/trace_schema.json (a
+     JSON-Schema subset: type / required / properties / items / enum /
+     minimum — exactly the keywords the schema uses);
+  2. complete events ("ph": "X") carry a non-negative duration;
+  3. every --require-span NAME occurs as a complete event (the CI smoke run
+     requires the four optimizer stages and the executor span).
+
+Exit status 0 on success; 1 with a diagnostic on the first failure.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "number": (int, float),
+    "boolean": bool,
+}
+
+
+def validate(instance, schema, path="$"):
+    """Validates `instance` against the JSON-Schema subset used by
+    trace_schema.json. Returns a list of error strings (empty = valid)."""
+    errors = []
+    expected = schema.get("type")
+    if expected is not None:
+        python_type = _TYPES[expected]
+        if not isinstance(instance, python_type) or (
+            expected == "number" and isinstance(instance, bool)
+        ):
+            return ["%s: expected %s, got %s"
+                    % (path, expected, type(instance).__name__)]
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append("%s: %r not one of %r" % (path, instance, schema["enum"]))
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            errors.append("%s: %r < minimum %r"
+                          % (path, instance, schema["minimum"]))
+    if isinstance(instance, dict):
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append("%s: missing required key %r" % (path, key))
+        for key, subschema in schema.get("properties", {}).items():
+            if key in instance:
+                errors.extend(
+                    validate(instance[key], subschema, "%s.%s" % (path, key)))
+    if isinstance(instance, list) and "items" in schema:
+        for i, item in enumerate(instance):
+            errors.extend(validate(item, schema["items"], "%s[%d]" % (path, i)))
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "trace_schema.json"))
+    parser.add_argument("--require-span", action="append", default=[],
+                        metavar="NAME",
+                        help="fail unless a complete event with this name "
+                             "exists (repeatable)")
+    args = parser.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    try:
+        with open(args.trace) as f:
+            trace = json.load(f)
+    except json.JSONDecodeError as e:
+        sys.exit("%s: not valid JSON: %s" % (args.trace, e))
+
+    errors = validate(trace, schema)
+    if errors:
+        for e in errors[:20]:
+            print(e, file=sys.stderr)
+        sys.exit("%s: %d schema violation(s)" % (args.trace, len(errors)))
+
+    events = trace["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    for e in spans:
+        if "dur" not in e:
+            sys.exit("%s: complete event %r has no duration"
+                     % (args.trace, e["name"]))
+    names = {e["name"] for e in spans}
+    missing = [n for n in args.require_span if n not in names]
+    if missing:
+        sys.exit("%s: required span(s) missing: %s (have: %s)"
+                 % (args.trace, ", ".join(missing), ", ".join(sorted(names))))
+
+    print("%s: ok — %d events (%d spans), %d distinct span names"
+          % (args.trace, len(events), len(spans), len(names)))
+
+
+if __name__ == "__main__":
+    main()

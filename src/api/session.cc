@@ -1,14 +1,88 @@
 #include "api/session.h"
 
 #include "common/check.h"
-#include "optimizer/baseline.h"
+#include "common/string_util.h"
 #include "plan/pt_printer.h"
 #include "query/parser.h"
 
 namespace rodin {
 
-Session::Session(Database* db, OptimizerOptions options)
-    : db_(db), options_(options) {
+namespace {
+
+ExplainNode BuildExplainNode(const PTNode& node,
+                             const std::map<const PTNode*, OpStats>& stats) {
+  ExplainNode out;
+  out.label = PTNodeLabel(node);
+  out.est_cost = node.est_cost;
+  out.est_rows = node.est_rows;
+  auto it = stats.find(&node);
+  if (it != stats.end()) {
+    out.executed = true;
+    out.measured = it->second;
+  }
+  for (const auto& c : node.children) {
+    out.children.push_back(BuildExplainNode(*c, stats));
+  }
+  return out;
+}
+
+void PrintExplainNode(const ExplainNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  out->append(node.label);
+  if (node.est_cost >= 0) {
+    out->append(StrFormat("   {est cost=%.1f rows=%.1f}", node.est_cost,
+                          node.est_rows));
+  }
+  if (node.executed) {
+    out->append(StrFormat(
+        "   [measured rows=%llu pages=%llu time=%.0fus calls=%llu]",
+        static_cast<unsigned long long>(node.measured.rows),
+        static_cast<unsigned long long>(node.measured.pages),
+        node.measured.micros,
+        static_cast<unsigned long long>(node.measured.invocations)));
+  }
+  out->append("\n");
+  for (const ExplainNode& c : node.children) {
+    PrintExplainNode(c, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainResult::ToString() const {
+  std::string out = "EXPLAIN\n";
+  if (!ok()) {
+    out += "status: " + status.ToString() + "\n";
+    return out;
+  }
+  out += "stages:\n";
+  for (const StageReport& s : stages) {
+    out += StrFormat("  %-12s granularity=%-24s strategy=%-32s plans=%zu\n",
+                     s.stage.c_str(), s.granularity.c_str(),
+                     s.strategy.c_str(), s.plans_explored);
+  }
+  out += "decisions:\n";
+  for (const std::string& line : Split(decisions.ToString(), '\n')) {
+    if (!line.empty()) out += "  " + line + "\n";
+  }
+  if (pushed_variant_cost >= 0 && unpushed_variant_cost >= 0) {
+    out += StrFormat("push decision: pushed=%.1f unpushed=%.1f -> %s\n",
+                     pushed_variant_cost, unpushed_variant_cost,
+                     chose_push ? "pushed" : "unpushed");
+  }
+  out += "plan:\n";
+  std::string tree;
+  PrintExplainNode(plan, 1, &tree);
+  out += tree;
+  out += StrFormat("est_cost: %.1f\n", est_cost);
+  if (measured_cost >= 0) {
+    out += StrFormat("measured_cost: %.1f\n", measured_cost);
+  }
+  return out;
+}
+
+Session::Session(Database* db, OptimizerOptions options, CostParams cost_params)
+    : db_(db), options_(options), cost_params_(cost_params) {
   RODIN_CHECK(db != nullptr && db->finalized(),
               "Session needs a finalized database");
   RefreshStats();
@@ -16,7 +90,14 @@ Session::Session(Database* db, OptimizerOptions options)
 
 void Session::RefreshStats() {
   stats_ = std::make_unique<Stats>(Stats::Derive(*db_));
-  cost_ = std::make_unique<CostModel>(db_, stats_.get());
+  cost_ = std::make_unique<CostModel>(db_, stats_.get(), cost_params_);
+}
+
+OptimizerOptions Session::EffectiveOptions(const RunOptions& options) const {
+  OptimizerOptions opt = options_;
+  if (options.search_threads > 0) opt.search_threads = options.search_threads;
+  if (options.seed != 0) opt.seed = options.seed;
+  return opt;
 }
 
 OptimizeResult Session::Optimize(const QueryGraph& graph) {
@@ -24,32 +105,101 @@ OptimizeResult Session::Optimize(const QueryGraph& graph) {
   return optimizer.Optimize(graph);
 }
 
-QueryRun Session::Run(const QueryGraph& graph, bool cold) {
+QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
+                          Executor* exec) {
   QueryRun run;
   run.graph = graph;
-  run.optimized = Optimize(graph);
+
+  obs::Tracer tracer;
+  ObsSink sink;
+  sink.decisions = &run.decisions;
+  if (options.collect_trace) sink.tracer = &tracer;
+
+  Optimizer optimizer(db_, stats_.get(), cost_.get(),
+                      EffectiveOptions(options));
+  run.optimized = optimizer.Optimize(graph, sink);
   if (!run.optimized.ok()) {
-    run.error = run.optimized.error;
+    run.status = Status::Error(Status::Code::kOptimizeError,
+                               run.optimized.error);
+    if (options.collect_trace) run.trace = tracer.Finish();
     return run;
   }
   run.plan_text = PrintPT(*run.optimized.plan);
-  Executor exec(db_);
-  exec.ResetMeasurement(cold);
-  run.answer = exec.Execute(*run.optimized.plan);
-  run.measured_cost = exec.MeasuredCost();
-  run.counters = exec.counters();
-  run.ok = true;
+
+  if (!options.explain_only) {
+    Executor local(db_, cost_params_);
+    Executor& e = exec != nullptr ? *exec : local;
+    if (options.collect_trace) e.set_tracer(&tracer);
+    e.ResetMeasurement(options.cold);
+    run.answer = e.Execute(*run.optimized.plan);
+    run.measured_cost = e.MeasuredCost();
+    run.counters = e.counters();
+    e.set_tracer(nullptr);
+    db_->buffer_pool().PublishMetrics();
+  }
+  if (options.collect_trace) run.trace = tracer.Finish();
   return run;
 }
 
-QueryRun Session::RunText(const std::string& text, bool cold) {
+QueryRun Session::Run(const QueryGraph& graph, const RunOptions& options) {
+  return RunImpl(graph, options, nullptr);
+}
+
+QueryRun Session::Run(const std::string& text, const RunOptions& options) {
   const ParseResult parsed = ParseQuery(text, db_->schema());
-  if (!parsed.ok) {
+  if (!parsed.ok()) {
     QueryRun run;
-    run.error = parsed.error;
+    run.status = parsed.status;
     return run;
   }
-  return Run(parsed.graph, cold);
+  return RunImpl(parsed.graph, options, nullptr);
+}
+
+QueryRun Session::RunText(const std::string& text, bool cold) {
+  RunOptions options;
+  options.cold = cold;
+  return Run(text, options);
+}
+
+QueryRun Session::Run(const QueryGraph& graph, bool cold) {
+  RunOptions options;
+  options.cold = cold;
+  return Run(graph, options);
+}
+
+ExplainResult Session::Explain(const QueryGraph& graph,
+                               const RunOptions& options) {
+  ExplainResult ex;
+  Executor exec(db_, cost_params_);
+  exec.CollectOpStats(true);
+  QueryRun run = RunImpl(graph, options, &exec);
+  ex.status = run.status;
+  ex.trace = run.trace;
+  if (!run.ok()) return ex;
+
+  ex.stages = run.optimized.stages;
+  ex.decisions = std::move(run.decisions);
+  ex.plan_text = run.plan_text;
+  ex.est_cost = run.optimized.cost;
+  ex.measured_cost = run.measured_cost;
+  ex.counters = run.counters;
+  ex.pushed_variant_cost = run.optimized.pushed_variant_cost;
+  ex.unpushed_variant_cost = run.optimized.unpushed_variant_cost;
+  ex.chose_push = run.optimized.pushed_sel || run.optimized.pushed_join ||
+                  run.optimized.pushed_proj;
+  ex.plan = BuildExplainNode(*run.optimized.plan, exec.op_stats());
+  return ex;
+}
+
+ExplainResult Session::Explain(const std::string& text,
+                               const RunOptions& options) {
+  const ParseResult parsed = ParseQuery(text, db_->schema());
+  if (!parsed.ok()) {
+    ExplainResult ex;
+    ex.status = parsed.status;
+    return ex;
+  }
+  return Explain(parsed.graph, options);
 }
 
 }  // namespace rodin

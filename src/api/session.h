@@ -1,57 +1,145 @@
 #ifndef RODIN_API_SESSION_H_
 #define RODIN_API_SESSION_H_
 
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "common/status.h"
 #include "cost/cost_model.h"
 #include "cost/stats.h"
 #include "exec/executor.h"
+#include "obs/decision.h"
+#include "obs/trace.h"
 #include "optimizer/optimizer.h"
 #include "query/query_graph.h"
 #include "storage/database.h"
 
 namespace rodin {
 
+/// Per-call knobs of Session::Run / Session::Explain. One struct instead of
+/// boolean tails and per-call Optimizer rebuilds: defaults are the common
+/// case, and every knob is named at the call site.
+struct RunOptions {
+  /// Start measurement from an empty buffer pool (cold run). Warm otherwise:
+  /// counters reset but resident pages stay.
+  bool cold = false;
+  /// Attach a span tracer to the optimizer and executor; the resulting
+  /// QueryRun::trace / ExplainResult::trace exports Chrome trace_event JSON.
+  bool collect_trace = false;
+  /// Optimize only — skip execution (answer stays empty, measured_cost -1).
+  bool explain_only = false;
+  /// Override the session's transformPT search parallelism (0 = keep the
+  /// session's OptimizerOptions value).
+  size_t search_threads = 0;
+  /// Override the session's optimizer seed (0 = keep).
+  uint64_t seed = 0;
+};
+
 /// Everything one query run produces: the optimizer's decision trail, the
 /// chosen plan (printable), and the executed answer with measured cost.
 struct QueryRun {
-  bool ok = false;
-  std::string error;
+  Status status;
 
   QueryGraph graph;
   OptimizeResult optimized;
   std::string plan_text;  // PrintPT of the chosen plan
 
   Table answer;
-  double measured_cost = 0;
+  double measured_cost = -1;  // -1 when not executed
   ExecCounters counters;
+
+  /// Span trace of the run (optimizer stages, push/search spans, execution).
+  /// Null unless RunOptions::collect_trace was set.
+  std::shared_ptr<const obs::Trace> trace;
+  /// transformPT decision events (moves, pushes). Always collected — the
+  /// log is a few hundred small records per query, noise next to planning.
+  DecisionLog decisions;
+
+  bool ok() const { return status.ok(); }
+  const std::string& error() const { return status.message; }
+};
+
+/// One node of ExplainResult's plan tree: the cost model's view next to what
+/// execution actually did.
+struct ExplainNode {
+  std::string label;      // operator description (PTNodeLabel)
+  double est_cost = -1;   // cost-model estimate (cumulative, Figure 5)
+  double est_rows = -1;
+  bool executed = false;  // measured fields valid only when set
+  OpStats measured;       // inclusive of children (see OpStats)
+  std::vector<ExplainNode> children;
+};
+
+/// What EXPLAIN returns: per-stage reports, the full decision log, and the
+/// plan with estimated vs (optionally) measured per-node figures.
+struct ExplainResult {
+  Status status;
+
+  std::vector<StageReport> stages;  // rewrite/translate/generatePT/transformPT
+  DecisionLog decisions;
+  ExplainNode plan;       // valid when status.ok()
+  std::string plan_text;  // PrintPT rendering
+
+  double est_cost = -1;       // cost model's total for the chosen plan
+  double measured_cost = -1;  // -1 when explain_only
+  ExecCounters counters;      // zero when explain_only
+
+  // transformPT outcome, copied from OptimizeResult for convenience.
+  double pushed_variant_cost = -1;
+  double unpushed_variant_cost = -1;
+  bool chose_push = false;
+
+  std::shared_ptr<const obs::Trace> trace;  // set when collect_trace
+
+  bool ok() const { return status.ok(); }
+  /// Human-readable report: stage table, decision log, annotated plan tree.
+  std::string ToString() const;
 };
 
 /// Facade over the full pipeline for library users: owns the statistics,
 /// cost model, optimizer and executor for one (finalized) database.
 ///
 ///   Session session(db);
-///   QueryRun run = session.RunText(R"(select [n: x.name] from x in Composer
-///                                     where x.name = "Bach")");
+///   QueryRun run = session.Run(R"(select [n: x.name] from x in Composer
+///                                 where x.name = "Bach")");
+///   ExplainResult ex = session.Explain(text, {.collect_trace = true});
 ///
 /// The database must outlive the session. Statistics are derived once at
 /// construction; call RefreshStats() if the physical layout changed (it
 /// cannot after Finalize, so in practice never).
 ///
-/// Set `opts.search_threads` (OptimizerOptions) to fan the randomized
-/// transformPT search across a worker pool; answers and chosen plans stay
-/// deterministic under the seed for any thread count.
+/// Set `opts.search_threads` (OptimizerOptions) or RunOptions::search_threads
+/// to fan the randomized transformPT search across a worker pool; answers
+/// and chosen plans stay deterministic under the seed for any thread count.
 class Session {
  public:
-  explicit Session(Database* db, OptimizerOptions options = {});
+  explicit Session(Database* db, OptimizerOptions options = {},
+                   CostParams cost_params = {});
 
   /// Parses (ESQL-flavoured syntax, see query/parser.h), optimizes and
-  /// executes. Measurement starts from a cold buffer when `cold` is set.
+  /// executes under `options`.
+  QueryRun Run(const std::string& text, const RunOptions& options = {});
+
+  /// Optimizes and executes an already-built query graph under `options`.
+  QueryRun Run(const QueryGraph& graph, const RunOptions& options = {});
+
+  /// EXPLAIN: optimizes, collects the stage reports and decision log, and
+  /// (unless options.explain_only) executes with per-operator profiling to
+  /// put measured figures next to the estimates.
+  ExplainResult Explain(const std::string& text,
+                        const RunOptions& options = {});
+  ExplainResult Explain(const QueryGraph& graph,
+                        const RunOptions& options = {});
+
+  /// Deprecated: use Run(text, {.cold = cold}). Kept for source
+  /// compatibility; forwards to the RunOptions overload.
   QueryRun RunText(const std::string& text, bool cold = false);
 
-  /// Optimizes and executes an already-built query graph.
-  QueryRun Run(const QueryGraph& graph, bool cold = false);
+  /// Deprecated: use Run(graph, {.cold = cold}). No default on `cold`, so
+  /// Run(graph) resolves to the RunOptions overload above.
+  QueryRun Run(const QueryGraph& graph, bool cold);
 
   /// Optimizes without executing.
   OptimizeResult Optimize(const QueryGraph& graph);
@@ -63,8 +151,13 @@ class Session {
   void RefreshStats();
 
  private:
+  QueryRun RunImpl(const QueryGraph& graph, const RunOptions& options,
+                   Executor* exec);
+  OptimizerOptions EffectiveOptions(const RunOptions& options) const;
+
   Database* db_;
   OptimizerOptions options_;
+  CostParams cost_params_;
   std::unique_ptr<Stats> stats_;
   std::unique_ptr<CostModel> cost_;
 };

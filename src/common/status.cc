@@ -1,0 +1,26 @@
+#include "common/status.h"
+
+namespace rodin {
+
+const char* Status::code_name() const {
+  switch (code) {
+    case Code::kOk:
+      return "ok";
+    case Code::kParseError:
+      return "parse_error";
+    case Code::kSemanticError:
+      return "semantic_error";
+    case Code::kOptimizeError:
+      return "optimize_error";
+    case Code::kExecError:
+      return "exec_error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  return std::string("[") + code_name() + "] " + message;
+}
+
+}  // namespace rodin

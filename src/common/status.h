@@ -1,0 +1,48 @@
+#ifndef RODIN_COMMON_STATUS_H_
+#define RODIN_COMMON_STATUS_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace rodin {
+
+/// Outcome of one pipeline step (parser, optimizer, executor, session).
+/// Replaces the loose `bool ok; std::string error;` pairs: callers branch on
+/// the code instead of string-matching error text, and parse errors carry
+/// the offending source span.
+struct Status {
+  enum class Code {
+    kOk,
+    kParseError,     // surface-syntax error (line/col populated)
+    kSemanticError,  // query validated against the schema and failed
+    kOptimizeError,  // no plan could be produced
+    kExecError,      // execution failed
+  };
+
+  Code code = Code::kOk;
+  std::string message;
+  /// Source span of the offending token (parse errors only; 0 = unknown).
+  size_t line = 0;
+  size_t col = 0;
+
+  bool ok() const { return code == Code::kOk; }
+
+  static Status Ok() { return Status{}; }
+  static Status Error(Code code, std::string message, size_t line = 0,
+                      size_t col = 0) {
+    return Status{code, std::move(message), line, col};
+  }
+
+  /// "ok", "parse_error", "semantic_error", "optimize_error", "exec_error".
+  const char* code_name() const;
+
+  /// "[parse_error] parse error at 3:7: expected ..." — the code name
+  /// prefixed to the message (which already carries the span for parse
+  /// errors).
+  std::string ToString() const;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_COMMON_STATUS_H_

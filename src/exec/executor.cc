@@ -1,9 +1,13 @@
 #include "exec/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/check.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rodin {
 
@@ -76,6 +80,7 @@ double Executor::MeasuredCost() const {
 
 void Executor::ResetMeasurement(bool clear_buffer) {
   counters_ = ExecCounters{};
+  op_stats_.clear();
   if (clear_buffer) {
     db_->buffer_pool().Clear();
   } else {
@@ -584,6 +589,22 @@ Table Executor::EvalFix(const PTNode& node) {
 }
 
 Table Executor::Eval(const PTNode& node) {
+  if (!collect_op_stats_) return EvalNode(node);
+  const uint64_t fetches_before = db_->buffer_pool().stats().fetches;
+  const auto t0 = std::chrono::steady_clock::now();
+  Table out = EvalNode(node);
+  OpStats& s = op_stats_[&node];
+  ++s.invocations;
+  s.rows += out.rows.size();
+  s.pages += db_->buffer_pool().stats().fetches - fetches_before;
+  s.micros +=
+      std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+Table Executor::EvalNode(const PTNode& node) {
   switch (node.kind) {
     case PTKind::kEntity:
       return EvalEntity(node);
@@ -608,8 +629,23 @@ Table Executor::Eval(const PTNode& node) {
 }
 
 Table Executor::Execute(const PTNode& plan) {
+  uint64_t span = 0;
+  if (tracer_ != nullptr) span = tracer_->Begin("execute", "exec");
   Table out = Eval(plan);
   counters_.rows_produced += out.rows.size();
+  if (tracer_ != nullptr) {
+    tracer_->AddArg(span, "rows", StrFormat("%zu", out.rows.size()));
+    tracer_->AddArg(span, "measured_cost", MeasuredCost());
+    tracer_->End(span);
+  }
+  {
+    static obs::Counter* execs =
+        obs::MetricsRegistry::Global().GetCounter("rodin.exec.executions");
+    static obs::Counter* rows =
+        obs::MetricsRegistry::Global().GetCounter("rodin.exec.rows_produced");
+    execs->Add(1);
+    rows->Add(out.rows.size());
+  }
   return out;
 }
 

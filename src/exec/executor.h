@@ -11,6 +11,10 @@
 
 namespace rodin {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 /// Runtime counters, in the same vocabulary as the cost model: page I/O is
 /// tracked by the buffer pool; these cover the CPU side.
 struct ExecCounters {
@@ -19,6 +23,17 @@ struct ExecCounters {
   double method_cost = 0;        // sum of declared method costs invoked
   uint64_t rows_produced = 0;    // rows emitted by the root
   uint64_t fix_iterations = 0;   // semi-naive iterations across all Fix nodes
+};
+
+/// Per-operator runtime profile, collected when CollectOpStats(true). All
+/// figures are *inclusive* of the operator's children (materialized
+/// bottom-up evaluation has no pipelining to attribute elsewhere); Fix and
+/// Delta nodes evaluate their subtrees repeatedly, so invocations > 1 there.
+struct OpStats {
+  uint64_t invocations = 0;
+  uint64_t rows = 0;    // rows the operator returned, summed over invocations
+  uint64_t pages = 0;   // buffer-pool fetches during evaluation
+  double micros = 0;    // wall time spent evaluating
 };
 
 /// Executes processing trees against the object store. Evaluation is
@@ -43,12 +58,26 @@ class Executor {
   /// Measured cost of everything executed since the last reset.
   double MeasuredCost() const;
 
-  /// Zeroes counters and buffer-pool statistics; optionally drops resident
-  /// pages (cold start).
+  /// Zeroes counters, per-operator stats and buffer-pool statistics;
+  /// optionally drops resident pages (cold start).
   void ResetMeasurement(bool clear_buffer);
+
+  /// Enables the per-operator profile (a map lookup + clock read per node
+  /// evaluation; off by default).
+  void CollectOpStats(bool on) { collect_op_stats_ = on; }
+
+  /// Span sink for Execute() calls (null = no tracing).
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Profile of every node evaluated since the last reset, keyed by plan
+  /// node. Empty unless CollectOpStats(true).
+  const std::map<const PTNode*, OpStats>& op_stats() const {
+    return op_stats_;
+  }
 
  private:
   Table Eval(const PTNode& node);
+  Table EvalNode(const PTNode& node);
   Table EvalEntity(const PTNode& node);
   Table EvalDelta(const PTNode& node);
   Table EvalSel(const PTNode& node);
@@ -85,6 +114,9 @@ class Executor {
   CostParams params_;
   ExecCounters counters_;
   uint64_t start_misses_ = 0;
+  bool collect_op_stats_ = false;
+  obs::Tracer* tracer_ = nullptr;
+  std::map<const PTNode*, OpStats> op_stats_;
   /// Delta tables of in-flight fixpoints, by view name, with the temp file
   /// backing each delta (scans of the delta charge it).
   std::map<std::string, std::pair<const Table*, TempFile>> deltas_;

@@ -1,0 +1,19 @@
+#ifndef RODIN_OBS_CONFIG_H_
+#define RODIN_OBS_CONFIG_H_
+
+/// Compile-time switch for the observability layer. The build defines
+/// RODIN_OBS_ENABLED=0 when configured with -DRODIN_OBS=OFF; the default is
+/// on. With the layer off the tracer compiles to no-ops (ScopedSpan is an
+/// empty type, Tracer records nothing) and metric increments vanish — the
+/// guard tests assert this statically.
+#ifndef RODIN_OBS_ENABLED
+#define RODIN_OBS_ENABLED 1
+#endif
+
+namespace rodin::obs {
+
+constexpr bool kObsEnabled = RODIN_OBS_ENABLED != 0;
+
+}  // namespace rodin::obs
+
+#endif  // RODIN_OBS_CONFIG_H_

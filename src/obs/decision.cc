@@ -1,0 +1,26 @@
+#include "obs/decision.h"
+
+#include "common/string_util.h"
+
+namespace rodin {
+
+std::string DecisionLog::ToString() const {
+  std::string out;
+  out += StrFormat("moves: %zu tried, %zu accepted\n", moves.size(),
+                   moves_accepted());
+  for (const PushDecision& p : pushes) {
+    if (p.kind == "push-vs-unpushed") {
+      out += StrFormat("%s: pushed=%.1f unpushed=%.1f -> %s%s%s\n",
+                       p.kind.c_str(), p.pushed_cost, p.unpushed_cost,
+                       p.chose_push ? "pushed" : "unpushed",
+                       p.detail.empty() ? "" : " ", p.detail.c_str());
+    } else {
+      out += StrFormat("%s: cost %.1f -> %.1f%s%s\n", p.kind.c_str(),
+                       p.before_cost, p.after_cost,
+                       p.detail.empty() ? "" : " ", p.detail.c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace rodin

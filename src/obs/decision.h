@@ -1,0 +1,53 @@
+#ifndef RODIN_OBS_DECISION_H_
+#define RODIN_OBS_DECISION_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rodin {
+
+/// One transformPT shift (a local move of the randomized strategy): which
+/// rule fired, the plan cost before/after, and whether the strategy kept the
+/// result. Restart-indexed so parallel searches merge deterministically.
+struct MoveDecision {
+  std::string rule;
+  double before_cost = 0;
+  double after_cost = 0;
+  bool accepted = false;
+  size_t restart = 0;
+};
+
+/// One push decision. Individual applications ("push-sel", "push-join",
+/// "push-proj") carry the plan cost before/after saturating that action;
+/// the final "push-vs-unpushed" event carries the two fully re-optimized
+/// alternatives the paper's delayed decision compared.
+struct PushDecision {
+  std::string kind;
+  double before_cost = -1;
+  double after_cost = -1;
+  double pushed_cost = -1;    // push-vs-unpushed: alternative B
+  double unpushed_cost = -1;  // push-vs-unpushed: alternative A
+  bool chose_push = false;
+  std::string detail;
+};
+
+/// The optimizer's structured decision trail for one query: every shift the
+/// randomized re-optimization considered and every push-selection/push-join/
+/// push-projection decision with the costed alternatives it compared.
+struct DecisionLog {
+  std::vector<MoveDecision> moves;
+  std::vector<PushDecision> pushes;
+
+  size_t moves_accepted() const {
+    size_t n = 0;
+    for (const MoveDecision& m : moves) n += m.accepted ? 1 : 0;
+    return n;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_OBS_DECISION_H_

@@ -12,6 +12,11 @@
 
 namespace rodin {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+struct DecisionLog;
+
 /// Join-enumeration strategy of generatePT (paper §4.4: a *generative*
 /// strategy in the style of [Se79]).
 enum class GenStrategy {
@@ -45,6 +50,17 @@ struct OptContext {
 
   /// Instrumentation: plans fully costed during the current optimization.
   size_t plans_explored = 0;
+
+  /// Observability hooks (all optional; null/false = record nothing, the
+  /// zero-cost default). `tracer` and `decisions` belong to the *caller's*
+  /// context only — parallel restarts run with them null and collect into
+  /// per-restart reports (merged deterministically by restart index), so
+  /// the shared sinks are never written concurrently. `collect_decisions`
+  /// is the flag workers inherit: it tells ImproveMoves to record its move
+  /// stream into the restart report.
+  obs::Tracer* tracer = nullptr;
+  DecisionLog* decisions = nullptr;
+  bool collect_decisions = false;
 
   /// Fresh generated variable ("v1", "v2", ...). Generated names use a
   /// prefix that cannot collide with user variables or dotted columns.

@@ -5,6 +5,8 @@
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optimizer/strategy.h"
 #include "optimizer/translate.h"
 
@@ -62,28 +64,47 @@ Optimizer::Optimizer(Database* db, const Stats* stats, const CostModel* cost,
 }
 
 OptimizeResult Optimizer::Optimize(const QueryGraph& query) {
+  return Optimize(query, ObsSink{});
+}
+
+OptimizeResult Optimizer::Optimize(const QueryGraph& query,
+                                   const ObsSink& hooks) {
   OptimizeResult result;
   OptContext ctx;
   ctx.db = db_;
   ctx.stats = stats_;
   ctx.cost = cost_;
   ctx.rng = Rng(options_.seed);
+  ctx.tracer = hooks.tracer;
+  ctx.decisions = hooks.decisions;
+  ctx.collect_decisions = hooks.decisions != nullptr;
+
+  obs::Tracer* tracer = hooks.tracer;
+  uint64_t span = 0;
 
   const Schema& schema = db_->schema();
 
   // --- Stage 1: rewrite -------------------------------------------------------
+  if (tracer != nullptr) span = tracer->Begin("rewrite", "optimizer");
   auto t0 = std::chrono::steady_clock::now();
   RewrittenGraph rewritten = Rewrite(query, schema, options_.fold_views);
   if (!rewritten.ok()) {
     result.error = Join(rewritten.errors, "; ");
+    if (tracer != nullptr) tracer->End(span);
     return result;
   }
   result.stages.push_back(StageReport{"rewrite", "entire query (graph)",
                                       "irrevocable", "Fix, Union",
                                       MicrosSince(t0), 0});
+  if (tracer != nullptr) {
+    tracer->AddArg(span, "views",
+                   StrFormat("%zu", rewritten.views.size()));
+    tracer->End(span);
+  }
 
   // --- Stage 2: translate -----------------------------------------------------
   // One NormalizedSPJ per predicate node, bottom-up over views.
+  if (tracer != nullptr) span = tracer->Begin("translate", "optimizer");
   t0 = std::chrono::steady_clock::now();
   struct ViewWork {
     const ViewDef* view;
@@ -108,8 +129,13 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query) {
   result.stages.push_back(StageReport{
       "translate", "one arc", "cost-based", "IJ, PIJ",
       MicrosSince(t0), steps_total});
+  if (tracer != nullptr) {
+    tracer->AddArg(span, "steps", StrFormat("%zu", steps_total));
+    tracer->End(span);
+  }
 
   // --- Stage 3: generatePT -----------------------------------------------------
+  if (tracer != nullptr) span = tracer->Begin("generatePT", "optimizer");
   t0 = std::chrono::steady_clock::now();
   const size_t explored_before = ctx.plans_explored;
   ViewPlans view_plans;
@@ -148,13 +174,21 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query) {
   }
   if (answer_plan == nullptr) {
     result.error = "no plan produced for the answer";
+    if (tracer != nullptr) tracer->End(span);
     return result;
   }
   result.stages.push_back(StageReport{
       "generatePT", "one predicate node", GenStrategyName(options_.gen_strategy),
       "EJ, Sel", MicrosSince(t0), ctx.plans_explored - explored_before});
+  if (tracer != nullptr) {
+    tracer->AddArg(span, "plans_explored",
+                   StrFormat("%zu", ctx.plans_explored - explored_before));
+    tracer->AddArg(span, "strategy", GenStrategyName(options_.gen_strategy));
+    tracer->End(span);
+  }
 
   // --- Stage 4: transformPT ----------------------------------------------------
+  if (tracer != nullptr) span = tracer->Begin("transformPT", "optimizer");
   t0 = std::chrono::steady_clock::now();
   const size_t explored_before_t = ctx.plans_explored;
   TransformOptions transform_options = options_.transform;
@@ -166,6 +200,20 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query) {
       "transformPT", "entire query (PT)",
       StrFormat("cost-based + %s", RandStrategyName(options_.transform.rand)),
       "none", MicrosSince(t0), ctx.plans_explored - explored_before_t});
+  if (tracer != nullptr) {
+    tracer->AddArg(span, "plans_explored",
+                   StrFormat("%zu", ctx.plans_explored - explored_before_t));
+    tracer->AddArg(span, "final_cost", tr.cost);
+    tracer->End(span);
+  }
+  {
+    static obs::Counter* opt_runs =
+        obs::MetricsRegistry::Global().GetCounter("rodin.optimizer.runs");
+    static obs::Counter* opt_plans = obs::MetricsRegistry::Global().GetCounter(
+        "rodin.optimizer.plans_explored");
+    opt_runs->Add(1);
+    opt_plans->Add(ctx.plans_explored);
+  }
 
   result.plan = std::move(tr.plan);
   result.cost = tr.cost;

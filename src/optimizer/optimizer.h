@@ -13,6 +13,20 @@
 
 namespace rodin {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+struct DecisionLog;
+
+/// Optional observability sinks for one Optimize() call: a span tracer
+/// (stage/push/search spans, Chrome trace_event export) and a structured
+/// decision log (every transformPT shift and push decision with the costed
+/// alternatives). Null members record nothing at near-zero cost.
+struct ObsSink {
+  obs::Tracer* tracer = nullptr;
+  DecisionLog* decisions = nullptr;
+};
+
 /// Configuration of the full optimizer pipeline. The generative and
 /// randomized strategies are independent knobs — the extensibility claim of
 /// the paper ([LV91]): the search space (rules, moves) is fixed; strategies
@@ -67,6 +81,9 @@ class Optimizer {
             OptimizerOptions options = {});
 
   OptimizeResult Optimize(const QueryGraph& query);
+
+  /// As above, recording spans and decision events into `hooks`.
+  OptimizeResult Optimize(const QueryGraph& query, const ObsSink& hooks);
 
   const OptimizerOptions& options() const { return options_; }
 

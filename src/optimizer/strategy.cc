@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace rodin {
 
@@ -413,6 +414,10 @@ void ImproveMoves(PTPtr& cur, double& cur_cost, PTPtr& best, double& best_cost,
         FnvMix(report->move_digest, move->name().data(), move->name().size());
     const unsigned char accept_byte = accept ? 1 : 0;
     report->move_digest = FnvMix(report->move_digest, &accept_byte, 1);
+    if (ctx.collect_decisions) {
+      report->moves.push_back(
+          MoveDecision{move->name(), cur_cost, cand_cost, accept, 0});
+    }
     if (accept) {
       cur = std::move(cand);
       cur_cost = cand_cost;
@@ -458,6 +463,12 @@ RandReport RandomizedImprove(PTPtr& plan, OptContext& ctx,
     ImproveMoves(cur, cur_cost, best, best_cost, ctx, options, &rr);
     report.tried += rr.tried;
     report.accepted += rr.accepted;
+    if (ctx.decisions != nullptr) {
+      for (MoveDecision& d : rr.moves) {
+        d.restart = restart;
+        ctx.decisions->moves.push_back(std::move(d));
+      }
+    }
   }
 
   plan = std::move(best);
@@ -504,6 +515,9 @@ ParallelSearchReport ParallelStrategy::Improve(PTPtr& plan, OptContext& ctx,
     local.stats = ctx.stats;
     local.cost = ctx.cost;
     local.rng = Rng::Stream(stream_base, r);
+    // Workers inherit the flag but never the sinks: decisions land in the
+    // restart's report slot and merge deterministically below.
+    local.collect_decisions = ctx.collect_decisions;
     RestartReport& rr = report.per_restart[r];  // index-keyed: no races
 
     PTPtr cur = origin.Clone();
@@ -550,12 +564,36 @@ ParallelSearchReport ParallelStrategy::Improve(PTPtr& plan, OptContext& ctx,
     pool_->Wait();
   }
 
-  for (const RestartReport& rr : report.per_restart) {
+  for (size_t r = 0; r < report.per_restart.size(); ++r) {
+    RestartReport& rr = report.per_restart[r];
     report.tried += rr.tried;
     report.accepted += rr.accepted;
     report.plans_explored += rr.plans_explored;
+    if (ctx.decisions != nullptr) {
+      for (MoveDecision& d : rr.moves) {
+        d.restart = r;
+        ctx.decisions->moves.push_back(std::move(d));
+      }
+    }
   }
   ctx.plans_explored += report.plans_explored;
+
+  // Search counters. Per-restart values are pure functions of (seed,
+  // restart index), so these totals are identical at any thread count.
+  {
+    static obs::Counter* tried = obs::MetricsRegistry::Global().GetCounter(
+        "rodin.search.moves_tried");
+    static obs::Counter* accepted = obs::MetricsRegistry::Global().GetCounter(
+        "rodin.search.moves_accepted");
+    static obs::Counter* rejected = obs::MetricsRegistry::Global().GetCounter(
+        "rodin.search.moves_rejected");
+    static obs::Counter* restarts_c = obs::MetricsRegistry::Global().GetCounter(
+        "rodin.search.restarts");
+    tried->Add(report.tried);
+    accepted->Add(report.accepted);
+    rejected->Add(report.tried - report.accepted);
+    restarts_c->Add(report.restarts);
+  }
 
   if (best != nullptr) plan = std::move(best);
   report.best_restart = best_restart;

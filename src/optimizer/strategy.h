@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "obs/decision.h"
 #include "optimizer/context.h"
 #include "optimizer/rule.h"
 #include "optimizer/transform.h"
@@ -36,6 +37,11 @@ struct RestartReport {
   /// applied move's name plus its accept/reject outcome). Equal digests
   /// across thread counts prove the searches explored the same moves.
   uint64_t move_digest = 0;
+  /// The full move stream, recorded only when the caller's context has
+  /// collect_decisions set. Workers append here (their restart's slot) so
+  /// the shared DecisionLog is never written concurrently; the strategy
+  /// merges the slots in restart order after the pool drains.
+  std::vector<MoveDecision> moves;
 };
 
 /// Aggregate result of one ParallelStrategy::Improve call.

@@ -4,6 +4,9 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/string_util.h"
+#include "obs/decision.h"
+#include "obs/trace.h"
 #include "optimizer/strategy.h"
 
 namespace rodin {
@@ -651,25 +654,54 @@ TransformResult TransformPT(PTPtr plan, OptContext& ctx,
   // Selections first (they restrict the recursion — the valuable pushes),
   // then joins, then projections (free, but they can consume the implicit
   // joins a selection push needs if run first).
+  uint64_t span = 0;
+  if (ctx.tracer != nullptr) {
+    span = ctx.tracer->Begin("saturate-push", "transformPT");
+  }
+  auto record_push = [&](const char* kind, double before, double after) {
+    if (ctx.decisions != nullptr) {
+      PushDecision d;
+      d.kind = kind;
+      d.before_cost = before;
+      d.after_cost = after;
+      d.chose_push = true;  // provisional; the final compare may revert it
+      d.detail = "applied during saturation";
+      ctx.decisions->pushes.push_back(std::move(d));
+    }
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->Instant(kind, "transformPT",
+                          {{"before_cost", StrFormat("%.6g", before)},
+                           {"after_cost", StrFormat("%.6g", after)}});
+    }
+  };
   size_t guard = 0;
   bool any = true;
   while (any && guard++ < 32) {
     any = false;
+    const double before = pushed->est_cost;
     if (options.enable_push_sel && PushSelThroughFix(pushed, ctx)) {
       result.pushed_sel = any = true;
       ++result.push_applications;
+      record_push("push-sel", before, pushed->est_cost);
       continue;
     }
     if (options.enable_push_join && PushJoinThroughFix(pushed, ctx)) {
       result.pushed_join = any = true;
       ++result.push_applications;
+      record_push("push-join", before, pushed->est_cost);
       continue;
     }
     if (options.enable_push_proj && PushProjThroughFix(pushed, ctx)) {
       result.pushed_proj = any = true;
       ++result.push_applications;
+      record_push("push-proj", before, pushed->est_cost);
       continue;
     }
+  }
+  if (ctx.tracer != nullptr) {
+    ctx.tracer->AddArg(span, "applications",
+                       StrFormat("%zu", result.push_applications));
+    ctx.tracer->End(span);
   }
 
   const bool have_push = result.push_applications > 0;
@@ -683,8 +715,16 @@ TransformResult TransformPT(PTPtr plan, OptContext& ctx,
   RandReport report_a{};
   RandReport report_b{};
   ParallelStrategy strategy(options.search_threads);
-  auto improve = [&](PTPtr& alt) {
+  auto improve = [&](PTPtr& alt, const char* label) {
+    uint64_t s = 0;
+    if (ctx.tracer != nullptr) s = ctx.tracer->Begin(label, "transformPT");
     const ParallelSearchReport pr = strategy.Improve(alt, ctx, options);
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->AddArg(s, "tried", StrFormat("%zu", pr.tried));
+      ctx.tracer->AddArg(s, "accepted", StrFormat("%zu", pr.accepted));
+      ctx.tracer->AddArg(s, "final_cost", pr.final_cost);
+      ctx.tracer->End(s);
+    }
     RandReport r;
     r.tried = pr.tried;
     r.accepted = pr.accepted;
@@ -692,8 +732,10 @@ TransformResult TransformPT(PTPtr plan, OptContext& ctx,
     r.final_cost = pr.final_cost;
     return r;
   };
-  if (!options.always_push) report_a = improve(unpushed);
-  if (have_push && !options.never_push) report_b = improve(pushed);
+  if (!options.always_push) report_a = improve(unpushed, "improve-unpushed");
+  if (have_push && !options.never_push) {
+    report_b = improve(pushed, "improve-pushed");
+  }
   result.moves_tried = report_a.tried + report_b.tried;
   result.moves_accepted = report_a.accepted + report_b.accepted;
 
@@ -702,6 +744,31 @@ TransformResult TransformPT(PTPtr plan, OptContext& ctx,
       have_push ? ctx.cost->Annotate(pushed.get()) : -1;
   result.unpushed_variant_cost = cost_a;
   result.pushed_variant_cost = cost_b;
+
+  // The paper's delayed decision, as a structured event: both costed
+  // alternatives and the winner.
+  if (have_push && (ctx.decisions != nullptr || ctx.tracer != nullptr)) {
+    const bool chose_push =
+        options.always_push || (!options.never_push && cost_b < cost_a);
+    if (ctx.decisions != nullptr) {
+      PushDecision d;
+      d.kind = "push-vs-unpushed";
+      d.pushed_cost = cost_b;
+      d.unpushed_cost = cost_a;
+      d.chose_push = chose_push;
+      d.detail = options.always_push   ? "forced (always_push)"
+                 : options.never_push  ? "forced (never_push)"
+                                       : "cost compare after re-optimization";
+      ctx.decisions->pushes.push_back(std::move(d));
+    }
+    if (ctx.tracer != nullptr) {
+      ctx.tracer->Instant(
+          "push-vs-unpushed", "transformPT",
+          {{"pushed_cost", StrFormat("%.6g", cost_b)},
+           {"unpushed_cost", StrFormat("%.6g", cost_a)},
+           {"chose_push", chose_push ? "true" : "false"}});
+    }
+  }
 
   if (options.never_push || !have_push) {
     result.plan = std::move(unpushed);

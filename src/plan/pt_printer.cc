@@ -4,12 +4,7 @@
 
 namespace rodin {
 
-namespace {
-
-void PrintRec(const PTNode& node, int depth, bool with_estimates,
-              std::string* out) {
-  out->append(static_cast<size_t>(depth) * 2, ' ');
-
+std::string PTNodeLabel(const PTNode& node) {
   std::string head = PTKindName(node.kind);
   switch (node.kind) {
     case PTKind::kEntity:
@@ -55,7 +50,16 @@ void PrintRec(const PTNode& node, int depth, bool with_estimates,
       if (node.naive_fix) head += " (naive)";
       break;
   }
+  return head;
+}
 
+namespace {
+
+void PrintRec(const PTNode& node, int depth, bool with_estimates,
+              std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+
+  std::string head = PTNodeLabel(node);
   if (with_estimates && node.est_cost >= 0) {
     head += StrFormat("   {cost=%.1f rows=%.1f}", node.est_cost, node.est_rows);
   }

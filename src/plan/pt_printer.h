@@ -12,6 +12,10 @@ namespace rodin {
 /// Figure 4 plans.
 std::string PrintPT(const PTNode& node, bool with_estimates = true);
 
+/// One-line description of a single node (the head PrintPT prints for it,
+/// without estimates). Used by ExplainResult's plan tree.
+std::string PTNodeLabel(const PTNode& node);
+
 }  // namespace rodin
 
 #endif  // RODIN_PLAN_PT_PRINTER_H_

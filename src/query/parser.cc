@@ -166,16 +166,17 @@ class Parser {
       Fail("unexpected trailing input after the answer select");
     }
     if (failed_) {
-      result.error = error_;
+      result.status = Status::Error(Status::Code::kParseError, error_,
+                                    err_line_, err_col_);
       return result;
     }
     QueryGraph graph = builder.BuildUnchecked();
     const std::vector<std::string> errors = graph.Validate(schema_);
     if (!errors.empty()) {
-      result.error = "semantic error: " + Join(errors, "; ");
+      result.status = Status::Error(Status::Code::kSemanticError,
+                                    "semantic error: " + Join(errors, "; "));
       return result;
     }
-    result.ok = true;
     result.graph = std::move(graph);
     return result;
   }
@@ -222,8 +223,10 @@ class Parser {
   void Fail(const std::string& message) {
     if (failed_) return;
     failed_ = true;
-    error_ = StrFormat("parse error at %zu:%zu: %s", lexer_.cur().line,
-                       lexer_.cur().col, message.c_str());
+    err_line_ = lexer_.cur().line;
+    err_col_ = lexer_.cur().col;
+    error_ = StrFormat("parse error at %zu:%zu: %s", err_line_, err_col_,
+                       message.c_str());
   }
 
   // --- Grammar ----------------------------------------------------------------
@@ -413,6 +416,8 @@ class Parser {
   const Schema& schema_;
   bool failed_ = false;
   std::string error_;
+  size_t err_line_ = 0;
+  size_t err_col_ = 0;
 };
 
 }  // namespace

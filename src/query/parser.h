@@ -4,6 +4,7 @@
 #include <string>
 
 #include "catalog/schema.h"
+#include "common/status.h"
 #include "query/query_graph.h"
 
 namespace rodin {
@@ -26,9 +27,14 @@ namespace rodin {
 /// variables (`t in x.works`, the paper's tree-label variables). The result
 /// is a QueryGraph identical to what the typed builder would produce.
 struct ParseResult {
-  bool ok = false;
+  /// kParseError carries the offending source position (status.line /
+  /// status.col, 1-based) of the token the parser rejected; kSemanticError
+  /// reports post-parse validation failures.
+  Status status;
   QueryGraph graph;
-  std::string error;  // with line/column on failure
+
+  bool ok() const { return status.ok(); }
+  const std::string& error() const { return status.message; }
 };
 
 /// Parses `text` against `schema`. On success the graph is also validated.

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include "obs/metrics.h"
+
 namespace rodin {
 
 bool BufferPool::Fetch(PageId page) {
@@ -25,10 +27,34 @@ bool BufferPool::Fetch(PageId page) {
   return false;
 }
 
+void BufferPool::ResetStats() {
+  PublishMetrics();
+  stats_ = Stats{};
+  published_ = Stats{};
+}
+
 void BufferPool::Clear() {
+  PublishMetrics();
   lru_.clear();
   index_.clear();
   stats_ = Stats{};
+  published_ = Stats{};
+}
+
+void BufferPool::PublishMetrics() {
+  static obs::Counter* fetches =
+      obs::MetricsRegistry::Global().GetCounter("rodin.buffer.fetches");
+  static obs::Counter* misses =
+      obs::MetricsRegistry::Global().GetCounter("rodin.buffer.misses");
+  static obs::Counter* hits =
+      obs::MetricsRegistry::Global().GetCounter("rodin.buffer.hits");
+  static obs::Counter* evictions =
+      obs::MetricsRegistry::Global().GetCounter("rodin.buffer.evictions");
+  fetches->Add(stats_.fetches - published_.fetches);
+  misses->Add(stats_.misses - published_.misses);
+  hits->Add(stats_.hits - published_.hits);
+  evictions->Add(stats_.evictions - published_.evictions);
+  published_ = stats_;
 }
 
 }  // namespace rodin

@@ -44,14 +44,21 @@ class BufferPool {
   const Stats& stats() const { return stats_; }
 
   /// Zeroes the counters, keeping resident pages (for warm measurements).
-  void ResetStats() { stats_ = Stats{}; }
+  void ResetStats();
 
   /// Empties the pool and zeroes the counters (cold-start measurements).
   void Clear();
 
+  /// Folds everything counted since the last publish into the process-wide
+  /// metrics (rodin.buffer.*). Deliberately not per-Fetch: Fetch is the
+  /// hottest loop in the system and stays free of atomics. Reset/Clear
+  /// publish implicitly so no counts are lost between measurements.
+  void PublishMetrics();
+
  private:
   size_t capacity_;
   Stats stats_;
+  Stats published_;  // high-water mark of what PublishMetrics() exported
   std::list<PageId> lru_;  // front = most recently used
   std::unordered_map<PageId, std::list<PageId>::iterator> index_;
 };

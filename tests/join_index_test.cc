@@ -94,8 +94,8 @@ TEST_F(JoinIndexTest, FoldViewsThroughOptimizer) {
   Session plain_session(g_.db.get(), CostBasedOptions());
   const QueryRun a = fold_session.Run(q);
   const QueryRun b2 = plain_session.Run(q);
-  ASSERT_TRUE(a.ok) << a.error;
-  ASSERT_TRUE(b2.ok) << b2.error;
+  ASSERT_TRUE(a.ok()) << a.error();
+  ASSERT_TRUE(b2.ok()) << b2.error();
   Table ta = a.answer;
   Table tb = b2.answer;
   ta.Dedup();

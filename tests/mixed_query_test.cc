@@ -36,7 +36,7 @@ class MixedQueryTest : public ::testing::Test {
 TEST_F(MixedQueryTest, RelationJoinedWithRecursiveView) {
   // "names of players who are masters at distance >= 2": join the stored
   // Play relation with the recursive Influencer view.
-  const QueryRun run = session_->RunText(R"(
+  const QueryRun run = session_->Run(R"(
 relation Influencer includes
   (select [master: x.master, disciple: x, gen: 1] from x in Composer)
   union
@@ -46,8 +46,8 @@ relation Influencer includes
 select [n: g.who.name] from g in Play, i in Influencer
 where i.master = g.who and i.gen >= 2
 )",
-                                         /*cold=*/true);
-  ASSERT_TRUE(run.ok) << run.error;
+                                     RunOptions{.cold = true});
+  ASSERT_TRUE(run.ok()) << run.error();
 
   // Brute force.
   std::set<std::string> expected;
@@ -85,7 +85,7 @@ TEST_F(MixedQueryTest, ParserPrecedenceAndBindsTighterThanOr) {
       R"(select [n: x.name] from x in Composer
          where x.name = "Bach" or x.birthyear < 1650 and x.birthyear > 1600)",
       *g_.schema);
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   // Top level must be an OR whose second branch is the AND.
   EXPECT_EQ(r.graph.nodes[0].pred->kind(), ExprKind::kOr);
   ASSERT_EQ(r.graph.nodes[0].pred->children().size(), 2u);
@@ -97,7 +97,7 @@ TEST_F(MixedQueryTest, ParserParenthesesOverridePrecedence) {
       R"(select [n: x.name] from x in Composer
          where (x.name = "Bach" or x.birthyear < 1650) and x.birthyear > 1600)",
       *g_.schema);
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   EXPECT_EQ(r.graph.nodes[0].pred->kind(), ExprKind::kAnd);
 }
 

@@ -118,7 +118,7 @@ TEST_F(MultiRuleTest, EveryConfigurationComputesTheClosure) {
        {CostBasedOptions(), NaiveOptions(), DeductiveOptions()}) {
     Session session(db_.get(), options);
     const QueryRun run = session.Run(q);
-    ASSERT_TRUE(run.ok) << run.error;
+    ASSERT_TRUE(run.ok()) << run.error();
     std::set<std::pair<std::string, std::string>> actual;
     for (const Row& r : run.answer.rows) {
       actual.insert({r[0].AsString(), r[1].AsString()});
@@ -135,7 +135,7 @@ TEST_F(MultiRuleTest, NaiveFixpointAgreesToo) {
   const QueryGraph q = ReachQuery();
   const QueryRun a = naive.Run(q);
   const QueryRun b = semi.Run(q);
-  ASSERT_TRUE(a.ok && b.ok);
+  ASSERT_TRUE(a.ok() && b.ok());
   Table ta = a.answer;
   Table tb = b.answer;
   ta.Dedup();

@@ -43,7 +43,7 @@ class ParserTest : public ::testing::Test {
 
 TEST_F(ParserTest, Fig3TextParses) {
   const ParseResult r = ParseQuery(kFig3Text, schema());
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   EXPECT_EQ(r.graph.nodes.size(), 3u);
   EXPECT_TRUE(r.graph.IsRecursiveName("Influencer"));
   EXPECT_EQ(r.graph.ColumnsOf("Influencer"),
@@ -52,7 +52,7 @@ TEST_F(ParserTest, Fig3TextParses) {
 
 TEST_F(ParserTest, ParsedFig3MatchesBuilderAnswer) {
   const ParseResult r = ParseQuery(kFig3Text, schema());
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   Stats stats = Stats::Derive(*g_.db);
   CostModel cost(g_.db.get(), &stats);
   Optimizer opt(g_.db.get(), &stats, &cost, CostBasedOptions());
@@ -77,7 +77,7 @@ from x in Composer, t in x.works, i1 in t.instruments, i2 in t.instruments
 where x.name = "Bach" and i1.iname = "harpsichord" and i2.iname = "flute"
 )";
   const ParseResult r = ParseQuery(text, schema());
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   ASSERT_EQ(r.graph.nodes.size(), 1u);
   EXPECT_EQ(r.graph.nodes[0].inputs.size(), 1u);
   EXPECT_EQ(r.graph.nodes[0].lets.size(), 3u);
@@ -90,7 +90,7 @@ select [n: i.iname] from x in Composer, i in x.works.instruments
 where x.name = "Bach"
 )";
   const ParseResult r = ParseQuery(text, schema());
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   ASSERT_EQ(r.graph.nodes[0].lets.size(), 1u);
   EXPECT_EQ(r.graph.nodes[0].lets[0].path,
             (std::vector<std::string>{"works", "instruments"}));
@@ -103,7 +103,7 @@ from x in Composer
 where (x.birthyear >= 1600 or x.birthyear < 1500) and not x.name != "Bach"
 )";
   const ParseResult r = ParseQuery(text, schema());
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   const std::string pred = r.graph.nodes[0].pred->ToString();
   EXPECT_NE(pred.find("or"), std::string::npos);
   EXPECT_NE(pred.find("not"), std::string::npos);
@@ -116,7 +116,7 @@ TEST_F(ParserTest, LiteralKinds) {
 select [a: 1, b: 2.5, c: "s", d: true] from x in Composer
 )";
   const ParseResult r = ParseQuery(text, schema());
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   EXPECT_TRUE(r.graph.nodes[0].out[0].expr->literal().is_int());
   EXPECT_TRUE(r.graph.nodes[0].out[1].expr->literal().is_real());
   EXPECT_TRUE(r.graph.nodes[0].out[2].expr->literal().is_string());
@@ -126,31 +126,44 @@ select [a: 1, b: 2.5, c: "s", d: true] from x in Composer
 TEST_F(ParserTest, SyntaxErrorHasPosition) {
   const ParseResult r = ParseQuery("select [a x.name] from x in Composer",
                                    schema());
-  ASSERT_FALSE(r.ok);
-  EXPECT_NE(r.error.find("parse error at 1:"), std::string::npos);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("parse error at 1:"), std::string::npos);
+  // The span also rides along as structured fields on the status.
+  EXPECT_EQ(r.status.code, Status::Code::kParseError);
+  EXPECT_EQ(r.status.line, 1u);
+  EXPECT_GT(r.status.col, 1u);
+}
+
+TEST_F(ParserTest, SyntaxErrorSpansLaterLines) {
+  const ParseResult r = ParseQuery(
+      "select [a: x.name]\nfrom x in Composer\nwhere x.name = ", schema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status.code, Status::Code::kParseError);
+  EXPECT_EQ(r.status.line, 3u);
 }
 
 TEST_F(ParserTest, SemanticErrorsReported) {
   // Unknown class.
   ParseResult r = ParseQuery("select [a: x.name] from x in Nothing", schema());
-  ASSERT_FALSE(r.ok);
-  EXPECT_NE(r.error.find("semantic error"), std::string::npos);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("semantic error"), std::string::npos);
+  EXPECT_EQ(r.status.code, Status::Code::kSemanticError);
   // Unknown attribute.
   r = ParseQuery("select [a: x.wrong] from x in Composer", schema());
-  ASSERT_FALSE(r.ok);
+  ASSERT_FALSE(r.ok());
 }
 
 TEST_F(ParserTest, MissingSelectFails) {
   const ParseResult r = ParseQuery("relation V includes (select [a: x.name] "
                                    "from x in Composer)",
                                    schema());
-  ASSERT_FALSE(r.ok);  // no answer select
+  ASSERT_FALSE(r.ok());  // no answer select
 }
 
 TEST_F(ParserTest, TrailingInputFails) {
   const ParseResult r = ParseQuery(
       "select [a: x.name] from x in Composer garbage", schema());
-  ASSERT_FALSE(r.ok);
+  ASSERT_FALSE(r.ok());
 }
 
 TEST_F(ParserTest, NonRecursiveViewWithUnion) {
@@ -165,7 +178,7 @@ relation Keyboardists includes
 select [n: k.c.name] from k in Keyboardists
 )";
   const ParseResult r = ParseQuery(text, schema());
-  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_TRUE(r.ok()) << r.error();
   EXPECT_EQ(r.graph.ProducersOf("Keyboardists").size(), 2u);
   EXPECT_FALSE(r.graph.IsRecursiveName("Keyboardists"));
   // Executes end to end.
@@ -185,7 +198,7 @@ TEST_F(ParserTest, CommentsAreSkipped) {
 select [a: x.name] -- trailing comment
 from x in Composer -- another
 )";
-  EXPECT_TRUE(ParseQuery(text, schema()).ok);
+  EXPECT_TRUE(ParseQuery(text, schema()).ok());
 }
 
 }  // namespace

@@ -27,24 +27,24 @@ class PolymorphismTest : public ::testing::Test {
 TEST_F(PolymorphismTest, SuperclassScanSeesSubclassInstances) {
   // The Person extent itself is empty; every person is a Composer.
   const QueryRun run =
-      session_->RunText("select [n: p.name] from p in Person");
-  ASSERT_TRUE(run.ok) << run.error;
+      session_->Run("select [n: p.name] from p in Person");
+  ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_EQ(run.answer.rows.size(), 30u);
 }
 
 TEST_F(PolymorphismTest, SuperclassSelectionOnInheritedAttribute) {
-  const QueryRun run = session_->RunText(
+  const QueryRun run = session_->Run(
       R"(select [n: p.name] from p in Person where p.name = "Bach")");
-  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_TRUE(run.ok()) << run.error();
   ASSERT_EQ(run.answer.rows.size(), 1u);
   EXPECT_EQ(run.answer.rows[0][0].AsString(), "Bach");
 }
 
 TEST_F(PolymorphismTest, MethodOnSuperclassScan) {
   // `age` is declared on Person; instances are Composers.
-  const QueryRun run = session_->RunText(
+  const QueryRun run = session_->Run(
       "select [n: p.name] from p in Person where p.age > 250");
-  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_TRUE(run.ok()) << run.error();
   // Every composer is born 1600-1750, so all ages (vs 1992) exceed 250.
   EXPECT_EQ(run.answer.rows.size(), 30u);
 }
@@ -52,9 +52,9 @@ TEST_F(PolymorphismTest, MethodOnSuperclassScan) {
 TEST_F(PolymorphismTest, RelationTypedWithSuperclass) {
   // Play.who is Person-typed and holds Composer oids; navigating who.name
   // must work per actual instance.
-  const QueryRun run = session_->RunText(
+  const QueryRun run = session_->Run(
       "select [n: p.who.name, i: p.instrument.iname] from p in Play");
-  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_FALSE(run.answer.rows.empty());
 }
 
@@ -80,23 +80,23 @@ TEST_F(PolymorphismTest, SubclassScanStaysNarrow) {
   db.Finalize(PhysicalConfig{});
   Session session(&db);
 
-  const QueryRun all = session.RunText("select [n: p.name] from p in Person");
-  ASSERT_TRUE(all.ok) << all.error;
+  const QueryRun all = session.Run("select [n: p.name] from p in Person");
+  ASSERT_TRUE(all.ok()) << all.error();
   EXPECT_EQ(all.answer.rows.size(), 2u);  // both
 
   const QueryRun narrow =
-      session.RunText("select [n: c.name] from c in Composer");
-  ASSERT_TRUE(narrow.ok) << narrow.error;
+      session.Run("select [n: c.name] from c in Composer");
+  ASSERT_TRUE(narrow.ok()) << narrow.error();
   ASSERT_EQ(narrow.answer.rows.size(), 1u);
   EXPECT_EQ(narrow.answer.rows[0][0].AsString(), "maestro");
 }
 
 TEST_F(PolymorphismTest, PolymorphicJoin) {
   // Join Person with Play on identity: who = p.
-  const QueryRun run = session_->RunText(R"(
+  const QueryRun run = session_->Run(R"(
 select [n: p.name] from p in Person, g in Play where g.who = p
 )");
-  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_FALSE(run.answer.rows.empty());
   // Every played person resolves to a composer-style name.
   for (const Row& r : run.answer.rows) {

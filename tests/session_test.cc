@@ -27,7 +27,7 @@ TEST_F(SessionTest, RunTextEndToEnd) {
   Session session(g_.db.get());
   const QueryRun run = session.RunText(
       R"(select [n: x.name] from x in Composer where x.name = "Bach")");
-  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_TRUE(run.ok()) << run.error();
   ASSERT_EQ(run.answer.rows.size(), 1u);
   EXPECT_EQ(run.answer.rows[0][0].AsString(), "Bach");
   EXPECT_FALSE(run.plan_text.empty());
@@ -36,7 +36,7 @@ TEST_F(SessionTest, RunTextEndToEnd) {
 
 TEST_F(SessionTest, RecursiveTextQuery) {
   Session session(g_.db.get());
-  const QueryRun run = session.RunText(R"(
+  const QueryRun run = session.Run(R"(
 relation Influencer includes
   (select [master: x.master, disciple: x, gen: 1] from x in Composer)
   union
@@ -45,8 +45,8 @@ relation Influencer includes
 
 select [n: j.disciple.name] from j in Influencer where j.gen >= 5
 )",
-                                       /*cold=*/true);
-  ASSERT_TRUE(run.ok) << run.error;
+                                   RunOptions{.cold = true});
+  ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_FALSE(run.answer.rows.empty());
   EXPECT_GT(run.counters.fix_iterations, 0u);
   EXPECT_GT(run.measured_cost, 0);
@@ -54,16 +54,20 @@ select [n: j.disciple.name] from j in Influencer where j.gen >= 5
 
 TEST_F(SessionTest, ParseErrorsSurface) {
   Session session(g_.db.get());
-  const QueryRun run = session.RunText("select [n x.name] from x in Composer");
-  EXPECT_FALSE(run.ok);
-  EXPECT_NE(run.error.find("parse error"), std::string::npos);
+  const QueryRun run = session.Run("select [n x.name] from x in Composer");
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status.code, Status::Code::kParseError);
+  EXPECT_NE(run.error().find("parse error"), std::string::npos);
+  // The offending source position rides along in the status.
+  EXPECT_EQ(run.status.line, 1u);
+  EXPECT_GT(run.status.col, 0u);
 }
 
 TEST_F(SessionTest, SemanticErrorsSurface) {
   Session session(g_.db.get());
-  const QueryRun run =
-      session.RunText("select [n: x.bogus] from x in Composer");
-  EXPECT_FALSE(run.ok);
+  const QueryRun run = session.Run("select [n: x.bogus] from x in Composer");
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status.code, Status::Code::kSemanticError);
 }
 
 TEST_F(SessionTest, OptionsRespected) {
@@ -72,7 +76,7 @@ TEST_F(SessionTest, OptionsRespected) {
   const QueryGraph q = Fig3Query(*g_.schema, 4);
   const QueryRun r1 = never.Run(q);
   const QueryRun r2 = costed.Run(q);
-  ASSERT_TRUE(r1.ok && r2.ok);
+  ASSERT_TRUE(r1.ok() && r2.ok());
   EXPECT_FALSE(r1.optimized.pushed_sel);
   Table a = r1.answer;
   Table b = r2.answer;
@@ -137,8 +141,8 @@ TEST_F(SessionTest, EmptyClassQueriesReturnEmpty) {
   db.Finalize(PhysicalConfig{});
   Session session(&db);
   const QueryRun run =
-      session.RunText("select [v: x.v] from x in Empty where x.v > 0");
-  ASSERT_TRUE(run.ok) << run.error;
+      session.Run("select [v: x.v] from x in Empty where x.v > 0");
+  ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_TRUE(run.answer.rows.empty());
 }
 

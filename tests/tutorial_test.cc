@@ -67,8 +67,8 @@ where r.dep.license = "GPL" and r.dep.kloc > 50
 
 TEST_F(TutorialTest, TheTutorialQueryRuns) {
   Session session(db_.get());
-  const QueryRun run = session.RunText(kQuery, /*cold=*/true);
-  ASSERT_TRUE(run.ok) << run.error;
+  const QueryRun run = session.Run(kQuery, RunOptions{.cold = true});
+  ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_FALSE(run.answer.rows.empty());
   EXPECT_GT(run.measured_cost, 0);
   EXPECT_FALSE(run.plan_text.empty());
@@ -77,13 +77,13 @@ TEST_F(TutorialTest, TheTutorialQueryRuns) {
 
 TEST_F(TutorialTest, AllConfigurationsAgreeOnTheTutorialQuery) {
   const ParseResult parsed = ParseQuery(kQuery, schema_);
-  ASSERT_TRUE(parsed.ok) << parsed.error;
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
   std::vector<Table> answers;
   for (OptimizerOptions options :
        {CostBasedOptions(), DeductiveOptions(), NaiveOptions()}) {
     Session session(db_.get(), options);
     QueryRun run = session.Run(parsed.graph);
-    ASSERT_TRUE(run.ok) << run.error;
+    ASSERT_TRUE(run.ok()) << run.error();
     run.answer.Dedup();
     answers.push_back(std::move(run.answer));
   }
@@ -94,7 +94,7 @@ TEST_F(TutorialTest, AllConfigurationsAgreeOnTheTutorialQuery) {
 TEST_F(TutorialTest, SymbolicTableDerivesForTheTutorialPlan) {
   Session session(db_.get());
   const ParseResult parsed = ParseQuery(kQuery, schema_);
-  ASSERT_TRUE(parsed.ok);
+  ASSERT_TRUE(parsed.ok());
   OptimizeResult plan = session.Optimize(parsed.graph);
   ASSERT_TRUE(plan.ok());
   int t = 0;
@@ -106,9 +106,9 @@ TEST_F(TutorialTest, SymbolicTableDerivesForTheTutorialPlan) {
 
 TEST_F(TutorialTest, MethodPredicateWorks) {
   Session session(db_.get());
-  const QueryRun run = session.RunText(
+  const QueryRun run = session.Run(
       R"(select [n: x.pname] from x in Package where x.risk_score > 8)");
-  ASSERT_TRUE(run.ok) << run.error;
+  ASSERT_TRUE(run.ok()) << run.error();
   // kloc in [1,90] -> risk in [0,9]: only kloc > 80 qualifies.
   EXPECT_FALSE(run.answer.rows.empty());
   EXPECT_GT(run.counters.method_calls, 0u);

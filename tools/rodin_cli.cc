@@ -2,18 +2,22 @@
 //
 //   rodin_cli [--db=music|parts|graph] [--size=N] [--seed=S]
 //             [--optimizer=cost|deductive|naive|exhaustive|annealing]
-//             [--parallel=P] [--threads=N] [--explain] [--symbolic]
-//             [--query=FILE]
+//             [--parallel=P] [--threads=N] [--explain] [--plan-only]
+//             [--symbolic] [--trace-out=FILE] [--metrics] [--query=FILE]
 //
 // --parallel models a P-way parallel *execution* in the cost formulas;
 // --threads runs the randomized plan *search* on N worker threads
 // (deterministic under --seed for any N).
 //
-// Reads one query (the paper's §2.3 syntax) from --query or stdin,
-// optimizes it with the selected configuration, prints the Figure 6 stage
-// table and the chosen processing tree (plus the Figure 7 style symbolic
-// cost table with --symbolic), executes it, and reports the answer with
-// measured cost. With --explain the plan is printed but not executed.
+// Reads one query (the paper's §2.3 syntax) from --query or stdin and runs
+// it through a Session. The default output is the Figure 6 stage table, the
+// chosen processing tree and the executed answer with measured cost.
+// --explain prints the full EXPLAIN report instead (stage reports, the
+// optimizer's decision log, and the plan with estimated vs measured
+// per-operator figures). --plan-only optimizes without executing.
+// --trace-out writes a Chrome trace_event JSON of the run (load in
+// chrome://tracing or Perfetto); --metrics dumps the process-wide metrics
+// registry after the run.
 
 #include <cstdio>
 #include <cstring>
@@ -26,6 +30,7 @@
 #include "datagen/graph_gen.h"
 #include "datagen/music_gen.h"
 #include "datagen/parts_gen.h"
+#include "obs/metrics.h"
 #include "optimizer/baseline.h"
 #include "plan/pt_printer.h"
 #include "query/parser.h"
@@ -41,8 +46,11 @@ struct CliOptions {
   std::string optimizer = "cost";
   unsigned parallel = 1;
   unsigned threads = 1;
-  bool explain_only = false;
+  bool explain = false;
+  bool plan_only = false;
   bool symbolic = false;
+  bool metrics = false;
+  std::string trace_out;
   std::string query_file;
 };
 
@@ -70,7 +78,9 @@ void Usage() {
       "                 [--optimizer=cost|deductive|naive|exhaustive|"
       "annealing]\n"
       "                 [--parallel=P] [--threads=N] [--explain] "
-      "[--symbolic] [--query=FILE]\n"
+      "[--plan-only]\n"
+      "                 [--symbolic] [--trace-out=FILE] [--metrics] "
+      "[--query=FILE]\n"
       "Reads a query in the paper's syntax from --query or stdin.\n");
 }
 
@@ -128,6 +138,24 @@ std::string ReadQuery(const CliOptions& options) {
   return ss.str();
 }
 
+bool WriteTrace(const std::string& path, const obs::Trace& trace) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = trace.ToChromeJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+void MaybeDumpMetrics(const CliOptions& options) {
+  if (!options.metrics) return;
+  std::printf("\nmetrics:\n%s",
+              obs::MetricsRegistry::Global().ToString().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -148,10 +176,16 @@ int main(int argc, char** argv) {
       options.threads = static_cast<unsigned>(ParseCount(value, "threads"));
     } else if (ParseFlag(argv[i], "query", &value)) {
       options.query_file = value;
+    } else if (ParseFlag(argv[i], "trace-out", &value)) {
+      options.trace_out = value;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
-      options.explain_only = true;
+      options.explain = true;
+    } else if (std::strcmp(argv[i], "--plan-only") == 0) {
+      options.plan_only = true;
     } else if (std::strcmp(argv[i], "--symbolic") == 0) {
       options.symbolic = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      options.metrics = true;
     } else {
       Usage();
       return 2;
@@ -165,26 +199,39 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const ParseResult parsed = ParseQuery(text, g.db->schema());
-  if (!parsed.ok) {
-    std::fprintf(stderr, "%s\n", parsed.error.c_str());
-    return 1;
-  }
-  std::printf("query graph:\n%s\n", parsed.graph.ToString().c_str());
-
-  Stats stats = Stats::Derive(*g.db);
-  CostParams params;
-  params.parallel_degree = options.parallel;
-  CostModel cost(g.db.get(), &stats, params);
   OptimizerOptions opt_options = MakeOptimizer(options);
   opt_options.search_threads = options.threads;
-  Optimizer optimizer(g.db.get(), &stats, &cost, opt_options);
-  OptimizeResult result = optimizer.Optimize(parsed.graph);
-  if (!result.ok()) {
-    std::fprintf(stderr, "optimize failed: %s\n", result.error.c_str());
-    return 1;
+  CostParams params;
+  params.parallel_degree = options.parallel;
+  Session session(g.db.get(), opt_options, params);
+
+  RunOptions ro;
+  ro.cold = true;
+  ro.explain_only = options.plan_only;
+  ro.collect_trace = !options.trace_out.empty();
+
+  if (options.explain) {
+    const ExplainResult ex = session.Explain(text, ro);
+    if (!ex.ok()) {
+      std::fprintf(stderr, "%s\n", ex.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", ex.ToString().c_str());
+    if (!options.trace_out.empty() && ex.trace != nullptr) {
+      if (!WriteTrace(options.trace_out, *ex.trace)) return 1;
+    }
+    MaybeDumpMetrics(options);
+    return 0;
   }
 
+  const QueryRun run = session.Run(text, ro);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status.ToString().c_str());
+    return 1;
+  }
+  std::printf("query graph:\n%s\n", run.graph.ToString().c_str());
+
+  const OptimizeResult& result = run.optimized;
   std::printf("stages:\n");
   for (const StageReport& s : result.stages) {
     std::printf("  %-12s %-24s %10.1f us  work=%zu\n", s.stage.c_str(),
@@ -194,7 +241,7 @@ int main(int argc, char** argv) {
               result.cost, result.pushed_sel ? "sel " : "",
               result.pushed_join ? "join " : "",
               !result.pushed_sel && !result.pushed_join ? "no" : "",
-              PrintPT(*result.plan).c_str());
+              run.plan_text.c_str());
 
   if (options.symbolic) {
     int t_counter = 0;
@@ -206,13 +253,14 @@ int main(int argc, char** argv) {
                 table.ToString().c_str());
   }
 
-  if (options.explain_only) return 0;
-
-  Executor exec(g.db.get());
-  exec.ResetMeasurement(true);
-  Table answer = exec.Execute(*result.plan);
-  std::printf("answer (%zu rows, measured cost %.1f):\n%s",
-              answer.rows.size(), exec.MeasuredCost(),
-              answer.ToString(20).c_str());
+  if (!options.plan_only) {
+    std::printf("answer (%zu rows, measured cost %.1f):\n%s",
+                run.answer.rows.size(), run.measured_cost,
+                run.answer.ToString(20).c_str());
+  }
+  if (!options.trace_out.empty() && run.trace != nullptr) {
+    if (!WriteTrace(options.trace_out, *run.trace)) return 1;
+  }
+  MaybeDumpMetrics(options);
   return 0;
 }
