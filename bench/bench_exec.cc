@@ -1,0 +1,154 @@
+// E12 — batched morsel-parallel execution: wall-clock of the batched engine
+// vs the legacy whole-table evaluator, and a thread sweep over the batched
+// engine's morsel workers, on the Figure 3 recursion and a selective scan.
+// Every configuration computes the same answer with bit-identical counters
+// and measured cost (asserted here cheaply via row counts; the exhaustive
+// check is exec_differential_test) — the sweep measures pure wall time.
+//
+// Note: speedup is bounded by the cores the host actually has; on a 1-core
+// container every thread count collapses to ~1×. The rows/sec counter is
+// still meaningful as a throughput baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "common/check.h"
+#include "cost/cost_model.h"
+#include "cost/stats.h"
+#include "datagen/music_gen.h"
+#include "exec/executor.h"
+#include "optimizer/baseline.h"
+#include "optimizer/optimizer.h"
+#include "query/builder.h"
+#include "query/paper_queries.h"
+
+using namespace rodin;
+
+namespace {
+
+struct ExecCase {
+  GeneratedDb db;
+  std::unique_ptr<Stats> stats;
+  std::unique_ptr<CostModel> cost;
+  PTPtr plan;
+  size_t expect_rows = 0;
+};
+
+ExecCase MakeCase(const QueryGraph& (*make_query)(ExecCase*)) {
+  ExecCase c;
+  MusicConfig config;
+  config.num_composers = 300;  // big enough that morsels amortize
+  config.lineage_depth = 10;
+  c.db = GenerateMusicDb(config, PaperMusicPhysical());
+  c.stats = std::make_unique<Stats>(Stats::Derive(*c.db.db));
+  c.cost = std::make_unique<CostModel>(c.db.db.get(), c.stats.get());
+
+  const QueryGraph& q = make_query(&c);
+  Optimizer opt(c.db.db.get(), c.stats.get(), c.cost.get(),
+                CostBasedOptions(42));
+  OptimizeResult r = opt.Optimize(q);
+  RODIN_CHECK(r.ok(), r.error.c_str());
+  c.plan = r.plan->Clone();
+  c.cost->Annotate(c.plan.get());
+
+  Executor exec(c.db.db.get());
+  exec.ResetMeasurement(true);
+  c.expect_rows = exec.Execute(*c.plan).rows.size();
+  return c;
+}
+
+ExecCase& RecursiveCase() {
+  static ExecCase* c = new ExecCase(MakeCase(+[](ExecCase* cc) -> const QueryGraph& {
+    static QueryGraph q;
+    q = Fig3Query(*cc->db.schema);
+    return q;
+  }));
+  return *c;
+}
+
+ExecCase& ScanCase() {
+  static ExecCase* c = new ExecCase(MakeCase(+[](ExecCase* cc) -> const QueryGraph& {
+    static QueryGraph q;
+    QueryGraphBuilder b;
+    NodeBuilder& node = b.Node("Answer");
+    node.Input("Composer", "x");
+    node.Input("Composer", "y");
+    node.Where(Expr::Eq(Expr::Path("x", {"master"}), Expr::Path("y", {})));
+    node.Where(Expr::Eq(Expr::Path("x", {"works", "instruments", "iname"}),
+                        Expr::Lit(Value::Str("harpsichord"))));
+    node.OutPath("n", "x", {"name"});
+    q = b.Build(*cc->db.schema);
+    return q;
+  }));
+  return *c;
+}
+
+void RunOnce(ExecCase& c, const ExecOptions& options, benchmark::State& state) {
+  size_t rows = 0;
+  for (auto _ : state) {
+    Executor exec(c.db.db.get());
+    exec.ResetMeasurement(true);
+    const Table out = exec.Execute(*c.plan, options);
+    rows += out.rows.size();
+    if (out.rows.size() != c.expect_rows) {
+      state.SkipWithError("row count diverged from reference");
+      return;
+    }
+    benchmark::DoNotOptimize(out.rows.data());
+  }
+  state.counters["rows/sec"] = benchmark::Counter(
+      static_cast<double>(rows), benchmark::Counter::kIsRate);
+}
+
+void BM_LegacyRecursive(benchmark::State& state) {
+  ExecOptions options;
+  options.use_legacy = true;
+  RunOnce(RecursiveCase(), options, state);
+}
+BENCHMARK(BM_LegacyRecursive)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BatchedRecursive(benchmark::State& state) {
+  ExecOptions options;
+  options.exec_threads = static_cast<size_t>(state.range(0));
+  RunOnce(RecursiveCase(), options, state);
+}
+BENCHMARK(BM_BatchedRecursive)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_LegacyScanJoin(benchmark::State& state) {
+  ExecOptions options;
+  options.use_legacy = true;
+  RunOnce(ScanCase(), options, state);
+}
+BENCHMARK(BM_LegacyScanJoin)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BatchedScanJoin(benchmark::State& state) {
+  ExecOptions options;
+  options.exec_threads = static_cast<size_t>(state.range(0));
+  RunOnce(ScanCase(), options, state);
+}
+BENCHMARK(BM_BatchedScanJoin)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BatchedScanJoinHash(benchmark::State& state) {
+  ExecOptions options;
+  options.hash_equijoin = true;
+  options.exec_threads = static_cast<size_t>(state.range(0));
+  RunOnce(ScanCase(), options, state);
+}
+BENCHMARK(BM_BatchedScanJoinHash)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_BatchRowsSweep(benchmark::State& state) {
+  ExecOptions options;
+  options.batch_rows = static_cast<size_t>(state.range(0));
+  RunOnce(RecursiveCase(), options, state);
+}
+BENCHMARK(BM_BatchRowsSweep)->Arg(1)->Arg(64)->Arg(1024)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

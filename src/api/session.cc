@@ -47,6 +47,16 @@ void PrintExplainNode(const ExplainNode& node, int depth, std::string* out) {
   }
 }
 
+/// Maps the session-level run knobs onto the executor's options. Zeroes
+/// mean "keep the executor default".
+ExecOptions ExecOptionsFrom(const RunOptions& options) {
+  ExecOptions exec;
+  if (options.batch_rows > 0) exec.batch_rows = options.batch_rows;
+  if (options.exec_threads > 0) exec.exec_threads = options.exec_threads;
+  exec.use_legacy = options.legacy_exec;
+  return exec;
+}
+
 }  // namespace
 
 std::string ExplainResult::ToString() const {
@@ -131,7 +141,7 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
     Executor& e = exec != nullptr ? *exec : local;
     if (options.collect_trace) e.set_tracer(&tracer);
     e.ResetMeasurement(options.cold);
-    run.answer = e.Execute(*run.optimized.plan);
+    run.answer = e.Execute(*run.optimized.plan, ExecOptionsFrom(options));
     run.measured_cost = e.MeasuredCost();
     run.counters = e.counters();
     e.set_tracer(nullptr);
@@ -155,16 +165,48 @@ QueryRun Session::Run(const std::string& text, const RunOptions& options) {
   return RunImpl(parsed.graph, options, nullptr);
 }
 
-QueryRun Session::RunText(const std::string& text, bool cold) {
-  RunOptions options;
-  options.cold = cold;
-  return Run(text, options);
+namespace {
+
+/// Everything a live cursor needs to keep alive: the executor doing the
+/// work plus the optimizer artifacts the cursor's accessors reference.
+struct QueryState {
+  QueryState(Database* db, CostParams params) : exec(db, params) {}
+  Executor exec;
+  OptimizeResult optimized;
+  DecisionLog decisions;
+};
+
+}  // namespace
+
+ResultCursor Session::Query(const QueryGraph& graph,
+                            const RunOptions& options) {
+  auto state = std::make_shared<QueryState>(db_, cost_params_);
+
+  ObsSink sink;
+  sink.decisions = &state->decisions;
+  Optimizer optimizer(db_, stats_.get(), cost_.get(),
+                      EffectiveOptions(options));
+  state->optimized = optimizer.Optimize(graph, sink);
+  if (!state->optimized.ok()) {
+    return ResultCursor(Status::Error(Status::Code::kOptimizeError,
+                                      state->optimized.error));
+  }
+
+  state->exec.ResetMeasurement(options.cold);
+  ResultCursor cursor =
+      state->exec.ExecuteStream(*state->optimized.plan, ExecOptionsFrom(options));
+  cursor.set_plan_text(PrintPT(*state->optimized.plan));
+  Database* db = db_;
+  cursor.set_on_finish([db] { db->buffer_pool().PublishMetrics(); });
+  cursor.set_keepalive(std::move(state));
+  return cursor;
 }
 
-QueryRun Session::Run(const QueryGraph& graph, bool cold) {
-  RunOptions options;
-  options.cold = cold;
-  return Run(graph, options);
+ResultCursor Session::Query(const std::string& text,
+                            const RunOptions& options) {
+  const ParseResult parsed = ParseQuery(text, db_->schema());
+  if (!parsed.ok()) return ResultCursor(parsed.status);
+  return Query(parsed.graph, options);
 }
 
 ExplainResult Session::Explain(const QueryGraph& graph,

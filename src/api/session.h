@@ -10,6 +10,7 @@
 #include "cost/cost_model.h"
 #include "cost/stats.h"
 #include "exec/executor.h"
+#include "exec/result_cursor.h"
 #include "obs/decision.h"
 #include "obs/trace.h"
 #include "optimizer/optimizer.h"
@@ -35,6 +36,16 @@ struct RunOptions {
   size_t search_threads = 0;
   /// Override the session's optimizer seed (0 = keep).
   uint64_t seed = 0;
+  /// Worker threads for the batched executor's morsel-parallel operators
+  /// (0 = executor default, sequential). Results, counters and measured
+  /// cost are identical for any value; only wall time changes.
+  size_t exec_threads = 0;
+  /// Rows per executor batch (0 = executor default, 1024). Also identical
+  /// accounting for any value.
+  size_t batch_rows = 0;
+  /// Evaluate with the pre-batching whole-table engine (differential
+  /// oracle / bench baseline).
+  bool legacy_exec = false;
 };
 
 /// Everything one query run produces: the optimizer's decision trail, the
@@ -105,6 +116,7 @@ struct ExplainResult {
 ///   QueryRun run = session.Run(R"(select [n: x.name] from x in Composer
 ///                                 where x.name = "Bach")");
 ///   ExplainResult ex = session.Explain(text, {.collect_trace = true});
+///   ResultCursor cur = session.Query(text, {.exec_threads = 4});
 ///
 /// The database must outlive the session. Statistics are derived once at
 /// construction; call RefreshStats() if the physical layout changed (it
@@ -133,13 +145,16 @@ class Session {
   ExplainResult Explain(const QueryGraph& graph,
                         const RunOptions& options = {});
 
-  /// Deprecated: use Run(text, {.cold = cold}). Kept for source
-  /// compatibility; forwards to the RunOptions overload.
-  QueryRun RunText(const std::string& text, bool cold = false);
-
-  /// Deprecated: use Run(graph, {.cold = cold}). No default on `cold`, so
-  /// Run(graph) resolves to the RunOptions overload above.
-  QueryRun Run(const QueryGraph& graph, bool cold);
+  /// Streaming execution: optimizes and returns a cursor over the answer
+  /// instead of a materialized QueryRun. Rows are produced batch by batch
+  /// as the caller pulls (plan barriers still materialize internally);
+  /// cursor.counters() / measured_cost() are final once the cursor
+  /// finishes and are identical to what Run() reports for the same
+  /// options. Parse/optimize errors come back as a cursor with !ok().
+  /// RunOptions::collect_trace is not supported here (use Run); the
+  /// session must outlive the cursor.
+  ResultCursor Query(const std::string& text, const RunOptions& options = {});
+  ResultCursor Query(const QueryGraph& graph, const RunOptions& options = {});
 
   /// Optimizes without executing.
   OptimizeResult Optimize(const QueryGraph& graph);

@@ -1,0 +1,1125 @@
+#include "exec/batch_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "exec/eval_core.h"
+
+namespace rodin {
+
+namespace {
+
+/// Per-morsel CPU counters. All integral (method cost in fixed point), so
+/// partial sums merge to the same totals regardless of morsel boundaries.
+struct MorselCounters {
+  uint64_t predicate_evals = 0;
+  uint64_t method_calls = 0;
+  uint64_t method_cost_fp = 0;
+
+  void MergeFrom(const MorselCounters& o) {
+    predicate_evals += o.predicate_evals;
+    method_calls += o.method_calls;
+    method_cost_fp += o.method_cost_fp;
+  }
+};
+
+/// Shared state of one engine instance. Only the coordinator thread mutates
+/// it; workers see it exclusively through morsel-local EvalContexts.
+struct ExecCtx {
+  Database* db = nullptr;
+  size_t batch_rows = 1024;
+  size_t threads = 1;
+  bool hash_equijoin = false;
+  bool collect_op_stats = false;
+  ThreadPool* pool = nullptr;
+  std::map<std::string, std::pair<Table, TempFile>>* fix_cache = nullptr;
+
+  MorselCounters counters;
+  uint64_t fix_iterations = 0;
+  /// Engine-local per-node profile with *exclusive* page counts; made
+  /// inclusive by a plan walk at Finalize, then merged into the executor.
+  std::map<const PTNode*, OpStats> local_stats;
+  /// Delta tables of in-flight fixpoints, by view name, with the temp file
+  /// backing each delta (scans of the delta charge it).
+  std::map<std::string, std::pair<const Table*, TempFile>> deltas;
+
+  /// How many input items a leaf grabs per Next: one output batch per
+  /// worker, so every worker has a full morsel of work.
+  size_t Quantum() const { return batch_rows * std::max<size_t>(1, threads); }
+
+  /// Runs fn(i, eval_ctx, row_sink) for every i in [0, n), split into
+  /// contiguous morsels across the worker pool. Each morsel evaluates
+  /// against its own ChargeLog and counters; results merge in morsel (==
+  /// item) order into `log`, `out` and the engine counters, so the merged
+  /// state is identical to a sequential left-to-right pass.
+  void ParallelItems(
+      size_t n,
+      const std::function<void(size_t, EvalContext*, std::vector<Row>*)>& fn,
+      ChargeLog* log, std::vector<Row>* out) {
+    if (n == 0) return;
+    constexpr size_t kMinMorselItems = 16;
+    size_t nmorsels = 1;
+    if (pool != nullptr && threads > 1) {
+      nmorsels =
+          std::min(threads, (n + kMinMorselItems - 1) / kMinMorselItems);
+    }
+    if (nmorsels <= 1) {
+      EvalContext ec{db, log, &counters.predicate_evals,
+                     &counters.method_calls, &counters.method_cost_fp};
+      for (size_t i = 0; i < n; ++i) fn(i, &ec, out);
+      return;
+    }
+    struct Morsel {
+      ChargeLog log;
+      std::vector<Row> rows;
+      MorselCounters c;
+    };
+    std::vector<Morsel> morsels(nmorsels);
+    for (size_t m = 0; m < nmorsels; ++m) {
+      const size_t lo = n * m / nmorsels;
+      const size_t hi = n * (m + 1) / nmorsels;
+      Morsel* dst = &morsels[m];
+      pool->Submit([this, &fn, dst, lo, hi] {
+        EvalContext ec{db, &dst->log, &dst->c.predicate_evals,
+                       &dst->c.method_calls, &dst->c.method_cost_fp};
+        for (size_t i = lo; i < hi; ++i) fn(i, &ec, &dst->rows);
+      });
+    }
+    pool->Wait();
+    for (Morsel& m : morsels) {
+      log->Append(m.log);
+      for (Row& r : m.rows) out->push_back(std::move(r));
+      counters.MergeFrom(m.c);
+    }
+  }
+};
+
+/// Base batched operator: pull-based Open-on-first-Next / NextBatch / (no
+/// explicit Close — destruction closes). Page charges accumulate in the
+/// per-operator `log_`; Replay() emits the whole subtree's charges in the
+/// canonical legacy order (children left-to-right, then own).
+class Op {
+ public:
+  Op(ExecCtx* ctx, const PTNode* node) : ctx_(ctx), node_(node) {}
+  virtual ~Op() = default;
+
+  Op(const Op&) = delete;
+  Op& operator=(const Op&) = delete;
+
+  /// Pulls the next batch (<= ctx->batch_rows rows). False = exhausted.
+  /// May legitimately return true with an empty batch (e.g. a filter pass
+  /// that rejected its whole input); callers keep pulling.
+  bool Pull(RowBatch* out) {
+    out->Clear();
+    pulled_ = true;
+    if (!ctx_->collect_op_stats) {
+      const bool more = Next(out);
+      rows_out_ += out->size();
+      return more;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const bool more = Next(out);
+    micros_ +=
+        std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    rows_out_ += out->size();
+    return more;
+  }
+
+  const RowSchema& schema() const { return schema_; }
+
+  /// Replays the subtree's page charges into `sink` in canonical order:
+  /// children first (left to right), then this operator's own charges —
+  /// exactly the temporal order of the materialized bottom-up evaluator.
+  virtual void Replay(PageCharger* sink) {
+    for (auto& c : children_) c->Replay(sink);
+    log_.ReplayInto(sink);
+  }
+
+  /// Folds this pass's profile into the engine-local stats. One call per
+  /// operator instance (Fix arms are fresh instances per iteration, so the
+  /// per-iteration invocation counts match the legacy evaluator).
+  virtual void Harvest() {
+    if (!pulled_) return;
+    OpStats& s = ctx_->local_stats[node_];
+    ++s.invocations;
+    s.rows += rows_out_;
+    s.pages += log_.size();
+    s.micros += micros_;
+    for (auto& c : children_) c->Harvest();
+  }
+
+ protected:
+  virtual bool Next(RowBatch* out) = 0;
+
+  /// Moves up to batch_rows pending rows into `out`. Ops that can produce
+  /// more rows per pass than a batch holds (scans with a multi-thread
+  /// quantum, fan-out joins, projections over collections) buffer the
+  /// overflow here.
+  bool ServePending(RowBatch* out) {
+    if (pending_pos_ >= pending_.size()) return false;
+    const size_t take =
+        std::min(ctx_->batch_rows, pending_.size() - pending_pos_);
+    out->rows.reserve(out->rows.size() + take);
+    for (size_t i = 0; i < take; ++i) {
+      out->rows.push_back(std::move(pending_[pending_pos_ + i]));
+    }
+    pending_pos_ += take;
+    if (pending_pos_ >= pending_.size()) {
+      pending_.clear();
+      pending_pos_ = 0;
+    }
+    return true;
+  }
+
+  ExecCtx* ctx_;
+  const PTNode* node_;
+  std::vector<std::unique_ptr<Op>> children_;
+  RowSchema schema_;
+  ChargeLog log_;
+  std::vector<Row> pending_;
+  size_t pending_pos_ = 0;
+  uint64_t rows_out_ = 0;
+  double micros_ = 0;
+  bool pulled_ = false;
+};
+
+std::unique_ptr<Op> BuildOp(ExecCtx* ctx, const PTNode* node);
+
+/// Fully drains an operator into a materialized table (the barrier
+/// primitive: NL-join inners, fixpoint arms, union branches).
+Table DrainOp(Op* op) {
+  Table t;
+  t.schema = op->schema();
+  RowBatch b;
+  while (op->Pull(&b)) {
+    for (Row& r : b.rows) t.rows.push_back(std::move(r));
+  }
+  return t;
+}
+
+// --- Leaves ----------------------------------------------------------------
+
+class EntityScanOp : public Op {
+ public:
+  EntityScanOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    src_ = ctx->db->ResolveScan(node->entity);
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (ServePending(out)) return true;
+    if (pos_ >= src_.size()) return false;
+    const size_t n = std::min(ctx_->Quantum(), src_.size() - pos_);
+    const size_t base = pos_;
+    ctx_->ParallelItems(
+        n,
+        [this, base](size_t i, EvalContext* ec, std::vector<Row>* rows) {
+          const uint32_t slot = (*src_.slots)[base + i];
+          ec->charger->Charge(src_.extent->PageOf(slot, src_.vfrag));
+          rows->push_back(Row{Value::Ref(Oid{src_.base_class, slot})});
+        },
+        &log_, &pending_);
+    pos_ += n;
+    ServePending(out);
+    return true;
+  }
+
+ private:
+  Database::ScanSource src_;
+  size_t pos_ = 0;
+};
+
+class DeltaScanOp : public Op {
+ public:
+  DeltaScanOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (!opened_) {
+      opened_ = true;
+      auto it = ctx_->deltas.find(node_->fix_name);
+      RODIN_CHECK(it != ctx_->deltas.end(),
+                  "delta referenced outside its fixpoint");
+      delta_ = it->second.first;
+      ChargeTempScan(it->second.second, &log_);
+      RODIN_CHECK(delta_->schema.cols.size() == node_->cols.size(),
+                  "delta column arity mismatch");
+    }
+    if (pos_ >= delta_->rows.size()) return false;
+    const size_t take =
+        std::min(ctx_->batch_rows, delta_->rows.size() - pos_);
+    out->rows.reserve(take);
+    for (size_t i = 0; i < take; ++i) out->rows.push_back(delta_->rows[pos_ + i]);
+    pos_ += take;
+    return true;
+  }
+
+ private:
+  bool opened_ = false;
+  const Table* delta_ = nullptr;
+  size_t pos_ = 0;
+};
+
+// --- Selections ------------------------------------------------------------
+
+/// Fused scan + filter: one pass over the extent (Figure 5's Sel(C)). The
+/// entity child is absorbed into the scan, as in the legacy evaluator.
+class FilterScanOp : public Op {
+ public:
+  FilterScanOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    src_ = ctx->db->ResolveScan(node->children[0]->entity);
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (ServePending(out)) return true;
+    if (pos_ >= src_.size()) return false;
+    const size_t n = std::min(ctx_->Quantum(), src_.size() - pos_);
+    const size_t base = pos_;
+    ctx_->ParallelItems(
+        n,
+        [this, base](size_t i, EvalContext* ec, std::vector<Row>* rows) {
+          const uint32_t slot = (*src_.slots)[base + i];
+          ec->charger->Charge(src_.extent->PageOf(slot, src_.vfrag));
+          Row row{Value::Ref(Oid{src_.base_class, slot})};
+          ++*ec->predicate_evals;
+          if (EvalPred(ec, schema_, row, node_->pred)) {
+            rows->push_back(std::move(row));
+          }
+        },
+        &log_, &pending_);
+    pos_ += n;
+    ServePending(out);
+    return true;
+  }
+
+ private:
+  Database::ScanSource src_;
+  size_t pos_ = 0;
+};
+
+/// Index-backed selection. The B-tree probe runs once on the coordinator
+/// (descent + leaf charges in index order); qualifying records fan out
+/// across morsels.
+class IndexSelOp : public Op {
+ public:
+  IndexSelOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    const PTNode& child = *node->children[0];
+    RODIN_CHECK(child.kind == PTKind::kEntity, "index access needs entity");
+    RODIN_CHECK(node->sel_index != nullptr, "index access without an index");
+    extent_ = child.entity.extent;
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (!looked_) {
+      looked_ = true;
+      Value literal;
+      bool path_left = true;
+      RODIN_CHECK(node_->sel_index_pred != nullptr &&
+                      SplitProbe(*node_->sel_index_pred, &literal, &path_left),
+                  "malformed index probe predicate");
+      if (node_->sel_access == SelAccess::kIndexEq) {
+        payloads_ = node_->sel_index->Lookup(literal, &log_);
+      } else {
+        // One-sided range: orient by operator and which side the path is on.
+        const CompareOp op = node_->sel_index_pred->compare_op();
+        const bool upper = path_left
+                               ? (op == CompareOp::kLt || op == CompareOp::kLe)
+                               : (op == CompareOp::kGt || op == CompareOp::kGe);
+        const bool strict = op == CompareOp::kLt || op == CompareOp::kGt;
+        if (upper) {
+          payloads_ = node_->sel_index->RangeLookup(Value::Null(), false,
+                                                    literal, strict, &log_);
+        } else {
+          payloads_ = node_->sel_index->RangeLookup(literal, strict,
+                                                    Value::Null(), false, &log_);
+        }
+      }
+    }
+    if (ServePending(out)) return true;
+    if (pos_ >= payloads_.size()) return false;
+    const size_t n = std::min(ctx_->Quantum(), payloads_.size() - pos_);
+    const size_t base = pos_;
+    ctx_->ParallelItems(
+        n,
+        [this, base](size_t i, EvalContext* ec, std::vector<Row>* rows) {
+          const Oid oid = ctx_->db->PayloadToOid(extent_, payloads_[base + i]);
+          ctx_->db->ChargeRecordAccess(oid, {}, ec->charger);
+          Row row{Value::Ref(oid)};
+          ++*ec->predicate_evals;
+          if (EvalPred(ec, schema_, row, node_->pred)) {
+            rows->push_back(std::move(row));
+          }
+        },
+        &log_, &pending_);
+    pos_ += n;
+    ServePending(out);
+    return true;
+  }
+
+ private:
+  std::string extent_;
+  bool looked_ = false;
+  std::vector<uint64_t> payloads_;
+  size_t pos_ = 0;
+};
+
+/// General selection over a non-entity child: streams batches through the
+/// predicate.
+class FilterOp : public Op {
+ public:
+  FilterOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    children_.push_back(BuildOp(ctx, node->children[0].get()));
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (ServePending(out)) return true;
+    RowBatch in;
+    if (!children_[0]->Pull(&in)) return false;
+    const RowSchema& in_schema = children_[0]->schema();
+    ctx_->ParallelItems(
+        in.size(),
+        [this, &in, &in_schema](size_t i, EvalContext* ec,
+                                std::vector<Row>* rows) {
+          ++*ec->predicate_evals;
+          if (EvalPred(ec, in_schema, in.rows[i], node_->pred)) {
+            rows->push_back(std::move(in.rows[i]));
+          }
+        },
+        &log_, &pending_);
+    ServePending(out);
+    return true;
+  }
+};
+
+// --- Projection ------------------------------------------------------------
+
+class ProjOp : public Op {
+ public:
+  ProjOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    children_.push_back(BuildOp(ctx, node->children[0].get()));
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (node_->dedup) return NextDedup(out);
+    if (ServePending(out)) return true;
+    RowBatch in;
+    if (!children_[0]->Pull(&in)) return false;
+    ProjectBatch(in);
+    ServePending(out);
+    return true;
+  }
+
+ private:
+  void ProjectBatch(const RowBatch& in) {
+    const RowSchema& in_schema = children_[0]->schema();
+    ctx_->ParallelItems(
+        in.size(),
+        [this, &in, &in_schema](size_t i, EvalContext* ec,
+                                std::vector<Row>* rows) {
+          const Row& row = in.rows[i];
+          // Cartesian product of the (possibly multi-valued) projections.
+          std::vector<std::vector<Value>> cols;
+          bool any_empty = false;
+          for (const OutCol& c : node_->proj) {
+            cols.push_back(EvalMulti(ec, in_schema, row, c.expr));
+            if (cols.back().empty()) any_empty = true;
+          }
+          if (any_empty) return;
+          std::vector<size_t> idx(cols.size(), 0);
+          bool done = false;
+          while (!done) {
+            Row r;
+            r.reserve(cols.size());
+            for (size_t k = 0; k < cols.size(); ++k) r.push_back(cols[k][idx[k]]);
+            rows->push_back(std::move(r));
+            // Odometer increment, rightmost column fastest.
+            size_t k = cols.size();
+            while (true) {
+              if (k == 0) {
+                done = true;
+                break;
+              }
+              --k;
+              if (++idx[k] < cols[k].size()) break;
+              idx[k] = 0;
+            }
+          }
+        },
+        &log_, &pending_);
+  }
+
+  bool NextDedup(RowBatch* out) {
+    if (!materialized_) {
+      materialized_ = true;
+      RowBatch in;
+      while (children_[0]->Pull(&in)) ProjectBatch(in);
+      dedup_.schema.cols = node_->cols;
+      dedup_.rows = std::move(pending_);
+      pending_.clear();
+      pending_pos_ = 0;
+      dedup_.Dedup();
+    }
+    if (pos_ >= dedup_.rows.size()) return false;
+    const size_t take = std::min(ctx_->batch_rows, dedup_.rows.size() - pos_);
+    out->rows.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out->rows.push_back(std::move(dedup_.rows[pos_ + i]));
+    }
+    pos_ += take;
+    return true;
+  }
+
+  bool materialized_ = false;
+  Table dedup_;
+  size_t pos_ = 0;
+};
+
+// --- Joins -----------------------------------------------------------------
+
+/// Implicit join: navigate one object attribute per input row.
+class IJOp : public Op {
+ public:
+  IJOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    children_.push_back(BuildOp(ctx, node->children[0].get()));
+    RODIN_CHECK(children_[0]->schema().ResolveVarPath(node->src_var,
+                                                      {node->attr}, &col_,
+                                                      &rest_),
+                "IJ source unresolvable at runtime");
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (ServePending(out)) return true;
+    RowBatch in;
+    if (!children_[0]->Pull(&in)) return false;
+    ctx_->ParallelItems(
+        in.size(),
+        [this, &in](size_t i, EvalContext* ec, std::vector<Row>* rows) {
+          const Row& row = in.rows[i];
+          std::vector<Value> targets;
+          if (rest_.empty()) {
+            // Dotted column: the reference is already materialized in the row.
+            ExpandValue(row[col_], &targets);
+          } else {
+            Navigate(ec, row[col_], {node_->attr}, 0, &targets);
+          }
+          for (const Value& t : targets) {
+            if (!t.is_ref()) continue;
+            ctx_->db->ChargeRecordAccess(t.AsRef(), {}, ec->charger);
+            Row r = row;
+            r.push_back(t);
+            rows->push_back(std::move(r));
+          }
+        },
+        &log_, &pending_);
+    ServePending(out);
+    return true;
+  }
+
+ private:
+  int col_ = -1;
+  std::vector<std::string> rest_;
+};
+
+/// Implicit join through a path index.
+class PIJOp : public Op {
+ public:
+  PIJOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    children_.push_back(BuildOp(ctx, node->children[0].get()));
+    col_ = children_[0]->schema().IndexOf(node->src_var);
+    RODIN_CHECK(col_ >= 0, "PIJ source column missing at runtime");
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (ServePending(out)) return true;
+    RowBatch in;
+    if (!children_[0]->Pull(&in)) return false;
+    ctx_->ParallelItems(
+        in.size(),
+        [this, &in](size_t i, EvalContext* ec, std::vector<Row>* rows) {
+          const Row& row = in.rows[i];
+          if (!row[col_].is_ref()) return;
+          const auto entries =
+              node_->path_index->Lookup(row[col_].AsRef(), ec->charger);
+          for (const std::vector<Oid>* entry : entries) {
+            Row r = row;
+            for (size_t k = 0; k < node_->path_out_vars.size(); ++k) {
+              if (!node_->path_out_vars[k].empty()) {
+                r.push_back(Value::Ref((*entry)[k + 1]));
+              }
+            }
+            rows->push_back(std::move(r));
+          }
+        },
+        &log_, &pending_);
+    ServePending(out);
+    return true;
+  }
+
+ private:
+  int col_ = -1;
+};
+
+/// Explicit join via the inner's B-tree: probe per outer row.
+class IndexJoinOp : public Op {
+ public:
+  IndexJoinOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    const PTNode& right = *node->children[1];
+    RODIN_CHECK(right.kind == PTKind::kEntity,
+                "index join needs an entity inner");
+    RODIN_CHECK(node->join_index != nullptr, "index join without an index");
+    children_.push_back(BuildOp(ctx, node->children[0].get()));
+    probe_ = ExtractIndexProbe(*node, right.binding, &residual_);
+    RODIN_CHECK(probe_ != nullptr, "index join probe not found in predicate");
+    extent_ = right.entity.extent;
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (ServePending(out)) return true;
+    RowBatch in;
+    if (!children_[0]->Pull(&in)) return false;
+    const RowSchema& left_schema = children_[0]->schema();
+    ctx_->ParallelItems(
+        in.size(),
+        [this, &in, &left_schema](size_t i, EvalContext* ec,
+                                  std::vector<Row>* rows) {
+          const Row& lrow = in.rows[i];
+          const std::vector<Value> keys =
+              EvalMulti(ec, left_schema, lrow, probe_);
+          for (const Value& key : keys) {
+            const std::vector<uint64_t> payloads =
+                node_->join_index->Lookup(key, ec->charger);
+            for (uint64_t p : payloads) {
+              const Oid oid = ctx_->db->PayloadToOid(extent_, p);
+              ctx_->db->ChargeRecordAccess(oid, {}, ec->charger);
+              Row row = lrow;
+              row.push_back(Value::Ref(oid));
+              ++*ec->predicate_evals;
+              if (EvalPred(ec, schema_, row, residual_)) {
+                rows->push_back(std::move(row));
+              }
+            }
+          }
+        },
+        &log_, &pending_);
+    ServePending(out);
+    return true;
+  }
+
+ private:
+  ExprPtr probe_;
+  ExprPtr residual_;
+  std::string extent_;
+};
+
+/// Nested-loop explicit join. A barrier: both sides materialize before
+/// probing, like the legacy evaluator (the inner must exist in full, and
+/// re-scan charges are per outer row). Probing is morsel-parallel over the
+/// outer side. With ExecOptions::hash_equijoin and an extractable equi
+/// conjunct, the inner is loaded into a hash table instead — same result
+/// rows in the same order, different (honest) accounting.
+class NLJoinOp : public Op {
+ public:
+  NLJoinOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    children_.push_back(BuildOp(ctx, node->children[0].get()));
+    children_.push_back(BuildOp(ctx, node->children[1].get()));
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (ServePending(out)) return true;
+    if (!opened_) {
+      opened_ = true;
+      Open();
+    }
+    while (pos_ < left_.rows.size()) {
+      ProbeChunk();
+      if (ServePending(out)) return true;
+    }
+    return false;
+  }
+
+ private:
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+
+  void Open() {
+    left_ = DrainOp(children_[0].get());
+    right_ = DrainOp(children_[1].get());
+    const PTNode& rnode = *node_->children[1];
+    const bool inner_entity =
+        rnode.kind == PTKind::kEntity || rnode.kind == PTKind::kDelta;
+    if (rnode.kind == PTKind::kEntity) {
+      const Extent* e = ctx_->db->FindExtent(rnode.entity.extent);
+      inner_pages_ = e->ScanPages(rnode.entity.vfrag, rnode.entity.hfrag);
+    } else if (!inner_entity) {
+      temp_ = AllocateTempFile(ctx_->db, right_.rows.size(),
+                               right_.schema.cols.size());
+    }
+    if (rnode.kind == PTKind::kDelta) {
+      auto it = ctx_->deltas.find(rnode.fix_name);
+      if (it != ctx_->deltas.end()) {
+        delta_temp_ = it->second.second;
+        has_delta_temp_ = true;
+      }
+    }
+    if (ctx_->hash_equijoin) TryBuildHash();
+  }
+
+  /// Picks the first Eq conjunct whose sides resolve unambiguously against
+  /// the outer and inner schemas respectively; builds inner-key -> row-index
+  /// buckets, morsel-parallel (keys merged in inner-row order).
+  void TryBuildHash() {
+    if (node_->pred == nullptr) return;
+    const RowSchema& ls = children_[0]->schema();
+    const RowSchema& rs = children_[1]->schema();
+    auto resolvable = [](const RowSchema& s, const ExprPtr& e) {
+      if (e == nullptr || e->kind() != ExprKind::kVarPath) return false;
+      int col = -1;
+      std::vector<std::string> rest;
+      return s.ResolveVarPath(e->var(), e->path(), &col, &rest);
+    };
+    for (const ExprPtr& c : node_->pred->Conjuncts()) {
+      if (c->kind() != ExprKind::kCompare ||
+          c->compare_op() != CompareOp::kEq) {
+        continue;
+      }
+      const ExprPtr& l = c->children()[0];
+      const ExprPtr& r = c->children()[1];
+      if (resolvable(ls, l) && !resolvable(rs, l) && resolvable(rs, r) &&
+          !resolvable(ls, r)) {
+        probe_ = l;
+        build_ = r;
+        break;
+      }
+      if (resolvable(ls, r) && !resolvable(rs, r) && resolvable(rs, l) &&
+          !resolvable(ls, l)) {
+        probe_ = r;
+        build_ = l;
+        break;
+      }
+    }
+    if (probe_ == nullptr) return;
+    // Build: evaluate the inner key expression per inner row. Key rows are
+    // {key, row_index} pairs funneled through the morsel row sink.
+    std::vector<Row> keyed;
+    const RowSchema& rschema = right_.schema;
+    ctx_->ParallelItems(
+        right_.rows.size(),
+        [this, &rschema](size_t i, EvalContext* ec, std::vector<Row>* rows) {
+          std::vector<Value> keys =
+              EvalMulti(ec, rschema, right_.rows[i], build_);
+          std::sort(keys.begin(), keys.end(),
+                    [](const Value& a, const Value& b) {
+                      return a.Compare(b) < 0;
+                    });
+          keys.erase(std::unique(keys.begin(), keys.end(),
+                                 [](const Value& a, const Value& b) {
+                                   return a.Compare(b) == 0;
+                                 }),
+                     keys.end());
+          for (Value& k : keys) {
+            rows->push_back(
+                Row{std::move(k), Value::Int(static_cast<int64_t>(i))});
+          }
+        },
+        &log_, &keyed);
+    for (Row& kr : keyed) {
+      hash_[std::move(kr[0])].push_back(
+          static_cast<size_t>(kr[1].AsInt()));
+    }
+    hash_built_ = true;
+  }
+
+  void ProbeChunk() {
+    const size_t n = std::min(ctx_->Quantum(), left_.rows.size() - pos_);
+    const size_t base = pos_;
+    if (hash_built_) {
+      const RowSchema& ls = children_[0]->schema();
+      ctx_->ParallelItems(
+          n,
+          [this, base, &ls](size_t i, EvalContext* ec,
+                            std::vector<Row>* rows) {
+            const Row& lrow = left_.rows[base + i];
+            const std::vector<Value> keys = EvalMulti(ec, ls, lrow, probe_);
+            std::vector<size_t> cand;
+            for (const Value& k : keys) {
+              auto it = hash_.find(k);
+              if (it == hash_.end()) continue;
+              cand.insert(cand.end(), it->second.begin(), it->second.end());
+            }
+            std::sort(cand.begin(), cand.end());
+            cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
+            for (size_t ri : cand) {
+              const Row& rrow = right_.rows[ri];
+              Row row = lrow;
+              row.insert(row.end(), rrow.begin(), rrow.end());
+              ++*ec->predicate_evals;
+              if (EvalPred(ec, schema_, row, node_->pred)) {
+                rows->push_back(std::move(row));
+              }
+            }
+          },
+          &log_, &pending_);
+    } else {
+      ctx_->ParallelItems(
+          n,
+          [this, base](size_t i, EvalContext* ec, std::vector<Row>* rows) {
+            const Row& lrow = left_.rows[base + i];
+            if (base + i != 0) {
+              // Re-scan charge for the inner, positioned before this outer
+              // row's probe work (the legacy per-outer-row order).
+              if (!inner_pages_.empty()) {
+                for (PageId p : inner_pages_) ec->charger->Charge(p);
+              } else if (temp_.pages > 0) {
+                ChargeTempScan(temp_, ec->charger);
+              }
+              // Delta inners are charged by the delta scan once; re-scans
+              // of the delta temp are charged here.
+              if (has_delta_temp_) ChargeTempScan(delta_temp_, ec->charger);
+            }
+            for (const Row& rrow : right_.rows) {
+              Row row = lrow;
+              row.insert(row.end(), rrow.begin(), rrow.end());
+              ++*ec->predicate_evals;
+              if (EvalPred(ec, schema_, row, node_->pred)) {
+                rows->push_back(std::move(row));
+              }
+            }
+          },
+          &log_, &pending_);
+    }
+    pos_ += n;
+  }
+
+  bool opened_ = false;
+  Table left_;
+  Table right_;
+  size_t pos_ = 0;
+  std::vector<PageId> inner_pages_;
+  TempFile temp_;
+  TempFile delta_temp_;
+  bool has_delta_temp_ = false;
+  ExprPtr probe_;
+  ExprPtr build_;
+  std::map<Value, std::vector<size_t>, ValueLess> hash_;
+  bool hash_built_ = false;
+};
+
+// --- Union -----------------------------------------------------------------
+
+class UnionOp : public Op {
+ public:
+  UnionOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    for (const auto& c : node->children) {
+      children_.push_back(BuildOp(ctx, c.get()));
+    }
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (!materialized_) {
+      materialized_ = true;
+      all_.schema.cols = node_->cols;
+      for (auto& c : children_) {
+        Table t = DrainOp(c.get());
+        for (Row& r : t.rows) all_.rows.push_back(std::move(r));
+      }
+      all_.Dedup();
+    }
+    if (pos_ >= all_.rows.size()) return false;
+    const size_t take = std::min(ctx_->batch_rows, all_.rows.size() - pos_);
+    out->rows.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      out->rows.push_back(std::move(all_.rows[pos_ + i]));
+    }
+    pos_ += take;
+    return true;
+  }
+
+ private:
+  bool materialized_ = false;
+  Table all_;
+  size_t pos_ = 0;
+};
+
+// --- Fixpoint --------------------------------------------------------------
+
+/// Semi-naive fixpoint. A hard barrier: the whole fixpoint runs at first
+/// pull. Each iteration builds a fresh operator tree for the recursive arm
+/// (mirroring the legacy re-evaluation, including nested fix caching),
+/// drains it with the current delta installed, harvests its stats and
+/// flattens its charges into one per-iteration log. Replay order is
+/// base subtree, then iteration 1..n arm charges, then own (cache-hit temp
+/// scan) charges — the legacy temporal order.
+class FixOp : public Op {
+ public:
+  FixOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
+    schema_.cols = node->cols;
+    children_.push_back(BuildOp(ctx, node->children[0].get()));
+  }
+
+  void Replay(PageCharger* sink) override {
+    children_[0]->Replay(sink);
+    for (const ChargeLog& l : iter_logs_) l.ReplayInto(sink);
+    log_.ReplayInto(sink);
+  }
+
+ protected:
+  bool Next(RowBatch* out) override {
+    if (!computed_) {
+      computed_ = true;
+      Compute();
+    }
+    if (pos_ >= serve_src_->rows.size()) return false;
+    const size_t take =
+        std::min(ctx_->batch_rows, serve_src_->rows.size() - pos_);
+    out->rows.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      if (own_rows_) {
+        out->rows.push_back(std::move(result_.rows[pos_ + i]));
+      } else {
+        out->rows.push_back(serve_src_->rows[pos_ + i]);
+      }
+    }
+    pos_ += take;
+    return true;
+  }
+
+ private:
+  void Compute() {
+    const PTNode& node = *node_;
+    const bool cacheable = !HasForeignDelta(node, node.fix_name);
+    std::string key;
+    if (cacheable && ctx_->fix_cache != nullptr) {
+      key = node.Fingerprint();
+      auto it = ctx_->fix_cache->find(key);
+      if (it != ctx_->fix_cache->end()) {
+        ChargeTempScan(it->second.second, &log_);
+        serve_src_ = &it->second.first;
+        return;
+      }
+    }
+    Table base = DrainOp(children_[0].get());
+    base.Dedup();
+
+    result_.schema.cols = node.cols;
+    result_.rows = base.rows;
+
+    std::set<Row, bool (*)(const Row&, const Row&)> seen(&Table::RowLess);
+    for (const Row& r : base.rows) seen.insert(r);
+
+    // Semi-naive: feed only the last iteration's new tuples into the
+    // recursive arm. Naive mode feeds the whole accumulated result each
+    // round (re-deriving everything) — the evaluation strategy Figure 5's
+    // cost formula improves on.
+    Table delta = std::move(base);
+    bool progress = true;
+    while (progress && !result_.rows.empty()) {
+      ++ctx_->fix_iterations;
+      const Table& input = node.naive_fix ? result_ : delta;
+      if (!node.naive_fix && delta.rows.empty()) break;
+      const TempFile temp = AllocateTempFile(ctx_->db, input.rows.size(),
+                                             input.schema.cols.size());
+      ctx_->deltas[node.fix_name] = {&input, temp};
+      std::unique_ptr<Op> arm = BuildOp(ctx_, node.children[1].get());
+      Table produced = DrainOp(arm.get());
+      ctx_->deltas.erase(node.fix_name);
+      if (ctx_->collect_op_stats) arm->Harvest();
+      iter_logs_.emplace_back();
+      arm->Replay(&iter_logs_.back());
+
+      Table next;
+      next.schema = result_.schema;
+      for (Row& r : produced.rows) {
+        if (seen.insert(r).second) {
+          result_.rows.push_back(r);
+          next.rows.push_back(std::move(r));
+        }
+      }
+      progress = !next.rows.empty();
+      delta = std::move(next);
+    }
+    if (cacheable && ctx_->fix_cache != nullptr) {
+      const TempFile temp = AllocateTempFile(ctx_->db, result_.rows.size(),
+                                             result_.schema.cols.size());
+      (*ctx_->fix_cache)[key] = {result_, temp};
+    }
+    serve_src_ = &result_;
+    own_rows_ = true;
+  }
+
+  bool computed_ = false;
+  Table result_;
+  const Table* serve_src_ = nullptr;
+  bool own_rows_ = false;
+  size_t pos_ = 0;
+  std::vector<ChargeLog> iter_logs_;
+};
+
+// --- Factory ---------------------------------------------------------------
+
+std::unique_ptr<Op> BuildOp(ExecCtx* ctx, const PTNode* node) {
+  switch (node->kind) {
+    case PTKind::kEntity:
+      return std::make_unique<EntityScanOp>(ctx, node);
+    case PTKind::kDelta:
+      return std::make_unique<DeltaScanOp>(ctx, node);
+    case PTKind::kSel:
+      if (node->sel_access != SelAccess::kSeqScan) {
+        return std::make_unique<IndexSelOp>(ctx, node);
+      }
+      if (node->children[0]->kind == PTKind::kEntity) {
+        return std::make_unique<FilterScanOp>(ctx, node);
+      }
+      return std::make_unique<FilterOp>(ctx, node);
+    case PTKind::kProj:
+      return std::make_unique<ProjOp>(ctx, node);
+    case PTKind::kEJ:
+      if (node->algo == JoinAlgo::kIndexJoin) {
+        return std::make_unique<IndexJoinOp>(ctx, node);
+      }
+      return std::make_unique<NLJoinOp>(ctx, node);
+    case PTKind::kIJ:
+      return std::make_unique<IJOp>(ctx, node);
+    case PTKind::kPIJ:
+      return std::make_unique<PIJOp>(ctx, node);
+    case PTKind::kUnion:
+      return std::make_unique<UnionOp>(ctx, node);
+    case PTKind::kFix:
+      return std::make_unique<FixOp>(ctx, node);
+  }
+  RODIN_CHECK(false, "unknown PT node kind");
+  return nullptr;
+}
+
+/// Makes the engine-local page counts inclusive: each profiled node's pages
+/// gain the sum of its children's (inclusive) pages, bottom-up. Nodes never
+/// evaluated (fused entity children, cache-skipped subtrees) contribute
+/// their descendants' total transparently.
+uint64_t SumPagesInclusive(const PTNode& node,
+                           std::map<const PTNode*, OpStats>* stats) {
+  uint64_t child_total = 0;
+  for (const auto& c : node.children) {
+    child_total += SumPagesInclusive(*c, stats);
+  }
+  auto it = stats->find(&node);
+  if (it == stats->end()) return child_total;
+  it->second.pages += child_total;
+  return it->second.pages;
+}
+
+}  // namespace
+
+struct BatchEngine::Impl {
+  Config cfg;
+  const PTNode* plan = nullptr;
+  ExecCtx ctx;
+  std::unique_ptr<Op> root;
+  bool finalized = false;
+  bool exhausted = false;
+  uint64_t rows_emitted = 0;
+};
+
+BatchEngine::BatchEngine(const Config& config, const PTNode& plan)
+    : impl_(std::make_unique<Impl>()) {
+  RODIN_CHECK(config.db != nullptr, "engine needs a database");
+  impl_->cfg = config;
+  impl_->plan = &plan;
+  ExecCtx& ctx = impl_->ctx;
+  ctx.db = config.db;
+  ctx.batch_rows = std::max<size_t>(1, config.batch_rows);
+  ctx.threads = std::max<size_t>(1, config.exec_threads);
+  ctx.hash_equijoin = config.hash_equijoin;
+  ctx.collect_op_stats = config.collect_op_stats;
+  ctx.pool = config.pool;
+  ctx.fix_cache = config.fix_cache;
+  impl_->root = BuildOp(&ctx, &plan);
+}
+
+BatchEngine::~BatchEngine() { Finalize(); }
+
+const RowSchema& BatchEngine::schema() const { return impl_->root->schema(); }
+
+uint64_t BatchEngine::rows_emitted() const { return impl_->rows_emitted; }
+
+bool BatchEngine::Next(RowBatch* out) {
+  out->Clear();
+  if (impl_->exhausted) return false;
+  while (true) {
+    if (!impl_->root->Pull(out)) {
+      impl_->exhausted = true;
+      out->Clear();
+      return false;
+    }
+    if (!out->empty()) {
+      impl_->rows_emitted += out->size();
+      return true;
+    }
+  }
+}
+
+void BatchEngine::Finalize() {
+  if (impl_->finalized) return;
+  impl_->finalized = true;
+  ExecCtx& ctx = impl_->ctx;
+  // Canonical replay: the pool sees the exact charge sequence the legacy
+  // bottom-up evaluator would have produced, so LRU hits and misses — and
+  // with them MeasuredCost() — are independent of batching and threading.
+  impl_->root->Replay(&ctx.db->buffer_pool());
+  if (ctx.collect_op_stats) {
+    impl_->root->Harvest();
+    SumPagesInclusive(*impl_->plan, &ctx.local_stats);
+    if (impl_->cfg.op_stats != nullptr) {
+      for (const auto& [node, s] : ctx.local_stats) {
+        OpStats& dst = (*impl_->cfg.op_stats)[node];
+        dst.invocations += s.invocations;
+        dst.rows += s.rows;
+        dst.pages += s.pages;
+        dst.micros += s.micros;
+      }
+    }
+  }
+  if (impl_->cfg.counters != nullptr) {
+    ExecCounters* c = impl_->cfg.counters;
+    c->predicate_evals += ctx.counters.predicate_evals;
+    c->method_calls += ctx.counters.method_calls;
+    c->fix_iterations += ctx.fix_iterations;
+    c->rows_produced += impl_->rows_emitted;
+    if (impl_->cfg.method_cost_fp != nullptr) {
+      *impl_->cfg.method_cost_fp += ctx.counters.method_cost_fp;
+      c->method_cost = MethodCostFromFp(*impl_->cfg.method_cost_fp);
+    }
+  }
+}
+
+}  // namespace rodin

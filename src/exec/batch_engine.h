@@ -1,0 +1,74 @@
+#ifndef RODIN_EXEC_BATCH_ENGINE_H_
+#define RODIN_EXEC_BATCH_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "exec/executor.h"
+#include "exec/row_batch.h"
+
+namespace rodin {
+
+class ThreadPool;
+
+/// The batched, morsel-parallel evaluation engine behind Executor and
+/// ResultCursor. One engine instance evaluates one processing tree as a pull
+/// pipeline of Open/NextBatch-style operators over ~ExecOptions::batch_rows
+/// row batches; leaf scans, filters, joins and index probes fan their
+/// per-row work across a shared worker pool in contiguous morsels.
+///
+/// Accounting is deterministic by construction: workers never touch the
+/// buffer pool — every operator pass records its page charges into its own
+/// ChargeLog (morsel logs merged in morsel order), and Finalize() replays
+/// all logs into the pool in the canonical order of the materialized
+/// bottom-up evaluator (post-order, iteration by iteration for fixpoints).
+/// CPU counters are integers (plus fixed-point method cost), so per-morsel
+/// partial sums merge to the same totals for any batch size or thread
+/// count. The result: ExecCounters, OpStats and MeasuredCost() are
+/// bit-identical to the legacy evaluator, for any configuration.
+class BatchEngine {
+ public:
+  struct Config {
+    Database* db = nullptr;
+    size_t batch_rows = 1024;
+    size_t exec_threads = 1;
+    bool hash_equijoin = false;
+    ThreadPool* pool = nullptr;  // shared worker pool; null = inline
+    std::map<std::string, std::pair<Table, TempFile>>* fix_cache = nullptr;
+    bool collect_op_stats = false;
+    /// Finalize() sinks, all owned by the Executor.
+    std::map<const PTNode*, OpStats>* op_stats = nullptr;
+    ExecCounters* counters = nullptr;
+    uint64_t* method_cost_fp = nullptr;
+  };
+
+  BatchEngine(const Config& config, const PTNode& plan);
+  ~BatchEngine();
+
+  BatchEngine(const BatchEngine&) = delete;
+  BatchEngine& operator=(const BatchEngine&) = delete;
+
+  const RowSchema& schema() const;
+
+  /// Fills `out` with the next batch (up to batch_rows rows). Returns false
+  /// when the plan is exhausted; never returns an empty batch otherwise.
+  bool Next(RowBatch* out);
+
+  /// Replays every recorded page charge into the buffer pool in canonical
+  /// order and merges counters / op stats into the configured sinks.
+  /// Idempotent; called by the destructor if never called explicitly.
+  void Finalize();
+
+  uint64_t rows_emitted() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_EXEC_BATCH_ENGINE_H_

@@ -1,0 +1,215 @@
+#include "exec/eval_core.h"
+
+#include "common/check.h"
+
+namespace rodin {
+
+bool CompareValues(CompareOp op, const Value& a, const Value& b) {
+  const int c = a.Compare(b);
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+void ExpandValue(const Value& v, std::vector<Value>* out) {
+  if (v.is_null()) return;
+  if (v.is_collection()) {
+    for (const Value& e : v.AsCollection().elems) ExpandValue(e, out);
+    return;
+  }
+  out->push_back(v);
+}
+
+bool SplitProbe(const Expr& cmp, Value* literal, bool* path_on_left) {
+  if (cmp.kind() != ExprKind::kCompare) return false;
+  const ExprPtr& l = cmp.children()[0];
+  const ExprPtr& r = cmp.children()[1];
+  if (l->kind() == ExprKind::kVarPath && r->kind() == ExprKind::kLiteral) {
+    *literal = r->literal();
+    *path_on_left = true;
+    return true;
+  }
+  if (r->kind() == ExprKind::kVarPath && l->kind() == ExprKind::kLiteral) {
+    *literal = l->literal();
+    *path_on_left = false;
+    return true;
+  }
+  return false;
+}
+
+void Navigate(EvalContext* ctx, const Value& start,
+              const std::vector<std::string>& path, size_t step,
+              std::vector<Value>* out) {
+  if (start.is_null()) return;
+  if (start.is_collection()) {
+    for (const Value& e : start.AsCollection().elems) {
+      Navigate(ctx, e, path, step, out);
+    }
+    return;
+  }
+  if (step == path.size()) {
+    out->push_back(start);
+    return;
+  }
+  if (!start.is_ref()) return;  // atomic value with residual path: no match
+  const Oid oid = start.AsRef();
+  const std::string& attr = path[step];
+  const std::string& extent = ctx->db->ExtentNameOf(oid);
+  const ClassDef* cls = ctx->db->schema().FindClass(extent);
+  if (cls != nullptr) {
+    const Attribute* a = cls->FindAttribute(attr);
+    if (a != nullptr && a->computed) {
+      ++*ctx->method_calls;
+      *ctx->method_cost_fp += MethodCostToFp(a->method_cost);
+      // Methods read their receiver: charge the record access.
+      ctx->db->ChargeRecordAccess(oid, {}, ctx->charger);
+      const Value v = ctx->db->InvokeMethod(oid, attr);
+      Navigate(ctx, v, path, step + 1, out);
+      return;
+    }
+  }
+  const Value v = ctx->db->GetCharged(oid, attr, ctx->charger);
+  Navigate(ctx, v, path, step + 1, out);
+}
+
+std::vector<Value> EvalMulti(EvalContext* ctx, const RowSchema& schema,
+                             const Row& row, const ExprPtr& expr) {
+  std::vector<Value> out;
+  if (expr == nullptr) return out;
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      out.push_back(expr->literal());
+      return out;
+    case ExprKind::kVarPath: {
+      int col = -1;
+      std::vector<std::string> rest;
+      RODIN_CHECK(schema.ResolveVarPath(expr->var(), expr->path(), &col, &rest),
+                  "unresolvable variable path in executor");
+      Navigate(ctx, row[col], rest, 0, &out);
+      return out;
+    }
+    case ExprKind::kArith: {
+      const std::vector<Value> l =
+          EvalMulti(ctx, schema, row, expr->children()[0]);
+      const std::vector<Value> r =
+          EvalMulti(ctx, schema, row, expr->children()[1]);
+      for (const Value& a : l) {
+        for (const Value& b : r) {
+          if (a.is_int() && b.is_int()) {
+            out.push_back(Value::Int(expr->arith_op() == ArithOp::kAdd
+                                         ? a.AsInt() + b.AsInt()
+                                         : a.AsInt() - b.AsInt()));
+          } else {
+            const double x = a.AsNumber();
+            const double y = b.AsNumber();
+            out.push_back(Value::Real(
+                expr->arith_op() == ArithOp::kAdd ? x + y : x - y));
+          }
+        }
+      }
+      return out;
+    }
+    case ExprKind::kCompare:
+    case ExprKind::kAnd:
+    case ExprKind::kOr:
+    case ExprKind::kNot:
+      out.push_back(Value::Bool(EvalPred(ctx, schema, row, expr)));
+      return out;
+  }
+  return out;
+}
+
+bool EvalPred(EvalContext* ctx, const RowSchema& schema, const Row& row,
+              const ExprPtr& pred) {
+  if (pred == nullptr) return true;
+  switch (pred->kind()) {
+    case ExprKind::kAnd:
+      for (const ExprPtr& c : pred->children()) {
+        if (!EvalPred(ctx, schema, row, c)) return false;
+      }
+      return true;
+    case ExprKind::kOr:
+      for (const ExprPtr& c : pred->children()) {
+        if (EvalPred(ctx, schema, row, c)) return true;
+      }
+      return false;
+    case ExprKind::kNot:
+      return !EvalPred(ctx, schema, row, pred->children()[0]);
+    case ExprKind::kCompare: {
+      const std::vector<Value> l =
+          EvalMulti(ctx, schema, row, pred->children()[0]);
+      const std::vector<Value> r =
+          EvalMulti(ctx, schema, row, pred->children()[1]);
+      // Exists-semantics over multi-valued paths.
+      for (const Value& a : l) {
+        for (const Value& b : r) {
+          if (CompareValues(pred->compare_op(), a, b)) return true;
+        }
+      }
+      return false;
+    }
+    case ExprKind::kLiteral:
+      return pred->literal().is_bool() && pred->literal().AsBool();
+    case ExprKind::kArith:
+      return false;  // a bare arithmetic expression is not a predicate
+    case ExprKind::kVarPath: {
+      const std::vector<Value> vals = EvalMulti(ctx, schema, row, pred);
+      for (const Value& v : vals) {
+        if (v.is_bool() && v.AsBool()) return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+ExprPtr ExtractIndexProbe(const PTNode& node, const std::string& inner_binding,
+                          ExprPtr* residual_pred) {
+  ExprPtr probe;
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& c :
+       (node.pred == nullptr ? std::vector<ExprPtr>{} : node.pred->Conjuncts())) {
+    if (probe == nullptr && c->kind() == ExprKind::kCompare &&
+        c->compare_op() == CompareOp::kEq) {
+      const ExprPtr& l = c->children()[0];
+      const ExprPtr& r = c->children()[1];
+      auto is_inner_attr = [&](const ExprPtr& e) {
+        return e->kind() == ExprKind::kVarPath && e->var() == inner_binding &&
+               e->path().size() == 1 && e->path()[0] == node.join_index_attr;
+      };
+      if (is_inner_attr(l) && r->FreeVars().count(inner_binding) == 0) {
+        probe = r;
+        continue;
+      }
+      if (is_inner_attr(r) && l->FreeVars().count(inner_binding) == 0) {
+        probe = l;
+        continue;
+      }
+    }
+    residual.push_back(c);
+  }
+  *residual_pred = ConjunctionOf(std::move(residual));
+  return probe;
+}
+
+bool HasForeignDelta(const PTNode& tree, const std::string& own) {
+  if (tree.kind == PTKind::kDelta && tree.fix_name != own) return true;
+  for (const auto& c : tree.children) {
+    if (HasForeignDelta(*c, own)) return true;
+  }
+  return false;
+}
+
+}  // namespace rodin

@@ -3,65 +3,32 @@
 #include <algorithm>
 #include <chrono>
 #include <set>
+#include <utility>
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "exec/batch_engine.h"
+#include "exec/eval_core.h"
+#include "exec/row_batch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace rodin {
 
-namespace {
-
-bool CompareValues(CompareOp op, const Value& a, const Value& b) {
-  const int c = a.Compare(b);
-  switch (op) {
-    case CompareOp::kEq:
-      return c == 0;
-    case CompareOp::kNe:
-      return c != 0;
-    case CompareOp::kLt:
-      return c < 0;
-    case CompareOp::kLe:
-      return c <= 0;
-    case CompareOp::kGt:
-      return c > 0;
-    case CompareOp::kGe:
-      return c >= 0;
-  }
-  return false;
+TempFile AllocateTempFile(Database* db, size_t rows, size_t ncols) {
+  const uint64_t bytes =
+      static_cast<uint64_t>(rows) * 16 * std::max<size_t>(1, ncols);
+  TempFile temp;
+  temp.pages =
+      std::max<uint64_t>(1, (bytes + kPageSizeBytes - 1) / kPageSizeBytes);
+  temp.first = db->AllocatePages(temp.pages);
+  return temp;
 }
 
-// Expands a (possibly collection-valued) value into individual elements.
-void Expand(const Value& v, std::vector<Value>* out) {
-  if (v.is_null()) return;
-  if (v.is_collection()) {
-    for (const Value& e : v.AsCollection().elems) Expand(e, out);
-    return;
-  }
-  out->push_back(v);
+void ChargeTempScan(const TempFile& temp, PageCharger* charger) {
+  for (uint64_t p = 0; p < temp.pages; ++p) charger->Charge(temp.first + p);
 }
-
-// For an index probe predicate `cmp`, returns the literal side and whether
-// the path is on the left.
-bool SplitProbe(const Expr& cmp, Value* literal, bool* path_on_left) {
-  if (cmp.kind() != ExprKind::kCompare) return false;
-  const ExprPtr& l = cmp.children()[0];
-  const ExprPtr& r = cmp.children()[1];
-  if (l->kind() == ExprKind::kVarPath && r->kind() == ExprKind::kLiteral) {
-    *literal = r->literal();
-    *path_on_left = true;
-    return true;
-  }
-  if (r->kind() == ExprKind::kVarPath && l->kind() == ExprKind::kLiteral) {
-    *literal = l->literal();
-    *path_on_left = false;
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
 
 Executor::Executor(Database* db, CostParams params)
     : db_(db), params_(params) {
@@ -69,6 +36,8 @@ Executor::Executor(Database* db, CostParams params)
   RODIN_CHECK(db->finalized(), "executor needs a finalized database");
   start_misses_ = db_->buffer_pool().stats().misses;
 }
+
+Executor::~Executor() = default;
 
 double Executor::MeasuredCost() const {
   const double misses = static_cast<double>(
@@ -80,6 +49,7 @@ double Executor::MeasuredCost() const {
 
 void Executor::ResetMeasurement(bool clear_buffer) {
   counters_ = ExecCounters{};
+  method_cost_fp_ = 0;
   op_stats_.clear();
   if (clear_buffer) {
     db_->buffer_pool().Clear();
@@ -89,142 +59,31 @@ void Executor::ResetMeasurement(bool clear_buffer) {
   start_misses_ = db_->buffer_pool().stats().misses;
 }
 
-Executor::TempFile Executor::MakeTemp(size_t rows, size_t ncols) {
-  const uint64_t bytes = static_cast<uint64_t>(rows) * 16 *
-                         std::max<size_t>(1, ncols);
-  TempFile temp;
-  temp.pages = std::max<uint64_t>(1, (bytes + kPageSizeBytes - 1) / kPageSizeBytes);
-  temp.first = db_->AllocatePages(temp.pages);
-  return temp;
+ThreadPool* Executor::PoolFor(size_t threads) {
+  if (threads <= 1) return nullptr;
+  if (pool_ == nullptr || pool_threads_ != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+    pool_threads_ = threads;
+  }
+  return pool_.get();
 }
 
-void Executor::ChargeTempScan(const TempFile& temp) {
-  for (uint64_t p = 0; p < temp.pages; ++p) {
-    db_->buffer_pool().Fetch(temp.first + p);
-  }
+void Executor::EmitExecMetrics(size_t rows) {
+  static obs::Counter* execs =
+      obs::MetricsRegistry::Global().GetCounter("rodin.exec.executions");
+  static obs::Counter* produced =
+      obs::MetricsRegistry::Global().GetCounter("rodin.exec.rows_produced");
+  execs->Add(1);
+  produced->Add(rows);
 }
 
-void Executor::Navigate(const Value& start, const std::vector<std::string>& path,
-                        size_t step, std::vector<Value>* out) {
-  if (start.is_null()) return;
-  if (start.is_collection()) {
-    for (const Value& e : start.AsCollection().elems) {
-      Navigate(e, path, step, out);
-    }
-    return;
-  }
-  if (step == path.size()) {
-    out->push_back(start);
-    return;
-  }
-  if (!start.is_ref()) return;  // atomic value with residual path: no match
-  const Oid oid = start.AsRef();
-  const std::string& attr = path[step];
-  const std::string& extent = db_->ExtentNameOf(oid);
-  const ClassDef* cls = db_->schema().FindClass(extent);
-  if (cls != nullptr) {
-    const Attribute* a = cls->FindAttribute(attr);
-    if (a != nullptr && a->computed) {
-      ++counters_.method_calls;
-      counters_.method_cost += a->method_cost;
-      // Methods read their receiver: charge the record access.
-      db_->ChargeRecordAccess(oid, {});
-      const Value v = db_->InvokeMethod(oid, attr);
-      Navigate(v, path, step + 1, out);
-      return;
-    }
-  }
-  const Value v = db_->GetCharged(oid, attr);
-  Navigate(v, path, step + 1, out);
-}
-
-std::vector<Value> Executor::EvalMulti(const RowSchema& schema, const Row& row,
-                                       const ExprPtr& expr) {
-  std::vector<Value> out;
-  if (expr == nullptr) return out;
-  switch (expr->kind()) {
-    case ExprKind::kLiteral:
-      out.push_back(expr->literal());
-      return out;
-    case ExprKind::kVarPath: {
-      int col = -1;
-      std::vector<std::string> rest;
-      RODIN_CHECK(schema.ResolveVarPath(expr->var(), expr->path(), &col, &rest),
-                  "unresolvable variable path in executor");
-      Navigate(row[col], rest, 0, &out);
-      return out;
-    }
-    case ExprKind::kArith: {
-      const std::vector<Value> l = EvalMulti(schema, row, expr->children()[0]);
-      const std::vector<Value> r = EvalMulti(schema, row, expr->children()[1]);
-      for (const Value& a : l) {
-        for (const Value& b : r) {
-          if (a.is_int() && b.is_int()) {
-            out.push_back(Value::Int(expr->arith_op() == ArithOp::kAdd
-                                         ? a.AsInt() + b.AsInt()
-                                         : a.AsInt() - b.AsInt()));
-          } else {
-            const double x = a.AsNumber();
-            const double y = b.AsNumber();
-            out.push_back(Value::Real(expr->arith_op() == ArithOp::kAdd
-                                          ? x + y
-                                          : x - y));
-          }
-        }
-      }
-      return out;
-    }
-    case ExprKind::kCompare:
-    case ExprKind::kAnd:
-    case ExprKind::kOr:
-    case ExprKind::kNot:
-      out.push_back(Value::Bool(EvalPred(schema, row, expr)));
-      return out;
-  }
-  return out;
-}
-
-bool Executor::EvalPred(const RowSchema& schema, const Row& row,
-                        const ExprPtr& pred) {
-  if (pred == nullptr) return true;
-  switch (pred->kind()) {
-    case ExprKind::kAnd:
-      for (const ExprPtr& c : pred->children()) {
-        if (!EvalPred(schema, row, c)) return false;
-      }
-      return true;
-    case ExprKind::kOr:
-      for (const ExprPtr& c : pred->children()) {
-        if (EvalPred(schema, row, c)) return true;
-      }
-      return false;
-    case ExprKind::kNot:
-      return !EvalPred(schema, row, pred->children()[0]);
-    case ExprKind::kCompare: {
-      const std::vector<Value> l = EvalMulti(schema, row, pred->children()[0]);
-      const std::vector<Value> r = EvalMulti(schema, row, pred->children()[1]);
-      // Exists-semantics over multi-valued paths.
-      for (const Value& a : l) {
-        for (const Value& b : r) {
-          if (CompareValues(pred->compare_op(), a, b)) return true;
-        }
-      }
-      return false;
-    }
-    case ExprKind::kLiteral:
-      return pred->literal().is_bool() && pred->literal().AsBool();
-    case ExprKind::kArith:
-      return false;  // a bare arithmetic expression is not a predicate
-    case ExprKind::kVarPath: {
-      const std::vector<Value> vals = EvalMulti(schema, row, pred);
-      for (const Value& v : vals) {
-        if (v.is_bool() && v.AsBool()) return true;
-      }
-      return false;
-    }
-  }
-  return false;
-}
+// --- Legacy whole-table evaluator (ExecOptions::use_legacy) ----------------
+//
+// The pre-batching engine: every node materializes its full result in one
+// recursive call. Kept as the differential-testing oracle and the bench
+// baseline; the batched engine reproduces its accounting bit for bit.
+// Expression evaluation and counting go through eval_core with an
+// EvalContext wired directly at the executor's counters and buffer pool.
 
 Table Executor::EvalEntity(const PTNode& node) {
   Table out;
@@ -239,7 +98,7 @@ Table Executor::EvalDelta(const PTNode& node) {
   auto it = deltas_.find(node.fix_name);
   RODIN_CHECK(it != deltas_.end(), "delta referenced outside its fixpoint");
   const Table* delta = it->second.first;
-  ChargeTempScan(it->second.second);
+  ChargeTempScan(it->second.second, &db_->buffer_pool());
   Table out;
   out.schema.cols = node.cols;
   RODIN_CHECK(delta->schema.cols.size() == node.cols.size(),
@@ -249,6 +108,8 @@ Table Executor::EvalDelta(const PTNode& node) {
 }
 
 Table Executor::EvalSel(const PTNode& node) {
+  EvalContext ec{db_, &db_->buffer_pool(), &counters_.predicate_evals,
+                 &counters_.method_calls, &method_cost_fp_};
   const PTNode& child = *node.children[0];
   Table out;
   out.schema.cols = node.cols;
@@ -283,7 +144,7 @@ Table Executor::EvalSel(const PTNode& node) {
       db_->ChargeRecordAccess(oid, {});
       Row row = {Value::Ref(oid)};
       ++counters_.predicate_evals;
-      if (EvalPred(out.schema, row, node.pred)) {
+      if (EvalPred(&ec, out.schema, row, node.pred)) {
         out.rows.push_back(std::move(row));
       }
     }
@@ -295,7 +156,7 @@ Table Executor::EvalSel(const PTNode& node) {
     db_->ScanEntity(child.entity, [&](Oid oid, const std::vector<Value>&) {
       Row row = {Value::Ref(oid)};
       ++counters_.predicate_evals;
-      if (EvalPred(out.schema, row, node.pred)) {
+      if (EvalPred(&ec, out.schema, row, node.pred)) {
         out.rows.push_back(std::move(row));
       }
     });
@@ -305,7 +166,7 @@ Table Executor::EvalSel(const PTNode& node) {
   Table input = Eval(child);
   for (Row& row : input.rows) {
     ++counters_.predicate_evals;
-    if (EvalPred(input.schema, row, node.pred)) {
+    if (EvalPred(&ec, input.schema, row, node.pred)) {
       out.rows.push_back(std::move(row));
     }
   }
@@ -313,6 +174,8 @@ Table Executor::EvalSel(const PTNode& node) {
 }
 
 Table Executor::EvalProj(const PTNode& node) {
+  EvalContext ec{db_, &db_->buffer_pool(), &counters_.predicate_evals,
+                 &counters_.method_calls, &method_cost_fp_};
   Table input = Eval(*node.children[0]);
   Table out;
   out.schema.cols = node.cols;
@@ -321,7 +184,7 @@ Table Executor::EvalProj(const PTNode& node) {
     std::vector<std::vector<Value>> cols;
     bool any_empty = false;
     for (const OutCol& c : node.proj) {
-      cols.push_back(EvalMulti(input.schema, row, c.expr));
+      cols.push_back(EvalMulti(&ec, input.schema, row, c.expr));
       if (cols.back().empty()) any_empty = true;
     }
     if (any_empty) continue;
@@ -350,6 +213,8 @@ Table Executor::EvalProj(const PTNode& node) {
 }
 
 Table Executor::EvalEJ(const PTNode& node) {
+  EvalContext ec{db_, &db_->buffer_pool(), &counters_.predicate_evals,
+                 &counters_.method_calls, &method_cost_fp_};
   const PTNode& left_node = *node.children[0];
   const PTNode& right_node = *node.children[1];
   Table left = Eval(left_node);
@@ -360,41 +225,13 @@ Table Executor::EvalEJ(const PTNode& node) {
     RODIN_CHECK(right_node.kind == PTKind::kEntity,
                 "index join needs an entity inner");
     RODIN_CHECK(node.join_index != nullptr, "index join without an index");
-    // The probe expression is the conjunct side that references outer
-    // columns: find Cmp(=, inner.attr, outer_expr) among the conjuncts.
-    ExprPtr probe;
     ExprPtr residual_pred;
-    {
-      std::vector<ExprPtr> residual;
-      for (const ExprPtr& c :
-           (node.pred == nullptr ? std::vector<ExprPtr>{} : node.pred->Conjuncts())) {
-        if (probe == nullptr && c->kind() == ExprKind::kCompare &&
-            c->compare_op() == CompareOp::kEq) {
-          const ExprPtr& l = c->children()[0];
-          const ExprPtr& r = c->children()[1];
-          auto is_inner_attr = [&](const ExprPtr& e) {
-            return e->kind() == ExprKind::kVarPath &&
-                   e->var() == right_node.binding &&
-                   e->path().size() == 1 &&
-                   e->path()[0] == node.join_index_attr;
-          };
-          if (is_inner_attr(l) && r->FreeVars().count(right_node.binding) == 0) {
-            probe = r;
-            continue;
-          }
-          if (is_inner_attr(r) && l->FreeVars().count(right_node.binding) == 0) {
-            probe = l;
-            continue;
-          }
-        }
-        residual.push_back(c);
-      }
-      residual_pred = ConjunctionOf(std::move(residual));
-    }
+    const ExprPtr probe =
+        ExtractIndexProbe(node, right_node.binding, &residual_pred);
     RODIN_CHECK(probe != nullptr, "index join probe not found in predicate");
 
     for (const Row& lrow : left.rows) {
-      const std::vector<Value> keys = EvalMulti(left.schema, lrow, probe);
+      const std::vector<Value> keys = EvalMulti(&ec, left.schema, lrow, probe);
       for (const Value& key : keys) {
         const std::vector<uint64_t> payloads =
             node.join_index->Lookup(key, &db_->buffer_pool());
@@ -404,7 +241,7 @@ Table Executor::EvalEJ(const PTNode& node) {
           Row row = lrow;
           row.push_back(Value::Ref(oid));
           ++counters_.predicate_evals;
-          if (EvalPred(out.schema, row, residual_pred)) {
+          if (EvalPred(&ec, out.schema, row, residual_pred)) {
             out.rows.push_back(std::move(row));
           }
         }
@@ -424,7 +261,7 @@ Table Executor::EvalEJ(const PTNode& node) {
     const Extent* e = db_->FindExtent(right_node.entity.extent);
     inner_pages = e->ScanPages(right_node.entity.vfrag, right_node.entity.hfrag);
   } else if (!inner_entity) {
-    temp = MakeTemp(right.rows.size(), right.schema.cols.size());
+    temp = AllocateTempFile(db_, right.rows.size(), right.schema.cols.size());
   }
 
   bool first_outer = true;
@@ -434,13 +271,15 @@ Table Executor::EvalEJ(const PTNode& node) {
       if (!inner_pages.empty()) {
         for (PageId p : inner_pages) db_->buffer_pool().Fetch(p);
       } else if (temp.pages > 0) {
-        ChargeTempScan(temp);
+        ChargeTempScan(temp, &db_->buffer_pool());
       }
       // Delta inners are charged by EvalDelta once; re-scans of the delta
       // temp are charged here through deltas_.
       if (right_node.kind == PTKind::kDelta) {
         auto it = deltas_.find(right_node.fix_name);
-        if (it != deltas_.end()) ChargeTempScan(it->second.second);
+        if (it != deltas_.end()) {
+          ChargeTempScan(it->second.second, &db_->buffer_pool());
+        }
       }
     }
     first_outer = false;
@@ -448,7 +287,7 @@ Table Executor::EvalEJ(const PTNode& node) {
       Row row = lrow;
       row.insert(row.end(), rrow.begin(), rrow.end());
       ++counters_.predicate_evals;
-      if (EvalPred(out.schema, row, node.pred)) {
+      if (EvalPred(&ec, out.schema, row, node.pred)) {
         out.rows.push_back(std::move(row));
       }
     }
@@ -457,6 +296,8 @@ Table Executor::EvalEJ(const PTNode& node) {
 }
 
 Table Executor::EvalIJ(const PTNode& node) {
+  EvalContext ec{db_, &db_->buffer_pool(), &counters_.predicate_evals,
+                 &counters_.method_calls, &method_cost_fp_};
   Table input = Eval(*node.children[0]);
   Table out;
   out.schema.cols = node.cols;
@@ -468,9 +309,9 @@ Table Executor::EvalIJ(const PTNode& node) {
     std::vector<Value> targets;
     if (rest.empty()) {
       // Dotted column: the reference is already materialized in the row.
-      Expand(row[col], &targets);
+      ExpandValue(row[col], &targets);
     } else {
-      Navigate(row[col], {node.attr}, 0, &targets);
+      Navigate(&ec, row[col], {node.attr}, 0, &targets);
     }
     for (const Value& t : targets) {
       if (!t.is_ref()) continue;
@@ -517,21 +358,6 @@ Table Executor::EvalUnion(const PTNode& node) {
   return out;
 }
 
-namespace {
-
-// True when `tree` contains a delta leaf of a fixpoint other than `own` —
-// such a subtree's value depends on the enclosing fixpoint's iteration
-// state and must not be memoized.
-bool HasForeignDelta(const PTNode& tree, const std::string& own) {
-  if (tree.kind == PTKind::kDelta && tree.fix_name != own) return true;
-  for (const auto& c : tree.children) {
-    if (HasForeignDelta(*c, own)) return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 Table Executor::EvalFix(const PTNode& node) {
   const bool cacheable = !HasForeignDelta(node, node.fix_name);
   std::string key;
@@ -539,7 +365,7 @@ Table Executor::EvalFix(const PTNode& node) {
     key = node.Fingerprint();
     auto it = fix_cache_.find(key);
     if (it != fix_cache_.end()) {
-      ChargeTempScan(it->second.second);
+      ChargeTempScan(it->second.second, &db_->buffer_pool());
       return it->second.first;
     }
   }
@@ -564,7 +390,7 @@ Table Executor::EvalFix(const PTNode& node) {
     const Table& input = node.naive_fix ? result : delta;
     if (!node.naive_fix && delta.rows.empty()) break;
     const TempFile temp =
-        MakeTemp(input.rows.size(), input.schema.cols.size());
+        AllocateTempFile(db_, input.rows.size(), input.schema.cols.size());
     deltas_[node.fix_name] = {&input, temp};
     Table produced = Eval(*node.children[1]);
     deltas_.erase(node.fix_name);
@@ -582,7 +408,7 @@ Table Executor::EvalFix(const PTNode& node) {
   }
   if (cacheable) {
     const TempFile temp =
-        MakeTemp(result.rows.size(), result.schema.cols.size());
+        AllocateTempFile(db_, result.rows.size(), result.schema.cols.size());
     fix_cache_[key] = {result, temp};
   }
   return result;
@@ -628,24 +454,46 @@ Table Executor::EvalNode(const PTNode& node) {
   return Table{};
 }
 
+// --- Entry points ----------------------------------------------------------
+
 Table Executor::Execute(const PTNode& plan) {
+  return Execute(plan, ExecOptions{});
+}
+
+Table Executor::Execute(const PTNode& plan, const ExecOptions& options) {
   uint64_t span = 0;
   if (tracer_ != nullptr) span = tracer_->Begin("execute", "exec");
-  Table out = Eval(plan);
-  counters_.rows_produced += out.rows.size();
+  Table out;
+  if (options.use_legacy) {
+    out = Eval(plan);
+    counters_.rows_produced += out.rows.size();
+    counters_.method_cost = MethodCostFromFp(method_cost_fp_);
+  } else {
+    BatchEngine::Config cfg;
+    cfg.db = db_;
+    cfg.batch_rows = options.batch_rows;
+    cfg.exec_threads = options.exec_threads;
+    cfg.hash_equijoin = options.hash_equijoin;
+    cfg.pool = PoolFor(options.exec_threads);
+    cfg.fix_cache = &fix_cache_;
+    cfg.collect_op_stats = collect_op_stats_;
+    cfg.op_stats = &op_stats_;
+    cfg.counters = &counters_;
+    cfg.method_cost_fp = &method_cost_fp_;
+    BatchEngine engine(cfg, plan);
+    out.schema = engine.schema();
+    RowBatch batch;
+    while (engine.Next(&batch)) {
+      for (Row& r : batch.rows) out.rows.push_back(std::move(r));
+    }
+    engine.Finalize();
+  }
   if (tracer_ != nullptr) {
     tracer_->AddArg(span, "rows", StrFormat("%zu", out.rows.size()));
     tracer_->AddArg(span, "measured_cost", MeasuredCost());
     tracer_->End(span);
   }
-  {
-    static obs::Counter* execs =
-        obs::MetricsRegistry::Global().GetCounter("rodin.exec.executions");
-    static obs::Counter* rows =
-        obs::MetricsRegistry::Global().GetCounter("rodin.exec.rows_produced");
-    execs->Add(1);
-    rows->Add(out.rows.size());
-  }
+  EmitExecMetrics(out.rows.size());
   return out;
 }
 

@@ -1,8 +1,12 @@
 #ifndef RODIN_EXEC_EXECUTOR_H_
 #define RODIN_EXEC_EXECUTOR_H_
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cost/params.h"
 #include "exec/row.h"
@@ -15,6 +19,9 @@ namespace obs {
 class Tracer;
 }  // namespace obs
 
+class ResultCursor;
+class ThreadPool;
+
 /// Runtime counters, in the same vocabulary as the cost model: page I/O is
 /// tracked by the buffer pool; these cover the CPU side.
 struct ExecCounters {
@@ -26,32 +33,80 @@ struct ExecCounters {
 };
 
 /// Per-operator runtime profile, collected when CollectOpStats(true). All
-/// figures are *inclusive* of the operator's children (materialized
-/// bottom-up evaluation has no pipelining to attribute elsewhere); Fix and
-/// Delta nodes evaluate their subtrees repeatedly, so invocations > 1 there.
+/// figures are *inclusive* of the operator's children; Fix and Delta nodes
+/// evaluate their subtrees repeatedly, so invocations > 1 there. `micros` is
+/// coordinator wall time — under parallel evaluation the workers' summed CPU
+/// time is NOT added on top (the coordinator blocks while morsels run, so
+/// wall time is what an operator actually costs end-to-end).
 struct OpStats {
   uint64_t invocations = 0;
   uint64_t rows = 0;    // rows the operator returned, summed over invocations
-  uint64_t pages = 0;   // buffer-pool fetches during evaluation
-  double micros = 0;    // wall time spent evaluating
+  uint64_t pages = 0;   // buffer-pool charges during evaluation
+  double micros = 0;    // coordinator wall time spent in the operator
 };
 
-/// Executes processing trees against the object store. Evaluation is
-/// bottom-up and materialized (each node produces a Table), mirroring the
-/// paper's model of PTs; Sel-over-entity is fused into the scan so that the
-/// access/eval accounting matches the Figure 5 formulas. Fixpoints run the
-/// semi-naive (delta) algorithm referenced by Figure 5's Fix cost.
+/// Execution configuration. The defaults give the batched engine with
+/// sequential (single-thread) morsels; any combination of batch_rows and
+/// exec_threads produces bit-identical ExecCounters, OpStats page counts and
+/// MeasuredCost() — parallelism changes wall time, never accounting.
+struct ExecOptions {
+  size_t batch_rows = 1024;   // rows per operator batch (min 1)
+  size_t exec_threads = 1;    // worker threads for morsel-parallel operators
+  /// Build a hash table over the inner of an equi nested-loop join instead
+  /// of scanning it per outer row. Produces the identical result set and
+  /// order, but honestly changes predicate_evals and page accounting (fewer
+  /// tuple comparisons, no per-outer-row re-scan charges), so it is opt-in
+  /// and excluded from the accounting-identity guarantee.
+  bool hash_equijoin = false;
+  /// Use the original whole-table bottom-up evaluator (the differential
+  /// oracle and bench baseline).
+  bool use_legacy = false;
+};
+
+/// A temporary file: a run of simulated pages sized for `rows` rows of
+/// `ncols` columns. Scanning it charges its pages.
+struct TempFile {
+  PageId first = 0;
+  uint64_t pages = 0;
+};
+
+/// Allocates a temp file from the database's page space. Thread-safe, but
+/// the executor only ever allocates from the coordinator thread so that the
+/// page-id sequence of a query is deterministic.
+TempFile AllocateTempFile(Database* db, size_t rows, size_t ncols);
+
+/// Charges one full scan of `temp` to `charger`.
+void ChargeTempScan(const TempFile& temp, PageCharger* charger);
+
+/// Executes processing trees against the object store. The default engine is
+/// batched and morsel-parallel (see BatchEngine): operators pull RowBatches
+/// of ExecOptions::batch_rows rows, and scans / filters / joins fan per-row
+/// work across a shared worker pool. Fixpoints still run the semi-naive
+/// (delta) algorithm with a full barrier per iteration, and Sel-over-entity
+/// is fused into the scan so the access/eval accounting matches the
+/// Figure 5 formulas. The pre-batching whole-table evaluator is retained
+/// behind ExecOptions::use_legacy as the differential-testing oracle.
 ///
-/// Every page touched goes through the database's buffer pool, so after a
-/// run `MeasuredCost()` expresses the same quantity the cost model
-/// estimates: misses * pr + predicate_evals * ev_tuple + method costs.
+/// Every page touched is (eventually) charged to the database's buffer
+/// pool, so after a run `MeasuredCost()` expresses the same quantity the
+/// cost model estimates: misses * pr + predicate_evals * ev_tuple + method
+/// costs. The batched engine defers charges through per-operator logs and
+/// replays them in the legacy evaluation order, which makes the measured
+/// cost bit-identical across batch sizes and thread counts.
 class Executor {
  public:
   explicit Executor(Database* db, CostParams params = {});
+  ~Executor();
 
   /// Evaluates `plan` and returns its result. Counters accumulate across
   /// calls until ResetMeasurement().
   Table Execute(const PTNode& plan);
+  Table Execute(const PTNode& plan, const ExecOptions& options);
+
+  /// Streaming evaluation: returns a cursor the caller drains batch by
+  /// batch. Page charges and counters are folded into this executor when
+  /// the cursor finishes (or is destroyed).
+  ResultCursor ExecuteStream(const PTNode& plan, ExecOptions options = {});
 
   const ExecCounters& counters() const { return counters_; }
 
@@ -76,6 +131,8 @@ class Executor {
   }
 
  private:
+  friend class ResultCursor;
+
   Table Eval(const PTNode& node);
   Table EvalNode(const PTNode& node);
   Table EvalEntity(const PTNode& node);
@@ -88,44 +145,36 @@ class Executor {
   Table EvalUnion(const PTNode& node);
   Table EvalFix(const PTNode& node);
 
-  /// All instantiations of `expr` on `row` (path steps through collections
-  /// fan out; nulls produce nothing). Object dereferences are charged.
-  std::vector<Value> EvalMulti(const RowSchema& schema, const Row& row,
-                               const ExprPtr& expr);
+  /// Lazily (re)creates the shared worker pool for `threads` workers.
+  /// Returns null for sequential execution.
+  ThreadPool* PoolFor(size_t threads);
 
-  /// Boolean evaluation with exists-semantics over multi-valued paths.
-  bool EvalPred(const RowSchema& schema, const Row& row, const ExprPtr& pred);
-
-  /// Navigates `path` from `start` (charging dereferences), appending every
-  /// reached value to `out`.
-  void Navigate(const Value& start, const std::vector<std::string>& path,
-                size_t step, std::vector<Value>* out);
-
-  /// A temporary file: a run of simulated pages sized for `rows` rows of
-  /// `ncols` columns. Scanning it charges its pages to the buffer pool.
-  struct TempFile {
-    PageId first = 0;
-    uint64_t pages = 0;
-  };
-  TempFile MakeTemp(size_t rows, size_t ncols);
-  void ChargeTempScan(const TempFile& temp);
+  /// Bumps the process-wide rodin.exec.* metrics for one finished
+  /// evaluation (shared by Execute and finishing cursors).
+  void EmitExecMetrics(size_t rows);
 
   Database* db_;
   CostParams params_;
   ExecCounters counters_;
+  /// counters_.method_cost in 2^-20 fixed point — the summation domain, so
+  /// that morsel-parallel partial sums merge order-independently. The
+  /// double mirror is refreshed whenever the fp value changes.
+  uint64_t method_cost_fp_ = 0;
   uint64_t start_misses_ = 0;
   bool collect_op_stats_ = false;
   obs::Tracer* tracer_ = nullptr;
   std::map<const PTNode*, OpStats> op_stats_;
-  /// Delta tables of in-flight fixpoints, by view name, with the temp file
-  /// backing each delta (scans of the delta charge it).
+  std::unique_ptr<ThreadPool> pool_;  // shared across queries, sized lazily
+  size_t pool_threads_ = 0;
+  /// Delta tables of in-flight fixpoints (legacy evaluator only), by view
+  /// name, with the temp file backing each delta.
   std::map<std::string, std::pair<const Table*, TempFile>> deltas_;
 
   /// Memoized fixpoint results, keyed by plan fingerprint: a view consumed
   /// by several predicate nodes is instantiated (cloned) into each
   /// consumer's plan; the data is immutable, so the second occurrence costs
   /// one temp scan instead of a recomputation. Fixpoints that reference an
-  /// enclosing fixpoint's delta are not cacheable.
+  /// enclosing fixpoint's delta are not cacheable. Shared by both engines.
   std::map<std::string, std::pair<Table, TempFile>> fix_cache_;
 };
 

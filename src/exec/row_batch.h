@@ -1,0 +1,27 @@
+#ifndef RODIN_EXEC_ROW_BATCH_H_
+#define RODIN_EXEC_ROW_BATCH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "exec/row.h"
+
+namespace rodin {
+
+/// The unit of data flow in the batched executor: up to ExecOptions::
+/// batch_rows rows sharing one schema. Operators fill batches in place
+/// (Next-style pull); the schema lives on the producing operator / cursor,
+/// not on every batch.
+struct RowBatch {
+  std::vector<Row> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+  void Clear() { rows.clear(); }
+  void Add(Row row) { rows.push_back(std::move(row)); }
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_EXEC_ROW_BATCH_H_

@@ -32,8 +32,8 @@ PageId BTreeShape::LeafPage(uint64_t entry_index) const {
   return first_page_ + entry_index / leaf_capacity_;
 }
 
-void BTreeShape::ChargeDescent(uint64_t entry_index, BufferPool* pool) const {
-  if (pool == nullptr) return;
+void BTreeShape::ChargeDescent(uint64_t entry_index, PageCharger* charger) const {
+  if (charger == nullptr) return;
   // Walk the internal levels top-down (root first, like a real descent).
   uint64_t leaf = entry_index / leaf_capacity_;
   std::vector<PageId> path;
@@ -42,16 +42,16 @@ void BTreeShape::ChargeDescent(uint64_t entry_index, BufferPool* pool) const {
     node = node / fanout_;
     path.push_back(level_first_page_[lvl] + node);
   }
-  for (auto it = path.rbegin(); it != path.rend(); ++it) pool->Fetch(*it);
+  for (auto it = path.rbegin(); it != path.rend(); ++it) charger->Charge(*it);
 }
 
 void BTreeShape::ChargeLeaves(uint64_t begin, uint64_t end,
-                              BufferPool* pool) const {
-  if (pool == nullptr || begin >= end) return;
+                              PageCharger* charger) const {
+  if (charger == nullptr || begin >= end) return;
   const uint64_t first_leaf = begin / leaf_capacity_;
   const uint64_t last_leaf = (end - 1) / leaf_capacity_;
   for (uint64_t leaf = first_leaf; leaf <= last_leaf; ++leaf) {
-    pool->Fetch(first_page_ + leaf);
+    charger->Charge(first_page_ + leaf);
   }
 }
 
@@ -73,7 +73,7 @@ uint64_t BTreeIndex::Build(std::vector<std::pair<Value, uint64_t>> entries,
 }
 
 std::vector<uint64_t> BTreeIndex::Lookup(const Value& key,
-                                         BufferPool* pool) const {
+                                         PageCharger* charger) const {
   auto lo = std::lower_bound(
       entries_.begin(), entries_.end(), key,
       [](const auto& e, const Value& k) { return e.first.Compare(k) < 0; });
@@ -82,8 +82,8 @@ std::vector<uint64_t> BTreeIndex::Lookup(const Value& key,
       [](const Value& k, const auto& e) { return k.Compare(e.first) < 0; });
   const uint64_t begin = static_cast<uint64_t>(lo - entries_.begin());
   const uint64_t end = static_cast<uint64_t>(hi - entries_.begin());
-  shape_.ChargeDescent(begin < entries_.size() ? begin : 0, pool);
-  shape_.ChargeLeaves(begin, end, pool);
+  shape_.ChargeDescent(begin < entries_.size() ? begin : 0, charger);
+  shape_.ChargeLeaves(begin, end, charger);
   std::vector<uint64_t> out;
   out.reserve(end - begin);
   for (auto it = lo; it != hi; ++it) out.push_back(it->second);
@@ -92,7 +92,7 @@ std::vector<uint64_t> BTreeIndex::Lookup(const Value& key,
 
 std::vector<uint64_t> BTreeIndex::RangeLookup(const Value& lo, bool lo_strict,
                                               const Value& hi, bool hi_strict,
-                                              BufferPool* pool) const {
+                                              PageCharger* charger) const {
   auto key_less = [](const auto& e, const Value& k) {
     return e.first.Compare(k) < 0;
   };
@@ -120,8 +120,8 @@ std::vector<uint64_t> BTreeIndex::RangeLookup(const Value& lo, bool lo_strict,
     end = static_cast<size_t>(it - entries_.begin());
   }
   if (begin > end) end = begin;
-  shape_.ChargeDescent(begin < entries_.size() ? begin : 0, pool);
-  shape_.ChargeLeaves(begin, end, pool);
+  shape_.ChargeDescent(begin < entries_.size() ? begin : 0, charger);
+  shape_.ChargeLeaves(begin, end, charger);
   std::vector<uint64_t> out;
   out.reserve(end - begin);
   for (size_t i = begin; i < end; ++i) out.push_back(entries_[i].second);

@@ -35,10 +35,10 @@ class BTreeShape {
   PageId LeafPage(uint64_t entry_index) const;
 
   /// Charges the root-to-leaf descent for the leaf holding `entry_index`.
-  void ChargeDescent(uint64_t entry_index, BufferPool* pool) const;
+  void ChargeDescent(uint64_t entry_index, PageCharger* charger) const;
 
   /// Charges the distinct leaf pages covering entries [begin, end).
-  void ChargeLeaves(uint64_t begin, uint64_t end, BufferPool* pool) const;
+  void ChargeLeaves(uint64_t begin, uint64_t end, PageCharger* charger) const;
 
  private:
   uint64_t leaf_capacity_ = 1;
@@ -68,15 +68,15 @@ class BTreeIndex {
   uint64_t Build(std::vector<std::pair<Value, uint64_t>> entries,
                  uint64_t entry_bytes, PageId first_page);
 
-  /// Equality probe; charges descent + touched leaves to `pool` (may be
+  /// Equality probe; charges descent + touched leaves to `charger` (may be
   /// null for a cost-free peek). Returns the matching payloads.
-  std::vector<uint64_t> Lookup(const Value& key, BufferPool* pool) const;
+  std::vector<uint64_t> Lookup(const Value& key, PageCharger* charger) const;
 
   /// Range probe over [lo, hi] with optional open bounds (null Value means
   /// unbounded). Charges one descent plus the touched leaves.
   std::vector<uint64_t> RangeLookup(const Value& lo, bool lo_strict,
                                     const Value& hi, bool hi_strict,
-                                    BufferPool* pool) const;
+                                    PageCharger* charger) const;
 
   uint64_t nblevels() const { return shape_.nblevels(); }
   uint64_t nbleaves() const { return shape_.nbleaves(); }

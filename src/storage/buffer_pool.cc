@@ -5,6 +5,7 @@
 namespace rodin {
 
 bool BufferPool::Fetch(PageId page) {
+  SpinGuard guard(lock_);
   ++stats_.fetches;
   if (capacity_ == 0) {
     ++stats_.misses;
@@ -29,12 +30,14 @@ bool BufferPool::Fetch(PageId page) {
 
 void BufferPool::ResetStats() {
   PublishMetrics();
+  SpinGuard guard(lock_);
   stats_ = Stats{};
   published_ = Stats{};
 }
 
 void BufferPool::Clear() {
   PublishMetrics();
+  SpinGuard guard(lock_);
   lru_.clear();
   index_.clear();
   stats_ = Stats{};
@@ -50,11 +53,19 @@ void BufferPool::PublishMetrics() {
       obs::MetricsRegistry::Global().GetCounter("rodin.buffer.hits");
   static obs::Counter* evictions =
       obs::MetricsRegistry::Global().GetCounter("rodin.buffer.evictions");
-  fetches->Add(stats_.fetches - published_.fetches);
-  misses->Add(stats_.misses - published_.misses);
-  hits->Add(stats_.hits - published_.hits);
-  evictions->Add(stats_.evictions - published_.evictions);
-  published_ = stats_;
+  Stats delta;
+  {
+    SpinGuard guard(lock_);
+    delta.fetches = stats_.fetches - published_.fetches;
+    delta.misses = stats_.misses - published_.misses;
+    delta.hits = stats_.hits - published_.hits;
+    delta.evictions = stats_.evictions - published_.evictions;
+    published_ = stats_;
+  }
+  fetches->Add(delta.fetches);
+  misses->Add(delta.misses);
+  hits->Add(delta.hits);
+  evictions->Add(delta.evictions);
 }
 
 }  // namespace rodin

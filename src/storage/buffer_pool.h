@@ -1,10 +1,12 @@
 #ifndef RODIN_STORAGE_BUFFER_POOL_H_
 #define RODIN_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 namespace rodin {
 
@@ -14,11 +16,53 @@ using PageId = uint64_t;
 
 constexpr uint64_t kPageSizeBytes = 4096;
 
+/// Anything that can absorb a page access. The buffer pool is the terminal
+/// charger (a charge is an LRU Fetch); a ChargeLog records charges for later
+/// replay. The batched executor runs every operator pass against a log and
+/// replays all logs into the pool in the canonical (single-threaded,
+/// materialized bottom-up) order, which is what makes hit/miss accounting
+/// independent of batch size and worker count.
+class PageCharger {
+ public:
+  virtual ~PageCharger() = default;
+  virtual void Charge(PageId page) = 0;
+};
+
+/// An order-preserving record of page charges. Not thread-safe: each worker
+/// morsel owns its own log; merge order is the caller's responsibility.
+class ChargeLog final : public PageCharger {
+ public:
+  void Charge(PageId page) override { pages_.push_back(page); }
+
+  const std::vector<PageId>& pages() const { return pages_; }
+  size_t size() const { return pages_.size(); }
+  bool empty() const { return pages_.empty(); }
+  void clear() { pages_.clear(); }
+
+  /// Appends another log's charges after this log's (order-preserving merge).
+  void Append(const ChargeLog& other) {
+    pages_.insert(pages_.end(), other.pages_.begin(), other.pages_.end());
+  }
+
+  /// Replays every recorded charge, in order, into `sink`.
+  void ReplayInto(PageCharger* sink) const {
+    for (PageId p : pages_) sink->Charge(p);
+  }
+
+ private:
+  std::vector<PageId> pages_;
+};
+
 /// LRU buffer pool simulator. No page contents live here — extents keep the
 /// data — but every *access* to a page goes through Fetch(), which tracks
 /// hits (page already resident, paper §3.2 footnote: "some of the needed
 /// data are already in main memory") and misses (charged as disk reads).
-class BufferPool {
+///
+/// Fetch and the stat mutators are guarded by a spinlock so concurrent
+/// sessions (and the executor's charge replay) can share one pool. Workers
+/// in the batched executor never touch the pool on their hot path — they
+/// charge per-morsel ChargeLogs — so the lock is effectively uncontended.
+class BufferPool final : public PageCharger {
  public:
   struct Stats {
     uint64_t fetches = 0;   // logical page accesses
@@ -36,11 +80,15 @@ class BufferPool {
   /// Accesses `page`; returns true on a hit. Misses evict LRU when full.
   bool Fetch(PageId page);
 
+  /// PageCharger: a charge is a fetch.
+  void Charge(PageId page) override { Fetch(page); }
+
   /// True if the page is currently resident (no access recorded).
   bool Resident(PageId page) const { return index_.count(page) > 0; }
 
   size_t capacity() const { return capacity_; }
   size_t resident_pages() const { return lru_.size(); }
+  /// Snapshot read; do not call while another thread fetches.
   const Stats& stats() const { return stats_; }
 
   /// Zeroes the counters, keeping resident pages (for warm measurements).
@@ -51,16 +99,32 @@ class BufferPool {
 
   /// Folds everything counted since the last publish into the process-wide
   /// metrics (rodin.buffer.*). Deliberately not per-Fetch: Fetch is the
-  /// hottest loop in the system and stays free of atomics. Reset/Clear
-  /// publish implicitly so no counts are lost between measurements.
+  /// hottest loop in the system and carries only one uncontended spinlock
+  /// acquisition. Reset/Clear publish implicitly so no counts are lost
+  /// between measurements.
   void PublishMetrics();
 
  private:
+  /// Tiny scoped spinlock over `lock_`. The critical sections are a few
+  /// dozen instructions; a mutex would dominate them.
+  class SpinGuard {
+   public:
+    explicit SpinGuard(std::atomic_flag& flag) : flag_(flag) {
+      while (flag_.test_and_set(std::memory_order_acquire)) {
+      }
+    }
+    ~SpinGuard() { flag_.clear(std::memory_order_release); }
+
+   private:
+    std::atomic_flag& flag_;
+  };
+
   size_t capacity_;
   Stats stats_;
   Stats published_;  // high-water mark of what PublishMetrics() exported
   std::list<PageId> lru_;  // front = most recently used
   std::unordered_map<PageId, std::list<PageId>::iterator> index_;
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
 };
 
 }  // namespace rodin

@@ -172,6 +172,7 @@ const std::string& Database::ExtentNameOf(Oid oid) const {
 }
 
 PageId Database::AllocatePages(uint64_t n) {
+  std::lock_guard<std::mutex> lock(alloc_mu_);
   const PageId first = next_page_;
   next_page_ += n;
   return first;
@@ -492,16 +493,26 @@ void Database::Finalize(PhysicalConfig config) {
 }
 
 Value Database::GetCharged(Oid oid, const std::string& attr) {
+  return GetCharged(oid, attr, pool_.get());
+}
+
+Value Database::GetCharged(Oid oid, const std::string& attr,
+                           PageCharger* charger) const {
   RODIN_CHECK(finalized_, "charged access before Finalize");
   const ExtentInfo* info = InfoOf(oid);
   const int field = FieldIndex(info->extent->name(), attr);
   RODIN_CHECK(field >= 0, "unknown or computed attribute in GetCharged");
   const Extent* e = info->extent.get();
-  pool_->Fetch(e->PageOf(oid.slot, e->VfragOfField(field)));
+  charger->Charge(e->PageOf(oid.slot, e->VfragOfField(field)));
   return e->Record(oid.slot)[field];
 }
 
 void Database::ChargeRecordAccess(Oid oid, const std::vector<int>& fields) {
+  ChargeRecordAccess(oid, fields, pool_.get());
+}
+
+void Database::ChargeRecordAccess(Oid oid, const std::vector<int>& fields,
+                                  PageCharger* charger) const {
   RODIN_CHECK(finalized_, "charged access before Finalize");
   const Extent* e = InfoOf(oid)->extent.get();
   std::set<uint16_t> vfrags;
@@ -510,24 +521,32 @@ void Database::ChargeRecordAccess(Oid oid, const std::vector<int>& fields) {
   } else {
     for (int f : fields) vfrags.insert(e->VfragOfField(f));
   }
-  for (uint16_t v : vfrags) pool_->Fetch(e->PageOf(oid.slot, v));
+  for (uint16_t v : vfrags) charger->Charge(e->PageOf(oid.slot, v));
 }
 
 void Database::ScanEntity(
     const EntityRef& ref,
     const std::function<void(Oid, const std::vector<Value>&)>& fn) {
+  const ScanSource src = ResolveScan(ref);
+  for (uint32_t slot : *src.slots) {
+    pool_->Fetch(src.extent->PageOf(slot, src.vfrag));
+    fn(Oid{src.base_class, slot}, src.extent->Record(slot));
+  }
+}
+
+Database::ScanSource Database::ResolveScan(const EntityRef& ref) const {
   RODIN_CHECK(finalized_, "scan before Finalize");
   const ExtentInfo* info = FindInfo(ref.extent);
   RODIN_CHECK(info != nullptr, "scan of unknown extent");
   const Extent* e = info->extent.get();
   RODIN_CHECK(ref.vfrag < e->num_vfrags() && ref.hfrag < e->num_hfrags(),
               "scan fragment out of range");
-  const uint32_t base_class =
-      info->is_relation ? (info->id | kRelationOidBit) : info->id;
-  for (uint32_t slot : e->SlotsOfHfrag(ref.hfrag)) {
-    pool_->Fetch(e->PageOf(slot, ref.vfrag));
-    fn(Oid{base_class, slot}, e->Record(slot));
-  }
+  ScanSource src;
+  src.extent = e;
+  src.base_class = info->is_relation ? (info->id | kRelationOidBit) : info->id;
+  src.vfrag = ref.vfrag;
+  src.slots = &e->SlotsOfHfrag(ref.hfrag);
+  return src;
 }
 
 uint64_t Database::EntityPages(const EntityRef& ref) const {

@@ -4,6 +4,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -82,7 +83,10 @@ class Database {
   /// Aborts on an invalid configuration.
   void Finalize(PhysicalConfig config);
 
-  /// Allocates `n` fresh page ids (used for temporaries).
+  /// Allocates `n` fresh page ids (used for temporaries). Thread-safe, so
+  /// concurrent sessions can build temps against one database; within one
+  /// query the batched executor only allocates from its coordinator thread
+  /// (allocation order is part of the deterministic accounting).
   PageId AllocatePages(uint64_t n);
 
   // --- Uncharged access (tests, data generators, stats derivation) --------
@@ -105,18 +109,42 @@ class Database {
   int FieldIndex(const std::string& extent_name, const std::string& attr) const;
 
   // --- Charged access (executor) -------------------------------------------
+  //
+  // Each accessor has two forms: the original one charging the database's
+  // own buffer pool, and a const overload charging an arbitrary PageCharger.
+  // The charger form is what the batched executor's worker morsels use (each
+  // morsel records into its own ChargeLog; the logs are replayed into the
+  // pool later, in canonical order), so it must be safe to call from many
+  // threads at once as long as each thread brings its own charger.
 
   /// Reads a field, charging the page holding its vertical fragment.
   Value GetCharged(Oid oid, const std::string& attr);
+  Value GetCharged(Oid oid, const std::string& attr,
+                   PageCharger* charger) const;
 
   /// Charges the page(s) of record `oid` covering the given fields (one page
   /// per distinct vertical fragment touched).
   void ChargeRecordAccess(Oid oid, const std::vector<int>& fields);
+  void ChargeRecordAccess(Oid oid, const std::vector<int>& fields,
+                          PageCharger* charger) const;
 
   /// Sequentially scans atomic entity `e`, invoking `fn(oid, record)` for
   /// every record; pages are charged in scan order.
   void ScanEntity(const EntityRef& e,
                   const std::function<void(Oid, const std::vector<Value>&)>& fn);
+
+  /// Resolved scan coordinates of an atomic entity: the slot list (in scan
+  /// order) plus everything needed to charge and address each record. Lets
+  /// the batched executor split one scan into slot-range morsels without
+  /// re-resolving the extent per record.
+  struct ScanSource {
+    const Extent* extent = nullptr;
+    uint32_t base_class = 0;  // class id (relation bit applied)
+    uint16_t vfrag = 0;
+    const std::vector<uint32_t>* slots = nullptr;  // scan order
+    size_t size() const { return slots->size(); }
+  };
+  ScanSource ResolveScan(const EntityRef& e) const;
 
   /// Pages a full scan of `e` touches (for cost estimation).
   uint64_t EntityPages(const EntityRef& e) const;
@@ -165,6 +193,7 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   bool finalized_ = false;
   PageId next_page_ = 0;
+  std::mutex alloc_mu_;  // guards next_page_ after Finalize
 
   std::vector<ExtentInfo> extents_;  // classes then relations, stable order
   std::map<std::pair<std::string, std::string>, MethodFn> methods_;

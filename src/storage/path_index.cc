@@ -27,7 +27,7 @@ uint64_t PathIndex::Build(std::vector<std::vector<Oid>> entries,
 }
 
 std::vector<const std::vector<Oid>*> PathIndex::Lookup(Oid head,
-                                                       BufferPool* pool) const {
+                                                       PageCharger* charger) const {
   auto lo = std::lower_bound(entries_.begin(), entries_.end(), head,
                              [](const std::vector<Oid>& e, const Oid& k) {
                                return e[0] < k;
@@ -36,8 +36,8 @@ std::vector<const std::vector<Oid>*> PathIndex::Lookup(Oid head,
   while (hi != entries_.end() && (*hi)[0] == head) ++hi;
   const uint64_t begin = static_cast<uint64_t>(lo - entries_.begin());
   const uint64_t end = static_cast<uint64_t>(hi - entries_.begin());
-  shape_.ChargeDescent(begin < entries_.size() ? begin : 0, pool);
-  shape_.ChargeLeaves(begin, end, pool);
+  shape_.ChargeDescent(begin < entries_.size() ? begin : 0, charger);
+  shape_.ChargeLeaves(begin, end, charger);
   std::vector<const std::vector<Oid>*> out;
   out.reserve(end - begin);
   for (auto it = lo; it != hi; ++it) out.push_back(&*it);

@@ -38,7 +38,7 @@ class PathIndex {
 
   /// All path instantiations starting at `head`; charges descent + leaves.
   /// Each result tuple has path_length()+1 oids (head first).
-  std::vector<const std::vector<Oid>*> Lookup(Oid head, BufferPool* pool) const;
+  std::vector<const std::vector<Oid>*> Lookup(Oid head, PageCharger* charger) const;
 
   uint64_t nblevels() const { return shape_.nblevels(); }
   uint64_t nbleaves() const { return shape_.nbleaves(); }

@@ -16,6 +16,7 @@
 #include "cost/cost_model.h"
 #include "cost/stats.h"
 #include "datagen/music_gen.h"
+#include "exec/executor.h"
 #include "optimizer/baseline.h"
 #include "optimizer/optimizer.h"
 #include "optimizer/strategy.h"
@@ -124,6 +125,53 @@ TEST(ParallelStressTest, ConcurrentStrategiesShareConstState) {
       ParallelSearchReport report = inner.Improve(plan, ctx, options);
       if (report.per_restart.size() != 17) failures.fetch_add(1);
       if (plan->est_cost != report.final_cost) failures.fetch_add(1);
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ParallelStressTest, BatchedExecutorManyThreads) {
+  // Morsel-parallel execution under contention: 8 workers over a recursive
+  // plan hammer the buffer pool's spinlock-guarded fetch path (charge
+  // replay), the shared const Database, and the pool's submit/wait cycle
+  // once per operator pass per Fix iteration. Interleaved with a second
+  // executor on another thread so two worker pools coexist. The answer
+  // check doubles as liveness; the real oracle is TSan.
+  StressEnv& env = Env();
+  OptimizerOptions base = CostBasedOptions();
+  Optimizer opt(env.db.db.get(), env.stats.get(), env.cost.get(), base);
+  OptimizeResult plan = opt.Optimize(Fig3Query(*env.db.schema, 4));
+  ASSERT_TRUE(plan.ok()) << plan.error;
+
+  Executor reference(env.db.db.get());
+  reference.ResetMeasurement(true);
+  ExecOptions legacy;
+  legacy.use_legacy = true;
+  const Table want = reference.Execute(*plan.plan, legacy);
+
+  // Construct + cold-reset serially: ResetMeasurement mutates the shared
+  // buffer pool, which is a single-session operation (measured cost on a
+  // shared pool is only meaningful for one session at a time). Only the
+  // Execute calls — whose pool traffic goes through the guarded fetch
+  // path — run concurrently.
+  std::vector<std::unique_ptr<Executor>> execs;
+  for (int i = 0; i < 2; ++i) {
+    execs.push_back(std::make_unique<Executor>(env.db.db.get()));
+    execs.back()->ResetMeasurement(true);
+  }
+  ThreadPool outer(2);
+  std::atomic<int> failures{0};
+  for (int i = 0; i < 2; ++i) {
+    Executor* exec = execs[static_cast<size_t>(i)].get();
+    outer.Submit([exec, &plan, &want, &failures, i] {
+      for (int round = 0; round < 6; ++round) {
+        ExecOptions options;
+        options.exec_threads = 8;
+        options.batch_rows = 1 + (i * 6 + round) % 16;
+        const Table got = exec->Execute(*plan.plan, options);
+        if (got.rows.size() != want.rows.size()) failures.fetch_add(1);
+      }
     });
   }
   outer.Wait();

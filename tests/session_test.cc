@@ -23,9 +23,9 @@ class SessionTest : public ::testing::Test {
   GeneratedDb g_;
 };
 
-TEST_F(SessionTest, RunTextEndToEnd) {
+TEST_F(SessionTest, RunEndToEnd) {
   Session session(g_.db.get());
-  const QueryRun run = session.RunText(
+  const QueryRun run = session.Run(
       R"(select [n: x.name] from x in Composer where x.name = "Bach")");
   ASSERT_TRUE(run.ok()) << run.error();
   ASSERT_EQ(run.answer.rows.size(), 1u);

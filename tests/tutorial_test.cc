@@ -104,6 +104,30 @@ TEST_F(TutorialTest, SymbolicTableDerivesForTheTutorialPlan) {
   EXPECT_GT(table.EvalTotal(), 0);
 }
 
+TEST_F(TutorialTest, StreamingSectionWorksAsWritten) {
+  // Mirrors "Streaming results and parallel execution": Query() with
+  // exec_threads serves the same answer and accounting as Run().
+  Session session(db_.get());
+  const QueryRun run = session.Run(kQuery, RunOptions{.cold = true});
+  ASSERT_TRUE(run.ok()) << run.error();
+
+  RunOptions ro;
+  ro.cold = true;
+  ro.exec_threads = 4;
+  ro.batch_rows = 1024;
+  ResultCursor cur = session.Query(kQuery, ro);
+  ASSERT_TRUE(cur.ok()) << cur.error();
+  size_t rows = 0;
+  RowBatch batch;
+  while (cur.Next(&batch)) rows += batch.size();
+  EXPECT_EQ(rows, run.answer.rows.size());
+  EXPECT_EQ(cur.measured_cost(), run.measured_cost);
+  EXPECT_EQ(cur.counters().predicate_evals, run.counters.predicate_evals);
+
+  Table all = session.Query(kQuery, ro).ToTable();
+  EXPECT_EQ(all.rows.size(), run.answer.rows.size());
+}
+
 TEST_F(TutorialTest, MethodPredicateWorks) {
   Session session(db_.get());
   const QueryRun run = session.Run(

@@ -2,12 +2,16 @@
 //
 //   rodin_cli [--db=music|parts|graph] [--size=N] [--seed=S]
 //             [--optimizer=cost|deductive|naive|exhaustive|annealing]
-//             [--parallel=P] [--threads=N] [--explain] [--plan-only]
+//             [--parallel=P] [--threads=N] [--exec-threads=N]
+//             [--batch-rows=N] [--explain] [--plan-only]
 //             [--symbolic] [--trace-out=FILE] [--metrics] [--query=FILE]
 //
 // --parallel models a P-way parallel *execution* in the cost formulas;
 // --threads runs the randomized plan *search* on N worker threads
-// (deterministic under --seed for any N).
+// (deterministic under --seed for any N); --exec-threads runs the batched
+// executor's morsel-parallel operators on N workers and --batch-rows sets
+// the executor batch size (answers, counters and measured cost are
+// identical for any combination — only wall time changes).
 //
 // Reads one query (the paper's §2.3 syntax) from --query or stdin and runs
 // it through a Session. The default output is the Figure 6 stage table, the
@@ -46,6 +50,8 @@ struct CliOptions {
   std::string optimizer = "cost";
   unsigned parallel = 1;
   unsigned threads = 1;
+  unsigned exec_threads = 0;  // 0 = executor default (sequential)
+  unsigned batch_rows = 0;    // 0 = executor default (1024)
   bool explain = false;
   bool plan_only = false;
   bool symbolic = false;
@@ -77,8 +83,8 @@ void Usage() {
       "usage: rodin_cli [--db=music|parts|graph] [--size=N] [--seed=S]\n"
       "                 [--optimizer=cost|deductive|naive|exhaustive|"
       "annealing]\n"
-      "                 [--parallel=P] [--threads=N] [--explain] "
-      "[--plan-only]\n"
+      "                 [--parallel=P] [--threads=N] [--exec-threads=N]\n"
+      "                 [--batch-rows=N] [--explain] [--plan-only]\n"
       "                 [--symbolic] [--trace-out=FILE] [--metrics] "
       "[--query=FILE]\n"
       "Reads a query in the paper's syntax from --query or stdin.\n");
@@ -174,6 +180,12 @@ int main(int argc, char** argv) {
       options.parallel = static_cast<unsigned>(ParseCount(value, "parallel"));
     } else if (ParseFlag(argv[i], "threads", &value)) {
       options.threads = static_cast<unsigned>(ParseCount(value, "threads"));
+    } else if (ParseFlag(argv[i], "exec-threads", &value)) {
+      options.exec_threads =
+          static_cast<unsigned>(ParseCount(value, "exec-threads"));
+    } else if (ParseFlag(argv[i], "batch-rows", &value)) {
+      options.batch_rows =
+          static_cast<unsigned>(ParseCount(value, "batch-rows"));
     } else if (ParseFlag(argv[i], "query", &value)) {
       options.query_file = value;
     } else if (ParseFlag(argv[i], "trace-out", &value)) {
@@ -209,6 +221,8 @@ int main(int argc, char** argv) {
   ro.cold = true;
   ro.explain_only = options.plan_only;
   ro.collect_trace = !options.trace_out.empty();
+  ro.exec_threads = options.exec_threads;
+  ro.batch_rows = options.batch_rows;
 
   if (options.explain) {
     const ExplainResult ex = session.Explain(text, ro);
