@@ -61,11 +61,11 @@ void Executor::ResetMeasurement(bool clear_buffer) {
 
 ThreadPool* Executor::PoolFor(size_t threads) {
   if (threads <= 1) return nullptr;
-  if (pool_ == nullptr || pool_threads_ != threads) {
-    pool_ = std::make_unique<ThreadPool>(threads);
-    pool_threads_ = threads;
+  for (const auto& pool : pools_) {
+    if (pool->thread_count() == threads) return pool.get();
   }
-  return pool_.get();
+  pools_.push_back(std::make_unique<ThreadPool>(threads));
+  return pools_.back().get();
 }
 
 void Executor::EmitExecMetrics(size_t rows) {

@@ -145,8 +145,11 @@ class Executor {
   Table EvalUnion(const PTNode& node);
   Table EvalFix(const PTNode& node);
 
-  /// Lazily (re)creates the shared worker pool for `threads` workers.
-  /// Returns null for sequential execution.
+  /// Returns the shared worker pool for `threads` workers, creating it on
+  /// first use. Returns null for sequential execution. One pool per distinct
+  /// size is kept alive until the executor dies: unfinished streaming
+  /// cursors hold raw pointers into their pool, so requesting a different
+  /// exec_threads must never destroy a pool already handed out.
   ThreadPool* PoolFor(size_t threads);
 
   /// Bumps the process-wide rodin.exec.* metrics for one finished
@@ -164,8 +167,8 @@ class Executor {
   bool collect_op_stats_ = false;
   obs::Tracer* tracer_ = nullptr;
   std::map<const PTNode*, OpStats> op_stats_;
-  std::unique_ptr<ThreadPool> pool_;  // shared across queries, sized lazily
-  size_t pool_threads_ = 0;
+  /// Worker pools by size, shared across queries; see PoolFor().
+  std::vector<std::unique_ptr<ThreadPool>> pools_;
   /// Delta tables of in-flight fixpoints (legacy evaluator only), by view
   /// name, with the temp file backing each delta.
   std::map<std::string, std::pair<const Table*, TempFile>> deltas_;

@@ -8,6 +8,11 @@
 namespace rodin {
 
 struct ResultCursor::Impl {
+  /// Declared first so it is destroyed last: the keepalive may own the
+  /// Executor that `engine`'s destructor (~BatchEngine runs Finalize, which
+  /// writes through the executor's counters) still needs alive.
+  std::shared_ptr<void> owned;  // keep-alive (session query state)
+
   Status status;
   std::string plan_text;
   RowSchema schema;
@@ -31,7 +36,6 @@ struct ResultCursor::Impl {
   ExecCounters counters;
   double measured_cost = -1;
 
-  std::shared_ptr<void> owned;      // keep-alive (session query state)
   std::function<void()> on_finish;  // metrics publish etc.
 };
 
@@ -51,7 +55,17 @@ ResultCursor::~ResultCursor() {
 }
 
 ResultCursor::ResultCursor(ResultCursor&&) noexcept = default;
-ResultCursor& ResultCursor::operator=(ResultCursor&&) noexcept = default;
+
+ResultCursor& ResultCursor::operator=(ResultCursor&& other) noexcept {
+  if (this != &other) {
+    // Finalize the cursor being replaced, exactly as its destructor would:
+    // dropping the impl without finalizing would let the engine's own
+    // destructor run Finalize after the keepalive released the executor.
+    if (impl_ != nullptr) FinalizeAccounting();
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
 
 bool ResultCursor::ok() const { return impl_->status.ok(); }
 const Status& ResultCursor::status() const { return impl_->status; }

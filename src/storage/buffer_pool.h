@@ -28,29 +28,94 @@ class PageCharger {
   virtual void Charge(PageId page) = 0;
 };
 
-/// An order-preserving record of page charges. Not thread-safe: each worker
-/// morsel owns its own log; merge order is the caller's responsibility.
+/// An order-preserving record of page charges, run-length-encoded. The two
+/// charge shapes that dominate by volume both collapse to one span each: a
+/// run of consecutively ascending page ids (temp-file scans, a nested-loop
+/// join's per-outer-row inner re-scans — formerly O(outer rows x inner
+/// pages) of buffered charges) and a run of one repeated page id (an extent
+/// scan charges each record's page, and many records share a page). Replay
+/// reproduces the exact original charge sequence. Not thread-safe: each
+/// worker morsel owns its own log; merge order is the caller's
+/// responsibility.
 class ChargeLog final : public PageCharger {
  public:
-  void Charge(PageId page) override { pages_.push_back(page); }
+  void Charge(PageId page) override {
+    ++total_;
+    if (spans_.empty() || !Extend(&spans_.back(), page)) {
+      spans_.push_back(Span{page, 1, 1});
+    }
+  }
 
-  const std::vector<PageId>& pages() const { return pages_; }
-  size_t size() const { return pages_.size(); }
-  bool empty() const { return pages_.empty(); }
-  void clear() { pages_.clear(); }
+  size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+  void clear() {
+    spans_.clear();
+    total_ = 0;
+  }
 
   /// Appends another log's charges after this log's (order-preserving merge).
   void Append(const ChargeLog& other) {
-    pages_.insert(pages_.end(), other.pages_.begin(), other.pages_.end());
+    for (const Span& s : other.spans_) {
+      if (spans_.empty()) {
+        spans_.push_back(s);
+        continue;
+      }
+      Span& last = spans_.back();
+      if (s.count == 1) {
+        if (!Extend(&last, s.first)) spans_.push_back(s);
+        continue;
+      }
+      // A longer run continues the last span when it starts at the expected
+      // page with the same stride (a single-charge span adopts the stride).
+      const bool stride_ok = last.count == 1 || last.step == s.step;
+      const PageId expect =
+          last.count == 1 ? last.first + s.step : NextOf(last);
+      if (stride_ok && s.first == expect &&
+          last.count <= kMaxCount - s.count) {
+        last.step = s.step;
+        last.count += s.count;
+      } else {
+        spans_.push_back(s);
+      }
+    }
+    total_ += other.total_;
   }
 
   /// Replays every recorded charge, in order, into `sink`.
   void ReplayInto(PageCharger* sink) const {
-    for (PageId p : pages_) sink->Charge(p);
+    for (const Span& s : spans_) {
+      for (uint64_t i = 0; i < s.count; ++i) sink->Charge(s.first + i * s.step);
+    }
   }
 
  private:
-  std::vector<PageId> pages_;
+  struct Span {
+    PageId first;
+    uint32_t count;  // charges first, first+step, ..., first+(count-1)*step
+    uint32_t step;   // 0 = repeated page, 1 = ascending run
+  };
+
+  static constexpr uint32_t kMaxCount = ~uint32_t{0};
+
+  static PageId NextOf(const Span& s) { return s.first + s.count * s.step; }
+
+  /// Extends `last` by one charge of `page` if the run continues; a span of
+  /// one charge has no stride yet and can start either run shape.
+  static bool Extend(Span* last, PageId page) {
+    if (last->count == kMaxCount) return false;
+    if (last->count == 1) {
+      if (page != last->first && page != last->first + 1) return false;
+      last->step = page == last->first ? 0 : 1;
+      last->count = 2;
+      return true;
+    }
+    if (page != NextOf(*last)) return false;
+    ++last->count;
+    return true;
+  }
+
+  std::vector<Span> spans_;
+  size_t total_ = 0;
 };
 
 /// LRU buffer pool simulator. No page contents live here — extents keep the

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <random>
+#include <vector>
+
 #include "storage/buffer_pool.h"
 
 namespace rodin {
@@ -87,6 +90,122 @@ TEST(BufferPoolTest, SmallWorkingSetStaysHot) {
   }
   EXPECT_EQ(pool.stats().misses, 4u);
   EXPECT_EQ(pool.stats().hits, 8u);
+}
+
+/// Records the raw charge sequence, bypassing ChargeLog's run-length
+/// encoding, so replay order can be compared exactly.
+struct RecordingCharger final : public PageCharger {
+  std::vector<PageId> pages;
+  void Charge(PageId page) override { pages.push_back(page); }
+};
+
+TEST(ChargeLogTest, ReplayReproducesExactSequence) {
+  // Ascending runs, a restart (the nested-loop re-scan shape), a repeat,
+  // and a descent — replay must reproduce all of it verbatim.
+  const std::vector<PageId> charges = {5, 6, 7, 5, 6, 7, 9, 9, 3, 2};
+  ChargeLog log;
+  for (PageId p : charges) log.Charge(p);
+  EXPECT_EQ(log.size(), charges.size());
+  EXPECT_FALSE(log.empty());
+  RecordingCharger sink;
+  log.ReplayInto(&sink);
+  EXPECT_EQ(sink.pages, charges);
+}
+
+TEST(ChargeLogTest, AppendPreservesOrderAndCount) {
+  ChargeLog a;
+  for (PageId p : {1, 2, 3}) a.Charge(p);
+  ChargeLog b;
+  for (PageId p : {4, 5, 10}) b.Charge(p);  // 4 continues a's run
+  a.Append(b);
+  EXPECT_EQ(a.size(), 6u);
+  RecordingCharger sink;
+  a.ReplayInto(&sink);
+  EXPECT_EQ(sink.pages, (std::vector<PageId>{1, 2, 3, 4, 5, 10}));
+}
+
+TEST(ChargeLogTest, RepeatedPageRunsReplayExactly) {
+  // The extent-scan shape: many records per page, one charge per record.
+  ChargeLog log;
+  std::vector<PageId> charges;
+  for (PageId p = 0; p < 3; ++p) {
+    for (int r = 0; r < 50; ++r) {
+      log.Charge(p);
+      charges.push_back(p);
+    }
+  }
+  EXPECT_EQ(log.size(), charges.size());
+  RecordingCharger sink;
+  log.ReplayInto(&sink);
+  EXPECT_EQ(sink.pages, charges);
+}
+
+TEST(ChargeLogTest, AppendMergesRepeatedPageRuns) {
+  ChargeLog a;
+  a.Charge(7);  // single charge: stride still open
+  ChargeLog b;
+  b.Charge(7);
+  b.Charge(7);
+  a.Append(b);
+  EXPECT_EQ(a.size(), 3u);
+  RecordingCharger sink;
+  a.ReplayInto(&sink);
+  EXPECT_EQ(sink.pages, (std::vector<PageId>{7, 7, 7}));
+}
+
+TEST(ChargeLogTest, RandomizedMorselMergeReplaysExactly) {
+  // Differential check against a plain charge vector: random mixes of
+  // ascending runs, repeated pages and lone charges, merged across
+  // morsel-local logs the way the batched executor does.
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int> kind(0, 2);
+  std::uniform_int_distribution<PageId> page(0, 30);
+  std::uniform_int_distribution<int> len(1, 6);
+  for (int trial = 0; trial < 20; ++trial) {
+    ChargeLog merged;
+    std::vector<PageId> flat;
+    for (int m = 0; m < 3; ++m) {
+      ChargeLog morsel;
+      for (int i = 0; i < 40; ++i) {
+        const PageId p = page(rng);
+        const int n = len(rng);
+        switch (kind(rng)) {
+          case 0:  // ascending run
+            for (int j = 0; j < n; ++j) {
+              morsel.Charge(p + j);
+              flat.push_back(p + j);
+            }
+            break;
+          case 1:  // repeated page
+            for (int j = 0; j < n; ++j) {
+              morsel.Charge(p);
+              flat.push_back(p);
+            }
+            break;
+          default:  // lone charge
+            morsel.Charge(p);
+            flat.push_back(p);
+            break;
+        }
+      }
+      merged.Append(morsel);
+    }
+    ASSERT_EQ(merged.size(), flat.size());
+    RecordingCharger sink;
+    merged.ReplayInto(&sink);
+    ASSERT_EQ(sink.pages, flat);
+  }
+}
+
+TEST(ChargeLogTest, ClearEmpties) {
+  ChargeLog log;
+  log.Charge(1);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.size(), 0u);
+  RecordingCharger sink;
+  log.ReplayInto(&sink);
+  EXPECT_TRUE(sink.pages.empty());
 }
 
 }  // namespace

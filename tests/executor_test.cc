@@ -11,6 +11,7 @@
 #include "datagen/graph_gen.h"
 #include "datagen/music_gen.h"
 #include "exec/executor.h"
+#include "exec/result_cursor.h"
 #include "plan/pt.h"
 
 namespace rodin {
@@ -401,6 +402,38 @@ TEST_F(ExecutorTest, MeasuredCostTracksBufferAndResets) {
   exec.ResetMeasurement(false);  // warm buffer
   exec.Execute(*ComposerScan());
   EXPECT_LT(exec.MeasuredCost(), first);  // hits now
+}
+
+TEST_F(ExecutorTest, StreamingCursorSurvivesThreadCountChange) {
+  // A partially-read cursor's engine holds a raw pointer to the executor's
+  // worker pool; an intervening Execute with a different exec_threads must
+  // not invalidate it (pools are retained per size for the executor's
+  // lifetime). 200 rows with quantum 32 means the cursor still has several
+  // morsel-parallel scan passes ahead of it when the second query runs.
+  MusicConfig config;
+  config.num_composers = 200;
+  config.seed = 7;
+  GeneratedDb big = GenerateMusicDb(config, PaperMusicPhysical());
+  const ClassDef* composer = big.schema->FindClass("Composer");
+
+  Executor exec(big.db.get());
+  ExecOptions four;
+  four.batch_rows = 8;
+  four.exec_threads = 4;
+  PTPtr scan = MakeEntity(EntityRef{"Composer", 0, 0}, "x", composer);
+  ResultCursor cur = exec.ExecuteStream(*scan, four);
+  RowBatch batch;
+  ASSERT_TRUE(cur.Next(&batch));
+  size_t streamed = batch.size();
+
+  ExecOptions two;
+  two.exec_threads = 2;
+  PTPtr scan2 = MakeEntity(EntityRef{"Composer", 0, 0}, "y", composer);
+  Table t = exec.Execute(*scan2, two);
+  EXPECT_EQ(t.rows.size(), 200u);
+
+  while (cur.Next(&batch)) streamed += batch.size();
+  EXPECT_EQ(streamed, 200u);
 }
 
 TEST_F(ExecutorTest, EstimatedAndMeasuredCostAgreeInShape) {

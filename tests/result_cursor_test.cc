@@ -168,6 +168,29 @@ TEST_F(ResultCursorTest, EarlyDestructionIsSafe) {
   EXPECT_FALSE(run.answer.rows.empty());
 }
 
+TEST_F(ResultCursorTest, MoveAssignOverPartialCursorIsSafe) {
+  Session session(g_.db.get());
+  RunOptions options;
+  options.cold = true;
+  options.batch_rows = 1;
+  ResultCursor cur = session.Query(kFig3Text, options);
+  ASSERT_TRUE(cur.ok()) << cur.error();
+  RowBatch batch;
+  ASSERT_TRUE(cur.Next(&batch));  // leave the cursor partially read
+  // Reassigning must finalize the replaced query first — its engine (and
+  // the executor the keepalive owns) go away together, and the fresh
+  // cursor streams the full answer.
+  cur = session.Query(kFig3Text, options);
+  ASSERT_TRUE(cur.ok()) << cur.error();
+  Table streamed = cur.ToTable();
+  EXPECT_TRUE(cur.finished());
+  EXPECT_FALSE(streamed.rows.empty());
+
+  const QueryRun run = session.Run(kFig3Text, options);
+  ASSERT_TRUE(run.ok()) << run.error();
+  EXPECT_EQ(Keys(streamed), Keys(run.answer));
+}
+
 TEST_F(ResultCursorTest, FinishWithoutReading) {
   Session session(g_.db.get());
   RunOptions options;
