@@ -49,7 +49,7 @@ ExecCase MakeCase(const QueryGraph& (*make_query)(ExecCase*)) {
   Optimizer opt(c.db.db.get(), c.stats.get(), c.cost.get(),
                 CostBasedOptions(42));
   OptimizeResult r = opt.Optimize(q);
-  RODIN_CHECK(r.ok(), r.error.c_str());
+  RODIN_CHECK(r.ok(), r.status.message.c_str());
   c.plan = r.plan->Clone();
   c.cost->Annotate(c.plan.get());
 

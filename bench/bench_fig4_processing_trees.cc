@@ -38,7 +38,7 @@ int main() {
   Optimizer opt(g.db.get(), &stats, &cost, no_push);
   OptimizeResult unpushed = opt.Optimize(Fig3Query(*g.schema, 6));
   if (!unpushed.ok()) {
-    std::printf("optimization failed: %s\n", unpushed.error.c_str());
+    std::printf("optimization failed: %s\n", unpushed.status.message.c_str());
     return 1;
   }
 

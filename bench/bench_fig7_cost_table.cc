@@ -40,7 +40,7 @@ void RunRegime(const char* title, const MusicConfig& config) {
   Optimizer opt(g.db.get(), &stats, &cost, no_push);
   OptimizeResult unpushed = opt.Optimize(Fig3Query(*g.schema, 6));
   if (!unpushed.ok()) {
-    std::printf("optimization failed: %s\n", unpushed.error.c_str());
+    std::printf("optimization failed: %s\n", unpushed.status.message.c_str());
     return;
   }
   PTPtr pushed = unpushed.plan->Clone();

@@ -63,7 +63,7 @@ PTPtr OptimizeWithoutRand(SearchCase& c, const QueryGraph& q) {
   options.transform.rand = RandStrategy::kNone;
   Optimizer opt(c.db.db.get(), c.stats.get(), c.cost.get(), options);
   OptimizeResult r = opt.Optimize(q);
-  RODIN_CHECK(r.ok(), r.error.c_str());
+  RODIN_CHECK(r.ok(), r.status.message.c_str());
   return std::move(r.plan);
 }
 

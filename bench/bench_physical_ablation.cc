@@ -46,7 +46,7 @@ void RunDesign(const char* name, const PhysicalConfig& physical) {
   auto run = [&](const char* query_name, const QueryGraph& q) {
     OptimizeResult r = opt.Optimize(q);
     if (!r.ok()) {
-      std::printf("  %-8s optimize failed: %s\n", query_name, r.error.c_str());
+      std::printf("  %-8s optimize failed: %s\n", query_name, r.status.message.c_str());
       return;
     }
     Executor exec(g.db.get());

@@ -32,7 +32,7 @@ RunResult RunWith(Database* db, const Stats& stats, const CostModel& cost,
   OptimizeResult r = opt.Optimize(q);
   RunResult out;
   if (!r.ok()) {
-    std::printf("optimize failed: %s\n", r.error.c_str());
+    std::printf("optimize failed: %s\n", r.status.message.c_str());
     return out;
   }
   out.est = r.cost;

@@ -87,7 +87,7 @@ int main() {
       }
       const OptimizeResult r = session.Optimize(parsed.graph);
       if (!r.ok()) {
-        std::printf("optimize error: %s\n", r.error.c_str());
+        std::printf("optimize error: %s\n", r.status.message.c_str());
         ok = false;
         break;
       }

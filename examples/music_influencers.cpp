@@ -51,7 +51,7 @@ void RunScenario(const char* title, double harpsichord_fraction,
     Optimizer opt(g.db.get(), &stats, &cost, c.options);
     OptimizeResult r = opt.Optimize(query);
     if (!r.ok()) {
-      std::printf("  %-26s failed: %s\n", c.name, r.error.c_str());
+      std::printf("  %-26s failed: %s\n", c.name, r.status.message.c_str());
       continue;
     }
     Executor exec(g.db.get());

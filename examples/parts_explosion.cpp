@@ -83,7 +83,7 @@ void Run(const char* title, Database* db, const Stats& stats,
   Optimizer opt(db, &stats, &cost, CostBasedOptions());
   OptimizeResult r = opt.Optimize(q);
   if (!r.ok()) {
-    std::printf("optimize failed: %s\n", r.error.c_str());
+    std::printf("optimize failed: %s\n", r.status.message.c_str());
     return;
   }
   Executor exec(db);

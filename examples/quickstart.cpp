@@ -59,7 +59,7 @@ where j.master.works.instruments.iname = "harpsichord" and j.gen >= 4
   Optimizer optimizer(&db, &stats, &cost, CostBasedOptions());
   OptimizeResult result = optimizer.Optimize(query);
   if (!result.ok()) {
-    std::printf("optimization failed: %s\n", result.error.c_str());
+    std::printf("optimization failed: %s\n", result.status.message.c_str());
     return 1;
   }
 

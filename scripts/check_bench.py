@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Compare a Google Benchmark JSON run against a committed baseline.
+
+Usage: check_bench.py CURRENT.json --baseline BASELINE.json
+                      [--tolerance 0.20] [--metric real_time] [--soft]
+
+For every benchmark name present in both files, the current metric must lie
+within +-tolerance (relative) of the baseline. Benchmarks present on only
+one side are reported but never fail the check (the suite is allowed to
+grow). Standard library only.
+
+CI machines are noisy neighbours, so the default invocation is --soft: a
+regression prints a prominent warning and exits 0, keeping the gate
+advisory. Drop --soft (or run locally) for a hard exit-1 gate — e.g. when
+refreshing the baseline and verifying the new numbers reproduce.
+
+Exit status: 0 when within tolerance (always 0 under --soft unless the
+inputs are malformed); 1 on a hard violation or unreadable input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path, metric):
+    """Returns {name: metric_value} from a Google Benchmark JSON file.
+
+    Aggregate rows (mean/median/stddev of repeated runs) are skipped so a
+    repeated run compares iteration rows against iteration rows.
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for row in doc.get("benchmarks", []):
+        if row.get("run_type") == "aggregate":
+            continue
+        name = row.get("name")
+        if name is None or metric not in row:
+            continue
+        out[name] = float(row[metric])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="benchmark JSON of the run to check")
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline benchmark JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative deviation (default 0.20)")
+    parser.add_argument("--metric", default="real_time",
+                        help="benchmark field to compare (default real_time)")
+    parser.add_argument("--soft", action="store_true",
+                        help="report violations but exit 0 (advisory gate)")
+    args = parser.parse_args()
+
+    try:
+        current = load_benchmarks(args.current, args.metric)
+        baseline = load_benchmarks(args.baseline, args.metric)
+    except (OSError, ValueError) as e:
+        print(f"check_bench: cannot read input: {e}", file=sys.stderr)
+        return 1
+
+    if not baseline:
+        print(f"check_bench: no benchmarks in baseline {args.baseline}",
+              file=sys.stderr)
+        return 1
+
+    shared = sorted(set(current) & set(baseline))
+    only_current = sorted(set(current) - set(baseline))
+    only_baseline = sorted(set(baseline) - set(current))
+    violations = []
+    for name in shared:
+        base = baseline[name]
+        now = current[name]
+        ratio = (now - base) / base if base != 0 else float("inf")
+        marker = " <-- OUT OF TOLERANCE" if abs(ratio) > args.tolerance else ""
+        print(f"  {name}: {base:.1f} -> {now:.1f} ({ratio:+.1%}){marker}")
+        if marker:
+            violations.append(name)
+
+    for name in only_current:
+        print(f"  {name}: new benchmark (no baseline), skipped")
+    for name in only_baseline:
+        print(f"  {name}: in baseline only (not run), skipped")
+
+    if not shared:
+        print("check_bench: no overlapping benchmarks to compare",
+              file=sys.stderr)
+        return 1
+
+    if violations:
+        print(f"\ncheck_bench: {len(violations)}/{len(shared)} benchmarks "
+              f"outside +-{args.tolerance:.0%} of baseline: "
+              + ", ".join(violations), file=sys.stderr)
+        if args.soft:
+            print("check_bench: --soft gate, not failing the build",
+                  file=sys.stderr)
+            return 0
+        return 1
+
+    print(f"\ncheck_bench: {len(shared)} benchmarks within "
+          f"+-{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

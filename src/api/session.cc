@@ -1,6 +1,11 @@
 #include "api/session.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "common/check.h"
+#include "common/faults.h"
 #include "common/string_util.h"
 #include "plan/pt_printer.h"
 #include "query/parser.h"
@@ -48,12 +53,16 @@ void PrintExplainNode(const ExplainNode& node, int depth, std::string* out) {
 }
 
 /// Maps the session-level run knobs onto the executor's options. Zeroes
-/// mean "keep the executor default".
-ExecOptions ExecOptionsFrom(const RunOptions& options) {
+/// mean "keep the executor default". `query` is the run's *armed* context
+/// (owned by the caller for the duration of the execution), referenced —
+/// not copied — per the single-source-of-truth rule.
+ExecOptions ExecOptionsFrom(const RunOptions& options,
+                            const QueryContext* query) {
   ExecOptions exec;
   if (options.batch_rows > 0) exec.batch_rows = options.batch_rows;
   if (options.exec_threads > 0) exec.exec_threads = options.exec_threads;
   exec.use_legacy = options.legacy_exec;
+  exec.query = query;
   return exec;
 }
 
@@ -67,9 +76,12 @@ std::string ExplainResult::ToString() const {
   }
   out += "stages:\n";
   for (const StageReport& s : stages) {
-    out += StrFormat("  %-12s granularity=%-24s strategy=%-32s plans=%zu\n",
+    // The truncated marker renders only when set, so untruncated reports
+    // stay byte-identical to the pre-anytime format.
+    out += StrFormat("  %-12s granularity=%-24s strategy=%-32s plans=%zu%s\n",
                      s.stage.c_str(), s.granularity.c_str(),
-                     s.strategy.c_str(), s.plans_explored);
+                     s.strategy.c_str(), s.plans_explored,
+                     s.truncated ? "  [truncated: budget hit]" : "");
   }
   out += "decisions:\n";
   for (const std::string& line : Split(decisions.ToString(), '\n')) {
@@ -120,17 +132,26 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
   QueryRun run;
   run.graph = graph;
 
+  // The run's armed lifecycle context: one copy of the caller's budget,
+  // deadline clock started here, referenced by pointer from every stage.
+  // The cancel token inside still shares the caller's flag.
+  QueryContext qctx = options.query;
+  qctx.ArmDeadline();
+
   obs::Tracer tracer;
   ObsSink sink;
   sink.decisions = &run.decisions;
   if (options.collect_trace) sink.tracer = &tracer;
 
-  Optimizer optimizer(db_, stats_.get(), cost_.get(),
-                      EffectiveOptions(options));
+  OptimizerOptions opt_options = EffectiveOptions(options);
+  opt_options.query = &qctx;
+  // Run/Explain are the retryable, non-streaming paths: they are the only
+  // ones that consult the fault injector.
+  opt_options.inject_faults = true;
+  Optimizer optimizer(db_, stats_.get(), cost_.get(), opt_options);
   run.optimized = optimizer.Optimize(graph, sink);
   if (!run.optimized.ok()) {
-    run.status = Status::Error(Status::Code::kOptimizeError,
-                               run.optimized.error);
+    run.status = run.optimized.status;
     if (options.collect_trace) run.trace = tracer.Finish();
     return run;
   }
@@ -140,8 +161,43 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
     Executor local(db_, cost_params_);
     Executor& e = exec != nullptr ? *exec : local;
     if (options.collect_trace) e.set_tracer(&tracer);
-    e.ResetMeasurement(options.cold);
-    run.answer = e.Execute(*run.optimized.plan, ExecOptionsFrom(options));
+    ExecOptions exec_options = ExecOptionsFrom(options, &qctx);
+    exec_options.inject_faults = true;
+
+    // Retry-with-backoff for transient (kFault) aborts. Only the execution
+    // phase re-runs — the optimizer already committed its plan and its
+    // metrics. Between attempts every piece of measurement state is
+    // restored (counters, fix cache, and for warm runs the resident set),
+    // so the surviving attempt's answer, counters and measured cost are
+    // bit-identical to a run that never faulted.
+    //
+    // Injection stops after kFaultedAttemptLimit faulted attempts (a
+    // circuit breaker): per-batch fault draws make a long query's per-
+    // attempt fault probability approach 1, so without the breaker no
+    // number of retries would converge. A clean attempt is unperturbed by
+    // the draws, so the breaker never changes a surviving run's results.
+    const bool faults_on = FaultInjector::Global().enabled();
+    std::vector<PageId> resident;
+    if (faults_on && !options.cold) {
+      resident = db_->buffer_pool().SnapshotResident();
+    }
+    constexpr int kMaxAttempts = 16;
+    constexpr int kFaultedAttemptLimit = 8;
+    Status exec_status;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      if (attempt > 0) {
+        e.ClearFixCache();
+        if (!options.cold) db_->buffer_pool().RestoreResident(resident);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(1u << std::min(attempt, 10)));
+      }
+      exec_options.inject_faults = attempt < kFaultedAttemptLimit;
+      e.ResetMeasurement(options.cold);
+      exec_status =
+          e.ExecuteInto(*run.optimized.plan, exec_options, &run.answer);
+      if (!exec_status.retryable()) break;
+    }
+    if (!exec_status.ok()) run.status = exec_status;
     run.measured_cost = e.MeasuredCost();
     run.counters = e.counters();
     e.set_tracer(nullptr);
@@ -174,6 +230,11 @@ struct QueryState {
   Executor exec;
   OptimizeResult optimized;
   DecisionLog decisions;
+  /// The cursor's armed lifecycle context. Lives exactly as long as the
+  /// cursor (keepalive), so the engine's per-batch polls stay valid however
+  /// long the caller holds the cursor — and a copy of the caller's cancel
+  /// token means RequestCancel() from any thread stops the next Next().
+  QueryContext qctx;
 };
 
 }  // namespace
@@ -181,20 +242,24 @@ struct QueryState {
 ResultCursor Session::Query(const QueryGraph& graph,
                             const RunOptions& options) {
   auto state = std::make_shared<QueryState>(db_, cost_params_);
+  state->qctx = options.query;
+  state->qctx.ArmDeadline();
 
   ObsSink sink;
   sink.decisions = &state->decisions;
-  Optimizer optimizer(db_, stats_.get(), cost_.get(),
-                      EffectiveOptions(options));
+  OptimizerOptions opt_options = EffectiveOptions(options);
+  opt_options.query = &state->qctx;
+  Optimizer optimizer(db_, stats_.get(), cost_.get(), opt_options);
   state->optimized = optimizer.Optimize(graph, sink);
   if (!state->optimized.ok()) {
-    return ResultCursor(Status::Error(Status::Code::kOptimizeError,
-                                      state->optimized.error));
+    return ResultCursor(state->optimized.status);
   }
 
   state->exec.ResetMeasurement(options.cold);
-  ResultCursor cursor =
-      state->exec.ExecuteStream(*state->optimized.plan, ExecOptionsFrom(options));
+  // Streaming runs reference the state-owned context; fault injection stays
+  // off (a half-consumed stream cannot be transparently retried).
+  ResultCursor cursor = state->exec.ExecuteStream(
+      *state->optimized.plan, ExecOptionsFrom(options, &state->qctx));
   cursor.set_plan_text(PrintPT(*state->optimized.plan));
   Database* db = db_;
   cursor.set_on_finish([db] { db->buffer_pool().PublishMetrics(); });

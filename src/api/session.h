@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "cost/cost_model.h"
 #include "cost/stats.h"
@@ -32,10 +33,19 @@ struct RunOptions {
   /// Optimize only — skip execution (answer stays empty, measured_cost -1).
   bool explain_only = false;
   /// Override the session's transformPT search parallelism (0 = keep the
-  /// session's OptimizerOptions value).
+  /// session's OptimizerOptions value). Knob precedence, here and for
+  /// `seed`: a non-zero RunOptions value wins for this run; otherwise the
+  /// session's OptimizerOptions value applies. There is no third copy —
+  /// TransformOptions no longer carries these.
   size_t search_threads = 0;
   /// Override the session's optimizer seed (0 = keep).
   uint64_t seed = 0;
+  /// The run's lifecycle budget: deadline, cancel token, memory budget.
+  /// This is the only place the knobs are *defined* — the optimizer and
+  /// executor reference the (armed copy of the) context by pointer, never
+  /// copy the fields. Keep a copy of `query.cancel` to cancel from another
+  /// thread; see QueryContext for semantics. Default: unbounded.
+  QueryContext query;
   /// Worker threads for the batched executor's morsel-parallel operators
   /// (0 = executor default, sequential). Results, counters and measured
   /// cost are identical for any value; only wall time changes.
@@ -125,6 +135,13 @@ struct ExplainResult {
 /// Set `opts.search_threads` (OptimizerOptions) or RunOptions::search_threads
 /// to fan the randomized transformPT search across a worker pool; answers
 /// and chosen plans stay deterministic under the seed for any thread count.
+///
+/// Lifecycle: RunOptions::query bounds a run by deadline, cancel token and
+/// memory budget (see QueryContext and docs/ROBUSTNESS.md). Run/Explain
+/// additionally retry transient injected faults (Status::retryable, i.e.
+/// kFault only) with a small exponential backoff, restoring measurement
+/// state between attempts so a retried run's answer and counters are
+/// bit-identical to a clean run; streaming Query() never injects faults.
 class Session {
  public:
   explicit Session(Database* db, OptimizerOptions options = {},

@@ -6,14 +6,24 @@ const char* Status::code_name() const {
   switch (code) {
     case Code::kOk:
       return "ok";
-    case Code::kParseError:
-      return "parse_error";
-    case Code::kSemanticError:
-      return "semantic_error";
-    case Code::kOptimizeError:
-      return "optimize_error";
-    case Code::kExecError:
-      return "exec_error";
+    case Code::kParse:
+      return "parse";
+    case Code::kSemantic:
+      return "semantic";
+    case Code::kOptimize:
+      return "optimize";
+    case Code::kExec:
+      return "exec";
+    case Code::kCancelled:
+      return "cancelled";
+    case Code::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Code::kResourceExhausted:
+      return "resource_exhausted";
+    case Code::kFault:
+      return "fault";
+    case Code::kInternal:
+      return "internal";
   }
   return "unknown";
 }
@@ -21,6 +31,32 @@ const char* Status::code_name() const {
 std::string Status::ToString() const {
   if (ok()) return "ok";
   return std::string("[") + code_name() + "] " + message;
+}
+
+int ExitCodeForStatus(const Status& status) {
+  switch (status.code) {
+    case Status::Code::kOk:
+      return 0;
+    case Status::Code::kParse:
+      return 3;
+    case Status::Code::kSemantic:
+      return 4;
+    case Status::Code::kOptimize:
+      return 5;
+    case Status::Code::kExec:
+      return 6;
+    case Status::Code::kCancelled:
+      return 7;
+    case Status::Code::kDeadlineExceeded:
+      return 8;
+    case Status::Code::kResourceExhausted:
+      return 9;
+    case Status::Code::kFault:
+      return 10;
+    case Status::Code::kInternal:
+      return 11;
+  }
+  return 1;
 }
 
 }  // namespace rodin

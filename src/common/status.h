@@ -11,13 +11,24 @@ namespace rodin {
 /// Replaces the loose `bool ok; std::string error;` pairs: callers branch on
 /// the code instead of string-matching error text, and parse errors carry
 /// the offending source span.
+///
+/// The taxonomy distinguishes *why* a query stopped, not merely *where*:
+/// budget violations (kCancelled, kDeadlineExceeded, kResourceExhausted)
+/// and injected transient faults (kFault, the only retryable code) are
+/// separate from genuine parse/semantic/optimize/exec failures, so callers
+/// — including rodin_cli's exit codes — can react per class.
 struct Status {
   enum class Code {
     kOk,
-    kParseError,     // surface-syntax error (line/col populated)
-    kSemanticError,  // query validated against the schema and failed
-    kOptimizeError,  // no plan could be produced
-    kExecError,      // execution failed
+    kParse,              // surface-syntax error (line/col populated)
+    kSemantic,           // query validated against the schema and failed
+    kOptimize,           // no plan could be produced
+    kExec,               // execution failed
+    kCancelled,          // CancelToken fired
+    kDeadlineExceeded,   // QueryContext deadline elapsed
+    kResourceExhausted,  // memory budget could not be honoured
+    kFault,              // injected transient fault (retryable)
+    kInternal,           // invariant violation; a bug, never retryable
   };
 
   Code code = Code::kOk;
@@ -28,20 +39,29 @@ struct Status {
 
   bool ok() const { return code == Code::kOk; }
 
+  /// Only kFault is transient: retrying the same work can succeed.
+  bool retryable() const { return code == Code::kFault; }
+
   static Status Ok() { return Status{}; }
   static Status Error(Code code, std::string message, size_t line = 0,
                       size_t col = 0) {
     return Status{code, std::move(message), line, col};
   }
 
-  /// "ok", "parse_error", "semantic_error", "optimize_error", "exec_error".
+  /// "ok", "parse", "semantic", "optimize", "exec", "cancelled",
+  /// "deadline_exceeded", "resource_exhausted", "fault", "internal".
   const char* code_name() const;
 
-  /// "[parse_error] parse error at 3:7: expected ..." — the code name
-  /// prefixed to the message (which already carries the span for parse
-  /// errors).
+  /// "[parse] parse error at 3:7: expected ..." — the code name prefixed
+  /// to the message (which already carries the span for parse errors).
   std::string ToString() const;
 };
+
+/// Maps a status to rodin_cli's process exit code: 0 ok, 3 parse,
+/// 4 semantic, 5 optimize, 6 exec, 7 cancelled, 8 deadline_exceeded,
+/// 9 resource_exhausted, 10 fault, 11 internal. (1 is the generic shell
+/// failure and 2 is reserved for usage errors, so real codes start at 3.)
+int ExitCodeForStatus(const Status& status);
 
 }  // namespace rodin
 

@@ -8,8 +8,11 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/faults.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "exec/eval_core.h"
+#include "exec/exec_abort.h"
 
 namespace rodin {
 
@@ -49,9 +52,60 @@ struct ExecCtx {
   /// backing each delta (scans of the delta charge it).
   std::map<std::string, std::pair<const Table*, TempFile>> deltas;
 
+  /// Lifecycle budget / fault wiring (coordinator thread only; workers
+  /// never consult either).
+  const QueryContext* query = nullptr;
+  bool inject_faults = false;
+
   /// How many input items a leaf grabs per Next: one output batch per
   /// worker, so every worker has a full morsel of work.
   size_t Quantum() const { return batch_rows * std::max<size_t>(1, threads); }
+
+  /// Coordinator-thread budget poll; throws internal::ExecAbort on a
+  /// cancel / deadline trip, an injected page-fetch fault, or a forced
+  /// deadline at semi-naive iteration `fix_iter` (0 = not at an iteration
+  /// boundary). Called at batch boundaries (BatchEngine::Next, morsel
+  /// fan-out) and per fixpoint iteration.
+  void CheckAbort(int fix_iter) {
+    if (inject_faults) {
+      FaultInjector& fi = FaultInjector::Global();
+      if (fix_iter > 0 && fi.ForceDeadlineAtFixIter(fix_iter)) {
+        throw internal::ExecAbort(Status::Error(
+            Status::Code::kDeadlineExceeded,
+            StrFormat("deadline exceeded (forced at fix iteration %d)",
+                      fix_iter)));
+      }
+      if (fi.InjectPageFetchFault()) {
+        throw internal::ExecAbort(Status::Error(
+            Status::Code::kFault, "injected page-fetch failure"));
+      }
+    }
+    if (query != nullptr) {
+      if (Status s = query->Check(); !s.ok()) {
+        throw internal::ExecAbort(std::move(s));
+      }
+    }
+  }
+
+  /// AllocateTempFile with the memory budget and alloc-fault checks. A temp
+  /// file that alone exceeds the resident-page budget can never be scanned
+  /// within it, so the query fails fast with kResourceExhausted instead of
+  /// thrashing.
+  TempFile AllocTemp(size_t rows, size_t ncols) {
+    if (inject_faults && FaultInjector::Global().InjectAllocFault()) {
+      throw internal::ExecAbort(Status::Error(
+          Status::Code::kFault, "injected allocation failure"));
+    }
+    TempFile temp = AllocateTempFile(db, rows, ncols);
+    const size_t budget = query != nullptr ? query->memory_budget_pages : 0;
+    if (budget > 0 && temp.pages > budget) {
+      throw internal::ExecAbort(Status::Error(
+          Status::Code::kResourceExhausted,
+          StrFormat("temp file of %llu pages exceeds the %zu-page budget",
+                    static_cast<unsigned long long>(temp.pages), budget)));
+    }
+    return temp;
+  }
 
   /// Runs fn(i, eval_ctx, row_sink) for every i in [0, n), split into
   /// contiguous morsels across the worker pool. Each morsel evaluates
@@ -63,6 +117,9 @@ struct ExecCtx {
       const std::function<void(size_t, EvalContext*, std::vector<Row>*)>& fn,
       ChargeLog* log, std::vector<Row>* out) {
     if (n == 0) return;
+    // Morsel boundary: the budget poll before fanning out (still on the
+    // coordinator; workers never poll or throw).
+    CheckAbort(0);
     constexpr size_t kMinMorselItems = 16;
     size_t nmorsels = 1;
     if (pool != nullptr && threads > 1) {
@@ -681,8 +738,7 @@ class NLJoinOp : public Op {
       const Extent* e = ctx_->db->FindExtent(rnode.entity.extent);
       inner_pages_ = e->ScanPages(rnode.entity.vfrag, rnode.entity.hfrag);
     } else if (!inner_entity) {
-      temp_ = AllocateTempFile(ctx_->db, right_.rows.size(),
-                               right_.schema.cols.size());
+      temp_ = ctx_->AllocTemp(right_.rows.size(), right_.schema.cols.size());
     }
     if (rnode.kind == PTKind::kDelta) {
       auto it = ctx_->deltas.find(rnode.fix_name);
@@ -944,12 +1000,17 @@ class FixOp : public Op {
     // cost formula improves on.
     Table delta = std::move(base);
     bool progress = true;
+    int iter = 0;
     while (progress && !result_.rows.empty()) {
+      // Iteration boundary: each round leaves result_ consistent and the
+      // finished rounds' charge logs intact, so aborting here (deadline
+      // inside the semi-naive loop) replays exactly the work done.
+      ctx_->CheckAbort(++iter);
       ++ctx_->fix_iterations;
       const Table& input = node.naive_fix ? result_ : delta;
       if (!node.naive_fix && delta.rows.empty()) break;
-      const TempFile temp = AllocateTempFile(ctx_->db, input.rows.size(),
-                                             input.schema.cols.size());
+      const TempFile temp =
+          ctx_->AllocTemp(input.rows.size(), input.schema.cols.size());
       ctx_->deltas[node.fix_name] = {&input, temp};
       std::unique_ptr<Op> arm = BuildOp(ctx_, node.children[1].get());
       Table produced = DrainOp(arm.get());
@@ -1048,6 +1109,7 @@ struct BatchEngine::Impl {
   bool finalized = false;
   bool exhausted = false;
   uint64_t rows_emitted = 0;
+  Status status;  // non-OK after a budget / fault abort
 };
 
 BatchEngine::BatchEngine(const Config& config, const PTNode& plan)
@@ -1063,6 +1125,9 @@ BatchEngine::BatchEngine(const Config& config, const PTNode& plan)
   ctx.collect_op_stats = config.collect_op_stats;
   ctx.pool = config.pool;
   ctx.fix_cache = config.fix_cache;
+  ctx.query = config.query;
+  ctx.inject_faults =
+      config.inject_faults && FaultInjector::Global().enabled();
   impl_->root = BuildOp(&ctx, &plan);
 }
 
@@ -1075,18 +1140,35 @@ uint64_t BatchEngine::rows_emitted() const { return impl_->rows_emitted; }
 bool BatchEngine::Next(RowBatch* out) {
   out->Clear();
   if (impl_->exhausted) return false;
-  while (true) {
-    if (!impl_->root->Pull(out)) {
-      impl_->exhausted = true;
-      out->Clear();
-      return false;
+  try {
+    // Batch boundary: a cancel requested from another thread while the
+    // caller was away is observed here, before any new work starts.
+    impl_->ctx.CheckAbort(0);
+    while (true) {
+      if (!impl_->root->Pull(out)) {
+        impl_->exhausted = true;
+        out->Clear();
+        return false;
+      }
+      if (!out->empty()) {
+        impl_->rows_emitted += out->size();
+        return true;
+      }
     }
-    if (!out->empty()) {
-      impl_->rows_emitted += out->size();
-      return true;
-    }
+  } catch (internal::ExecAbort& abort) {
+    // The abort already unwound any in-flight operator pass; completed
+    // passes keep their charge logs, so Finalize still replays exactly the
+    // work performed. A dangling delta entry from an unwound fixpoint is
+    // dropped (the engine can never be pulled again).
+    impl_->status = std::move(abort.status);
+    impl_->ctx.deltas.clear();
+    impl_->exhausted = true;
+    out->Clear();
+    return false;
   }
 }
+
+const Status& BatchEngine::status() const { return impl_->status; }
 
 void BatchEngine::Finalize() {
   if (impl_->finalized) return;
@@ -1095,7 +1177,15 @@ void BatchEngine::Finalize() {
   // Canonical replay: the pool sees the exact charge sequence the legacy
   // bottom-up evaluator would have produced, so LRU hits and misses — and
   // with them MeasuredCost() — are independent of batching and threading.
+  // The per-query memory budget applies exactly here, where the pool is
+  // actually touched: with a budget the effective LRU capacity is clamped,
+  // so over-budget access patterns degrade to extra (exactly accounted)
+  // misses instead of failing.
+  const size_t budget =
+      ctx.query != nullptr ? ctx.query->memory_budget_pages : 0;
+  if (budget > 0) ctx.db->buffer_pool().SetQueryBudget(budget);
   impl_->root->Replay(&ctx.db->buffer_pool());
+  if (budget > 0) ctx.db->buffer_pool().ClearQueryBudget();
   if (ctx.collect_op_stats) {
     impl_->root->Harvest();
     SumPagesInclusive(*impl_->plan, &ctx.local_stats);

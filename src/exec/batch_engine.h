@@ -43,6 +43,13 @@ class BatchEngine {
     std::map<const PTNode*, OpStats>* op_stats = nullptr;
     ExecCounters* counters = nullptr;
     uint64_t* method_cost_fp = nullptr;
+    /// The run's lifecycle budget (see ExecOptions::query). Polled on the
+    /// coordinator thread at batch and fixpoint-iteration boundaries, so a
+    /// streaming cursor can be cancelled mid-read from another thread.
+    const QueryContext* query = nullptr;
+    /// Consult the process FaultInjector during this evaluation (Session's
+    /// non-streaming paths only).
+    bool inject_faults = false;
   };
 
   BatchEngine(const Config& config, const PTNode& plan);
@@ -55,7 +62,15 @@ class BatchEngine {
 
   /// Fills `out` with the next batch (up to batch_rows rows). Returns false
   /// when the plan is exhausted; never returns an empty batch otherwise.
+  /// Also returns false when the budget trips or a fault is injected —
+  /// check status() to tell exhaustion from abort. After an abort the
+  /// engine stays safe to Finalize (partial charges replay exactly).
   bool Next(RowBatch* out);
+
+  /// OK while streaming normally; the abort reason (kCancelled,
+  /// kDeadlineExceeded, kResourceExhausted, kFault) after Next returned
+  /// false because the budget tripped.
+  const Status& status() const;
 
   /// Replays every recorded page charge into the buffer pool in canonical
   /// order and merges counters / op stats into the configured sinks.

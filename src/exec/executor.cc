@@ -6,9 +6,11 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/faults.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "exec/batch_engine.h"
+#include "exec/exec_abort.h"
 #include "exec/eval_core.h"
 #include "exec/row_batch.h"
 #include "obs/metrics.h"
@@ -66,6 +68,44 @@ ThreadPool* Executor::PoolFor(size_t threads) {
   }
   pools_.push_back(std::make_unique<ThreadPool>(threads));
   return pools_.back().get();
+}
+
+void Executor::CheckLegacyBudget(int fix_iter) {
+  if (inject_faults_) {
+    FaultInjector& fi = FaultInjector::Global();
+    if (fix_iter > 0 && fi.ForceDeadlineAtFixIter(fix_iter)) {
+      throw internal::ExecAbort(Status::Error(
+          Status::Code::kDeadlineExceeded,
+          StrFormat("deadline exceeded (forced at fix iteration %d)",
+                    fix_iter)));
+    }
+    if (fi.InjectPageFetchFault()) {
+      throw internal::ExecAbort(Status::Error(
+          Status::Code::kFault, "injected page-fetch failure"));
+    }
+  }
+  if (query_ != nullptr) {
+    if (Status s = query_->Check(); !s.ok()) {
+      throw internal::ExecAbort(std::move(s));
+    }
+  }
+}
+
+TempFile Executor::AllocTempChecked(size_t rows, size_t ncols) {
+  if (inject_faults_ && FaultInjector::Global().InjectAllocFault()) {
+    throw internal::ExecAbort(Status::Error(
+        Status::Code::kFault, "injected allocation failure"));
+  }
+  TempFile temp = AllocateTempFile(db_, rows, ncols);
+  const size_t budget =
+      query_ != nullptr ? query_->memory_budget_pages : 0;
+  if (budget > 0 && temp.pages > budget) {
+    throw internal::ExecAbort(Status::Error(
+        Status::Code::kResourceExhausted,
+        StrFormat("temp file of %llu pages exceeds the %zu-page budget",
+                  static_cast<unsigned long long>(temp.pages), budget)));
+  }
+  return temp;
 }
 
 void Executor::EmitExecMetrics(size_t rows) {
@@ -261,7 +301,7 @@ Table Executor::EvalEJ(const PTNode& node) {
     const Extent* e = db_->FindExtent(right_node.entity.extent);
     inner_pages = e->ScanPages(right_node.entity.vfrag, right_node.entity.hfrag);
   } else if (!inner_entity) {
-    temp = AllocateTempFile(db_, right.rows.size(), right.schema.cols.size());
+    temp = AllocTempChecked(right.rows.size(), right.schema.cols.size());
   }
 
   bool first_outer = true;
@@ -385,12 +425,16 @@ Table Executor::EvalFix(const PTNode& node) {
   // cost formula improves on.
   Table delta = base;
   bool progress = true;
+  int iter = 0;
   while (progress && !result.rows.empty()) {
+    // Budget poll at the iteration boundary: each iteration leaves `result`
+    // consistent, so aborting here loses only future derivations.
+    CheckLegacyBudget(++iter);
     ++counters_.fix_iterations;
     const Table& input = node.naive_fix ? result : delta;
     if (!node.naive_fix && delta.rows.empty()) break;
     const TempFile temp =
-        AllocateTempFile(db_, input.rows.size(), input.schema.cols.size());
+        AllocTempChecked(input.rows.size(), input.schema.cols.size());
     deltas_[node.fix_name] = {&input, temp};
     Table produced = Eval(*node.children[1]);
     deltas_.erase(node.fix_name);
@@ -408,7 +452,7 @@ Table Executor::EvalFix(const PTNode& node) {
   }
   if (cacheable) {
     const TempFile temp =
-        AllocateTempFile(db_, result.rows.size(), result.schema.cols.size());
+        AllocTempChecked(result.rows.size(), result.schema.cols.size());
     fix_cache_[key] = {result, temp};
   }
   return result;
@@ -461,13 +505,37 @@ Table Executor::Execute(const PTNode& plan) {
 }
 
 Table Executor::Execute(const PTNode& plan, const ExecOptions& options) {
+  Table out;
+  ExecuteInto(plan, options, &out);
+  return out;
+}
+
+Status Executor::ExecuteInto(const PTNode& plan, const ExecOptions& options,
+                             Table* out) {
   uint64_t span = 0;
   if (tracer_ != nullptr) span = tracer_->Begin("execute", "exec");
-  Table out;
+  out->rows.clear();
+  Status status;
+  query_ = options.query;
+  inject_faults_ =
+      options.inject_faults && FaultInjector::Global().enabled();
+  const size_t budget =
+      query_ != nullptr ? query_->memory_budget_pages : 0;
   if (options.use_legacy) {
-    out = Eval(plan);
-    counters_.rows_produced += out.rows.size();
-    counters_.method_cost = MethodCostFromFp(method_cost_fp_);
+    // The legacy evaluator charges the pool as it runs, so the budget is
+    // armed for the whole evaluation.
+    if (budget > 0) db_->buffer_pool().SetQueryBudget(budget);
+    try {
+      CheckLegacyBudget(0);
+      *out = Eval(plan);
+      counters_.rows_produced += out->rows.size();
+      counters_.method_cost = MethodCostFromFp(method_cost_fp_);
+    } catch (internal::ExecAbort& abort) {
+      status = std::move(abort.status);
+      out->rows.clear();
+      deltas_.clear();  // an abort mid-fixpoint leaves a live delta entry
+    }
+    if (budget > 0) db_->buffer_pool().ClearQueryBudget();
   } else {
     BatchEngine::Config cfg;
     cfg.db = db_;
@@ -480,21 +548,28 @@ Table Executor::Execute(const PTNode& plan, const ExecOptions& options) {
     cfg.op_stats = &op_stats_;
     cfg.counters = &counters_;
     cfg.method_cost_fp = &method_cost_fp_;
+    cfg.query = query_;
+    cfg.inject_faults = inject_faults_;
     BatchEngine engine(cfg, plan);
-    out.schema = engine.schema();
+    out->schema = engine.schema();
     RowBatch batch;
     while (engine.Next(&batch)) {
-      for (Row& r : batch.rows) out.rows.push_back(std::move(r));
+      for (Row& r : batch.rows) out->rows.push_back(std::move(r));
     }
     engine.Finalize();
+    status = engine.status();
+    if (!status.ok()) out->rows.clear();
   }
+  query_ = nullptr;
+  inject_faults_ = false;
   if (tracer_ != nullptr) {
-    tracer_->AddArg(span, "rows", StrFormat("%zu", out.rows.size()));
+    tracer_->AddArg(span, "rows", StrFormat("%zu", out->rows.size()));
     tracer_->AddArg(span, "measured_cost", MeasuredCost());
+    if (!status.ok()) tracer_->AddArg(span, "status", status.code_name());
     tracer_->End(span);
   }
-  EmitExecMetrics(out.rows.size());
-  return out;
+  EmitExecMetrics(out->rows.size());
+  return status;
 }
 
 }  // namespace rodin

@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/query_context.h"
+#include "common/status.h"
 #include "cost/params.h"
 #include "exec/row.h"
 #include "plan/pt.h"
@@ -61,6 +63,18 @@ struct ExecOptions {
   /// Use the original whole-table bottom-up evaluator (the differential
   /// oracle and bench baseline).
   bool use_legacy = false;
+  /// The run's lifecycle budget (deadline / cancel / memory), referenced —
+  /// never copied — from the RunOptions' QueryContext. Null = unbounded.
+  /// Both engines poll it on the coordinator thread only: per morsel batch
+  /// and per semi-naive iteration (batched), per fixpoint iteration
+  /// (legacy). Tripping it aborts the evaluation with the corresponding
+  /// status; partial page charges stay exact.
+  const QueryContext* query = nullptr;
+  /// Consult the process FaultInjector (RODIN_FAULTS) during this run. Only
+  /// Session's non-streaming paths set this, so raw Executor callers — the
+  /// differential oracle, benches — and streaming cursors are never
+  /// perturbed by an enabled injector.
+  bool inject_faults = false;
 };
 
 /// A temporary file: a run of simulated pages sized for `rows` rows of
@@ -99,9 +113,18 @@ class Executor {
   ~Executor();
 
   /// Evaluates `plan` and returns its result. Counters accumulate across
-  /// calls until ResetMeasurement().
+  /// calls until ResetMeasurement(). Any budget/fault abort yields an empty
+  /// table (use ExecuteInto to observe the status).
   Table Execute(const PTNode& plan);
   Table Execute(const PTNode& plan, const ExecOptions& options);
+
+  /// Evaluates `plan` into `*out`, reporting budget violations (kCancelled,
+  /// kDeadlineExceeded, kResourceExhausted) and injected faults (kFault) as
+  /// a status instead of swallowing them. On a non-OK status `*out` is
+  /// empty but the counters and page charges of the work actually performed
+  /// remain — accounting stays exact for partial runs.
+  Status ExecuteInto(const PTNode& plan, const ExecOptions& options,
+                     Table* out);
 
   /// Streaming evaluation: returns a cursor the caller drains batch by
   /// batch. Page charges and counters are folded into this executor when
@@ -116,6 +139,11 @@ class Executor {
   /// Zeroes counters, per-operator stats and buffer-pool statistics;
   /// optionally drops resident pages (cold start).
   void ResetMeasurement(bool clear_buffer);
+
+  /// Drops memoized fixpoint results. Session's fault-retry path calls this
+  /// between attempts so a retried run re-derives (and re-charges) exactly
+  /// what a clean run would.
+  void ClearFixCache() { fix_cache_.clear(); }
 
   /// Enables the per-operator profile (a map lookup + clock read per node
   /// evaluation; off by default).
@@ -132,6 +160,14 @@ class Executor {
 
  private:
   friend class ResultCursor;
+
+  /// Coordinator-thread budget poll + probabilistic page-fetch fault for
+  /// the legacy evaluator; throws internal::ExecAbort on a trip.
+  void CheckLegacyBudget(int fix_iter);
+
+  /// AllocateTempFile with the memory budget and alloc-fault checks applied
+  /// (legacy evaluator; the batched engine has its own in ExecCtx).
+  TempFile AllocTempChecked(size_t rows, size_t ncols);
 
   Table Eval(const PTNode& node);
   Table EvalNode(const PTNode& node);
@@ -159,6 +195,10 @@ class Executor {
   Database* db_;
   CostParams params_;
   ExecCounters counters_;
+  /// Active run's budget / fault wiring (set for the duration of one
+  /// ExecuteInto call; the legacy Eval* methods read them).
+  const QueryContext* query_ = nullptr;
+  bool inject_faults_ = false;
   /// counters_.method_cost in 2^-20 fixed point — the summation domain, so
   /// that morsel-parallel partial sums merge order-independently. The
   /// double mirror is refreshed whenever the fp value changes.

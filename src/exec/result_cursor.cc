@@ -120,6 +120,11 @@ bool ResultCursor::Next(RowBatch* batch) {
   }
   if (im->engine == nullptr || im->finished) return false;
   if (!im->engine->Next(batch)) {
+    // Exhaustion and budget aborts both end the stream; the abort reason
+    // (kCancelled / kDeadlineExceeded / ...) surfaces through status().
+    // Accounting still finalizes either way — the work actually performed
+    // replays exactly.
+    if (!im->engine->status().ok()) im->status = im->engine->status();
     FinalizeAccounting();
     return false;
   }
@@ -183,7 +188,7 @@ ResultCursor Executor::ExecuteStream(const PTNode& plan, ExecOptions options) {
   im->batch_rows = std::max<size_t>(1, options.batch_rows);
   im->finished = false;
   if (options.use_legacy) {
-    im->materialized = Execute(plan, options);
+    im->status = ExecuteInto(plan, options, &im->materialized);
     im->use_materialized = true;
     im->schema = im->materialized.schema;
     return cursor;
@@ -199,6 +204,8 @@ ResultCursor Executor::ExecuteStream(const PTNode& plan, ExecOptions options) {
   cfg.op_stats = &op_stats_;
   cfg.counters = &counters_;
   cfg.method_cost_fp = &method_cost_fp_;
+  cfg.query = options.query;
+  cfg.inject_faults = options.inject_faults;
   im->engine = std::make_unique<BatchEngine>(cfg, plan);
   im->schema = im->engine->schema();
   return cursor;

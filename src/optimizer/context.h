@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/rng.h"
 #include "cost/cost_model.h"
 #include "cost/stats.h"
@@ -62,6 +63,12 @@ struct OptContext {
   DecisionLog* decisions = nullptr;
   bool collect_decisions = false;
 
+  /// The run's lifecycle budget (deadline / cancel), or null for none.
+  /// Const and thread-safe to poll, so parallel restarts inherit the same
+  /// pointer. transformPT polls it per local-search move and per saturation
+  /// pass; tripping it truncates the search (anytime) rather than failing.
+  const QueryContext* query = nullptr;
+
   /// Fresh generated variable ("v1", "v2", ...). Generated names use a
   /// prefix that cannot collide with user variables or dotted columns.
   std::string FreshVar() { return "v" + std::to_string(++var_counter_); }
@@ -78,6 +85,9 @@ struct StageReport {
   std::string nodes_generated;  // PT node kinds produced
   double micros = 0;
   size_t plans_explored = 0;
+  /// The stage hit the deadline / cancel and returned its best-so-far
+  /// result instead of completing (anytime transformPT).
+  bool truncated = false;
 };
 
 }  // namespace rodin

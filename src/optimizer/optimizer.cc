@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/check.h"
+#include "common/faults.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -18,6 +19,22 @@ double MicrosSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration_cast<std::chrono::duration<double, std::micro>>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// The budget poll at a stage boundary. Stages 1-3 are all-or-nothing, so a
+/// tripped budget before stage `n` aborts the whole optimization; only
+/// transformPT (stage 4) degrades to an anytime result instead. A forced
+/// deadline from the fault injector ("stage=N") is reported identically to a
+/// real one.
+Status CheckStageBudget(const OptimizerOptions& options, int stage) {
+  if (options.inject_faults &&
+      FaultInjector::Global().ForceDeadlineAtStage(stage)) {
+    return Status::Error(Status::Code::kDeadlineExceeded,
+                         StrFormat("deadline exceeded (forced at stage %d)",
+                                   stage));
+  }
+  if (options.query != nullptr) return options.query->Check();
+  return Status::Ok();
 }
 
 }  // namespace
@@ -78,6 +95,7 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query,
   ctx.tracer = hooks.tracer;
   ctx.decisions = hooks.decisions;
   ctx.collect_decisions = hooks.decisions != nullptr;
+  ctx.query = options_.query;
 
   obs::Tracer* tracer = hooks.tracer;
   uint64_t span = 0;
@@ -85,11 +103,16 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query,
   const Schema& schema = db_->schema();
 
   // --- Stage 1: rewrite -------------------------------------------------------
+  if (Status s = CheckStageBudget(options_, 1); !s.ok()) {
+    result.status = std::move(s);
+    return result;
+  }
   if (tracer != nullptr) span = tracer->Begin("rewrite", "optimizer");
   auto t0 = std::chrono::steady_clock::now();
   RewrittenGraph rewritten = Rewrite(query, schema, options_.fold_views);
   if (!rewritten.ok()) {
-    result.error = Join(rewritten.errors, "; ");
+    result.status = Status::Error(Status::Code::kOptimize,
+                                  Join(rewritten.errors, "; "));
     if (tracer != nullptr) tracer->End(span);
     return result;
   }
@@ -104,6 +127,10 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query,
 
   // --- Stage 2: translate -----------------------------------------------------
   // One NormalizedSPJ per predicate node, bottom-up over views.
+  if (Status s = CheckStageBudget(options_, 2); !s.ok()) {
+    result.status = std::move(s);
+    return result;
+  }
   if (tracer != nullptr) span = tracer->Begin("translate", "optimizer");
   t0 = std::chrono::steady_clock::now();
   struct ViewWork {
@@ -135,6 +162,10 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query,
   }
 
   // --- Stage 3: generatePT -----------------------------------------------------
+  if (Status s = CheckStageBudget(options_, 3); !s.ok()) {
+    result.status = std::move(s);
+    return result;
+  }
   if (tracer != nullptr) span = tracer->Begin("generatePT", "optimizer");
   t0 = std::chrono::steady_clock::now();
   const size_t explored_before = ctx.plans_explored;
@@ -173,7 +204,8 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query,
     }
   }
   if (answer_plan == nullptr) {
-    result.error = "no plan produced for the answer";
+    result.status = Status::Error(Status::Code::kOptimize,
+                                  "no plan produced for the answer");
     if (tracer != nullptr) tracer->End(span);
     return result;
   }
@@ -188,18 +220,21 @@ OptimizeResult Optimizer::Optimize(const QueryGraph& query,
   }
 
   // --- Stage 4: transformPT ----------------------------------------------------
+  // A budget tripping at (or forced at) this boundary does not fail the run:
+  // a costed plan already exists, so transformPT degrades to its anytime
+  // path — compare the alternatives it has, skip the search.
+  const bool force_truncate = !CheckStageBudget(options_, 4).ok();
   if (tracer != nullptr) span = tracer->Begin("transformPT", "optimizer");
   t0 = std::chrono::steady_clock::now();
   const size_t explored_before_t = ctx.plans_explored;
-  TransformOptions transform_options = options_.transform;
-  transform_options.search_threads =
-      std::max(transform_options.search_threads, options_.search_threads);
-  TransformResult tr = TransformPT(std::move(answer_plan), ctx,
-                                   transform_options);
+  TransformResult tr =
+      TransformPT(std::move(answer_plan), ctx, options_.transform,
+                  options_.search_threads, force_truncate);
   result.stages.push_back(StageReport{
       "transformPT", "entire query (PT)",
       StrFormat("cost-based + %s", RandStrategyName(options_.transform.rand)),
-      "none", MicrosSince(t0), ctx.plans_explored - explored_before_t});
+      "none", MicrosSince(t0), ctx.plans_explored - explored_before_t,
+      tr.truncated});
   if (tracer != nullptr) {
     tracer->AddArg(span, "plans_explored",
                    StrFormat("%zu", ctx.plans_explored - explored_before_t));

@@ -40,18 +40,31 @@ struct OptimizerOptions {
   bool naive_fixpoint = false;
   uint64_t seed = 1;
   /// Worker threads for the randomized transformPT search (restart-level
-  /// parallelism, see ParallelStrategy). Convenience alias for
-  /// transform.search_threads: the larger of the two wins. The chosen plan
-  /// is deterministic for a given (seed, search_threads) — and identical
-  /// across thread counts, since restarts use index-derived RNG streams.
+  /// parallelism, see ParallelStrategy). This is the *only* definition of
+  /// the knob (TransformOptions no longer carries a copy); RunOptions may
+  /// override it per run — precedence is documented on RunOptions. The
+  /// chosen plan is deterministic for a given (seed, search_threads) — and
+  /// identical across thread counts, since restarts use index-derived RNG
+  /// streams.
   size_t search_threads = 1;
+  /// The run's lifecycle budget, referenced (not copied) from the
+  /// RunOptions' QueryContext. Null = unbounded. Stages 1-3 abort with
+  /// kDeadlineExceeded / kCancelled when tripped; transformPT instead
+  /// truncates and keeps its best-so-far plan (anytime).
+  const QueryContext* query = nullptr;
+  /// Consult the process FaultInjector for forced stage deadlines. Only
+  /// Session's non-streaming paths turn this on.
+  bool inject_faults = false;
 };
 
 /// Result of optimizing one query graph.
 struct OptimizeResult {
   PTPtr plan;
   double cost = 0;
-  std::string error;  // non-empty on failure (plan is null then)
+  /// Typed outcome; on failure the plan is null and status.code says why
+  /// (kOptimize, or kDeadlineExceeded / kCancelled when the budget tripped
+  /// before transformPT could produce an anytime plan).
+  Status status;
 
   size_t plans_explored = 0;
   std::vector<StageReport> stages;  // rewrite/translate/generatePT/transformPT
@@ -63,7 +76,7 @@ struct OptimizeResult {
   double pushed_variant_cost = -1;
   double unpushed_variant_cost = -1;
 
-  bool ok() const { return error.empty(); }
+  bool ok() const { return status.ok(); }
 };
 
 /// The optimizer of §4.1:

@@ -393,6 +393,14 @@ void ImproveMoves(PTPtr& cur, double& cur_cost, PTPtr& best, double& best_cost,
   size_t rejects = 0;
   for (size_t m = 0;
        m < options.rand_moves && rejects < options.rand_local_stop; ++m) {
+    // Anytime checkpoint: (best, best_cost) always hold a complete costed
+    // plan, so stopping mid-loop loses nothing but unexplored moves. A run
+    // whose budget never trips takes the identical move stream as an
+    // unbudgeted run (the poll consumes no RNG draws).
+    if (ctx.query != nullptr && ctx.query->Expired()) {
+      report->truncated = true;
+      break;
+    }
     PTPtr cand = cur->Clone();
     const Rule* move = ApplyRandomMove(cand, ctx);
     if (move == nullptr) {
@@ -463,6 +471,7 @@ RandReport RandomizedImprove(PTPtr& plan, OptContext& ctx,
     ImproveMoves(cur, cur_cost, best, best_cost, ctx, options, &rr);
     report.tried += rr.tried;
     report.accepted += rr.accepted;
+    report.truncated = report.truncated || rr.truncated;
     if (ctx.decisions != nullptr) {
       for (MoveDecision& d : rr.moves) {
         d.restart = restart;
@@ -516,8 +525,11 @@ ParallelSearchReport ParallelStrategy::Improve(PTPtr& plan, OptContext& ctx,
     local.cost = ctx.cost;
     local.rng = Rng::Stream(stream_base, r);
     // Workers inherit the flag but never the sinks: decisions land in the
-    // restart's report slot and merge deterministically below.
+    // restart's report slot and merge deterministically below. They also
+    // inherit the budget pointer (const, thread-safe to poll), so every
+    // restart can truncate independently.
     local.collect_decisions = ctx.collect_decisions;
+    local.query = ctx.query;
     RestartReport& rr = report.per_restart[r];  // index-keyed: no races
 
     PTPtr cur = origin.Clone();
@@ -569,6 +581,7 @@ ParallelSearchReport ParallelStrategy::Improve(PTPtr& plan, OptContext& ctx,
     report.tried += rr.tried;
     report.accepted += rr.accepted;
     report.plans_explored += rr.plans_explored;
+    report.truncated = report.truncated || rr.truncated;
     if (ctx.decisions != nullptr) {
       for (MoveDecision& d : rr.moves) {
         d.restart = r;

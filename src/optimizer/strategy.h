@@ -21,6 +21,8 @@ struct RandReport {
   size_t accepted = 0;
   double initial_cost = 0;
   double final_cost = 0;
+  /// The deadline / cancel tripped mid-search (anytime truncation).
+  bool truncated = false;
 };
 
 /// Instrumentation of one restart of the parallel search. Everything here
@@ -42,6 +44,8 @@ struct RestartReport {
   /// the shared DecisionLog is never written concurrently; the strategy
   /// merges the slots in restart order after the pool drains.
   std::vector<MoveDecision> moves;
+  /// This restart's move loop stopped early on deadline / cancel.
+  bool truncated = false;
 };
 
 /// Aggregate result of one ParallelStrategy::Improve call.
@@ -55,6 +59,11 @@ struct ParallelSearchReport {
   double final_cost = 0;
   /// Restart that produced the adopted plan (0 when the input plan won).
   size_t best_restart = 0;
+  /// Some restart stopped early on deadline / cancel. The adopted plan is
+  /// still the best of what *was* explored (anytime). A run whose budget
+  /// never trips sets no flag and is move-for-move identical to an
+  /// unbudgeted run — truncation is observable, not ambient.
+  bool truncated = false;
   std::vector<RestartReport> per_restart;
 };
 

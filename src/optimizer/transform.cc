@@ -640,7 +640,8 @@ size_t CollapseIJChains(PTPtr& root, OptContext& ctx) {
 }
 
 TransformResult TransformPT(PTPtr plan, OptContext& ctx,
-                            const TransformOptions& options) {
+                            const TransformOptions& options,
+                            size_t search_threads, bool force_truncate) {
   TransformResult result;
   ctx.cost->Annotate(plan.get());
 
@@ -677,6 +678,12 @@ TransformResult TransformPT(PTPtr plan, OptContext& ctx,
   size_t guard = 0;
   bool any = true;
   while (any && guard++ < 32) {
+    // Anytime checkpoint: each pass leaves `pushed` a complete, costed plan,
+    // so tripping the budget here just stops saturating early.
+    if (force_truncate || (ctx.query != nullptr && ctx.query->Expired())) {
+      result.truncated = true;
+      break;
+    }
     any = false;
     const double before = pushed->est_cost;
     if (options.enable_push_sel && PushSelThroughFix(pushed, ctx)) {
@@ -714,11 +721,12 @@ TransformResult TransformPT(PTPtr plan, OptContext& ctx,
   // every counter — is identical for a given seed at any thread count.
   RandReport report_a{};
   RandReport report_b{};
-  ParallelStrategy strategy(options.search_threads);
+  ParallelStrategy strategy(search_threads);
   auto improve = [&](PTPtr& alt, const char* label) {
     uint64_t s = 0;
     if (ctx.tracer != nullptr) s = ctx.tracer->Begin(label, "transformPT");
     const ParallelSearchReport pr = strategy.Improve(alt, ctx, options);
+    result.truncated = result.truncated || pr.truncated;
     if (ctx.tracer != nullptr) {
       ctx.tracer->AddArg(s, "tried", StrFormat("%zu", pr.tried));
       ctx.tracer->AddArg(s, "accepted", StrFormat("%zu", pr.accepted));
@@ -732,9 +740,11 @@ TransformResult TransformPT(PTPtr plan, OptContext& ctx,
     r.final_cost = pr.final_cost;
     return r;
   };
-  if (!options.always_push) report_a = improve(unpushed, "improve-unpushed");
-  if (have_push && !options.never_push) {
-    report_b = improve(pushed, "improve-pushed");
+  if (!force_truncate) {
+    if (!options.always_push) report_a = improve(unpushed, "improve-unpushed");
+    if (have_push && !options.never_push) {
+      report_b = improve(pushed, "improve-pushed");
+    }
   }
   result.moves_tried = report_a.tried + report_b.tried;
   result.moves_accepted = report_a.accepted + report_b.accepted;

@@ -26,11 +26,6 @@ struct TransformOptions {
   size_t rand_restarts = 2;
   double sa_initial_temp = 0.1;  // fraction of plan cost
   double sa_cooling = 0.9;
-  /// Worker threads for the randomized re-optimization. With > 1 the
-  /// restarts fan out over a ThreadPool (see ParallelStrategy); the chosen
-  /// plan stays deterministic for a given seed — identical, in fact, for
-  /// any thread count, because restarts use index-derived RNG streams.
-  size_t search_threads = 1;
 };
 
 /// Result of transformPT with instrumentation.
@@ -45,6 +40,9 @@ struct TransformResult {
   size_t moves_accepted = 0;
   double pushed_variant_cost = -1;    // cost of the fully pushed alternative
   double unpushed_variant_cost = -1;  // cost of the never-pushed alternative
+  /// The deadline / cancel tripped mid-search: `plan` is the best costed
+  /// alternative found up to that point (anytime), not the saturated result.
+  bool truncated = false;
 };
 
 /// transformPT: generates the fully *pushed* alternative of `plan` by
@@ -52,8 +50,20 @@ struct TransformResult {
 /// action, and projection pushing), re-optimizes both alternatives with the
 /// randomized strategy, and keeps the cheaper — the paper's delayed,
 /// cost-controlled decision. `plan` must be annotated.
+///
+/// transformPT is *anytime*: it polls ctx.query per push-saturation pass and
+/// per local-search move; on deadline/cancel it stops searching and returns
+/// the best costed plan found so far with `truncated` set, never an error.
+/// `search_threads` is the restart-level parallelism of the randomized
+/// search (canonical knob: OptimizerOptions::search_threads).
+/// `force_truncate` makes the call behave as if the budget were already
+/// tripped on entry (used when a deadline fires exactly at the stage-4
+/// boundary): both alternatives are costed and compared, but no saturation
+/// pass or randomized search runs.
 TransformResult TransformPT(PTPtr plan, OptContext& ctx,
-                            const TransformOptions& options);
+                            const TransformOptions& options,
+                            size_t search_threads = 1,
+                            bool force_truncate = false);
 
 // --- Individual push actions (exposed for tests and benches) ---------------
 

@@ -166,14 +166,14 @@ class Parser {
       Fail("unexpected trailing input after the answer select");
     }
     if (failed_) {
-      result.status = Status::Error(Status::Code::kParseError, error_,
+      result.status = Status::Error(Status::Code::kParse, error_,
                                     err_line_, err_col_);
       return result;
     }
     QueryGraph graph = builder.BuildUnchecked();
     const std::vector<std::string> errors = graph.Validate(schema_);
     if (!errors.empty()) {
-      result.status = Status::Error(Status::Code::kSemanticError,
+      result.status = Status::Error(Status::Code::kSemantic,
                                     "semantic error: " + Join(errors, "; "));
       return result;
     }

@@ -27,8 +27,8 @@ namespace rodin {
 /// variables (`t in x.works`, the paper's tree-label variables). The result
 /// is a QueryGraph identical to what the typed builder would produce.
 struct ParseResult {
-  /// kParseError carries the offending source position (status.line /
-  /// status.col, 1-based) of the token the parser rejected; kSemanticError
+  /// kParse carries the offending source position (status.line /
+  /// status.col, 1-based) of the token the parser rejected; kSemantic
   /// reports post-parse validation failures.
   Status status;
   QueryGraph graph;

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <iterator>
+
 #include "obs/metrics.h"
 
 namespace rodin {
@@ -7,7 +9,8 @@ namespace rodin {
 bool BufferPool::Fetch(PageId page) {
   SpinGuard guard(lock_);
   ++stats_.fetches;
-  if (capacity_ == 0) {
+  const size_t cap = EffectiveCapacityLocked();
+  if (cap == 0) {
     ++stats_.misses;
     return false;
   }
@@ -18,14 +21,47 @@ bool BufferPool::Fetch(PageId page) {
     return true;
   }
   ++stats_.misses;
-  if (lru_.size() >= capacity_) {
+  if (lru_.size() >= cap) EvictDownToLocked(cap - 1);
+  lru_.push_front(page);
+  index_[page] = lru_.begin();
+  return false;
+}
+
+void BufferPool::EvictDownToLocked(size_t limit) {
+  while (lru_.size() > limit) {
     index_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
   }
-  lru_.push_front(page);
-  index_[page] = lru_.begin();
-  return false;
+}
+
+void BufferPool::SetQueryBudget(size_t budget_pages) {
+  SpinGuard guard(lock_);
+  budget_ = budget_pages;
+  // Degrade immediately: pages beyond the budget are evicted now (and
+  // counted), so the budgeted section starts from a compliant resident set.
+  const size_t cap = EffectiveCapacityLocked();
+  if (cap < lru_.size()) EvictDownToLocked(cap);
+}
+
+void BufferPool::ClearQueryBudget() {
+  SpinGuard guard(lock_);
+  budget_ = 0;
+}
+
+std::vector<PageId> BufferPool::SnapshotResident() const {
+  SpinGuard guard(lock_);
+  return std::vector<PageId>(lru_.begin(), lru_.end());
+}
+
+void BufferPool::RestoreResident(const std::vector<PageId>& mru_first) {
+  SpinGuard guard(lock_);
+  lru_.clear();
+  index_.clear();
+  for (PageId p : mru_first) {
+    lru_.push_back(p);
+    index_[p] = std::prev(lru_.end());
+  }
 }
 
 void BufferPool::ResetStats() {

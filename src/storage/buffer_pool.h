@@ -1,6 +1,7 @@
 #ifndef RODIN_STORAGE_BUFFER_POOL_H_
 #define RODIN_STORAGE_BUFFER_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
@@ -142,7 +143,8 @@ class BufferPool final : public PageCharger {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Accesses `page`; returns true on a hit. Misses evict LRU when full.
+  /// Accesses `page`; returns true on a hit. Misses evict LRU when full
+  /// (full = min(capacity, query budget) while a budget is armed).
   bool Fetch(PageId page);
 
   /// PageCharger: a charge is a fetch.
@@ -161,6 +163,27 @@ class BufferPool final : public PageCharger {
 
   /// Empties the pool and zeroes the counters (cold-start measurements).
   void Clear();
+
+  /// Arms a per-query resident-page budget: until cleared, the effective
+  /// LRU capacity is min(capacity, budget_pages) and the pool immediately
+  /// evicts down to it. This is the *graceful* half of the resource
+  /// governor — an over-budget query runs to completion with extra
+  /// (exactly accounted) misses rather than failing; the hard half
+  /// (kResourceExhausted) fires in the executor when a single temp-file
+  /// allocation alone exceeds the budget. Budgets do not nest; the engine
+  /// arms the budget only around the sections that charge the pool.
+  void SetQueryBudget(size_t budget_pages);
+  void ClearQueryBudget();
+  size_t query_budget() const { return budget_; }
+
+  /// The resident set, most recently used first. Session's fault-retry
+  /// path snapshots before the first attempt and restores before each
+  /// retry so warm-run hit/miss patterns are attempt-invariant.
+  std::vector<PageId> SnapshotResident() const;
+
+  /// Replaces the resident set (counters untouched). `mru_first` must be
+  /// ordered as SnapshotResident returned it.
+  void RestoreResident(const std::vector<PageId>& mru_first);
 
   /// Folds everything counted since the last publish into the process-wide
   /// metrics (rodin.buffer.*). Deliberately not per-Fetch: Fetch is the
@@ -184,7 +207,17 @@ class BufferPool final : public PageCharger {
     std::atomic_flag& flag_;
   };
 
+  /// Evicts LRU pages until the resident set fits `limit`. Caller holds
+  /// the lock.
+  void EvictDownToLocked(size_t limit);
+
+  /// min(capacity_, budget_) while a budget is armed.
+  size_t EffectiveCapacityLocked() const {
+    return budget_ == 0 ? capacity_ : std::min(capacity_, budget_);
+  }
+
   size_t capacity_;
+  size_t budget_ = 0;  // 0 = no per-query budget armed
   Stats stats_;
   Stats published_;  // high-water mark of what PublishMetrics() exported
   std::list<PageId> lru_;  // front = most recently used

@@ -133,7 +133,7 @@ TEST(CostRankCorrelationTest, EstimatedTracksMeasuredOverFiftyQueries) {
     OptimizerOptions options = CostBasedOptions(7 + i);
     Optimizer opt(g.db.get(), &stats, &cost, options);
     OptimizeResult r = opt.Optimize(q);
-    ASSERT_TRUE(r.ok()) << r.error << "\n" << q.ToString();
+    ASSERT_TRUE(r.ok()) << r.status.ToString() << "\n" << q.ToString();
 
     Executor exec(g.db.get());
     exec.ResetMeasurement(/*clear_buffer=*/true);  // cold, like the estimate

@@ -53,7 +53,7 @@ void ExpectParallelMatchesBaseline(Database* db, const Stats& stats,
   baseline.transform.rand = RandStrategy::kNone;
   Optimizer base_opt(db, &stats, &cost, baseline);
   OptimizeResult base = base_opt.Optimize(q);
-  ASSERT_TRUE(base.ok()) << base.error << "\n" << q.ToString();
+  ASSERT_TRUE(base.ok()) << base.status.ToString() << "\n" << q.ToString();
 
   // Subject: the full cost-based pipeline with the randomized search fanned
   // across 4 workers and enough restarts to actually move.
@@ -62,7 +62,7 @@ void ExpectParallelMatchesBaseline(Database* db, const Stats& stats,
   subject.transform.rand_restarts = 4;
   Optimizer subject_opt(db, &stats, &cost, subject);
   OptimizeResult found = subject_opt.Optimize(q);
-  ASSERT_TRUE(found.ok()) << found.error << "\n" << q.ToString();
+  ASSERT_TRUE(found.ok()) << found.status.ToString() << "\n" << q.ToString();
 
   EXPECT_EQ(RowSet(db, *found.plan), RowSet(db, *base.plan))
       << "parallel search changed the answer\n"

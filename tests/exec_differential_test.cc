@@ -101,7 +101,7 @@ void OptimizeAndCompare(Database* db, const Stats& stats, const CostModel& cost,
                         const std::string& label) {
   Optimizer optimizer(db, &stats, &cost, CostBasedOptions(seed));
   OptimizeResult plan = optimizer.Optimize(q);
-  ASSERT_TRUE(plan.ok()) << plan.error << "\n" << q.ToString();
+  ASSERT_TRUE(plan.ok()) << plan.status.ToString() << "\n" << q.ToString();
   ExpectAllConfigsIdentical(db, *plan.plan, label);
 }
 
@@ -277,7 +277,7 @@ TEST(ExecDifferentialTest, HashEquiJoinSameRows) {
   CostModel cost(g.db.get(), &stats);
   Optimizer optimizer(g.db.get(), &stats, &cost, CostBasedOptions(42));
   OptimizeResult plan = optimizer.Optimize(Fig3Query(*g.schema));
-  ASSERT_TRUE(plan.ok()) << plan.error;
+  ASSERT_TRUE(plan.ok()) << plan.status.ToString();
 
   ExecOptions nl;
   const ExecFingerprint want = RunConfig(g.db.get(), *plan.plan, nl);

@@ -1,0 +1,297 @@
+// Query lifecycle: deadlines, cooperative cancellation and the per-query
+// memory budget (QueryContext / RunOptions::query). The contract under test:
+// a budget trip surfaces as the corresponding Status code in bounded time,
+// partially-read streaming cursors can be cancelled from another thread
+// (TSan target), a generous deadline changes nothing (anytime transformPT
+// determinism), and the buffer-pool budget degrades gracefully before the
+// hard kResourceExhausted edge.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/session.h"
+#include "common/query_context.h"
+#include "datagen/music_gen.h"
+#include "storage/buffer_pool.h"
+
+namespace rodin {
+namespace {
+
+const char kFig3Text[] = R"(
+relation Influencer includes
+  (select [master: x.master, disciple: x, gen: 1] from x in Composer)
+  union
+  (select [master: i.master, disciple: x, gen: i.gen + 1]
+   from i in Influencer, x in Composer where i.disciple = x.master)
+
+select [dname: j.disciple.name] from j in Influencer
+where j.master.works.instruments.iname = "harpsichord" and j.gen >= 6
+)";
+
+std::vector<std::string> Keys(const Table& t) {
+  std::vector<std::string> out;
+  for (const Row& row : t.rows) {
+    std::string key;
+    for (const Value& v : row) key += v.ToString() + "|";
+    out.push_back(std::move(key));
+  }
+  return out;
+}
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MusicConfig config;
+    config.num_composers = 40;
+    config.lineage_depth = 8;
+    g_ = GenerateMusicDb(config, PaperMusicPhysical());
+  }
+  GeneratedDb g_;
+};
+
+TEST(QueryContextTest, CancelTokenCopiesShareOneFlag) {
+  CancelToken a;
+  CancelToken b = a;  // copy shares the flag
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(b.cancelled());
+  b.RequestCancel();
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  b.RequestCancel();  // idempotent
+  EXPECT_TRUE(a.cancelled());
+}
+
+TEST(QueryContextTest, UnarmedDeadlineChecksOk) {
+  QueryContext ctx;
+  ctx.deadline_ms = 1;
+  // Never armed: no deadline even though deadline_ms is set.
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.Check().ok());
+  EXPECT_FALSE(ctx.Expired());
+}
+
+TEST(QueryContextTest, ArmedDeadlineExpires) {
+  QueryContext ctx;
+  ctx.deadline_ms = 1;
+  ctx.ArmDeadline();
+  EXPECT_TRUE(ctx.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_EQ(ctx.Check().code, Status::Code::kDeadlineExceeded);
+}
+
+TEST(QueryContextTest, CancelBeatsDeadline) {
+  QueryContext ctx;
+  ctx.deadline_ms = 1;
+  ctx.ArmDeadline();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ctx.cancel.RequestCancel();
+  EXPECT_EQ(ctx.Check().code, Status::Code::kCancelled);
+}
+
+TEST_F(LifecycleTest, OneMillisecondDeadlineReturnsInBoundedTime) {
+  Session session(g_.db.get());
+  RunOptions options;
+  options.cold = true;
+  options.query.deadline_ms = 1;
+  const auto start = std::chrono::steady_clock::now();
+  const QueryRun run = session.Run(kFig3Text, options);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  // Bounded: the run must come back promptly, not grind to completion.
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  // Either the budget tripped (kDeadlineExceeded) or the run beat the clock
+  // — possibly with an anytime-truncated transformPT stage. Anything else
+  // (kExec, kInternal, a crash) is a failure.
+  if (!run.ok()) {
+    EXPECT_EQ(run.status.code, Status::Code::kDeadlineExceeded)
+        << run.status.ToString();
+  }
+}
+
+TEST_F(LifecycleTest, PreCancelledRunReturnsCancelled) {
+  Session session(g_.db.get());
+  RunOptions options;
+  options.query.cancel.RequestCancel();
+  const QueryRun run = session.Run(kFig3Text, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status.code, Status::Code::kCancelled);
+  EXPECT_TRUE(run.answer.rows.empty());
+}
+
+TEST_F(LifecycleTest, CancelPartiallyReadCursorFromAnotherThread) {
+  Session session(g_.db.get());
+  RunOptions options;
+  options.cold = true;
+  options.batch_rows = 1;  // many coordinator poll points
+  CancelToken token = options.query.cancel;  // caller-side copy
+
+  ResultCursor cur = session.Query(kFig3Text, options);
+  ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+  RowBatch batch;
+  ASSERT_TRUE(cur.Next(&batch));  // partially read
+
+  std::thread canceller([token] { token.RequestCancel(); });
+  canceller.join();
+
+  // The next coordinator poll observes the flag: the stream ends with
+  // kCancelled, the cursor finalizes (partial accounting replays), and no
+  // memory is leaked (ASan/TSan builds of this test verify that part).
+  while (cur.Next(&batch)) {
+  }
+  EXPECT_TRUE(cur.finished());
+  EXPECT_FALSE(cur.ok());
+  EXPECT_EQ(cur.status().code, Status::Code::kCancelled);
+}
+
+TEST_F(LifecycleTest, ConcurrentCancelWhileStreaming) {
+  Session session(g_.db.get());
+  RunOptions options;
+  options.cold = true;
+  options.batch_rows = 1;
+  CancelToken token = options.query.cancel;
+
+  ResultCursor cur = session.Query(kFig3Text, options);
+  ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+
+  // Genuinely concurrent: the canceller races the reader. Either the stream
+  // finishes clean (cancel landed too late) or it stops with kCancelled;
+  // TSan verifies the race on the shared flag is benign.
+  std::thread canceller([token] { token.RequestCancel(); });
+  RowBatch batch;
+  while (cur.Next(&batch)) {
+  }
+  canceller.join();
+  EXPECT_TRUE(cur.finished());
+  if (!cur.ok()) {
+    EXPECT_EQ(cur.status().code, Status::Code::kCancelled);
+  }
+}
+
+TEST_F(LifecycleTest, DeadlineStopsPartiallyReadCursor) {
+  Session session(g_.db.get());
+  RunOptions options;
+  options.cold = true;
+  options.batch_rows = 1;
+  options.query.deadline_ms = 200;
+
+  ResultCursor cur = session.Query(kFig3Text, options);
+  if (!cur.ok()) {
+    // The optimizer itself ran out of budget — also a valid outcome.
+    EXPECT_EQ(cur.status().code, Status::Code::kDeadlineExceeded);
+    return;
+  }
+  RowBatch batch;
+  cur.Next(&batch);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  // Deadline has certainly elapsed now; the next poll must end the stream.
+  while (cur.Next(&batch)) {
+  }
+  EXPECT_TRUE(cur.finished());
+  ASSERT_FALSE(cur.ok());
+  EXPECT_EQ(cur.status().code, Status::Code::kDeadlineExceeded);
+}
+
+TEST_F(LifecycleTest, GenerousDeadlineIsDeterministicallyIdentical) {
+  // Anytime transformPT determinism: the budget polls consume no RNG draws,
+  // so a run whose deadline never trips must choose the identical plan (and
+  // report no truncation) as a run with no deadline at all.
+  Session session(g_.db.get());
+  RunOptions plain;
+  plain.cold = true;
+  const QueryRun base = session.Run(kFig3Text, plain);
+  ASSERT_TRUE(base.ok()) << base.error();
+
+  RunOptions generous;
+  generous.cold = true;
+  generous.query.deadline_ms = 600000;  // 10 minutes: never trips
+  const QueryRun bounded = session.Run(kFig3Text, generous);
+  ASSERT_TRUE(bounded.ok()) << bounded.error();
+
+  EXPECT_EQ(bounded.plan_text, base.plan_text);
+  EXPECT_EQ(bounded.optimized.cost, base.optimized.cost);
+  for (const StageReport& s : bounded.optimized.stages) {
+    EXPECT_FALSE(s.truncated) << s.stage;
+  }
+  EXPECT_EQ(Keys(bounded.answer), Keys(base.answer));
+}
+
+TEST_F(LifecycleTest, MemoryBudgetDegradesGracefully) {
+  Session session(g_.db.get());
+  RunOptions plain;
+  plain.cold = true;
+  const QueryRun base = session.Run(kFig3Text, plain);
+  ASSERT_TRUE(base.ok()) << base.error();
+
+  // A small (but allocation-honouring) budget: the pool's effective LRU
+  // capacity is clamped, so the query runs to completion with the same
+  // answer and at least as many misses — never fewer.
+  RunOptions bounded = plain;
+  bounded.query.memory_budget_pages = 16;
+  const QueryRun run = session.Run(kFig3Text, bounded);
+  ASSERT_TRUE(run.ok()) << run.status.ToString();
+  EXPECT_EQ(Keys(run.answer), Keys(base.answer));
+  EXPECT_GE(run.measured_cost, base.measured_cost);
+  // The budget is disarmed once the run finishes.
+  EXPECT_EQ(g_.db->buffer_pool().query_budget(), 0u);
+}
+
+TEST(LifecycleHardBudgetTest, SingleAllocationOverBudgetIsResourceExhausted) {
+  // Big enough that the fixpoint's first materialized table alone needs
+  // several pages: a 1-page budget cannot be honoured gracefully.
+  MusicConfig config;
+  config.num_composers = 400;
+  config.lineage_depth = 10;
+  GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+  Session session(g.db.get());
+  RunOptions options;
+  options.cold = true;
+  options.query.memory_budget_pages = 1;
+  const QueryRun run = session.Run(kFig3Text, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status.code, Status::Code::kResourceExhausted)
+      << run.status.ToString();
+  EXPECT_TRUE(run.answer.rows.empty());
+  EXPECT_EQ(g.db->buffer_pool().query_budget(), 0u);
+}
+
+TEST(BufferPoolBudgetTest, BudgetClampsEffectiveCapacity) {
+  BufferPool pool(8);
+  for (PageId p = 0; p < 8; ++p) pool.Fetch(p);
+  EXPECT_EQ(pool.resident_pages(), 8u);
+
+  // Arming a smaller budget evicts down immediately...
+  pool.SetQueryBudget(3);
+  EXPECT_EQ(pool.resident_pages(), 3u);
+  // ...and caps residency while armed.
+  for (PageId p = 100; p < 110; ++p) pool.Fetch(p);
+  EXPECT_EQ(pool.resident_pages(), 3u);
+
+  // Clearing restores the full capacity.
+  pool.ClearQueryBudget();
+  for (PageId p = 200; p < 220; ++p) pool.Fetch(p);
+  EXPECT_EQ(pool.resident_pages(), 8u);
+}
+
+TEST(BufferPoolBudgetTest, SnapshotRestoreRoundTripsHitPattern) {
+  BufferPool pool(4);
+  for (PageId p = 0; p < 4; ++p) pool.Fetch(p);
+  const std::vector<PageId> snap = pool.SnapshotResident();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front(), 3u);  // MRU first
+
+  // Disturb the resident set, then restore: the same fetch sequence must
+  // see the same hits as it would have from the snapshot point.
+  for (PageId p = 50; p < 60; ++p) pool.Fetch(p);
+  pool.RestoreResident(snap);
+  EXPECT_EQ(pool.resident_pages(), 4u);
+  for (PageId p = 0; p < 4; ++p) {
+    EXPECT_TRUE(pool.Fetch(p)) << "page " << p << " should be resident";
+  }
+}
+
+}  // namespace
+}  // namespace rodin

@@ -20,12 +20,29 @@ TEST(StatusTest, OkAndError) {
   EXPECT_EQ(ok.ToString(), "ok");
 
   const Status err =
-      Status::Error(Status::Code::kParseError, "bad token", 3, 14);
+      Status::Error(Status::Code::kParse, "bad token", 3, 14);
   EXPECT_FALSE(err.ok());
   EXPECT_EQ(err.line, 3u);
   EXPECT_EQ(err.col, 14u);
-  EXPECT_NE(err.ToString().find("parse_error"), std::string::npos);
+  EXPECT_NE(err.ToString().find("[parse]"), std::string::npos);
   EXPECT_NE(err.ToString().find("bad token"), std::string::npos);
+
+  // The taxonomy's budget/fault codes and their CLI exit-code mapping.
+  EXPECT_TRUE(Status::Error(Status::Code::kFault, "f").retryable());
+  EXPECT_FALSE(Status::Error(Status::Code::kExec, "e").retryable());
+  EXPECT_EQ(ExitCodeForStatus(Status::Ok()), 0);
+  EXPECT_EQ(ExitCodeForStatus(err), 3);
+  EXPECT_EQ(
+      ExitCodeForStatus(Status::Error(Status::Code::kCancelled, "c")), 7);
+  EXPECT_EQ(ExitCodeForStatus(
+                Status::Error(Status::Code::kDeadlineExceeded, "d")),
+            8);
+  EXPECT_EQ(ExitCodeForStatus(
+                Status::Error(Status::Code::kResourceExhausted, "r")),
+            9);
+  EXPECT_EQ(ExitCodeForStatus(Status::Error(Status::Code::kFault, "f")), 10);
+  EXPECT_EQ(
+      ExitCodeForStatus(Status::Error(Status::Code::kInternal, "i")), 11);
 }
 
 TEST(MetricsTest, CounterAddsAcrossThreads) {

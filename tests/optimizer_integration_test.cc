@@ -96,7 +96,7 @@ class PipelineTest : public ::testing::Test {
                                  const OptimizerOptions& options) {
     Optimizer opt(db_.db.get(), stats_.get(), cost_.get(), options);
     OptimizeResult result = opt.Optimize(query);
-    EXPECT_TRUE(result.ok()) << result.error;
+    EXPECT_TRUE(result.ok()) << result.status.ToString();
     if (!result.ok()) return {};
     Executor exec(db_.db.get());
     Table table = exec.Execute(*result.plan);
@@ -214,7 +214,7 @@ TEST_F(PipelineTest, ViewConsumedTwiceUsesMemoizedFixpoint) {
 
   Optimizer opt(db_.db.get(), stats_.get(), cost_.get(), NaiveOptions());
   OptimizeResult r = opt.Optimize(q);
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
   Executor exec(db_.db.get());
   exec.ResetMeasurement(true);
   Table t = exec.Execute(*r.plan);
@@ -241,7 +241,7 @@ TEST_F(PipelineTest, StageReportsCoverFigure6) {
   const QueryGraph q = Fig3Query(db_.db->schema(), 6, "harpsichord");
   Optimizer opt(db_.db.get(), stats_.get(), cost_.get(), CostBasedOptions());
   OptimizeResult result = opt.Optimize(q);
-  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
   ASSERT_EQ(result.stages.size(), 4u);
   EXPECT_EQ(result.stages[0].stage, "rewrite");
   EXPECT_EQ(result.stages[1].stage, "translate");

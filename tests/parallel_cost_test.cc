@@ -31,7 +31,7 @@ class ParallelCostTest : public ::testing::Test {
     CostModel model(g_.db.get(), stats_.get(), params);
     Optimizer opt(g_.db.get(), stats_.get(), &model, NaiveOptions());
     OptimizeResult r = opt.Optimize(q);
-    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.ok()) << r.status.ToString();
     return r.cost;
   }
 

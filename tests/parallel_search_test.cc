@@ -44,7 +44,7 @@ struct SearchEnv {
     options.transform.rand = RandStrategy::kNone;
     Optimizer opt(db.db.get(), stats.get(), cost.get(), options);
     OptimizeResult r = opt.Optimize(Fig3Query(*db.schema, 5));
-    RODIN_CHECK(r.ok(), r.error.c_str());
+    RODIN_CHECK(r.ok(), r.status.message.c_str());
     origin = std::move(r.plan);
   }
 
@@ -185,7 +185,7 @@ TEST(ParallelSearchDeterminism, EndToEndOptimizerInvariant) {
     options.search_threads = threads;
     Optimizer opt(env.db.db.get(), env.stats.get(), env.cost.get(), options);
     OptimizeResult r = opt.Optimize(q);
-    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.ok()) << r.status.ToString();
     return r;
   };
 

@@ -65,7 +65,7 @@ TEST(ParallelStressTest, ManyRestartsEightWorkers) {
   base.transform.rand = RandStrategy::kNone;
   Optimizer opt(env.db.db.get(), env.stats.get(), env.cost.get(), base);
   OptimizeResult r = opt.Optimize(SmallQuery(*env.db.schema));
-  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
 
   // Cheap restarts in bulk: every restart finishes almost immediately, so
   // publications to the accumulator pile up and interleave.
@@ -102,7 +102,7 @@ TEST(ParallelStressTest, ConcurrentStrategiesShareConstState) {
   base.transform.rand = RandStrategy::kNone;
   Optimizer opt(env.db.db.get(), env.stats.get(), env.cost.get(), base);
   OptimizeResult seedplan = opt.Optimize(Fig3Query(*env.db.schema, 4));
-  ASSERT_TRUE(seedplan.ok()) << seedplan.error;
+  ASSERT_TRUE(seedplan.ok()) << seedplan.status.ToString();
 
   TransformOptions options;
   options.rand = RandStrategy::kIterativeImprovement;
@@ -142,7 +142,7 @@ TEST(ParallelStressTest, BatchedExecutorManyThreads) {
   OptimizerOptions base = CostBasedOptions();
   Optimizer opt(env.db.db.get(), env.stats.get(), env.cost.get(), base);
   OptimizeResult plan = opt.Optimize(Fig3Query(*env.db.schema, 4));
-  ASSERT_TRUE(plan.ok()) << plan.error;
+  ASSERT_TRUE(plan.ok()) << plan.status.ToString();
 
   Executor reference(env.db.db.get());
   reference.ResetMeasurement(true);

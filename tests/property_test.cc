@@ -73,14 +73,14 @@ class MusicPropertyTest : public ::testing::TestWithParam<MusicParam> {
 TEST_P(MusicPropertyTest, AllConfigurationsAgreeOnFig3) {
   const QueryGraph q = Fig3Query(*g_.schema, 3);
   OptimizeResult reference = Optimize(q, NaiveOptions());
-  ASSERT_TRUE(reference.ok()) << reference.error;
+  ASSERT_TRUE(reference.ok()) << reference.status.ToString();
   const auto expected = Materialize(g_.db.get(), *reference.plan);
 
   for (OptimizerOptions options :
        {CostBasedOptions(), DeductiveOptions(), AnnealingOptions(),
         ExhaustiveOptions()}) {
     OptimizeResult r = Optimize(q, options);
-    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
     EXPECT_EQ(Materialize(g_.db.get(), *r.plan), expected)
         << GenStrategyName(options.gen_strategy);
   }
@@ -113,7 +113,7 @@ TEST_P(MusicPropertyTest, PushJoinQueryAgreesEverywhere) {
   const auto expected = Materialize(g_.db.get(), *reference.plan);
   for (OptimizerOptions options : {CostBasedOptions(), DeductiveOptions()}) {
     OptimizeResult r = Optimize(q, options);
-    ASSERT_TRUE(r.ok()) << r.error;
+    ASSERT_TRUE(r.ok()) << r.status.ToString();
     EXPECT_EQ(Materialize(g_.db.get(), *r.plan), expected);
   }
 }

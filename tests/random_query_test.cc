@@ -108,7 +108,7 @@ TEST_P(RandomQueryTest, AllConfigurationsAgree) {
     auto run = [&](OptimizerOptions options) {
       Optimizer opt(g.db.get(), &stats, &cost, options);
       OptimizeResult r = opt.Optimize(q);
-      EXPECT_TRUE(r.ok()) << r.error << "\n" << q.ToString();
+      EXPECT_TRUE(r.ok()) << r.status.ToString() << "\n" << q.ToString();
       std::multiset<std::string> rows;
       if (!r.ok()) return std::make_pair(rows, 0.0);
       Executor exec(g.db.get());
@@ -225,7 +225,7 @@ TEST_P(RandomRecursiveTest, AllConfigurationsAgree) {
     auto run = [&](OptimizerOptions options) {
       Optimizer opt(g.db.get(), &stats, &cost, options);
       OptimizeResult r = opt.Optimize(q);
-      EXPECT_TRUE(r.ok()) << r.error << "\n" << q.ToString();
+      EXPECT_TRUE(r.ok()) << r.status.ToString() << "\n" << q.ToString();
       std::multiset<std::string> rows;
       double unpushed = -1;
       if (r.ok()) {

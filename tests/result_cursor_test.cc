@@ -137,7 +137,7 @@ TEST_F(ResultCursorTest, ParseErrorCursor) {
   Session session(g_.db.get());
   ResultCursor cur = session.Query("select [n x.name] from x in Composer");
   EXPECT_FALSE(cur.ok());
-  EXPECT_FALSE(cur.error().empty());
+  EXPECT_EQ(cur.status().code, Status::Code::kParse);
   EXPECT_TRUE(cur.finished());
   RowBatch batch;
   EXPECT_FALSE(cur.Next(&batch));
@@ -148,7 +148,7 @@ TEST_F(ResultCursorTest, OptimizeErrorCursor) {
   ResultCursor cur =
       session.Query("select [n: x.nosuchattr] from x in Composer");
   EXPECT_FALSE(cur.ok());
-  EXPECT_FALSE(cur.error().empty());
+  EXPECT_EQ(cur.status().code, Status::Code::kSemantic);
 }
 
 TEST_F(ResultCursorTest, EarlyDestructionIsSafe) {

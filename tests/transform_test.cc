@@ -44,7 +44,7 @@ class TransformTest : public ::testing::Test {
     options.gen_strategy = GenStrategy::kDP;
     Optimizer opt(g_.db.get(), stats_.get(), cost_.get(), options);
     OptimizeResult r = opt.Optimize(q);
-    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.ok()) << r.status.ToString();
     return std::move(r.plan);
   }
 
@@ -247,7 +247,7 @@ TEST_F(TransformTest, PushDecisionFlipsWithSelectivity) {
     Optimizer opt(g.db.get(), &s, &c, CostBasedOptions());
     OptimizeResult r =
         opt.Optimize(GraphClosureQuery(config, *g.schema));
-    EXPECT_TRUE(r.ok()) << r.error;
+    EXPECT_TRUE(r.ok()) << r.status.ToString();
     // The decision always matches the cheaper costed alternative.
     EXPECT_LE(r.cost, r.unpushed_variant_cost + 1e-6);
     if (r.pushed_variant_cost >= 0) {

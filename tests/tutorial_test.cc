@@ -128,6 +128,38 @@ TEST_F(TutorialTest, StreamingSectionWorksAsWritten) {
   EXPECT_EQ(all.rows.size(), run.answer.rows.size());
 }
 
+TEST_F(TutorialTest, BudgetsAndCancellationSectionWorksAsWritten) {
+  // Mirrors "Budgets and cancellation": the RunOptions::query knobs behave
+  // as the tutorial promises.
+  Session session(db_.get());
+
+  // A generous deadline never trips and changes nothing.
+  RunOptions ro;
+  ro.cold = true;
+  ro.query.deadline_ms = 600000;
+  // Graceful headroom: the tutorial query's fixpoint materializes ~71-page
+  // temp files, so a budget below that would hit the hard
+  // kResourceExhausted edge instead of degrading.
+  ro.query.memory_budget_pages = 128;
+  const QueryRun run = session.Run(kQuery, ro);
+  ASSERT_TRUE(run.ok()) << run.status.ToString();
+  EXPECT_FALSE(run.answer.rows.empty());
+
+  // Cancellation mid-stream: a shared-flag token copy stops the cursor.
+  RunOptions streaming;
+  streaming.cold = true;
+  streaming.batch_rows = 1;
+  CancelToken token = streaming.query.cancel;
+  ResultCursor cur = session.Query(kQuery, streaming);
+  ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+  RowBatch batch;
+  ASSERT_TRUE(cur.Next(&batch));
+  token.RequestCancel();
+  while (cur.Next(&batch)) {
+  }
+  EXPECT_EQ(cur.status().code, Status::Code::kCancelled);
+}
+
 TEST_F(TutorialTest, MethodPredicateWorks) {
   Session session(db_.get());
   const QueryRun run = session.Run(

@@ -3,7 +3,8 @@
 //   rodin_cli [--db=music|parts|graph] [--size=N] [--seed=S]
 //             [--optimizer=cost|deductive|naive|exhaustive|annealing]
 //             [--parallel=P] [--threads=N] [--exec-threads=N]
-//             [--batch-rows=N] [--explain] [--plan-only]
+//             [--batch-rows=N] [--deadline-ms=N] [--memory-budget-pages=N]
+//             [--explain] [--plan-only]
 //             [--symbolic] [--trace-out=FILE] [--metrics] [--query=FILE]
 //
 // --parallel models a P-way parallel *execution* in the cost formulas;
@@ -12,6 +13,12 @@
 // executor's morsel-parallel operators on N workers and --batch-rows sets
 // the executor batch size (answers, counters and measured cost are
 // identical for any combination — only wall time changes).
+//
+// --deadline-ms and --memory-budget-pages bound the run's lifecycle (see
+// docs/ROBUSTNESS.md). On failure the exit code is the Status taxonomy's
+// code (ExitCodeForStatus): parse=3 semantic=4 optimize=5 exec=6
+// cancelled=7 deadline=8 resource=9 fault=10 internal=11; usage errors
+// exit 2.
 //
 // Reads one query (the paper's §2.3 syntax) from --query or stdin and runs
 // it through a Session. The default output is the Figure 6 stage table, the
@@ -52,6 +59,8 @@ struct CliOptions {
   unsigned threads = 1;
   unsigned exec_threads = 0;  // 0 = executor default (sequential)
   unsigned batch_rows = 0;    // 0 = executor default (1024)
+  uint64_t deadline_ms = 0;   // 0 = no deadline
+  uint64_t memory_budget_pages = 0;  // 0 = unlimited
   bool explain = false;
   bool plan_only = false;
   bool symbolic = false;
@@ -84,7 +93,8 @@ void Usage() {
       "                 [--optimizer=cost|deductive|naive|exhaustive|"
       "annealing]\n"
       "                 [--parallel=P] [--threads=N] [--exec-threads=N]\n"
-      "                 [--batch-rows=N] [--explain] [--plan-only]\n"
+      "                 [--batch-rows=N] [--deadline-ms=N]\n"
+      "                 [--memory-budget-pages=N] [--explain] [--plan-only]\n"
       "                 [--symbolic] [--trace-out=FILE] [--metrics] "
       "[--query=FILE]\n"
       "Reads a query in the paper's syntax from --query or stdin.\n");
@@ -186,6 +196,11 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "batch-rows", &value)) {
       options.batch_rows =
           static_cast<unsigned>(ParseCount(value, "batch-rows"));
+    } else if (ParseFlag(argv[i], "deadline-ms", &value)) {
+      options.deadline_ms = ParseCount(value, "deadline-ms");
+    } else if (ParseFlag(argv[i], "memory-budget-pages", &value)) {
+      options.memory_budget_pages =
+          ParseCount(value, "memory-budget-pages");
     } else if (ParseFlag(argv[i], "query", &value)) {
       options.query_file = value;
     } else if (ParseFlag(argv[i], "trace-out", &value)) {
@@ -223,12 +238,14 @@ int main(int argc, char** argv) {
   ro.collect_trace = !options.trace_out.empty();
   ro.exec_threads = options.exec_threads;
   ro.batch_rows = options.batch_rows;
+  ro.query.deadline_ms = options.deadline_ms;
+  ro.query.memory_budget_pages = options.memory_budget_pages;
 
   if (options.explain) {
     const ExplainResult ex = session.Explain(text, ro);
     if (!ex.ok()) {
       std::fprintf(stderr, "%s\n", ex.status.ToString().c_str());
-      return 1;
+      return ExitCodeForStatus(ex.status);
     }
     std::printf("%s", ex.ToString().c_str());
     if (!options.trace_out.empty() && ex.trace != nullptr) {
@@ -241,7 +258,7 @@ int main(int argc, char** argv) {
   const QueryRun run = session.Run(text, ro);
   if (!run.ok()) {
     std::fprintf(stderr, "%s\n", run.status.ToString().c_str());
-    return 1;
+    return ExitCodeForStatus(run.status);
   }
   std::printf("query graph:\n%s\n", run.graph.ToString().c_str());
 
