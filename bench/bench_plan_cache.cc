@@ -1,0 +1,127 @@
+// E13 — plan cache: cost of acquiring an optimized plan through the Session
+// with and without the plan cache, on the Figure 3 recursion.
+//
+// The pairs to compare:
+//   BM_PlanAcquireCold   — every iteration re-optimizes (bypass_plan_cache),
+//                          i.e. the pre-cache behaviour of Session::Run.
+//   BM_PlanAcquireCached — every iteration after the first is a cache hit;
+//                          the optimizer is never constructed on the hit path.
+//   BM_RunEndToEndCold / BM_RunEndToEndCached — same pair but with execution
+//                          included, showing what the cache buys a whole Run.
+//
+// The acceptance bar for this experiment is >=5x on the acquire pair (the
+// hit path clones a cached PT instead of searching the plan space). The
+// differential guarantee that hits are bit-identical to fresh optimization
+// is asserted exhaustively in tests/plan_cache_test.cc; here we only check
+// the row count cheaply on the end-to-end pair.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "api/session.h"
+#include "datagen/music_gen.h"
+#include "optimizer/baseline.h"
+#include "query/paper_queries.h"
+
+using namespace rodin;
+
+namespace {
+
+struct CacheCase {
+  GeneratedDb db;
+  std::unique_ptr<Session> session;
+  QueryGraph query;
+  size_t expect_rows = 0;
+};
+
+CacheCase& SharedCase() {
+  static CacheCase* c = [] {
+    auto* cc = new CacheCase();
+    MusicConfig config;
+    config.num_composers = 120;
+    config.lineage_depth = 8;
+    cc->db = GenerateMusicDb(config, PaperMusicPhysical());
+    cc->session =
+        std::make_unique<Session>(cc->db.db.get(), CostBasedOptions(42));
+    cc->query = Fig3Query(*cc->db.schema);
+    RunOptions warm;
+    warm.bypass_plan_cache = true;
+    const QueryRun run = cc->session->Run(cc->query, warm);
+    if (run.ok()) cc->expect_rows = run.answer.rows.size();
+    return cc;
+  }();
+  return *c;
+}
+
+void AcquireLoop(benchmark::State& state, bool bypass) {
+  CacheCase& c = SharedCase();
+  RunOptions options;
+  options.explain_only = true;  // isolate plan acquisition from execution
+  options.bypass_plan_cache = bypass;
+  if (!bypass) {
+    // Prime the entry so every timed iteration is a hit.
+    const QueryRun primed = c.session->Run(c.query, options);
+    if (!primed.ok()) {
+      state.SkipWithError(primed.error().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    const QueryRun run = c.session->Run(c.query, options);
+    if (!run.ok()) {
+      state.SkipWithError(run.error().c_str());
+      return;
+    }
+    if (!bypass && !run.plan_cached) {
+      state.SkipWithError("expected a plan-cache hit");
+      return;
+    }
+    benchmark::DoNotOptimize(run.optimized.cost);
+  }
+  const PlanCacheStats stats = c.session->plan_cache().stats();
+  state.counters["cache_hits"] = static_cast<double>(stats.hits);
+}
+
+void BM_PlanAcquireCold(benchmark::State& state) { AcquireLoop(state, true); }
+BENCHMARK(BM_PlanAcquireCold)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_PlanAcquireCached(benchmark::State& state) { AcquireLoop(state, false); }
+BENCHMARK(BM_PlanAcquireCached)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void EndToEndLoop(benchmark::State& state, bool bypass) {
+  CacheCase& c = SharedCase();
+  RunOptions options;
+  options.bypass_plan_cache = bypass;
+  if (!bypass) {
+    const QueryRun primed = c.session->Run(c.query, options);
+    if (!primed.ok()) {
+      state.SkipWithError(primed.error().c_str());
+      return;
+    }
+  }
+  for (auto _ : state) {
+    const QueryRun run = c.session->Run(c.query, options);
+    if (!run.ok()) {
+      state.SkipWithError(run.error().c_str());
+      return;
+    }
+    if (run.answer.rows.size() != c.expect_rows) {
+      state.SkipWithError("row count diverged from reference");
+      return;
+    }
+    benchmark::DoNotOptimize(run.answer.rows.data());
+  }
+}
+
+void BM_RunEndToEndCold(benchmark::State& state) { EndToEndLoop(state, true); }
+BENCHMARK(BM_RunEndToEndCold)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_RunEndToEndCached(benchmark::State& state) {
+  EndToEndLoop(state, false);
+}
+BENCHMARK(BM_RunEndToEndCached)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -3,19 +3,28 @@
 
 Usage: check_bench.py CURRENT.json --baseline BASELINE.json
                       [--tolerance 0.20] [--metric real_time] [--soft]
+                      [--strict]
 
 For every benchmark name present in both files, the current metric must lie
 within +-tolerance (relative) of the baseline. Benchmarks present on only
-one side are reported but never fail the check (the suite is allowed to
-grow). Standard library only.
+one side are reported but (without --strict) never fail the check (the
+suite is allowed to grow). Standard library only.
 
 CI machines are noisy neighbours, so the default invocation is --soft: a
 regression prints a prominent warning and exits 0, keeping the gate
 advisory. Drop --soft (or run locally) for a hard exit-1 gate — e.g. when
 refreshing the baseline and verifying the new numbers reproduce.
 
+--strict turns NAME DRIFT into a hard failure, even under --soft: a
+benchmark present in the baseline but not the run means the baseline is
+stale (the bench was renamed or deleted without regenerating), and one
+present in the run but not the baseline means a new bench landed without a
+committed number. Timing noise stays advisory under --soft; drift never is
+— it is deterministic, so a noisy runner cannot cause a false failure.
+
 Exit status: 0 when within tolerance (always 0 under --soft unless the
-inputs are malformed); 1 on a hard violation or unreadable input.
+inputs are malformed or --strict detects drift); 1 on a hard violation,
+strict name drift, or unreadable input.
 """
 
 import argparse
@@ -53,6 +62,9 @@ def main():
                         help="benchmark field to compare (default real_time)")
     parser.add_argument("--soft", action="store_true",
                         help="report violations but exit 0 (advisory gate)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail (even under --soft) when benchmark names "
+                             "drift between baseline and run")
     args = parser.parse_args()
 
     try:
@@ -80,13 +92,24 @@ def main():
         if marker:
             violations.append(name)
 
+    drift_note = "DRIFT" if args.strict else "skipped"
     for name in only_current:
-        print(f"  {name}: new benchmark (no baseline), skipped")
+        print(f"  {name}: new benchmark (no baseline), {drift_note}")
     for name in only_baseline:
-        print(f"  {name}: in baseline only (not run), skipped")
+        print(f"  {name}: in baseline only (not run), {drift_note}")
 
     if not shared:
         print("check_bench: no overlapping benchmarks to compare",
+              file=sys.stderr)
+        return 1
+
+    drifted = only_current + only_baseline
+    if args.strict and drifted:
+        print(f"\ncheck_bench: --strict: {len(drifted)} benchmark name(s) "
+              f"drifted from the baseline: " + ", ".join(sorted(drifted)),
+              file=sys.stderr)
+        print("check_bench: regenerate the baseline (see "
+              "bench/baselines/README.md) or fix the bench names",
               file=sys.stderr)
         return 1
 

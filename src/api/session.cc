@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "common/check.h"
 #include "common/faults.h"
@@ -52,18 +53,45 @@ void PrintExplainNode(const ExplainNode& node, int depth, std::string* out) {
   }
 }
 
-/// Maps the session-level run knobs onto the executor's options. Zeroes
-/// mean "keep the executor default". `query` is the run's *armed* context
-/// (owned by the caller for the duration of the execution), referenced —
-/// not copied — per the single-source-of-truth rule.
+/// Maps the session-level run knobs onto the executor's options. Disengaged
+/// optionals mean "keep the executor default". `query` is the run's *armed*
+/// context (owned by the caller for the duration of the execution),
+/// referenced — not copied — per the single-source-of-truth rule.
 ExecOptions ExecOptionsFrom(const RunOptions& options,
                             const QueryContext* query) {
   ExecOptions exec;
-  if (options.batch_rows > 0) exec.batch_rows = options.batch_rows;
-  if (options.exec_threads > 0) exec.exec_threads = options.exec_threads;
+  if (options.batch_rows.has_value()) exec.batch_rows = *options.batch_rows;
+  if (options.exec_threads.has_value()) {
+    exec.exec_threads = *options.exec_threads;
+  }
   exec.use_legacy = options.legacy_exec;
   exec.query = query;
   return exec;
+}
+
+/// The optionals take any engaged value literally, so an explicit 0 for a
+/// knob that cannot be 0 is a caller error — reject it up front instead of
+/// letting the executor divide by a zero batch or spawn zero workers.
+Status ValidateRunOptions(const RunOptions& options) {
+  if (options.search_threads.has_value() && *options.search_threads == 0) {
+    return Status::Error(
+        Status::Code::kInvalidArgument,
+        "search_threads must be >= 1 when set (omit it to inherit the "
+        "session default)");
+  }
+  if (options.exec_threads.has_value() && *options.exec_threads == 0) {
+    return Status::Error(
+        Status::Code::kInvalidArgument,
+        "exec_threads must be >= 1 when set (omit it to inherit the "
+        "executor default)");
+  }
+  if (options.batch_rows.has_value() && *options.batch_rows == 0) {
+    return Status::Error(
+        Status::Code::kInvalidArgument,
+        "batch_rows must be >= 1 when set (omit it to inherit the "
+        "executor default)");
+  }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -92,7 +120,7 @@ std::string ExplainResult::ToString() const {
                      pushed_variant_cost, unpushed_variant_cost,
                      chose_push ? "pushed" : "unpushed");
   }
-  out += "plan:\n";
+  out += plan_cached ? "[plan: cached]\nplan:\n" : "plan:\n";
   std::string tree;
   PrintExplainNode(plan, 1, &tree);
   out += tree;
@@ -103,22 +131,61 @@ std::string ExplainResult::ToString() const {
   return out;
 }
 
-Session::Session(Database* db, OptimizerOptions options, CostParams cost_params)
-    : db_(db), options_(options), cost_params_(cost_params) {
+PreparedQuery::PreparedQuery(Session* session, Status status, QueryGraph graph)
+    : session_(session), status_(std::move(status)), graph_(std::move(graph)) {
+  if (status_.ok()) digest_ = GraphDigest(graph_);
+}
+
+QueryRun PreparedQuery::Run(const RunOptions& options) {
+  if (!status_.ok()) {
+    QueryRun run;
+    run.status = status_;
+    return run;
+  }
+  return session_->RunImpl(graph_, options, nullptr, &digest_);
+}
+
+ExplainResult PreparedQuery::Explain(const RunOptions& options) {
+  if (!status_.ok()) {
+    ExplainResult ex;
+    ex.status = status_;
+    return ex;
+  }
+  return session_->ExplainImpl(graph_, options, &digest_);
+}
+
+ResultCursor PreparedQuery::Query(const RunOptions& options) {
+  if (!status_.ok()) return ResultCursor(status_);
+  return session_->QueryImpl(graph_, options, &digest_);
+}
+
+Session::Session(Database* db, OptimizerOptions options, CostParams cost_params,
+                 std::shared_ptr<PlanCache> plan_cache)
+    : db_(db),
+      options_(options),
+      cost_params_(cost_params),
+      plan_cache_(std::move(plan_cache)) {
   RODIN_CHECK(db != nullptr && db->finalized(),
               "Session needs a finalized database");
+  if (plan_cache_ == nullptr) plan_cache_ = std::make_shared<PlanCache>();
   RefreshStats();
 }
 
 void Session::RefreshStats() {
   stats_ = std::make_unique<Stats>(Stats::Derive(*db_));
   cost_ = std::make_unique<CostModel>(db_, stats_.get(), cost_params_);
+  physical_identity_ = PhysicalIdentity(*db_);
+  // A fresh derivation may see different statistics; plans chosen under the
+  // old ones must not be served any more. Lazy: entries drop at next lookup.
+  ++stats_version_;
 }
 
 OptimizerOptions Session::EffectiveOptions(const RunOptions& options) const {
   OptimizerOptions opt = options_;
-  if (options.search_threads > 0) opt.search_threads = options.search_threads;
-  if (options.seed != 0) opt.seed = options.seed;
+  if (options.search_threads.has_value()) {
+    opt.search_threads = *options.search_threads;
+  }
+  if (options.seed.has_value()) opt.seed = *options.seed;
   return opt;
 }
 
@@ -127,10 +194,92 @@ OptimizeResult Session::Optimize(const QueryGraph& graph) {
   return optimizer.Optimize(graph);
 }
 
+bool Session::OptimizeThroughCache(const QueryGraph& graph,
+                                   const OptimizerOptions& opt_options,
+                                   const ObsSink& sink,
+                                   const RunOptions& options,
+                                   const std::string* graph_digest,
+                                   OptimizeResult* out,
+                                   DecisionLog* decisions) {
+  // The injector makes any attempt (optimizer or executor) abortable and
+  // retryable; a plan produced or reused under it could differ from the
+  // clean-run plan in unverifiable ways. Bypass entirely: no lookups, no
+  // inserts — under RODIN_FAULTS the hit rate is 0 by construction.
+  const bool use_cache = PlanCacheEnabledByEnv() &&
+                         !options.bypass_plan_cache &&
+                         !FaultInjector::Global().enabled();
+  std::string key;
+  if (use_cache) {
+    key = ComposeFingerprint(
+        graph_digest != nullptr ? *graph_digest : GraphDigest(graph),
+        physical_identity_, cost_params_, opt_options);
+    PlanCacheEntry entry;
+    if (plan_cache_->Lookup(key, stats_version_, &entry)) {
+      out->plan = std::move(entry.plan);
+      out->status = Status::Ok();
+      out->cost = entry.cost;
+      out->plans_explored = entry.plans_explored;
+      out->stages = entry.stages;
+      out->pushed_sel = entry.pushed_sel;
+      out->pushed_join = entry.pushed_join;
+      out->pushed_proj = entry.pushed_proj;
+      out->pushed_variant_cost = entry.pushed_variant_cost;
+      out->unpushed_variant_cost = entry.unpushed_variant_cost;
+      if (decisions != nullptr) *decisions = std::move(entry.decisions);
+      return true;
+    }
+  }
+
+  Optimizer optimizer(db_, stats_.get(), cost_.get(), opt_options);
+  *out = optimizer.Optimize(graph, sink);
+
+  if (use_cache && out->ok()) {
+    // Truncated stages mean the search stopped early under this run's
+    // budget; a later run with a looser budget deserves the full search,
+    // so incomplete plans are never cached.
+    bool truncated = false;
+    for (const StageReport& s : out->stages) truncated |= s.truncated;
+    if (!truncated) {
+      PlanCacheEntry entry;
+      entry.plan = out->plan->Clone();
+      entry.cost = out->cost;
+      entry.plans_explored = out->plans_explored;
+      entry.stages = out->stages;
+      if (decisions != nullptr) entry.decisions = *decisions;
+      entry.pushed_sel = out->pushed_sel;
+      entry.pushed_join = out->pushed_join;
+      entry.pushed_proj = out->pushed_proj;
+      entry.pushed_variant_cost = out->pushed_variant_cost;
+      entry.unpushed_variant_cost = out->unpushed_variant_cost;
+      entry.stats_version = stats_version_;
+      plan_cache_->Insert(key, std::move(entry));
+    }
+  }
+  return false;
+}
+
 QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
-                          Executor* exec) {
+                          Executor* exec, const std::string* graph_digest) {
   QueryRun run;
   run.graph = graph;
+  run.status = ValidateRunOptions(options);
+  if (!run.status.ok()) return run;
+
+  // The retry loop below snapshots and restores the buffer pool's resident
+  // set between attempts. A live streaming cursor defers its page charges
+  // to finalize time; interleaving that replay with a restore would corrupt
+  // the pool's accounting, so the retryable paths refuse to start until the
+  // session's outstanding cursors are drained (or destroyed).
+  const bool faults_on = FaultInjector::Global().enabled();
+  if (faults_on && live_streams() > 0) {
+    run.status = Status::Error(
+        Status::Code::kInvalidArgument,
+        StrFormat("cannot Run/Explain with fault injection while %llu "
+                  "streaming cursor(s) from this session are still live; "
+                  "drain or destroy them first",
+                  static_cast<unsigned long long>(live_streams())));
+    return run;
+  }
 
   // The run's armed lifecycle context: one copy of the caller's budget,
   // deadline clock started here, referenced by pointer from every stage.
@@ -148,8 +297,9 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
   // Run/Explain are the retryable, non-streaming paths: they are the only
   // ones that consult the fault injector.
   opt_options.inject_faults = true;
-  Optimizer optimizer(db_, stats_.get(), cost_.get(), opt_options);
-  run.optimized = optimizer.Optimize(graph, sink);
+  run.plan_cached = OptimizeThroughCache(graph, opt_options, sink, options,
+                                         graph_digest, &run.optimized,
+                                         &run.decisions);
   if (!run.optimized.ok()) {
     run.status = run.optimized.status;
     if (options.collect_trace) run.trace = tracer.Finish();
@@ -176,7 +326,6 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
     // attempt fault probability approach 1, so without the breaker no
     // number of retries would converge. A clean attempt is unperturbed by
     // the draws, so the breaker never changes a surviving run's results.
-    const bool faults_on = FaultInjector::Global().enabled();
     std::vector<PageId> resident;
     if (faults_on && !options.cold) {
       resident = db_->buffer_pool().SnapshotResident();
@@ -208,7 +357,7 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
 }
 
 QueryRun Session::Run(const QueryGraph& graph, const RunOptions& options) {
-  return RunImpl(graph, options, nullptr);
+  return RunImpl(graph, options, nullptr, nullptr);
 }
 
 QueryRun Session::Run(const std::string& text, const RunOptions& options) {
@@ -218,7 +367,7 @@ QueryRun Session::Run(const std::string& text, const RunOptions& options) {
     run.status = parsed.status;
     return run;
   }
-  return RunImpl(parsed.graph, options, nullptr);
+  return RunImpl(parsed.graph, options, nullptr, nullptr);
 }
 
 namespace {
@@ -239,8 +388,20 @@ struct QueryState {
 
 }  // namespace
 
-ResultCursor Session::Query(const QueryGraph& graph,
-                            const RunOptions& options) {
+ResultCursor Session::QueryImpl(const QueryGraph& graph,
+                                const RunOptions& options,
+                                const std::string* graph_digest) {
+  Status vstatus = ValidateRunOptions(options);
+  if (!vstatus.ok()) return ResultCursor(vstatus);
+  if (options.collect_trace) {
+    // Silently dropping the flag (the old behaviour) made callers believe
+    // they had a trace when cursor.trace() never existed.
+    return ResultCursor(Status::Error(
+        Status::Code::kInvalidArgument,
+        "collect_trace is not supported on the streaming Query path; use "
+        "Session::Run or Session::Explain to collect a trace"));
+  }
+
   auto state = std::make_shared<QueryState>(db_, cost_params_);
   state->qctx = options.query;
   state->qctx.ArmDeadline();
@@ -249,10 +410,13 @@ ResultCursor Session::Query(const QueryGraph& graph,
   sink.decisions = &state->decisions;
   OptimizerOptions opt_options = EffectiveOptions(options);
   opt_options.query = &state->qctx;
-  Optimizer optimizer(db_, stats_.get(), cost_.get(), opt_options);
-  state->optimized = optimizer.Optimize(graph, sink);
-  if (!state->optimized.ok()) {
-    return ResultCursor(state->optimized.status);
+  OptimizeResult& optimized = state->optimized;
+  const bool cached = OptimizeThroughCache(graph, opt_options, sink, options,
+                                           graph_digest, &optimized,
+                                           &state->decisions);
+  (void)cached;
+  if (!optimized.ok()) {
+    return ResultCursor(optimized.status);
   }
 
   state->exec.ResetMeasurement(options.cold);
@@ -262,24 +426,47 @@ ResultCursor Session::Query(const QueryGraph& graph,
       *state->optimized.plan, ExecOptionsFrom(options, &state->qctx));
   cursor.set_plan_text(PrintPT(*state->optimized.plan));
   Database* db = db_;
-  cursor.set_on_finish([db] { db->buffer_pool().PublishMetrics(); });
+  // The finalize hook fires exactly once per cursor (drained, failed or
+  // destroyed), so the live-stream count is balanced even for abandoned
+  // cursors. The shared counter keeps the hook safe past session teardown.
+  live_streams_->fetch_add(1);
+  std::shared_ptr<std::atomic<uint64_t>> live = live_streams_;
+  cursor.set_on_finish([db, live] {
+    db->buffer_pool().PublishMetrics();
+    live->fetch_sub(1);
+  });
   cursor.set_keepalive(std::move(state));
   return cursor;
+}
+
+ResultCursor Session::Query(const QueryGraph& graph,
+                            const RunOptions& options) {
+  return QueryImpl(graph, options, nullptr);
 }
 
 ResultCursor Session::Query(const std::string& text,
                             const RunOptions& options) {
   const ParseResult parsed = ParseQuery(text, db_->schema());
   if (!parsed.ok()) return ResultCursor(parsed.status);
-  return Query(parsed.graph, options);
+  return QueryImpl(parsed.graph, options, nullptr);
 }
 
-ExplainResult Session::Explain(const QueryGraph& graph,
-                               const RunOptions& options) {
+PreparedQuery Session::Prepare(const std::string& text) {
+  ParseResult parsed = ParseQuery(text, db_->schema());
+  return PreparedQuery(this, parsed.status, std::move(parsed.graph));
+}
+
+PreparedQuery Session::Prepare(const QueryGraph& graph) {
+  return PreparedQuery(this, Status::Ok(), graph);
+}
+
+ExplainResult Session::ExplainImpl(const QueryGraph& graph,
+                                   const RunOptions& options,
+                                   const std::string* graph_digest) {
   ExplainResult ex;
   Executor exec(db_, cost_params_);
   exec.CollectOpStats(true);
-  QueryRun run = RunImpl(graph, options, &exec);
+  QueryRun run = RunImpl(graph, options, &exec, graph_digest);
   ex.status = run.status;
   ex.trace = run.trace;
   if (!run.ok()) return ex;
@@ -294,8 +481,14 @@ ExplainResult Session::Explain(const QueryGraph& graph,
   ex.unpushed_variant_cost = run.optimized.unpushed_variant_cost;
   ex.chose_push = run.optimized.pushed_sel || run.optimized.pushed_join ||
                   run.optimized.pushed_proj;
+  ex.plan_cached = run.plan_cached;
   ex.plan = BuildExplainNode(*run.optimized.plan, exec.op_stats());
   return ex;
+}
+
+ExplainResult Session::Explain(const QueryGraph& graph,
+                               const RunOptions& options) {
+  return ExplainImpl(graph, options, nullptr);
 }
 
 ExplainResult Session::Explain(const std::string& text,
@@ -306,7 +499,7 @@ ExplainResult Session::Explain(const std::string& text,
     ex.status = parsed.status;
     return ex;
   }
-  return Explain(parsed.graph, options);
+  return ExplainImpl(parsed.graph, options, nullptr);
 }
 
 }  // namespace rodin

@@ -1,11 +1,14 @@
 #ifndef RODIN_API_SESSION_H_
 #define RODIN_API_SESSION_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "api/plan_cache.h"
 #include "common/query_context.h"
 #include "common/status.h"
 #include "cost/cost_model.h"
@@ -20,9 +23,19 @@
 
 namespace rodin {
 
+class Session;
+
 /// Per-call knobs of Session::Run / Session::Explain. One struct instead of
 /// boolean tails and per-call Optimizer rebuilds: defaults are the common
 /// case, and every knob is named at the call site.
+///
+/// Override knobs are std::optional: nullopt means "inherit the session /
+/// executor default", and an *engaged* value is taken literally — including
+/// 0, which for `seed` is a legal seed and for the thread/batch knobs is a
+/// usage error rejected with Status::Code::kInvalidArgument (0 worker
+/// threads or 0-row batches cannot run). Before this, 0 doubled as the
+/// inherit sentinel, which made seed 0 unreachable and made an explicit
+/// `--exec-threads 0` silently mean something else.
 struct RunOptions {
   /// Start measurement from an empty buffer pool (cold run). Warm otherwise:
   /// counters reset but resident pages stay.
@@ -32,30 +45,37 @@ struct RunOptions {
   bool collect_trace = false;
   /// Optimize only — skip execution (answer stays empty, measured_cost -1).
   bool explain_only = false;
-  /// Override the session's transformPT search parallelism (0 = keep the
-  /// session's OptimizerOptions value). Knob precedence, here and for
-  /// `seed`: a non-zero RunOptions value wins for this run; otherwise the
-  /// session's OptimizerOptions value applies. There is no third copy —
-  /// TransformOptions no longer carries these.
-  size_t search_threads = 0;
-  /// Override the session's optimizer seed (0 = keep).
-  uint64_t seed = 0;
+  /// Override the session's transformPT search parallelism (nullopt = keep
+  /// the session's OptimizerOptions value; engaged 0 = kInvalidArgument).
+  /// Knob precedence, here and for `seed`: an engaged RunOptions value wins
+  /// for this run; otherwise the session's OptimizerOptions value applies.
+  /// There is no third copy — TransformOptions no longer carries these.
+  std::optional<size_t> search_threads;
+  /// Override the session's optimizer seed (nullopt = keep; 0 is a valid
+  /// seed).
+  std::optional<uint64_t> seed;
   /// The run's lifecycle budget: deadline, cancel token, memory budget.
   /// This is the only place the knobs are *defined* — the optimizer and
   /// executor reference the (armed copy of the) context by pointer, never
   /// copy the fields. Keep a copy of `query.cancel` to cancel from another
-  /// thread; see QueryContext for semantics. Default: unbounded.
+  /// thread; see QueryContext for semantics. Default: unbounded. The
+  /// context always governs *this run's* execution — a plan served from the
+  /// plan cache still runs under this deadline/cancel/budget.
   QueryContext query;
   /// Worker threads for the batched executor's morsel-parallel operators
-  /// (0 = executor default, sequential). Results, counters and measured
-  /// cost are identical for any value; only wall time changes.
-  size_t exec_threads = 0;
-  /// Rows per executor batch (0 = executor default, 1024). Also identical
-  /// accounting for any value.
-  size_t batch_rows = 0;
+  /// (nullopt = executor default, sequential; engaged 0 = kInvalidArgument).
+  /// Results, counters and measured cost are identical for any value; only
+  /// wall time changes.
+  std::optional<size_t> exec_threads;
+  /// Rows per executor batch (nullopt = executor default, 1024; engaged 0 =
+  /// kInvalidArgument). Also identical accounting for any value.
+  std::optional<size_t> batch_rows;
   /// Evaluate with the pre-batching whole-table engine (differential
   /// oracle / bench baseline).
   bool legacy_exec = false;
+  /// Skip the session's plan cache for this run: neither look up nor insert.
+  /// The run optimizes from scratch exactly as a cache miss would.
+  bool bypass_plan_cache = false;
 };
 
 /// Everything one query run produces: the optimizer's decision trail, the
@@ -70,6 +90,11 @@ struct QueryRun {
   Table answer;
   double measured_cost = -1;  // -1 when not executed
   ExecCounters counters;
+
+  /// The plan came from the session's plan cache: the optimizer pipeline
+  /// did not run (optimized.stages replays the original optimization's
+  /// reports; a trace collected on this run has no stage spans).
+  bool plan_cached = false;
 
   /// Span trace of the run (optimizer stages, push/search spans, execution).
   /// Null unless RunOptions::collect_trace was set.
@@ -112,11 +137,45 @@ struct ExplainResult {
   double unpushed_variant_cost = -1;
   bool chose_push = false;
 
+  /// Plan served from the plan cache (ToString renders "[plan: cached]";
+  /// stages/decisions replay the original optimization's).
+  bool plan_cached = false;
+
   std::shared_ptr<const obs::Trace> trace;  // set when collect_trace
 
   bool ok() const { return status.ok(); }
   /// Human-readable report: stage table, decision log, annotated plan tree.
   std::string ToString() const;
+};
+
+/// A parsed-and-validated query bound to its Session, with the cache
+/// fingerprint's graph component precomputed. Repeat executions skip the
+/// parser *and* (on a plan-cache hit) the whole optimizer pipeline:
+///
+///   PreparedQuery pq = session.Prepare(text);
+///   for (...) { QueryRun r = pq.Run(opts); ... }
+///
+/// Check ok() after Prepare: a parse failure yields a PreparedQuery whose
+/// Run/Explain/Query return the parse status. The session must outlive the
+/// handle. Copyable (a handle is a graph plus a digest string).
+class PreparedQuery {
+ public:
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  const QueryGraph& graph() const { return graph_; }
+
+  QueryRun Run(const RunOptions& options = {});
+  ExplainResult Explain(const RunOptions& options = {});
+  ResultCursor Query(const RunOptions& options = {});
+
+ private:
+  friend class Session;
+  PreparedQuery(Session* session, Status status, QueryGraph graph);
+
+  Session* session_;
+  Status status_;
+  QueryGraph graph_;
+  std::string digest_;  // GraphDigest(graph_), amortized across runs
 };
 
 /// Facade over the full pipeline for library users: owns the statistics,
@@ -142,10 +201,25 @@ struct ExplainResult {
 /// kFault only) with a small exponential backoff, restoring measurement
 /// state between attempts so a retried run's answer and counters are
 /// bit-identical to a clean run; streaming Query() never injects faults.
+/// While a streaming cursor from this session is still live (not drained,
+/// not destroyed), Run/Explain refuse with kInvalidArgument if the fault
+/// injector is enabled: the retry path's buffer-pool snapshot/restore must
+/// not interleave with a cursor's deferred page accounting.
+///
+/// Plan cache: repeat optimizations of the same (query, physical schema,
+/// cost params, optimizer knobs) fingerprint are served from `plan_cache`
+/// — the optimizer pipeline is skipped entirely and the cached plan goes
+/// straight to execution (still under the caller's QueryContext). Pass a
+/// shared PlanCache to share across sessions; by default each session owns
+/// a private one. RefreshStats() invalidates this session's entries (stats
+/// version bump); truncated optimizations and any run while the fault
+/// injector is enabled are never cached. RunOptions::bypass_plan_cache
+/// opts a single run out; RODIN_PLAN_CACHE=0 disables caching process-wide.
 class Session {
  public:
   explicit Session(Database* db, OptimizerOptions options = {},
-                   CostParams cost_params = {});
+                   CostParams cost_params = {},
+                   std::shared_ptr<PlanCache> plan_cache = nullptr);
 
   /// Parses (ESQL-flavoured syntax, see query/parser.h), optimizes and
   /// executes under `options`.
@@ -168,30 +242,75 @@ class Session {
   /// cursor.counters() / measured_cost() are final once the cursor
   /// finishes and are identical to what Run() reports for the same
   /// options. Parse/optimize errors come back as a cursor with !ok().
-  /// RunOptions::collect_trace is not supported here (use Run); the
-  /// session must outlive the cursor.
+  /// RunOptions::collect_trace is not supported here and returns a
+  /// kInvalidArgument cursor (use Run); the session must outlive the
+  /// cursor.
   ResultCursor Query(const std::string& text, const RunOptions& options = {});
   ResultCursor Query(const QueryGraph& graph, const RunOptions& options = {});
 
-  /// Optimizes without executing.
+  /// Parses once into a reusable handle; see PreparedQuery.
+  PreparedQuery Prepare(const std::string& text);
+  PreparedQuery Prepare(const QueryGraph& graph);
+
+  /// Optimizes without executing. Never consults the plan cache — this is
+  /// the raw pipeline entry (tests use it as the cold oracle).
   OptimizeResult Optimize(const QueryGraph& graph);
 
   const Stats& stats() const { return *stats_; }
   const CostModel& cost_model() const { return *cost_; }
   Database& db() { return *db_; }
+  PlanCache& plan_cache() { return *plan_cache_; }
 
+  /// Streaming cursors from this session that have not yet finalized
+  /// (drained, failed or destroyed).
+  uint64_t live_streams() const { return live_streams_->load(); }
+
+  /// Re-derives statistics and bumps the session's stats version, lazily
+  /// invalidating every plan-cache entry this session wrote (they are
+  /// dropped on next lookup).
   void RefreshStats();
 
  private:
+  friend class PreparedQuery;
+
   QueryRun RunImpl(const QueryGraph& graph, const RunOptions& options,
-                   Executor* exec);
+                   Executor* exec, const std::string* graph_digest);
+  ResultCursor QueryImpl(const QueryGraph& graph, const RunOptions& options,
+                         const std::string* graph_digest);
+  ExplainResult ExplainImpl(const QueryGraph& graph, const RunOptions& options,
+                            const std::string* graph_digest);
   OptimizerOptions EffectiveOptions(const RunOptions& options) const;
+
+  /// Optimizes `graph` through the plan cache: a hit fills `*out` from the
+  /// cached entry (plan cloned, stage reports and decision log replayed)
+  /// and returns true without running the optimizer; a miss runs the full
+  /// pipeline and, when the result is complete (ok, no stage truncated, no
+  /// fault injector), inserts it. `opt_options` must already carry the armed
+  /// query context.
+  bool OptimizeThroughCache(const QueryGraph& graph,
+                            const OptimizerOptions& opt_options,
+                            const ObsSink& sink, const RunOptions& options,
+                            const std::string* graph_digest,
+                            OptimizeResult* out, DecisionLog* decisions);
 
   Database* db_;
   OptimizerOptions options_;
   CostParams cost_params_;
   std::unique_ptr<Stats> stats_;
   std::unique_ptr<CostModel> cost_;
+
+  std::shared_ptr<PlanCache> plan_cache_;
+  /// Fingerprint component cached once per RefreshStats (the database is
+  /// finalized, so the physical identity is stable between refreshes).
+  std::string physical_identity_;
+  /// Bumped by RefreshStats; entries written under an older version are
+  /// invalidated at lookup.
+  uint64_t stats_version_ = 0;
+
+  /// Count of live streaming cursors; shared with each cursor's finalize
+  /// hook so it survives the session if a cursor outlives it.
+  std::shared_ptr<std::atomic<uint64_t>> live_streams_ =
+      std::make_shared<std::atomic<uint64_t>>(0);
 };
 
 }  // namespace rodin

@@ -24,6 +24,8 @@ const char* Status::code_name() const {
       return "fault";
     case Code::kInternal:
       return "internal";
+    case Code::kInvalidArgument:
+      return "invalid_argument";
   }
   return "unknown";
 }
@@ -55,6 +57,8 @@ int ExitCodeForStatus(const Status& status) {
       return 10;
     case Status::Code::kInternal:
       return 11;
+    case Status::Code::kInvalidArgument:
+      return 12;
   }
   return 1;
 }

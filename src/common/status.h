@@ -29,6 +29,7 @@ struct Status {
     kResourceExhausted,  // memory budget could not be honoured
     kFault,              // injected transient fault (retryable)
     kInternal,           // invariant violation; a bug, never retryable
+    kInvalidArgument,    // caller passed an unusable option/knob combination
   };
 
   Code code = Code::kOk;
@@ -49,7 +50,8 @@ struct Status {
   }
 
   /// "ok", "parse", "semantic", "optimize", "exec", "cancelled",
-  /// "deadline_exceeded", "resource_exhausted", "fault", "internal".
+  /// "deadline_exceeded", "resource_exhausted", "fault", "internal",
+  /// "invalid_argument".
   const char* code_name() const;
 
   /// "[parse] parse error at 3:7: expected ..." — the code name prefixed
@@ -59,8 +61,9 @@ struct Status {
 
 /// Maps a status to rodin_cli's process exit code: 0 ok, 3 parse,
 /// 4 semantic, 5 optimize, 6 exec, 7 cancelled, 8 deadline_exceeded,
-/// 9 resource_exhausted, 10 fault, 11 internal. (1 is the generic shell
-/// failure and 2 is reserved for usage errors, so real codes start at 3.)
+/// 9 resource_exhausted, 10 fault, 11 internal, 12 invalid_argument. (1 is
+/// the generic shell failure and 2 is reserved for usage errors, so real
+/// codes start at 3.)
 int ExitCodeForStatus(const Status& status);
 
 }  // namespace rodin

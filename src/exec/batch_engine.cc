@@ -1183,9 +1183,15 @@ void BatchEngine::Finalize() {
   // misses instead of failing.
   const size_t budget =
       ctx.query != nullptr ? ctx.query->memory_budget_pages : 0;
-  if (budget > 0) ctx.db->buffer_pool().SetQueryBudget(budget);
-  impl_->root->Replay(&ctx.db->buffer_pool());
-  if (budget > 0) ctx.db->buffer_pool().ClearQueryBudget();
+  {
+    // Declares the replay to the pool so a concurrent resident-set
+    // snapshot/restore (Session's fault-retry path) trips the debug guard
+    // instead of silently corrupting the accounting.
+    BufferPool::ActiveFetchScope fetch_scope(&ctx.db->buffer_pool());
+    if (budget > 0) ctx.db->buffer_pool().SetQueryBudget(budget);
+    impl_->root->Replay(&ctx.db->buffer_pool());
+    if (budget > 0) ctx.db->buffer_pool().ClearQueryBudget();
+  }
   if (ctx.collect_op_stats) {
     impl_->root->Harvest();
     SumPagesInclusive(*impl_->plan, &ctx.local_stats);

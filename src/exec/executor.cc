@@ -523,7 +523,9 @@ Status Executor::ExecuteInto(const PTNode& plan, const ExecOptions& options,
       query_ != nullptr ? query_->memory_budget_pages : 0;
   if (options.use_legacy) {
     // The legacy evaluator charges the pool as it runs, so the budget is
-    // armed for the whole evaluation.
+    // armed for the whole evaluation — and the whole evaluation is an
+    // active-fetch section for the resident-snapshot debug guard.
+    BufferPool::ActiveFetchScope fetch_scope(&db_->buffer_pool());
     if (budget > 0) db_->buffer_pool().SetQueryBudget(budget);
     try {
       CheckLegacyBudget(0);

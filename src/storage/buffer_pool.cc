@@ -2,6 +2,7 @@
 
 #include <iterator>
 
+#include "common/check.h"
 #include "obs/metrics.h"
 
 namespace rodin {
@@ -50,11 +51,21 @@ void BufferPool::ClearQueryBudget() {
 }
 
 std::vector<PageId> BufferPool::SnapshotResident() const {
+#ifndef NDEBUG
+  RODIN_CHECK(active_fetchers() == 0,
+              "BufferPool::SnapshotResident while a fetch section is active "
+              "(live streaming cursor?)");
+#endif
   SpinGuard guard(lock_);
   return std::vector<PageId>(lru_.begin(), lru_.end());
 }
 
 void BufferPool::RestoreResident(const std::vector<PageId>& mru_first) {
+#ifndef NDEBUG
+  RODIN_CHECK(active_fetchers() == 0,
+              "BufferPool::RestoreResident while a fetch section is active "
+              "(live streaming cursor?)");
+#endif
   SpinGuard guard(lock_);
   lru_.clear();
   index_.clear();

@@ -179,11 +179,42 @@ class BufferPool final : public PageCharger {
   /// The resident set, most recently used first. Session's fault-retry
   /// path snapshots before the first attempt and restores before each
   /// retry so warm-run hit/miss patterns are attempt-invariant.
+  ///
+  /// Must not run while any ActiveFetchScope is open: a restore that
+  /// interleaves with another thread's fetches (e.g. a streaming cursor's
+  /// deferred charge replay) silently corrupts the accounting even though
+  /// the spinlock keeps each individual operation safe. Debug builds abort
+  /// via RODIN_CHECK; Session enforces the rule at the API level by
+  /// refusing retryable runs while cursors are live.
   std::vector<PageId> SnapshotResident() const;
 
   /// Replaces the resident set (counters untouched). `mru_first` must be
-  /// ordered as SnapshotResident returned it.
+  /// ordered as SnapshotResident returned it. Same ActiveFetchScope
+  /// exclusion as SnapshotResident.
   void RestoreResident(const std::vector<PageId>& mru_first);
+
+  /// Marks a section that fetches/charges this pool (executor evaluation,
+  /// a streaming cursor's finalize replay). While at least one scope is
+  /// open, SnapshotResident/RestoreResident abort in debug builds.
+  class ActiveFetchScope {
+   public:
+    explicit ActiveFetchScope(BufferPool* pool) : pool_(pool) {
+      pool_->active_fetchers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ActiveFetchScope() {
+      pool_->active_fetchers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    ActiveFetchScope(const ActiveFetchScope&) = delete;
+    ActiveFetchScope& operator=(const ActiveFetchScope&) = delete;
+
+   private:
+    BufferPool* pool_;
+  };
+
+  /// Open ActiveFetchScope count (diagnostics / tests).
+  uint32_t active_fetchers() const {
+    return active_fetchers_.load(std::memory_order_relaxed);
+  }
 
   /// Folds everything counted since the last publish into the process-wide
   /// metrics (rodin.buffer.*). Deliberately not per-Fetch: Fetch is the
@@ -218,6 +249,7 @@ class BufferPool final : public PageCharger {
 
   size_t capacity_;
   size_t budget_ = 0;  // 0 = no per-query budget armed
+  std::atomic<uint32_t> active_fetchers_{0};
   Stats stats_;
   Stats published_;  // high-water mark of what PublishMetrics() exported
   std::list<PageId> lru_;  // front = most recently used

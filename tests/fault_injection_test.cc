@@ -228,6 +228,100 @@ TEST_F(FaultInjectionTest, ForcedDeadlineInsideSemiNaiveFixpoint) {
   EXPECT_GE(run.counters.fix_iterations, 1u);
 }
 
+TEST_F(FaultInjectionTest, RetriedRunsNeverTouchThePlanCache) {
+  // With the injector enabled the session bypasses its plan cache — no
+  // lookups, no inserts — so the cache-hit rate on retried attempts is 0%
+  // by construction. This is the programmatic form of the RODIN_FAULTS=1
+  // CI assertion.
+  Session session(g_.db.get());
+  RunOptions options;
+  options.cold = true;
+
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.page_fetch_fail = 1.0;
+  fc.alloc_fail = 0;
+  fc.max_faults = 1;
+  FaultInjector::Global().Configure(fc);
+
+  const QueryRun first = session.Run(kFig3Text, options);
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
+  EXPECT_EQ(FaultInjector::Global().faults_injected(), 1u);
+
+  // Re-arm and run the identical query again: still no cache traffic.
+  FaultInjector::Global().Configure(fc);
+  const QueryRun second = session.Run(kFig3Text, options);
+  ASSERT_TRUE(second.ok()) << second.status.ToString();
+  EXPECT_FALSE(first.plan_cached);
+  EXPECT_FALSE(second.plan_cached);
+  const PlanCacheStats stats = session.plan_cache().stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.inserts, 0u);
+  EXPECT_EQ(session.plan_cache().size(), 0u);
+}
+
+TEST_F(FaultInjectionTest, RetryRefusedWhileStreamingCursorIsLive) {
+  // The retry path snapshots/restores the buffer pool's resident set; a
+  // live cursor's deferred charge replay must never interleave with that
+  // (BufferPool's debug guard aborts on the race). The session enforces it
+  // at the API boundary: with the injector enabled, Run/Explain refuse
+  // while this session has un-finalized streaming cursors. This test runs
+  // under TSan in CI — the refusal means there is no snapshot/replay
+  // interleaving to race on.
+  Session session(g_.db.get());
+  RunOptions options;
+  options.cold = true;
+
+  ResultCursor cur = session.Query(kFig3Text, options);
+  ASSERT_TRUE(cur.ok()) << cur.status().ToString();
+  RowBatch batch;
+  ASSERT_TRUE(cur.Next(&batch));  // live: started but not drained
+  EXPECT_EQ(session.live_streams(), 1u);
+
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.page_fetch_fail = 1.0;
+  fc.alloc_fail = 0;
+  fc.max_faults = 1;
+  FaultInjector::Global().Configure(fc);
+
+  const QueryRun refused = session.Run(kFig3Text, options);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status.code, Status::Code::kInvalidArgument);
+  EXPECT_EQ(FaultInjector::Global().faults_injected(), 0u);
+
+  // Draining the cursor finalizes it; the retryable path opens up again.
+  cur.Finish();
+  EXPECT_EQ(session.live_streams(), 0u);
+  const QueryRun allowed = session.Run(kFig3Text, options);
+  ASSERT_TRUE(allowed.ok()) << allowed.status.ToString();
+
+  // Without the injector there is no snapshot/restore, so streaming and
+  // materialized runs interleave freely (as before).
+  FaultInjector::Global().Configure(FaultConfig{});
+  ResultCursor cur2 = session.Query(kFig3Text, options);
+  ASSERT_TRUE(cur2.ok());
+  ASSERT_TRUE(cur2.Next(&batch));
+  EXPECT_TRUE(session.Run(kFig3Text, options).ok());
+  cur2.Finish();
+}
+
+TEST_F(FaultInjectionTest, AbandonedCursorReleasesLiveStreamCount) {
+  Session session(g_.db.get());
+  RunOptions options;
+  options.cold = true;
+  {
+    ResultCursor cur = session.Query(kFig3Text, options);
+    ASSERT_TRUE(cur.ok());
+    RowBatch batch;
+    ASSERT_TRUE(cur.Next(&batch));
+    EXPECT_EQ(session.live_streams(), 1u);
+    // Dropped mid-stream: destruction finalizes the accounting.
+  }
+  EXPECT_EQ(session.live_streams(), 0u);
+}
+
 TEST_F(FaultInjectionTest, StreamingNeverInjects) {
   FaultConfig fc;
   fc.enabled = true;

@@ -131,6 +131,56 @@ TEST_F(SessionTest, Fig7WalkerProducesPaperShapes) {
             std::string::npos);
 }
 
+TEST_F(SessionTest, ExplicitZeroKnobsAreInvalidArguments) {
+  Session session(g_.db.get());
+  const char* kQuery = R"(select [n: x.name] from x in Composer)";
+
+  // Disengaged optionals inherit defaults and run fine.
+  ASSERT_TRUE(session.Run(kQuery).ok());
+
+  // An engaged 0 is taken literally and rejected with the typed code — it
+  // is no longer a silent "inherit" sentinel.
+  for (auto setter : {+[](RunOptions* o) { o->exec_threads = 0; },
+                      +[](RunOptions* o) { o->batch_rows = 0; },
+                      +[](RunOptions* o) { o->search_threads = 0; }}) {
+    RunOptions options;
+    setter(&options);
+    const QueryRun run = session.Run(kQuery, options);
+    EXPECT_FALSE(run.ok());
+    EXPECT_EQ(run.status.code, Status::Code::kInvalidArgument);
+    const ExplainResult ex = session.Explain(kQuery, options);
+    EXPECT_EQ(ex.status.code, Status::Code::kInvalidArgument);
+    ResultCursor cursor = session.Query(kQuery, options);
+    EXPECT_FALSE(cursor.ok());
+    EXPECT_EQ(cursor.status().code, Status::Code::kInvalidArgument);
+  }
+
+  // Seed 0 is now a reachable, legal seed (it was the inherit sentinel).
+  RunOptions seeded;
+  seeded.seed = 0;
+  EXPECT_TRUE(session.Run(kQuery, seeded).ok());
+
+  // Engaged non-zero values still work.
+  RunOptions tuned;
+  tuned.exec_threads = 2;
+  tuned.batch_rows = 16;
+  tuned.search_threads = 2;
+  EXPECT_TRUE(session.Run(kQuery, tuned).ok());
+}
+
+TEST_F(SessionTest, QueryRejectsCollectTrace) {
+  Session session(g_.db.get());
+  RunOptions options;
+  options.collect_trace = true;
+  ResultCursor cursor =
+      session.Query(R"(select [n: x.name] from x in Composer)", options);
+  EXPECT_FALSE(cursor.ok());
+  EXPECT_EQ(cursor.status().code, Status::Code::kInvalidArgument);
+  // The same flag still works on the non-streaming paths.
+  EXPECT_TRUE(
+      session.Run(R"(select [n: x.name] from x in Composer)", options).ok());
+}
+
 TEST_F(SessionTest, EmptyClassQueriesReturnEmpty) {
   // A schema with an empty extent: queries run and return nothing.
   Schema schema;

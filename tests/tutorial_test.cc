@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "api/session.h"
+#include "common/faults.h"
 #include "cost/fig7.h"
 #include "optimizer/baseline.h"
 #include "query/parser.h"
@@ -126,6 +127,42 @@ TEST_F(TutorialTest, StreamingSectionWorksAsWritten) {
 
   Table all = session.Query(kQuery, ro).ToTable();
   EXPECT_EQ(all.rows.size(), run.answer.rows.size());
+}
+
+TEST_F(TutorialTest, PreparedQueriesSectionWorksAsWritten) {
+  // Mirrors "Prepared queries and the plan cache". An enabled fault
+  // injector bypasses the cache by design (docs/ROBUSTNESS.md), so pin it
+  // off for the cache-hit assertions and restore the env config after.
+  FaultInjector::Global().Configure(FaultConfig{});
+
+  Session session(db_.get());
+  PreparedQuery pq = session.Prepare(kQuery);
+  ASSERT_TRUE(pq.ok()) << pq.status().message;
+
+  // Cold runs so the accounting identity is exact — a warm second run
+  // starts from the pool the first one heated, which (correctly) changes
+  // hit/miss counts and the measured cost, cached plan or not.
+  const QueryRun first = pq.Run({.cold = true});
+  ASSERT_TRUE(first.ok()) << first.error();
+  EXPECT_FALSE(first.plan_cached);
+  const QueryRun second = pq.Run({.cold = true});
+  ASSERT_TRUE(second.ok()) << second.error();
+  if (PlanCacheEnabledByEnv()) EXPECT_TRUE(second.plan_cached);
+  EXPECT_EQ(second.answer.rows, first.answer.rows);
+  EXPECT_EQ(second.measured_cost, first.measured_cost);
+
+  // An explicit zero knob is a typed error, not an "inherit" sentinel...
+  RunOptions zero;
+  zero.exec_threads = 0;
+  EXPECT_EQ(session.Run(kQuery, zero).status.code,
+            Status::Code::kInvalidArgument);
+  // ...and collect_trace is rejected on the streaming path.
+  RunOptions traced;
+  traced.collect_trace = true;
+  EXPECT_EQ(session.Query(kQuery, traced).status().code,
+            Status::Code::kInvalidArgument);
+
+  FaultInjector::Global().ConfigureFromEnv();
 }
 
 TEST_F(TutorialTest, BudgetsAndCancellationSectionWorksAsWritten) {

@@ -4,7 +4,7 @@
 //             [--optimizer=cost|deductive|naive|exhaustive|annealing]
 //             [--parallel=P] [--threads=N] [--exec-threads=N]
 //             [--batch-rows=N] [--deadline-ms=N] [--memory-budget-pages=N]
-//             [--explain] [--plan-only]
+//             [--explain] [--plan-only] [--no-plan-cache]
 //             [--symbolic] [--trace-out=FILE] [--metrics] [--query=FILE]
 //
 // --parallel models a P-way parallel *execution* in the cost formulas;
@@ -12,13 +12,21 @@
 // (deterministic under --seed for any N); --exec-threads runs the batched
 // executor's morsel-parallel operators on N workers and --batch-rows sets
 // the executor batch size (answers, counters and measured cost are
-// identical for any combination — only wall time changes).
+// identical for any combination — only wall time changes). The two executor
+// knobs default to the executor's own values when omitted; passing an
+// explicit 0 is rejected by the session as invalid_argument (exit 12) — 0
+// is no longer an "inherit" sentinel.
+//
+// --no-plan-cache makes the run bypass the session's plan cache (a single
+// CLI invocation optimizes once either way; the flag matters for scripted
+// comparisons and mirrors RunOptions::bypass_plan_cache; RODIN_PLAN_CACHE=0
+// disables caching process-wide).
 //
 // --deadline-ms and --memory-budget-pages bound the run's lifecycle (see
 // docs/ROBUSTNESS.md). On failure the exit code is the Status taxonomy's
 // code (ExitCodeForStatus): parse=3 semantic=4 optimize=5 exec=6
-// cancelled=7 deadline=8 resource=9 fault=10 internal=11; usage errors
-// exit 2.
+// cancelled=7 deadline=8 resource=9 fault=10 internal=11
+// invalid_argument=12; usage errors exit 2.
 //
 // Reads one query (the paper's §2.3 syntax) from --query or stdin and runs
 // it through a Session. The default output is the Figure 6 stage table, the
@@ -33,6 +41,7 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -57,12 +66,16 @@ struct CliOptions {
   std::string optimizer = "cost";
   unsigned parallel = 1;
   unsigned threads = 1;
-  unsigned exec_threads = 0;  // 0 = executor default (sequential)
-  unsigned batch_rows = 0;    // 0 = executor default (1024)
+  // Unset = executor defaults (sequential, 1024-row batches). The values
+  // pass through to RunOptions verbatim, so an explicit 0 reaches the
+  // session and comes back as invalid_argument (exit 12).
+  std::optional<size_t> exec_threads;
+  std::optional<size_t> batch_rows;
   uint64_t deadline_ms = 0;   // 0 = no deadline
   uint64_t memory_budget_pages = 0;  // 0 = unlimited
   bool explain = false;
   bool plan_only = false;
+  bool no_plan_cache = false;
   bool symbolic = false;
   bool metrics = false;
   std::string trace_out;
@@ -95,8 +108,8 @@ void Usage() {
       "                 [--parallel=P] [--threads=N] [--exec-threads=N]\n"
       "                 [--batch-rows=N] [--deadline-ms=N]\n"
       "                 [--memory-budget-pages=N] [--explain] [--plan-only]\n"
-      "                 [--symbolic] [--trace-out=FILE] [--metrics] "
-      "[--query=FILE]\n"
+      "                 [--no-plan-cache] [--symbolic] [--trace-out=FILE]\n"
+      "                 [--metrics] [--query=FILE]\n"
       "Reads a query in the paper's syntax from --query or stdin.\n");
 }
 
@@ -192,10 +205,10 @@ int main(int argc, char** argv) {
       options.threads = static_cast<unsigned>(ParseCount(value, "threads"));
     } else if (ParseFlag(argv[i], "exec-threads", &value)) {
       options.exec_threads =
-          static_cast<unsigned>(ParseCount(value, "exec-threads"));
+          static_cast<size_t>(ParseCount(value, "exec-threads"));
     } else if (ParseFlag(argv[i], "batch-rows", &value)) {
       options.batch_rows =
-          static_cast<unsigned>(ParseCount(value, "batch-rows"));
+          static_cast<size_t>(ParseCount(value, "batch-rows"));
     } else if (ParseFlag(argv[i], "deadline-ms", &value)) {
       options.deadline_ms = ParseCount(value, "deadline-ms");
     } else if (ParseFlag(argv[i], "memory-budget-pages", &value)) {
@@ -209,6 +222,8 @@ int main(int argc, char** argv) {
       options.explain = true;
     } else if (std::strcmp(argv[i], "--plan-only") == 0) {
       options.plan_only = true;
+    } else if (std::strcmp(argv[i], "--no-plan-cache") == 0) {
+      options.no_plan_cache = true;
     } else if (std::strcmp(argv[i], "--symbolic") == 0) {
       options.symbolic = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
@@ -238,6 +253,7 @@ int main(int argc, char** argv) {
   ro.collect_trace = !options.trace_out.empty();
   ro.exec_threads = options.exec_threads;
   ro.batch_rows = options.batch_rows;
+  ro.bypass_plan_cache = options.no_plan_cache;
   ro.query.deadline_ms = options.deadline_ms;
   ro.query.memory_budget_pages = options.memory_budget_pages;
 
@@ -268,6 +284,7 @@ int main(int argc, char** argv) {
     std::printf("  %-12s %-24s %10.1f us  work=%zu\n", s.stage.c_str(),
                 s.strategy.c_str(), s.micros, s.plans_explored);
   }
+  if (run.plan_cached) std::printf("\n[plan: cached]");
   std::printf("\nplan (estimated cost %.1f, pushed: %s%s%s):\n%s\n",
               result.cost, result.pushed_sel ? "sel " : "",
               result.pushed_join ? "join " : "",
