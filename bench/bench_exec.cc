@@ -36,10 +36,11 @@ struct ExecCase {
   size_t expect_rows = 0;
 };
 
-ExecCase MakeCase(const QueryGraph& (*make_query)(ExecCase*)) {
+ExecCase MakeCase(const QueryGraph& (*make_query)(ExecCase*),
+                  int num_composers = 300) {
   ExecCase c;
   MusicConfig config;
-  config.num_composers = 300;  // big enough that morsels amortize
+  config.num_composers = num_composers;  // big enough that morsels amortize
   config.lineage_depth = 10;
   c.db = GenerateMusicDb(config, PaperMusicPhysical());
   c.stats = std::make_unique<Stats>(Stats::Derive(*c.db.db));
@@ -82,6 +83,58 @@ ExecCase& ScanCase() {
     q = b.Build(*cc->db.schema);
     return q;
   }));
+  return *c;
+}
+
+// Scan-heavy selective filter over a large extent: deep arithmetic chains
+// under each comparison make per-row expression evaluation the dominant
+// cost — the eval-bound shape the bytecode VM targets (E14).
+ExecCase& FilterCase() {
+  static ExecCase* c = new ExecCase(MakeCase(
+      +[](ExecCase* cc) -> const QueryGraph& {
+        static QueryGraph q;
+        QueryGraphBuilder b;
+        NodeBuilder& node = b.Node("Answer");
+        node.Input("Composer", "x");
+        // The interpreter allocates a Value vector per node per row; the
+        // VM runs the same dataflow over reused registers.
+        auto year_chain = [] {
+          ExprPtr e = Expr::Path("x", {"birthyear"});
+          for (int i = 0; i < 16; ++i) {
+            e = Expr::Arith(i % 2 == 0 ? ArithOp::kAdd : ArithOp::kSub,
+                            std::move(e), Expr::Lit(Value::Int(i + 1)));
+          }
+          return e;
+        };
+        node.Where(Expr::Cmp(CompareOp::kGe, year_chain(),
+                             Expr::Lit(Value::Int(1640))));
+        node.Where(Expr::Cmp(CompareOp::kLt, year_chain(),
+                             Expr::Lit(Value::Int(1650))));
+        node.OutPath("n", "x", {"name"});
+        q = b.Build(*cc->db.schema);
+        return q;
+      },
+      /*num_composers=*/3000));
+  return *c;
+}
+
+// Deep path expression per scanned row: x.master.works.instruments.iname
+// fans out through two collections — navigation-bound, the other E14 shape.
+ExecCase& DeepPathCase() {
+  static ExecCase* c = new ExecCase(MakeCase(
+      +[](ExecCase* cc) -> const QueryGraph& {
+        static QueryGraph q;
+        QueryGraphBuilder b;
+        NodeBuilder& node = b.Node("Answer");
+        node.Input("Composer", "x");
+        node.Where(Expr::Eq(
+            Expr::Path("x", {"master", "works", "instruments", "iname"}),
+            Expr::Lit(Value::Str("harpsichord"))));
+        node.OutPath("n", "x", {"name"});
+        q = b.Build(*cc->db.schema);
+        return q;
+      },
+      /*num_composers=*/1000));
   return *c;
 }
 
@@ -139,6 +192,47 @@ void BM_BatchedScanJoinHash(benchmark::State& state) {
   RunOnce(ScanCase(), options, state);
 }
 BENCHMARK(BM_BatchedScanJoinHash)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// E14 — interpreted vs compiled expression evaluation. Same plans, same
+// answers, bit-identical accounting (vm_differential_fuzz_test); these rows
+// measure the wall-time side of the contract. The knob is pinned explicitly
+// on both sides so the rows stay comparable under RODIN_COMPILED_EVAL=1 CI.
+void BM_ScanFilterInterp(benchmark::State& state) {
+  ExecOptions options;
+  options.compiled_eval = false;
+  RunOnce(FilterCase(), options, state);
+}
+BENCHMARK(BM_ScanFilterInterp)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ScanFilterCompiled(benchmark::State& state) {
+  ExecOptions options;
+  options.compiled_eval = true;
+  RunOnce(FilterCase(), options, state);
+}
+BENCHMARK(BM_ScanFilterCompiled)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_DeepPathInterp(benchmark::State& state) {
+  ExecOptions options;
+  options.compiled_eval = false;
+  RunOnce(DeepPathCase(), options, state);
+}
+BENCHMARK(BM_DeepPathInterp)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_DeepPathCompiled(benchmark::State& state) {
+  ExecOptions options;
+  options.compiled_eval = true;
+  RunOnce(DeepPathCase(), options, state);
+}
+BENCHMARK(BM_DeepPathCompiled)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_CompiledRecursive(benchmark::State& state) {
+  ExecOptions options;
+  options.compiled_eval = true;
+  options.exec_threads = static_cast<size_t>(state.range(0));
+  RunOnce(RecursiveCase(), options, state);
+}
+BENCHMARK(BM_CompiledRecursive)->Arg(1)->Arg(4)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_BatchRowsSweep(benchmark::State& state) {

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/faults.h"
 #include "common/string_util.h"
+#include "exec/vm/compiler.h"
 #include "plan/pt_printer.h"
 #include "query/parser.h"
 
@@ -63,6 +64,9 @@ ExecOptions ExecOptionsFrom(const RunOptions& options,
   if (options.batch_rows.has_value()) exec.batch_rows = *options.batch_rows;
   if (options.exec_threads.has_value()) {
     exec.exec_threads = *options.exec_threads;
+  }
+  if (options.compiled_eval.has_value()) {
+    exec.compiled_eval = *options.compiled_eval;
   }
   exec.use_legacy = options.legacy_exec;
   exec.query = query;
@@ -127,6 +131,12 @@ std::string ExplainResult::ToString() const {
   out += StrFormat("est_cost: %.1f\n", est_cost);
   if (measured_cost >= 0) {
     out += StrFormat("measured_cost: %.1f\n", measured_cost);
+  }
+  if (!vm_disassembly.empty()) {
+    out += "bytecode (compiled eval):\n";
+    for (const std::string& line : Split(vm_disassembly, '\n')) {
+      if (!line.empty()) out += "  " + line + "\n";
+    }
   }
   return out;
 }
@@ -483,6 +493,13 @@ ExplainResult Session::ExplainImpl(const QueryGraph& graph,
                   run.optimized.pushed_proj;
   ex.plan_cached = run.plan_cached;
   ex.plan = BuildExplainNode(*run.optimized.plan, exec.op_stats());
+  // Disassemble what the compiled engine actually ran: the same knob
+  // resolution as ExecOptionsFrom (explicit override, else executor/env
+  // default), except under legacy_exec, which always interprets.
+  const bool compiled =
+      !options.legacy_exec &&
+      options.compiled_eval.value_or(CompiledEvalEnvDefault());
+  if (compiled) ex.vm_disassembly = vm::DisassemblePlan(*run.optimized.plan);
   return ex;
 }
 

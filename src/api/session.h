@@ -70,6 +70,13 @@ struct RunOptions {
   /// Rows per executor batch (nullopt = executor default, 1024; engaged 0 =
   /// kInvalidArgument). Also identical accounting for any value.
   std::optional<size_t> batch_rows;
+  /// Override the executor's compiled-eval default for this run (nullopt =
+  /// ExecOptions default, i.e. the RODIN_COMPILED_EVAL switch). Compiled
+  /// and interpreted eval produce the same rows and bit-identical
+  /// ExecCounters / OpStats / MeasuredCost; the knob is deliberately NOT
+  /// part of the plan-cache fingerprint, so flipping it between runs still
+  /// hits the cache. Ignored by legacy_exec, which always interprets.
+  std::optional<bool> compiled_eval;
   /// Evaluate with the pre-batching whole-table engine (differential
   /// oracle / bench baseline).
   bool legacy_exec = false;
@@ -140,6 +147,11 @@ struct ExplainResult {
   /// Plan served from the plan cache (ToString renders "[plan: cached]";
   /// stages/decisions replay the original optimization's).
   bool plan_cached = false;
+
+  /// Per-operator bytecode disassembly (see src/exec/vm/), one section per
+  /// compilable expression in the chosen plan. Filled only when the run
+  /// evaluated with compiled eval; ToString appends it after the plan tree.
+  std::string vm_disassembly;
 
   std::shared_ptr<const obs::Trace> trace;  // set when collect_trace
 

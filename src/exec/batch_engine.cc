@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <functional>
+#include <optional>
 #include <set>
 #include <utility>
 #include <vector>
@@ -13,6 +14,9 @@
 #include "common/thread_pool.h"
 #include "exec/eval_core.h"
 #include "exec/exec_abort.h"
+#include "exec/vm/compiler.h"
+#include "exec/vm/vm.h"
+#include "obs/metrics.h"
 
 namespace rodin {
 
@@ -39,12 +43,20 @@ struct ExecCtx {
   size_t batch_rows = 1024;
   size_t threads = 1;
   bool hash_equijoin = false;
+  bool compiled_eval = false;
   bool collect_op_stats = false;
   ThreadPool* pool = nullptr;
   std::map<std::string, std::pair<Table, TempFile>>* fix_cache = nullptr;
 
   MorselCounters counters;
   uint64_t fix_iterations = 0;
+  /// Compiled-eval profile (coordinator only): chunks / instructions
+  /// compiled while building operators, rows evaluated by the VM (merged
+  /// from morsel scratches). Observability only — deliberately outside the
+  /// accounting-identity contract.
+  uint64_t vm_chunks = 0;
+  uint64_t vm_instrs = 0;
+  uint64_t vm_rows = 0;
   /// Engine-local per-node profile with *exclusive* page counts; made
   /// inclusive by a plan walk at Finalize, then merged into the executor.
   std::map<const PTNode*, OpStats> local_stats;
@@ -127,15 +139,19 @@ struct ExecCtx {
           std::min(threads, (n + kMinMorselItems - 1) / kMinMorselItems);
     }
     if (nmorsels <= 1) {
+      vm::VmScratch scratch;
       EvalContext ec{db, log, &counters.predicate_evals,
-                     &counters.method_calls, &counters.method_cost_fp};
+                     &counters.method_calls, &counters.method_cost_fp,
+                     &scratch};
       for (size_t i = 0; i < n; ++i) fn(i, &ec, out);
+      vm_rows += scratch.rows;
       return;
     }
     struct Morsel {
       ChargeLog log;
       std::vector<Row> rows;
       MorselCounters c;
+      vm::VmScratch scratch;
     };
     std::vector<Morsel> morsels(nmorsels);
     for (size_t m = 0; m < nmorsels; ++m) {
@@ -144,7 +160,8 @@ struct ExecCtx {
       Morsel* dst = &morsels[m];
       pool->Submit([this, &fn, dst, lo, hi] {
         EvalContext ec{db, &dst->log, &dst->c.predicate_evals,
-                       &dst->c.method_calls, &dst->c.method_cost_fp};
+                       &dst->c.method_calls, &dst->c.method_cost_fp,
+                       &dst->scratch};
         for (size_t i = lo; i < hi; ++i) fn(i, &ec, &dst->rows);
       });
     }
@@ -153,9 +170,70 @@ struct ExecCtx {
       log->Append(m.log);
       for (Row& r : m.rows) out->push_back(std::move(r));
       counters.MergeFrom(m.c);
+      vm_rows += m.scratch.rows;
     }
   }
 };
+
+/// Compiles an operator expression to bytecode when compiled eval is on,
+/// folding the chunk into the engine's vm profile. nullopt (knob off, null
+/// expression, or a shape the compiler declines) = evaluate interpreted;
+/// the interpreter remains the semantic oracle either way.
+std::optional<vm::BytecodeChunk> CompilePredChunk(ExecCtx* ctx,
+                                                  const ExprPtr& pred,
+                                                  const RowSchema& schema) {
+  if (!ctx->compiled_eval || pred == nullptr) return std::nullopt;
+  std::optional<vm::BytecodeChunk> chunk = vm::CompilePredicate(pred, schema);
+  if (chunk.has_value()) {
+    ++ctx->vm_chunks;
+    ctx->vm_instrs += chunk->code.size();
+  }
+  return chunk;
+}
+
+std::optional<vm::BytecodeChunk> CompileMultiChunk(ExecCtx* ctx,
+                                                   const ExprPtr& expr,
+                                                   const RowSchema& schema) {
+  if (!ctx->compiled_eval || expr == nullptr) return std::nullopt;
+  std::optional<vm::BytecodeChunk> chunk = vm::CompileMulti(expr, schema);
+  if (chunk.has_value()) {
+    ++ctx->vm_chunks;
+    ctx->vm_instrs += chunk->code.size();
+  }
+  return chunk;
+}
+
+std::optional<vm::BytecodeChunk> CompileProjChunk(
+    ExecCtx* ctx, const std::vector<OutCol>& proj, const RowSchema& schema) {
+  if (!ctx->compiled_eval) return std::nullopt;
+  std::optional<vm::BytecodeChunk> chunk =
+      vm::CompileProjection(proj, schema);
+  if (chunk.has_value()) {
+    ++ctx->vm_chunks;
+    ctx->vm_instrs += chunk->code.size();
+  }
+  return chunk;
+}
+
+/// One predicate evaluation, compiled when a chunk exists. The caller has
+/// already counted the predicate_evals tick.
+inline bool EvalPredMaybe(const std::optional<vm::BytecodeChunk>& chunk,
+                          EvalContext* ec, const RowSchema& schema,
+                          const Row& row, const ExprPtr& pred) {
+  if (chunk.has_value()) return vm::RunPred(*chunk, ec, row, ec->vm);
+  return EvalPred(ec, schema, row, pred);
+}
+
+/// One multi-value evaluation, compiled when a chunk exists. Returns an
+/// owned vector either way: downstream callers mutate or outlive the VM's
+/// register state (the interpreter allocates an owned vector too, so the
+/// copy does not cost compiled eval anything extra).
+inline std::vector<Value> EvalMultiMaybe(
+    const std::optional<vm::BytecodeChunk>& chunk, EvalContext* ec,
+    const RowSchema& schema, const Row& row, const ExprPtr& expr) {
+  if (chunk.has_value()) return vm::RunMulti(*chunk, ec, row, ec->vm);
+  return EvalMulti(ec, schema, row, expr);
+}
 
 /// Base batched operator: pull-based Open-on-first-Next / NextBatch / (no
 /// explicit Close — destruction closes). Page charges accumulate in the
@@ -337,6 +415,7 @@ class FilterScanOp : public Op {
   FilterScanOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
     schema_.cols = node->cols;
     src_ = ctx->db->ResolveScan(node->children[0]->entity);
+    pred_chunk_ = CompilePredChunk(ctx, node->pred, schema_);
   }
 
  protected:
@@ -352,7 +431,7 @@ class FilterScanOp : public Op {
           ec->charger->Charge(src_.extent->PageOf(slot, src_.vfrag));
           Row row{Value::Ref(Oid{src_.base_class, slot})};
           ++*ec->predicate_evals;
-          if (EvalPred(ec, schema_, row, node_->pred)) {
+          if (EvalPredMaybe(pred_chunk_, ec, schema_, row, node_->pred)) {
             rows->push_back(std::move(row));
           }
         },
@@ -365,6 +444,7 @@ class FilterScanOp : public Op {
  private:
   Database::ScanSource src_;
   size_t pos_ = 0;
+  std::optional<vm::BytecodeChunk> pred_chunk_;
 };
 
 /// Index-backed selection. The B-tree probe runs once on the coordinator
@@ -378,6 +458,7 @@ class IndexSelOp : public Op {
     RODIN_CHECK(child.kind == PTKind::kEntity, "index access needs entity");
     RODIN_CHECK(node->sel_index != nullptr, "index access without an index");
     extent_ = child.entity.extent;
+    pred_chunk_ = CompilePredChunk(ctx, node->pred, schema_);
   }
 
  protected:
@@ -418,7 +499,7 @@ class IndexSelOp : public Op {
           ctx_->db->ChargeRecordAccess(oid, {}, ec->charger);
           Row row{Value::Ref(oid)};
           ++*ec->predicate_evals;
-          if (EvalPred(ec, schema_, row, node_->pred)) {
+          if (EvalPredMaybe(pred_chunk_, ec, schema_, row, node_->pred)) {
             rows->push_back(std::move(row));
           }
         },
@@ -433,6 +514,7 @@ class IndexSelOp : public Op {
   bool looked_ = false;
   std::vector<uint64_t> payloads_;
   size_t pos_ = 0;
+  std::optional<vm::BytecodeChunk> pred_chunk_;
 };
 
 /// General selection over a non-entity child: streams batches through the
@@ -442,6 +524,7 @@ class FilterOp : public Op {
   FilterOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
     schema_.cols = node->cols;
     children_.push_back(BuildOp(ctx, node->children[0].get()));
+    pred_chunk_ = CompilePredChunk(ctx, node->pred, children_[0]->schema());
   }
 
  protected:
@@ -455,7 +538,8 @@ class FilterOp : public Op {
         [this, &in, &in_schema](size_t i, EvalContext* ec,
                                 std::vector<Row>* rows) {
           ++*ec->predicate_evals;
-          if (EvalPred(ec, in_schema, in.rows[i], node_->pred)) {
+          if (EvalPredMaybe(pred_chunk_, ec, in_schema, in.rows[i],
+                            node_->pred)) {
             rows->push_back(std::move(in.rows[i]));
           }
         },
@@ -463,6 +547,9 @@ class FilterOp : public Op {
     ServePending(out);
     return true;
   }
+
+ private:
+  std::optional<vm::BytecodeChunk> pred_chunk_;
 };
 
 // --- Projection ------------------------------------------------------------
@@ -472,6 +559,7 @@ class ProjOp : public Op {
   ProjOp(ExecCtx* ctx, const PTNode* node) : Op(ctx, node) {
     schema_.cols = node->cols;
     children_.push_back(BuildOp(ctx, node->children[0].get()));
+    proj_chunk_ = CompileProjChunk(ctx, node->proj, children_[0]->schema());
   }
 
  protected:
@@ -494,11 +582,28 @@ class ProjOp : public Op {
                                 std::vector<Row>* rows) {
           const Row& row = in.rows[i];
           // Cartesian product of the (possibly multi-valued) projections.
-          std::vector<std::vector<Value>> cols;
+          // Compiled eval leaves column k's values in VM register k (one
+          // chunk per projection list, registers reused across rows);
+          // interpreted eval materializes them into fresh vectors. Both
+          // feed the same odometer over column views.
+          std::vector<const std::vector<Value>*> cols;
+          std::vector<std::vector<Value>> storage;
           bool any_empty = false;
-          for (const OutCol& c : node_->proj) {
-            cols.push_back(EvalMulti(ec, in_schema, row, c.expr));
-            if (cols.back().empty()) any_empty = true;
+          if (proj_chunk_.has_value()) {
+            const size_t n = vm::RunProj(*proj_chunk_, ec, row, ec->vm);
+            cols.reserve(n);
+            for (size_t k = 0; k < n; ++k) {
+              cols.push_back(&ec->vm->vregs[k]);
+              if (cols.back()->empty()) any_empty = true;
+            }
+          } else {
+            storage.reserve(node_->proj.size());
+            cols.reserve(node_->proj.size());
+            for (const OutCol& c : node_->proj) {
+              storage.push_back(EvalMulti(ec, in_schema, row, c.expr));
+              if (storage.back().empty()) any_empty = true;
+            }
+            for (const auto& s : storage) cols.push_back(&s);
           }
           if (any_empty) return;
           std::vector<size_t> idx(cols.size(), 0);
@@ -506,7 +611,9 @@ class ProjOp : public Op {
           while (!done) {
             Row r;
             r.reserve(cols.size());
-            for (size_t k = 0; k < cols.size(); ++k) r.push_back(cols[k][idx[k]]);
+            for (size_t k = 0; k < cols.size(); ++k) {
+              r.push_back((*cols[k])[idx[k]]);
+            }
             rows->push_back(std::move(r));
             // Odometer increment, rightmost column fastest.
             size_t k = cols.size();
@@ -516,7 +623,7 @@ class ProjOp : public Op {
                 break;
               }
               --k;
-              if (++idx[k] < cols[k].size()) break;
+              if (++idx[k] < cols[k]->size()) break;
               idx[k] = 0;
             }
           }
@@ -548,6 +655,7 @@ class ProjOp : public Op {
   bool materialized_ = false;
   Table dedup_;
   size_t pos_ = 0;
+  std::optional<vm::BytecodeChunk> proj_chunk_;
 };
 
 // --- Joins -----------------------------------------------------------------
@@ -652,6 +760,8 @@ class IndexJoinOp : public Op {
     probe_ = ExtractIndexProbe(*node, right.binding, &residual_);
     RODIN_CHECK(probe_ != nullptr, "index join probe not found in predicate");
     extent_ = right.entity.extent;
+    probe_chunk_ = CompileMultiChunk(ctx, probe_, children_[0]->schema());
+    residual_chunk_ = CompilePredChunk(ctx, residual_, schema_);
   }
 
  protected:
@@ -665,8 +775,10 @@ class IndexJoinOp : public Op {
         [this, &in, &left_schema](size_t i, EvalContext* ec,
                                   std::vector<Row>* rows) {
           const Row& lrow = in.rows[i];
+          // Owned copy: the residual chunk below reuses the same morsel
+          // registers, so the probe keys must not alias them.
           const std::vector<Value> keys =
-              EvalMulti(ec, left_schema, lrow, probe_);
+              EvalMultiMaybe(probe_chunk_, ec, left_schema, lrow, probe_);
           for (const Value& key : keys) {
             const std::vector<uint64_t> payloads =
                 node_->join_index->Lookup(key, ec->charger);
@@ -676,7 +788,8 @@ class IndexJoinOp : public Op {
               Row row = lrow;
               row.push_back(Value::Ref(oid));
               ++*ec->predicate_evals;
-              if (EvalPred(ec, schema_, row, residual_)) {
+              if (EvalPredMaybe(residual_chunk_, ec, schema_, row,
+                                residual_)) {
                 rows->push_back(std::move(row));
               }
             }
@@ -691,6 +804,8 @@ class IndexJoinOp : public Op {
   ExprPtr probe_;
   ExprPtr residual_;
   std::string extent_;
+  std::optional<vm::BytecodeChunk> probe_chunk_;
+  std::optional<vm::BytecodeChunk> residual_chunk_;
 };
 
 /// Nested-loop explicit join. A barrier: both sides materialize before
@@ -705,6 +820,7 @@ class NLJoinOp : public Op {
     schema_.cols = node->cols;
     children_.push_back(BuildOp(ctx, node->children[0].get()));
     children_.push_back(BuildOp(ctx, node->children[1].get()));
+    pred_chunk_ = CompilePredChunk(ctx, node->pred, schema_);
   }
 
  protected:
@@ -784,6 +900,8 @@ class NLJoinOp : public Op {
       }
     }
     if (probe_ == nullptr) return;
+    probe_chunk_ = CompileMultiChunk(ctx_, probe_, children_[0]->schema());
+    build_chunk_ = CompileMultiChunk(ctx_, build_, children_[1]->schema());
     // Build: evaluate the inner key expression per inner row. Key rows are
     // {key, row_index} pairs funneled through the morsel row sink.
     std::vector<Row> keyed;
@@ -792,7 +910,8 @@ class NLJoinOp : public Op {
         right_.rows.size(),
         [this, &rschema](size_t i, EvalContext* ec, std::vector<Row>* rows) {
           std::vector<Value> keys =
-              EvalMulti(ec, rschema, right_.rows[i], build_);
+              EvalMultiMaybe(build_chunk_, ec, rschema, right_.rows[i],
+                             build_);
           std::sort(keys.begin(), keys.end(),
                     [](const Value& a, const Value& b) {
                       return a.Compare(b) < 0;
@@ -825,7 +944,8 @@ class NLJoinOp : public Op {
           [this, base, &ls](size_t i, EvalContext* ec,
                             std::vector<Row>* rows) {
             const Row& lrow = left_.rows[base + i];
-            const std::vector<Value> keys = EvalMulti(ec, ls, lrow, probe_);
+            const std::vector<Value> keys =
+                EvalMultiMaybe(probe_chunk_, ec, ls, lrow, probe_);
             std::vector<size_t> cand;
             for (const Value& k : keys) {
               auto it = hash_.find(k);
@@ -839,7 +959,8 @@ class NLJoinOp : public Op {
               Row row = lrow;
               row.insert(row.end(), rrow.begin(), rrow.end());
               ++*ec->predicate_evals;
-              if (EvalPred(ec, schema_, row, node_->pred)) {
+              if (EvalPredMaybe(pred_chunk_, ec, schema_, row,
+                                node_->pred)) {
                 rows->push_back(std::move(row));
               }
             }
@@ -866,7 +987,8 @@ class NLJoinOp : public Op {
               Row row = lrow;
               row.insert(row.end(), rrow.begin(), rrow.end());
               ++*ec->predicate_evals;
-              if (EvalPred(ec, schema_, row, node_->pred)) {
+              if (EvalPredMaybe(pred_chunk_, ec, schema_, row,
+                                node_->pred)) {
                 rows->push_back(std::move(row));
               }
             }
@@ -888,6 +1010,9 @@ class NLJoinOp : public Op {
   ExprPtr build_;
   std::map<Value, std::vector<size_t>, ValueLess> hash_;
   bool hash_built_ = false;
+  std::optional<vm::BytecodeChunk> pred_chunk_;
+  std::optional<vm::BytecodeChunk> probe_chunk_;
+  std::optional<vm::BytecodeChunk> build_chunk_;
 };
 
 // --- Union -----------------------------------------------------------------
@@ -1122,6 +1247,7 @@ BatchEngine::BatchEngine(const Config& config, const PTNode& plan)
   ctx.batch_rows = std::max<size_t>(1, config.batch_rows);
   ctx.threads = std::max<size_t>(1, config.exec_threads);
   ctx.hash_equijoin = config.hash_equijoin;
+  ctx.compiled_eval = config.compiled_eval;
   ctx.collect_op_stats = config.collect_op_stats;
   ctx.pool = config.pool;
   ctx.fix_cache = config.fix_cache;
@@ -1136,6 +1262,10 @@ BatchEngine::~BatchEngine() { Finalize(); }
 const RowSchema& BatchEngine::schema() const { return impl_->root->schema(); }
 
 uint64_t BatchEngine::rows_emitted() const { return impl_->rows_emitted; }
+
+uint64_t BatchEngine::vm_chunks() const { return impl_->ctx.vm_chunks; }
+
+uint64_t BatchEngine::vm_instrs() const { return impl_->ctx.vm_instrs; }
 
 bool BatchEngine::Next(RowBatch* out) {
   out->Clear();
@@ -1204,6 +1334,17 @@ void BatchEngine::Finalize() {
         dst.micros += s.micros;
       }
     }
+  }
+  if (ctx.compiled_eval) {
+    static obs::Counter* chunks =
+        obs::MetricsRegistry::Global().GetCounter("rodin.vm.chunks_compiled");
+    static obs::Counter* instrs =
+        obs::MetricsRegistry::Global().GetCounter("rodin.vm.chunk_instrs");
+    static obs::Counter* rows =
+        obs::MetricsRegistry::Global().GetCounter("rodin.vm.rows_evaluated");
+    chunks->Add(ctx.vm_chunks);
+    instrs->Add(ctx.vm_instrs);
+    rows->Add(ctx.vm_rows);
   }
   if (impl_->cfg.counters != nullptr) {
     ExecCounters* c = impl_->cfg.counters;

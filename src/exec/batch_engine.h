@@ -36,6 +36,12 @@ class BatchEngine {
     size_t batch_rows = 1024;
     size_t exec_threads = 1;
     bool hash_equijoin = false;
+    /// Compile operator predicates / projections / path programs to
+    /// register bytecode at operator-build time and run the chunks per row
+    /// (see src/exec/vm/). Accounting — ExecCounters, OpStats, pool
+    /// counters, MeasuredCost — is bit-identical to interpreted eval for
+    /// every batch size and thread count; only wall time changes.
+    bool compiled_eval = false;
     ThreadPool* pool = nullptr;  // shared worker pool; null = inline
     std::map<std::string, std::pair<Table, TempFile>>* fix_cache = nullptr;
     bool collect_op_stats = false;
@@ -78,6 +84,12 @@ class BatchEngine {
   void Finalize();
 
   uint64_t rows_emitted() const;
+
+  /// Bytecode chunks compiled while building this engine's operator tree
+  /// (Fix arms recompile per iteration) and their summed instruction
+  /// counts. Zero under interpreted eval; feeds the execute span's args.
+  uint64_t vm_chunks() const;
+  uint64_t vm_instrs() const;
 
  private:
   struct Impl;

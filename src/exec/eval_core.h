@@ -13,6 +13,10 @@
 
 namespace rodin {
 
+namespace vm {
+struct VmScratch;
+}  // namespace vm
+
 /// Method costs are declared as doubles but summed in 2^-20 fixed point so
 /// that the total is independent of summation grouping — worker morsels add
 /// their partial sums in any association and still land on the bit pattern
@@ -39,6 +43,10 @@ struct EvalContext {
   uint64_t* predicate_evals = nullptr;
   uint64_t* method_calls = nullptr;
   uint64_t* method_cost_fp = nullptr;
+  /// Register scratch for compiled (bytecode) evaluation, owned by the
+  /// enclosing morsel; null under interpreted eval and in the legacy
+  /// evaluator (which never compiles).
+  vm::VmScratch* vm = nullptr;
 };
 
 /// Comparison with the Value total order.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <set>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -106,6 +108,14 @@ TempFile Executor::AllocTempChecked(size_t rows, size_t ncols) {
                   static_cast<unsigned long long>(temp.pages), budget)));
   }
   return temp;
+}
+
+bool CompiledEvalEnvDefault() {
+  static const bool on = [] {
+    const char* v = std::getenv("RODIN_COMPILED_EVAL");
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+  }();
+  return on;
 }
 
 void Executor::EmitExecMetrics(size_t rows) {
@@ -544,6 +554,7 @@ Status Executor::ExecuteInto(const PTNode& plan, const ExecOptions& options,
     cfg.batch_rows = options.batch_rows;
     cfg.exec_threads = options.exec_threads;
     cfg.hash_equijoin = options.hash_equijoin;
+    cfg.compiled_eval = options.compiled_eval;
     cfg.pool = PoolFor(options.exec_threads);
     cfg.fix_cache = &fix_cache_;
     cfg.collect_op_stats = collect_op_stats_;
@@ -561,6 +572,14 @@ Status Executor::ExecuteInto(const PTNode& plan, const ExecOptions& options,
     engine.Finalize();
     status = engine.status();
     if (!status.ok()) out->rows.clear();
+    if (tracer_ != nullptr && options.compiled_eval) {
+      tracer_->AddArg(span, "vm_chunks",
+                      StrFormat("%llu", static_cast<unsigned long long>(
+                                            engine.vm_chunks())));
+      tracer_->AddArg(span, "vm_instrs",
+                      StrFormat("%llu", static_cast<unsigned long long>(
+                                            engine.vm_instrs())));
+    }
   }
   query_ = nullptr;
   inject_faults_ = false;

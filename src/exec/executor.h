@@ -47,6 +47,11 @@ struct OpStats {
   double micros = 0;    // coordinator wall time spent in the operator
 };
 
+/// Process-wide default for ExecOptions::compiled_eval: true when the
+/// RODIN_COMPILED_EVAL environment variable is set to anything but "0"
+/// (read once, like the plan-cache and fault-injection switches).
+bool CompiledEvalEnvDefault();
+
 /// Execution configuration. The defaults give the batched engine with
 /// sequential (single-thread) morsels; any combination of batch_rows and
 /// exec_threads produces bit-identical ExecCounters, OpStats page counts and
@@ -54,6 +59,14 @@ struct OpStats {
 struct ExecOptions {
   size_t batch_rows = 1024;   // rows per operator batch (min 1)
   size_t exec_threads = 1;    // worker threads for morsel-parallel operators
+  /// Compile operator predicates, projections and path-step programs into
+  /// register bytecode at plan time and run the chunks per row (see
+  /// src/exec/vm/). Same rows, same ExecCounters / OpStats / MeasuredCost
+  /// bit for bit, for every batch_rows x exec_threads combination — the
+  /// interpreter remains the differential oracle. Defaults to the
+  /// RODIN_COMPILED_EVAL environment switch; ignored by the legacy engine,
+  /// which always interprets.
+  bool compiled_eval = CompiledEvalEnvDefault();
   /// Build a hash table over the inner of an equi nested-loop join instead
   /// of scanning it per outer row. Produces the identical result set and
   /// order, but honestly changes predicate_evals and page accounting (fewer

@@ -8,7 +8,9 @@
 //
 // Queries cover the paper's Figure 3 recursion plus randomized SPJ and
 // recursive queries over randomized databases (reusing the PR 1 generators'
-// shapes). Failures reproduce from the seed in the test name.
+// shapes). Failures reproduce from the seed in the test name; setting
+// RODIN_TEST_SEED=N shifts every seed by N for fresh inputs (the effective
+// seed is logged on failure).
 
 #include <gtest/gtest.h>
 
@@ -27,6 +29,7 @@
 #include "query/graph_queries.h"
 #include "query/paper_queries.h"
 #include "query/query_graph.h"
+#include "test_seed.h"
 
 namespace rodin {
 namespace {
@@ -208,7 +211,9 @@ QueryGraph RandomRecursiveQuery(Rng* rng, const Schema& schema) {
 class ExecDifferentialSeedTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ExecDifferentialSeedTest, MusicSpjAndRecursive) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = GetParam() + TestSeedBase();
+  SCOPED_TRACE("effective seed=" + std::to_string(seed) +
+               " (RODIN_TEST_SEED shifts)");
   Rng rng(seed * 101 + 13);
 
   MusicConfig config;
@@ -241,7 +246,9 @@ TEST_P(ExecDifferentialSeedTest, MusicSpjAndRecursive) {
 }
 
 TEST_P(ExecDifferentialSeedTest, GraphClosure) {
-  const uint64_t seed = GetParam();
+  const uint64_t seed = GetParam() + TestSeedBase();
+  SCOPED_TRACE("effective seed=" + std::to_string(seed) +
+               " (RODIN_TEST_SEED shifts)");
   Rng rng(seed * 77 + 3);
 
   GraphConfig config;

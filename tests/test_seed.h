@@ -1,0 +1,26 @@
+#ifndef RODIN_TESTS_TEST_SEED_H_
+#define RODIN_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace rodin {
+
+/// Base offset for seed-parameterized tests: setting RODIN_TEST_SEED=N
+/// shifts every generated seed by N, so CI (or a developer chasing a flake)
+/// can sweep fresh random inputs without recompiling. Unset or empty keeps
+/// the checked-in seeds. Tests log the effective seed on failure — a
+/// reproducer is one environment variable away.
+inline uint64_t TestSeedBase() {
+  static const uint64_t base = [] {
+    const char* v = std::getenv("RODIN_TEST_SEED");
+    return (v != nullptr && *v != '\0')
+               ? static_cast<uint64_t>(std::strtoull(v, nullptr, 10))
+               : 0ull;
+  }();
+  return base;
+}
+
+}  // namespace rodin
+
+#endif  // RODIN_TESTS_TEST_SEED_H_

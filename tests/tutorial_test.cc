@@ -129,6 +129,36 @@ TEST_F(TutorialTest, StreamingSectionWorksAsWritten) {
   EXPECT_EQ(all.rows.size(), run.answer.rows.size());
 }
 
+TEST_F(TutorialTest, CompiledEvalSectionWorksAsWritten) {
+  // Mirrors "Compiled expression evaluation": same rows, bit-identical
+  // accounting, and the EXPLAIN disassembly block appears with the knob on.
+  Session session(db_.get());
+  RunOptions ro;
+  ro.cold = true;
+  ro.compiled_eval = true;
+  const QueryRun compiled = session.Run(kQuery, ro);
+  ASSERT_TRUE(compiled.ok()) << compiled.error();
+
+  ro.compiled_eval = false;
+  const QueryRun interpreted = session.Run(kQuery, ro);
+  ASSERT_TRUE(interpreted.ok()) << interpreted.error();
+
+  EXPECT_EQ(compiled.answer.rows, interpreted.answer.rows);
+  EXPECT_EQ(compiled.measured_cost, interpreted.measured_cost);
+  EXPECT_EQ(compiled.counters.predicate_evals,
+            interpreted.counters.predicate_evals);
+  EXPECT_EQ(compiled.counters.method_calls, interpreted.counters.method_calls);
+  EXPECT_EQ(compiled.counters.method_cost, interpreted.counters.method_cost);
+
+  RunOptions ex;
+  ex.cold = true;
+  ex.compiled_eval = true;
+  const ExplainResult report = session.Explain(kQuery, ex);
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
+  EXPECT_NE(report.ToString().find("bytecode (compiled eval):"),
+            std::string::npos);
+}
+
 TEST_F(TutorialTest, PreparedQueriesSectionWorksAsWritten) {
   // Mirrors "Prepared queries and the plan cache". An enabled fault
   // injector bypasses the cache by design (docs/ROBUSTNESS.md), so pin it

@@ -4,8 +4,9 @@
 //             [--optimizer=cost|deductive|naive|exhaustive|annealing]
 //             [--parallel=P] [--threads=N] [--exec-threads=N]
 //             [--batch-rows=N] [--deadline-ms=N] [--memory-budget-pages=N]
-//             [--explain] [--plan-only] [--no-plan-cache]
-//             [--symbolic] [--trace-out=FILE] [--metrics] [--query=FILE]
+//             [--explain] [--plan-only] [--compiled-eval] [--no-compiled-eval]
+//             [--no-plan-cache] [--symbolic] [--trace-out=FILE] [--metrics]
+//             [--query=FILE]
 //
 // --parallel models a P-way parallel *execution* in the cost formulas;
 // --threads runs the randomized plan *search* on N worker threads
@@ -16,6 +17,12 @@
 // knobs default to the executor's own values when omitted; passing an
 // explicit 0 is rejected by the session as invalid_argument (exit 12) — 0
 // is no longer an "inherit" sentinel.
+//
+// --compiled-eval / --no-compiled-eval select bytecode-compiled vs
+// interpreted expression evaluation (see src/exec/vm/); omitted, the
+// RODIN_COMPILED_EVAL environment switch decides. Rows, counters and
+// measured cost are bit-identical either way; under --explain the compiled
+// run's report ends with the per-operator bytecode disassembly.
 //
 // --no-plan-cache makes the run bypass the session's plan cache (a single
 // CLI invocation optimizes once either way; the flag matters for scripted
@@ -71,6 +78,8 @@ struct CliOptions {
   // session and comes back as invalid_argument (exit 12).
   std::optional<size_t> exec_threads;
   std::optional<size_t> batch_rows;
+  // Unset = RODIN_COMPILED_EVAL environment default.
+  std::optional<bool> compiled_eval;
   uint64_t deadline_ms = 0;   // 0 = no deadline
   uint64_t memory_budget_pages = 0;  // 0 = unlimited
   bool explain = false;
@@ -108,6 +117,7 @@ void Usage() {
       "                 [--parallel=P] [--threads=N] [--exec-threads=N]\n"
       "                 [--batch-rows=N] [--deadline-ms=N]\n"
       "                 [--memory-budget-pages=N] [--explain] [--plan-only]\n"
+      "                 [--compiled-eval] [--no-compiled-eval]\n"
       "                 [--no-plan-cache] [--symbolic] [--trace-out=FILE]\n"
       "                 [--metrics] [--query=FILE]\n"
       "Reads a query in the paper's syntax from --query or stdin.\n");
@@ -218,6 +228,10 @@ int main(int argc, char** argv) {
       options.query_file = value;
     } else if (ParseFlag(argv[i], "trace-out", &value)) {
       options.trace_out = value;
+    } else if (std::strcmp(argv[i], "--compiled-eval") == 0) {
+      options.compiled_eval = true;
+    } else if (std::strcmp(argv[i], "--no-compiled-eval") == 0) {
+      options.compiled_eval = false;
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       options.explain = true;
     } else if (std::strcmp(argv[i], "--plan-only") == 0) {
@@ -253,6 +267,7 @@ int main(int argc, char** argv) {
   ro.collect_trace = !options.trace_out.empty();
   ro.exec_threads = options.exec_threads;
   ro.batch_rows = options.batch_rows;
+  ro.compiled_eval = options.compiled_eval;
   ro.bypass_plan_cache = options.no_plan_cache;
   ro.query.deadline_ms = options.deadline_ms;
   ro.query.memory_budget_pages = options.memory_budget_pages;
