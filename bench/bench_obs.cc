@@ -41,7 +41,7 @@ void BM_ExplainOnlyDecisionLog(benchmark::State& state) {
   GeneratedDb& g = SharedDb();
   Session session(g.db.get(), CostBasedOptions());
   const QueryGraph q = Fig3Query(*g.schema, 6);
-  RunOptions options;
+  QueryOptions options;
   options.explain_only = true;
   for (auto _ : state) {
     const QueryRun run = session.Run(q, options);
@@ -54,7 +54,7 @@ void BM_ExplainOnlyWithTrace(benchmark::State& state) {
   GeneratedDb& g = SharedDb();
   Session session(g.db.get(), CostBasedOptions());
   const QueryGraph q = Fig3Query(*g.schema, 6);
-  RunOptions options;
+  QueryOptions options;
   options.explain_only = true;
   options.collect_trace = true;
   for (auto _ : state) {
@@ -68,7 +68,7 @@ void BM_RunColdWithProfiledExecutor(benchmark::State& state) {
   GeneratedDb& g = SharedDb();
   Session session(g.db.get(), CostBasedOptions());
   const QueryGraph q = Fig3Query(*g.schema, 6);
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   for (auto _ : state) {
     const ExplainResult ex = session.Explain(q, options);

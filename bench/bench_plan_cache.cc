@@ -45,7 +45,7 @@ CacheCase& SharedCase() {
     cc->session =
         std::make_unique<Session>(cc->db.db.get(), CostBasedOptions(42));
     cc->query = Fig3Query(*cc->db.schema);
-    RunOptions warm;
+    QueryOptions warm;
     warm.bypass_plan_cache = true;
     const QueryRun run = cc->session->Run(cc->query, warm);
     if (run.ok()) cc->expect_rows = run.answer.rows.size();
@@ -56,7 +56,7 @@ CacheCase& SharedCase() {
 
 void AcquireLoop(benchmark::State& state, bool bypass) {
   CacheCase& c = SharedCase();
-  RunOptions options;
+  QueryOptions options;
   options.explain_only = true;  // isolate plan acquisition from execution
   options.bypass_plan_cache = bypass;
   if (!bypass) {
@@ -91,7 +91,7 @@ BENCHMARK(BM_PlanAcquireCached)->Unit(benchmark::kMicrosecond)->UseRealTime();
 
 void EndToEndLoop(benchmark::State& state, bool bypass) {
   CacheCase& c = SharedCase();
-  RunOptions options;
+  QueryOptions options;
   options.bypass_plan_cache = bypass;
   if (!bypass) {
     const QueryRun primed = c.session->Run(c.query, options);

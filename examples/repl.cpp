@@ -20,7 +20,7 @@ using namespace rodin;
 namespace {
 
 void RunOne(Session& session, const std::string& text) {
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   const QueryRun run = session.Run(text, options);
   if (!run.ok()) {

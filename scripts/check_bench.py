@@ -86,7 +86,12 @@ def main():
     for name in shared:
         base = baseline[name]
         now = current[name]
-        ratio = (now - base) / base if base != 0 else float("inf")
+        if base != 0:
+            ratio = (now - base) / base
+        else:
+            # Zero baseline: equal is fine (0 -> 0 is no drift, not inf%);
+            # anything nonzero against a zero baseline is infinite drift.
+            ratio = 0.0 if now == 0 else float("inf")
         marker = " <-- OUT OF TOLERANCE" if abs(ratio) > args.tolerance else ""
         print(f"  {name}: {base:.1f} -> {now:.1f} ({ratio:+.1%}){marker}")
         if marker:

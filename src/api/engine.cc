@@ -1,0 +1,103 @@
+#include "api/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "datagen/graph_gen.h"
+#include "datagen/music_gen.h"
+#include "datagen/parts_gen.h"
+#include "optimizer/baseline.h"
+
+namespace rodin {
+
+namespace {
+
+bool MakeDataset(const EngineOptions& options, GeneratedDb* out) {
+  if (options.dataset == "music") {
+    MusicConfig config;
+    config.num_composers = options.size;
+    config.seed = options.seed;
+    *out = GenerateMusicDb(config, PaperMusicPhysical());
+    return true;
+  }
+  if (options.dataset == "parts") {
+    PartsConfig config;
+    config.parts_per_level = std::max<uint32_t>(1, options.size / 5);
+    config.seed = options.seed;
+    *out = GeneratePartsDb(config, DefaultPartsPhysical());
+    return true;
+  }
+  if (options.dataset == "graph") {
+    GraphConfig config;
+    config.num_nodes = options.size;
+    config.seed = options.seed;
+    *out = GenerateGraphDb(config, DefaultGraphPhysical());
+    return true;
+  }
+  return false;
+}
+
+bool MakeOptimizerOptions(const EngineOptions& options, OptimizerOptions* out) {
+  if (options.optimizer == "cost") {
+    *out = CostBasedOptions(options.seed);
+  } else if (options.optimizer == "deductive") {
+    *out = DeductiveOptions(options.seed);
+  } else if (options.optimizer == "naive") {
+    *out = NaiveOptions(options.seed);
+  } else if (options.optimizer == "exhaustive") {
+    *out = ExhaustiveOptions(options.seed);
+  } else if (options.optimizer == "annealing") {
+    *out = AnnealingOptions(options.seed);
+  } else {
+    return false;
+  }
+  out->search_threads = std::max<size_t>(1, options.search_threads);
+  return true;
+}
+
+}  // namespace
+
+std::unique_ptr<EngineHandle> EngineHandle::Create(const EngineOptions& options,
+                                                   Status* status) {
+  OptimizerOptions opt_options;
+  if (!MakeOptimizerOptions(options, &opt_options)) {
+    if (status != nullptr) {
+      *status = Status::Error(
+          Status::Code::kInvalidArgument,
+          "unknown optimizer '" + options.optimizer +
+              "' (expected cost|deductive|naive|exhaustive|annealing)");
+    }
+    return nullptr;
+  }
+  GeneratedDb generated;
+  if (!MakeDataset(options, &generated)) {
+    if (status != nullptr) {
+      *status = Status::Error(
+          Status::Code::kInvalidArgument,
+          "unknown dataset '" + options.dataset +
+              "' (expected music|parts|graph)");
+    }
+    return nullptr;
+  }
+  CostParams cost_params;
+  cost_params.parallel_degree = options.parallel_degree;
+  if (status != nullptr) *status = Status::Ok();
+  return std::unique_ptr<EngineHandle>(new EngineHandle(
+      options, std::move(generated), opt_options, cost_params));
+}
+
+EngineHandle::EngineHandle(EngineOptions options, GeneratedDb generated,
+                           OptimizerOptions opt_options,
+                           CostParams cost_params)
+    : options_(std::move(options)),
+      generated_(std::move(generated)),
+      opt_options_(opt_options),
+      cost_params_(cost_params),
+      plan_cache_(std::make_shared<PlanCache>(options_.plan_cache_capacity)) {}
+
+std::unique_ptr<Session> EngineHandle::NewSession() {
+  return std::make_unique<Session>(db(), opt_options_, cost_params_,
+                                   plan_cache_);
+}
+
+}  // namespace rodin

@@ -1,0 +1,38 @@
+#include "api/query_options.h"
+
+namespace rodin {
+
+Status QueryOptions::Validate() const {
+  if (search_threads.has_value() && *search_threads == 0) {
+    return Status::Error(
+        Status::Code::kInvalidArgument,
+        "search_threads must be >= 1 when set (omit it to inherit the "
+        "session default)");
+  }
+  if (exec_threads.has_value() && *exec_threads == 0) {
+    return Status::Error(
+        Status::Code::kInvalidArgument,
+        "exec_threads must be >= 1 when set (omit it to inherit the "
+        "executor default)");
+  }
+  if (batch_rows.has_value() && *batch_rows == 0) {
+    return Status::Error(
+        Status::Code::kInvalidArgument,
+        "batch_rows must be >= 1 when set (omit it to inherit the "
+        "executor default)");
+  }
+  return Status::Ok();
+}
+
+ExecOptions QueryOptions::MakeExecOptions(const QueryContext* armed) const {
+  ExecOptions exec;
+  if (batch_rows.has_value()) exec.batch_rows = *batch_rows;
+  if (exec_threads.has_value()) exec.exec_threads = *exec_threads;
+  if (compiled_eval.has_value()) exec.compiled_eval = *compiled_eval;
+  exec.hash_equijoin = hash_equijoin;
+  exec.use_legacy = legacy_exec;
+  exec.query = armed;
+  return exec;
+}
+
+}  // namespace rodin

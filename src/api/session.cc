@@ -54,50 +54,6 @@ void PrintExplainNode(const ExplainNode& node, int depth, std::string* out) {
   }
 }
 
-/// Maps the session-level run knobs onto the executor's options. Disengaged
-/// optionals mean "keep the executor default". `query` is the run's *armed*
-/// context (owned by the caller for the duration of the execution),
-/// referenced — not copied — per the single-source-of-truth rule.
-ExecOptions ExecOptionsFrom(const RunOptions& options,
-                            const QueryContext* query) {
-  ExecOptions exec;
-  if (options.batch_rows.has_value()) exec.batch_rows = *options.batch_rows;
-  if (options.exec_threads.has_value()) {
-    exec.exec_threads = *options.exec_threads;
-  }
-  if (options.compiled_eval.has_value()) {
-    exec.compiled_eval = *options.compiled_eval;
-  }
-  exec.use_legacy = options.legacy_exec;
-  exec.query = query;
-  return exec;
-}
-
-/// The optionals take any engaged value literally, so an explicit 0 for a
-/// knob that cannot be 0 is a caller error — reject it up front instead of
-/// letting the executor divide by a zero batch or spawn zero workers.
-Status ValidateRunOptions(const RunOptions& options) {
-  if (options.search_threads.has_value() && *options.search_threads == 0) {
-    return Status::Error(
-        Status::Code::kInvalidArgument,
-        "search_threads must be >= 1 when set (omit it to inherit the "
-        "session default)");
-  }
-  if (options.exec_threads.has_value() && *options.exec_threads == 0) {
-    return Status::Error(
-        Status::Code::kInvalidArgument,
-        "exec_threads must be >= 1 when set (omit it to inherit the "
-        "executor default)");
-  }
-  if (options.batch_rows.has_value() && *options.batch_rows == 0) {
-    return Status::Error(
-        Status::Code::kInvalidArgument,
-        "batch_rows must be >= 1 when set (omit it to inherit the "
-        "executor default)");
-  }
-  return Status::Ok();
-}
-
 }  // namespace
 
 std::string ExplainResult::ToString() const {
@@ -146,7 +102,7 @@ PreparedQuery::PreparedQuery(Session* session, Status status, QueryGraph graph)
   if (status_.ok()) digest_ = GraphDigest(graph_);
 }
 
-QueryRun PreparedQuery::Run(const RunOptions& options) {
+QueryRun PreparedQuery::Run(const QueryOptions& options) {
   if (!status_.ok()) {
     QueryRun run;
     run.status = status_;
@@ -155,7 +111,7 @@ QueryRun PreparedQuery::Run(const RunOptions& options) {
   return session_->RunImpl(graph_, options, nullptr, &digest_);
 }
 
-ExplainResult PreparedQuery::Explain(const RunOptions& options) {
+ExplainResult PreparedQuery::Explain(const QueryOptions& options) {
   if (!status_.ok()) {
     ExplainResult ex;
     ex.status = status_;
@@ -164,7 +120,7 @@ ExplainResult PreparedQuery::Explain(const RunOptions& options) {
   return session_->ExplainImpl(graph_, options, &digest_);
 }
 
-ResultCursor PreparedQuery::Query(const RunOptions& options) {
+ResultCursor PreparedQuery::Query(const QueryOptions& options) {
   if (!status_.ok()) return ResultCursor(status_);
   return session_->QueryImpl(graph_, options, &digest_);
 }
@@ -190,7 +146,7 @@ void Session::RefreshStats() {
   ++stats_version_;
 }
 
-OptimizerOptions Session::EffectiveOptions(const RunOptions& options) const {
+OptimizerOptions Session::EffectiveOptions(const QueryOptions& options) const {
   OptimizerOptions opt = options_;
   if (options.search_threads.has_value()) {
     opt.search_threads = *options.search_threads;
@@ -207,7 +163,7 @@ OptimizeResult Session::Optimize(const QueryGraph& graph) {
 bool Session::OptimizeThroughCache(const QueryGraph& graph,
                                    const OptimizerOptions& opt_options,
                                    const ObsSink& sink,
-                                   const RunOptions& options,
+                                   const QueryOptions& options,
                                    const std::string* graph_digest,
                                    OptimizeResult* out,
                                    DecisionLog* decisions) {
@@ -268,11 +224,11 @@ bool Session::OptimizeThroughCache(const QueryGraph& graph,
   return false;
 }
 
-QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
+QueryRun Session::RunImpl(const QueryGraph& graph, const QueryOptions& options,
                           Executor* exec, const std::string* graph_digest) {
   QueryRun run;
   run.graph = graph;
-  run.status = ValidateRunOptions(options);
+  run.status = options.Validate();
   if (!run.status.ok()) return run;
 
   // The retry loop below snapshots and restores the buffer pool's resident
@@ -280,14 +236,21 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
   // to finalize time; interleaving that replay with a restore would corrupt
   // the pool's accounting, so the retryable paths refuse to start until the
   // session's outstanding cursors are drained (or destroyed).
-  const bool faults_on = FaultInjector::Global().enabled();
+  // Shared-db (multi-tenant) sessions never consult the fault injector: the
+  // retry path's pool snapshot/restore cannot be made safe while concurrent
+  // sessions charge the same pool.
+  const bool faults_on = !shared_db_ && FaultInjector::Global().enabled();
   if (faults_on && live_streams() > 0) {
+    const uint64_t live = live_streams();
     run.status = Status::Error(
         Status::Code::kInvalidArgument,
         StrFormat("cannot Run/Explain with fault injection while %llu "
                   "streaming cursor(s) from this session are still live; "
                   "drain or destroy them first",
-                  static_cast<unsigned long long>(live_streams())));
+                  static_cast<unsigned long long>(live)));
+    // Structured contract (docs/ROBUSTNESS.md): the refusal carries the
+    // live-cursor count, so pool managers branch on detail, not on text.
+    run.status.detail = live;
     return run;
   }
 
@@ -305,8 +268,8 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
   OptimizerOptions opt_options = EffectiveOptions(options);
   opt_options.query = &qctx;
   // Run/Explain are the retryable, non-streaming paths: they are the only
-  // ones that consult the fault injector.
-  opt_options.inject_faults = true;
+  // ones that consult the fault injector (never in shared-db mode).
+  opt_options.inject_faults = !shared_db_;
   run.plan_cached = OptimizeThroughCache(graph, opt_options, sink, options,
                                          graph_digest, &run.optimized,
                                          &run.decisions);
@@ -321,8 +284,8 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
     Executor local(db_, cost_params_);
     Executor& e = exec != nullptr ? *exec : local;
     if (options.collect_trace) e.set_tracer(&tracer);
-    ExecOptions exec_options = ExecOptionsFrom(options, &qctx);
-    exec_options.inject_faults = true;
+    ExecOptions exec_options = options.MakeExecOptions(&qctx);
+    exec_options.inject_faults = !shared_db_;
 
     // Retry-with-backoff for transient (kFault) aborts. Only the execution
     // phase re-runs — the optimizer already committed its plan and its
@@ -350,8 +313,12 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
         std::this_thread::sleep_for(
             std::chrono::microseconds(1u << std::min(attempt, 10)));
       }
-      exec_options.inject_faults = attempt < kFaultedAttemptLimit;
-      e.ResetMeasurement(options.cold);
+      exec_options.inject_faults = !shared_db_ && attempt < kFaultedAttemptLimit;
+      if (shared_db_) {
+        e.ResetMeasurementShared();
+      } else {
+        e.ResetMeasurement(options.cold);
+      }
       exec_status =
           e.ExecuteInto(*run.optimized.plan, exec_options, &run.answer);
       if (!exec_status.retryable()) break;
@@ -366,11 +333,11 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const RunOptions& options,
   return run;
 }
 
-QueryRun Session::Run(const QueryGraph& graph, const RunOptions& options) {
+QueryRun Session::Run(const QueryGraph& graph, const QueryOptions& options) {
   return RunImpl(graph, options, nullptr, nullptr);
 }
 
-QueryRun Session::Run(const std::string& text, const RunOptions& options) {
+QueryRun Session::Run(const std::string& text, const QueryOptions& options) {
   const ParseResult parsed = ParseQuery(text, db_->schema());
   if (!parsed.ok()) {
     QueryRun run;
@@ -399,9 +366,9 @@ struct QueryState {
 }  // namespace
 
 ResultCursor Session::QueryImpl(const QueryGraph& graph,
-                                const RunOptions& options,
+                                const QueryOptions& options,
                                 const std::string* graph_digest) {
-  Status vstatus = ValidateRunOptions(options);
+  Status vstatus = options.Validate();
   if (!vstatus.ok()) return ResultCursor(vstatus);
   if (options.collect_trace) {
     // Silently dropping the flag (the old behaviour) made callers believe
@@ -429,11 +396,15 @@ ResultCursor Session::QueryImpl(const QueryGraph& graph,
     return ResultCursor(optimized.status);
   }
 
-  state->exec.ResetMeasurement(options.cold);
+  if (shared_db_) {
+    state->exec.ResetMeasurementShared();
+  } else {
+    state->exec.ResetMeasurement(options.cold);
+  }
   // Streaming runs reference the state-owned context; fault injection stays
   // off (a half-consumed stream cannot be transparently retried).
   ResultCursor cursor = state->exec.ExecuteStream(
-      *state->optimized.plan, ExecOptionsFrom(options, &state->qctx));
+      *state->optimized.plan, options.MakeExecOptions(&state->qctx));
   cursor.set_plan_text(PrintPT(*state->optimized.plan));
   Database* db = db_;
   // The finalize hook fires exactly once per cursor (drained, failed or
@@ -450,12 +421,12 @@ ResultCursor Session::QueryImpl(const QueryGraph& graph,
 }
 
 ResultCursor Session::Query(const QueryGraph& graph,
-                            const RunOptions& options) {
+                            const QueryOptions& options) {
   return QueryImpl(graph, options, nullptr);
 }
 
 ResultCursor Session::Query(const std::string& text,
-                            const RunOptions& options) {
+                            const QueryOptions& options) {
   const ParseResult parsed = ParseQuery(text, db_->schema());
   if (!parsed.ok()) return ResultCursor(parsed.status);
   return QueryImpl(parsed.graph, options, nullptr);
@@ -471,7 +442,7 @@ PreparedQuery Session::Prepare(const QueryGraph& graph) {
 }
 
 ExplainResult Session::ExplainImpl(const QueryGraph& graph,
-                                   const RunOptions& options,
+                                   const QueryOptions& options,
                                    const std::string* graph_digest) {
   ExplainResult ex;
   Executor exec(db_, cost_params_);
@@ -504,12 +475,12 @@ ExplainResult Session::ExplainImpl(const QueryGraph& graph,
 }
 
 ExplainResult Session::Explain(const QueryGraph& graph,
-                               const RunOptions& options) {
+                               const QueryOptions& options) {
   return ExplainImpl(graph, options, nullptr);
 }
 
 ExplainResult Session::Explain(const std::string& text,
-                               const RunOptions& options) {
+                               const QueryOptions& options) {
   const ParseResult parsed = ParseQuery(text, db_->schema());
   if (!parsed.ok()) {
     ExplainResult ex;

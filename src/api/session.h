@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "api/plan_cache.h"
+#include "api/query_options.h"
 #include "common/query_context.h"
 #include "common/status.h"
 #include "cost/cost_model.h"
@@ -25,65 +26,10 @@ namespace rodin {
 
 class Session;
 
-/// Per-call knobs of Session::Run / Session::Explain. One struct instead of
-/// boolean tails and per-call Optimizer rebuilds: defaults are the common
-/// case, and every knob is named at the call site.
-///
-/// Override knobs are std::optional: nullopt means "inherit the session /
-/// executor default", and an *engaged* value is taken literally — including
-/// 0, which for `seed` is a legal seed and for the thread/batch knobs is a
-/// usage error rejected with Status::Code::kInvalidArgument (0 worker
-/// threads or 0-row batches cannot run). Before this, 0 doubled as the
-/// inherit sentinel, which made seed 0 unreachable and made an explicit
-/// `--exec-threads 0` silently mean something else.
-struct RunOptions {
-  /// Start measurement from an empty buffer pool (cold run). Warm otherwise:
-  /// counters reset but resident pages stay.
-  bool cold = false;
-  /// Attach a span tracer to the optimizer and executor; the resulting
-  /// QueryRun::trace / ExplainResult::trace exports Chrome trace_event JSON.
-  bool collect_trace = false;
-  /// Optimize only — skip execution (answer stays empty, measured_cost -1).
-  bool explain_only = false;
-  /// Override the session's transformPT search parallelism (nullopt = keep
-  /// the session's OptimizerOptions value; engaged 0 = kInvalidArgument).
-  /// Knob precedence, here and for `seed`: an engaged RunOptions value wins
-  /// for this run; otherwise the session's OptimizerOptions value applies.
-  /// There is no third copy — TransformOptions no longer carries these.
-  std::optional<size_t> search_threads;
-  /// Override the session's optimizer seed (nullopt = keep; 0 is a valid
-  /// seed).
-  std::optional<uint64_t> seed;
-  /// The run's lifecycle budget: deadline, cancel token, memory budget.
-  /// This is the only place the knobs are *defined* — the optimizer and
-  /// executor reference the (armed copy of the) context by pointer, never
-  /// copy the fields. Keep a copy of `query.cancel` to cancel from another
-  /// thread; see QueryContext for semantics. Default: unbounded. The
-  /// context always governs *this run's* execution — a plan served from the
-  /// plan cache still runs under this deadline/cancel/budget.
-  QueryContext query;
-  /// Worker threads for the batched executor's morsel-parallel operators
-  /// (nullopt = executor default, sequential; engaged 0 = kInvalidArgument).
-  /// Results, counters and measured cost are identical for any value; only
-  /// wall time changes.
-  std::optional<size_t> exec_threads;
-  /// Rows per executor batch (nullopt = executor default, 1024; engaged 0 =
-  /// kInvalidArgument). Also identical accounting for any value.
-  std::optional<size_t> batch_rows;
-  /// Override the executor's compiled-eval default for this run (nullopt =
-  /// ExecOptions default, i.e. the RODIN_COMPILED_EVAL switch). Compiled
-  /// and interpreted eval produce the same rows and bit-identical
-  /// ExecCounters / OpStats / MeasuredCost; the knob is deliberately NOT
-  /// part of the plan-cache fingerprint, so flipping it between runs still
-  /// hits the cache. Ignored by legacy_exec, which always interprets.
-  std::optional<bool> compiled_eval;
-  /// Evaluate with the pre-batching whole-table engine (differential
-  /// oracle / bench baseline).
-  bool legacy_exec = false;
-  /// Skip the session's plan cache for this run: neither look up nor insert.
-  /// The run optimizes from scratch exactly as a cache miss would.
-  bool bypass_plan_cache = false;
-};
+// The per-call knob surface (QueryOptions, with QueryOptions as its
+// back-compat alias) lives in api/query_options.h — one documented facade
+// with a single inherit/override rule, shared by the session entry points,
+// the CLI and the server's wire requests.
 
 /// Everything one query run produces: the optimizer's decision trail, the
 /// chosen plan (printable), and the executed answer with measured cost.
@@ -104,7 +50,7 @@ struct QueryRun {
   bool plan_cached = false;
 
   /// Span trace of the run (optimizer stages, push/search spans, execution).
-  /// Null unless RunOptions::collect_trace was set.
+  /// Null unless QueryOptions::collect_trace was set.
   std::shared_ptr<const obs::Trace> trace;
   /// transformPT decision events (moves, pushes). Always collected — the
   /// log is a few hundred small records per query, noise next to planning.
@@ -176,9 +122,9 @@ class PreparedQuery {
   const Status& status() const { return status_; }
   const QueryGraph& graph() const { return graph_; }
 
-  QueryRun Run(const RunOptions& options = {});
-  ExplainResult Explain(const RunOptions& options = {});
-  ResultCursor Query(const RunOptions& options = {});
+  QueryRun Run(const QueryOptions& options = {});
+  ExplainResult Explain(const QueryOptions& options = {});
+  ResultCursor Query(const QueryOptions& options = {});
 
  private:
   friend class Session;
@@ -203,11 +149,11 @@ class PreparedQuery {
 /// construction; call RefreshStats() if the physical layout changed (it
 /// cannot after Finalize, so in practice never).
 ///
-/// Set `opts.search_threads` (OptimizerOptions) or RunOptions::search_threads
+/// Set `opts.search_threads` (OptimizerOptions) or QueryOptions::search_threads
 /// to fan the randomized transformPT search across a worker pool; answers
 /// and chosen plans stay deterministic under the seed for any thread count.
 ///
-/// Lifecycle: RunOptions::query bounds a run by deadline, cancel token and
+/// Lifecycle: QueryOptions::query bounds a run by deadline, cancel token and
 /// memory budget (see QueryContext and docs/ROBUSTNESS.md). Run/Explain
 /// additionally retry transient injected faults (Status::retryable, i.e.
 /// kFault only) with a small exponential backoff, restoring measurement
@@ -216,7 +162,10 @@ class PreparedQuery {
 /// While a streaming cursor from this session is still live (not drained,
 /// not destroyed), Run/Explain refuse with kInvalidArgument if the fault
 /// injector is enabled: the retry path's buffer-pool snapshot/restore must
-/// not interleave with a cursor's deferred page accounting.
+/// not interleave with a cursor's deferred page accounting. The refusal's
+/// Status::detail carries the live-cursor count, so a pool manager (e.g.
+/// the server's session pool) can branch on it without parsing the message
+/// — the contract is documented in docs/ROBUSTNESS.md.
 ///
 /// Plan cache: repeat optimizations of the same (query, physical schema,
 /// cost params, optimizer knobs) fingerprint are served from `plan_cache`
@@ -225,7 +174,7 @@ class PreparedQuery {
 /// shared PlanCache to share across sessions; by default each session owns
 /// a private one. RefreshStats() invalidates this session's entries (stats
 /// version bump); truncated optimizations and any run while the fault
-/// injector is enabled are never cached. RunOptions::bypass_plan_cache
+/// injector is enabled are never cached. QueryOptions::bypass_plan_cache
 /// opts a single run out; RODIN_PLAN_CACHE=0 disables caching process-wide.
 class Session {
  public:
@@ -235,18 +184,18 @@ class Session {
 
   /// Parses (ESQL-flavoured syntax, see query/parser.h), optimizes and
   /// executes under `options`.
-  QueryRun Run(const std::string& text, const RunOptions& options = {});
+  QueryRun Run(const std::string& text, const QueryOptions& options = {});
 
   /// Optimizes and executes an already-built query graph under `options`.
-  QueryRun Run(const QueryGraph& graph, const RunOptions& options = {});
+  QueryRun Run(const QueryGraph& graph, const QueryOptions& options = {});
 
   /// EXPLAIN: optimizes, collects the stage reports and decision log, and
   /// (unless options.explain_only) executes with per-operator profiling to
   /// put measured figures next to the estimates.
   ExplainResult Explain(const std::string& text,
-                        const RunOptions& options = {});
+                        const QueryOptions& options = {});
   ExplainResult Explain(const QueryGraph& graph,
-                        const RunOptions& options = {});
+                        const QueryOptions& options = {});
 
   /// Streaming execution: optimizes and returns a cursor over the answer
   /// instead of a materialized QueryRun. Rows are produced batch by batch
@@ -254,11 +203,11 @@ class Session {
   /// cursor.counters() / measured_cost() are final once the cursor
   /// finishes and are identical to what Run() reports for the same
   /// options. Parse/optimize errors come back as a cursor with !ok().
-  /// RunOptions::collect_trace is not supported here and returns a
+  /// QueryOptions::collect_trace is not supported here and returns a
   /// kInvalidArgument cursor (use Run); the session must outlive the
   /// cursor.
-  ResultCursor Query(const std::string& text, const RunOptions& options = {});
-  ResultCursor Query(const QueryGraph& graph, const RunOptions& options = {});
+  ResultCursor Query(const std::string& text, const QueryOptions& options = {});
+  ResultCursor Query(const QueryGraph& graph, const QueryOptions& options = {});
 
   /// Parses once into a reusable handle; see PreparedQuery.
   PreparedQuery Prepare(const std::string& text);
@@ -277,6 +226,17 @@ class Session {
   /// (drained, failed or destroyed).
   uint64_t live_streams() const { return live_streams_->load(); }
 
+  /// Multi-tenant mode: declare that this session runs *concurrently* with
+  /// other sessions over the same Database. Per-run measurement then leaves
+  /// the shared buffer pool's statistics and resident set alone
+  /// (Executor::ResetMeasurementShared; `cold` is ignored), and the fault
+  /// injector is never consulted — its retry path's pool snapshot/restore
+  /// cannot be made safe under concurrent charging. The server's session
+  /// pool runs in this mode; single-tenant embedders keep the default
+  /// (false) and retain exact cold/warm measurement semantics.
+  void set_shared_db(bool on) { shared_db_ = on; }
+  bool shared_db() const { return shared_db_; }
+
   /// Re-derives statistics and bumps the session's stats version, lazily
   /// invalidating every plan-cache entry this session wrote (they are
   /// dropped on next lookup).
@@ -285,13 +245,13 @@ class Session {
  private:
   friend class PreparedQuery;
 
-  QueryRun RunImpl(const QueryGraph& graph, const RunOptions& options,
+  QueryRun RunImpl(const QueryGraph& graph, const QueryOptions& options,
                    Executor* exec, const std::string* graph_digest);
-  ResultCursor QueryImpl(const QueryGraph& graph, const RunOptions& options,
+  ResultCursor QueryImpl(const QueryGraph& graph, const QueryOptions& options,
                          const std::string* graph_digest);
-  ExplainResult ExplainImpl(const QueryGraph& graph, const RunOptions& options,
+  ExplainResult ExplainImpl(const QueryGraph& graph, const QueryOptions& options,
                             const std::string* graph_digest);
-  OptimizerOptions EffectiveOptions(const RunOptions& options) const;
+  OptimizerOptions EffectiveOptions(const QueryOptions& options) const;
 
   /// Optimizes `graph` through the plan cache: a hit fills `*out` from the
   /// cached entry (plan cloned, stage reports and decision log replayed)
@@ -301,13 +261,14 @@ class Session {
   /// query context.
   bool OptimizeThroughCache(const QueryGraph& graph,
                             const OptimizerOptions& opt_options,
-                            const ObsSink& sink, const RunOptions& options,
+                            const ObsSink& sink, const QueryOptions& options,
                             const std::string* graph_digest,
                             OptimizeResult* out, DecisionLog* decisions);
 
   Database* db_;
   OptimizerOptions options_;
   CostParams cost_params_;
+  bool shared_db_ = false;
   std::unique_ptr<Stats> stats_;
   std::unique_ptr<CostModel> cost_;
 

@@ -29,7 +29,7 @@ class CancelToken {
 };
 
 /// The lifecycle budget of one query: deadline, cancel token and memory
-/// budget. This is the *single definition* of these knobs — RunOptions
+/// budget. This is the *single definition* of these knobs — QueryOptions
 /// carries one by value, and ExecOptions / OptimizerOptions / the executor
 /// engines reference it by pointer (never copy the fields), so there is
 /// exactly one source of truth per run.

@@ -4,30 +4,24 @@ namespace rodin {
 
 const char* Status::code_name() const {
   switch (code) {
-    case Code::kOk:
-      return "ok";
-    case Code::kParse:
-      return "parse";
-    case Code::kSemantic:
-      return "semantic";
-    case Code::kOptimize:
-      return "optimize";
-    case Code::kExec:
-      return "exec";
-    case Code::kCancelled:
-      return "cancelled";
-    case Code::kDeadlineExceeded:
-      return "deadline_exceeded";
-    case Code::kResourceExhausted:
-      return "resource_exhausted";
-    case Code::kFault:
-      return "fault";
-    case Code::kInternal:
-      return "internal";
-    case Code::kInvalidArgument:
-      return "invalid_argument";
+#define RODIN_STATUS_NAME(code_, name_, exit_, wire_, retry_) \
+  case Code::code_:                                           \
+    return name_;
+    RODIN_STATUS_CODES(RODIN_STATUS_NAME)
+#undef RODIN_STATUS_NAME
   }
   return "unknown";
+}
+
+bool Status::retryable() const {
+  switch (code) {
+#define RODIN_STATUS_RETRY(code_, name_, exit_, wire_, retry_) \
+  case Code::code_:                                            \
+    return retry_;
+    RODIN_STATUS_CODES(RODIN_STATUS_RETRY)
+#undef RODIN_STATUS_RETRY
+  }
+  return false;
 }
 
 std::string Status::ToString() const {
@@ -37,30 +31,34 @@ std::string Status::ToString() const {
 
 int ExitCodeForStatus(const Status& status) {
   switch (status.code) {
-    case Status::Code::kOk:
-      return 0;
-    case Status::Code::kParse:
-      return 3;
-    case Status::Code::kSemantic:
-      return 4;
-    case Status::Code::kOptimize:
-      return 5;
-    case Status::Code::kExec:
-      return 6;
-    case Status::Code::kCancelled:
-      return 7;
-    case Status::Code::kDeadlineExceeded:
-      return 8;
-    case Status::Code::kResourceExhausted:
-      return 9;
-    case Status::Code::kFault:
-      return 10;
-    case Status::Code::kInternal:
-      return 11;
-    case Status::Code::kInvalidArgument:
-      return 12;
+#define RODIN_STATUS_EXIT(code_, name_, exit_, wire_, retry_) \
+  case Status::Code::code_:                                   \
+    return exit_;
+    RODIN_STATUS_CODES(RODIN_STATUS_EXIT)
+#undef RODIN_STATUS_EXIT
   }
   return 1;
+}
+
+uint8_t WireCodeForStatus(const Status& status) {
+  switch (status.code) {
+#define RODIN_STATUS_WIRE(code_, name_, exit_, wire_, retry_) \
+  case Status::Code::code_:                                   \
+    return wire_;
+    RODIN_STATUS_CODES(RODIN_STATUS_WIRE)
+#undef RODIN_STATUS_WIRE
+  }
+  return 9;  // kInternal's wire code: an unmapped status is a bug
+}
+
+Status::Code StatusCodeFromWire(uint8_t wire, bool* ok) {
+  if (ok != nullptr) *ok = true;
+#define RODIN_STATUS_FROM_WIRE(code_, name_, exit_, wire_, retry_) \
+  if (wire == wire_) return Status::Code::code_;
+  RODIN_STATUS_CODES(RODIN_STATUS_FROM_WIRE)
+#undef RODIN_STATUS_FROM_WIRE
+  if (ok != nullptr) *ok = false;
+  return Status::Code::kInternal;
 }
 
 }  // namespace rodin

@@ -44,8 +44,12 @@ Executor::Executor(Database* db, CostParams params)
 Executor::~Executor() = default;
 
 double Executor::MeasuredCost() const {
-  const double misses = static_cast<double>(
-      db_->buffer_pool().stats().misses - start_misses_);
+  // Saturating delta: a concurrent session's ResetMeasurement can move the
+  // shared pool's miss counter below this executor's watermark; clamp to 0
+  // instead of wrapping into an absurd cost.
+  const uint64_t now = db_->buffer_pool().stats().misses;
+  const double misses =
+      now >= start_misses_ ? static_cast<double>(now - start_misses_) : 0.0;
   return misses * params_.pr +
          static_cast<double>(counters_.predicate_evals) * params_.ev_tuple +
          counters_.method_cost * params_.method_weight;
@@ -60,6 +64,13 @@ void Executor::ResetMeasurement(bool clear_buffer) {
   } else {
     db_->buffer_pool().ResetStats();
   }
+  start_misses_ = db_->buffer_pool().stats().misses;
+}
+
+void Executor::ResetMeasurementShared() {
+  counters_ = ExecCounters{};
+  method_cost_fp_ = 0;
+  op_stats_.clear();
   start_misses_ = db_->buffer_pool().stats().misses;
 }
 

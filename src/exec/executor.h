@@ -77,7 +77,7 @@ struct ExecOptions {
   /// oracle and bench baseline).
   bool use_legacy = false;
   /// The run's lifecycle budget (deadline / cancel / memory), referenced —
-  /// never copied — from the RunOptions' QueryContext. Null = unbounded.
+  /// never copied — from the QueryOptions' QueryContext. Null = unbounded.
   /// Both engines poll it on the coordinator thread only: per morsel batch
   /// and per semi-naive iteration (batched), per fixpoint iteration
   /// (legacy). Tripping it aborts the evaluation with the corresponding
@@ -152,6 +152,16 @@ class Executor {
   /// Zeroes counters, per-operator stats and buffer-pool statistics;
   /// optionally drops resident pages (cold start).
   void ResetMeasurement(bool clear_buffer);
+
+  /// Multi-tenant variant: zeroes only this executor's own state (counters,
+  /// op stats, the miss watermark MeasuredCost subtracts) and leaves the
+  /// shared buffer pool's statistics and resident set untouched, so
+  /// concurrent executors over one Database never clobber each other's
+  /// measurement. MeasuredCost() still reports this run's delta; under
+  /// concurrent load the page component includes interleaved misses from
+  /// other queries (shared-pool attribution is approximate by design —
+  /// see docs/SERVER.md).
+  void ResetMeasurementShared();
 
   /// Drops memoized fixpoint results. Session's fault-retry path calls this
   /// between attempts so a retried run re-derives (and re-charges) exactly

@@ -41,14 +41,14 @@ struct OptimizerOptions {
   uint64_t seed = 1;
   /// Worker threads for the randomized transformPT search (restart-level
   /// parallelism, see ParallelStrategy). This is the *only* definition of
-  /// the knob (TransformOptions no longer carries a copy); RunOptions may
-  /// override it per run — precedence is documented on RunOptions. The
+  /// the knob (TransformOptions no longer carries a copy); QueryOptions may
+  /// override it per run — precedence is documented on QueryOptions. The
   /// chosen plan is deterministic for a given (seed, search_threads) — and
   /// identical across thread counts, since restarts use index-derived RNG
   /// streams.
   size_t search_threads = 1;
   /// The run's lifecycle budget, referenced (not copied) from the
-  /// RunOptions' QueryContext. Null = unbounded. Stages 1-3 abort with
+  /// QueryOptions' QueryContext. Null = unbounded. Stages 1-3 abort with
   /// kDeadlineExceeded / kCancelled when tripped; transformPT instead
   /// truncates and keeps its best-so-far plan (anytime).
   const QueryContext* query = nullptr;

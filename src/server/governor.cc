@@ -1,0 +1,43 @@
+#include "server/governor.h"
+
+#include "common/string_util.h"
+
+namespace rodin::server {
+
+Status Governor::Admit() {
+  // Optimistic increment, undo on overflow: cheaper than a CAS loop and the
+  // transient overshoot is bounded by the number of racing acceptors.
+  const uint64_t now = in_flight_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (now > max_in_flight_) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    Status s = Status::Error(
+        Status::Code::kOverloaded,
+        StrFormat("server overloaded: %zu queries in flight; retry with "
+                  "backoff",
+                  max_in_flight_));
+    s.detail = max_in_flight_;
+    return s;
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t peak = peak_in_flight_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_in_flight_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+  return Status::Ok();
+}
+
+void Governor::Release() {
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+Governor::Snapshot Governor::snapshot() const {
+  Snapshot s;
+  s.in_flight = in_flight_.load(std::memory_order_relaxed);
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.peak_in_flight = peak_in_flight_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace rodin::server

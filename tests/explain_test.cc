@@ -57,7 +57,7 @@ class ExplainTest : public ::testing::Test {
 
 TEST_F(ExplainTest, Fig3ReportsStagesDecisionsAndCounters) {
   Session session(g_.db.get(), CostBasedOptions());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.collect_trace = true;
   const ExplainResult ex = session.Explain(Fig3Query(*g_.schema, 6), options);
@@ -126,7 +126,7 @@ void CheckMonotone(const ExplainNode& node) {
 
 TEST_F(ExplainTest, EstimatedCostsAreMonotoneOnCumulativeParents) {
   Session session(g_.db.get(), CostBasedOptions());
-  RunOptions options;
+  QueryOptions options;
   options.explain_only = true;
   const ExplainResult ex = session.Explain(Fig3Query(*g_.schema, 6), options);
   ASSERT_TRUE(ex.ok()) << ex.status.ToString();
@@ -153,7 +153,7 @@ TEST_F(ExplainTest, SearchMetricsIdenticalAcrossThreadCounts) {
   const size_t thread_counts[2] = {1, 4};
   for (int i = 0; i < 2; ++i) {
     Session session(g_.db.get(), CostBasedOptions());
-    RunOptions options;
+    QueryOptions options;
     options.explain_only = true;
     options.search_threads = thread_counts[i];
     options.seed = 7;
@@ -174,7 +174,7 @@ TEST_F(ExplainTest, SearchMetricsIdenticalAcrossThreadCounts) {
 
 TEST_F(ExplainTest, GoldenReport) {
   Session session(g_.db.get(), CostBasedOptions());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   // Pinned on (not inherited from RODIN_COMPILED_EVAL) so the golden text —
   // including the bytecode disassembly block — is identical in every CI

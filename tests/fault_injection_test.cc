@@ -92,7 +92,7 @@ TEST_F(FaultInjectionTest, ParseEnvValueGrammar) {
 
 TEST_F(FaultInjectionTest, RetriedPageFetchFaultIsBitIdenticalToCleanRun) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   const QueryRun clean = session.Run(kFig3Text, options);
   ASSERT_TRUE(clean.ok()) << clean.error();
@@ -123,7 +123,7 @@ TEST_F(FaultInjectionTest, RetriedFaultUnderCompiledEvalIsBitIdenticalToCleanRun
   // the same chunks and the same deferred-charge replay, so nothing about
   // the eval engine may leak into the accounting.
   Session session(g_.db.get());
-  RunOptions interp;
+  QueryOptions interp;
   interp.cold = true;
   interp.compiled_eval = false;
   const QueryRun clean = session.Run(kFig3Text, interp);
@@ -136,7 +136,7 @@ TEST_F(FaultInjectionTest, RetriedFaultUnderCompiledEvalIsBitIdenticalToCleanRun
   fc.max_faults = 1;
   FaultInjector::Global().Configure(fc);
 
-  RunOptions compiled = interp;
+  QueryOptions compiled = interp;
   compiled.compiled_eval = true;
   const QueryRun retried = session.Run(kFig3Text, compiled);
   ASSERT_TRUE(retried.ok()) << retried.status.ToString();
@@ -149,7 +149,7 @@ TEST_F(FaultInjectionTest, RetriedFaultUnderCompiledEvalIsBitIdenticalToCleanRun
 
 TEST_F(FaultInjectionTest, RetriedAllocFaultUnderCompiledEvalIsBitIdentical) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.compiled_eval = true;
   const QueryRun clean = session.Run(kFig3Text, options);
@@ -172,7 +172,7 @@ TEST_F(FaultInjectionTest, RetriedAllocFaultUnderCompiledEvalIsBitIdentical) {
 
 TEST_F(FaultInjectionTest, RetriedAllocFaultIsBitIdenticalToCleanRun) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   const QueryRun clean = session.Run(kFig3Text, options);
   ASSERT_TRUE(clean.ok()) << clean.error();
@@ -200,12 +200,12 @@ TEST_F(FaultInjectionTest, WarmRunRetryRestoresResidentSet) {
   GeneratedDb g2 = MakeDb();
   Session s1(g_.db.get());
   Session s2(g2.db.get());
-  RunOptions prime;
+  QueryOptions prime;
   prime.cold = true;
   ASSERT_TRUE(s1.Run(kFig3Text, prime).ok());
   ASSERT_TRUE(s2.Run(kFig3Text, prime).ok());
 
-  RunOptions warm;  // cold = false: resident pages carry over
+  QueryOptions warm;  // cold = false: resident pages carry over
   const QueryRun clean = s1.Run(kFig3Text, warm);
   ASSERT_TRUE(clean.ok()) << clean.error();
 
@@ -253,7 +253,7 @@ TEST_F(FaultInjectionTest, ForcedDeadlineAtStageFourDegradesToAnytimePlan) {
   // deadline degrades to an anytime truncation instead of an error, and
   // EXPLAIN renders the stage-report flag.
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.explain_only = true;
   const ExplainResult ex = session.Explain(kFig3Text, options);
   ASSERT_TRUE(ex.ok()) << ex.status.ToString();
@@ -271,7 +271,7 @@ TEST_F(FaultInjectionTest, ForcedDeadlineInsideSemiNaiveFixpoint) {
   FaultInjector::Global().Configure(fc);
 
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   const QueryRun run = session.Run(kFig3Text, options);
   ASSERT_FALSE(run.ok());
@@ -288,7 +288,7 @@ TEST_F(FaultInjectionTest, RetriedRunsNeverTouchThePlanCache) {
   // by construction. This is the programmatic form of the RODIN_FAULTS=1
   // CI assertion.
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
 
   FaultConfig fc;
@@ -324,7 +324,7 @@ TEST_F(FaultInjectionTest, RetryRefusedWhileStreamingCursorIsLive) {
   // under TSan in CI — the refusal means there is no snapshot/replay
   // interleaving to race on.
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
 
   ResultCursor cur = session.Query(kFig3Text, options);
@@ -363,7 +363,7 @@ TEST_F(FaultInjectionTest, RetryRefusedWhileStreamingCursorIsLive) {
 
 TEST_F(FaultInjectionTest, AbandonedCursorReleasesLiveStreamCount) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   {
     ResultCursor cur = session.Query(kFig3Text, options);
@@ -386,7 +386,7 @@ TEST_F(FaultInjectionTest, StreamingNeverInjects) {
   // Streaming cursors opt out of injection (a half-consumed stream cannot
   // be transparently retried), so even a certain-fault config is inert.
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   ResultCursor cur = session.Query(kFig3Text, options);
   ASSERT_TRUE(cur.ok()) << cur.status().ToString();

@@ -1,5 +1,5 @@
 // Query lifecycle: deadlines, cooperative cancellation and the per-query
-// memory budget (QueryContext / RunOptions::query). The contract under test:
+// memory budget (QueryContext / QueryOptions::query). The contract under test:
 // a budget trip surfaces as the corresponding Status code in bounded time,
 // partially-read streaming cursors can be cancelled from another thread
 // (TSan target), a generous deadline changes nothing (anytime transformPT
@@ -95,7 +95,7 @@ TEST(QueryContextTest, CancelBeatsDeadline) {
 
 TEST_F(LifecycleTest, OneMillisecondDeadlineReturnsInBoundedTime) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.query.deadline_ms = 1;
   const auto start = std::chrono::steady_clock::now();
@@ -114,7 +114,7 @@ TEST_F(LifecycleTest, OneMillisecondDeadlineReturnsInBoundedTime) {
 
 TEST_F(LifecycleTest, PreCancelledRunReturnsCancelled) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.query.cancel.RequestCancel();
   const QueryRun run = session.Run(kFig3Text, options);
   ASSERT_FALSE(run.ok());
@@ -124,7 +124,7 @@ TEST_F(LifecycleTest, PreCancelledRunReturnsCancelled) {
 
 TEST_F(LifecycleTest, CancelPartiallyReadCursorFromAnotherThread) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.batch_rows = 1;  // many coordinator poll points
   CancelToken token = options.query.cancel;  // caller-side copy
@@ -149,7 +149,7 @@ TEST_F(LifecycleTest, CancelPartiallyReadCursorFromAnotherThread) {
 
 TEST_F(LifecycleTest, ConcurrentCancelWhileStreaming) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.batch_rows = 1;
   CancelToken token = options.query.cancel;
@@ -173,7 +173,7 @@ TEST_F(LifecycleTest, ConcurrentCancelWhileStreaming) {
 
 TEST_F(LifecycleTest, DeadlineStopsPartiallyReadCursor) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.batch_rows = 1;
   options.query.deadline_ms = 200;
@@ -208,7 +208,7 @@ struct PartialRun {
 
 PartialRun CancelAfterBatches(Session& session, bool compiled,
                               size_t batches_before_cancel) {
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.batch_rows = 1;
   options.compiled_eval = compiled;
@@ -256,7 +256,7 @@ TEST_F(LifecycleTest, ConcurrentCancelWhileStreamingCompiledEval) {
   // chunks on morsel workers. Same benign-race contract as the interpreted
   // variant — clean finish or kCancelled, nothing else.
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.batch_rows = 1;
   options.exec_threads = 4;
@@ -281,7 +281,7 @@ TEST_F(LifecycleTest, DeadlineStopsPartiallyReadCompiledEvalCursor) {
   // the batch boundary, outside the chunk dispatch loop, so compiled eval
   // must surface the same kDeadlineExceeded edge as interpreted eval.
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.batch_rows = 1;
   options.compiled_eval = true;
@@ -307,12 +307,12 @@ TEST_F(LifecycleTest, GenerousDeadlineIsDeterministicallyIdentical) {
   // so a run whose deadline never trips must choose the identical plan (and
   // report no truncation) as a run with no deadline at all.
   Session session(g_.db.get());
-  RunOptions plain;
+  QueryOptions plain;
   plain.cold = true;
   const QueryRun base = session.Run(kFig3Text, plain);
   ASSERT_TRUE(base.ok()) << base.error();
 
-  RunOptions generous;
+  QueryOptions generous;
   generous.cold = true;
   generous.query.deadline_ms = 600000;  // 10 minutes: never trips
   const QueryRun bounded = session.Run(kFig3Text, generous);
@@ -328,7 +328,7 @@ TEST_F(LifecycleTest, GenerousDeadlineIsDeterministicallyIdentical) {
 
 TEST_F(LifecycleTest, MemoryBudgetDegradesGracefully) {
   Session session(g_.db.get());
-  RunOptions plain;
+  QueryOptions plain;
   plain.cold = true;
   const QueryRun base = session.Run(kFig3Text, plain);
   ASSERT_TRUE(base.ok()) << base.error();
@@ -336,7 +336,7 @@ TEST_F(LifecycleTest, MemoryBudgetDegradesGracefully) {
   // A small (but allocation-honouring) budget: the pool's effective LRU
   // capacity is clamped, so the query runs to completion with the same
   // answer and at least as many misses — never fewer.
-  RunOptions bounded = plain;
+  QueryOptions bounded = plain;
   bounded.query.memory_budget_pages = 16;
   const QueryRun run = session.Run(kFig3Text, bounded);
   ASSERT_TRUE(run.ok()) << run.status.ToString();
@@ -354,7 +354,7 @@ TEST(LifecycleHardBudgetTest, SingleAllocationOverBudgetIsResourceExhausted) {
   config.lineage_depth = 10;
   GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
   Session session(g.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.query.memory_budget_pages = 1;
   const QueryRun run = session.Run(kFig3Text, options);

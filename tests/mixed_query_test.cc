@@ -46,7 +46,7 @@ relation Influencer includes
 select [n: g.who.name] from g in Play, i in Influencer
 where i.master = g.who and i.gen >= 2
 )",
-                                     RunOptions{.cold = true});
+                                     QueryOptions{.cold = true});
   ASSERT_TRUE(run.ok()) << run.error();
 
   // Brute force.

@@ -75,7 +75,7 @@ GeneratedDb MakeMusicDb() {
 void ExpectCachedRunIdentical(Session* session, const QueryGraph& q,
                               const std::string& label) {
   SCOPED_TRACE(label);
-  RunOptions cold;
+  QueryOptions cold;
   cold.cold = true;
 
   const QueryRun first = session->Run(q, cold);
@@ -86,7 +86,7 @@ void ExpectCachedRunIdentical(Session* session, const QueryGraph& q,
   ASSERT_TRUE(hit.ok()) << hit.error();
   EXPECT_TRUE(hit.plan_cached);
 
-  RunOptions bypass = cold;
+  QueryOptions bypass = cold;
   bypass.bypass_plan_cache = true;
   const QueryRun oracle = session->Run(q, bypass);
   ASSERT_TRUE(oracle.ok()) << oracle.error();
@@ -308,7 +308,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PlanCacheSeedTest,
 TEST_F(PlanCacheTest, RefreshStatsInvalidatesEntries) {
   GeneratedDb g = MakeMusicDb();
   Session session(g.db.get());
-  RunOptions cold;
+  QueryOptions cold;
   cold.cold = true;
 
   const QueryRun warmup = session.Run(kFig3Text, cold);
@@ -349,7 +349,7 @@ TEST_F(PlanCacheTest, PhysicalSchemaAblationSeparatesEntries) {
   auto cache = std::make_shared<PlanCache>();
   Session indexed(with_index.db.get(), {}, {}, cache);
   Session ablated(without_index.db.get(), {}, {}, cache);
-  RunOptions cold;
+  QueryOptions cold;
   cold.cold = true;
 
   const QueryRun a = indexed.Run(kFig3Text, cold);
@@ -387,7 +387,7 @@ class PlanCacheFaultTest : public ::testing::Test {
 TEST_F(PlanCacheFaultTest, TruncatedOptimizationIsNeverCached) {
   GeneratedDb g = MakeMusicDb();
   Session session(g.db.get());
-  RunOptions cold;
+  QueryOptions cold;
   cold.cold = true;
   cold.query.deadline_ms = 10'000;  // armed deadline, far from expiring
 
@@ -420,7 +420,7 @@ TEST_F(PlanCacheFaultTest, TruncatedOptimizationIsNeverCached) {
 TEST_F(PlanCacheFaultTest, FaultedRetryRunIsNeverCached) {
   GeneratedDb g = MakeMusicDb();
   Session session(g.db.get());
-  RunOptions cold;
+  QueryOptions cold;
   cold.cold = true;
 
   FaultConfig fc;
@@ -446,7 +446,7 @@ TEST_F(PlanCacheTest, LruEvictionUnderTinyCapacity) {
   GeneratedDb g = MakeMusicDb();
   auto cache = std::make_shared<PlanCache>(/*capacity=*/2);
   Session session(g.db.get(), {}, {}, cache);
-  RunOptions cold;
+  QueryOptions cold;
   cold.cold = true;
 
   const char* queries[] = {
@@ -473,7 +473,7 @@ TEST_F(PlanCacheTest, LruEvictionUnderTinyCapacity) {
 TEST_F(PlanCacheTest, PreparedQueryHitsCacheAndMatchesRun) {
   GeneratedDb g = MakeMusicDb();
   Session session(g.db.get());
-  RunOptions cold;
+  QueryOptions cold;
   cold.cold = true;
 
   PreparedQuery pq = session.Prepare(kFig3Text);
@@ -521,7 +521,7 @@ TEST_F(PlanCacheTest, PreparedQueryParseErrorIsSticky) {
 TEST_F(PlanCacheTest, CacheHitSkipsOptimizerStagesInTrace) {
   GeneratedDb g = MakeMusicDb();
   Session session(g.db.get());
-  RunOptions traced;
+  QueryOptions traced;
   traced.cold = true;
   traced.collect_trace = true;
 
@@ -548,7 +548,7 @@ TEST_F(PlanCacheTest, CacheHitSkipsOptimizerStagesInTrace) {
   EXPECT_EQ(hit.optimized.stages.size(), miss.optimized.stages.size());
 
   // EXPLAIN annotates the hit.
-  const ExplainResult ex = session.Explain(kFig3Text, RunOptions{.cold = true});
+  const ExplainResult ex = session.Explain(kFig3Text, QueryOptions{.cold = true});
   ASSERT_TRUE(ex.ok()) << ex.status.ToString();
   EXPECT_TRUE(ex.plan_cached);
   EXPECT_NE(ex.ToString().find("[plan: cached]"), std::string::npos);
@@ -557,14 +557,14 @@ TEST_F(PlanCacheTest, CacheHitSkipsOptimizerStagesInTrace) {
 TEST_F(PlanCacheTest, DeadlineStillGovernsCachedExecution) {
   GeneratedDb g = MakeMusicDb();
   Session session(g.db.get());
-  RunOptions cold;
+  QueryOptions cold;
   cold.cold = true;
   const QueryRun warmup = session.Run(kFig3Text, cold);
   ASSERT_TRUE(warmup.ok()) << warmup.error();
 
   // A cached plan still runs under the caller's context: a cancel token
   // fired before the run stops it even though planning is skipped.
-  RunOptions cancelled = cold;
+  QueryOptions cancelled = cold;
   cancelled.query.cancel.RequestCancel();
   const QueryRun run = session.Run(kFig3Text, cancelled);
   EXPECT_FALSE(run.ok());

@@ -50,7 +50,7 @@ class ResultCursorTest : public ::testing::Test {
 
 TEST_F(ResultCursorTest, BatchesMatchRun) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   const QueryRun run = session.Run(kFig3Text, options);
   ASSERT_TRUE(run.ok()) << run.error();
@@ -81,7 +81,7 @@ TEST_F(ResultCursorTest, BatchesMatchRun) {
 
 TEST_F(ResultCursorTest, RowAtATime) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   const QueryRun run = session.Run(kFig3Text, options);
   ASSERT_TRUE(run.ok()) << run.error();
@@ -101,7 +101,7 @@ TEST_F(ResultCursorTest, RowAtATime) {
 
 TEST_F(ResultCursorTest, ToTableAfterPartialRead) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.batch_rows = 2;
   const QueryRun run = session.Run(kFig3Text, options);
@@ -120,7 +120,7 @@ TEST_F(ResultCursorTest, ToTableAfterPartialRead) {
 
 TEST_F(ResultCursorTest, ParallelCursorSameAnswer) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   const QueryRun run = session.Run(kFig3Text, options);
   ASSERT_TRUE(run.ok()) << run.error();
@@ -153,7 +153,7 @@ TEST_F(ResultCursorTest, OptimizeErrorCursor) {
 
 TEST_F(ResultCursorTest, EarlyDestructionIsSafe) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.batch_rows = 1;
   {
@@ -170,7 +170,7 @@ TEST_F(ResultCursorTest, EarlyDestructionIsSafe) {
 
 TEST_F(ResultCursorTest, MoveAssignOverPartialCursorIsSafe) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   options.batch_rows = 1;
   ResultCursor cur = session.Query(kFig3Text, options);
@@ -193,7 +193,7 @@ TEST_F(ResultCursorTest, MoveAssignOverPartialCursorIsSafe) {
 
 TEST_F(ResultCursorTest, FinishWithoutReading) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   const QueryRun run = session.Run(kFig3Text, options);
   ASSERT_TRUE(run.ok()) << run.error();
@@ -208,7 +208,7 @@ TEST_F(ResultCursorTest, FinishWithoutReading) {
 
 TEST_F(ResultCursorTest, LegacyEngineCursor) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.cold = true;
   const QueryRun run = session.Run(kFig3Text, options);
   ASSERT_TRUE(run.ok()) << run.error();

@@ -3,7 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/plan_cache.h"
 #include "api/session.h"
+#include "common/faults.h"
 #include "cost/fig7.h"
 #include "datagen/music_gen.h"
 #include "optimizer/baseline.h"
@@ -45,7 +53,7 @@ relation Influencer includes
 
 select [n: j.disciple.name] from j in Influencer where j.gen >= 5
 )",
-                                   RunOptions{.cold = true});
+                                   QueryOptions{.cold = true});
   ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_FALSE(run.answer.rows.empty());
   EXPECT_GT(run.counters.fix_iterations, 0u);
@@ -140,10 +148,10 @@ TEST_F(SessionTest, ExplicitZeroKnobsAreInvalidArguments) {
 
   // An engaged 0 is taken literally and rejected with the typed code — it
   // is no longer a silent "inherit" sentinel.
-  for (auto setter : {+[](RunOptions* o) { o->exec_threads = 0; },
-                      +[](RunOptions* o) { o->batch_rows = 0; },
-                      +[](RunOptions* o) { o->search_threads = 0; }}) {
-    RunOptions options;
+  for (auto setter : {+[](QueryOptions* o) { o->exec_threads = 0; },
+                      +[](QueryOptions* o) { o->batch_rows = 0; },
+                      +[](QueryOptions* o) { o->search_threads = 0; }}) {
+    QueryOptions options;
     setter(&options);
     const QueryRun run = session.Run(kQuery, options);
     EXPECT_FALSE(run.ok());
@@ -156,12 +164,12 @@ TEST_F(SessionTest, ExplicitZeroKnobsAreInvalidArguments) {
   }
 
   // Seed 0 is now a reachable, legal seed (it was the inherit sentinel).
-  RunOptions seeded;
+  QueryOptions seeded;
   seeded.seed = 0;
   EXPECT_TRUE(session.Run(kQuery, seeded).ok());
 
   // Engaged non-zero values still work.
-  RunOptions tuned;
+  QueryOptions tuned;
   tuned.exec_threads = 2;
   tuned.batch_rows = 16;
   tuned.search_threads = 2;
@@ -170,7 +178,7 @@ TEST_F(SessionTest, ExplicitZeroKnobsAreInvalidArguments) {
 
 TEST_F(SessionTest, QueryRejectsCollectTrace) {
   Session session(g_.db.get());
-  RunOptions options;
+  QueryOptions options;
   options.collect_trace = true;
   ResultCursor cursor =
       session.Query(R"(select [n: x.name] from x in Composer)", options);
@@ -193,6 +201,77 @@ TEST_F(SessionTest, EmptyClassQueriesReturnEmpty) {
       session.Run("select [v: x.v] from x in Empty where x.v > 0");
   ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_TRUE(run.answer.rows.empty());
+}
+
+// The multi-tenant embedding contract (the server's session pool relies on
+// it): N threads, each with its own Session in shared-db mode, all pointed
+// at ONE PlanCache over one Database. Every run must be bit-identical to a
+// solo single-session run, and after the first optimization of each query
+// the rest must be cache hits. Runs under TSan in CI.
+TEST_F(SessionTest, ConcurrentSessionsShareOnePlanCache) {
+  constexpr size_t kThreads = 6;
+  constexpr size_t kRunsPerThread = 8;
+  const std::vector<std::string> queries = {
+      R"(select [n: x.name] from x in Composer where x.name = "Bach")",
+      R"(select [n: x.name] from x in Composer)",
+  };
+
+  // Solo oracle: one private session, one run per query.
+  std::vector<Table> expected;
+  {
+    Session solo(g_.db.get());
+    for (const std::string& q : queries) {
+      const QueryRun run = solo.Run(q);
+      ASSERT_TRUE(run.ok()) << run.error();
+      expected.push_back(run.answer);
+    }
+  }
+
+  auto cache = std::make_shared<PlanCache>(/*capacity=*/16);
+  std::atomic<uint64_t> mismatches{0};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Session session(g_.db.get(), OptimizerOptions{}, CostParams{}, cache);
+      session.set_shared_db(true);
+      // Half the tenants go through PreparedQuery, half through raw text.
+      std::vector<PreparedQuery> prepared;
+      if (t % 2 == 0) {
+        for (const std::string& q : queries) {
+          prepared.push_back(session.Prepare(q));
+        }
+      }
+      for (size_t i = 0; i < kRunsPerThread; ++i) {
+        for (size_t q = 0; q < queries.size(); ++q) {
+          const QueryRun run = prepared.empty() ? session.Run(queries[q])
+                                                : prepared[q].Run();
+          if (!run.ok()) {
+            ++failures;
+            continue;
+          }
+          if (run.answer.rows != expected[q].rows) ++mismatches;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+  // Hit-rate accounting only holds when caching is actually live: under
+  // RODIN_FAULTS the cache is bypassed entirely (no lookups, no inserts).
+  if (PlanCacheEnabledByEnv() && !FaultInjector::Global().enabled()) {
+    const PlanCacheStats stats = cache->stats();
+    const uint64_t total = kThreads * kRunsPerThread * queries.size();
+    // Each query is optimized at least once; everything else must hit.
+    // Concurrent first runs may race to a miss each, so the bound is
+    // per-thread, not per-query.
+    EXPECT_GE(stats.hits + stats.misses, total);
+    EXPECT_LE(stats.misses, kThreads * queries.size());
+    EXPECT_GE(stats.hits, total - kThreads * queries.size());
+    EXPECT_EQ(stats.evictions, 0u);
+  }
 }
 
 }  // namespace

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include "api/engine.h"
 #include "api/session.h"
 #include "common/faults.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "cost/fig7.h"
 #include "optimizer/baseline.h"
 #include "query/parser.h"
@@ -68,7 +71,7 @@ where r.dep.license = "GPL" and r.dep.kloc > 50
 
 TEST_F(TutorialTest, TheTutorialQueryRuns) {
   Session session(db_.get());
-  const QueryRun run = session.Run(kQuery, RunOptions{.cold = true});
+  const QueryRun run = session.Run(kQuery, QueryOptions{.cold = true});
   ASSERT_TRUE(run.ok()) << run.error();
   EXPECT_FALSE(run.answer.rows.empty());
   EXPECT_GT(run.measured_cost, 0);
@@ -109,10 +112,10 @@ TEST_F(TutorialTest, StreamingSectionWorksAsWritten) {
   // Mirrors "Streaming results and parallel execution": Query() with
   // exec_threads serves the same answer and accounting as Run().
   Session session(db_.get());
-  const QueryRun run = session.Run(kQuery, RunOptions{.cold = true});
+  const QueryRun run = session.Run(kQuery, QueryOptions{.cold = true});
   ASSERT_TRUE(run.ok()) << run.error();
 
-  RunOptions ro;
+  QueryOptions ro;
   ro.cold = true;
   ro.exec_threads = 4;
   ro.batch_rows = 1024;
@@ -133,7 +136,7 @@ TEST_F(TutorialTest, CompiledEvalSectionWorksAsWritten) {
   // Mirrors "Compiled expression evaluation": same rows, bit-identical
   // accounting, and the EXPLAIN disassembly block appears with the knob on.
   Session session(db_.get());
-  RunOptions ro;
+  QueryOptions ro;
   ro.cold = true;
   ro.compiled_eval = true;
   const QueryRun compiled = session.Run(kQuery, ro);
@@ -150,7 +153,7 @@ TEST_F(TutorialTest, CompiledEvalSectionWorksAsWritten) {
   EXPECT_EQ(compiled.counters.method_calls, interpreted.counters.method_calls);
   EXPECT_EQ(compiled.counters.method_cost, interpreted.counters.method_cost);
 
-  RunOptions ex;
+  QueryOptions ex;
   ex.cold = true;
   ex.compiled_eval = true;
   const ExplainResult report = session.Explain(kQuery, ex);
@@ -182,12 +185,12 @@ TEST_F(TutorialTest, PreparedQueriesSectionWorksAsWritten) {
   EXPECT_EQ(second.measured_cost, first.measured_cost);
 
   // An explicit zero knob is a typed error, not an "inherit" sentinel...
-  RunOptions zero;
+  QueryOptions zero;
   zero.exec_threads = 0;
   EXPECT_EQ(session.Run(kQuery, zero).status.code,
             Status::Code::kInvalidArgument);
   // ...and collect_trace is rejected on the streaming path.
-  RunOptions traced;
+  QueryOptions traced;
   traced.collect_trace = true;
   EXPECT_EQ(session.Query(kQuery, traced).status().code,
             Status::Code::kInvalidArgument);
@@ -196,12 +199,12 @@ TEST_F(TutorialTest, PreparedQueriesSectionWorksAsWritten) {
 }
 
 TEST_F(TutorialTest, BudgetsAndCancellationSectionWorksAsWritten) {
-  // Mirrors "Budgets and cancellation": the RunOptions::query knobs behave
+  // Mirrors "Budgets and cancellation": the QueryOptions::query knobs behave
   // as the tutorial promises.
   Session session(db_.get());
 
   // A generous deadline never trips and changes nothing.
-  RunOptions ro;
+  QueryOptions ro;
   ro.cold = true;
   ro.query.deadline_ms = 600000;
   // Graceful headroom: the tutorial query's fixpoint materializes ~71-page
@@ -213,7 +216,7 @@ TEST_F(TutorialTest, BudgetsAndCancellationSectionWorksAsWritten) {
   EXPECT_FALSE(run.answer.rows.empty());
 
   // Cancellation mid-stream: a shared-flag token copy stops the cursor.
-  RunOptions streaming;
+  QueryOptions streaming;
   streaming.cold = true;
   streaming.batch_rows = 1;
   CancelToken token = streaming.query.cancel;
@@ -225,6 +228,36 @@ TEST_F(TutorialTest, BudgetsAndCancellationSectionWorksAsWritten) {
   while (cur.Next(&batch)) {
   }
   EXPECT_EQ(cur.status().code, Status::Code::kCancelled);
+}
+
+TEST(TutorialServerTest, ServingTrafficSectionWorksAsWritten) {
+  // Mirrors "Serving traffic": the three-line in-process server from the
+  // tutorial, verbatim — EngineHandle -> Server on an ephemeral port ->
+  // Client round-trip with QueryOptions travelling the wire.
+  EngineOptions eo;
+  eo.size = 40;
+  Status status;
+  auto engine = EngineHandle::Create(eo, &status);
+  ASSERT_NE(engine, nullptr) << status.ToString();
+
+  server::ServerOptions so;
+  so.port = 0;
+  auto srv = server::Server::Start(engine.get(), so, &status);
+  ASSERT_NE(srv, nullptr) << status.ToString();
+
+  server::Client client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", srv->port()).ok());
+
+  QueryOptions qo;
+  qo.query.deadline_ms = 1000;
+  server::ClientResult r = client.Query(
+      R"(select [n: x.name] from x in Composer where x.name = "Bach")", qo);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  ASSERT_EQ(r.columns, std::vector<std::string>{"n"});
+  ASSERT_EQ(r.rows.size(), 1u);
+  EXPECT_EQ(r.rows[0][0].AsString(), "Bach");
+  EXPECT_GE(r.measured_cost, 0);
+  client.Goodbye();
 }
 
 TEST_F(TutorialTest, MethodPredicateWorks) {

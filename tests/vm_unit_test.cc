@@ -274,7 +274,7 @@ TEST_F(VmTest, PlanCacheHitsAcrossCompiledEvalFlip) {
   const std::string text =
       "select [n: x.name] from x in Composer where x.birthyear < 1700";
 
-  RunOptions interp;
+  QueryOptions interp;
   interp.cold = true;  // both runs cold, so measured cost is comparable
   interp.compiled_eval = false;
   const QueryRun first = session.Run(text, interp);
@@ -288,7 +288,7 @@ TEST_F(VmTest, PlanCacheHitsAcrossCompiledEvalFlip) {
   }
   EXPECT_FALSE(first.plan_cached);
 
-  RunOptions compiled;
+  QueryOptions compiled;
   compiled.cold = true;
   compiled.compiled_eval = true;
   const QueryRun second = session.Run(text, compiled);
@@ -306,7 +306,7 @@ TEST_F(VmTest, ExplainIncludesDisassemblyOnlyWhenCompiled) {
   const std::string text =
       "select [n: x.name] from x in Composer where x.birthyear < 1700";
 
-  RunOptions compiled;
+  QueryOptions compiled;
   compiled.compiled_eval = true;
   const ExplainResult on = session.Explain(text, compiled);
   ASSERT_TRUE(on.ok()) << on.status.ToString();
@@ -315,7 +315,7 @@ TEST_F(VmTest, ExplainIncludesDisassemblyOnlyWhenCompiled) {
             std::string::npos);
   EXPECT_NE(on.vm_disassembly.find("RetBool"), std::string::npos);
 
-  RunOptions interp;
+  QueryOptions interp;
   interp.compiled_eval = false;
   const ExplainResult off = session.Explain(text, interp);
   ASSERT_TRUE(off.ok()) << off.status.ToString();

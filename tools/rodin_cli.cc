@@ -26,7 +26,7 @@
 //
 // --no-plan-cache makes the run bypass the session's plan cache (a single
 // CLI invocation optimizes once either way; the flag matters for scripted
-// comparisons and mirrors RunOptions::bypass_plan_cache; RODIN_PLAN_CACHE=0
+// comparisons and mirrors QueryOptions::bypass_plan_cache; RODIN_PLAN_CACHE=0
 // disables caching process-wide).
 //
 // --deadline-ms and --memory-budget-pages bound the run's lifecycle (see
@@ -52,13 +52,10 @@
 #include <sstream>
 #include <string>
 
+#include "api/engine.h"
 #include "api/session.h"
 #include "cost/fig7.h"
-#include "datagen/graph_gen.h"
-#include "datagen/music_gen.h"
-#include "datagen/parts_gen.h"
 #include "obs/metrics.h"
-#include "optimizer/baseline.h"
 #include "plan/pt_printer.h"
 #include "query/parser.h"
 
@@ -74,7 +71,7 @@ struct CliOptions {
   unsigned parallel = 1;
   unsigned threads = 1;
   // Unset = executor defaults (sequential, 1024-row batches). The values
-  // pass through to RunOptions verbatim, so an explicit 0 reaches the
+  // pass through to QueryOptions verbatim, so an explicit 0 reaches the
   // session and comes back as invalid_argument (exit 12).
   std::optional<size_t> exec_threads;
   std::optional<size_t> batch_rows;
@@ -121,39 +118,6 @@ void Usage() {
       "                 [--no-plan-cache] [--symbolic] [--trace-out=FILE]\n"
       "                 [--metrics] [--query=FILE]\n"
       "Reads a query in the paper's syntax from --query or stdin.\n");
-}
-
-GeneratedDb MakeDb(const CliOptions& options) {
-  if (options.db == "music") {
-    MusicConfig config;
-    config.num_composers = options.size;
-    config.seed = options.seed;
-    return GenerateMusicDb(config, PaperMusicPhysical());
-  }
-  if (options.db == "parts") {
-    PartsConfig config;
-    config.parts_per_level = std::max<uint32_t>(1, options.size / 5);
-    config.seed = options.seed;
-    return GeneratePartsDb(config, DefaultPartsPhysical());
-  }
-  if (options.db == "graph") {
-    GraphConfig config;
-    config.num_nodes = options.size;
-    config.seed = options.seed;
-    return GenerateGraphDb(config, DefaultGraphPhysical());
-  }
-  std::fprintf(stderr, "unknown --db=%s\n", options.db.c_str());
-  std::exit(2);
-}
-
-OptimizerOptions MakeOptimizer(const CliOptions& options) {
-  if (options.optimizer == "cost") return CostBasedOptions(options.seed);
-  if (options.optimizer == "deductive") return DeductiveOptions(options.seed);
-  if (options.optimizer == "naive") return NaiveOptions(options.seed);
-  if (options.optimizer == "exhaustive") return ExhaustiveOptions(options.seed);
-  if (options.optimizer == "annealing") return AnnealingOptions(options.seed);
-  std::fprintf(stderr, "unknown --optimizer=%s\n", options.optimizer.c_str());
-  std::exit(2);
 }
 
 std::string ReadQuery(const CliOptions& options) {
@@ -248,20 +212,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  GeneratedDb g = MakeDb(options);
+  // One construction path for every embedder (CLI, server, tests): the
+  // EngineHandle validates the dataset/optimizer names and assembles the
+  // shared state; bad names come back as a status, not an abort.
+  EngineOptions engine_options;
+  engine_options.dataset = options.db;
+  engine_options.size = options.size;
+  engine_options.seed = options.seed;
+  engine_options.optimizer = options.optimizer;
+  engine_options.search_threads = options.threads;
+  engine_options.parallel_degree = options.parallel;
+  Status engine_status;
+  std::unique_ptr<EngineHandle> engine =
+      EngineHandle::Create(engine_options, &engine_status);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "%s\n", engine_status.ToString().c_str());
+    return 2;
+  }
+
   const std::string text = ReadQuery(options);
   if (text.empty()) {
     Usage();
     return 2;
   }
+  std::unique_ptr<Session> session_owner = engine->NewSession();
+  Session& session = *session_owner;
 
-  OptimizerOptions opt_options = MakeOptimizer(options);
-  opt_options.search_threads = options.threads;
-  CostParams params;
-  params.parallel_degree = options.parallel;
-  Session session(g.db.get(), opt_options, params);
-
-  RunOptions ro;
+  QueryOptions ro;
   ro.cold = true;
   ro.explain_only = options.plan_only;
   ro.collect_trace = !options.trace_out.empty();
@@ -309,8 +286,8 @@ int main(int argc, char** argv) {
   if (options.symbolic) {
     int t_counter = 0;
     const SymbolicCostTable table = DeriveSymbolicCosts(
-        *result.plan, *g.db, {{"Composer", "Cpr"}, {"Composition", "Cpn"},
-                              {"Instrument", "Ins"}},
+        *result.plan, *engine->db(),
+        {{"Composer", "Cpr"}, {"Composition", "Cpn"}, {"Instrument", "Ins"}},
         &t_counter);
     std::printf("symbolic costs (section 4.6 assumptions):\n%s\n",
                 table.ToString().c_str());

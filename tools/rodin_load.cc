@@ -1,0 +1,316 @@
+// rodin_load — load driver for rodin_serve, producing BENCH_server.json.
+//
+//   rodin_load --port=P [--host=ADDR] [--clients=N] [--requests=N]
+//              [--rate-qps=R] [--query=FILE|recursive] [--deadline-ms=N]
+//              [--prepare] [--max-retries=N] [--out=FILE]
+//
+// Thread-per-client driver. Closed loop by default: each of --clients
+// connections issues --requests queries back-to-back. --rate-qps > 0
+// switches to an open loop: the total offered rate is spread across the
+// clients on a fixed schedule (sleep_until on the *planned* send time, so a
+// slow reply does not throttle the offered load — queueing shows up as
+// latency, the way an open-loop driver should behave).
+//
+// Shed requests (the retryable `overloaded` wire code) are retried with
+// capped exponential backoff up to --max-retries and counted; any other
+// failure counts as an error and fails the run. --prepare switches to the
+// PREPARE-once / EXECUTE-per-request path.
+//
+// Output: a Google Benchmark-shaped JSON (--out, default BENCH_server.json)
+// with one iteration row per figure — server/qps, server/p50_us,
+// server/p99_us, server/p999_us, server/shed — in real_time, so
+// scripts/check_bench.py gates it like any other bench. A human summary
+// goes to stdout.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+
+using namespace rodin;
+
+namespace {
+
+constexpr const char* kDefaultQuery =
+    R"(select [n: x.name] from x in Composer where x.name = "Bach")";
+
+// A recursive workload (the paper's influencer chain) for heavier per-query
+// cost; selected with --query=recursive.
+constexpr const char* kRecursiveQuery = R"(
+relation Influencer includes
+  (select [master: x.master, disciple: x, gen: 1] from x in Composer)
+  union
+  (select [master: i.master, disciple: x, gen: i.gen + 1]
+   from i in Influencer, x in Composer where i.disciple = x.master)
+
+select [n: j.disciple.name] from j in Influencer where j.gen >= 3
+)";
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t clients = 8;
+  size_t requests = 20;  // per client
+  double rate_qps = 0;   // 0 = closed loop
+  std::string query = kDefaultQuery;
+  uint64_t deadline_ms = 0;
+  bool prepare = false;
+  size_t max_retries = 8;
+  std::string out = "BENCH_server.json";
+};
+
+struct ClientStats {
+  std::vector<double> latencies_us;  // successful requests only
+  uint64_t ok = 0;
+  uint64_t shed_retries = 0;
+  uint64_t errors = 0;
+  std::string first_error;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+uint64_t ParseCount(const std::string& value, const char* name) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "--%s expects a non-negative integer, got '%s'\n",
+                 name, value.c_str());
+    std::exit(2);
+  }
+  return std::stoull(value);
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void RunClient(const LoadOptions& options, size_t index, ClientStats* stats) {
+  server::Client client;
+  Status s = client.Connect(options.host, options.port);
+  if (!s.ok()) {
+    stats->errors = options.requests;
+    stats->first_error = s.ToString();
+    return;
+  }
+  uint64_t statement_id = 0;
+  if (options.prepare) {
+    s = client.Prepare(options.query, &statement_id);
+    if (!s.ok()) {
+      stats->errors = options.requests;
+      stats->first_error = s.ToString();
+      return;
+    }
+  }
+  QueryOptions qo;
+  qo.query.deadline_ms = options.deadline_ms;
+
+  using clock = std::chrono::steady_clock;
+  // Open loop: this client's fixed send schedule, phase-shifted by index so
+  // the fleet's arrivals interleave instead of pulsing.
+  const double per_client_qps =
+      options.rate_qps > 0
+          ? options.rate_qps / static_cast<double>(options.clients)
+          : 0;
+  const auto interval =
+      per_client_qps > 0
+          ? std::chrono::nanoseconds(
+                static_cast<int64_t>(1e9 / per_client_qps))
+          : std::chrono::nanoseconds(0);
+  auto next_send = clock::now() + interval * index / options.clients;
+
+  for (size_t i = 0; i < options.requests; ++i) {
+    if (interval.count() > 0) {
+      std::this_thread::sleep_until(next_send);
+      next_send += interval;
+    }
+    const auto start = clock::now();
+    bool done = false;
+    for (size_t attempt = 0; attempt <= options.max_retries; ++attempt) {
+      server::ClientResult result =
+          options.prepare
+              ? client.Execute(statement_id, qo, 0, /*collect_rows=*/false)
+              : client.Query(options.query, qo, 0, /*collect_rows=*/false);
+      if (result.ok()) {
+        const double us = std::chrono::duration<double, std::micro>(
+                              clock::now() - start)
+                              .count();
+        stats->latencies_us.push_back(us);
+        ++stats->ok;
+        done = true;
+        break;
+      }
+      if (result.status.retryable() && attempt < options.max_retries) {
+        ++stats->shed_retries;
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            200u << std::min<size_t>(attempt, 8)));
+        continue;
+      }
+      ++stats->errors;
+      if (stats->first_error.empty()) {
+        stats->first_error = result.status.ToString();
+      }
+      done = true;
+      break;
+    }
+    if (!done) {
+      ++stats->errors;
+      if (stats->first_error.empty()) {
+        stats->first_error = "retries exhausted (still overloaded)";
+      }
+    }
+  }
+  client.Goodbye();
+}
+
+void WriteBenchJson(const std::string& path, double qps, double p50,
+                    double p99, double p999, uint64_t shed) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  auto row = [&](const char* name, double value, const char* unit,
+                 bool last) {
+    out << "    {\n"
+        << "      \"name\": \"" << name << "\",\n"
+        << "      \"run_type\": \"iteration\",\n"
+        << "      \"iterations\": 1,\n"
+        << "      \"real_time\": " << value << ",\n"
+        << "      \"cpu_time\": " << value << ",\n"
+        << "      \"time_unit\": \"" << unit << "\"\n"
+        << "    }" << (last ? "\n" : ",\n");
+  };
+  out << "{\n  \"context\": {\n    \"executable\": \"rodin_load\"\n  },\n"
+      << "  \"benchmarks\": [\n";
+  row("server/qps", qps, "qps", false);
+  row("server/p50_us", p50, "us", false);
+  row("server/p99_us", p99, "us", false);
+  row("server/p999_us", p999, "us", false);
+  row("server/shed", static_cast<double>(shed), "count", true);
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "host", &value)) {
+      options.host = value;
+    } else if (ParseFlag(argv[i], "port", &value)) {
+      options.port = static_cast<uint16_t>(ParseCount(value, "port"));
+    } else if (ParseFlag(argv[i], "clients", &value)) {
+      options.clients = static_cast<size_t>(ParseCount(value, "clients"));
+    } else if (ParseFlag(argv[i], "requests", &value)) {
+      options.requests = static_cast<size_t>(ParseCount(value, "requests"));
+    } else if (ParseFlag(argv[i], "rate-qps", &value)) {
+      options.rate_qps = std::stod(value);
+    } else if (ParseFlag(argv[i], "query", &value)) {
+      options.query = value == "recursive" ? kRecursiveQuery
+                                           : ReadFile(value);
+    } else if (ParseFlag(argv[i], "deadline-ms", &value)) {
+      options.deadline_ms = ParseCount(value, "deadline-ms");
+    } else if (ParseFlag(argv[i], "max-retries", &value)) {
+      options.max_retries =
+          static_cast<size_t>(ParseCount(value, "max-retries"));
+    } else if (ParseFlag(argv[i], "out", &value)) {
+      options.out = value;
+    } else if (std::strcmp(argv[i], "--prepare") == 0) {
+      options.prepare = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: rodin_load --port=P [--host=ADDR] [--clients=N]\n"
+          "                  [--requests=N] [--rate-qps=R]\n"
+          "                  [--query=FILE|recursive] [--deadline-ms=N]\n"
+          "                  [--prepare] [--max-retries=N] [--out=FILE]\n");
+      return 2;
+    }
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "rodin_load: --port is required\n");
+    return 2;
+  }
+  if (options.clients == 0 || options.requests == 0) {
+    std::fprintf(stderr, "rodin_load: need clients and requests > 0\n");
+    return 2;
+  }
+
+  std::vector<ClientStats> stats(options.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < options.clients; ++i) {
+    threads.emplace_back(RunClient, std::cref(options), i, &stats[i]);
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall_start)
+                            .count();
+
+  std::vector<double> latencies;
+  uint64_t ok = 0, shed = 0, errors = 0;
+  std::string first_error;
+  for (const ClientStats& s : stats) {
+    latencies.insert(latencies.end(), s.latencies_us.begin(),
+                     s.latencies_us.end());
+    ok += s.ok;
+    shed += s.shed_retries;
+    errors += s.errors;
+    if (first_error.empty()) first_error = s.first_error;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps = wall_s > 0 ? static_cast<double>(ok) / wall_s : 0;
+  const double p50 = Percentile(latencies, 0.50);
+  const double p99 = Percentile(latencies, 0.99);
+  const double p999 = Percentile(latencies, 0.999);
+
+  std::printf(
+      "rodin_load: %zu clients x %zu requests (%s loop)\n"
+      "  ok %llu, shed-retries %llu, errors %llu, wall %.2fs\n"
+      "  qps %.1f   p50 %.0fus   p99 %.0fus   p99.9 %.0fus\n",
+      options.clients, options.requests,
+      options.rate_qps > 0 ? "open" : "closed",
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(errors), wall_s, qps, p50, p99, p999);
+  if (errors > 0) {
+    std::fprintf(stderr, "rodin_load: first error: %s\n",
+                 first_error.c_str());
+  }
+  if (!options.out.empty()) {
+    WriteBenchJson(options.out, qps, p50, p99, p999, shed);
+    std::printf("  wrote %s\n", options.out.c_str());
+  }
+  return errors == 0 && ok > 0 ? 0 : 1;
+}

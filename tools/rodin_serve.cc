@@ -1,0 +1,159 @@
+// rodin_serve — the multi-tenant query server.
+//
+//   rodin_serve [--db=music|parts|graph] [--size=N] [--seed=S]
+//               [--optimizer=cost|deductive|naive|exhaustive|annealing]
+//               [--search-threads=N] [--parallel=P]
+//               [--plan-cache-capacity=N]
+//               [--host=ADDR] [--port=P] [--workers=N] [--max-in-flight=N]
+//               [--send-timeout-ms=N]
+//
+// Stands up one EngineHandle (the same construction path as rodin_cli) and
+// serves it over the length-prefixed binary protocol documented in
+// docs/SERVER.md: many client connections multiplex onto one shared
+// Database, buffer pool and plan cache through a pool of sessions.
+// --max-in-flight is the admission limit — requests beyond it are shed
+// immediately with the retryable `overloaded` wire code; --workers sets the
+// query worker threads (the I/O loop is one more). --port=0 binds an
+// ephemeral port.
+//
+// Readiness: prints exactly one line `listening on HOST:PORT` to stdout and
+// flushes — scripts (and the CI server job) wait for it. SIGINT/SIGTERM
+// drain and stop; the final stats snapshot goes to stderr.
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "api/engine.h"
+#include "server/server.h"
+
+using namespace rodin;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+uint64_t ParseCount(const std::string& value, const char* name) {
+  if (value.empty() ||
+      value.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "--%s expects a non-negative integer, got '%s'\n",
+                 name, value.c_str());
+    std::exit(2);
+  }
+  return std::stoull(value);
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: rodin_serve [--db=music|parts|graph] [--size=N] [--seed=S]\n"
+      "                   [--optimizer=cost|deductive|naive|exhaustive|"
+      "annealing]\n"
+      "                   [--search-threads=N] [--parallel=P]\n"
+      "                   [--plan-cache-capacity=N]\n"
+      "                   [--host=ADDR] [--port=P] [--workers=N]\n"
+      "                   [--max-in-flight=N] [--send-timeout-ms=N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  EngineOptions engine_options;
+  server::ServerOptions server_options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "db", &value)) {
+      engine_options.dataset = value;
+    } else if (ParseFlag(argv[i], "size", &value)) {
+      engine_options.size = static_cast<uint32_t>(ParseCount(value, "size"));
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      engine_options.seed = ParseCount(value, "seed");
+    } else if (ParseFlag(argv[i], "optimizer", &value)) {
+      engine_options.optimizer = value;
+    } else if (ParseFlag(argv[i], "search-threads", &value)) {
+      engine_options.search_threads =
+          static_cast<size_t>(ParseCount(value, "search-threads"));
+    } else if (ParseFlag(argv[i], "parallel", &value)) {
+      engine_options.parallel_degree =
+          static_cast<unsigned>(ParseCount(value, "parallel"));
+    } else if (ParseFlag(argv[i], "plan-cache-capacity", &value)) {
+      engine_options.plan_cache_capacity =
+          static_cast<size_t>(ParseCount(value, "plan-cache-capacity"));
+    } else if (ParseFlag(argv[i], "host", &value)) {
+      server_options.host = value;
+    } else if (ParseFlag(argv[i], "port", &value)) {
+      server_options.port = static_cast<uint16_t>(ParseCount(value, "port"));
+    } else if (ParseFlag(argv[i], "workers", &value)) {
+      server_options.workers =
+          static_cast<size_t>(ParseCount(value, "workers"));
+    } else if (ParseFlag(argv[i], "max-in-flight", &value)) {
+      server_options.max_in_flight =
+          static_cast<size_t>(ParseCount(value, "max-in-flight"));
+    } else if (ParseFlag(argv[i], "send-timeout-ms", &value)) {
+      server_options.send_timeout_ms = ParseCount(value, "send-timeout-ms");
+    } else {
+      Usage();
+      return 2;
+    }
+  }
+
+  Status status;
+  std::unique_ptr<EngineHandle> engine =
+      EngineHandle::Create(engine_options, &status);
+  if (engine == nullptr) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 2;
+  }
+  std::unique_ptr<server::Server> srv =
+      server::Server::Start(engine.get(), server_options, &status);
+  if (srv == nullptr) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return ExitCodeForStatus(status);
+  }
+
+  std::printf("listening on %s:%u\n", server_options.host.c_str(),
+              static_cast<unsigned>(srv->port()));
+  std::fflush(stdout);
+
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  srv->Stop();
+
+  const server::Server::Stats stats = srv->stats();
+  std::fprintf(
+      stderr,
+      "rodin_serve: %llu connections, %llu queries (%llu ok, %llu failed), "
+      "%llu shed, %llu rows streamed, %llu disconnect-cancels, peak "
+      "in-flight %llu\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.queries_started),
+      static_cast<unsigned long long>(stats.queries_ok),
+      static_cast<unsigned long long>(stats.queries_failed),
+      static_cast<unsigned long long>(stats.admission.shed),
+      static_cast<unsigned long long>(stats.rows_streamed),
+      static_cast<unsigned long long>(stats.disconnect_cancels),
+      static_cast<unsigned long long>(stats.admission.peak_in_flight));
+  return 0;
+}
