@@ -33,22 +33,31 @@ import sys
 
 
 def load_benchmarks(path, metric):
-    """Returns {name: metric_value} from a Google Benchmark JSON file.
+    """Returns ({name: metric_value}, {names missing the metric}) from a
+    Google Benchmark JSON file.
 
     Aggregate rows (mean/median/stddev of repeated runs) are skipped so a
-    repeated run compares iteration rows against iteration rows.
+    repeated run compares iteration rows against iteration rows. Rows that
+    lack the requested metric are collected separately rather than silently
+    dropped — the caller turns "the baseline has this benchmark but not
+    this metric" into a clear failure instead of a spurious name-drift or a
+    KeyError.
     """
     with open(path) as f:
         doc = json.load(f)
     out = {}
+    missing = set()
     for row in doc.get("benchmarks", []):
         if row.get("run_type") == "aggregate":
             continue
         name = row.get("name")
-        if name is None or metric not in row:
+        if name is None:
+            continue
+        if metric not in row:
+            missing.add(name)
             continue
         out[name] = float(row[metric])
-    return out
+    return out, missing
 
 
 def main():
@@ -68,10 +77,28 @@ def main():
     args = parser.parse_args()
 
     try:
-        current = load_benchmarks(args.current, args.metric)
-        baseline = load_benchmarks(args.baseline, args.metric)
+        current, current_missing = load_benchmarks(args.current, args.metric)
+        baseline, baseline_missing = load_benchmarks(args.baseline,
+                                                     args.metric)
     except (OSError, ValueError) as e:
         print(f"check_bench: cannot read input: {e}", file=sys.stderr)
+        return 1
+
+    # A baseline that has the benchmark but not the metric is a broken
+    # baseline, not name drift and not a crash: say exactly what is wrong.
+    stale = sorted(baseline_missing & (set(current) | current_missing))
+    if stale:
+        print(f"check_bench: baseline {args.baseline} is missing metric "
+              f"'{args.metric}' for benchmark(s): " + ", ".join(stale),
+              file=sys.stderr)
+        print("check_bench: regenerate the baseline (see "
+              "bench/baselines/README.md) or pass the right --metric",
+              file=sys.stderr)
+        return 1
+    if current_missing:
+        print(f"check_bench: run {args.current} is missing metric "
+              f"'{args.metric}' for benchmark(s): "
+              + ", ".join(sorted(current_missing)), file=sys.stderr)
         return 1
 
     if not baseline:

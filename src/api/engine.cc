@@ -7,6 +7,7 @@
 #include "datagen/music_gen.h"
 #include "datagen/parts_gen.h"
 #include "optimizer/baseline.h"
+#include "txn/txn_manager.h"
 
 namespace rodin {
 
@@ -98,6 +99,10 @@ EngineHandle::EngineHandle(EngineOptions options, GeneratedDb generated,
 std::unique_ptr<Session> EngineHandle::NewSession() {
   return std::make_unique<Session>(db(), opt_options_, cost_params_,
                                    plan_cache_);
+}
+
+void EngineHandle::RefreshStats() {
+  TxnManager::For(db())->BumpStatsVersion();
 }
 
 }  // namespace rodin

@@ -69,6 +69,14 @@ class EngineHandle {
   /// outlive every session (and every cursor) it hands out.
   std::unique_ptr<Session> NewSession();
 
+  /// Engine-wide statistics refresh: bumps the database's TxnManager stats
+  /// version, so *every* session over this engine lazily re-derives its
+  /// statistics on next use and the shared plan cache drops entries
+  /// fingerprinted under the old version. Commits do this automatically;
+  /// this is the explicit hook (promoted from Session::RefreshStats, which
+  /// survives as a deprecated forwarder).
+  void RefreshStats();
+
  private:
   EngineHandle(EngineOptions options, GeneratedDb generated,
                OptimizerOptions opt_options, CostParams cost_params);

@@ -13,8 +13,8 @@ namespace rodin {
 /// The one per-query knob surface of the embedding API.
 ///
 /// Before this facade there were three overlapping places to say how a query
-/// should run: RunOptions (session-level), ExecOptions (executor-level, with
-/// its own defaults) and the QueryContext plumbed separately by pointer.
+/// should run: a session-level options struct, ExecOptions (executor-level,
+/// with its own defaults) and the QueryContext plumbed separately by pointer.
 /// QueryOptions collapses them: every session entry point (Run / Explain /
 /// Query / PreparedQuery::*, and the server's wire requests) takes exactly
 /// this struct, and ExecOptions survives only as the *lowered* internal form
@@ -99,10 +99,6 @@ struct QueryOptions {
   /// rule. This is the only place the mapping exists.
   ExecOptions MakeExecOptions(const QueryContext* armed) const;
 };
-
-/// Back-compat alias, kept for one release: existing embedders spell the
-/// struct RunOptions. New code (and everything in-tree) uses QueryOptions.
-using RunOptions = QueryOptions;
 
 }  // namespace rodin
 

@@ -133,17 +133,61 @@ Session::Session(Database* db, OptimizerOptions options, CostParams cost_params,
       plan_cache_(std::move(plan_cache)) {
   RODIN_CHECK(db != nullptr && db->finalized(),
               "Session needs a finalized database");
+  tm_ = TxnManager::For(db);
   if (plan_cache_ == nullptr) plan_cache_ = std::make_shared<PlanCache>();
-  RefreshStats();
+  TxnManager::ReadGuard guard(tm_);
+  MaybeRefreshStats();
 }
 
-void Session::RefreshStats() {
+void Session::MaybeRefreshStats() {
+  const uint64_t version = tm_->stats_version();
+  if (stats_ != nullptr && version == stats_version_) return;
   stats_ = std::make_unique<Stats>(Stats::Derive(*db_));
   cost_ = std::make_unique<CostModel>(db_, stats_.get(), cost_params_);
   physical_identity_ = PhysicalIdentity(*db_);
-  // A fresh derivation may see different statistics; plans chosen under the
-  // old ones must not be served any more. Lazy: entries drop at next lookup.
-  ++stats_version_;
+  // Statistics moved, so plans chosen under the old ones must not be served
+  // any more; entries fingerprinted at an older version drop at next lookup.
+  stats_version_ = version;
+}
+
+void Session::RefreshStats() {
+  tm_->BumpStatsVersion();
+  TxnManager::ReadGuard guard(tm_);
+  MaybeRefreshStats();
+}
+
+MutationResult Session::Apply(uint64_t txn_id, const MutationBatch& batch) {
+  MutationResult staged;
+  const Status st = tm_->Stage(txn_id, batch, &staged);
+  if (!st.ok()) staged.status = st;
+  return staged;
+}
+
+CommitResult Session::Mutate(const MutationBatch& batch,
+                             MutationResult* staged) {
+  uint64_t txn_id = 0;
+  const Status begin = tm_->Begin(&txn_id);
+  if (!begin.ok()) {
+    CommitResult res;
+    res.status = begin;
+    return res;
+  }
+  MutationResult local;
+  const Status stage = tm_->Stage(txn_id, batch, &local);
+  if (!stage.ok()) {
+    tm_->Rollback(txn_id);
+    CommitResult res;
+    res.status = stage;
+    return res;
+  }
+  if (staged != nullptr) *staged = local;
+  CommitResult res = tm_->Commit(txn_id);
+  if (res.status.code == Status::Code::kConflict) {
+    // One-shot callers have no handle to retry with; don't leave the write
+    // slot wedged behind an abandoned transaction.
+    tm_->Rollback(txn_id);
+  }
+  return res;
 }
 
 OptimizerOptions Session::EffectiveOptions(const QueryOptions& options) const {
@@ -156,6 +200,8 @@ OptimizerOptions Session::EffectiveOptions(const QueryOptions& options) const {
 }
 
 OptimizeResult Session::Optimize(const QueryGraph& graph) {
+  TxnManager::ReadGuard guard(tm_);
+  MaybeRefreshStats();
   Optimizer optimizer(db_, stats_.get(), cost_.get(), options_);
   return optimizer.Optimize(graph);
 }
@@ -230,6 +276,13 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const QueryOptions& options,
   run.graph = graph;
   run.status = options.Validate();
   if (!run.status.ok()) return run;
+
+  // The whole run holds the TxnManager read gate: a commit drains readers
+  // before mutating anything, so this run sees either the full pre- or full
+  // post-commit state — never a torn one. The guard is re-entrant, so
+  // Explain's delegation here nests fine.
+  TxnManager::ReadGuard read_gate(tm_);
+  MaybeRefreshStats();
 
   // The retry loop below snapshots and restores the buffer pool's resident
   // set between attempts. A live streaming cursor defers its page charges
@@ -370,6 +423,13 @@ ResultCursor Session::QueryImpl(const QueryGraph& graph,
                                 const std::string* graph_digest) {
   Status vstatus = options.Validate();
   if (!vstatus.ok()) return ResultCursor(vstatus);
+  // Optimization and stream setup run under the read gate; the cursor is
+  // registered with the TxnManager *before* the gate releases, so a commit
+  // can never slip between setup and registration — it refuses (kConflict)
+  // while the cursor lives, which is what keeps the cursor's raw extent
+  // coordinates valid across user-paced pulls (docs/ROBUSTNESS.md).
+  TxnManager::ReadGuard read_gate(tm_);
+  MaybeRefreshStats();
   if (options.collect_trace) {
     // Silently dropping the flag (the old behaviour) made callers believe
     // they had a trace when cursor.trace() never existed.
@@ -411,10 +471,13 @@ ResultCursor Session::QueryImpl(const QueryGraph& graph,
   // destroyed), so the live-stream count is balanced even for abandoned
   // cursors. The shared counter keeps the hook safe past session teardown.
   live_streams_->fetch_add(1);
+  tm_->BeginCursor();
   std::shared_ptr<std::atomic<uint64_t>> live = live_streams_;
-  cursor.set_on_finish([db, live] {
+  TxnManager* tm = tm_;  // outlives the cursor (it lives with the database)
+  cursor.set_on_finish([db, live, tm] {
     db->buffer_pool().PublishMetrics();
     live->fetch_sub(1);
+    tm->EndCursor();
   });
   cursor.set_keepalive(std::move(state));
   return cursor;

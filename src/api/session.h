@@ -21,15 +21,19 @@
 #include "optimizer/optimizer.h"
 #include "query/query_graph.h"
 #include "storage/database.h"
+#include "txn/materialized_fix.h"
+#include "txn/mutation.h"
+#include "txn/txn_manager.h"
 
 namespace rodin {
 
 class Session;
 
-// The per-call knob surface (QueryOptions, with QueryOptions as its
-// back-compat alias) lives in api/query_options.h — one documented facade
-// with a single inherit/override rule, shared by the session entry points,
-// the CLI and the server's wire requests.
+// The per-call knob surface (QueryOptions) lives in api/query_options.h —
+// one documented facade with a single inherit/override rule, shared by the
+// session entry points, the CLI and the server's wire requests. The mutation
+// types (MutationBatch and the typed MutationResult / CommitResult) live in
+// txn/mutation.h.
 
 /// Everything one query run produces: the optimizer's decision trail, the
 /// chosen plan (printable), and the executed answer with measured cost.
@@ -145,9 +149,17 @@ class PreparedQuery {
 ///   ExplainResult ex = session.Explain(text, {.collect_trace = true});
 ///   ResultCursor cur = session.Query(text, {.exec_threads = 4});
 ///
-/// The database must outlive the session. Statistics are derived once at
-/// construction; call RefreshStats() if the physical layout changed (it
-/// cannot after Finalize, so in practice never).
+/// The database must outlive the session. Statistics are derived at
+/// construction and re-derived lazily whenever the engine-wide stats version
+/// (TxnManager) has moved — every committed mutation bumps it, so cost
+/// estimates track the data without any manual refresh call.
+///
+/// Mutation: Begin/Apply/Commit (or the one-shot Mutate) stage a
+/// MutationBatch on the database's single-writer TxnManager and commit it
+/// atomically; Materialize registers a named transitive-closure view that
+/// commits maintain incrementally. See txn/txn_manager.h for the
+/// concurrency contract (readers drain, live streaming cursors make Commit
+/// refuse with kConflict).
 ///
 /// Set `opts.search_threads` (OptimizerOptions) or QueryOptions::search_threads
 /// to fan the randomized transformPT search across a worker pool; answers
@@ -237,9 +249,51 @@ class Session {
   void set_shared_db(bool on) { shared_db_ = on; }
   bool shared_db() const { return shared_db_; }
 
-  /// Re-derives statistics and bumps the session's stats version, lazily
-  /// invalidating every plan-cache entry this session wrote (they are
-  /// dropped on next lookup).
+  // --- Mutation (the redesigned write API) --------------------------------
+  //
+  // All four calls are thin typed wrappers over the database's TxnManager;
+  // a Session adds nothing but the convenience of living next to the read
+  // entry points. Begin opens the single write slot (kConflict, retryable,
+  // while another transaction holds it); Apply stages a batch and returns
+  // provisional oids for its inserts (valid on commit success); Commit
+  // validates and applies everything staged all-or-nothing, maintains
+  // materialized views and bumps the engine-wide stats version; Rollback
+  // discards. Commit refuses with kConflict while streaming cursors are
+  // live — drain them and retry.
+
+  Status Begin(uint64_t* txn_id) { return tm_->Begin(txn_id); }
+  MutationResult Apply(uint64_t txn_id, const MutationBatch& batch);
+  CommitResult Commit(uint64_t txn_id) { return tm_->Commit(txn_id); }
+  Status Rollback(uint64_t txn_id) { return tm_->Rollback(txn_id); }
+
+  /// One-shot Begin + Apply + Commit. `staged` (optional) receives the
+  /// provisional oids of the batch's inserts.
+  CommitResult Mutate(const MutationBatch& batch,
+                      MutationResult* staged = nullptr);
+
+  /// Registers a materialized transitive closure maintained incrementally
+  /// by every commit (see txn/materialized_fix.h).
+  Status Materialize(const MaterializedFixSpec& spec) {
+    return tm_->RegisterView(spec);
+  }
+  Status DropMaterialized(const std::string& name) {
+    return tm_->DropView(name);
+  }
+  /// The view's pairs, sorted by (src, dst) — its row-order contract.
+  Status MaterializedRows(const std::string& name,
+                          std::vector<std::pair<Oid, Oid>>* out) const {
+    return tm_->ViewPairs(name, out);
+  }
+
+  /// The database's transaction manager (cursor registration, stats
+  /// version, view policy).
+  TxnManager& txn() { return *tm_; }
+
+  /// DEPRECATED: forwards to EngineHandle-style engine-wide refresh — bumps
+  /// the TxnManager stats version (invalidating plan-cache entries in every
+  /// session sharing the cache) and re-derives this session's statistics
+  /// immediately. Commits refresh automatically; prefer
+  /// EngineHandle::RefreshStats for an explicit engine-wide bump.
   void RefreshStats();
 
  private:
@@ -252,6 +306,12 @@ class Session {
   ExplainResult ExplainImpl(const QueryGraph& graph, const QueryOptions& options,
                             const std::string* graph_digest);
   OptimizerOptions EffectiveOptions(const QueryOptions& options) const;
+
+  /// Re-derives stats/cost/physical identity if the engine-wide stats
+  /// version moved since this session last derived (i.e. a commit or an
+  /// explicit RefreshStats happened). Called on every query entry under the
+  /// TxnManager read gate, so derivation never races a commit.
+  void MaybeRefreshStats();
 
   /// Optimizes `graph` through the plan cache: a hit fills `*out` from the
   /// cached entry (plan cloned, stage reports and decision log replayed)
@@ -266,6 +326,7 @@ class Session {
                             OptimizeResult* out, DecisionLog* decisions);
 
   Database* db_;
+  TxnManager* tm_;  // the database's write coordinator (process singleton)
   OptimizerOptions options_;
   CostParams cost_params_;
   bool shared_db_ = false;
@@ -276,8 +337,9 @@ class Session {
   /// Fingerprint component cached once per RefreshStats (the database is
   /// finalized, so the physical identity is stable between refreshes).
   std::string physical_identity_;
-  /// Bumped by RefreshStats; entries written under an older version are
-  /// invalidated at lookup.
+  /// The engine-wide (TxnManager) stats version this session's statistics
+  /// were derived at. Plan-cache entries written under an older version are
+  /// invalidated at lookup; MaybeRefreshStats re-derives on mismatch.
   uint64_t stats_version_ = 0;
 
   /// Count of live streaming cursors; shared with each cursor's finalize

@@ -32,7 +32,8 @@ namespace rodin {
   X(kFault, "fault", 10, 8, true)                       \
   X(kInternal, "internal", 11, 9, false)                \
   X(kInvalidArgument, "invalid_argument", 12, 10, false)\
-  X(kOverloaded, "overloaded", 13, 11, true)
+  X(kOverloaded, "overloaded", 13, 11, true)             \
+  X(kConflict, "conflict", 14, 12, true)
 
 /// Outcome of one pipeline step (parser, optimizer, executor, session,
 /// server). Replaces the loose `bool ok; std::string error;` pairs: callers
@@ -42,10 +43,13 @@ namespace rodin {
 /// The taxonomy distinguishes *why* a query stopped, not merely *where*:
 /// budget violations (kCancelled, kDeadlineExceeded, kResourceExhausted),
 /// admission-control shedding (kOverloaded — the server is healthy but
-/// full; retry after backoff), and injected transient faults (kFault) are
-/// separate from genuine parse/semantic/optimize/exec failures, so callers
-/// — including rodin_cli's exit codes and rodin_serve's error frames — can
-/// react per class.
+/// full; retry after backoff), injected transient faults (kFault) and
+/// write-path contention (kConflict — another writer holds the single
+/// mutation slot, or a commit raced a live streaming cursor; retry after
+/// the other side finishes) are separate from genuine
+/// parse/semantic/optimize/exec failures, so callers — including
+/// rodin_cli's exit codes and rodin_serve's error frames — can react per
+/// class.
 struct Status {
   enum class Code {
 #define RODIN_STATUS_ENUMERATOR(code, name, exit_code, wire, retry) code,
@@ -67,10 +71,12 @@ struct Status {
   bool ok() const { return code == Code::kOk; }
 
   /// Transient outcomes where retrying the same work can succeed: an
-  /// injected fault (kFault) or an admission-control shed (kOverloaded —
-  /// back off first; the server refused the work without starting it).
-  /// Distinct from kResourceExhausted, which means *this query's* budget
-  /// cannot be honoured — retrying without a bigger budget cannot succeed.
+  /// injected fault (kFault), an admission-control shed (kOverloaded —
+  /// back off first; the server refused the work without starting it), or
+  /// a write-path conflict (kConflict — the single-writer slot or a live
+  /// cursor blocked the mutation; retry once it drains). Distinct from
+  /// kResourceExhausted, which means *this query's* budget cannot be
+  /// honoured — retrying without a bigger budget cannot succeed.
   bool retryable() const;
 
   static Status Ok() { return Status{}; }
@@ -81,7 +87,7 @@ struct Status {
 
   /// "ok", "parse", "semantic", "optimize", "exec", "cancelled",
   /// "deadline_exceeded", "resource_exhausted", "fault", "internal",
-  /// "invalid_argument", "overloaded".
+  /// "invalid_argument", "overloaded", "conflict".
   const char* code_name() const;
 
   /// "[parse] parse error at 3:7: expected ..." — the code name prefixed
@@ -92,7 +98,7 @@ struct Status {
 /// Maps a status to rodin_cli's process exit code (the exit_code column of
 /// RODIN_STATUS_CODES): 0 ok, 3 parse, 4 semantic, 5 optimize, 6 exec,
 /// 7 cancelled, 8 deadline_exceeded, 9 resource_exhausted, 10 fault,
-/// 11 internal, 12 invalid_argument, 13 overloaded.
+/// 11 internal, 12 invalid_argument, 13 overloaded, 14 conflict.
 int ExitCodeForStatus(const Status& status);
 
 /// Maps a status code to the stable wire error code carried in the server's

@@ -18,6 +18,7 @@ void DeriveAttrStats(const Database& db, const std::string& extent_name,
                          out) {
   const Extent* e = db.FindExtent(extent_name);
   const uint32_t n = e->size();
+  const uint32_t live = e->live_size();
 
   for (const Attribute& a : attrs) {
     if (a.computed) continue;
@@ -40,6 +41,7 @@ void DeriveAttrStats(const Database& db, const std::string& extent_name,
     std::vector<double> numeric_values;
 
     for (uint32_t slot = 0; slot < n; ++slot) {
+      if (!e->alive(slot)) continue;
       const Value& v = e->Record(slot)[field];
       if (v.is_null()) {
         ++nulls;
@@ -89,7 +91,7 @@ void DeriveAttrStats(const Database& db, const std::string& extent_name,
       }
     }
 
-    s.null_frac = n == 0 ? 0 : static_cast<double>(nulls) / n;
+    s.null_frac = live == 0 ? 0 : static_cast<double>(nulls) / live;
     s.fanout = nonnull == 0 ? 0 : static_cast<double>(elem_total) / nonnull;
     s.distinct = std::max<double>(1, static_cast<double>(distinct.size()));
     s.colocated_frac =
@@ -128,12 +130,13 @@ void DeriveAttrStats(const Database& db, const std::string& extent_name,
       double total = 0;
       int maxd = 0;
       for (uint32_t slot = 0; slot < n; ++slot) {
+        if (!e->alive(slot)) continue;
         const int d = chase(slot);
         total += d;
         maxd = std::max(maxd, d);
       }
       s.chain_depth_max = maxd;
-      s.chain_depth_avg = n == 0 ? 0 : total / n;
+      s.chain_depth_avg = live == 0 ? 0 : total / live;
     }
 
     (*out)[{extent_name, a.name}] = s;

@@ -33,6 +33,7 @@ Client::~Client() { Close(); }
 Client::Client(Client&& other) noexcept
     : fd_(other.fd_),
       connection_id_(other.connection_id_),
+      proto_version_(other.proto_version_),
       next_request_(other.next_request_),
       active_request_(other.active_request_.load()) {
   other.fd_ = -1;
@@ -43,6 +44,7 @@ Client& Client::operator=(Client&& other) noexcept {
     Close();
     fd_ = other.fd_;
     connection_id_ = other.connection_id_;
+    proto_version_ = other.proto_version_;
     next_request_ = other.next_request_;
     active_request_.store(other.active_request_.load());
     other.fd_ = -1;
@@ -108,7 +110,56 @@ Status Client::Connect(const std::string& host, uint16_t port) {
     Close();
     return ProtocolViolation("malformed HELLO_OK");
   }
+  if (version == 0 || version > kProtocolVersion) {
+    Close();
+    return ProtocolViolation("server negotiated an unknown version");
+  }
+  proto_version_ = version;
   return Status::Ok();
+}
+
+Status Client::StatusRoundTrip(FrameType type, const std::string& payload,
+                               uint64_t* rows, uint64_t* detail) {
+  if (!connected()) {
+    return Status::Error(Status::Code::kInvalidArgument, "not connected");
+  }
+  if (proto_version_ < 2) {
+    return Status::Error(Status::Code::kInvalidArgument,
+                         "server negotiated protocol v1, which has no "
+                         "mutation frames");
+  }
+  const uint64_t request_id = next_request_++;
+  Status s = SendFrame(type, request_id, payload);
+  if (!s.ok()) return s;
+  FrameHeader header;
+  std::string reply;
+  s = ReadFrame(&header, &reply);
+  if (!s.ok()) return s;
+  if (header.type != FrameType::kStatus || header.request_id != request_id) {
+    return ProtocolViolation("expected STATUS");
+  }
+  PayloadReader r(reply.data(), reply.size());
+  Status outcome;
+  uint64_t rows_produced;
+  double cost;
+  if (!DecodeStatusPayload(&r, &outcome, &rows_produced, &cost) ||
+      !r.AtEnd()) {
+    return ProtocolViolation("malformed STATUS");
+  }
+  if (rows != nullptr) *rows = rows_produced;
+  if (detail != nullptr) *detail = outcome.detail;
+  return outcome;
+}
+
+Status Client::Mutate(const MutationBatch& batch, uint64_t* ops_staged) {
+  PayloadWriter w;
+  EncodeMutationBatch(batch, &w);
+  return StatusRoundTrip(FrameType::kMutate, w.Take(), ops_staged, nullptr);
+}
+
+Status Client::Commit(uint64_t* ops_applied, uint64_t* stats_version) {
+  return StatusRoundTrip(FrameType::kCommit, std::string(), ops_applied,
+                         stats_version);
 }
 
 ClientResult Client::Query(const std::string& text,

@@ -56,6 +56,8 @@ class Client {
   bool connected() const { return fd_ >= 0; }
   /// Server-assigned connection id (from HELLO_OK).
   uint64_t connection_id() const { return connection_id_; }
+  /// Negotiated protocol version (min(ours, server's), from HELLO_OK).
+  uint32_t protocol_version() const { return proto_version_; }
 
   /// Runs a query and streams the reply until the terminal STATUS frame.
   /// `stop_after_rows` > 0 abruptly closes the socket once that many rows
@@ -75,6 +77,19 @@ class Client {
                        uint64_t stop_after_rows = 0,
                        bool collect_rows = true);
 
+  /// MUTATE round-trip (protocol v2): stages `batch` on this connection's
+  /// server-side transaction (opened implicitly by the first Mutate).
+  /// Fills *ops_staged with the ops accepted. kConflict (retryable) when
+  /// another connection holds the write slot.
+  Status Mutate(const MutationBatch& batch, uint64_t* ops_staged = nullptr);
+
+  /// COMMIT round-trip (protocol v2). On success fills *ops_applied and
+  /// *stats_version (the post-commit engine stats version). kConflict
+  /// (retryable; the transaction stays open server-side) while streaming
+  /// cursors are live.
+  Status Commit(uint64_t* ops_applied = nullptr,
+                uint64_t* stats_version = nullptr);
+
   /// Sends CANCEL for the request currently in flight (if any). Safe from
   /// another thread while this client blocks in Query/Execute.
   void CancelActive();
@@ -93,9 +108,13 @@ class Client {
   /// Shared SCHEMA/ROWS/STATUS consumption loop for Query and Execute.
   ClientResult ReadQueryReply(uint64_t request_id, uint64_t stop_after_rows,
                               bool collect_rows);
+  /// Shared STATUS-only round-trip for Mutate and Commit.
+  Status StatusRoundTrip(FrameType type, const std::string& payload,
+                         uint64_t* rows, uint64_t* detail);
 
   int fd_ = -1;
   uint64_t connection_id_ = 0;
+  uint32_t proto_version_ = 0;
   uint64_t next_request_ = 1;
   std::mutex write_mu_;
   std::atomic<uint64_t> active_request_{0};

@@ -11,11 +11,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "common/string_util.h"
 #include "query/parser.h"
+#include "txn/txn_manager.h"
 
 namespace rodin::server {
 
@@ -55,6 +57,9 @@ struct Server::Connection {
 
   std::string inbuf;
   bool hello_done = false;
+  /// Negotiated protocol version (min(client, kProtocolVersion), set by
+  /// HELLO). v2 features (MUTATE/COMMIT) are refused below 2.
+  uint32_t proto_version = kProtocolVersion;
 
   std::mutex write_mu;
   std::atomic<bool> open{true};
@@ -76,6 +81,12 @@ struct Server::Connection {
   std::mutex stmt_mu;
   uint64_t next_statement = 1;
   std::map<uint64_t, std::shared_ptr<const QueryGraph>> statements;
+
+  /// This connection's open transaction (0 = none), opened implicitly by
+  /// the first MUTATE. Staged on the I/O thread, committed by a worker,
+  /// rolled back by the I/O thread on disconnect — hence the mutex.
+  std::mutex txn_mu;
+  uint64_t open_txn = 0;
 };
 
 Server::Server(EngineHandle* engine, ServerOptions options)
@@ -179,6 +190,7 @@ void Server::Stop() {
   }
   for (auto& conn : conns) {
     if (conn->busy.load()) conn->active_cancel.RequestCancel();
+    RollbackConnTxn(conn);
     conn->open.store(false);
     shutdown(conn->fd, SHUT_RDWR);
   }
@@ -275,7 +287,18 @@ void Server::HandleReadable(const std::shared_ptr<Connection>& conn) {
   if (eof) HandleDisconnect(conn);
 }
 
+void Server::RollbackConnTxn(const std::shared_ptr<Connection>& conn) {
+  std::lock_guard<std::mutex> lock(conn->txn_mu);
+  if (conn->open_txn != 0) {
+    // Best-effort: an in-flight worker commit may have already closed it
+    // (Rollback then reports unknown id, which is fine).
+    TxnManager::For(engine_->db())->Rollback(conn->open_txn);
+    conn->open_txn = 0;
+  }
+}
+
 void Server::HandleDisconnect(const std::shared_ptr<Connection>& conn) {
+  RollbackConnTxn(conn);
   if (conn->busy.load()) {
     // Trip the token only; `disconnect_cancels` is accounted by the worker
     // when the orphaned request retires. Counting here would be racy: the
@@ -332,14 +355,17 @@ bool Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
       ProtocolError(conn, header.request_id, "malformed HELLO");
       return false;
     }
-    if (version != kProtocolVersion) {
+    if (version < kMinProtocolVersion) {
       ProtocolError(conn, header.request_id,
                     StrFormat("unsupported protocol version %u", version));
       return false;
     }
+    // Negotiate down to what both sides speak. A v1 client gets the exact
+    // v1 HELLO_OK bytes back; a newer-than-us client is served at v2.
+    conn->proto_version = std::min(version, kProtocolVersion);
     conn->hello_done = true;
     PayloadWriter w;
-    w.U32(kProtocolVersion);
+    w.U32(conn->proto_version);
     w.Str(options_.banner);
     w.U64(conn->id);
     WriteToConnection(
@@ -418,12 +444,115 @@ bool Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
       }
       return true;
     }
+    case FrameType::kMutate: {
+      if (conn->proto_version < 2) break;  // v1: unexpected frame type
+      MutationBatch batch;
+      if (!DecodeMutationBatch(&r, &batch) || !r.AtEnd()) {
+        ProtocolError(conn, header.request_id, "malformed MUTATE");
+        return false;
+      }
+      HandleMutate(conn, header.request_id, batch);
+      return true;
+    }
+    case FrameType::kCommit: {
+      if (conn->proto_version < 2) break;  // v1: unexpected frame type
+      if (!r.AtEnd()) {
+        ProtocolError(conn, header.request_id, "malformed COMMIT");
+        return false;
+      }
+      StartCommit(conn, header.request_id);
+      return true;
+    }
     default:
-      ProtocolError(conn, header.request_id,
-                    StrFormat("unexpected frame type %u",
-                              static_cast<unsigned>(header.type)));
-      return false;
+      break;
   }
+  ProtocolError(conn, header.request_id,
+                StrFormat("unexpected frame type %u",
+                          static_cast<unsigned>(header.type)));
+  return false;
+}
+
+void Server::HandleMutate(const std::shared_ptr<Connection>& conn,
+                          uint64_t request_id, MutationBatch batch) {
+  // Staging is a handful of vector appends under the TxnManager mutex —
+  // cheap enough to answer inline on the I/O thread, like HELLO. Only
+  // COMMIT (which validates, applies and drains readers) rates a worker.
+  //
+  // Slot-only addressing: clients do not know server-side class ids, so a
+  // delete/update target sent with class_id == UINT32_MAX means "slot N of
+  // this op's extent" and is resolved here. Unknown extents stay invalid and
+  // are rejected by commit-time validation like any other bad target.
+  for (MutationOp& op : batch.ops) {
+    if (op.kind != MutationOpKind::kInsert &&
+        op.target.class_id == UINT32_MAX && op.target.slot != UINT32_MAX &&
+        engine_->db()->FindExtent(op.extent) != nullptr) {
+      op.target = engine_->db()->PayloadToOid(op.extent, op.target.slot);
+    }
+  }
+  TxnManager* tm = TxnManager::For(engine_->db());
+  Status st = Status::Ok();
+  uint64_t staged_ops = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->txn_mu);
+    if (conn->open_txn == 0) st = tm->Begin(&conn->open_txn);
+    if (st.ok()) {
+      MutationResult staged;
+      st = tm->Stage(conn->open_txn, batch, &staged);
+      if (st.ok()) staged_ops = batch.size();
+    }
+  }
+  if (st.ok()) mutates_staged_.fetch_add(1, std::memory_order_relaxed);
+  SendStatus(conn, request_id, st, staged_ops);
+}
+
+void Server::StartCommit(const std::shared_ptr<Connection>& conn,
+                         uint64_t request_id) {
+  if (conn->busy.load()) {
+    SendStatus(conn, request_id,
+               Status::Error(Status::Code::kInvalidArgument,
+                             "one request may be in flight per connection; "
+                             "wait for the previous STATUS frame"));
+    return;
+  }
+  conn->active_request = request_id;
+  conn->busy.store(true);
+  workers_->Submit([this, conn, request_id] { RunCommit(conn, request_id); });
+}
+
+void Server::RunCommit(const std::shared_ptr<Connection>& conn,
+                       uint64_t request_id) {
+  TxnManager* tm = TxnManager::For(engine_->db());
+  uint64_t txn_id = 0;
+  {
+    std::lock_guard<std::mutex> lock(conn->txn_mu);
+    txn_id = conn->open_txn;
+  }
+  CommitResult res;
+  if (txn_id == 0) {
+    res.status = Status::Error(
+        Status::Code::kInvalidArgument,
+        "COMMIT without an open transaction (stage a MUTATE first)");
+  } else {
+    res = tm->Commit(txn_id);
+    // kConflict leaves the transaction open for a retry; everything else
+    // (success, validation failure, rollback race) closed it.
+    if (res.status.code != Status::Code::kConflict) {
+      std::lock_guard<std::mutex> lock(conn->txn_mu);
+      if (conn->open_txn == txn_id) conn->open_txn = 0;
+    }
+  }
+  if (res.ok()) {
+    commits_ok_.fetch_add(1, std::memory_order_relaxed);
+  } else if (res.status.code == Status::Code::kConflict) {
+    commit_conflicts_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    commits_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  conn->busy.store(false);
+  Status st = res.status;
+  if (st.ok()) st.detail = res.stats_version;  // per the kCommit frame spec
+  SendStatus(conn, request_id, st, res.ops_applied);
+  if (conn->close_after_drain.load()) shutdown(conn->fd, SHUT_RDWR);
 }
 
 void Server::StartQuery(const std::shared_ptr<Connection>& conn,
@@ -629,6 +758,10 @@ Server::Stats Server::stats() const {
   s.rows_streamed = rows_streamed_.load();
   s.cancel_frames = cancel_frames_.load();
   s.disconnect_cancels = disconnect_cancels_.load();
+  s.mutates_staged = mutates_staged_.load();
+  s.commits_ok = commits_ok_.load();
+  s.commit_conflicts = commit_conflicts_.load();
+  s.commits_failed = commits_failed_.load();
   s.admission = governor_.snapshot();
   return s;
 }

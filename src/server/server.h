@@ -73,6 +73,13 @@ class Server {
     /// worker's own failed write observed the disconnect first. The
     /// disconnect=>cancel guarantee is asserted through this counter.
     uint64_t disconnect_cancels = 0;
+    // Write path (protocol v2): MUTATE frames staged ok, and COMMIT
+    // outcomes split three ways — conflicts (retryable refusals: another
+    // writer or live cursors) are not failures.
+    uint64_t mutates_staged = 0;
+    uint64_t commits_ok = 0;
+    uint64_t commit_conflicts = 0;
+    uint64_t commits_failed = 0;
     Governor::Snapshot admission;
   };
 
@@ -123,6 +130,19 @@ class Server {
   /// Worker-side: parses a PREPARE and replies PREPARE_OK / STATUS.
   void RunPrepare(const std::shared_ptr<Connection>& conn,
                   uint64_t request_id, const std::string& text);
+  /// I/O-thread-side (v2): stage a MUTATE on the connection's transaction
+  /// (implicit Begin on the first one) and reply STATUS inline. Resolves
+  /// slot-only targets (class_id == UINT32_MAX) against the op's extent.
+  void HandleMutate(const std::shared_ptr<Connection>& conn,
+                    uint64_t request_id, MutationBatch batch);
+  /// Busy-flag admission + worker handoff for COMMIT.
+  void StartCommit(const std::shared_ptr<Connection>& conn,
+                   uint64_t request_id);
+  /// Worker-side: commits the connection's transaction and replies STATUS.
+  void RunCommit(const std::shared_ptr<Connection>& conn, uint64_t request_id);
+  /// Rolls back the connection's open transaction, if any (disconnect,
+  /// server stop).
+  void RollbackConnTxn(const std::shared_ptr<Connection>& conn);
 
   /// Serialized, timeout-bounded frame write; returns false (and poisons
   /// the connection) on failure.
@@ -172,6 +192,10 @@ class Server {
   std::atomic<uint64_t> rows_streamed_{0};
   std::atomic<uint64_t> cancel_frames_{0};
   std::atomic<uint64_t> disconnect_cancels_{0};
+  std::atomic<uint64_t> mutates_staged_{0};
+  std::atomic<uint64_t> commits_ok_{0};
+  std::atomic<uint64_t> commit_conflicts_{0};
+  std::atomic<uint64_t> commits_failed_{0};
 };
 
 }  // namespace rodin::server

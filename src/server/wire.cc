@@ -42,6 +42,10 @@ constexpr uint8_t kTagStr = 4;
 // Refs and collections: rendered server-side, decoded as strings. The tag is
 // kept distinct so a client can tell "this string is a rendering".
 constexpr uint8_t kTagRendered = 5;
+// Mutation payloads only (v2+): structural ref / set encodings. Result
+// transport (ROWS) keeps rendering — these tags never appear there.
+constexpr uint8_t kTagRef = 6;
+constexpr uint8_t kTagSet = 7;
 
 // WireQueryOptions flag bits.
 constexpr uint8_t kFlagBypassPlanCache = 1u << 0;
@@ -98,6 +102,15 @@ bool PayloadReader::U8(uint8_t* v) {
   const char* p;
   if (!Take(1, &p)) return false;
   *v = static_cast<uint8_t>(*p);
+  return true;
+}
+
+bool PayloadReader::Peek(uint8_t* v) {
+  if (!ok_ || pos_ >= size_) {
+    ok_ = false;
+    return false;
+  }
+  *v = static_cast<uint8_t>(data_[pos_]);
   return true;
 }
 
@@ -242,6 +255,133 @@ bool DecodeValue(PayloadReader* r, Value* out) {
     default:
       return false;
   }
+}
+
+namespace {
+
+// Mutation values: atoms as in ROWS, refs and sets structural (must
+// round-trip exactly). Nested sets are legal (the reader bounds recursion
+// by payload size: every element consumes at least one byte).
+void EncodeMutationValue(const Value& value, PayloadWriter* w) {
+  if (value.is_ref()) {
+    const Oid oid = value.AsRef();
+    w->U8(kTagRef);
+    w->U32(oid.class_id);
+    w->U32(oid.slot);
+  } else if (value.is_collection()) {
+    const auto& elems = value.AsCollection().elems;
+    w->U8(kTagSet);
+    w->U32(static_cast<uint32_t>(elems.size()));
+    for (const Value& e : elems) EncodeMutationValue(e, w);
+  } else {
+    EncodeValue(value, w);
+  }
+}
+
+bool DecodeMutationValue(PayloadReader* r, Value* out) {
+  uint8_t tag;
+  if (!r->Peek(&tag)) return false;
+  if (tag == kTagRef) {
+    uint32_t class_id, slot;
+    if (!r->U8(&tag) || !r->U32(&class_id) || !r->U32(&slot)) return false;
+    Oid oid;
+    oid.class_id = class_id;
+    oid.slot = slot;
+    *out = Value::Ref(oid);
+    return true;
+  }
+  if (tag == kTagSet) {
+    uint32_t count;
+    if (!r->U8(&tag) || !r->U32(&count)) return false;
+    std::vector<Value> elems;
+    for (uint32_t i = 0; i < count; ++i) {
+      Value e;
+      if (!DecodeMutationValue(r, &e)) return false;
+      elems.push_back(std::move(e));
+    }
+    *out = Value::MakeSet(std::move(elems));
+    return true;
+  }
+  return DecodeValue(r, out);
+}
+
+bool DecodeAssigns(PayloadReader* r,
+                   std::vector<std::pair<std::string, Value>>* out) {
+  uint32_t count;
+  if (!r->U32(&count)) return false;
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string attr;
+    Value v;
+    if (!r->Str(&attr) || !DecodeMutationValue(r, &v)) return false;
+    out->emplace_back(std::move(attr), std::move(v));
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeMutationBatch(const MutationBatch& batch, PayloadWriter* w) {
+  w->U32(static_cast<uint32_t>(batch.ops.size()));
+  for (const MutationOp& op : batch.ops) {
+    w->U8(static_cast<uint8_t>(op.kind));
+    w->Str(op.extent);
+    switch (op.kind) {
+      case MutationOpKind::kInsert:
+        w->U32(static_cast<uint32_t>(op.values.size()));
+        for (const auto& [attr, v] : op.values) {
+          w->Str(attr);
+          EncodeMutationValue(v, w);
+        }
+        break;
+      case MutationOpKind::kDelete:
+        w->U32(op.target.class_id);
+        w->U32(op.target.slot);
+        break;
+      case MutationOpKind::kUpdate:
+        w->U32(op.target.class_id);
+        w->U32(op.target.slot);
+        w->U32(static_cast<uint32_t>(op.values.size()));
+        for (const auto& [attr, v] : op.values) {
+          w->Str(attr);
+          EncodeMutationValue(v, w);
+        }
+        break;
+    }
+  }
+}
+
+bool DecodeMutationBatch(PayloadReader* r, MutationBatch* out) {
+  out->ops.clear();
+  uint32_t nops;
+  if (!r->U32(&nops)) return false;
+  for (uint32_t i = 0; i < nops; ++i) {
+    uint8_t kind;
+    MutationOp op;
+    if (!r->U8(&kind) || !r->Str(&op.extent)) return false;
+    switch (kind) {
+      case static_cast<uint8_t>(MutationOpKind::kInsert):
+        op.kind = MutationOpKind::kInsert;
+        if (!DecodeAssigns(r, &op.values)) return false;
+        break;
+      case static_cast<uint8_t>(MutationOpKind::kDelete):
+        op.kind = MutationOpKind::kDelete;
+        if (!r->U32(&op.target.class_id) || !r->U32(&op.target.slot)) {
+          return false;
+        }
+        break;
+      case static_cast<uint8_t>(MutationOpKind::kUpdate):
+        op.kind = MutationOpKind::kUpdate;
+        if (!r->U32(&op.target.class_id) || !r->U32(&op.target.slot) ||
+            !DecodeAssigns(r, &op.values)) {
+          return false;
+        }
+        break;
+      default:
+        return false;  // unknown op kind is a protocol error
+    }
+    out->ops.push_back(std::move(op));
+  }
+  return true;
 }
 
 std::string EncodeStatusPayload(const Status& status, uint64_t rows_produced,

@@ -9,10 +9,11 @@
 #include "api/query_options.h"
 #include "common/status.h"
 #include "storage/value.h"
+#include "txn/mutation.h"
 
 namespace rodin::server {
 
-/// rodin_serve's wire protocol, v1 (full spec: docs/SERVER.md).
+/// rodin_serve's wire protocol, v2 (full spec: docs/SERVER.md).
 ///
 /// Every message is one length-prefixed frame:
 ///
@@ -28,7 +29,17 @@ namespace rodin::server {
 /// EXECUTE frame; the server answers with SCHEMA, zero or more ROWS, and a
 /// terminal STATUS (wire code 0 = ok). Errors at any point short-circuit to
 /// the STATUS frame. HELLO/PREPARE get HELLO_OK/PREPARE_OK or STATUS.
-constexpr uint32_t kProtocolVersion = 1;
+///
+/// Version negotiation: the client's HELLO carries the highest version it
+/// speaks; the server replies with min(client, kProtocolVersion) and both
+/// sides speak that. v1 clients therefore connect to a v2 server and see
+/// byte-identical v1 behaviour; the v2 additions (MUTATE/COMMIT and the
+/// structural kTagRef/kTagSet value tags inside their payloads) are only
+/// legal on a connection that negotiated >= 2 — on a v1 connection they are
+/// an unexpected frame type, answered with an error STATUS.
+constexpr uint32_t kProtocolVersion = 2;
+/// Oldest client version the server still accepts.
+constexpr uint32_t kMinProtocolVersion = 1;
 
 /// Upper bound on a single frame's payload; a length prefix beyond this is
 /// a protocol error and the connection is dropped (a corrupt or hostile
@@ -71,6 +82,17 @@ enum class FrameType : uint8_t {
   /// c->s: clean shutdown; the server closes after any in-flight request
   /// finishes. Payload: empty.
   kGoodbye = 11,
+  /// c->s (v2+): stage a mutation batch on this connection's transaction
+  /// (opened implicitly on the first MUTATE). Payload: EncodeMutationBatch.
+  /// Reply: STATUS — ok with rows_produced = ops staged, or kConflict
+  /// (retryable) when another connection holds the write slot.
+  kMutate = 12,
+  /// c->s (v2+): commit this connection's transaction. Payload: empty.
+  /// Reply: STATUS — ok with detail = new stats version and rows_produced =
+  /// ops applied, kConflict (retryable; transaction stays open) while
+  /// streaming cursors are live, or the validation error that rolled the
+  /// transaction back.
+  kCommit = 13,
 };
 
 struct FrameHeader {
@@ -114,6 +136,8 @@ class PayloadReader {
   bool U64(uint64_t* v);
   bool F64(double* v);
   bool Str(std::string* s);
+  /// Reads the next byte without consuming it (tag dispatch).
+  bool Peek(uint8_t* v);
 
   bool ok() const { return ok_; }
   /// True when the whole payload was consumed (trailing garbage is a
@@ -162,6 +186,28 @@ struct WireQueryOptions {
 /// (the protocol is a result transport, not an object transport).
 void EncodeValue(const Value& value, PayloadWriter* w);
 bool DecodeValue(PayloadReader* r, Value* out);
+
+/// Mutation-batch serialization for MUTATE frames (v2+):
+///
+///   u32 nops, then per op:
+///     u8 kind (MutationOpKind)
+///     str extent
+///     insert: u32 nvalues, then nvalues * (str attr, mutation value)
+///     delete: u32 class_id, u32 slot (the target oid)
+///     update: u32 class_id, u32 slot, u32 nassigns, then nassigns *
+///             (str attr, mutation value)
+///
+/// Mutation values reuse the ROWS tags for atoms but — unlike result
+/// transport — encode refs and sets *structurally* (kTagRef: u32 class_id,
+/// u32 slot; kTagSet: u32 count + elements), because a mutation payload
+/// must round-trip exactly, not render.
+///
+/// Slot-only addressing: a delete/update target sent with class_id ==
+/// 0xFFFFFFFF and a real slot means "slot N of this op's extent" — the
+/// server resolves it by extent name, so clients never need to learn
+/// server-side class ids (see Server::HandleMutate).
+void EncodeMutationBatch(const MutationBatch& batch, PayloadWriter* w);
+bool DecodeMutationBatch(PayloadReader* r, MutationBatch* out);
 
 /// Builds the terminal STATUS payload for `status` (see FrameType::kStatus).
 std::string EncodeStatusPayload(const Status& status, uint64_t rows_produced,

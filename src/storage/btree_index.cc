@@ -68,8 +68,47 @@ uint64_t BTreeIndex::Build(std::vector<std::pair<Value, uint64_t>> entries,
   for (size_t i = 0; i < entries_.size(); ++i) {
     if (i == 0 || entries_[i].first != entries_[i - 1].first) ++num_distinct_;
   }
+  entry_bytes_ = entry_bytes;
+  first_page_ = first_page;
   shape_.Build(entries_.size(), entry_bytes, first_page);
+  allocated_pages_ = shape_.total_pages();
   return shape_.total_pages();
+}
+
+void BTreeIndex::Update(const std::vector<std::pair<Value, uint64_t>>& removes,
+                        const std::vector<std::pair<Value, uint64_t>>& adds,
+                        const std::function<PageId(uint64_t)>& alloc) {
+  auto less = [](const std::pair<Value, uint64_t>& a,
+                 const std::pair<Value, uint64_t>& b) {
+    const int c = a.first.Compare(b.first);
+    if (c != 0) return c < 0;
+    return a.second < b.second;
+  };
+  for (const auto& rm : removes) {
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), rm, less);
+    RODIN_CHECK(it != entries_.end() && it->second == rm.second &&
+                    it->first.Compare(rm.first) == 0,
+                "index update removes absent entry");
+    entries_.erase(it);
+  }
+  for (const auto& add : adds) {
+    auto it = std::lower_bound(entries_.begin(), entries_.end(), add, less);
+    entries_.insert(it, add);
+  }
+  num_distinct_ = 0;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (i == 0 || entries_[i].first != entries_[i - 1].first) ++num_distinct_;
+  }
+  BTreeShape trial;
+  trial.Build(entries_.size(), entry_bytes_, first_page_);
+  if (trial.total_pages() > allocated_pages_) {
+    // Outgrew the original range: move to a fresh one with 50% headroom so
+    // steady insert traffic does not reallocate per commit.
+    const uint64_t grant = trial.total_pages() + trial.total_pages() / 2 + 1;
+    first_page_ = alloc(grant);
+    allocated_pages_ = grant;
+  }
+  shape_.Build(entries_.size(), entry_bytes_, first_page_);
 }
 
 std::vector<uint64_t> BTreeIndex::Lookup(const Value& key,

@@ -2,6 +2,7 @@
 #define RODIN_STORAGE_BTREE_INDEX_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,17 @@ class BTreeIndex {
   uint64_t Build(std::vector<std::pair<Value, uint64_t>> entries,
                  uint64_t entry_bytes, PageId first_page);
 
+  /// Incremental maintenance (write path): removes then inserts exact
+  /// (key, payload) entries, keeping the array sorted, and re-derives the
+  /// page shape. While the index fits its originally-allocated page range
+  /// the shape is rebuilt in place; if it outgrows it, a fresh contiguous
+  /// range (with headroom) is drawn from `alloc(page_count)`. Removals of
+  /// absent entries abort via CHECK — the caller resolved them against the
+  /// same records this index was built from.
+  void Update(const std::vector<std::pair<Value, uint64_t>>& removes,
+              const std::vector<std::pair<Value, uint64_t>>& adds,
+              const std::function<PageId(uint64_t)>& alloc);
+
   /// Equality probe; charges descent + touched leaves to `charger` (may be
   /// null for a cost-free peek). Returns the matching payloads.
   std::vector<uint64_t> Lookup(const Value& key, PageCharger* charger) const;
@@ -89,6 +101,11 @@ class BTreeIndex {
   std::vector<std::pair<Value, uint64_t>> entries_;  // sorted by key
   uint64_t num_distinct_ = 0;
   BTreeShape shape_;
+  // Allocation bookkeeping for Update: the entry size fixed at Build, the
+  // first page of the current range and how many pages that range holds.
+  uint64_t entry_bytes_ = 16;
+  PageId first_page_ = 0;
+  uint64_t allocated_pages_ = 0;
 };
 
 }  // namespace rodin

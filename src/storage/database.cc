@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 #include <unordered_set>
 
 #include "common/check.h"
 #include "common/string_util.h"
+#include "txn/txn_manager.h"
 
 namespace rodin {
 
@@ -39,6 +41,8 @@ Database::Database(const Schema* schema) : schema_(schema) {
     extents_.push_back(std::move(info));
   }
 }
+
+Database::~Database() { TxnManager::Forget(this); }
 
 Database::ExtentInfo* Database::FindInfo(const std::string& name) {
   for (ExtentInfo& info : extents_) {
@@ -178,6 +182,325 @@ PageId Database::AllocatePages(uint64_t n) {
   return first;
 }
 
+const Database::ExtentInfo* Database::InfoOfOrNull(Oid oid) const {
+  const bool is_rel = IsRelationOid(oid);
+  const uint32_t id = oid.class_id & ~kRelationOidBit;
+  for (const ExtentInfo& info : extents_) {
+    if (info.is_relation == is_rel && info.id == id) return &info;
+  }
+  return nullptr;
+}
+
+Status Database::Apply(const MutationBatch& batch, MutationResult* result) {
+  RODIN_CHECK(finalized_, "Apply before Finalize");
+  RODIN_CHECK(result != nullptr, "Apply needs a result out-param");
+  *result = MutationResult{};
+  auto fail = [](std::string msg) {
+    return Status::Error(Status::Code::kInvalidArgument, std::move(msg));
+  };
+
+  struct Planned {
+    size_t ext = 0;  // index into extents_
+    ResolvedMutationOp op;
+    std::vector<std::string> assign_attrs;  // parallel to op.assigns
+  };
+  std::vector<Planned> planned;
+  std::vector<uint32_t> extra(extents_.size(), 0);  // staged inserts, per extent
+  std::set<Oid> batch_deletes;
+  std::set<Oid> batch_updates;
+  // (extent index, slot, field) already assigned by an earlier update — two
+  // assignments to one field would make the index delta ambiguous.
+  std::set<std::tuple<size_t, uint32_t, int>> assigned;
+
+  auto base_id = [](const ExtentInfo& info) {
+    return info.is_relation ? (info.id | kRelationOidBit) : info.id;
+  };
+  auto ext_index = [&](const ExtentInfo* info) {
+    return static_cast<size_t>(info - extents_.data());
+  };
+
+  // Pass 1: resolve names to storage positions, assign provisional slots to
+  // inserts (exact under the single-writer protocol: slots are append-only
+  // and this batch is the only writer), collect delete/update target sets.
+  for (const MutationOp& op : batch.ops) {
+    const ExtentInfo* info = FindInfo(op.extent);
+    if (info == nullptr) {
+      return fail("mutation on unknown extent '" + op.extent + "'");
+    }
+    const size_t ei = ext_index(info);
+    const Extent* e = info->extent.get();
+    const HorizontalSpec* hspec = config_.FindHorizontal(op.extent);
+    Planned p;
+    p.ext = ei;
+    p.op.kind = op.kind;
+    switch (op.kind) {
+      case MutationOpKind::kInsert: {
+        std::vector<Value> fields(e->num_fields());
+        for (const auto& [attr, val] : op.values) {
+          const int f = FieldIndex(op.extent, attr);
+          if (f < 0) {
+            return fail("insert into '" + op.extent +
+                        "': unknown or computed attribute '" + attr + "'");
+          }
+          fields[f] = val;
+        }
+        uint16_t h = 0;
+        if (hspec != nullptr && hspec->num_fragments > 1) {
+          const int hf = FieldIndex(op.extent, hspec->attr);
+          RODIN_CHECK(hf >= 0, "horizontal attr missing");
+          h = static_cast<uint16_t>(fields[hf].Hash() % hspec->num_fragments);
+        }
+        p.op.fields = std::move(fields);
+        p.op.hfrag = h;
+        p.op.slot = e->size() + extra[ei];  // predicted slot
+        result->new_oids.push_back(Oid{base_id(*info), p.op.slot});
+        ++extra[ei];
+        break;
+      }
+      case MutationOpKind::kDelete: {
+        if (op.target.class_id != base_id(*info)) {
+          return fail("delete target does not belong to extent '" + op.extent +
+                      "'");
+        }
+        if (!e->alive(op.target.slot)) {
+          return fail("delete of dead or out-of-range slot in '" + op.extent +
+                      "'");
+        }
+        if (!batch_deletes.insert(op.target).second) {
+          return fail("duplicate delete of one oid in a batch");
+        }
+        p.op.slot = op.target.slot;
+        break;
+      }
+      case MutationOpKind::kUpdate: {
+        if (op.target.class_id != base_id(*info)) {
+          return fail("update target does not belong to extent '" + op.extent +
+                      "'");
+        }
+        if (!e->alive(op.target.slot)) {
+          return fail("update of dead or out-of-range slot in '" + op.extent +
+                      "'");
+        }
+        for (const auto& [attr, val] : op.values) {
+          const int f = FieldIndex(op.extent, attr);
+          if (f < 0) {
+            return fail("update of '" + op.extent +
+                        "': unknown or computed attribute '" + attr + "'");
+          }
+          if (hspec != nullptr && hspec->num_fragments > 1 &&
+              attr == hspec->attr) {
+            return fail("cannot update horizontal-fragmentation attribute '" +
+                        attr + "' of '" + op.extent +
+                        "' (records do not migrate between fragments)");
+          }
+          if (!assigned.insert({ei, op.target.slot, f}).second) {
+            return fail("two updates assign one field of one oid in a batch");
+          }
+          p.op.assigns.emplace_back(f, val);
+          p.assign_attrs.push_back(attr);
+        }
+        p.op.slot = op.target.slot;
+        batch_updates.insert(op.target);
+        break;
+      }
+    }
+    planned.push_back(std::move(p));
+  }
+  for (const Oid& oid : batch_updates) {
+    if (batch_deletes.count(oid) > 0) {
+      return fail("a batch both updates and deletes one oid");
+    }
+  }
+
+  // Pass 2: every ref the batch writes must resolve to a live oid — either
+  // pre-existing and not deleted by this batch, or created by one of this
+  // batch's own inserts.
+  auto ref_ok = [&](Oid oid) {
+    const ExtentInfo* info = InfoOfOrNull(oid);
+    if (info == nullptr) return false;
+    if (batch_deletes.count(oid) > 0) return false;
+    if (info->extent->alive(oid.slot)) return true;
+    const size_t ei = ext_index(info);
+    return oid.slot >= info->extent->size() &&
+           oid.slot < info->extent->size() + extra[ei];
+  };
+  std::function<bool(const Value&)> value_refs_ok = [&](const Value& v) {
+    if (v.is_ref()) return ref_ok(v.AsRef());
+    if (v.is_collection()) {
+      for (const Value& ev : v.AsCollection().elems) {
+        if (!value_refs_ok(ev)) return false;
+      }
+    }
+    return true;
+  };
+  for (const Planned& p : planned) {
+    if (p.op.kind == MutationOpKind::kInsert) {
+      for (const Value& v : p.op.fields) {
+        if (!value_refs_ok(v)) return fail("mutation writes a dangling ref");
+      }
+    } else if (p.op.kind == MutationOpKind::kUpdate) {
+      for (const auto& [f, v] : p.op.assigns) {
+        if (!value_refs_ok(v)) return fail("mutation writes a dangling ref");
+      }
+    }
+  }
+
+  // Pass 3: referential integrity of deletes — after the batch, no live
+  // record may still reference a deleted oid. Updated fields are judged by
+  // their new values (an update may exist precisely to drop such a ref);
+  // everything else by its current ones.
+  if (!batch_deletes.empty()) {
+    std::map<std::pair<size_t, uint32_t>, const Planned*> updates;
+    for (const Planned& p : planned) {
+      if (p.op.kind == MutationOpKind::kUpdate) {
+        updates[{p.ext, p.op.slot}] = &p;
+      }
+    }
+    std::function<bool(const Value&)> hits_deleted = [&](const Value& v) {
+      if (v.is_ref()) return batch_deletes.count(v.AsRef()) > 0;
+      if (v.is_collection()) {
+        for (const Value& ev : v.AsCollection().elems) {
+          if (hits_deleted(ev)) return true;
+        }
+      }
+      return false;
+    };
+    for (size_t ei = 0; ei < extents_.size(); ++ei) {
+      const Extent* e = extents_[ei].extent.get();
+      const uint32_t base = base_id(extents_[ei]);
+      for (uint32_t s = 0; s < e->size(); ++s) {
+        if (!e->alive(s)) continue;
+        if (batch_deletes.count(Oid{base, s}) > 0) continue;
+        const auto up = updates.find({ei, s});
+        const std::vector<Value>& rec = e->Record(s);
+        for (uint32_t f = 0; f < e->num_fields(); ++f) {
+          const Value* v = &rec[f];
+          if (up != updates.end()) {
+            for (const auto& [af, av] : up->second->op.assigns) {
+              if (static_cast<uint32_t>(af) == f) v = &av;
+            }
+          }
+          if (hits_deleted(*v)) {
+            return fail("delete would leave a dangling ref from '" +
+                        e->name() + "'");
+          }
+        }
+      }
+    }
+  }
+
+  // Pre-apply: selection-index deltas need the *old* values of deleted and
+  // reassigned fields, so gather them before records change.
+  struct SelDelta {
+    std::vector<std::pair<Value, uint64_t>> removes, adds;
+  };
+  std::vector<SelDelta> sel_deltas(sel_indexes_.size());
+  for (size_t i = 0; i < sel_indexes_.size(); ++i) {
+    const ExtentInfo* info = FindInfo(sel_index_extent_[i]);
+    RODIN_CHECK(info != nullptr, "sel index extent vanished");
+    const size_t ei = ext_index(info);
+    const int f = FieldIndex(sel_index_extent_[i], sel_indexes_[i]->attr());
+    RODIN_CHECK(f >= 0, "sel index attribute vanished");
+    for (const Planned& p : planned) {
+      if (p.ext != ei) continue;
+      switch (p.op.kind) {
+        case MutationOpKind::kInsert: {
+          const Value& v = p.op.fields[f];
+          if (!v.is_null()) sel_deltas[i].adds.emplace_back(v, p.op.slot);
+          break;
+        }
+        case MutationOpKind::kDelete: {
+          const Value& v = info->extent->Record(p.op.slot)[f];
+          if (!v.is_null()) sel_deltas[i].removes.emplace_back(v, p.op.slot);
+          break;
+        }
+        case MutationOpKind::kUpdate: {
+          for (const auto& [af, av] : p.op.assigns) {
+            if (af != f) continue;
+            const Value& old = info->extent->Record(p.op.slot)[f];
+            if (!old.is_null()) {
+              sel_deltas[i].removes.emplace_back(old, p.op.slot);
+            }
+            if (!av.is_null()) sel_deltas[i].adds.emplace_back(av, p.op.slot);
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // Which path indexes the batch can affect: a root-class insert/delete
+  // grows/shrinks the entry head set; any op that writes (or could write) a
+  // path attribute rewires instantiations. Rebuilds re-expand from live
+  // records, so over-approximating here costs work, never correctness.
+  std::vector<bool> path_affected(path_indexes_.size(), false);
+  for (size_t k = 0; k < path_indexes_.size(); ++k) {
+    const PathIndexSpec& spec = config_.path_indexes[k];
+    const std::set<std::string> path_attrs(spec.path.begin(), spec.path.end());
+    for (const Planned& p : planned) {
+      const std::string& name = extents_[p.ext].extent->name();
+      bool hit = false;
+      if (p.op.kind == MutationOpKind::kUpdate) {
+        for (const std::string& attr : p.assign_attrs) {
+          if (path_attrs.count(attr) > 0) hit = true;
+        }
+      } else {
+        if (name == spec.root_class) hit = true;
+        for (const std::string& attr : path_attrs) {
+          if (FieldIndex(name, attr) >= 0) hit = true;
+        }
+      }
+      if (hit) {
+        path_affected[k] = true;
+        break;
+      }
+    }
+  }
+
+  // Apply: lower to per-extent op lists (batch order preserved within each
+  // extent, which is all provisional-slot prediction relies on).
+  const Extent::PageAlloc alloc = [this](uint64_t n) {
+    return AllocatePages(n);
+  };
+  std::vector<std::vector<ResolvedMutationOp>> per_extent(extents_.size());
+  for (const Planned& p : planned) per_extent[p.ext].push_back(p.op);
+  for (size_t ei = 0; ei < extents_.size(); ++ei) {
+    if (!per_extent[ei].empty()) extents_[ei].extent->Apply(per_extent[ei], alloc);
+  }
+  for (const Planned& p : planned) {
+    switch (p.op.kind) {
+      case MutationOpKind::kInsert:
+        RODIN_CHECK(extents_[p.ext].extent->alive(p.op.slot),
+                    "provisional slot prediction broke");
+        ++result->inserted;
+        break;
+      case MutationOpKind::kDelete:
+        ++result->deleted;
+        break;
+      case MutationOpKind::kUpdate:
+        ++result->updated;
+        break;
+    }
+  }
+
+  // Index maintenance: selection indices patch incrementally; path indices
+  // re-expand (instantiations are non-local in the edge set).
+  for (size_t i = 0; i < sel_indexes_.size(); ++i) {
+    if (sel_deltas[i].removes.empty() && sel_deltas[i].adds.empty()) continue;
+    sel_indexes_[i]->Update(sel_deltas[i].removes, sel_deltas[i].adds, alloc);
+  }
+  for (size_t k = 0; k < path_indexes_.size(); ++k) {
+    if (!path_affected[k]) continue;
+    const PathIndexSpec& spec = config_.path_indexes[k];
+    const ClassDef* root = schema_->FindClass(spec.root_class);
+    RODIN_CHECK(root != nullptr, "path index root class vanished");
+    path_indexes_[k]->Rebuild(ExpandPathEntries(spec, root->id()), alloc);
+  }
+
+  result->status = Status::Ok();
+  return Status::Ok();
+}
+
 uint64_t Database::DeriveRecordBytes(const ExtentInfo& info) const {
   const uint64_t overridden =
       config_.RecordBytesOverride(info.extent->name());
@@ -288,6 +611,15 @@ void Database::LayoutExtents() {
                            std::max<uint32_t>(1u, e->num_fields());
     return std::max<uint64_t>(8, share);
   };
+  // Remember the per-fragment record footprint: the write path's append
+  // packer sizes post-finalize inserts with it.
+  for (ExtentInfo& info : extents_) {
+    Extent* e = info.extent.get();
+    e->frag_bytes_.assign(e->num_vfrags_, 8);
+    for (uint16_t v = 0; v < e->num_vfrags_; ++v) {
+      e->frag_bytes_[v] = frag_bytes(info, v);
+    }
+  }
 
   // Which classes are clustering targets, and through which owner attr.
   std::set<std::string> cluster_targets;
@@ -416,6 +748,7 @@ void Database::BuildIndexes() {
     std::vector<std::pair<Value, uint64_t>> entries;
     const Extent* e = info->extent.get();
     for (uint32_t s = 0; s < e->size(); ++s) {
+      if (!e->alive(s)) continue;
       const Value& v = e->Record(s)[field];
       if (!v.is_null()) entries.emplace_back(v, s);
     }
@@ -445,37 +778,45 @@ void Database::BuildIndexes() {
       RODIN_CHECK(cls != nullptr, "path index class missing");
       class_ids.push_back(cls->id());
     }
-    // Expand every instantiation of the path.
-    std::vector<std::vector<Oid>> entries;
-    const Extent* root_extent = FindExtent(spec.root_class);
-    std::function<void(Oid, size_t, std::vector<Oid>&)> expand =
-        [&](Oid oid, size_t depth, std::vector<Oid>& cur) {
-          cur.push_back(oid);
-          if (depth == spec.path.size()) {
-            entries.push_back(cur);
-            cur.pop_back();
-            return;
-          }
-          const Value v = GetRaw(oid, spec.path[depth]);
-          if (v.is_ref()) {
-            expand(v.AsRef(), depth + 1, cur);
-          } else if (v.is_collection()) {
-            for (const Value& ev : v.AsCollection().elems) {
-              if (ev.is_ref()) expand(ev.AsRef(), depth + 1, cur);
-            }
-          }
-          cur.pop_back();
-        };
-    for (uint32_t s = 0; s < root_extent->size(); ++s) {
-      std::vector<Oid> cur;
-      expand(Oid{root->id(), s}, 0, cur);
-    }
+    std::vector<std::vector<Oid>> entries =
+        ExpandPathEntries(spec, root->id());
     auto index = std::make_unique<PathIndex>(spec.root_class, spec.path,
                                              std::move(class_ids));
     const uint64_t pages = index->Build(std::move(entries), next_page_);
     next_page_ += pages;
     path_indexes_.push_back(std::move(index));
   }
+}
+
+std::vector<std::vector<Oid>> Database::ExpandPathEntries(
+    const PathIndexSpec& spec, uint32_t root_id) const {
+  std::vector<std::vector<Oid>> entries;
+  const Extent* root_extent = FindExtent(spec.root_class);
+  RODIN_CHECK(root_extent != nullptr, "path index on unknown extent");
+  std::function<void(Oid, size_t, std::vector<Oid>&)> expand =
+      [&](Oid oid, size_t depth, std::vector<Oid>& cur) {
+        cur.push_back(oid);
+        if (depth == spec.path.size()) {
+          entries.push_back(cur);
+          cur.pop_back();
+          return;
+        }
+        const Value v = GetRaw(oid, spec.path[depth]);
+        if (v.is_ref()) {
+          expand(v.AsRef(), depth + 1, cur);
+        } else if (v.is_collection()) {
+          for (const Value& ev : v.AsCollection().elems) {
+            if (ev.is_ref()) expand(ev.AsRef(), depth + 1, cur);
+          }
+        }
+        cur.pop_back();
+      };
+  for (uint32_t s = 0; s < root_extent->size(); ++s) {
+    if (!root_extent->alive(s)) continue;
+    std::vector<Oid> cur;
+    expand(Oid{root_id, s}, 0, cur);
+  }
+  return entries;
 }
 
 void Database::Finalize(PhysicalConfig config) {

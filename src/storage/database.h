@@ -9,12 +9,14 @@
 #include <vector>
 
 #include "catalog/schema.h"
+#include "common/status.h"
 #include "storage/btree_index.h"
 #include "storage/buffer_pool.h"
 #include "storage/extent.h"
 #include "storage/path_index.h"
 #include "storage/physical_schema.h"
 #include "storage/value.h"
+#include "txn/mutation.h"
 
 namespace rodin {
 
@@ -52,6 +54,9 @@ class Database {
   /// `schema` must outlive the database.
   explicit Database(const Schema* schema);
 
+  /// Unregisters this database's TxnManager (see txn/txn_manager.h).
+  ~Database();
+
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
@@ -88,6 +93,20 @@ class Database {
   /// query the batched executor only allocates from its coordinator thread
   /// (allocation order is part of the deterministic accounting).
   PageId AllocatePages(uint64_t n);
+
+  // --- Write path (post-Finalize) ------------------------------------------
+
+  /// Validates and applies a mutation batch all-or-nothing: either every op
+  /// lands (records, page layout, selection and path indices all updated)
+  /// and `*result` reports what changed, or the database is untouched and
+  /// the returned status says why (kInvalidArgument: unknown extent or
+  /// attribute, assignment to a computed or horizontal-fragmentation
+  /// attribute, dangling ref, or a delete that would leave a live record
+  /// referencing a dead oid). Refs may point at oids created by earlier (or
+  /// later) inserts of the same batch. NOT thread-safe against concurrent
+  /// readers — callers go through TxnManager, whose single-writer commit
+  /// gate drains reads first.
+  Status Apply(const MutationBatch& batch, MutationResult* result);
 
   // --- Uncharged access (tests, data generators, stats derivation) --------
 
@@ -183,10 +202,17 @@ class Database {
   ExtentInfo* FindInfo(const std::string& name);
   const ExtentInfo* FindInfo(const std::string& name) const;
   const ExtentInfo* InfoOf(Oid oid) const;
+  /// Like InfoOf but returns null instead of aborting (write-path
+  /// validation of untrusted oids).
+  const ExtentInfo* InfoOfOrNull(Oid oid) const;
 
   uint64_t DeriveRecordBytes(const ExtentInfo& info) const;
   void LayoutExtents();
   void BuildIndexes();
+  /// Expands every instantiation of a path-index spec over the current live
+  /// records (shared by the initial build and write-path rebuilds).
+  std::vector<std::vector<Oid>> ExpandPathEntries(const PathIndexSpec& spec,
+                                                  uint32_t root_id) const;
 
   const Schema* schema_;
   PhysicalConfig config_;

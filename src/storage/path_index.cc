@@ -22,8 +22,32 @@ uint64_t PathIndex::Build(std::vector<std::vector<Oid>> entries,
             });
   // Entry size: one oid (8B) per class along the path.
   const uint64_t entry_bytes = 8ULL * (path_.size() + 1);
+  first_page_ = first_page;
   shape_.Build(entries_.size(), entry_bytes, first_page);
+  allocated_pages_ = shape_.total_pages();
   return shape_.total_pages();
+}
+
+void PathIndex::Rebuild(std::vector<std::vector<Oid>> entries,
+                        const std::function<PageId(uint64_t)>& alloc) {
+  for (const auto& e : entries) {
+    RODIN_CHECK(e.size() == path_.size() + 1, "path index entry arity mismatch");
+  }
+  entries_ = std::move(entries);
+  std::sort(entries_.begin(), entries_.end(),
+            [](const std::vector<Oid>& a, const std::vector<Oid>& b) {
+              return std::lexicographical_compare(a.begin(), a.end(), b.begin(),
+                                                  b.end());
+            });
+  const uint64_t entry_bytes = 8ULL * (path_.size() + 1);
+  BTreeShape trial;
+  trial.Build(entries_.size(), entry_bytes, first_page_);
+  if (trial.total_pages() > allocated_pages_) {
+    const uint64_t grant = trial.total_pages() + trial.total_pages() / 2 + 1;
+    first_page_ = alloc(grant);
+    allocated_pages_ = grant;
+  }
+  shape_.Build(entries_.size(), entry_bytes, first_page_);
 }
 
 std::vector<const std::vector<Oid>*> PathIndex::Lookup(Oid head,

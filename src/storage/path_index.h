@@ -1,6 +1,7 @@
 #ifndef RODIN_STORAGE_PATH_INDEX_H_
 #define RODIN_STORAGE_PATH_INDEX_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,14 @@ class PathIndex {
   /// Sorts entries by head oid and lays out the B+-tree. Returns pages used.
   uint64_t Build(std::vector<std::vector<Oid>> entries, PageId first_page);
 
+  /// Write-path maintenance: replaces the entry set with a freshly expanded
+  /// one (path instantiations are non-local — one edge change can rewrite
+  /// many tuples — so the index re-expands rather than patching). The page
+  /// shape is rebuilt in place while it fits the original allocation, else
+  /// a fresh range (with headroom) is drawn from `alloc(page_count)`.
+  void Rebuild(std::vector<std::vector<Oid>> entries,
+               const std::function<PageId(uint64_t)>& alloc);
+
   /// All path instantiations starting at `head`; charges descent + leaves.
   /// Each result tuple has path_length()+1 oids (head first).
   std::vector<const std::vector<Oid>*> Lookup(Oid head, PageCharger* charger) const;
@@ -50,6 +59,8 @@ class PathIndex {
   std::vector<uint32_t> class_ids_;
   std::vector<std::vector<Oid>> entries_;  // sorted by entries[i][0]
   BTreeShape shape_;
+  PageId first_page_ = 0;
+  uint64_t allocated_pages_ = 0;
 };
 
 }  // namespace rodin

@@ -1,0 +1,105 @@
+#ifndef RODIN_TXN_MUTATION_H_
+#define RODIN_TXN_MUTATION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace rodin {
+
+/// The typed surface of the mutation API: a staged batch of record-level
+/// operations against named extents. Batches are validated and applied
+/// atomically at commit (see TxnManager); the same struct travels the wire
+/// in MUTATE frames, so the embedded and networked mutation paths share one
+/// vocabulary.
+enum class MutationOpKind : uint8_t {
+  kInsert = 1,
+  kDelete = 2,
+  kUpdate = 3,
+};
+
+struct MutationOp {
+  MutationOpKind kind = MutationOpKind::kInsert;
+  /// Class or relation extent the op targets.
+  std::string extent;
+  /// Insert: (attribute, value) pairs for the new record; unnamed stored
+  /// attributes default to null. Update: the assignments to apply.
+  std::vector<std::pair<std::string, Value>> values;
+  /// Delete/update target. Ignored for inserts.
+  Oid target = Oid::Invalid();
+};
+
+/// An ordered list of operations applied all-or-nothing at commit. Refs in
+/// inserted/updated values may point at oids created by inserts of the same
+/// batch (slots are assigned deterministically under the single-writer
+/// protocol, so Session::Apply can hand them out at staging time).
+struct MutationBatch {
+  std::vector<MutationOp> ops;
+
+  void Insert(std::string extent,
+              std::vector<std::pair<std::string, Value>> values) {
+    MutationOp op;
+    op.kind = MutationOpKind::kInsert;
+    op.extent = std::move(extent);
+    op.values = std::move(values);
+    ops.push_back(std::move(op));
+  }
+  void Delete(std::string extent, Oid target) {
+    MutationOp op;
+    op.kind = MutationOpKind::kDelete;
+    op.extent = std::move(extent);
+    op.target = target;
+    ops.push_back(std::move(op));
+  }
+  void Update(std::string extent, Oid target,
+              std::vector<std::pair<std::string, Value>> assigns) {
+    MutationOp op;
+    op.kind = MutationOpKind::kUpdate;
+    op.extent = std::move(extent);
+    op.target = target;
+    op.values = std::move(assigns);
+    ops.push_back(std::move(op));
+  }
+
+  bool empty() const { return ops.empty(); }
+  size_t size() const { return ops.size(); }
+};
+
+/// What one staged/applied batch did. `new_oids` is parallel to the batch's
+/// insert ops in order; at staging time the oids are *provisional* (the
+/// slots the inserts will occupy when the transaction commits — exact under
+/// the single-writer protocol).
+struct MutationResult {
+  Status status;
+  uint64_t inserted = 0;
+  uint64_t deleted = 0;
+  uint64_t updated = 0;
+  std::vector<Oid> new_oids;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Outcome of TxnManager::Commit / Session::Commit.
+struct CommitResult {
+  Status status;
+  /// Operations applied (sum over the transaction's staged batches).
+  uint64_t ops_applied = 0;
+  /// The engine-wide stats version after the commit (bumped on success).
+  uint64_t stats_version = 0;
+  /// Materialized fixpoints brought up to date by this commit.
+  uint64_t views_maintained = 0;
+  /// True when every maintained view took the incremental delta path;
+  /// false when any fell back to a full recompute (cycle introduced,
+  /// counting overflow, or policy kRecompute).
+  bool used_incremental = true;
+
+  bool ok() const { return status.ok(); }
+};
+
+}  // namespace rodin
+
+#endif  // RODIN_TXN_MUTATION_H_

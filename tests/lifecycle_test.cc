@@ -346,6 +346,70 @@ TEST_F(LifecycleTest, MemoryBudgetDegradesGracefully) {
   EXPECT_EQ(g_.db->buffer_pool().query_budget(), 0u);
 }
 
+// The mutation-vs-live-cursor contract (docs/ROBUSTNESS.md): a commit while
+// a streaming cursor is live REFUSES with retryable kConflict (detail = the
+// live-cursor count) rather than mutating under the reader. The cursor
+// drains its complete pre-commit answer; the refused transaction stays open
+// and commits once the cursor is gone.
+TEST_F(LifecycleTest, CommitRefusedWhileCursorStreamsThenSucceeds) {
+  Session reader(g_.db.get());
+  QueryOptions options;
+  options.batch_rows = 2;  // keep the cursor alive across several batches
+  const QueryRun oracle = reader.Run(kFig3Text);
+  ASSERT_TRUE(oracle.ok()) << oracle.error();
+
+  ResultCursor cur = reader.Query(kFig3Text, options);
+  ASSERT_TRUE(cur.ok()) << cur.error();
+  RowBatch batch;
+  ASSERT_TRUE(cur.Next(&batch));  // mid-stream: the cursor is now live
+
+  Session writer(g_.db.get());
+  uint64_t txn = 0;
+  ASSERT_TRUE(writer.Begin(&txn).ok());
+  MutationBatch mutation;
+  mutation.Insert("Composer", {{"name", Value::Str("Interloper")}});
+  ASSERT_TRUE(writer.Apply(txn, mutation).ok());
+
+  const CommitResult refused = writer.Commit(txn);
+  EXPECT_EQ(refused.status.code, Status::Code::kConflict);
+  EXPECT_TRUE(refused.status.retryable());
+  EXPECT_EQ(refused.status.detail, 1u);  // one live cursor
+
+  // The cursor streams its full pre-commit snapshot.
+  Table streamed;
+  for (Row& r : batch.rows) streamed.rows.push_back(std::move(r));
+  while (cur.Next(&batch)) {
+    for (Row& r : batch.rows) streamed.rows.push_back(std::move(r));
+  }
+  EXPECT_TRUE(cur.finished());
+  EXPECT_EQ(Keys(streamed), Keys(oracle.answer));
+
+  // Drained cursor => the same (still-open) transaction commits now.
+  const CommitResult ok = writer.Commit(txn);
+  ASSERT_TRUE(ok.ok()) << ok.status.ToString();
+  EXPECT_EQ(ok.ops_applied, 1u);
+}
+
+// An abandoned (destroyed-early) cursor must release the gate too — early
+// destruction finalizes the stream, so a commit afterwards goes through.
+TEST_F(LifecycleTest, AbandonedCursorReleasesCommitGate) {
+  Session reader(g_.db.get());
+  Session writer(g_.db.get());
+  {
+    QueryOptions options;
+    options.batch_rows = 2;
+    ResultCursor cur = reader.Query(kFig3Text, options);
+    ASSERT_TRUE(cur.ok()) << cur.error();
+    RowBatch batch;
+    ASSERT_TRUE(cur.Next(&batch));
+  }  // cursor destroyed partially read
+
+  MutationBatch mutation;
+  mutation.Insert("Composer", {{"name", Value::Str("AfterAbandon")}});
+  const CommitResult commit = writer.Mutate(mutation);
+  ASSERT_TRUE(commit.ok()) << commit.status.ToString();
+}
+
 TEST(LifecycleHardBudgetTest, SingleAllocationOverBudgetIsResourceExhausted) {
   // Big enough that the fixpoint's first materialized table alone needs
   // several pages: a 1-page budget cannot be honoured gracefully.

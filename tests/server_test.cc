@@ -682,5 +682,177 @@ TEST_F(ServerTest, RawProtocolRefusesPipelinedSecondRequest) {
   EXPECT_TRUE(saw_first_terminal);
 }
 
+// --------------------------------------------------- protocol v2 writes --
+
+TEST_F(ServerTest, MutateCommitRoundTripAndVisibility) {
+  StartServer(200, 2, 4);
+  Client client = Connected();
+  ASSERT_EQ(client.protocol_version(), kProtocolVersion);
+
+  // One batch: a fresh composer plus a slot-only rename of Composer@0 (the
+  // client never learns server-side class ids — class_id 0xFFFFFFFF means
+  // "slot N of this op's extent", resolved in Server::HandleMutate).
+  MutationBatch batch;
+  batch.Insert("Composer", {{"name", Value::Str("wire_composer")},
+                            {"master", Value::Null()}});
+  batch.Update("Composer", Oid{UINT32_MAX, 0},
+               {{"name", Value::Str("wire_renamed_0")}});
+  uint64_t staged = 0;
+  Status s = client.Mutate(batch, &staged);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(staged, 2u);
+
+  uint64_t applied = 0, stats_version = 0;
+  s = client.Commit(&applied, &stats_version);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(applied, 2u);
+  EXPECT_GE(stats_version, 2u);
+
+  // Both effects are visible to a plain v2 QUERY on the same engine.
+  ClientResult inserted = client.Query(
+      R"(select [n: x.name] from x in Composer where x.name = "wire_composer")");
+  ASSERT_TRUE(inserted.ok()) << inserted.status.ToString();
+  EXPECT_EQ(inserted.rows.size(), 1u);
+  ClientResult renamed = client.Query(
+      R"(select [n: x.name] from x in Composer where x.name = "wire_renamed_0")");
+  ASSERT_TRUE(renamed.ok()) << renamed.status.ToString();
+  EXPECT_EQ(renamed.rows.size(), 1u);
+
+  EXPECT_EQ(server_->stats().mutates_staged, 1u);
+  EXPECT_EQ(server_->stats().commits_ok, 1u);
+  EXPECT_EQ(server_->stats().commits_failed, 0u);
+  client.Goodbye();
+}
+
+TEST_F(ServerTest, MutateConflictAcrossConnectionsIsRetryable) {
+  StartServer(200, 2, 4);
+  Client writer = Connected();
+  Client rival = Connected();
+
+  MutationBatch batch;
+  batch.Insert("Composer", {{"name", Value::Str("first_writer")},
+                            {"master", Value::Null()}});
+  ASSERT_TRUE(writer.Mutate(batch).ok());
+
+  // The single write slot is held by `writer`'s open transaction: the
+  // rival's MUTATE is refused with a retryable conflict, not a failure.
+  MutationBatch rival_batch;
+  rival_batch.Insert("Composer", {{"name", Value::Str("second_writer")},
+                                  {"master", Value::Null()}});
+  const Status refused = rival.Mutate(rival_batch);
+  EXPECT_EQ(refused.code, Status::Code::kConflict);
+  EXPECT_TRUE(refused.retryable());
+
+  // Once the holder commits, the retry goes through.
+  ASSERT_TRUE(writer.Commit().ok());
+  ASSERT_TRUE(rival.Mutate(rival_batch).ok());
+  ASSERT_TRUE(rival.Commit().ok());
+
+  ClientResult both = writer.Query(
+      R"(select [n: x.name] from x in Composer
+         where x.name = "first_writer" or x.name = "second_writer")");
+  ASSERT_TRUE(both.ok()) << both.status.ToString();
+  EXPECT_EQ(both.rows.size(), 2u);
+  writer.Goodbye();
+  rival.Goodbye();
+}
+
+// A v1 client must be served exactly as before this protocol existed: the
+// HELLO_OK negotiates down to 1, queries work, and the new frame types are
+// a protocol error on its connection.
+TEST_F(ServerTest, RawProtocolV1ClientNegotiatesDownAndCannotMutate) {
+  StartServer(200, 2, 4);
+  RawConnection raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  PayloadWriter hello;
+  hello.U32(1);  // a pre-write-path client
+  ASSERT_TRUE(raw.Send(EncodeFrame(FrameType::kHello, 1, hello.Take())));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(raw.ReadFrame(&header, &payload));
+  ASSERT_EQ(header.type, FrameType::kHelloOk);
+  {
+    PayloadReader r(payload.data(), payload.size());
+    uint32_t negotiated = 0;
+    std::string banner;
+    uint64_t conn_id = 0;
+    ASSERT_TRUE(r.U32(&negotiated));
+    ASSERT_TRUE(r.Str(&banner));
+    ASSERT_TRUE(r.U64(&conn_id));
+    ASSERT_TRUE(r.AtEnd());  // no v2-only fields leak into a v1 HELLO_OK
+    EXPECT_EQ(negotiated, 1u);
+    EXPECT_NE(conn_id, 0u);
+  }
+
+  // The read path is unchanged for this client.
+  PayloadWriter q;
+  q.Str(kSimpleQuery);
+  WireQueryOptions().Encode(&q);
+  ASSERT_TRUE(raw.Send(EncodeFrame(FrameType::kQuery, 2, q.Take())));
+  bool query_ok = false;
+  while (raw.ReadFrame(&header, &payload)) {
+    if (header.type != FrameType::kStatus) continue;
+    PayloadReader r(payload.data(), payload.size());
+    Status status;
+    uint64_t rows;
+    double cost;
+    ASSERT_TRUE(DecodeStatusPayload(&r, &status, &rows, &cost));
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    query_ok = status.ok();
+    break;
+  }
+  ASSERT_TRUE(query_ok);
+
+  // MUTATE on a v1 connection is an unexpected frame type: refused with a
+  // STATUS and the connection dropped, exactly like any other stray frame.
+  ASSERT_TRUE(raw.Send(EncodeFrame(FrameType::kMutate, 3, "")));
+  ASSERT_TRUE(raw.ReadFrame(&header, &payload));
+  EXPECT_EQ(header.type, FrameType::kStatus);
+  {
+    PayloadReader r(payload.data(), payload.size());
+    Status status;
+    uint64_t rows;
+    double cost;
+    ASSERT_TRUE(DecodeStatusPayload(&r, &status, &rows, &cost));
+    EXPECT_EQ(status.code, Status::Code::kInvalidArgument);
+  }
+  EXPECT_FALSE(raw.ReadFrame(&header, &payload));
+  EXPECT_TRUE(EventuallyTrue(
+      [](const Server::Stats& s) { return s.protocol_errors >= 1; }));
+}
+
+TEST_F(ServerTest, DisconnectRollsBackStagedTransaction) {
+  StartServer(200, 2, 4);
+  {
+    Client doomed = Connected();
+    MutationBatch batch;
+    batch.Insert("Composer", {{"name", Value::Str("never_committed")},
+                              {"master", Value::Null()}});
+    ASSERT_TRUE(doomed.Mutate(batch).ok());
+    doomed.Close();  // vanishes with the write slot held
+  }
+  ASSERT_TRUE(EventuallyTrue(
+      [](const Server::Stats& s) { return s.connections_active == 0; }));
+
+  // The disconnect rolled the staged transaction back: the write slot is
+  // free for the next connection, and nothing leaked into the data.
+  Client next = Connected();
+  MutationBatch batch;
+  batch.Insert("Composer", {{"name", Value::Str("after_crash")},
+                            {"master", Value::Null()}});
+  ASSERT_TRUE(next.Mutate(batch).ok());
+  ASSERT_TRUE(next.Commit().ok());
+  ClientResult ghost = next.Query(
+      R"(select [n: x.name] from x in Composer
+         where x.name = "never_committed")");
+  ASSERT_TRUE(ghost.ok());
+  EXPECT_TRUE(ghost.rows.empty());
+  ClientResult landed = next.Query(
+      R"(select [n: x.name] from x in Composer where x.name = "after_crash")");
+  ASSERT_TRUE(landed.ok());
+  EXPECT_EQ(landed.rows.size(), 1u);
+  next.Goodbye();
+}
+
 }  // namespace
 }  // namespace rodin::server

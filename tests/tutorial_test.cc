@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "api/engine.h"
 #include "api/session.h"
 #include "common/faults.h"
@@ -258,6 +262,60 @@ TEST(TutorialServerTest, ServingTrafficSectionWorksAsWritten) {
   EXPECT_EQ(r.rows[0][0].AsString(), "Bach");
   EXPECT_GE(r.measured_cost, 0);
   client.Goodbye();
+}
+
+TEST_F(TutorialTest, MutatingDataSectionWorksAsWritten) {
+  // Mirrors "Mutating data": the one-shot Mutate from the tutorial, its
+  // CommitResult claims, the single-writer conflict and the all-or-nothing
+  // referential-integrity refusal.
+  Session session(db_.get());
+  ASSERT_TRUE(session.Materialize({"depends", "Package", "", "deps"}).ok());
+
+  MutationBatch batch;
+  batch.Insert("Package", {{"pname", Value::Str("leftpad")},
+                           {"license", Value::Str("MIT")},
+                           {"kloc", Value::Int(1)}});
+  batch.Update("Package", db_->PayloadToOid("Package", 10),
+               {{"deps", Value::MakeSet({Value::Ref(
+                             db_->PayloadToOid("Package", 5))})}});
+  const CommitResult r = session.Mutate(batch);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.ops_applied, 2u);
+  EXPECT_EQ(r.stats_version, 2u);
+  EXPECT_EQ(r.views_maintained, 1u);
+  EXPECT_TRUE(r.used_incremental);
+
+  // The commit is immediately visible to queries on this database...
+  const QueryRun run = session.Run(
+      R"(select [n: x.pname] from x in Package where x.pname = "leftpad")");
+  ASSERT_TRUE(run.ok()) << run.error();
+  EXPECT_EQ(run.answer.rows.size(), 1u);
+
+  // ...and the maintained closure contains the rewired edge.
+  std::vector<std::pair<Oid, Oid>> pairs;
+  ASSERT_TRUE(session.MaterializedRows("depends", &pairs).ok());
+  const std::pair<Oid, Oid> edge{db_->PayloadToOid("Package", 10),
+                                 db_->PayloadToOid("Package", 5)};
+  EXPECT_NE(std::find(pairs.begin(), pairs.end(), edge), pairs.end());
+
+  // Single-writer: a second open transaction is a retryable kConflict.
+  Session rival(db_.get());
+  uint64_t mine = 0, theirs = 0;
+  ASSERT_TRUE(session.Begin(&mine).ok());
+  const Status refused = rival.Begin(&theirs);
+  EXPECT_EQ(refused.code, Status::Code::kConflict);
+  EXPECT_TRUE(refused.retryable());
+  ASSERT_TRUE(session.Rollback(mine).ok());
+
+  // Deleting a package that others still depend on refuses the whole
+  // batch and leaves the database untouched.
+  MutationBatch bad;
+  bad.Delete("Package", db_->PayloadToOid("Package", 3));
+  EXPECT_EQ(session.Mutate(bad).status.code, Status::Code::kInvalidArgument);
+  const QueryRun still = session.Run(
+      R"(select [n: x.pname] from x in Package where x.pname = "pkg3")");
+  ASSERT_TRUE(still.ok()) << still.error();
+  EXPECT_EQ(still.answer.rows.size(), 1u);
 }
 
 TEST_F(TutorialTest, MethodPredicateWorks) {

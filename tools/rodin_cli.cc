@@ -6,7 +6,15 @@
 //             [--batch-rows=N] [--deadline-ms=N] [--memory-budget-pages=N]
 //             [--explain] [--plan-only] [--compiled-eval] [--no-compiled-eval]
 //             [--no-plan-cache] [--symbolic] [--trace-out=FILE] [--metrics]
-//             [--query=FILE]
+//             [--query=FILE] [--mutate=SPEC]
+//
+// --mutate parses a small mutation DSL (see MutateSpecParser below), stages
+// the batch and commits it through Session::Mutate — one atomic transaction
+// per invocation. Alone it prints the commit summary (ops applied, new
+// oids, post-commit stats version, materialized views maintained) and
+// exits; combined with --query the query then runs against the mutated
+// database. Failures exit with the Status taxonomy code (a refused commit
+// is conflict=14).
 //
 // --parallel models a P-way parallel *execution* in the cost formulas;
 // --threads runs the randomized plan *search* on N worker threads
@@ -45,12 +53,16 @@
 // chrome://tracing or Perfetto); --metrics dumps the process-wide metrics
 // registry after the run.
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "api/engine.h"
 #include "api/session.h"
@@ -58,6 +70,8 @@
 #include "obs/metrics.h"
 #include "plan/pt_printer.h"
 #include "query/parser.h"
+#include "storage/database.h"
+#include "txn/mutation.h"
 
 using namespace rodin;
 
@@ -86,6 +100,242 @@ struct CliOptions {
   bool metrics = false;
   std::string trace_out;
   std::string query_file;
+  std::string mutate_spec;
+};
+
+// --- --mutate DSL ------------------------------------------------------------
+//
+//   SPEC   := op (';' op)* [';']
+//   op     := 'insert' Extent [assign (',' assign)*]
+//           | 'update' Extent '@' slot assign (',' assign)*
+//           | 'delete' Extent '@' slot
+//   assign := attr '=' value
+//   value  := 'null' | 'true' | 'false' | integer | real | "string"
+//           | '@' Extent ':' slot          (object reference)
+//           | '{' [value (',' value)*] '}' (set)
+//
+// Example:
+//   --mutate='insert Composer name="Satie", era="modern";
+//             update Composer@3 master=@Composer:0; delete Part@17'
+//
+// The batch commits atomically through Session::Mutate; refs are resolved
+// against the embedded database, so bad extents fail here with a message
+// instead of at commit-time validation.
+class MutateSpecParser {
+ public:
+  MutateSpecParser(const std::string& text, const Database& db)
+      : text_(text), db_(db) {}
+
+  bool Parse(MutationBatch* out) {
+    SkipWs();
+    while (pos_ < text_.size()) {
+      if (!ParseOp(out)) return false;
+      SkipWs();
+      if (pos_ < text_.size() && !Eat(';')) {
+        return Fail("expected ';' between operations");
+      }
+      SkipWs();
+    }
+    if (out->empty()) return Fail("empty mutation spec");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string Ident() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " (near offset " + std::to_string(pos_) + ")";
+    }
+    return false;
+  }
+
+  bool ParseSlot(uint32_t* slot) {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a slot number");
+    *slot = static_cast<uint32_t>(
+        std::strtoul(text_.substr(start, pos_ - start).c_str(), nullptr, 10));
+    return true;
+  }
+
+  /// 'Extent' already consumed; parses '@slot' and resolves the oid.
+  bool ParseTarget(const std::string& extent, Oid* target) {
+    if (!Eat('@')) return Fail("expected '@slot' after '" + extent + "'");
+    uint32_t slot = 0;
+    if (!ParseSlot(&slot)) return false;
+    if (db_.FindExtent(extent) == nullptr) {
+      return Fail("unknown extent '" + extent + "'");
+    }
+    *target = db_.PayloadToOid(extent, slot);
+    return true;
+  }
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("expected a value");
+    const char c = text_[pos_];
+    if (c == '@') {  // reference: @Extent:slot
+      ++pos_;
+      const std::string extent = Ident();
+      if (extent.empty()) return Fail("expected an extent name after '@'");
+      if (!Eat(':')) return Fail("expected ':slot' in reference");
+      uint32_t slot = 0;
+      if (!ParseSlot(&slot)) return false;
+      if (db_.FindExtent(extent) == nullptr) {
+        return Fail("unknown extent '" + extent + "' in reference");
+      }
+      *out = Value::Ref(db_.PayloadToOid(extent, slot));
+      return true;
+    }
+    if (c == '{') {  // set literal
+      ++pos_;
+      std::vector<Value> elems;
+      SkipWs();
+      if (!Eat('}')) {
+        while (true) {
+          Value v;
+          if (!ParseValue(&v)) return false;
+          elems.push_back(std::move(v));
+          if (Eat('}')) break;
+          if (!Eat(',')) return Fail("expected ',' or '}' in set literal");
+        }
+      }
+      *out = Value::MakeSet(std::move(elems));
+      return true;
+    }
+    if (c == '"') {  // string literal with minimal escapes
+      ++pos_;
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        char ch = text_[pos_++];
+        if (ch == '\\' && pos_ < text_.size()) {
+          const char esc = text_[pos_++];
+          ch = esc == 'n' ? '\n' : esc == 't' ? '\t' : esc;
+        }
+        s.push_back(ch);
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated string literal");
+      ++pos_;  // closing quote
+      *out = Value::Str(std::move(s));
+      return true;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      if (c == '-') ++pos_;
+      bool real = false;
+      while (pos_ < text_.size()) {
+        const char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++pos_;
+        } else if (d == '.' || d == 'e' || d == 'E' ||
+                   ((d == '+' || d == '-') && pos_ > start &&
+                    (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E'))) {
+          real = true;
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      const std::string num = text_.substr(start, pos_ - start);
+      if (real) {
+        *out = Value::Real(std::strtod(num.c_str(), nullptr));
+      } else {
+        *out = Value::Int(std::strtoll(num.c_str(), nullptr, 10));
+      }
+      return true;
+    }
+    const std::string word = Ident();
+    if (word == "null") {
+      *out = Value::Null();
+      return true;
+    }
+    if (word == "true" || word == "false") {
+      *out = Value::Bool(word == "true");
+      return true;
+    }
+    return Fail("expected a value, got '" + word + "'");
+  }
+
+  bool ParseAssigns(std::vector<std::pair<std::string, Value>>* out) {
+    while (true) {
+      const std::string attr = Ident();
+      if (attr.empty()) return Fail("expected an attribute name");
+      if (!Eat('=')) return Fail("expected '=' after '" + attr + "'");
+      Value v;
+      if (!ParseValue(&v)) return false;
+      out->emplace_back(attr, std::move(v));
+      if (!Eat(',')) return true;
+    }
+  }
+
+  bool ParseOp(MutationBatch* out) {
+    const std::string verb = Ident();
+    const std::string extent = Ident();
+    if (extent.empty()) {
+      return Fail("expected an extent name after '" + verb + "'");
+    }
+    if (verb == "insert") {
+      std::vector<std::pair<std::string, Value>> values;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] != ';') {
+        if (!ParseAssigns(&values)) return false;
+      }
+      out->Insert(extent, std::move(values));
+      return true;
+    }
+    if (verb == "delete") {
+      Oid target;
+      if (!ParseTarget(extent, &target)) return false;
+      out->Delete(extent, target);
+      return true;
+    }
+    if (verb == "update") {
+      Oid target;
+      if (!ParseTarget(extent, &target)) return false;
+      std::vector<std::pair<std::string, Value>> assigns;
+      if (!ParseAssigns(&assigns)) return false;
+      out->Update(extent, target, std::move(assigns));
+      return true;
+    }
+    return Fail("expected insert/update/delete, got '" + verb + "'");
+  }
+
+  const std::string& text_;
+  const Database& db_;
+  size_t pos_ = 0;
+  std::string error_;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -116,8 +366,12 @@ void Usage() {
       "                 [--memory-budget-pages=N] [--explain] [--plan-only]\n"
       "                 [--compiled-eval] [--no-compiled-eval]\n"
       "                 [--no-plan-cache] [--symbolic] [--trace-out=FILE]\n"
-      "                 [--metrics] [--query=FILE]\n"
-      "Reads a query in the paper's syntax from --query or stdin.\n");
+      "                 [--metrics] [--query=FILE] [--mutate=SPEC]\n"
+      "Reads a query in the paper's syntax from --query or stdin.\n"
+      "--mutate commits a batch first (and exits there unless --query is\n"
+      "also given): 'insert Extent a=v,...; update Extent@slot a=v,...;\n"
+      "delete Extent@slot' with values null/true/false/int/real/\"str\"/\n"
+      "@Extent:slot/{set}.\n");
 }
 
 std::string ReadQuery(const CliOptions& options) {
@@ -190,6 +444,8 @@ int main(int argc, char** argv) {
           ParseCount(value, "memory-budget-pages");
     } else if (ParseFlag(argv[i], "query", &value)) {
       options.query_file = value;
+    } else if (ParseFlag(argv[i], "mutate", &value)) {
+      options.mutate_spec = value;
     } else if (ParseFlag(argv[i], "trace-out", &value)) {
       options.trace_out = value;
     } else if (std::strcmp(argv[i], "--compiled-eval") == 0) {
@@ -230,13 +486,53 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::unique_ptr<Session> session_owner = engine->NewSession();
+  Session& session = *session_owner;
+
+  if (!options.mutate_spec.empty()) {
+    MutationBatch batch;
+    MutateSpecParser parser(options.mutate_spec, *engine->db());
+    if (!parser.Parse(&batch)) {
+      std::fprintf(stderr, "--mutate: %s\n", parser.error().c_str());
+      return 2;
+    }
+    MutationResult staged;
+    const CommitResult commit = session.Mutate(batch, &staged);
+    if (!commit.ok()) {
+      std::fprintf(stderr, "%s\n", commit.status.ToString().c_str());
+      return ExitCodeForStatus(commit.status);
+    }
+    std::printf("mutation: %llu op(s) applied (%llu insert, %llu delete, "
+                "%llu update)\n",
+                static_cast<unsigned long long>(commit.ops_applied),
+                static_cast<unsigned long long>(staged.inserted),
+                static_cast<unsigned long long>(staged.deleted),
+                static_cast<unsigned long long>(staged.updated));
+    for (const Oid& oid : staged.new_oids) {
+      if (!oid.valid()) continue;
+      std::printf("  new %s@%u\n", engine->db()->ExtentNameOf(oid).c_str(),
+                  oid.slot);
+    }
+    std::printf("stats version: %llu\n",
+                static_cast<unsigned long long>(commit.stats_version));
+    if (commit.views_maintained > 0) {
+      std::printf("views maintained: %llu (%s)\n",
+                  static_cast<unsigned long long>(commit.views_maintained),
+                  commit.used_incremental ? "incremental" : "recomputed");
+    }
+    // Mutate-only invocation: done. With --query the run continues below and
+    // observes the post-commit state (the session re-derives stats lazily).
+    if (options.query_file.empty()) {
+      MaybeDumpMetrics(options);
+      return 0;
+    }
+  }
+
   const std::string text = ReadQuery(options);
   if (text.empty()) {
     Usage();
     return 2;
   }
-  std::unique_ptr<Session> session_owner = engine->NewSession();
-  Session& session = *session_owner;
 
   QueryOptions ro;
   ro.cold = true;

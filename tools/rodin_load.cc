@@ -3,6 +3,8 @@
 //   rodin_load --port=P [--host=ADDR] [--clients=N] [--requests=N]
 //              [--rate-qps=R] [--query=FILE|recursive] [--deadline-ms=N]
 //              [--prepare] [--max-retries=N] [--out=FILE]
+//              [--mix=NrMw] [--write-extent=E] [--write-attr=A]
+//              [--write-slots=K]
 //
 // Thread-per-client driver. Closed loop by default: each of --clients
 // connections issues --requests queries back-to-back. --rate-qps > 0
@@ -16,11 +18,26 @@
 // failure counts as an error and fails the run. --prepare switches to the
 // PREPARE-once / EXECUTE-per-request path.
 //
-// Output: a Google Benchmark-shaped JSON (--out, default BENCH_server.json)
-// with one iteration row per figure — server/qps, server/p50_us,
-// server/p99_us, server/p999_us, server/shed — in real_time, so
-// scripts/check_bench.py gates it like any other bench. A human summary
-// goes to stdout.
+// --mix=NrMw (e.g. --mix=90r10w) interleaves writes into each client's
+// request stream in the given read:write proportion (deterministically, so
+// every run issues the same mix). A write is one MUTATE+COMMIT round-trip
+// (protocol v2) updating --write-attr of a rotating slot in
+// --write-extent with a unique string — small, conflicting-by-design
+// single-op transactions. Retryable refusals (the single-writer slot held
+// by another connection, or live streaming cursors at commit) are counted
+// as conflicts and retried with jittered exponential backoff under their
+// own generous cap (>= 64 attempts, not --max-retries): the server's
+// single writer always completes, so a persistent retrier is guaranteed
+// to make progress, and a whole fleet contending for one write slot needs
+// far more attempts than a shed read does.
+//
+// Output: a Google Benchmark-shaped JSON (--out; default BENCH_server.json,
+// or BENCH_mutate.json under --mix) with one iteration row per figure — in
+// read-only mode server/qps, server/p50_us, server/p99_us, server/p999_us,
+// server/shed; under --mix mutate/qps, mutate/read_p50_us,
+// mutate/read_p99_us, mutate/write_p50_us, mutate/write_p99_us,
+// mutate/conflicts — in real_time, so scripts/check_bench.py gates it like
+// any other bench. A human summary goes to stdout.
 
 #include <algorithm>
 #include <atomic>
@@ -34,7 +51,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "server/client.h"
+#include "storage/value.h"
+#include "txn/mutation.h"
 
 using namespace rodin;
 
@@ -65,13 +85,24 @@ struct LoadOptions {
   uint64_t deadline_ms = 0;
   bool prepare = false;
   size_t max_retries = 8;
-  std::string out = "BENCH_server.json";
+  std::string out;  // empty = mode default (BENCH_server/BENCH_mutate)
+  // --mix=NrMw; both 0 = read-only mode.
+  size_t read_weight = 0;
+  size_t write_weight = 0;
+  std::string write_extent = "Composer";
+  std::string write_attr = "name";
+  size_t write_slots = 8;
+
+  bool mixed() const { return write_weight > 0; }
 };
 
 struct ClientStats {
-  std::vector<double> latencies_us;  // successful requests only
-  uint64_t ok = 0;
+  std::vector<double> latencies_us;  // successful reads only
+  std::vector<double> write_latencies_us;
+  uint64_t ok = 0;        // reads
+  uint64_t write_ok = 0;  // committed write transactions
   uint64_t shed_retries = 0;
+  uint64_t conflict_retries = 0;
   uint64_t errors = 0;
   std::string first_error;
 };
@@ -132,6 +163,9 @@ void RunClient(const LoadOptions& options, size_t index, ClientStats* stats) {
   }
   QueryOptions qo;
   qo.query.deadline_ms = options.deadline_ms;
+  // Per-client backoff jitter stream (decorrelates retry schedules; seeded
+  // by index so runs stay reproducible modulo thread timing).
+  Rng backoff_rng(0x10ad + index);
 
   using clock = std::chrono::steady_clock;
   // Open loop: this client's fixed send schedule, phase-shifted by index so
@@ -147,36 +181,79 @@ void RunClient(const LoadOptions& options, size_t index, ClientStats* stats) {
           : std::chrono::nanoseconds(0);
   auto next_send = clock::now() + interval * index / options.clients;
 
+  const size_t mix_total = options.read_weight + options.write_weight;
   for (size_t i = 0; i < options.requests; ++i) {
     if (interval.count() > 0) {
       std::this_thread::sleep_until(next_send);
       next_send += interval;
     }
+    // Deterministic read/write interleave: request i is a write exactly when
+    // the running write quota ⌊(i+1)·w/total⌋ ticks up, so every run issues
+    // the same NrMw pattern.
+    const bool is_write =
+        options.mixed() && ((i + 1) * options.write_weight) / mix_total >
+                               (i * options.write_weight) / mix_total;
     const auto start = clock::now();
     bool done = false;
-    for (size_t attempt = 0; attempt <= options.max_retries; ++attempt) {
-      server::ClientResult result =
-          options.prepare
-              ? client.Execute(statement_id, qo, 0, /*collect_rows=*/false)
-              : client.Query(options.query, qo, 0, /*collect_rows=*/false);
-      if (result.ok()) {
+    // Write transactions stage once, then retry COMMIT alone on a refusal
+    // (the transaction stays open server-side across a kConflict commit).
+    // Conflicts get their own cap: unlike shedding, the single-writer gate
+    // guarantees someone finishes, so persistence always pays off.
+    const size_t retry_cap =
+        is_write ? std::max<size_t>(options.max_retries, 64)
+                 : options.max_retries;
+    bool staged = false;
+    for (size_t attempt = 0; attempt <= retry_cap; ++attempt) {
+      Status status;
+      if (is_write) {
+        if (!staged) {
+          MutationBatch batch;
+          const uint32_t slot =
+              static_cast<uint32_t>((index + i) % options.write_slots);
+          // Slot-only target (class_id UINT32_MAX): the server resolves it
+          // against the extent, so the driver needs no class-id knowledge.
+          batch.Update(options.write_extent, Oid{UINT32_MAX, slot},
+                       {{options.write_attr,
+                         Value::Str("w-" + std::to_string(index) + "-" +
+                                    std::to_string(i))}});
+          status = client.Mutate(batch);
+          staged = status.ok();
+        }
+        if (staged) status = client.Commit();
+      } else {
+        server::ClientResult result =
+            options.prepare
+                ? client.Execute(statement_id, qo, 0, /*collect_rows=*/false)
+                : client.Query(options.query, qo, 0, /*collect_rows=*/false);
+        status = result.status;
+      }
+      if (status.ok()) {
         const double us = std::chrono::duration<double, std::micro>(
                               clock::now() - start)
                               .count();
-        stats->latencies_us.push_back(us);
-        ++stats->ok;
+        if (is_write) {
+          stats->write_latencies_us.push_back(us);
+          ++stats->write_ok;
+        } else {
+          stats->latencies_us.push_back(us);
+          ++stats->ok;
+        }
         done = true;
         break;
       }
-      if (result.status.retryable() && attempt < options.max_retries) {
-        ++stats->shed_retries;
-        std::this_thread::sleep_for(std::chrono::microseconds(
-            200u << std::min<size_t>(attempt, 8)));
+      if (status.retryable() && attempt < retry_cap) {
+        ++(is_write ? stats->conflict_retries : stats->shed_retries);
+        // Jittered exponential backoff: with a deterministic schedule the
+        // losers of one conflict round all wake simultaneously and collide
+        // again (and again) — jitter spreads the herd out.
+        const uint64_t base = 100u << std::min<size_t>(attempt, 7);
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(base + backoff_rng.Below(base)));
         continue;
       }
       ++stats->errors;
       if (stats->first_error.empty()) {
-        stats->first_error = result.status.ToString();
+        stats->first_error = status.ToString();
       }
       done = true;
       break;
@@ -184,38 +261,40 @@ void RunClient(const LoadOptions& options, size_t index, ClientStats* stats) {
     if (!done) {
       ++stats->errors;
       if (stats->first_error.empty()) {
-        stats->first_error = "retries exhausted (still overloaded)";
+        stats->first_error = is_write ? "retries exhausted (still conflicting)"
+                                      : "retries exhausted (still overloaded)";
       }
     }
   }
   client.Goodbye();
 }
 
-void WriteBenchJson(const std::string& path, double qps, double p50,
-                    double p99, double p999, uint64_t shed) {
+struct BenchRow {
+  std::string name;
+  double value;
+  const char* unit;
+};
+
+void WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRow>& rows) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     std::exit(1);
   }
-  auto row = [&](const char* name, double value, const char* unit,
-                 bool last) {
-    out << "    {\n"
-        << "      \"name\": \"" << name << "\",\n"
-        << "      \"run_type\": \"iteration\",\n"
-        << "      \"iterations\": 1,\n"
-        << "      \"real_time\": " << value << ",\n"
-        << "      \"cpu_time\": " << value << ",\n"
-        << "      \"time_unit\": \"" << unit << "\"\n"
-        << "    }" << (last ? "\n" : ",\n");
-  };
   out << "{\n  \"context\": {\n    \"executable\": \"rodin_load\"\n  },\n"
       << "  \"benchmarks\": [\n";
-  row("server/qps", qps, "qps", false);
-  row("server/p50_us", p50, "us", false);
-  row("server/p99_us", p99, "us", false);
-  row("server/p999_us", p999, "us", false);
-  row("server/shed", static_cast<double>(shed), "count", true);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    out << "    {\n"
+        << "      \"name\": \"" << row.name << "\",\n"
+        << "      \"run_type\": \"iteration\",\n"
+        << "      \"iterations\": 1,\n"
+        << "      \"real_time\": " << row.value << ",\n"
+        << "      \"cpu_time\": " << row.value << ",\n"
+        << "      \"time_unit\": \"" << row.unit << "\"\n"
+        << "    }" << (i + 1 == rows.size() ? "\n" : ",\n");
+  }
   out << "  ]\n}\n";
 }
 
@@ -245,6 +324,36 @@ int main(int argc, char** argv) {
           static_cast<size_t>(ParseCount(value, "max-retries"));
     } else if (ParseFlag(argv[i], "out", &value)) {
       options.out = value;
+    } else if (ParseFlag(argv[i], "mix", &value)) {
+      // NrMw, e.g. 90r10w.
+      const size_t r = value.find('r');
+      const size_t w = value.find('w');
+      if (r == std::string::npos || w == std::string::npos || w < r ||
+          w + 1 != value.size()) {
+        std::fprintf(stderr,
+                     "--mix expects NrMw (e.g. 90r10w), got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      options.read_weight =
+          static_cast<size_t>(ParseCount(value.substr(0, r), "mix"));
+      options.write_weight = static_cast<size_t>(
+          ParseCount(value.substr(r + 1, w - r - 1), "mix"));
+      if (options.read_weight + options.write_weight == 0) {
+        std::fprintf(stderr, "--mix needs a non-zero weight\n");
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "write-extent", &value)) {
+      options.write_extent = value;
+    } else if (ParseFlag(argv[i], "write-attr", &value)) {
+      options.write_attr = value;
+    } else if (ParseFlag(argv[i], "write-slots", &value)) {
+      options.write_slots =
+          static_cast<size_t>(ParseCount(value, "write-slots"));
+      if (options.write_slots == 0) {
+        std::fprintf(stderr, "--write-slots must be > 0\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--prepare") == 0) {
       options.prepare = true;
     } else {
@@ -253,9 +362,14 @@ int main(int argc, char** argv) {
           "usage: rodin_load --port=P [--host=ADDR] [--clients=N]\n"
           "                  [--requests=N] [--rate-qps=R]\n"
           "                  [--query=FILE|recursive] [--deadline-ms=N]\n"
-          "                  [--prepare] [--max-retries=N] [--out=FILE]\n");
+          "                  [--prepare] [--max-retries=N] [--out=FILE]\n"
+          "                  [--mix=NrMw] [--write-extent=E]\n"
+          "                  [--write-attr=A] [--write-slots=K]\n");
       return 2;
     }
+  }
+  if (options.out.empty()) {
+    options.out = options.mixed() ? "BENCH_mutate.json" : "BENCH_server.json";
   }
   if (options.port == 0) {
     std::fprintf(stderr, "rodin_load: --port is required\n");
@@ -278,22 +392,31 @@ int main(int argc, char** argv) {
                             std::chrono::steady_clock::now() - wall_start)
                             .count();
 
-  std::vector<double> latencies;
-  uint64_t ok = 0, shed = 0, errors = 0;
+  std::vector<double> latencies, write_latencies;
+  uint64_t ok = 0, write_ok = 0, shed = 0, conflicts = 0, errors = 0;
   std::string first_error;
   for (const ClientStats& s : stats) {
     latencies.insert(latencies.end(), s.latencies_us.begin(),
                      s.latencies_us.end());
+    write_latencies.insert(write_latencies.end(),
+                           s.write_latencies_us.begin(),
+                           s.write_latencies_us.end());
     ok += s.ok;
+    write_ok += s.write_ok;
     shed += s.shed_retries;
+    conflicts += s.conflict_retries;
     errors += s.errors;
     if (first_error.empty()) first_error = s.first_error;
   }
   std::sort(latencies.begin(), latencies.end());
-  const double qps = wall_s > 0 ? static_cast<double>(ok) / wall_s : 0;
+  std::sort(write_latencies.begin(), write_latencies.end());
+  const uint64_t total_ok = ok + write_ok;
+  const double qps = wall_s > 0 ? static_cast<double>(total_ok) / wall_s : 0;
   const double p50 = Percentile(latencies, 0.50);
   const double p99 = Percentile(latencies, 0.99);
   const double p999 = Percentile(latencies, 0.999);
+  const double wp50 = Percentile(write_latencies, 0.50);
+  const double wp99 = Percentile(write_latencies, 0.99);
 
   std::printf(
       "rodin_load: %zu clients x %zu requests (%s loop)\n"
@@ -301,16 +424,39 @@ int main(int argc, char** argv) {
       "  qps %.1f   p50 %.0fus   p99 %.0fus   p99.9 %.0fus\n",
       options.clients, options.requests,
       options.rate_qps > 0 ? "open" : "closed",
-      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(total_ok),
       static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(errors), wall_s, qps, p50, p99, p999);
+  if (options.mixed()) {
+    std::printf(
+        "  writes: ok %llu, conflict-retries %llu, "
+        "p50 %.0fus   p99 %.0fus\n",
+        static_cast<unsigned long long>(write_ok),
+        static_cast<unsigned long long>(conflicts), wp50, wp99);
+  }
   if (errors > 0) {
     std::fprintf(stderr, "rodin_load: first error: %s\n",
                  first_error.c_str());
   }
   if (!options.out.empty()) {
-    WriteBenchJson(options.out, qps, p50, p99, p999, shed);
+    std::vector<BenchRow> rows;
+    if (options.mixed()) {
+      rows = {{"mutate/qps", qps, "qps"},
+              {"mutate/read_p50_us", p50, "us"},
+              {"mutate/read_p99_us", p99, "us"},
+              {"mutate/write_p50_us", wp50, "us"},
+              {"mutate/write_p99_us", wp99, "us"},
+              {"mutate/conflicts", static_cast<double>(conflicts), "count"}};
+    } else {
+      rows = {{"server/qps", qps, "qps"},
+              {"server/p50_us", p50, "us"},
+              {"server/p99_us", p99, "us"},
+              {"server/p999_us", p999, "us"},
+              {"server/shed", static_cast<double>(shed), "count"}};
+    }
+    WriteBenchJson(options.out, rows);
     std::printf("  wrote %s\n", options.out.c_str());
   }
-  return errors == 0 && ok > 0 ? 0 : 1;
+  const bool write_goal_met = !options.mixed() || write_ok > 0;
+  return errors == 0 && total_ok > 0 && write_goal_met ? 0 : 1;
 }
