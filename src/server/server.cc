@@ -474,6 +474,18 @@ bool Server::DispatchFrame(const std::shared_ptr<Connection>& conn,
 
 void Server::HandleMutate(const std::shared_ptr<Connection>& conn,
                           uint64_t request_id, MutationBatch batch) {
+  // MUTATE obeys the same one-request-in-flight rule as QUERY/COMMIT: a
+  // MUTATE pipelined behind a COMMIT would otherwise stage into the very
+  // transaction the commit worker is flushing (Commit drops the TxnManager
+  // mutex while draining readers), committing ops the client meant for the
+  // next transaction.
+  if (conn->busy.load()) {
+    SendStatus(conn, request_id,
+               Status::Error(Status::Code::kInvalidArgument,
+                             "one request may be in flight per connection; "
+                             "wait for the previous STATUS frame"));
+    return;
+  }
   // Staging is a handful of vector appends under the TxnManager mutex —
   // cheap enough to answer inline on the I/O thread, like HELLO. Only
   // COMMIT (which validates, applies and drains readers) rates a worker.

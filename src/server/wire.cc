@@ -260,8 +260,12 @@ bool DecodeValue(PayloadReader* r, Value* out) {
 namespace {
 
 // Mutation values: atoms as in ROWS, refs and sets structural (must
-// round-trip exactly). Nested sets are legal (the reader bounds recursion
-// by payload size: every element consumes at least one byte).
+// round-trip exactly). Nested sets are legal but depth-capped on decode:
+// payload size bounds the element *count*, not the nesting depth — a frame
+// of nothing but set headers (5 bytes/level) could otherwise recurse
+// millions of levels deep and overflow the stack.
+constexpr int kMaxMutationValueDepth = 32;
+
 void EncodeMutationValue(const Value& value, PayloadWriter* w) {
   if (value.is_ref()) {
     const Oid oid = value.AsRef();
@@ -278,7 +282,8 @@ void EncodeMutationValue(const Value& value, PayloadWriter* w) {
   }
 }
 
-bool DecodeMutationValue(PayloadReader* r, Value* out) {
+bool DecodeMutationValue(PayloadReader* r, Value* out, int depth = 0) {
+  if (depth > kMaxMutationValueDepth) return false;
   uint8_t tag;
   if (!r->Peek(&tag)) return false;
   if (tag == kTagRef) {
@@ -296,7 +301,7 @@ bool DecodeMutationValue(PayloadReader* r, Value* out) {
     std::vector<Value> elems;
     for (uint32_t i = 0; i < count; ++i) {
       Value e;
-      if (!DecodeMutationValue(r, &e)) return false;
+      if (!DecodeMutationValue(r, &e, depth + 1)) return false;
       elems.push_back(std::move(e));
     }
     *out = Value::MakeSet(std::move(elems));

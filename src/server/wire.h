@@ -200,7 +200,9 @@ bool DecodeValue(PayloadReader* r, Value* out);
 /// Mutation values reuse the ROWS tags for atoms but — unlike result
 /// transport — encode refs and sets *structurally* (kTagRef: u32 class_id,
 /// u32 slot; kTagSet: u32 count + elements), because a mutation payload
-/// must round-trip exactly, not render.
+/// must round-trip exactly, not render. Set nesting is capped at depth 32
+/// on decode: the payload-size cap bounds element count, not depth, so a
+/// hostile all-headers frame could otherwise recurse off the stack.
 ///
 /// Slot-only addressing: a delete/update target sent with class_id ==
 /// 0xFFFFFFFF and a real slot means "slot N of this op's extent" — the

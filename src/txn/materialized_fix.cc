@@ -473,6 +473,10 @@ MaterializedFixRegistry::PrepareDeltas(const Database& db,
   std::vector<ViewDeltas> out(views_.size());
   for (size_t i = 0; i < views_.size(); ++i) {
     const MaterializedFix& view = *views_[i];
+    // Apply permits several update ops on one record (distinct fields), so
+    // dedupe by target oid: each record's pre-image contributes its edges
+    // exactly once or the delta would double-remove them.
+    std::set<Oid> affected;
     for (const MutationOp& op : batch.ops) {
       if (op.extent != view.spec().extent) continue;
       if (op.kind == MutationOpKind::kInsert) continue;
@@ -493,8 +497,12 @@ MaterializedFixRegistry::PrepareDeltas(const Database& db,
         }
         if (!relevant) continue;
       }
-      view.EdgesOfRecord(db, op.target, e->Record(op.target.slot),
-                         &out[i].removed);
+      affected.insert(op.target);
+    }
+    if (affected.empty()) continue;
+    const Extent* e = db.FindExtent(view.spec().extent);
+    for (const Oid& oid : affected) {
+      view.EdgesOfRecord(db, oid, e->Record(oid.slot), &out[i].removed);
     }
   }
   return out;
@@ -506,7 +514,10 @@ uint64_t MaterializedFixRegistry::Maintain(const Database& db,
                                            std::vector<ViewDeltas> deltas,
                                            bool* used_incremental) {
   RODIN_CHECK(deltas.size() == views_.size(), "delta/view mismatch");
-  // Phase B: edges created by inserts and (post-image) updates.
+  // Phase B: edges created by inserts and (post-image) updates. Like
+  // PrepareDeltas, dedupe by oid per view — several update ops may hit one
+  // record, whose (single) post-image must contribute its edges once.
+  std::vector<std::set<Oid>> affected(views_.size());
   size_t insert_idx = 0;
   for (const MutationOp& op : batch.ops) {
     Oid oid = op.target;
@@ -527,8 +538,15 @@ uint64_t MaterializedFixRegistry::Maintain(const Database& db,
         }
         if (!relevant) continue;
       }
-      const Extent* e = db.FindExtent(op.extent);
-      view.EdgesOfRecord(db, oid, e->Record(oid.slot), &deltas[i].added);
+      affected[i].insert(oid);
+    }
+  }
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (affected[i].empty()) continue;
+    const Extent* e = db.FindExtent(views_[i]->spec().extent);
+    for (const Oid& oid : affected[i]) {
+      views_[i]->EdgesOfRecord(db, oid, e->Record(oid.slot),
+                               &deltas[i].added);
     }
   }
 

@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -255,6 +257,87 @@ TEST(MaterializedFixDifferentialTest, RelationFormRegistryLifecycle) {
   ASSERT_TRUE(session.DropMaterialized("plays").ok());
   EXPECT_EQ(session.MaterializedRows("plays", &before).code,
             Status::Code::kInvalidArgument);
+}
+
+// Regression: Database::Apply permits one batch to update src_attr and
+// dst_attr of one relation tuple in *separate* ops. The registry must
+// collect that tuple's pre- and post-image edges once per record, not once
+// per op — double-counted deltas used to abort incremental maintenance
+// ("delta removes unknown edge": the second removal of an edge whose
+// support is 1).
+TEST(MaterializedFixDifferentialTest, TwoOpUpdateOfOneTupleCollectsEdgesOnce) {
+  MusicConfig config;
+  config.num_composers = 12;
+  GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+  Session session(g.db.get());
+  session.txn().SetFixPolicy(FixMaintenancePolicy::kIncremental);
+  const MaterializedFixSpec spec{"plays", "Play", "who", "instrument"};
+  ASSERT_TRUE(session.Materialize(spec).ok());
+
+  const Database& db = *g.db;
+  const Extent* play = db.FindExtent("Play");
+  ASSERT_NE(play, nullptr);
+  ASSERT_TRUE(play->alive(0));
+  const Oid target = db.PayloadToOid("Play", 0);
+  const int fw = db.FieldIndex("Play", "who");
+  const int fi = db.FieldIndex("Play", "instrument");
+  const Value old_who = play->Record(0)[fw];
+  const Value old_instr = play->Record(0)[fi];
+
+  // Move the tuple onto a (who, instrument) edge no other tuple plays, so
+  // its post-image support must come out exactly 1. The generated Play data
+  // collides a lot; a double-collected delta would leave the new edge with
+  // support 2 — invisible in the closure pairs until the edge is removed
+  // again and the phantom support strands a ghost pair.
+  std::set<std::pair<Oid, Oid>> existing;
+  for (uint32_t s : LiveSlots(db, "Play")) {
+    existing.insert({play->Record(s)[fw].AsRef(), play->Record(s)[fi].AsRef()});
+  }
+  Oid new_who = Oid::Invalid(), new_instr = Oid::Invalid();
+  for (uint32_t cs : LiveSlots(db, "Composer")) {
+    for (uint32_t is : LiveSlots(db, "Instrument")) {
+      const Oid w = db.PayloadToOid("Composer", cs);
+      const Oid i = db.PayloadToOid("Instrument", is);
+      if (existing.count({w, i}) == 0) {
+        new_who = w;
+        new_instr = i;
+        break;
+      }
+    }
+    if (new_who.valid()) break;
+  }
+  ASSERT_TRUE(new_who.valid()) << "every (who, instrument) pair is taken";
+
+  MutationBatch batch;
+  batch.Update("Play", target, {{"who", Value::Ref(new_who)}});
+  batch.Update("Play", target, {{"instrument", Value::Ref(new_instr)}});
+  const CommitResult r = session.Mutate(batch);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.views_maintained, 1u);
+  EXPECT_TRUE(r.used_incremental);
+
+  PairVec rows;
+  ASSERT_TRUE(session.MaterializedRows("plays", &rows).ok());
+  MaterializedFix oracle(spec);
+  oracle.Recompute(db);
+  EXPECT_EQ(rows, oracle.Pairs());
+  EXPECT_EQ(std::count(rows.begin(), rows.end(),
+                       std::make_pair(new_who, new_instr)),
+            1);
+
+  // Move it back (one op, both fields): the unique edge's support drops to
+  // zero and its closure pair must vanish with it.
+  MutationBatch undo;
+  undo.Update("Play", target, {{"who", old_who}, {"instrument", old_instr}});
+  const CommitResult r2 = session.Mutate(undo);
+  ASSERT_TRUE(r2.ok()) << r2.status.ToString();
+  ASSERT_TRUE(session.MaterializedRows("plays", &rows).ok());
+  MaterializedFix oracle2(spec);
+  oracle2.Recompute(db);
+  EXPECT_EQ(rows, oracle2.Pairs());
+  EXPECT_EQ(std::count(rows.begin(), rows.end(),
+                       std::make_pair(new_who, new_instr)),
+            0);
 }
 
 }  // namespace

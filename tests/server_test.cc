@@ -172,6 +172,35 @@ TEST(WireCodecTest, ValuesRoundTrip) {
   EXPECT_TRUE(r.AtEnd());
 }
 
+TEST(WireCodecTest, MutationValueNestingDepthCapped) {
+  auto nested = [](int depth) {
+    Value v = Value::Int(1);
+    for (int i = 0; i < depth; ++i) {
+      std::vector<Value> elems;
+      elems.push_back(std::move(v));
+      v = Value::MakeSet(std::move(elems));
+    }
+    return v;
+  };
+  auto decodes = [](const MutationBatch& batch) {
+    PayloadWriter w;
+    EncodeMutationBatch(batch, &w);
+    const std::string payload = w.data();
+    PayloadReader r(payload.data(), payload.size());
+    MutationBatch out;
+    return DecodeMutationBatch(&r, &out) && r.AtEnd();
+  };
+  MutationBatch shallow;
+  shallow.Insert("Composer", {{"x", nested(8)}});
+  EXPECT_TRUE(decodes(shallow));
+  // A hostile frame of nothing but set headers is ~5 bytes per level, so
+  // the 16 MiB payload cap still allows millions of levels: the decoder
+  // must refuse past its depth cap instead of recursing off the stack.
+  MutationBatch hostile;
+  hostile.Insert("Composer", {{"x", nested(64)}});
+  EXPECT_FALSE(decodes(hostile));
+}
+
 TEST(WireCodecTest, StatusPayloadRoundTripKeepsDetailAndRetryable) {
   Status overloaded =
       Status::Error(Status::Code::kOverloaded, "server overloaded");
@@ -680,6 +709,56 @@ TEST_F(ServerTest, RawProtocolRefusesPipelinedSecondRequest) {
   }
   EXPECT_TRUE(saw_refusal);
   EXPECT_TRUE(saw_first_terminal);
+}
+
+// MUTATE obeys the same one-request-in-flight rule: pipelined behind a
+// busy request it is refused instead of staged — a MUTATE racing a COMMIT
+// worker could otherwise land in the very transaction being committed.
+TEST_F(ServerTest, RawProtocolRefusesPipelinedMutateWhileBusy) {
+  StartServer(200, 2, 4);
+  RawConnection raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  PayloadWriter hello;
+  hello.U32(kProtocolVersion);
+  ASSERT_TRUE(raw.Send(EncodeFrame(FrameType::kHello, 1, hello.Take())));
+  FrameHeader header;
+  std::string payload;
+  ASSERT_TRUE(raw.ReadFrame(&header, &payload));
+  ASSERT_EQ(header.type, FrameType::kHelloOk);
+
+  PayloadWriter q;
+  q.Str(kRecursiveQuery);
+  WireQueryOptions wire;
+  wire.batch_rows = 1;
+  wire.Encode(&q);
+  MutationBatch batch;
+  batch.Insert("Composer", {{"name", Value::Str("pipelined_mutate")},
+                            {"master", Value::Null()}});
+  PayloadWriter m;
+  EncodeMutationBatch(batch, &m);
+  ASSERT_TRUE(raw.Send(EncodeFrame(FrameType::kQuery, 20, q.Take()) +
+                       EncodeFrame(FrameType::kMutate, 21, m.Take())));
+
+  bool mutate_refused = false;
+  bool query_ok = false;
+  while ((!mutate_refused || !query_ok) && raw.ReadFrame(&header, &payload)) {
+    if (header.type != FrameType::kStatus) continue;
+    PayloadReader r(payload.data(), payload.size());
+    Status status;
+    uint64_t rows;
+    double cost;
+    ASSERT_TRUE(DecodeStatusPayload(&r, &status, &rows, &cost));
+    if (header.request_id == 21) {
+      EXPECT_EQ(status.code, Status::Code::kInvalidArgument);
+      mutate_refused = true;
+    } else if (header.request_id == 20) {
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      query_ok = true;
+    }
+  }
+  EXPECT_TRUE(mutate_refused);
+  EXPECT_TRUE(query_ok);
+  EXPECT_EQ(server_->stats().mutates_staged, 0u);
 }
 
 // --------------------------------------------------- protocol v2 writes --
