@@ -94,11 +94,12 @@ EngineHandle::EngineHandle(EngineOptions options, GeneratedDb generated,
       generated_(std::move(generated)),
       opt_options_(opt_options),
       cost_params_(cost_params),
-      plan_cache_(std::make_shared<PlanCache>(options_.plan_cache_capacity)) {}
+      plan_cache_(std::make_shared<PlanCache>(options_.plan_cache_capacity)),
+      feedback_(std::make_shared<FeedbackRegistry>()) {}
 
 std::unique_ptr<Session> EngineHandle::NewSession() {
   return std::make_unique<Session>(db(), opt_options_, cost_params_,
-                                   plan_cache_);
+                                   plan_cache_, feedback_);
 }
 
 void EngineHandle::RefreshStats() {

@@ -64,6 +64,12 @@ class EngineHandle {
   const OptimizerOptions& optimizer_options() const { return opt_options_; }
   const CostParams& cost_params() const { return cost_params_; }
   const std::shared_ptr<PlanCache>& plan_cache() const { return plan_cache_; }
+  /// The adaptive-feedback registry every session from this handle shares —
+  /// the same sharing unit as the plan cache, so one tenant's measured
+  /// cardinalities correct every tenant's estimates (see cost/feedback.h).
+  const std::shared_ptr<FeedbackRegistry>& feedback_registry() const {
+    return feedback_;
+  }
 
   /// A new session over the shared database and plan cache. The handle must
   /// outlive every session (and every cursor) it hands out.
@@ -86,6 +92,7 @@ class EngineHandle {
   OptimizerOptions opt_options_;
   CostParams cost_params_;
   std::shared_ptr<PlanCache> plan_cache_;
+  std::shared_ptr<FeedbackRegistry> feedback_;
 };
 
 }  // namespace rodin

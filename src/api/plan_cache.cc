@@ -93,6 +93,17 @@ void PlanCache::Insert(const std::string& key, PlanCacheEntry entry) {
   BumpInserts();
 }
 
+bool PlanCache::Erase(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.second);
+  entries_.erase(it);
+  ++stats_.demotions;
+  CacheCounter("rodin.plan_cache.demotions")->Increment();
+  return true;
+}
+
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t dropped = entries_.size();

@@ -51,6 +51,7 @@ struct PlanCacheStats {
   uint64_t inserts = 0;
   uint64_t evictions = 0;      // capacity evictions (LRU)
   uint64_t invalidations = 0;  // stats-version mismatches dropped at lookup
+  uint64_t demotions = 0;      // entries erased for measured-cost drift
 };
 
 /// A bounded LRU cache of optimized plans keyed by a canonical fingerprint
@@ -86,6 +87,12 @@ class PlanCache {
   /// Inserts (or replaces) the entry for `key`, evicting the least recently
   /// used entry when over capacity. A capacity of 0 disables insertion.
   void Insert(const std::string& key, PlanCacheEntry entry);
+
+  /// Drops the entry for `key` if present (a feedback drift demotion: the
+  /// plan's measured cost strayed too far from its estimate, so the next
+  /// acquisition re-optimizes — see cost/feedback.h). Counted as a demotion,
+  /// not an invalidation. Returns whether an entry was erased.
+  bool Erase(const std::string& key);
 
   /// Drops every entry (counted as invalidations).
   void Clear();

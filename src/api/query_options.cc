@@ -21,6 +21,18 @@ Status QueryOptions::Validate() const {
         "batch_rows must be >= 1 when set (omit it to inherit the "
         "executor default)");
   }
+  if (feedback.drift_threshold != 0 && feedback.drift_threshold <= 1) {
+    return Status::Error(
+        Status::Code::kInvalidArgument,
+        "feedback.drift_threshold must be > 1 when set (a plan always "
+        "\"drifts\" 1x from itself; leave it 0 to inherit the default)");
+  }
+  if (feedback.ewma_alpha < 0 || feedback.ewma_alpha > 1) {
+    return Status::Error(
+        Status::Code::kInvalidArgument,
+        "feedback.ewma_alpha must be in (0, 1] when set (leave it 0 to "
+        "inherit the default)");
+  }
   return Status::Ok();
 }
 

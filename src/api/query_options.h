@@ -10,6 +10,28 @@
 
 namespace rodin {
 
+/// The adaptive-feedback knob block (one per-query surface for the feedback
+/// loop, see cost/feedback.h and DESIGN.md §8), following the facade's
+/// inherit/override rule: the optional is a tri-state override and the
+/// numeric knobs use 0 / disengaged = inherit (an explicit 0 would be
+/// meaningless for either — a drift threshold must exceed 1 and an EWMA
+/// weight of 0 would learn nothing, so 0 can double as the sentinel here
+/// without making any legal value unreachable).
+struct FeedbackOptions {
+  /// Harvest measured cardinalities from this run and cost this run's
+  /// optimization with the learned corrections (nullopt = the RODIN_FEEDBACK
+  /// environment default, off unless set). Feedback never changes results,
+  /// only plans; faulted, truncated and cancelled runs never contribute.
+  std::optional<bool> enabled;
+  /// Demote a *cached* plan when measured cost drifts this many times from
+  /// its estimate, in either direction (0 = inherit the engine default,
+  /// kDefaultDriftThreshold; set values must be > 1).
+  double drift_threshold = 0;
+  /// EWMA weight of one run's observation in a correction factor (0 =
+  /// inherit kDefaultFeedbackAlpha; set values must be in (0, 1]).
+  double ewma_alpha = 0;
+};
+
 /// The one per-query knob surface of the embedding API.
 ///
 /// Before this facade there were three overlapping places to say how a query
@@ -87,6 +109,12 @@ struct QueryOptions {
   /// Skip the session's plan cache for this run: neither look up nor insert.
   /// The run optimizes from scratch exactly as a cache miss would.
   bool bypass_plan_cache = false;
+  /// Adaptive cost feedback: measured-cardinality corrections at optimize
+  /// time, harvesting after execution, drift-triggered re-optimization of
+  /// cached plans (see the block's own documentation above). Like
+  /// compiled_eval, none of this enters the plan-cache fingerprint —
+  /// flipping feedback between runs still hits the cache.
+  FeedbackOptions feedback;
 
   /// Rejects engaged-zero thread/batch knobs (kInvalidArgument) per the
   /// override rule above. Every session entry point calls this first.

@@ -80,7 +80,12 @@ std::string ExplainResult::ToString() const {
                      pushed_variant_cost, unpushed_variant_cost,
                      chose_push ? "pushed" : "unpushed");
   }
-  out += plan_cached ? "[plan: cached]\nplan:\n" : "plan:\n";
+  if (plan_cached) {
+    out += "[plan: cached]\n";
+  } else if (reoptimized_drift > 0) {
+    out += StrFormat("[plan: re-optimized (drift %.1fx)]\n", reoptimized_drift);
+  }
+  out += "plan:\n";
   std::string tree;
   PrintExplainNode(plan, 1, &tree);
   out += tree;
@@ -126,17 +131,37 @@ ResultCursor PreparedQuery::Query(const QueryOptions& options) {
 }
 
 Session::Session(Database* db, OptimizerOptions options, CostParams cost_params,
-                 std::shared_ptr<PlanCache> plan_cache)
+                 std::shared_ptr<PlanCache> plan_cache,
+                 std::shared_ptr<FeedbackRegistry> feedback)
     : db_(db),
       options_(options),
       cost_params_(cost_params),
-      plan_cache_(std::move(plan_cache)) {
+      plan_cache_(std::move(plan_cache)),
+      feedback_(std::move(feedback)) {
   RODIN_CHECK(db != nullptr && db->finalized(),
               "Session needs a finalized database");
   tm_ = TxnManager::For(db);
   if (plan_cache_ == nullptr) plan_cache_ = std::make_shared<PlanCache>();
+  if (feedback_ == nullptr) feedback_ = std::make_shared<FeedbackRegistry>();
   TxnManager::ReadGuard guard(tm_);
   MaybeRefreshStats();
+}
+
+Session::EffectiveFeedback Session::ResolveFeedback(
+    const QueryOptions& options) {
+  EffectiveFeedback out;
+  out.on = options.feedback.enabled.value_or(FeedbackEnvDefault());
+  // Same rule as the plan cache: an enabled injector perturbs and retries
+  // attempts, so neither side of the loop may run — corrections applied
+  // mid-test would make a retried run's plan differ from the clean run it
+  // must be bit-identical to, and harvesting is blocked anyway. Full
+  // bypass, both apply and harvest.
+  if (FaultInjector::Global().enabled()) out.on = false;
+  if (options.feedback.drift_threshold > 0) {
+    out.drift_threshold = options.feedback.drift_threshold;
+  }
+  if (options.feedback.ewma_alpha > 0) out.alpha = options.feedback.ewma_alpha;
+  return out;
 }
 
 void Session::MaybeRefreshStats() {
@@ -211,8 +236,12 @@ bool Session::OptimizeThroughCache(const QueryGraph& graph,
                                    const ObsSink& sink,
                                    const QueryOptions& options,
                                    const std::string* graph_digest,
+                                   const FeedbackCorrections* corrections,
                                    OptimizeResult* out,
-                                   DecisionLog* decisions) {
+                                   DecisionLog* decisions,
+                                   std::string* key_out,
+                                   double* reoptimized_drift) {
+  if (reoptimized_drift != nullptr) *reoptimized_drift = 0;
   // The injector makes any attempt (optimizer or executor) abortable and
   // retryable; a plan produced or reused under it could differ from the
   // clean-run plan in unverifiable ways. Bypass entirely: no lookups, no
@@ -225,6 +254,7 @@ bool Session::OptimizeThroughCache(const QueryGraph& graph,
     key = ComposeFingerprint(
         graph_digest != nullptr ? *graph_digest : GraphDigest(graph),
         physical_identity_, cost_params_, opt_options);
+    if (key_out != nullptr) *key_out = key;
     PlanCacheEntry entry;
     if (plan_cache_->Lookup(key, stats_version_, &entry)) {
       out->plan = std::move(entry.plan);
@@ -240,9 +270,27 @@ bool Session::OptimizeThroughCache(const QueryGraph& graph,
       if (decisions != nullptr) *decisions = std::move(entry.decisions);
       return true;
     }
+    // Miss. If the feedback loop demoted this fingerprint for cost drift,
+    // this optimization is the re-optimization the demotion asked for —
+    // consume the note so EXPLAIN can say why the pipeline ran again.
+    if (reoptimized_drift != nullptr) {
+      *reoptimized_drift = feedback_->TakeDemotionNote(key);
+    }
   }
 
-  Optimizer optimizer(db_, stats_.get(), cost_.get(), opt_options);
+  // Feedback corrections scale the cost model's cardinality estimates
+  // toward observed reality (see cost/feedback.h) without entering the
+  // fingerprint: a corrected re-optimization overwrites the entry under the
+  // same key rather than forking it. An empty snapshot costs nothing — the
+  // model ignores a null/empty corrections pointer entirely, so plans are
+  // bit-identical to feedback-off until the first harvest lands.
+  std::optional<CostModel> corrected;
+  const CostModel* cost = cost_.get();
+  if (corrections != nullptr && !corrections->empty()) {
+    corrected.emplace(db_, stats_.get(), cost_params_, corrections);
+    cost = &*corrected;
+  }
+  Optimizer optimizer(db_, stats_.get(), cost, opt_options);
   *out = optimizer.Optimize(graph, sink);
 
   if (use_cache && out->ok()) {
@@ -323,9 +371,24 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const QueryOptions& options,
   // Run/Explain are the retryable, non-streaming paths: they are the only
   // ones that consult the fault injector (never in shared-db mode).
   opt_options.inject_faults = !shared_db_;
-  run.plan_cached = OptimizeThroughCache(graph, opt_options, sink, options,
-                                         graph_digest, &run.optimized,
-                                         &run.decisions);
+
+  const EffectiveFeedback fb = ResolveFeedback(options);
+  FeedbackCorrections corrections;
+  if (fb.on) {
+    uint64_t span = 0;
+    if (options.collect_trace) span = tracer.Begin("feedback.apply", "cost");
+    corrections = feedback_->Snapshot(stats_version_);
+    if (options.collect_trace) {
+      tracer.AddArg(span, "corrections",
+                    static_cast<double>(corrections.size()));
+      tracer.End(span);
+    }
+  }
+  std::string cache_key;
+  run.plan_cached = OptimizeThroughCache(
+      graph, opt_options, sink, options, graph_digest,
+      fb.on ? &corrections : nullptr, &run.optimized, &run.decisions,
+      &cache_key, &run.reoptimized_drift);
   if (!run.optimized.ok()) {
     run.status = run.optimized.status;
     if (options.collect_trace) run.trace = tracer.Finish();
@@ -336,6 +399,9 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const QueryOptions& options,
   if (!options.explain_only) {
     Executor local(db_, cost_params_);
     Executor& e = exec != nullptr ? *exec : local;
+    // Harvesting needs per-operator figures; the collection itself never
+    // touches ExecCounters, so counters stay bit-identical feedback-off.
+    if (fb.on) e.CollectOpStats(true);
     if (options.collect_trace) e.set_tracer(&tracer);
     ExecOptions exec_options = options.MakeExecOptions(&qctx);
     exec_options.inject_faults = !shared_db_;
@@ -381,6 +447,44 @@ QueryRun Session::RunImpl(const QueryGraph& graph, const QueryOptions& options,
     run.counters = e.counters();
     e.set_tracer(nullptr);
     db_->buffer_pool().PublishMetrics();
+
+    // Feedback harvest: only complete, clean runs teach the registry.
+    // Anything retried under the injector, truncated by an anytime budget,
+    // or failed outright contributes zero observations — a perturbed run's
+    // measurements describe the perturbation, not the data.
+    if (fb.on && run.status.ok() && !FaultInjector::Global().enabled()) {
+      bool truncated = false;
+      for (const StageReport& s : run.optimized.stages) {
+        truncated |= s.truncated;
+      }
+      if (!truncated) {
+        uint64_t span = 0;
+        if (options.collect_trace) {
+          span = tracer.Begin("feedback.harvest", "cost");
+        }
+        const size_t harvested = feedback_->Harvest(
+            FlattenPlanStats(*run.optimized.plan, e.op_stats()),
+            stats_version_, fb.alpha);
+        if (options.collect_trace) {
+          tracer.AddArg(span, "observations", static_cast<double>(harvested));
+          tracer.End(span);
+        }
+        // Drift demotion: a *cached* plan whose measured cost strayed
+        // >= threshold from its estimate is evicted so the next acquisition
+        // re-optimizes under current corrections. Freshly optimized plans
+        // are never demoted — they already used the latest corrections, and
+        // demoting them would re-run the pipeline forever.
+        if (run.plan_cached && !cache_key.empty() && run.measured_cost > 0 &&
+            run.optimized.cost > 0) {
+          const double ratio =
+              std::max(run.measured_cost / run.optimized.cost,
+                       run.optimized.cost / run.measured_cost);
+          if (ratio >= fb.drift_threshold && plan_cache_->Erase(cache_key)) {
+            feedback_->NoteDemotion(cache_key, ratio);
+          }
+        }
+      }
+    }
   }
   if (options.collect_trace) run.trace = tracer.Finish();
   return run;
@@ -448,14 +552,19 @@ ResultCursor Session::QueryImpl(const QueryGraph& graph,
   OptimizerOptions opt_options = EffectiveOptions(options);
   opt_options.query = &state->qctx;
   OptimizeResult& optimized = state->optimized;
-  const bool cached = OptimizeThroughCache(graph, opt_options, sink, options,
-                                           graph_digest, &optimized,
-                                           &state->decisions);
-  (void)cached;
+  const EffectiveFeedback fb = ResolveFeedback(options);
+  FeedbackCorrections corrections;
+  if (fb.on) corrections = feedback_->Snapshot(stats_version_);
+  std::string cache_key;
+  const bool cached = OptimizeThroughCache(
+      graph, opt_options, sink, options, graph_digest,
+      fb.on ? &corrections : nullptr, &optimized, &state->decisions,
+      &cache_key, nullptr);
   if (!optimized.ok()) {
     return ResultCursor(optimized.status);
   }
 
+  if (fb.on) state->exec.CollectOpStats(true);
   if (shared_db_) {
     state->exec.ResetMeasurementShared();
   } else {
@@ -474,10 +583,43 @@ ResultCursor Session::QueryImpl(const QueryGraph& graph,
   tm_->BeginCursor();
   std::shared_ptr<std::atomic<uint64_t>> live = live_streams_;
   TxnManager* tm = tm_;  // outlives the cursor (it lives with the database)
-  cursor.set_on_finish([db, live, tm] {
+  // Feedback harvest context, resolved now: shared_ptrs keep the registry
+  // and cache alive past session teardown (a cursor may outlive its
+  // session), and the keepalive state carries the plan + op stats.
+  std::shared_ptr<FeedbackRegistry> freg = fb.on ? feedback_ : nullptr;
+  std::shared_ptr<PlanCache> cache = plan_cache_;
+  bool truncated = false;
+  for (const StageReport& s : optimized.stages) truncated |= s.truncated;
+  const uint64_t harvest_version = stats_version_;
+  const double alpha = fb.alpha;
+  const double drift_threshold = fb.drift_threshold;
+  const double est_cost = optimized.cost;
+  std::shared_ptr<QueryState> keep = state;
+  cursor.set_on_finish([db, live, tm, freg, cache, truncated, harvest_version,
+                        alpha, drift_threshold, est_cost, cached, cache_key,
+                        keep](const Status& st, bool drained) {
     db->buffer_pool().PublishMetrics();
     live->fetch_sub(1);
     tm->EndCursor();
+    // Only a stream pulled to genuine exhaustion has complete measurements;
+    // cancelled, aborted or abandoned cursors teach the registry nothing.
+    if (freg == nullptr || !drained || !st.ok() || truncated ||
+        FaultInjector::Global().enabled()) {
+      return;
+    }
+    freg->Harvest(FlattenPlanStats(*keep->optimized.plan,
+                                   keep->exec.op_stats()),
+                  harvest_version, alpha);
+    if (cached && !cache_key.empty() && est_cost > 0) {
+      const double measured = keep->exec.MeasuredCost();
+      if (measured > 0) {
+        const double ratio =
+            std::max(measured / est_cost, est_cost / measured);
+        if (ratio >= drift_threshold && cache->Erase(cache_key)) {
+          freg->NoteDemotion(cache_key, ratio);
+        }
+      }
+    }
   });
   cursor.set_keepalive(std::move(state));
   return cursor;
@@ -526,7 +668,9 @@ ExplainResult Session::ExplainImpl(const QueryGraph& graph,
   ex.chose_push = run.optimized.pushed_sel || run.optimized.pushed_join ||
                   run.optimized.pushed_proj;
   ex.plan_cached = run.plan_cached;
+  ex.reoptimized_drift = run.reoptimized_drift;
   ex.plan = BuildExplainNode(*run.optimized.plan, exec.op_stats());
+  ex.node_stats_ = FlattenPlanStats(*run.optimized.plan, exec.op_stats());
   // Disassemble what the compiled engine actually ran: the same knob
   // resolution as ExecOptionsFrom (explicit override, else executor/env
   // default), except under legacy_exec, which always interprets.

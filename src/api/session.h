@@ -13,6 +13,7 @@
 #include "common/query_context.h"
 #include "common/status.h"
 #include "cost/cost_model.h"
+#include "cost/feedback.h"
 #include "cost/stats.h"
 #include "exec/executor.h"
 #include "exec/result_cursor.h"
@@ -52,6 +53,11 @@ struct QueryRun {
   /// did not run (optimized.stages replays the original optimization's
   /// reports; a trace collected on this run has no stage spans).
   bool plan_cached = false;
+
+  /// > 0 when this run re-optimized a plan the feedback loop had demoted
+  /// for cost drift: the previous cached plan's measured cost was this many
+  /// times off its estimate (see cost/feedback.h). 0 otherwise.
+  double reoptimized_drift = 0;
 
   /// Span trace of the run (optimizer stages, push/search spans, execution).
   /// Null unless QueryOptions::collect_trace was set.
@@ -98,6 +104,10 @@ struct ExplainResult {
   /// stages/decisions replay the original optimization's).
   bool plan_cached = false;
 
+  /// > 0 when this run re-optimized a drift-demoted plan (ToString renders
+  /// "[plan: re-optimized (drift N.Nx)]"); see QueryRun::reoptimized_drift.
+  double reoptimized_drift = 0;
+
   /// Per-operator bytecode disassembly (see src/exec/vm/), one section per
   /// compilable expression in the chosen plan. Filled only when the run
   /// evaluated with compiled eval; ToString appends it after the plan tree.
@@ -106,8 +116,20 @@ struct ExplainResult {
   std::shared_ptr<const obs::Trace> trace;  // set when collect_trace
 
   bool ok() const { return status.ok(); }
+
+  /// The est-vs-measured plan table as structured data: one row per plan
+  /// node in preorder, parent-linked (see PlanNodeStats). This is the same
+  /// surface the feedback harvester consumes — clients that want the
+  /// numbers read this instead of parsing the ToString() tree. Rows carry
+  /// estimates even under explain_only (measured fields stay unset).
+  const std::vector<PlanNodeStats>& node_stats() const { return node_stats_; }
+
   /// Human-readable report: stage table, decision log, annotated plan tree.
   std::string ToString() const;
+
+ private:
+  friend class Session;
+  std::vector<PlanNodeStats> node_stats_;
 };
 
 /// A parsed-and-validated query bound to its Session, with the cache
@@ -192,7 +214,8 @@ class Session {
  public:
   explicit Session(Database* db, OptimizerOptions options = {},
                    CostParams cost_params = {},
-                   std::shared_ptr<PlanCache> plan_cache = nullptr);
+                   std::shared_ptr<PlanCache> plan_cache = nullptr,
+                   std::shared_ptr<FeedbackRegistry> feedback = nullptr);
 
   /// Parses (ESQL-flavoured syntax, see query/parser.h), optimizes and
   /// executes under `options`.
@@ -233,6 +256,12 @@ class Session {
   const CostModel& cost_model() const { return *cost_; }
   Database& db() { return *db_; }
   PlanCache& plan_cache() { return *plan_cache_; }
+
+  /// The adaptive-feedback registry this session harvests into and applies
+  /// corrections from (see cost/feedback.h). Shared across sessions when
+  /// constructed through EngineHandle — the same sharing unit as the plan
+  /// cache; a standalone Session owns a private one.
+  FeedbackRegistry& feedback_registry() { return *feedback_; }
 
   /// Streaming cursors from this session that have not yet finalized
   /// (drained, failed or destroyed).
@@ -299,6 +328,16 @@ class Session {
  private:
   friend class PreparedQuery;
 
+  /// One run's resolved feedback configuration: QueryOptions::feedback with
+  /// the inherit defaults (RODIN_FEEDBACK env; kDefaultDriftThreshold /
+  /// kDefaultFeedbackAlpha) applied.
+  struct EffectiveFeedback {
+    bool on = false;
+    double drift_threshold = kDefaultDriftThreshold;
+    double alpha = kDefaultFeedbackAlpha;
+  };
+  static EffectiveFeedback ResolveFeedback(const QueryOptions& options);
+
   QueryRun RunImpl(const QueryGraph& graph, const QueryOptions& options,
                    Executor* exec, const std::string* graph_digest);
   ResultCursor QueryImpl(const QueryGraph& graph, const QueryOptions& options,
@@ -319,11 +358,21 @@ class Session {
   /// pipeline and, when the result is complete (ok, no stage truncated, no
   /// fault injector), inserts it. `opt_options` must already carry the armed
   /// query context.
+  ///
+  /// `corrections` (may be null / empty) is applied to the cost model on a
+  /// miss — it is deliberately NOT part of the fingerprint, so correction
+  /// updates alone never fork cache entries; drift demotion (PlanCache::
+  /// Erase) is how a stale cached plan gets re-costed. `key_out` receives
+  /// the fingerprint when non-null; `reoptimized_drift` receives the drift
+  /// ratio when this miss consumed a demotion note for the key (i.e. the
+  /// re-optimization the demotion asked for), 0 otherwise.
   bool OptimizeThroughCache(const QueryGraph& graph,
                             const OptimizerOptions& opt_options,
                             const ObsSink& sink, const QueryOptions& options,
                             const std::string* graph_digest,
-                            OptimizeResult* out, DecisionLog* decisions);
+                            const FeedbackCorrections* corrections,
+                            OptimizeResult* out, DecisionLog* decisions,
+                            std::string* key_out, double* reoptimized_drift);
 
   Database* db_;
   TxnManager* tm_;  // the database's write coordinator (process singleton)
@@ -334,6 +383,7 @@ class Session {
   std::unique_ptr<CostModel> cost_;
 
   std::shared_ptr<PlanCache> plan_cache_;
+  std::shared_ptr<FeedbackRegistry> feedback_;
   /// Fingerprint component cached once per RefreshStats (the database is
   /// finalized, so the physical identity is stable between refreshes).
   std::string physical_identity_;

@@ -18,9 +18,11 @@ double TempPages(double rows, size_t ncols) {
 
 }  // namespace
 
-CostModel::CostModel(const Database* db, const Stats* stats, CostParams params)
-    : db_(db), stats_(stats), params_(params) {
+CostModel::CostModel(const Database* db, const Stats* stats, CostParams params,
+                     const FeedbackCorrections* feedback)
+    : db_(db), stats_(stats), params_(params), feedback_(feedback) {
   RODIN_CHECK(db != nullptr && stats != nullptr, "null cost model inputs");
+  if (feedback_ != nullptr && feedback_->empty()) feedback_ = nullptr;
 }
 
 double CostModel::RandomFetchIO(double fetches, double pages) const {
@@ -256,7 +258,7 @@ double CostModel::ExprEvalCost(const PTNode& input, const ExprPtr& e,
 
 double CostModel::CostEntity(PTNode* node) const {
   const EntityStats& es = stats_->Entity(node->entity);
-  node->est_rows = static_cast<double>(es.instances);
+  node->est_rows = static_cast<double>(es.instances) * FeedbackFactor(*node);
   node->est_pages = static_cast<double>(es.pages);
   // Cost of one sequential scan; re-scans are priced by consumers (EJ).
   node->est_cost = static_cast<double>(es.pages) * params_.pr;
@@ -273,7 +275,10 @@ double CostModel::CostDelta(PTNode* node) const {
 
 double CostModel::CostSel(PTNode* node, FixMemo* memo) const {
   PTNode* child = node->children[0].get();
-  const double sel = Selectivity(*child, node->pred);
+  // Measured-cardinality correction: scale the estimated selectivity by the
+  // scope's learned factor (a selectivity can never exceed 1).
+  const double sel =
+      std::min(1.0, Selectivity(*child, node->pred) * FeedbackFactor(*node));
 
   if (node->sel_access != SelAccess::kSeqScan) {
     // Index access replaces the child's scan entirely (child must be an
@@ -320,7 +325,11 @@ double CostModel::CostProj(PTNode* node, FixMemo* memo) const {
   if (node->dedup) {
     cost += child->est_rows * params_.ev_tuple;  // hash/dedup CPU
   }
-  node->est_rows = child->est_rows;
+  // Statically, dedup passes cardinality through (the statistics carry no
+  // duplicate-survival figure); the feedback loop learns the survival rate
+  // per output signature and corrects it here.
+  node->est_rows = child->est_rows *
+                   (node->dedup ? FeedbackFactor(*node) : 1.0);
   node->est_pages = TempPages(node->est_rows, node->cols.size());
   node->est_cost = cost;
   return cost;
@@ -330,7 +339,8 @@ double CostModel::CostEJ(PTNode* node, FixMemo* memo) const {
   PTNode* left = node->children[0].get();
   PTNode* right = node->children[1].get();
   const double left_cost = AnnotateRec(left, memo);
-  const double join_sel = Selectivity(*node, node->pred);
+  const double join_sel =
+      std::min(1.0, Selectivity(*node, node->pred) * FeedbackFactor(*node));
 
   double cost = left_cost;
   if (node->algo == JoinAlgo::kIndexJoin) {
@@ -388,13 +398,13 @@ double CostModel::CostIJ(PTNode* node, FixMemo* memo) const {
               "IJ source unresolvable");
   const ClassDef* src_cls = child->cols[col].cls;
   double cost = child_cost;
-  double fanout = 1;
+  double fanout = FeedbackFactor(*node);  // correction scales the fan-out
   if (src_cls != nullptr && !rest.empty()) {
     // The dereference profile covers Figure 5's access_cost(Ci, Cj): one
     // (clustering- and locality-discounted) fetch per reached object.
     const PathEval pe = EvalPath(src_cls, {node->attr});
     cost += PathIOCost(pe, child->est_rows) + pe.cpu_per_row * child->est_rows;
-    fanout = pe.fanout;
+    fanout *= pe.fanout;
   } else {
     // The column already materializes var.attr (dotted column): the IJ only
     // binds it, fetching the target object's page per row.
@@ -427,8 +437,8 @@ double CostModel::CostPIJ(PTNode* node, FixMemo* memo) const {
       RandomFetchIO(child->est_rows * per_probe, idx_total_pages),
       idx_total_pages);
   double cost = child_cost + probe_io * params_.pr;
-  const double fanout =
-      static_cast<double>(idx->num_entries()) / root_instances;
+  const double fanout = static_cast<double>(idx->num_entries()) /
+                        root_instances * FeedbackFactor(*node);
   node->est_rows = child->est_rows * fanout;
   node->est_pages = TempPages(node->est_rows, node->cols.size());
   node->est_cost = cost;
@@ -500,8 +510,10 @@ double CostModel::CostFix(PTNode* node, FixMemo* memo) const {
   const double iters =
       node->est_iters > 0 ? node->est_iters : kDefaultFixIterations;
   // Chain-shaped recursions accumulate ~base * (iters+1)/2 tuples total;
-  // the average delta per iteration is closure/iters.
-  const double closure_rows = base->est_rows * (iters + 1.0) / 2.0;
+  // the average delta per iteration is closure/iters. The feedback factor
+  // corrects the closure size against what runs actually produced.
+  const double closure_rows =
+      base->est_rows * (iters + 1.0) / 2.0 * FeedbackFactor(*node);
   // Naive evaluation feeds the whole accumulated result back each round
   // (~3/4 of the closure on average) instead of the semi-naive delta.
   const double avg_delta = node->naive_fix

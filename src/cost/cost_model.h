@@ -4,6 +4,7 @@
 #include <map>
 #include <string>
 
+#include "cost/feedback.h"
 #include "cost/params.h"
 #include "cost/stats.h"
 #include "plan/pt.h"
@@ -27,7 +28,14 @@ namespace rodin {
 /// (Annotate writes estimates into the nodes it is given).
 class CostModel {
  public:
-  CostModel(const Database* db, const Stats* stats, CostParams params = {});
+  /// `feedback` (optional) is a snapshot of measured-cardinality correction
+  /// factors (see cost/feedback.h): selectivities, fan-outs and closure
+  /// sizes are multiplied by the factor of their node's FeedbackScopeKey, so
+  /// estimates track observed reality. The snapshot must outlive the model
+  /// and is read-only — a corrected CostModel stays shareable across search
+  /// threads. Null (the default) costs from the statistics alone.
+  CostModel(const Database* db, const Stats* stats, CostParams params = {},
+            const FeedbackCorrections* feedback = nullptr);
 
   /// Costs the subtree bottom-up, annotating every node; returns the total.
   double Annotate(PTNode* node) const;
@@ -110,9 +118,18 @@ class CostModel {
 
   double CompareSelectivity(const PTNode& input, const Expr& cmp) const;
 
+  /// The feedback correction factor for `node`'s scope (1.0 without
+  /// feedback). The scope-key derivation is skipped entirely when no
+  /// corrections are attached, keeping the uncorrected hot path unchanged.
+  double FeedbackFactor(const PTNode& node) const {
+    if (feedback_ == nullptr) return 1.0;
+    return feedback_->Factor(FeedbackScopeKey(node));
+  }
+
   const Database* db_;
   const Stats* stats_;
   CostParams params_;
+  const FeedbackCorrections* feedback_ = nullptr;
 };
 
 /// Default estimate for fixpoint iterations when no chain statistics apply.

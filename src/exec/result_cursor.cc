@@ -33,10 +33,14 @@ struct ResultCursor::Impl {
   size_t row_pos = 0;
 
   bool finished = false;
+  /// True only when the stream was pulled to genuine exhaustion (the engine
+  /// reported end-of-stream with an ok status, or the materialized table was
+  /// fully consumed) — not when the cursor was destroyed or aborted early.
+  bool exhausted = false;
   ExecCounters counters;
   double measured_cost = -1;
 
-  std::function<void()> on_finish;  // metrics publish etc.
+  std::function<void(const Status&, bool)> on_finish;  // metrics publish etc.
 };
 
 ResultCursor::ResultCursor() : impl_(std::make_unique<Impl>()) {
@@ -95,7 +99,7 @@ void ResultCursor::FinalizeAccounting() {
     im->measured_cost = im->exec->MeasuredCost();
   }
   if (im->on_finish) {
-    im->on_finish();
+    im->on_finish(im->status, im->exhausted && im->status.ok());
     im->on_finish = nullptr;
   }
 }
@@ -106,6 +110,7 @@ bool ResultCursor::Next(RowBatch* batch) {
   if (!im->status.ok()) return false;
   if (im->use_materialized) {
     if (im->mat_pos >= im->materialized.rows.size()) {
+      im->exhausted = true;
       FinalizeAccounting();
       return false;
     }
@@ -124,7 +129,11 @@ bool ResultCursor::Next(RowBatch* batch) {
     // (kCancelled / kDeadlineExceeded / ...) surfaces through status().
     // Accounting still finalizes either way — the work actually performed
     // replays exactly.
-    if (!im->engine->status().ok()) im->status = im->engine->status();
+    if (!im->engine->status().ok()) {
+      im->status = im->engine->status();
+    } else {
+      im->exhausted = true;
+    }
     FinalizeAccounting();
     return false;
   }
@@ -176,7 +185,8 @@ void ResultCursor::set_keepalive(std::shared_ptr<void> owned) {
   impl_->owned = std::move(owned);
 }
 
-void ResultCursor::set_on_finish(std::function<void()> hook) {
+void ResultCursor::set_on_finish(
+    std::function<void(const Status&, bool)> hook) {
   impl_->on_finish = std::move(hook);
 }
 

@@ -83,7 +83,13 @@ class ResultCursor {
 
   void set_plan_text(std::string text);
   void set_keepalive(std::shared_ptr<void> owned);
-  void set_on_finish(std::function<void()> hook);
+  /// Invoked exactly once when the cursor finalizes (drained, failed or
+  /// destroyed), after every counter and page charge is final. `status` is
+  /// the cursor's terminal status; `drained` is true only when the stream
+  /// was consumed to genuine exhaustion — an abandoned (destroyed-early) or
+  /// aborted cursor reports false, which is how Session's feedback harvest
+  /// knows a cancelled cursor must contribute nothing.
+  void set_on_finish(std::function<void(const Status& status, bool drained)> hook);
 
   /// Finalizes accounting for whatever has executed so far (no draining).
   void FinalizeAccounting();

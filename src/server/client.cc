@@ -174,7 +174,7 @@ ClientResult Client::Query(const std::string& text,
   const uint64_t request_id = next_request_++;
   PayloadWriter w;
   w.Str(text);
-  WireQueryOptions::FromQueryOptions(options).Encode(&w);
+  WireQueryOptions::FromQueryOptions(options).Encode(&w, proto_version_);
   active_request_.store(request_id);
   result.status = SendFrame(FrameType::kQuery, request_id, w.Take());
   if (!result.status.ok()) return result;
@@ -226,7 +226,7 @@ ClientResult Client::Execute(uint64_t statement_id,
   const uint64_t request_id = next_request_++;
   PayloadWriter w;
   w.U64(statement_id);
-  WireQueryOptions::FromQueryOptions(options).Encode(&w);
+  WireQueryOptions::FromQueryOptions(options).Encode(&w, proto_version_);
   active_request_.store(request_id);
   result.status = SendFrame(FrameType::kExecute, request_id, w.Take());
   if (!result.status.ok()) return result;

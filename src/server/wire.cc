@@ -51,6 +51,12 @@ constexpr uint8_t kTagSet = 7;
 constexpr uint8_t kFlagBypassPlanCache = 1u << 0;
 constexpr uint8_t kFlagCompiledEvalSet = 1u << 1;
 constexpr uint8_t kFlagCompiledEvalOn = 1u << 2;
+// v3: adaptive-feedback override. Tuning flag gates a two-F64 tail (drift
+// threshold, EWMA alpha) appended after the flags byte — old payloads never
+// carry the flag, so they decode unchanged.
+constexpr uint8_t kFlagFeedbackSet = 1u << 3;
+constexpr uint8_t kFlagFeedbackOn = 1u << 4;
+constexpr uint8_t kFlagFeedbackTuning = 1u << 5;
 
 }  // namespace
 
@@ -144,7 +150,7 @@ bool PayloadReader::Str(std::string* s) {
   return true;
 }
 
-void WireQueryOptions::Encode(PayloadWriter* w) const {
+void WireQueryOptions::Encode(PayloadWriter* w, uint32_t version) const {
   w->U64(deadline_ms);
   w->U64(memory_budget_pages);
   w->U32(exec_threads);
@@ -155,7 +161,19 @@ void WireQueryOptions::Encode(PayloadWriter* w) const {
     flags |= kFlagCompiledEvalSet;
     if (*compiled_eval) flags |= kFlagCompiledEvalOn;
   }
+  const bool tuning = feedback_drift != 0 || feedback_alpha != 0;
+  if (version >= 3) {
+    if (feedback.has_value()) {
+      flags |= kFlagFeedbackSet;
+      if (*feedback) flags |= kFlagFeedbackOn;
+    }
+    if (tuning) flags |= kFlagFeedbackTuning;
+  }
   w->U8(flags);
+  if (version >= 3 && tuning) {
+    w->F64(feedback_drift);
+    w->F64(feedback_alpha);
+  }
 }
 
 bool WireQueryOptions::Decode(PayloadReader* r) {
@@ -170,6 +188,16 @@ bool WireQueryOptions::Decode(PayloadReader* r) {
   } else {
     compiled_eval.reset();
   }
+  if ((flags & kFlagFeedbackSet) != 0) {
+    feedback = (flags & kFlagFeedbackOn) != 0;
+  } else {
+    feedback.reset();
+  }
+  feedback_drift = 0;
+  feedback_alpha = 0;
+  if ((flags & kFlagFeedbackTuning) != 0) {
+    if (!r->F64(&feedback_drift) || !r->F64(&feedback_alpha)) return false;
+  }
   return true;
 }
 
@@ -181,6 +209,9 @@ QueryOptions WireQueryOptions::ToQueryOptions() const {
   if (batch_rows != 0) options.batch_rows = batch_rows;
   options.compiled_eval = compiled_eval;
   options.bypass_plan_cache = bypass_plan_cache;
+  options.feedback.enabled = feedback;
+  options.feedback.drift_threshold = feedback_drift;
+  options.feedback.ewma_alpha = feedback_alpha;
   return options;
 }
 
@@ -196,6 +227,9 @@ WireQueryOptions WireQueryOptions::FromQueryOptions(
       options.batch_rows ? static_cast<uint32_t>(*options.batch_rows) : 0;
   wire.bypass_plan_cache = options.bypass_plan_cache;
   wire.compiled_eval = options.compiled_eval;
+  wire.feedback = options.feedback.enabled;
+  wire.feedback_drift = options.feedback.drift_threshold;
+  wire.feedback_alpha = options.feedback.ewma_alpha;
   return wire;
 }
 

@@ -13,7 +13,7 @@
 
 namespace rodin::server {
 
-/// rodin_serve's wire protocol, v2 (full spec: docs/SERVER.md).
+/// rodin_serve's wire protocol, v3 (full spec: docs/SERVER.md).
 ///
 /// Every message is one length-prefixed frame:
 ///
@@ -32,12 +32,15 @@ namespace rodin::server {
 ///
 /// Version negotiation: the client's HELLO carries the highest version it
 /// speaks; the server replies with min(client, kProtocolVersion) and both
-/// sides speak that. v1 clients therefore connect to a v2 server and see
+/// sides speak that. v1 clients therefore connect to a v2+ server and see
 /// byte-identical v1 behaviour; the v2 additions (MUTATE/COMMIT and the
 /// structural kTagRef/kTagSet value tags inside their payloads) are only
 /// legal on a connection that negotiated >= 2 — on a v1 connection they are
-/// an unexpected frame type, answered with an error STATUS.
-constexpr uint32_t kProtocolVersion = 2;
+/// an unexpected frame type, answered with an error STATUS. The v3 addition
+/// is the feedback option block inside WireQueryOptions (three new flag
+/// bits plus an optional tuning tail); a v3 client encodes it only on a
+/// connection that negotiated >= 3, so older servers never see the bits.
+constexpr uint32_t kProtocolVersion = 3;
 /// Oldest client version the server still accepts.
 constexpr uint32_t kMinProtocolVersion = 1;
 
@@ -169,8 +172,18 @@ struct WireQueryOptions {
   bool bypass_plan_cache = false;
   /// Tri-state compiled-eval override (nullopt = inherit).
   std::optional<bool> compiled_eval;
+  /// Tri-state adaptive-feedback override (v3+; nullopt = inherit the
+  /// server's RODIN_FEEDBACK default). The tuning knobs follow the facade's
+  /// inherit rule: 0 = server default (kDefaultDriftThreshold /
+  /// kDefaultFeedbackAlpha). Encoded as flag bits + an optional two-F64
+  /// tail; Encode omits all of it when the negotiated version is < 3.
+  std::optional<bool> feedback;
+  double feedback_drift = 0;
+  double feedback_alpha = 0;
 
-  void Encode(PayloadWriter* w) const;
+  /// `version` is the connection's negotiated protocol version: v3 fields
+  /// are silently dropped when encoding for an older peer.
+  void Encode(PayloadWriter* w, uint32_t version = kProtocolVersion) const;
   bool Decode(PayloadReader* r);
 
   /// Lowers onto the facade. The returned options carry a fresh

@@ -23,6 +23,7 @@
 #include "datagen/parts_gen.h"
 #include "storage/database.h"
 #include "storage/extent.h"
+#include "test_seed.h"
 #include "txn/materialized_fix.h"
 #include "txn/txn_manager.h"
 
@@ -119,6 +120,12 @@ struct FuzzCase {
 
 void RunDifferential(FuzzCase c, uint64_t seed, int rounds,
                      int min_committed) {
+  // RODIN_TEST_SEED=N sweeps the fuzz over fresh batch sequences without a
+  // recompile; the effective seed is logged so any failure is reproducible
+  // by exporting that exact value.
+  seed += TestSeedBase();
+  SCOPED_TRACE("effective seed " + std::to_string(seed) +
+               " (base seed via RODIN_TEST_SEED)");
   Session inc(c.inc.db.get());
   Session rec(c.rec.db.get());
   inc.txn().SetFixPolicy(FixMaintenancePolicy::kIncremental);

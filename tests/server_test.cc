@@ -141,6 +141,61 @@ TEST(WireCodecTest, QueryOptionsRoundTripPreservesInheritRule) {
   EXPECT_FALSE(decoded2.exec_threads.has_value());
   EXPECT_FALSE(decoded2.batch_rows.has_value());
   EXPECT_FALSE(decoded2.compiled_eval.has_value());
+  EXPECT_FALSE(decoded2.feedback.enabled.has_value());
+  EXPECT_EQ(decoded2.feedback.drift_threshold, 0.0);
+  EXPECT_EQ(decoded2.feedback.ewma_alpha, 0.0);
+}
+
+TEST(WireCodecTest, FeedbackOptionsRoundTripOnV3AndDropOnV2) {
+  QueryOptions original;
+  original.feedback.enabled = true;
+  original.feedback.drift_threshold = 2.5;
+  original.feedback.ewma_alpha = 0.25;
+
+  // v3 (the default): tri-state and tuning tail round-trip exactly.
+  PayloadWriter w;
+  WireQueryOptions::FromQueryOptions(original).Encode(&w);
+  const std::string payload = w.data();
+  PayloadReader r(payload.data(), payload.size());
+  WireQueryOptions wire;
+  ASSERT_TRUE(wire.Decode(&r));
+  EXPECT_TRUE(r.AtEnd());
+  const QueryOptions decoded = wire.ToQueryOptions();
+  ASSERT_TRUE(decoded.feedback.enabled.has_value());
+  EXPECT_TRUE(*decoded.feedback.enabled);
+  EXPECT_EQ(decoded.feedback.drift_threshold, 2.5);
+  EXPECT_EQ(decoded.feedback.ewma_alpha, 0.25);
+
+  // Explicit "off" is distinct from "inherit".
+  QueryOptions off;
+  off.feedback.enabled = false;
+  PayloadWriter woff;
+  WireQueryOptions::FromQueryOptions(off).Encode(&woff);
+  const std::string poff = woff.data();
+  PayloadReader roff(poff.data(), poff.size());
+  WireQueryOptions wireoff;
+  ASSERT_TRUE(wireoff.Decode(&roff));
+  EXPECT_TRUE(roff.AtEnd());
+  ASSERT_TRUE(wireoff.feedback.has_value());
+  EXPECT_FALSE(*wireoff.feedback);
+
+  // Encoding for a v2 peer drops the v3 fields entirely: the payload is
+  // byte-identical to one from a client that never heard of feedback, so
+  // old servers decode it unchanged.
+  PayloadWriter w2;
+  WireQueryOptions::FromQueryOptions(original).Encode(&w2, /*version=*/2);
+  PayloadWriter w2plain;
+  WireQueryOptions::FromQueryOptions(QueryOptions{}).Encode(&w2plain,
+                                                           /*version=*/2);
+  EXPECT_EQ(w2.data(), w2plain.data());
+  const std::string p2 = w2.data();
+  PayloadReader r2(p2.data(), p2.size());
+  WireQueryOptions wire2;
+  ASSERT_TRUE(wire2.Decode(&r2));
+  EXPECT_TRUE(r2.AtEnd());
+  EXPECT_FALSE(wire2.feedback.has_value());
+  EXPECT_EQ(wire2.feedback_drift, 0.0);
+  EXPECT_EQ(wire2.feedback_alpha, 0.0);
 }
 
 TEST(WireCodecTest, ValuesRoundTrip) {

@@ -318,6 +318,32 @@ TEST_F(TutorialTest, MutatingDataSectionWorksAsWritten) {
   EXPECT_EQ(still.answer.rows.size(), 1u);
 }
 
+TEST_F(TutorialTest, AdaptiveFeedbackSectionWorksAsWritten) {
+  if (FaultInjector::Global().enabled()) {
+    GTEST_SKIP() << "faulted runs never feed back, as the section says";
+  }
+  Session session(db_.get());
+  QueryOptions fb;
+  fb.feedback.enabled = true;
+
+  const QueryRun first = session.Run(kQuery, fb);
+  ASSERT_TRUE(first.ok()) << first.error();
+  const FeedbackStats harvested = session.feedback_registry().stats();
+  EXPECT_GT(harvested.observations, 0u);
+
+  const QueryRun later = session.Run(kQuery, fb);
+  ASSERT_TRUE(later.ok()) << later.error();
+  // Feedback never changes results, only plans.
+  EXPECT_EQ(first.answer.rows, later.answer.rows);
+  EXPECT_GT(session.feedback_registry().stats().observations,
+            harvested.observations);
+
+  // The est-vs-measured table the section points at.
+  const ExplainResult ex = session.Explain(kQuery, fb);
+  ASSERT_TRUE(ex.ok()) << ex.status.ToString();
+  EXPECT_FALSE(ex.node_stats().empty());
+}
+
 TEST_F(TutorialTest, MethodPredicateWorks) {
   Session session(db_.get());
   const QueryRun run = session.Run(

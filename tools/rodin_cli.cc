@@ -5,8 +5,9 @@
 //             [--parallel=P] [--threads=N] [--exec-threads=N]
 //             [--batch-rows=N] [--deadline-ms=N] [--memory-budget-pages=N]
 //             [--explain] [--plan-only] [--compiled-eval] [--no-compiled-eval]
-//             [--no-plan-cache] [--symbolic] [--trace-out=FILE] [--metrics]
-//             [--query=FILE] [--mutate=SPEC]
+//             [--feedback] [--no-feedback] [--feedback-drift=X]
+//             [--feedback-alpha=X] [--no-plan-cache] [--symbolic]
+//             [--trace-out=FILE] [--metrics] [--query=FILE] [--mutate=SPEC]
 //
 // --mutate parses a small mutation DSL (see MutateSpecParser below), stages
 // the batch and commits it through Session::Mutate — one atomic transaction
@@ -31,6 +32,16 @@
 // RODIN_COMPILED_EVAL environment switch decides. Rows, counters and
 // measured cost are bit-identical either way; under --explain the compiled
 // run's report ends with the per-operator bytecode disassembly.
+//
+// --feedback / --no-feedback switch the adaptive cost-feedback loop
+// (measured cardinalities correcting the optimizer's estimates, see
+// src/cost/feedback.h); omitted, the RODIN_FEEDBACK environment switch
+// decides (off by default). --feedback-drift sets the re-optimization
+// threshold (> 1; default 3.0: a cached plan whose measured cost strays 3x
+// from its estimate is demoted and re-optimized) and --feedback-alpha the
+// correction EWMA weight in (0, 1]. Feedback never changes answers, only
+// plans — a single CLI invocation optimizes once, so the flags matter for
+// scripted warm-up comparisons and --mutate + --query combinations.
 //
 // --no-plan-cache makes the run bypass the session's plan cache (a single
 // CLI invocation optimizes once either way; the flag matters for scripted
@@ -91,6 +102,10 @@ struct CliOptions {
   std::optional<size_t> batch_rows;
   // Unset = RODIN_COMPILED_EVAL environment default.
   std::optional<bool> compiled_eval;
+  // Unset = RODIN_FEEDBACK environment default; 0 tuning values = inherit.
+  std::optional<bool> feedback;
+  double feedback_drift = 0;
+  double feedback_alpha = 0;
   uint64_t deadline_ms = 0;   // 0 = no deadline
   uint64_t memory_budget_pages = 0;  // 0 = unlimited
   bool explain = false;
@@ -365,6 +380,8 @@ void Usage() {
       "                 [--batch-rows=N] [--deadline-ms=N]\n"
       "                 [--memory-budget-pages=N] [--explain] [--plan-only]\n"
       "                 [--compiled-eval] [--no-compiled-eval]\n"
+      "                 [--feedback] [--no-feedback] [--feedback-drift=X]\n"
+      "                 [--feedback-alpha=X]\n"
       "                 [--no-plan-cache] [--symbolic] [--trace-out=FILE]\n"
       "                 [--metrics] [--query=FILE] [--mutate=SPEC]\n"
       "Reads a query in the paper's syntax from --query or stdin.\n"
@@ -452,6 +469,14 @@ int main(int argc, char** argv) {
       options.compiled_eval = true;
     } else if (std::strcmp(argv[i], "--no-compiled-eval") == 0) {
       options.compiled_eval = false;
+    } else if (std::strcmp(argv[i], "--feedback") == 0) {
+      options.feedback = true;
+    } else if (std::strcmp(argv[i], "--no-feedback") == 0) {
+      options.feedback = false;
+    } else if (ParseFlag(argv[i], "feedback-drift", &value)) {
+      options.feedback_drift = std::stod(value);
+    } else if (ParseFlag(argv[i], "feedback-alpha", &value)) {
+      options.feedback_alpha = std::stod(value);
     } else if (std::strcmp(argv[i], "--explain") == 0) {
       options.explain = true;
     } else if (std::strcmp(argv[i], "--plan-only") == 0) {
@@ -541,6 +566,9 @@ int main(int argc, char** argv) {
   ro.exec_threads = options.exec_threads;
   ro.batch_rows = options.batch_rows;
   ro.compiled_eval = options.compiled_eval;
+  ro.feedback.enabled = options.feedback;
+  ro.feedback.drift_threshold = options.feedback_drift;
+  ro.feedback.ewma_alpha = options.feedback_alpha;
   ro.bypass_plan_cache = options.no_plan_cache;
   ro.query.deadline_ms = options.deadline_ms;
   ro.query.memory_budget_pages = options.memory_budget_pages;
@@ -573,6 +601,9 @@ int main(int argc, char** argv) {
                 s.strategy.c_str(), s.micros, s.plans_explored);
   }
   if (run.plan_cached) std::printf("\n[plan: cached]");
+  if (run.reoptimized_drift > 0) {
+    std::printf("\n[plan: re-optimized (drift %.1fx)]", run.reoptimized_drift);
+  }
   std::printf("\nplan (estimated cost %.1f, pushed: %s%s%s):\n%s\n",
               result.cost, result.pushed_sel ? "sel " : "",
               result.pushed_join ? "join " : "",
