@@ -1,0 +1,217 @@
+// E17 — graceful degradation under memory pressure: the spill-to-disk scale
+// sweep. Figure 3's recursive Influencer query runs at growing database
+// scales under a 1-page temp ledger (every multi-page working set forced to
+// disk) and must stay *observably identical* to an unlimited run — same
+// rows, same measured cost — because the ledger never touches the buffer
+// pool's accounting. The sweep also replays the pre-spill failure mode: at
+// the largest scale a 1-page memory_budget_pages with spilling disabled is
+// a typed kResourceExhausted, and the identical budget with spilling on
+// completes with the unlimited answer.
+//
+// Reported figures (all deterministic — seeded data, seeded optimizer,
+// page/byte counts rather than timings — so the CI gate can be strict):
+//
+//   ForcedScalesCompleted — scales that finished under the forced ledger;
+//                           the acceptance bar is all of them;
+//   IdentityViolations    — forced runs whose rows or measured cost
+//                           diverged from the unlimited run (bar: 0);
+//   SpillSpillsAtMaxScale / SpillPartitionsAtMaxScale /
+//   SpillMBAtMaxScale / SpillPassesAtMaxScale
+//                         — spill volume at the largest scale, from the
+//                           rodin.spill.* counters;
+//   SeedFailureRecovered  — 1 when the old hard-failure configuration
+//                           (1-page budget, spill off => kResourceExhausted)
+//                           completes under the same budget with spill on.
+//
+// Output is Google-Benchmark-shaped JSON (values in real_time, the field
+// scripts/check_bench.py compares) written to --out, like rodin_load.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "api/session.h"
+#include "datagen/music_gen.h"
+#include "obs/metrics.h"
+#include "optimizer/baseline.h"
+
+using namespace rodin;
+
+namespace {
+
+const char kFig3Text[] = R"(
+relation Influencer includes
+  (select [master: x.master, disciple: x, gen: 1] from x in Composer)
+  union
+  (select [master: i.master, disciple: x, gen: i.gen + 1]
+   from i in Influencer, x in Composer where i.disciple = x.master)
+
+select [dname: j.disciple.name] from j in Influencer
+where j.master.works.instruments.iname = "harpsichord" and j.gen >= 6
+)";
+
+constexpr size_t kUnlimitedPages = size_t{1} << 30;
+
+std::vector<std::string> Keys(const Table& t) {
+  std::vector<std::string> out;
+  for (const Row& row : t.rows) {
+    std::string key;
+    for (const Value& v : row) key += v.ToString() + "|";
+    out.push_back(std::move(key));
+  }
+  return out;
+}
+
+struct BenchRow {
+  std::string name;
+  double value;
+  const char* unit;
+};
+
+void WriteBenchJson(const std::string& path,
+                    const std::vector<BenchRow>& rows) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << "{\n  \"context\": {\n    \"executable\": \"bench_spill\"\n  },\n"
+      << "  \"benchmarks\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& row = rows[i];
+    out << "    {\n"
+        << "      \"name\": \"" << row.name << "\",\n"
+        << "      \"run_type\": \"iteration\",\n"
+        << "      \"iterations\": 1,\n"
+        << "      \"real_time\": " << row.value << ",\n"
+        << "      \"cpu_time\": " << row.value << ",\n"
+        << "      \"time_unit\": \"" << row.unit << "\"\n"
+        << "    }" << (i + 1 == rows.size() ? "\n" : ",\n");
+  }
+  out << "  ]\n}\n";
+}
+
+uint64_t SpillCounter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_spill.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--out=";
+    if (arg.rfind(prefix, 0) == 0) out_path = arg.substr(prefix.size());
+  }
+
+  const uint32_t kScales[] = {60, 120, 240, 400};
+  double completed = 0;
+  double identity_violations = 0;
+  double spills_at_max = 0, partitions_at_max = 0, mb_at_max = 0,
+         passes_at_max = 0;
+  double seed_failure_recovered = 0;
+
+  for (const uint32_t scale : kScales) {
+    MusicConfig config;
+    config.num_composers = scale;
+    config.lineage_depth = 10;
+    config.seed = 1234;
+    GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
+    Session session(g.db.get(), CostBasedOptions(42));
+
+    QueryOptions unlimited;
+    unlimited.cold = true;
+    unlimited.query.spill_budget_pages = kUnlimitedPages;
+    const QueryRun base = session.Run(kFig3Text, unlimited);
+    if (!base.ok()) {
+      std::fprintf(stderr, "unlimited run failed at scale %u: %s\n", scale,
+                   base.error().c_str());
+      return 1;
+    }
+
+    QueryOptions forced;
+    forced.cold = true;
+    forced.query.spill = true;
+    forced.query.spill_budget_pages = 1;
+    const uint64_t spills0 = SpillCounter("rodin.spill.spills");
+    const uint64_t parts0 = SpillCounter("rodin.spill.partitions");
+    const uint64_t bytes0 = SpillCounter("rodin.spill.bytes");
+    const uint64_t passes0 = SpillCounter("rodin.spill.passes");
+    const QueryRun spilled = session.Run(kFig3Text, forced);
+    if (!spilled.ok()) {
+      std::fprintf(stderr, "forced-spill run failed at scale %u: %s\n", scale,
+                   spilled.error().c_str());
+      continue;  // counted as a missing completion below
+    }
+    completed += 1;
+    const bool identical = Keys(spilled.answer) == Keys(base.answer) &&
+                           spilled.measured_cost == base.measured_cost;
+    if (!identical) identity_violations += 1;
+
+    spills_at_max = static_cast<double>(SpillCounter("rodin.spill.spills") -
+                                        spills0);
+    partitions_at_max = static_cast<double>(
+        SpillCounter("rodin.spill.partitions") - parts0);
+    mb_at_max = static_cast<double>(SpillCounter("rodin.spill.bytes") -
+                                    bytes0) /
+                1e6;
+    passes_at_max = static_cast<double>(SpillCounter("rodin.spill.passes") -
+                                        passes0);
+    std::fprintf(stderr,
+                 "scale %3u: %zu rows, %s, spills=%.0f partitions=%.0f "
+                 "%.3f MB passes=%.0f\n",
+                 scale, spilled.answer.rows.size(),
+                 identical ? "bit-identical" : "DIVERGED", spills_at_max,
+                 partitions_at_max, mb_at_max, passes_at_max);
+
+    // The pre-spill failure mode, replayed at the largest scale: the same
+    // 1-page budget that used to kResourceExhausted now completes.
+    if (scale == kScales[sizeof(kScales) / sizeof(kScales[0]) - 1]) {
+      QueryOptions off;
+      off.cold = true;
+      off.query.memory_budget_pages = 1;
+      off.query.spill = false;
+      const QueryRun refused = session.Run(kFig3Text, off);
+      QueryOptions on = off;
+      on.query.spill = true;
+      const QueryRun recovered = session.Run(kFig3Text, on);
+      if (!refused.ok() &&
+          refused.status.code == Status::Code::kResourceExhausted &&
+          recovered.ok() && Keys(recovered.answer) == Keys(base.answer)) {
+        seed_failure_recovered = 1;
+      }
+      std::fprintf(stderr,
+                   "seed failure replay: spill-off %s, spill-on %s\n",
+                   refused.status.ToString().c_str(),
+                   recovered.status.ToString().c_str());
+    }
+  }
+
+  WriteBenchJson(out_path,
+                 {
+                     {"ForcedScalesCompleted", completed, "count"},
+                     {"IdentityViolations", identity_violations, "count"},
+                     {"SpillSpillsAtMaxScale", spills_at_max, "count"},
+                     {"SpillPartitionsAtMaxScale", partitions_at_max, "count"},
+                     {"SpillMBAtMaxScale", mb_at_max, "MB"},
+                     {"SpillPassesAtMaxScale", passes_at_max, "count"},
+                     {"SeedFailureRecovered", seed_failure_recovered, "bool"},
+                 });
+  std::fprintf(stderr,
+               "%.0f/4 scales completed forced, %.0f identity violations, "
+               "seed failure recovered=%.0f -> %s\n",
+               completed, identity_violations, seed_failure_recovered,
+               out_path.c_str());
+
+  if (completed < 4 || identity_violations > 0 ||
+      seed_failure_recovered != 1) {
+    std::fprintf(stderr,
+                 "FAIL: spill acceptance bar (all scales complete, zero "
+                 "divergence, seed failure recovered) not met\n");
+    return 1;
+  }
+  return 0;
+}

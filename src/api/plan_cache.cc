@@ -193,10 +193,12 @@ std::string ComposeFingerprint(const std::string& graph_digest,
   key += "\n";
   key += physical_identity;
   key += StrFormat(
-      "\ncost{pr=%.17g;ev=%.17g;mw=%.17g;mat=%d;pd=%u;po=%.17g}",
+      "\ncost{pr=%.17g;ev=%.17g;mw=%.17g;mat=%d;pd=%u;po=%.17g;"
+      "srw=%.17g;mbp=%llu}",
       cost_params.pr, cost_params.ev_tuple, cost_params.method_weight,
       cost_params.include_materialization ? 1 : 0, cost_params.parallel_degree,
-      cost_params.parallel_overhead);
+      cost_params.parallel_overhead, cost_params.spill_rw,
+      static_cast<unsigned long long>(cost_params.memory_budget_pages));
   const TransformOptions& t = options.transform;
   key += StrFormat(
       "\nopt{gen=%s;seed=%llu;threads=%zu;fold=%d;naive=%d;"

@@ -249,11 +249,20 @@ bool Session::OptimizeThroughCache(const QueryGraph& graph,
   const bool use_cache = PlanCacheEnabledByEnv() &&
                          !options.bypass_plan_cache &&
                          !FaultInjector::Global().enabled();
+  // Budget-aware costing: an explicit per-query memory budget enters the
+  // cost params (the spill penalty term) and with them the plan-cache
+  // fingerprint, so budgeted and unbudgeted runs of one query never share
+  // a cached plan. The spill-budget ledger override and RODIN_SPILL_BUDGET
+  // deliberately do NOT enter: they are spill-forcing test plumbing, and
+  // perturbing plan choice would break the bit-identity they exist to
+  // exercise.
+  CostParams effective_params = cost_params_;
+  effective_params.memory_budget_pages = options.query.memory_budget_pages;
   std::string key;
   if (use_cache) {
     key = ComposeFingerprint(
         graph_digest != nullptr ? *graph_digest : GraphDigest(graph),
-        physical_identity_, cost_params_, opt_options);
+        physical_identity_, effective_params, opt_options);
     if (key_out != nullptr) *key_out = key;
     PlanCacheEntry entry;
     if (plan_cache_->Lookup(key, stats_version_, &entry)) {
@@ -287,7 +296,10 @@ bool Session::OptimizeThroughCache(const QueryGraph& graph,
   std::optional<CostModel> corrected;
   const CostModel* cost = cost_.get();
   if (corrections != nullptr && !corrections->empty()) {
-    corrected.emplace(db_, stats_.get(), cost_params_, corrections);
+    corrected.emplace(db_, stats_.get(), effective_params, corrections);
+    cost = &*corrected;
+  } else if (effective_params.memory_budget_pages != 0) {
+    corrected.emplace(db_, stats_.get(), effective_params, nullptr);
     cost = &*corrected;
   }
   Optimizer optimizer(db_, stats_.get(), cost, opt_options);

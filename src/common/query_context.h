@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "common/status.h"
@@ -52,9 +53,27 @@ struct QueryContext {
   /// Per-query resident-page budget for the buffer pool. The pool degrades
   /// gracefully (its effective LRU capacity is clamped to the budget, so
   /// evicted pages are simply re-charged as misses — accounting stays
-  /// exact); a single allocation that cannot fit returns
-  /// kResourceExhausted. 0 = unlimited.
+  /// exact). The same figure budgets the query's *cumulative live* temp
+  /// pages: an operator working set that would exceed the remainder spills
+  /// to disk (when `spill` resolves on) or returns a typed
+  /// kResourceExhausted (when it resolves off); only a single row too large
+  /// for the whole budget is refused unconditionally — no partitioning can
+  /// split one row. 0 = unlimited.
   size_t memory_budget_pages = 0;
+
+  /// Tri-state spill override: nullopt inherits the RODIN_SPILL environment
+  /// default (on unless RODIN_SPILL=0/off). Engaged true/false forces the
+  /// over-budget behaviour above for this run. Spilling never changes rows,
+  /// row order, ExecCounters or MeasuredCost — only where row bytes live.
+  std::optional<bool> spill;
+
+  /// Temp-page ledger budget override for the spill decision only. Unlike
+  /// memory_budget_pages it does NOT clamp the buffer pool's LRU capacity,
+  /// so accounting stays bit-identical to an unlimited run while spilling
+  /// is forced — the knob CI uses to exercise spill paths everywhere.
+  /// Precedence: this value when nonzero, else memory_budget_pages, else
+  /// the RODIN_SPILL_BUDGET environment default. 0 = inherit.
+  size_t spill_budget_pages = 0;
 
   /// Starts the deadline clock. Called once per run attempt by Session;
   /// a context that was never armed has no deadline even if deadline_ms is

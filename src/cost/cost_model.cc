@@ -16,6 +16,18 @@ double TempPages(double rows, size_t ncols) {
   return std::ceil(std::max(0.0, rows) * row_bytes / kPageSizeBytes);
 }
 
+// Spill penalty for a materialized working set: over the configured memory
+// budget, every page is written out and read back by the spill machinery
+// (spill_rw * pr per page). Zero without a budget, so estimates are
+// unchanged for unbudgeted queries.
+double SpillPenalty(const CostParams& p, double temp_pages) {
+  if (p.memory_budget_pages == 0 ||
+      temp_pages <= static_cast<double>(p.memory_budget_pages)) {
+    return 0;
+  }
+  return temp_pages * p.spill_rw * p.pr;
+}
+
 }  // namespace
 
 CostModel::CostModel(const Database* db, const Stats* stats, CostParams params,
@@ -379,6 +391,8 @@ double CostModel::CostEJ(PTNode* node, FixMemo* memo) const {
       cost += right_cost;  // produce once
       if (params_.include_materialization) cost += temp_pages * params_.pr;
       cost += RescanIO(outer_rows, temp_pages) * params_.pr;
+      // Over-budget join builds spill their payload to disk.
+      cost += SpillPenalty(params_, temp_pages);
     }
     const double pairs = left->est_rows * right->est_rows;
     cost += pairs * params_.ev_tuple + ExprEvalCost(*node, node->pred, pairs);
@@ -528,6 +542,9 @@ double CostModel::CostFix(PTNode* node, FixMemo* memo) const {
   // Accumulator dedup (semi-naive new-tuple check) per produced tuple.
   cost += (base->est_rows + iters * std::max(0.0, rec->est_rows)) *
           params_.ev_tuple;
+  // Over-budget per-iteration deltas spill their payload to disk.
+  cost += iters *
+          SpillPenalty(params_, TempPages(avg_delta, node->cols.size()));
   if (params_.include_materialization) {
     cost += TempPages(closure_rows, node->cols.size()) * params_.pr;
   }

@@ -1,6 +1,8 @@
 #ifndef RODIN_COST_PARAMS_H_
 #define RODIN_COST_PARAMS_H_
 
+#include <cstddef>
+
 namespace rodin {
 
 /// Unit costs of the basic operations (paper §3.2). The total cost of a plan
@@ -28,6 +30,15 @@ struct CostParams {
   /// fixpoint iterations remain sequential barriers.
   unsigned parallel_degree = 1;
   double parallel_overhead = 0.5;
+
+  /// Spill costing: when the query's memory budget is known at planning
+  /// time (memory_budget_pages > 0), a materialized working set larger
+  /// than the budget pays an extra spill_rw * pr per page — the write-out
+  /// plus read-back of the spill machinery — steering the optimizer toward
+  /// plans whose temps stay resident. A zero budget (the default) adds
+  /// nothing, so estimates for unbudgeted queries are unchanged.
+  double spill_rw = 2.0;
+  size_t memory_budget_pages = 0;
 };
 
 }  // namespace rodin

@@ -17,6 +17,7 @@
 #include "exec/vm/compiler.h"
 #include "exec/vm/vm.h"
 #include "obs/metrics.h"
+#include "storage/spill_file.h"
 
 namespace rodin {
 
@@ -36,6 +37,16 @@ struct MorselCounters {
   }
 };
 
+/// One in-flight fixpoint delta, by view name. The temp file backs the
+/// delta's page accounting (scans charge it) whether or not the rows were
+/// spilled; when `spill` is set the row *bytes* live on disk and readers
+/// stream them back instead of touching `rows` ("spill wins").
+struct DeltaSource {
+  const Table* rows = nullptr;
+  TempFile temp;
+  std::shared_ptr<SpillFile> spill;
+};
+
 /// Shared state of one engine instance. Only the coordinator thread mutates
 /// it; workers see it exclusively through morsel-local EvalContexts.
 struct ExecCtx {
@@ -46,7 +57,7 @@ struct ExecCtx {
   bool compiled_eval = false;
   bool collect_op_stats = false;
   ThreadPool* pool = nullptr;
-  std::map<std::string, std::pair<Table, TempFile>>* fix_cache = nullptr;
+  std::map<std::string, FixCacheEntry>* fix_cache = nullptr;
 
   MorselCounters counters;
   uint64_t fix_iterations = 0;
@@ -60,14 +71,22 @@ struct ExecCtx {
   /// Engine-local per-node profile with *exclusive* page counts; made
   /// inclusive by a plan walk at Finalize, then merged into the executor.
   std::map<const PTNode*, OpStats> local_stats;
-  /// Delta tables of in-flight fixpoints, by view name, with the temp file
-  /// backing each delta (scans of the delta charge it).
-  std::map<std::string, std::pair<const Table*, TempFile>> deltas;
+  /// Delta tables of in-flight fixpoints, by view name.
+  std::map<std::string, DeltaSource> deltas;
 
   /// Lifecycle budget / fault wiring (coordinator thread only; workers
   /// never consult either).
   const QueryContext* query = nullptr;
   bool inject_faults = false;
+
+  /// Spill policy (see BatchEngine::Config): over-budget temp working sets
+  /// move their row bytes to disk instead of aborting. The ledger tracks
+  /// the query's *cumulative live* temp pages; spilled temps are not
+  /// charged against it (their bytes are on disk, tracked in `spill`).
+  bool spill_enabled = true;
+  size_t ledger_budget = 0;
+  size_t live_temp_pages = 0;
+  SpillStats spill;
 
   /// How many input items a leaf grabs per Next: one output batch per
   /// worker, so every worker has a full morsel of work.
@@ -99,24 +118,48 @@ struct ExecCtx {
     }
   }
 
-  /// AllocateTempFile with the memory budget and alloc-fault checks. A temp
-  /// file that alone exceeds the resident-page budget can never be scanned
-  /// within it, so the query fails fast with kResourceExhausted instead of
-  /// thrashing.
-  TempFile AllocTemp(size_t rows, size_t ncols) {
+  /// AllocateTempFile with the cumulative temp-page ledger and alloc-fault
+  /// checks. The page-id allocation is identical whether or not the temp
+  /// spills, so ChargeTempScan sequences — and with them MeasuredCost — are
+  /// bit-identical spill-on vs all-in-memory. Over the remaining budget:
+  /// spill (sets *spilled; caller moves the row bytes to disk and skips the
+  /// ledger charge) or throw a typed kResourceExhausted with the tripping
+  /// operator packed into Status::detail. Only a single row too large for
+  /// the whole budget is refused unconditionally.
+  TempFile AllocTemp(size_t rows, size_t ncols, SpillOpTag tag,
+                     bool* spilled = nullptr) {
+    if (spilled != nullptr) *spilled = false;
     if (inject_faults && FaultInjector::Global().InjectAllocFault()) {
       throw internal::ExecAbort(Status::Error(
           Status::Code::kFault, "injected allocation failure"));
     }
     TempFile temp = AllocateTempFile(db, rows, ncols);
-    const size_t budget = query != nullptr ? query->memory_budget_pages : 0;
-    if (budget > 0 && temp.pages > budget) {
-      throw internal::ExecAbort(Status::Error(
-          Status::Code::kResourceExhausted,
-          StrFormat("temp file of %llu pages exceeds the %zu-page budget",
-                    static_cast<unsigned long long>(temp.pages), budget)));
+    if (ledger_budget == 0) return temp;
+    const uint64_t row_pages = TempRowPages(ncols);
+    if (row_pages > ledger_budget) {
+      throw internal::ExecAbort(MakeResourceExhausted(
+          tag, row_pages, ledger_budget, live_temp_pages,
+          /*row_refusal=*/true));
     }
+    if (live_temp_pages + temp.pages > ledger_budget) {
+      if (!spill_enabled) {
+        throw internal::ExecAbort(MakeResourceExhausted(
+            tag, temp.pages, ledger_budget, live_temp_pages,
+            /*row_refusal=*/false));
+      }
+      ++spill.spills;
+      if (spilled != nullptr) *spilled = true;
+      return temp;
+    }
+    live_temp_pages += temp.pages;
     return temp;
+  }
+
+  /// Returns pages to the ledger when a temp's in-memory rows are genuinely
+  /// freed (fix per-iteration deltas); join temps and fix-cache charges are
+  /// held to query end.
+  void ReleaseTemp(uint64_t pages) {
+    live_temp_pages -= std::min<uint64_t>(live_temp_pages, pages);
   }
 
   /// Runs fn(i, eval_ctx, row_sink) for every i in [0, n), split into
@@ -173,6 +216,129 @@ struct ExecCtx {
       vm_rows += m.scratch.rows;
     }
   }
+};
+
+/// Writes `rows` to a fresh spill file (coordinator only), polling the
+/// abort check between blocks so a cancel or deadline lands mid-spill; the
+/// partially written file unwinds with the shared_ptr. Folds the file's
+/// size into the engine's spill profile.
+std::shared_ptr<SpillFile> SpillRows(ExecCtx* ctx,
+                                     const std::vector<Row>& rows) {
+  auto spill = std::make_shared<SpillFile>();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if ((i & 1023) == 1023) ctx->CheckAbort(0);
+    spill->AppendRow(rows[i]);
+  }
+  spill->Finish();
+  ctx->spill.bytes += spill->bytes();
+  ctx->spill.partitions += spill->Partitions(ctx->ledger_budget);
+  return spill;
+}
+
+/// Pre-dedup accumulation buffer for Proj/Union. In memory it reproduces
+/// Table::Dedup() exactly; when the buffered working set outgrows the
+/// remaining ledger budget (and spilling is on) it drains sorted runs to
+/// disk and K-way merge-uniques them at Finish — the merge emits the same
+/// sorted duplicate-free sequence sort+unique would. With spilling off the
+/// buffer never spills (dedup was never budget-checked, so no new refusal
+/// sites appear).
+class DedupBuffer {
+ public:
+  DedupBuffer(ExecCtx* ctx, RowSchema schema) : ctx_(ctx) {
+    out_.schema = std::move(schema);
+  }
+
+  /// Takes ownership of `rows` (cleared on return).
+  void Add(std::vector<Row>* rows) {
+    for (Row& r : *rows) buf_.push_back(std::move(r));
+    rows->clear();
+    if (!OverBudget() || buf_.empty()) return;
+    SortUnique(&buf_);
+    if (!OverBudget()) return;
+    runs_.push_back(SpillRows(ctx_, buf_));
+    ++ctx_->spill.spills;
+    buf_.clear();
+    buf_.shrink_to_fit();
+  }
+
+  Table Finish() {
+    SortUnique(&buf_);
+    if (runs_.empty()) {
+      out_.rows = std::move(buf_);
+      return std::move(out_);
+    }
+    // K-way merge-unique of the sorted runs plus the sorted tail buffer.
+    // Ties resolve to the lowest cursor index; since RowEq-equal rows are
+    // interchangeable the output matches an in-memory sort+unique.
+    struct Cursor {
+      SpillFile* run = nullptr;           // null = the in-memory tail
+      const std::vector<Row>* mem = nullptr;
+      size_t pos = 0, size = 0;
+      Row row;
+      bool Load() {
+        if (pos >= size) return false;
+        row = run != nullptr ? run->ReadRow(pos) : (*mem)[pos];
+        ++pos;
+        return true;
+      }
+    };
+    std::vector<Cursor> curs;
+    for (const auto& r : runs_) {
+      Cursor c;
+      c.run = r.get();
+      c.size = r->rows();
+      ++ctx_->spill.passes;
+      if (c.Load()) curs.push_back(std::move(c));
+    }
+    {
+      Cursor c;
+      c.mem = &buf_;
+      c.size = buf_.size();
+      if (c.Load()) curs.push_back(std::move(c));
+    }
+    size_t emitted = 0;
+    while (!curs.empty()) {
+      size_t best = 0;
+      for (size_t i = 1; i < curs.size(); ++i) {
+        if (Table::RowLess(curs[i].row, curs[best].row)) best = i;
+      }
+      if (out_.rows.empty() || !Table::RowEq(out_.rows.back(), curs[best].row)) {
+        out_.rows.push_back(std::move(curs[best].row));
+        if ((++emitted & 1023) == 0) ctx_->CheckAbort(0);
+      }
+      if (!curs[best].Load()) curs.erase(curs.begin() + best);
+    }
+    buf_.clear();
+    runs_.clear();
+    return std::move(out_);
+  }
+
+ private:
+  static void SortUnique(std::vector<Row>* rows) {
+    std::sort(rows->begin(), rows->end(), Table::RowLess);
+    rows->erase(std::unique(rows->begin(), rows->end(), Table::RowEq),
+                rows->end());
+  }
+
+  bool OverBudget() const {
+    if (ctx_->ledger_budget == 0 || !ctx_->spill_enabled) return false;
+    const uint64_t ncols =
+        std::max<uint64_t>(1, out_.schema.cols.size());
+    const uint64_t pages =
+        (static_cast<uint64_t>(buf_.size()) * 16 * ncols +
+         kPageSizeBytes - 1) /
+        kPageSizeBytes;
+    const uint64_t remaining =
+        ctx_->ledger_budget > ctx_->live_temp_pages
+            ? ctx_->ledger_budget - ctx_->live_temp_pages
+            : 0;
+    return pages > remaining;
+  }
+
+  ExecCtx* ctx_;
+  Table out_;
+  std::vector<Row> buf_;
+  std::vector<std::shared_ptr<SpillFile>> runs_;
 };
 
 /// Compiles an operator expression to bytecode when compiled eval is on,
@@ -386,23 +552,31 @@ class DeltaScanOp : public Op {
       auto it = ctx_->deltas.find(node_->fix_name);
       RODIN_CHECK(it != ctx_->deltas.end(),
                   "delta referenced outside its fixpoint");
-      delta_ = it->second.first;
-      ChargeTempScan(it->second.second, &log_);
-      RODIN_CHECK(delta_->schema.cols.size() == node_->cols.size(),
+      src_ = &it->second;
+      ChargeTempScan(src_->temp, &log_);
+      RODIN_CHECK(src_->rows->schema.cols.size() == node_->cols.size(),
                   "delta column arity mismatch");
+      if (src_->spill != nullptr) ++ctx_->spill.passes;
     }
-    if (pos_ >= delta_->rows.size()) return false;
-    const size_t take =
-        std::min(ctx_->batch_rows, delta_->rows.size() - pos_);
+    const size_t total = src_->spill != nullptr ? src_->spill->rows()
+                                                : src_->rows->rows.size();
+    if (pos_ >= total) return false;
+    const size_t take = std::min(ctx_->batch_rows, total - pos_);
     out->rows.reserve(take);
-    for (size_t i = 0; i < take; ++i) out->rows.push_back(delta_->rows[pos_ + i]);
+    for (size_t i = 0; i < take; ++i) {
+      if (src_->spill != nullptr) {
+        out->rows.push_back(src_->spill->ReadRow(pos_ + i));
+      } else {
+        out->rows.push_back(src_->rows->rows[pos_ + i]);
+      }
+    }
     pos_ += take;
     return true;
   }
 
  private:
   bool opened_ = false;
-  const Table* delta_ = nullptr;
+  const DeltaSource* src_ = nullptr;
   size_t pos_ = 0;
 };
 
@@ -634,13 +808,16 @@ class ProjOp : public Op {
   bool NextDedup(RowBatch* out) {
     if (!materialized_) {
       materialized_ = true;
+      RowSchema s;
+      s.cols = node_->cols;
+      DedupBuffer buf(ctx_, std::move(s));
       RowBatch in;
-      while (children_[0]->Pull(&in)) ProjectBatch(in);
-      dedup_.schema.cols = node_->cols;
-      dedup_.rows = std::move(pending_);
-      pending_.clear();
-      pending_pos_ = 0;
-      dedup_.Dedup();
+      while (children_[0]->Pull(&in)) {
+        ProjectBatch(in);
+        buf.Add(&pending_);
+        pending_pos_ = 0;
+      }
+      dedup_ = buf.Finish();
     }
     if (pos_ >= dedup_.rows.size()) return false;
     const size_t take = std::min(ctx_->batch_rows, dedup_.rows.size() - pos_);
@@ -850,20 +1027,32 @@ class NLJoinOp : public Op {
     const PTNode& rnode = *node_->children[1];
     const bool inner_entity =
         rnode.kind == PTKind::kEntity || rnode.kind == PTKind::kDelta;
+    bool spill_inner = false;
     if (rnode.kind == PTKind::kEntity) {
       const Extent* e = ctx_->db->FindExtent(rnode.entity.extent);
       inner_pages_ = e->ScanPages(rnode.entity.vfrag, rnode.entity.hfrag);
     } else if (!inner_entity) {
-      temp_ = ctx_->AllocTemp(right_.rows.size(), right_.schema.cols.size());
+      temp_ = ctx_->AllocTemp(right_.rows.size(), right_.schema.cols.size(),
+                              SpillOpTag::kJoinBuild, &spill_inner);
     }
     if (rnode.kind == PTKind::kDelta) {
       auto it = ctx_->deltas.find(rnode.fix_name);
       if (it != ctx_->deltas.end()) {
-        delta_temp_ = it->second.second;
+        delta_temp_ = it->second.temp;
         has_delta_temp_ = true;
       }
     }
+    // Hash build first: key evaluation (and its accounting) runs over the
+    // in-memory rows exactly as without spilling. Only then do the build
+    // rows move to disk; probes read them back by index.
     if (ctx_->hash_equijoin) TryBuildHash();
+    if (spill_inner) {
+      right_spill_ = SpillRows(ctx_, right_.rows);
+      right_count_ = right_.rows.size();
+      right_.rows.clear();
+      right_.rows.shrink_to_fit();
+      if (hash_built_) ++ctx_->spill.passes;
+    }
   }
 
   /// Picks the first Eq conjunct whose sides resolve unambiguously against
@@ -955,7 +1144,12 @@ class NLJoinOp : public Op {
             std::sort(cand.begin(), cand.end());
             cand.erase(std::unique(cand.begin(), cand.end()), cand.end());
             for (size_t ri : cand) {
-              const Row& rrow = right_.rows[ri];
+              Row spill_row;
+              if (right_spill_ != nullptr) {
+                spill_row = right_spill_->ReadRow(ri);
+              }
+              const Row& rrow =
+                  right_spill_ != nullptr ? spill_row : right_.rows[ri];
               Row row = lrow;
               row.insert(row.end(), rrow.begin(), rrow.end());
               ++*ec->predicate_evals;
@@ -967,9 +1161,15 @@ class NLJoinOp : public Op {
           },
           &log_, &pending_);
     } else {
+      // Each outer row streams the whole spilled inner once (one read-back
+      // pass per outer row; counted on the coordinator).
+      if (right_spill_ != nullptr) ctx_->spill.passes += n;
+      const size_t rcount =
+          right_spill_ != nullptr ? right_count_ : right_.rows.size();
       ctx_->ParallelItems(
           n,
-          [this, base](size_t i, EvalContext* ec, std::vector<Row>* rows) {
+          [this, base, rcount](size_t i, EvalContext* ec,
+                               std::vector<Row>* rows) {
             const Row& lrow = left_.rows[base + i];
             if (base + i != 0) {
               // Re-scan charge for the inner, positioned before this outer
@@ -983,7 +1183,13 @@ class NLJoinOp : public Op {
               // of the delta temp are charged here.
               if (has_delta_temp_) ChargeTempScan(delta_temp_, ec->charger);
             }
-            for (const Row& rrow : right_.rows) {
+            for (size_t ri = 0; ri < rcount; ++ri) {
+              Row spill_row;
+              if (right_spill_ != nullptr) {
+                spill_row = right_spill_->ReadRow(ri);
+              }
+              const Row& rrow =
+                  right_spill_ != nullptr ? spill_row : right_.rows[ri];
               Row row = lrow;
               row.insert(row.end(), rrow.begin(), rrow.end());
               ++*ec->predicate_evals;
@@ -1001,6 +1207,8 @@ class NLJoinOp : public Op {
   bool opened_ = false;
   Table left_;
   Table right_;
+  std::shared_ptr<SpillFile> right_spill_;
+  size_t right_count_ = 0;
   size_t pos_ = 0;
   std::vector<PageId> inner_pages_;
   TempFile temp_;
@@ -1030,12 +1238,14 @@ class UnionOp : public Op {
   bool Next(RowBatch* out) override {
     if (!materialized_) {
       materialized_ = true;
-      all_.schema.cols = node_->cols;
+      RowSchema s;
+      s.cols = node_->cols;
+      DedupBuffer buf(ctx_, std::move(s));
       for (auto& c : children_) {
         Table t = DrainOp(c.get());
-        for (Row& r : t.rows) all_.rows.push_back(std::move(r));
+        buf.Add(&t.rows);
       }
-      all_.Dedup();
+      all_ = buf.Finish();
     }
     if (pos_ >= all_.rows.size()) return false;
     const size_t take = std::min(ctx_->batch_rows, all_.rows.size() - pos_);
@@ -1105,8 +1315,18 @@ class FixOp : public Op {
       key = node.Fingerprint();
       auto it = ctx_->fix_cache->find(key);
       if (it != ctx_->fix_cache->end()) {
-        ChargeTempScan(it->second.second, &log_);
-        serve_src_ = &it->second.first;
+        ChargeTempScan(it->second.temp, &log_);
+        if (it->second.spill != nullptr) {
+          // Spilled cache entry: stream the result back (the temp-scan
+          // charge above is identical either way).
+          ++ctx_->spill.passes;
+          result_.schema.cols = node.cols;
+          it->second.spill->ReadAll(&result_.rows);
+          serve_src_ = &result_;
+          own_rows_ = true;
+        } else {
+          serve_src_ = &it->second.result;
+        }
         return;
       }
     }
@@ -1134,12 +1354,31 @@ class FixOp : public Op {
       ++ctx_->fix_iterations;
       const Table& input = node.naive_fix ? result_ : delta;
       if (!node.naive_fix && delta.rows.empty()) break;
-      const TempFile temp =
-          ctx_->AllocTemp(input.rows.size(), input.schema.cols.size());
-      ctx_->deltas[node.fix_name] = {&input, temp};
+      bool delta_spilled = false;
+      DeltaSource src;
+      src.temp = ctx_->AllocTemp(input.rows.size(),
+                                 input.schema.cols.size(),
+                                 SpillOpTag::kFixDelta, &delta_spilled);
+      src.rows = &input;
+      if (delta_spilled) {
+        src.spill = SpillRows(ctx_, input.rows);
+        // Semi-naive deltas are dead after this iteration, so the spill
+        // genuinely frees their row memory. Naive mode feeds the whole
+        // accumulated result, which must stay resident — readers still go
+        // through the spill file, but no memory is reclaimed (documented
+        // in ROBUSTNESS.md).
+        if (!node.naive_fix) {
+          delta.rows.clear();
+          delta.rows.shrink_to_fit();
+        }
+      }
+      ctx_->deltas[node.fix_name] = src;
       std::unique_ptr<Op> arm = BuildOp(ctx_, node.children[1].get());
       Table produced = DrainOp(arm.get());
       ctx_->deltas.erase(node.fix_name);
+      // The iteration's delta temp is dead: return its pages to the ledger
+      // (spilled deltas were never charged).
+      if (!delta_spilled) ctx_->ReleaseTemp(src.temp.pages);
       if (ctx_->collect_op_stats) arm->Harvest();
       iter_logs_.emplace_back();
       arm->Replay(&iter_logs_.back());
@@ -1156,9 +1395,17 @@ class FixOp : public Op {
       delta = std::move(next);
     }
     if (cacheable && ctx_->fix_cache != nullptr) {
-      const TempFile temp = AllocateTempFile(ctx_->db, result_.rows.size(),
-                                             result_.schema.cols.size());
-      (*ctx_->fix_cache)[key] = {result_, temp};
+      bool cache_spilled = false;
+      FixCacheEntry entry;
+      entry.temp = ctx_->AllocTemp(result_.rows.size(),
+                                   result_.schema.cols.size(),
+                                   SpillOpTag::kFixCache, &cache_spilled);
+      if (cache_spilled) {
+        entry.spill = SpillRows(ctx_, result_.rows);
+      } else {
+        entry.result = result_;
+      }
+      (*ctx_->fix_cache)[key] = std::move(entry);
     }
     serve_src_ = &result_;
     own_rows_ = true;
@@ -1254,6 +1501,8 @@ BatchEngine::BatchEngine(const Config& config, const PTNode& plan)
   ctx.query = config.query;
   ctx.inject_faults =
       config.inject_faults && FaultInjector::Global().enabled();
+  ctx.spill_enabled = config.spill_enabled;
+  ctx.ledger_budget = config.spill_budget_pages;
   impl_->root = BuildOp(&ctx, &plan);
 }
 
@@ -1334,6 +1583,23 @@ void BatchEngine::Finalize() {
         dst.micros += s.micros;
       }
     }
+  }
+  if (ctx.spill.spills > 0) {
+    static obs::Counter* spills =
+        obs::MetricsRegistry::Global().GetCounter("rodin.spill.spills");
+    static obs::Counter* partitions =
+        obs::MetricsRegistry::Global().GetCounter("rodin.spill.partitions");
+    static obs::Counter* bytes =
+        obs::MetricsRegistry::Global().GetCounter("rodin.spill.bytes");
+    static obs::Counter* passes =
+        obs::MetricsRegistry::Global().GetCounter("rodin.spill.passes");
+    spills->Add(ctx.spill.spills);
+    partitions->Add(ctx.spill.partitions);
+    bytes->Add(ctx.spill.bytes);
+    passes->Add(ctx.spill.passes);
+  }
+  if (impl_->cfg.spill_stats != nullptr) {
+    impl_->cfg.spill_stats->Add(ctx.spill);
   }
   if (ctx.compiled_eval) {
     static obs::Counter* chunks =

@@ -43,7 +43,7 @@ class BatchEngine {
     /// every batch size and thread count; only wall time changes.
     bool compiled_eval = false;
     ThreadPool* pool = nullptr;  // shared worker pool; null = inline
-    std::map<std::string, std::pair<Table, TempFile>>* fix_cache = nullptr;
+    std::map<std::string, FixCacheEntry>* fix_cache = nullptr;
     bool collect_op_stats = false;
     /// Finalize() sinks, all owned by the Executor.
     std::map<const PTNode*, OpStats>* op_stats = nullptr;
@@ -56,6 +56,16 @@ class BatchEngine {
     /// Consult the process FaultInjector during this evaluation (Session's
     /// non-streaming paths only).
     bool inject_faults = false;
+    /// Over-budget temp working sets spill to disk instead of tripping
+    /// kResourceExhausted. Spilling moves row *bytes* only: the page-charge
+    /// logs, ExecCounters, OpStats and MeasuredCost stay bit-identical to an
+    /// all-in-memory run (spill I/O is tracked separately in spill_stats).
+    bool spill_enabled = true;
+    /// The temp-page ledger budget the spill decision checks against
+    /// (already resolved through EffectiveSpillBudgetPages). 0 = unlimited.
+    size_t spill_budget_pages = 0;
+    /// Finalize() merges this engine's spill activity here (Executor-owned).
+    SpillStats* spill_stats = nullptr;
   };
 
   BatchEngine(const Config& config, const PTNode& plan);

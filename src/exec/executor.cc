@@ -17,6 +17,7 @@
 #include "exec/row_batch.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "storage/spill_file.h"
 
 namespace rodin {
 
@@ -58,6 +59,7 @@ double Executor::MeasuredCost() const {
 void Executor::ResetMeasurement(bool clear_buffer) {
   counters_ = ExecCounters{};
   method_cost_fp_ = 0;
+  spill_stats_ = SpillStats{};
   op_stats_.clear();
   if (clear_buffer) {
     db_->buffer_pool().Clear();
@@ -70,6 +72,7 @@ void Executor::ResetMeasurement(bool clear_buffer) {
 void Executor::ResetMeasurementShared() {
   counters_ = ExecCounters{};
   method_cost_fp_ = 0;
+  spill_stats_ = SpillStats{};
   op_stats_.clear();
   start_misses_ = db_->buffer_pool().stats().misses;
 }
@@ -104,21 +107,92 @@ void Executor::CheckLegacyBudget(int fix_iter) {
   }
 }
 
-TempFile Executor::AllocTempChecked(size_t rows, size_t ncols) {
+namespace {
+
+const char* SpillOpName(SpillOpTag tag) {
+  switch (tag) {
+    case SpillOpTag::kJoinBuild:
+      return "join-build";
+    case SpillOpTag::kFixDelta:
+      return "fix-delta";
+    case SpillOpTag::kDedup:
+      return "dedup";
+    case SpillOpTag::kFixCache:
+      return "fix-cache";
+    case SpillOpTag::kUnion:
+      return "union";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+Status MakeResourceExhausted(SpillOpTag tag, uint64_t requested,
+                             uint64_t budget, uint64_t live, bool row_refusal) {
+  const uint64_t remaining = budget > live ? budget - live : 0;
+  Status s = Status::Error(
+      Status::Code::kResourceExhausted,
+      row_refusal
+          ? StrFormat("%s: a single row needs %llu page(s), more than the "
+                      "whole %llu-page budget — no partitioning can split "
+                      "one row",
+                      SpillOpName(tag),
+                      static_cast<unsigned long long>(requested),
+                      static_cast<unsigned long long>(budget))
+          : StrFormat("%s: temp file of %llu pages exceeds the remaining "
+                      "budget (%llu of %llu pages live) and spilling is off",
+                      SpillOpName(tag),
+                      static_cast<unsigned long long>(requested),
+                      static_cast<unsigned long long>(live),
+                      static_cast<unsigned long long>(budget)));
+  s.detail = PackResourceDetail(tag, requested, remaining);
+  return s;
+}
+
+/// Pages one row of `ncols` columns occupies in the 16-bytes-per-value temp
+/// model; a row wider than the whole budget cannot be spilled around.
+uint64_t TempRowPages(size_t ncols) {
+  const uint64_t bytes = 16 * std::max<size_t>(1, ncols);
+  return std::max<uint64_t>(1, (bytes + kPageSizeBytes - 1) / kPageSizeBytes);
+}
+
+TempFile Executor::AllocTempChecked(size_t rows, size_t ncols, SpillOpTag tag,
+                                    bool* spilled) {
+  if (spilled != nullptr) *spilled = false;
   if (inject_faults_ && FaultInjector::Global().InjectAllocFault()) {
     throw internal::ExecAbort(Status::Error(
         Status::Code::kFault, "injected allocation failure"));
   }
   TempFile temp = AllocateTempFile(db_, rows, ncols);
-  const size_t budget =
-      query_ != nullptr ? query_->memory_budget_pages : 0;
-  if (budget > 0 && temp.pages > budget) {
-    throw internal::ExecAbort(Status::Error(
-        Status::Code::kResourceExhausted,
-        StrFormat("temp file of %llu pages exceeds the %zu-page budget",
-                  static_cast<unsigned long long>(temp.pages), budget)));
+  const size_t budget = ledger_budget_pages_;
+  if (budget == 0) return temp;
+  // A single oversized row is a typed refusal even with spilling on.
+  const uint64_t row_pages = TempRowPages(ncols);
+  if (row_pages > budget) {
+    throw internal::ExecAbort(MakeResourceExhausted(
+        tag, row_pages, budget, live_temp_pages_, /*row_refusal=*/true));
   }
+  if (live_temp_pages_ + temp.pages > budget) {
+    if (!spill_enabled_) {
+      throw internal::ExecAbort(MakeResourceExhausted(
+          tag, temp.pages, budget, live_temp_pages_, /*row_refusal=*/false));
+    }
+    // Logical spill: the legacy engine is the oracle, so its rows stay in
+    // memory — the ledger just stops charging, exactly as if the payload
+    // had moved to disk. Answers and accounting are untouched.
+    ++spill_stats_.spills;
+    static obs::Counter* spills =
+        obs::MetricsRegistry::Global().GetCounter("rodin.spill.spills");
+    spills->Add(1);
+    if (spilled != nullptr) *spilled = true;
+    return temp;
+  }
+  live_temp_pages_ += temp.pages;
   return temp;
+}
+
+void Executor::ReleaseTempPages(uint64_t pages) {
+  live_temp_pages_ -= std::min<uint64_t>(live_temp_pages_, pages);
 }
 
 bool CompiledEvalEnvDefault() {
@@ -127,6 +201,38 @@ bool CompiledEvalEnvDefault() {
     return v != nullptr && v[0] != '\0' && std::string(v) != "0";
   }();
   return on;
+}
+
+bool SpillEnvDefault() {
+  static const bool on = [] {
+    const char* v = std::getenv("RODIN_SPILL");
+    if (v == nullptr || v[0] == '\0') return true;
+    const std::string s(v);
+    return s != "0" && s != "off";
+  }();
+  return on;
+}
+
+size_t SpillBudgetEnvDefault() {
+  static const size_t pages = [] {
+    const char* v = std::getenv("RODIN_SPILL_BUDGET");
+    if (v == nullptr || v[0] == '\0') return size_t{0};
+    return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+  }();
+  return pages;
+}
+
+bool EffectiveSpillEnabled(const QueryContext* query) {
+  if (query != nullptr && query->spill.has_value()) return *query->spill;
+  return SpillEnvDefault();
+}
+
+size_t EffectiveSpillBudgetPages(const QueryContext* query) {
+  if (query != nullptr) {
+    if (query->spill_budget_pages > 0) return query->spill_budget_pages;
+    if (query->memory_budget_pages > 0) return query->memory_budget_pages;
+  }
+  return SpillBudgetEnvDefault();
 }
 
 void Executor::EmitExecMetrics(size_t rows) {
@@ -322,7 +428,8 @@ Table Executor::EvalEJ(const PTNode& node) {
     const Extent* e = db_->FindExtent(right_node.entity.extent);
     inner_pages = e->ScanPages(right_node.entity.vfrag, right_node.entity.hfrag);
   } else if (!inner_entity) {
-    temp = AllocTempChecked(right.rows.size(), right.schema.cols.size());
+    temp = AllocTempChecked(right.rows.size(), right.schema.cols.size(),
+                            SpillOpTag::kJoinBuild);
   }
 
   bool first_outer = true;
@@ -426,8 +533,17 @@ Table Executor::EvalFix(const PTNode& node) {
     key = node.Fingerprint();
     auto it = fix_cache_.find(key);
     if (it != fix_cache_.end()) {
-      ChargeTempScan(it->second.second, &db_->buffer_pool());
-      return it->second.first;
+      ChargeTempScan(it->second.temp, &db_->buffer_pool());
+      if (it->second.spill != nullptr) {
+        // The batched engine spilled this entry's payload; rematerialize it
+        // from disk (one read-back pass, tracked outside MeasuredCost).
+        Table out;
+        out.schema.cols = node.cols;
+        it->second.spill->ReadAll(&out.rows);
+        ++spill_stats_.passes;
+        return out;
+      }
+      return it->second.result;
     }
   }
   Table base = Eval(*node.children[0]);
@@ -454,11 +570,16 @@ Table Executor::EvalFix(const PTNode& node) {
     ++counters_.fix_iterations;
     const Table& input = node.naive_fix ? result : delta;
     if (!node.naive_fix && delta.rows.empty()) break;
+    bool delta_spilled = false;
     const TempFile temp =
-        AllocTempChecked(input.rows.size(), input.schema.cols.size());
+        AllocTempChecked(input.rows.size(), input.schema.cols.size(),
+                         SpillOpTag::kFixDelta, &delta_spilled);
     deltas_[node.fix_name] = {&input, temp};
     Table produced = Eval(*node.children[1]);
     deltas_.erase(node.fix_name);
+    // Per-iteration delta temps are genuinely freed here — the one temp
+    // class the ledger releases mid-query.
+    if (!delta_spilled) ReleaseTempPages(temp.pages);
 
     Table next;
     next.schema = result.schema;
@@ -472,9 +593,15 @@ Table Executor::EvalFix(const PTNode& node) {
     delta = std::move(next);
   }
   if (cacheable) {
-    const TempFile temp =
-        AllocTempChecked(result.rows.size(), result.schema.cols.size());
-    fix_cache_[key] = {result, temp};
+    // The caching decision is budget-independent (a later occurrence must
+    // charge the same temp scan under any budget); an over-budget payload
+    // logically spills — this engine keeps the rows in memory either way.
+    FixCacheEntry entry;
+    entry.temp = AllocTempChecked(result.rows.size(),
+                                  result.schema.cols.size(),
+                                  SpillOpTag::kFixCache);
+    entry.result = result;
+    fix_cache_[key] = std::move(entry);
   }
   return result;
 }
@@ -542,6 +669,12 @@ Status Executor::ExecuteInto(const PTNode& plan, const ExecOptions& options,
       options.inject_faults && FaultInjector::Global().enabled();
   const size_t budget =
       query_ != nullptr ? query_->memory_budget_pages : 0;
+  // Per-run temp-page ledger (cumulative, unlike the pre-spill per-file
+  // check): resolved once so both engines see one consistent budget.
+  live_temp_pages_ = 0;
+  ledger_budget_pages_ = EffectiveSpillBudgetPages(query_);
+  spill_enabled_ = EffectiveSpillEnabled(query_);
+  const SpillStats spill_before = spill_stats_;
   if (options.use_legacy) {
     // The legacy evaluator charges the pool as it runs, so the budget is
     // armed for the whole evaluation — and the whole evaluation is an
@@ -574,6 +707,9 @@ Status Executor::ExecuteInto(const PTNode& plan, const ExecOptions& options,
     cfg.method_cost_fp = &method_cost_fp_;
     cfg.query = query_;
     cfg.inject_faults = inject_faults_;
+    cfg.spill_enabled = spill_enabled_;
+    cfg.spill_budget_pages = ledger_budget_pages_;
+    cfg.spill_stats = &spill_stats_;
     BatchEngine engine(cfg, plan);
     out->schema = engine.schema();
     RowBatch batch;
@@ -598,6 +734,21 @@ Status Executor::ExecuteInto(const PTNode& plan, const ExecOptions& options,
     tracer_->AddArg(span, "rows", StrFormat("%zu", out->rows.size()));
     tracer_->AddArg(span, "measured_cost", MeasuredCost());
     if (!status.ok()) tracer_->AddArg(span, "status", status.code_name());
+    if (spill_stats_.spills > spill_before.spills) {
+      tracer_->AddArg(
+          span, "spill_partitions",
+          StrFormat("%llu", static_cast<unsigned long long>(
+                                spill_stats_.partitions -
+                                spill_before.partitions)));
+      tracer_->AddArg(span, "spill_bytes",
+                      StrFormat("%llu", static_cast<unsigned long long>(
+                                            spill_stats_.bytes -
+                                            spill_before.bytes)));
+      tracer_->AddArg(span, "spill_passes",
+                      StrFormat("%llu", static_cast<unsigned long long>(
+                                            spill_stats_.passes -
+                                            spill_before.passes)));
+    }
     tracer_->End(span);
   }
   EmitExecMetrics(out->rows.size());

@@ -52,6 +52,98 @@ struct OpStats {
 /// (read once, like the plan-cache and fault-injection switches).
 bool CompiledEvalEnvDefault();
 
+/// Process-wide default for QueryContext::spill: on unless the RODIN_SPILL
+/// environment variable is "0" or "off" (read once).
+bool SpillEnvDefault();
+
+/// Process-wide default for the temp-page ledger budget when the query sets
+/// neither spill_budget_pages nor memory_budget_pages: the RODIN_SPILL_BUDGET
+/// environment variable (pages; read once; 0 / unset = unlimited). CI's
+/// spill job forces a tiny value here to exercise the spill paths in every
+/// test without touching the buffer pool's accounting.
+size_t SpillBudgetEnvDefault();
+
+/// Resolves the run's effective spill switch: the query's tri-state
+/// override when engaged, else the RODIN_SPILL default.
+bool EffectiveSpillEnabled(const QueryContext* query);
+
+/// Resolves the run's effective temp-page ledger budget (0 = unlimited):
+/// query->spill_budget_pages when nonzero, else query->memory_budget_pages
+/// when nonzero, else the RODIN_SPILL_BUDGET default.
+size_t EffectiveSpillBudgetPages(const QueryContext* query);
+
+/// Which operator working set hit the budget. Carried in the
+/// kResourceExhausted Status::detail (see PackResourceDetail) and used to
+/// label spill metrics.
+enum class SpillOpTag : uint8_t {
+  kJoinBuild = 1,  // equijoin inner materialization / hash build payload
+  kFixDelta = 2,   // semi-naive per-iteration delta table
+  kDedup = 3,      // dedup-Proj table
+  kFixCache = 4,   // memoized fixpoint result
+  kUnion = 5,      // union dedup table
+};
+
+/// Machine-readable kResourceExhausted payload, same discipline as
+/// kOverloaded (in-flight count) and kConflict (live-cursor count):
+///   bits 56..63  SpillOpTag of the tripping operator
+///   bits 28..55  pages requested (saturated at 2^28 - 1)
+///   bits  0..27  pages remaining in the budget (saturated)
+/// so pool managers branch on the payload, not on message text.
+constexpr uint64_t kResourceDetailFieldMax = (1ull << 28) - 1;
+
+constexpr uint64_t PackResourceDetail(SpillOpTag tag, uint64_t requested,
+                                      uint64_t remaining) {
+  return (static_cast<uint64_t>(tag) << 56) |
+         ((requested > kResourceDetailFieldMax ? kResourceDetailFieldMax
+                                               : requested)
+          << 28) |
+         (remaining > kResourceDetailFieldMax ? kResourceDetailFieldMax
+                                              : remaining);
+}
+
+constexpr SpillOpTag ResourceDetailOp(uint64_t detail) {
+  return static_cast<SpillOpTag>(detail >> 56);
+}
+
+constexpr uint64_t ResourceDetailRequested(uint64_t detail) {
+  return (detail >> 28) & kResourceDetailFieldMax;
+}
+
+constexpr uint64_t ResourceDetailRemaining(uint64_t detail) {
+  return detail & kResourceDetailFieldMax;
+}
+
+/// Aggregate spill activity of one executor since its last reset. Fed into
+/// the rodin.spill.* metrics and the "execute" span; deliberately separate
+/// from ExecCounters / MeasuredCost, which stay bit-identical spill-on vs.
+/// all-in-memory (docs/ROBUSTNESS.md).
+struct SpillStats {
+  uint64_t spills = 0;      // operator working sets that overflowed to disk
+  uint64_t partitions = 0;  // budget-sized partitions across all spill files
+  uint64_t bytes = 0;       // serialized bytes written
+  uint64_t passes = 0;      // sequential read-back passes over spill files
+
+  void Add(const SpillStats& o) {
+    spills += o.spills;
+    partitions += o.partitions;
+    bytes += o.bytes;
+    passes += o.passes;
+  }
+};
+
+class SpillFile;
+
+/// Builds the typed kResourceExhausted status with the packed detail above.
+/// `row_refusal` selects the single-oversized-row message (the unconditional
+/// refusal — no partitioning can split one row).
+Status MakeResourceExhausted(SpillOpTag tag, uint64_t requested,
+                             uint64_t budget, uint64_t live, bool row_refusal);
+
+/// Pages one temp-file row of `ncols` columns occupies (the 16-bytes-per-
+/// value model of AllocateTempFile). A row wider than the whole budget is
+/// refused even with spilling on.
+uint64_t TempRowPages(size_t ncols);
+
 /// Execution configuration. The defaults give the batched engine with
 /// sequential (single-thread) morsels; any combination of batch_rows and
 /// exec_threads produces bit-identical ExecCounters, OpStats page counts and
@@ -104,6 +196,18 @@ TempFile AllocateTempFile(Database* db, size_t rows, size_t ncols);
 
 /// Charges one full scan of `temp` to `charger`.
 void ChargeTempScan(const TempFile& temp, PageCharger* charger);
+
+/// One memoized fixpoint result. The temp file (simulated pages) always
+/// exists — cache hits charge a scan of it regardless of where the payload
+/// lives — but the row payload is either in memory (`result`) or, when the
+/// insert overflowed the page budget, in a spill file. The caching decision
+/// itself is budget-independent so that cache-hit charges stay bit-identical
+/// spill-on vs. unlimited.
+struct FixCacheEntry {
+  Table result;                      // empty when spilled
+  TempFile temp;
+  std::shared_ptr<SpillFile> spill;  // non-null when the payload is on disk
+};
 
 /// Executes processing trees against the object store. The default engine is
 /// batched and morsel-parallel (see BatchEngine): operators pull RowBatches
@@ -181,6 +285,12 @@ class Executor {
     return op_stats_;
   }
 
+  /// Spill activity since the last reset (batched engine: real partitioned
+  /// spill files; legacy engine: logical spills — the ledger stops charging
+  /// but rows stay in memory, keeping the oracle's answer machinery
+  /// untouched).
+  const SpillStats& spill_stats() const { return spill_stats_; }
+
  private:
   friend class ResultCursor;
 
@@ -188,9 +298,21 @@ class Executor {
   /// the legacy evaluator; throws internal::ExecAbort on a trip.
   void CheckLegacyBudget(int fix_iter);
 
-  /// AllocateTempFile with the memory budget and alloc-fault checks applied
-  /// (legacy evaluator; the batched engine has its own in ExecCtx).
-  TempFile AllocTempChecked(size_t rows, size_t ncols);
+  /// AllocateTempFile with the cumulative temp-page ledger, spill decision
+  /// and alloc-fault checks applied (legacy evaluator; the batched engine
+  /// has its own in ExecCtx). Charges the ledger and returns spilled=false
+  /// when the temp fits the remaining budget; performs a *logical* spill
+  /// (no ledger charge, spill counter bumped, rows stay in memory) when it
+  /// does not and spilling is on; throws a typed kResourceExhausted with
+  /// the packed detail otherwise. A single row larger than the whole budget
+  /// is refused unconditionally.
+  TempFile AllocTempChecked(size_t rows, size_t ncols, SpillOpTag tag,
+                            bool* spilled = nullptr);
+
+  /// Returns fix per-iteration delta pages to the legacy ledger (the one
+  /// temp class genuinely freed mid-query; join temps and cache payloads
+  /// are held to query end).
+  void ReleaseTempPages(uint64_t pages);
 
   Table Eval(const PTNode& node);
   Table EvalNode(const PTNode& node);
@@ -228,6 +350,12 @@ class Executor {
   uint64_t method_cost_fp_ = 0;
   uint64_t start_misses_ = 0;
   bool collect_op_stats_ = false;
+  SpillStats spill_stats_;
+  /// Legacy-path temp-page ledger, resolved per ExecuteInto call from the
+  /// run's QueryContext + environment (see EffectiveSpillBudgetPages).
+  size_t live_temp_pages_ = 0;
+  size_t ledger_budget_pages_ = 0;
+  bool spill_enabled_ = true;
   obs::Tracer* tracer_ = nullptr;
   std::map<const PTNode*, OpStats> op_stats_;
   /// Worker pools by size, shared across queries; see PoolFor().
@@ -241,7 +369,7 @@ class Executor {
   /// consumer's plan; the data is immutable, so the second occurrence costs
   /// one temp scan instead of a recomputation. Fixpoints that reference an
   /// enclosing fixpoint's delta are not cacheable. Shared by both engines.
-  std::map<std::string, std::pair<Table, TempFile>> fix_cache_;
+  std::map<std::string, FixCacheEntry> fix_cache_;
 };
 
 }  // namespace rodin

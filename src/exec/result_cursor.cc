@@ -217,6 +217,9 @@ ResultCursor Executor::ExecuteStream(const PTNode& plan, ExecOptions options) {
   cfg.method_cost_fp = &method_cost_fp_;
   cfg.query = options.query;
   cfg.inject_faults = options.inject_faults;
+  cfg.spill_enabled = EffectiveSpillEnabled(options.query);
+  cfg.spill_budget_pages = EffectiveSpillBudgetPages(options.query);
+  cfg.spill_stats = &spill_stats_;
   im->engine = std::make_unique<BatchEngine>(cfg, plan);
   im->schema = im->engine->schema();
   return cursor;

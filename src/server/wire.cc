@@ -57,6 +57,14 @@ constexpr uint8_t kFlagCompiledEvalOn = 1u << 2;
 constexpr uint8_t kFlagFeedbackSet = 1u << 3;
 constexpr uint8_t kFlagFeedbackOn = 1u << 4;
 constexpr uint8_t kFlagFeedbackTuning = 1u << 5;
+// v4: spill override. Gates a tail (after the feedback tuning tail, when
+// both are present): u8 tri-state (0 = inherit, 1 = off, 2 = on) + u64
+// spill-ledger budget pages. Old payloads never carry the flag, so they
+// decode unchanged.
+constexpr uint8_t kFlagSpill = 1u << 6;
+constexpr uint8_t kSpillInherit = 0;
+constexpr uint8_t kSpillOff = 1;
+constexpr uint8_t kSpillOn = 2;
 
 }  // namespace
 
@@ -169,10 +177,17 @@ void WireQueryOptions::Encode(PayloadWriter* w, uint32_t version) const {
     }
     if (tuning) flags |= kFlagFeedbackTuning;
   }
+  const bool spill_block = spill.has_value() || spill_budget_pages != 0;
+  if (version >= 4 && spill_block) flags |= kFlagSpill;
   w->U8(flags);
   if (version >= 3 && tuning) {
     w->F64(feedback_drift);
     w->F64(feedback_alpha);
+  }
+  if (version >= 4 && spill_block) {
+    w->U8(!spill.has_value() ? kSpillInherit
+                             : (*spill ? kSpillOn : kSpillOff));
+    w->U64(spill_budget_pages);
   }
 }
 
@@ -198,6 +213,14 @@ bool WireQueryOptions::Decode(PayloadReader* r) {
   if ((flags & kFlagFeedbackTuning) != 0) {
     if (!r->F64(&feedback_drift) || !r->F64(&feedback_alpha)) return false;
   }
+  spill.reset();
+  spill_budget_pages = 0;
+  if ((flags & kFlagSpill) != 0) {
+    uint8_t state;
+    if (!r->U8(&state) || !r->U64(&spill_budget_pages)) return false;
+    if (state == kSpillOff) spill = false;
+    if (state == kSpillOn) spill = true;
+  }
   return true;
 }
 
@@ -212,6 +235,9 @@ QueryOptions WireQueryOptions::ToQueryOptions() const {
   options.feedback.enabled = feedback;
   options.feedback.drift_threshold = feedback_drift;
   options.feedback.ewma_alpha = feedback_alpha;
+  options.query.spill = spill;
+  options.query.spill_budget_pages =
+      static_cast<size_t>(spill_budget_pages);
   return options;
 }
 
@@ -230,6 +256,8 @@ WireQueryOptions WireQueryOptions::FromQueryOptions(
   wire.feedback = options.feedback.enabled;
   wire.feedback_drift = options.feedback.drift_threshold;
   wire.feedback_alpha = options.feedback.ewma_alpha;
+  wire.spill = options.query.spill;
+  wire.spill_budget_pages = options.query.spill_budget_pages;
   return wire;
 }
 

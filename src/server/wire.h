@@ -40,7 +40,10 @@ namespace rodin::server {
 /// is the feedback option block inside WireQueryOptions (three new flag
 /// bits plus an optional tuning tail); a v3 client encodes it only on a
 /// connection that negotiated >= 3, so older servers never see the bits.
-constexpr uint32_t kProtocolVersion = 3;
+/// The v4 addition is the spill option block inside WireQueryOptions (one
+/// flag bit gating a tri-state byte + ledger-budget tail), following the
+/// same rule: encoded only on a connection that negotiated >= 4.
+constexpr uint32_t kProtocolVersion = 4;
 /// Oldest client version the server still accepts.
 constexpr uint32_t kMinProtocolVersion = 1;
 
@@ -180,6 +183,13 @@ struct WireQueryOptions {
   std::optional<bool> feedback;
   double feedback_drift = 0;
   double feedback_alpha = 0;
+  /// Tri-state spill override (v4+; nullopt = inherit the server's
+  /// RODIN_SPILL default) and the temp-ledger budget override (0 =
+  /// inherit; see QueryContext::spill_budget_pages). Encoded as one flag
+  /// bit gating a u8 tri-state + u64 budget tail; Encode omits the block
+  /// when the negotiated version is < 4.
+  std::optional<bool> spill;
+  uint64_t spill_budget_pages = 0;
 
   /// `version` is the connection's negotiated protocol version: v3 fields
   /// are silently dropped when encoding for an older peer.

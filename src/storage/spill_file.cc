@@ -1,0 +1,234 @@
+#include "storage/spill_file.h"
+
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/check.h"
+#include "storage/buffer_pool.h"
+
+namespace rodin {
+
+namespace {
+
+// Row serialization: a tag byte per value, then a fixed or length-prefixed
+// payload. Little-endian fixed-width integers; doubles as their IEEE-754
+// bit pattern. Collections nest recursively.
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagBool = 1;
+constexpr uint8_t kTagInt = 2;
+constexpr uint8_t kTagReal = 3;
+constexpr uint8_t kTagStr = 4;
+constexpr uint8_t kTagRef = 5;
+constexpr uint8_t kTagCollection = 6;
+
+// Flush threshold for the write buffer: large enough to amortize fwrite,
+// small enough to keep the spill path's own memory footprint trivial.
+constexpr size_t kFlushBytes = 1u << 20;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+void EncodeValue(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    out->push_back(static_cast<char>(kTagNull));
+  } else if (v.is_bool()) {
+    out->push_back(static_cast<char>(kTagBool));
+    out->push_back(v.AsBool() ? 1 : 0);
+  } else if (v.is_int()) {
+    out->push_back(static_cast<char>(kTagInt));
+    PutU64(out, static_cast<uint64_t>(v.AsInt()));
+  } else if (v.is_real()) {
+    out->push_back(static_cast<char>(kTagReal));
+    uint64_t bits;
+    const double d = v.AsReal();
+    std::memcpy(&bits, &d, sizeof(bits));
+    PutU64(out, bits);
+  } else if (v.is_string()) {
+    out->push_back(static_cast<char>(kTagStr));
+    const std::string& s = v.AsString();
+    PutU32(out, static_cast<uint32_t>(s.size()));
+    out->append(s);
+  } else if (v.is_ref()) {
+    out->push_back(static_cast<char>(kTagRef));
+    const Oid oid = v.AsRef();
+    PutU32(out, oid.class_id);
+    PutU32(out, oid.slot);
+  } else {
+    const Collection& c = v.AsCollection();
+    out->push_back(static_cast<char>(kTagCollection));
+    out->push_back(static_cast<char>(c.kind));
+    PutU32(out, static_cast<uint32_t>(c.elems.size()));
+    for (const Value& e : c.elems) EncodeValue(e, out);
+  }
+}
+
+Value DecodeValue(const char* data, size_t size, size_t* pos) {
+  RODIN_CHECK(*pos < size, "spill row truncated");
+  const uint8_t tag = static_cast<uint8_t>(data[(*pos)++]);
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagBool: {
+      RODIN_CHECK(*pos + 1 <= size, "spill row truncated");
+      const bool b = data[*pos] != 0;
+      *pos += 1;
+      return Value::Bool(b);
+    }
+    case kTagInt: {
+      RODIN_CHECK(*pos + 8 <= size, "spill row truncated");
+      const uint64_t bits = GetU64(data + *pos);
+      *pos += 8;
+      return Value::Int(static_cast<int64_t>(bits));
+    }
+    case kTagReal: {
+      RODIN_CHECK(*pos + 8 <= size, "spill row truncated");
+      const uint64_t bits = GetU64(data + *pos);
+      *pos += 8;
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value::Real(d);
+    }
+    case kTagStr: {
+      RODIN_CHECK(*pos + 4 <= size, "spill row truncated");
+      const uint32_t len = GetU32(data + *pos);
+      *pos += 4;
+      RODIN_CHECK(*pos + len <= size, "spill row truncated");
+      std::string s(data + *pos, len);
+      *pos += len;
+      return Value::Str(std::move(s));
+    }
+    case kTagRef: {
+      RODIN_CHECK(*pos + 8 <= size, "spill row truncated");
+      Oid oid;
+      oid.class_id = GetU32(data + *pos);
+      oid.slot = GetU32(data + *pos + 4);
+      *pos += 8;
+      return Value::Ref(oid);
+    }
+    case kTagCollection: {
+      RODIN_CHECK(*pos + 5 <= size, "spill row truncated");
+      const Collection::Kind kind =
+          static_cast<Collection::Kind>(data[(*pos)++]);
+      const uint32_t count = GetU32(data + *pos);
+      *pos += 4;
+      std::vector<Value> elems;
+      elems.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        elems.push_back(DecodeValue(data, size, pos));
+      }
+      switch (kind) {
+        case Collection::Kind::kSet:
+          return Value::MakeSet(std::move(elems));
+        case Collection::Kind::kList:
+          return Value::MakeList(std::move(elems));
+        case Collection::Kind::kTuple:
+          return Value::MakeTuple(std::move(elems));
+      }
+      RODIN_CHECK(false, "spill row: unknown collection kind");
+    }
+    default:
+      RODIN_CHECK(false, "spill row: unknown value tag");
+  }
+  return Value::Null();  // unreachable
+}
+
+}  // namespace
+
+SpillFile::SpillFile() {
+  file_ = std::tmpfile();
+  RODIN_CHECK(file_ != nullptr, "cannot create spill temp file");
+  fd_ = fileno(file_);
+  RODIN_CHECK(fd_ >= 0, "cannot get spill temp file descriptor");
+}
+
+SpillFile::~SpillFile() {
+  if (file_ != nullptr) std::fclose(file_);  // tmpfile: unlinked by the OS
+}
+
+void SpillFile::FlushBuffer() {
+  if (buffer_.empty()) return;
+  const size_t written = std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  RODIN_CHECK(written == buffer_.size(), "spill write failed (disk full?)");
+  flushed_ += buffer_.size();
+  buffer_.clear();
+}
+
+void SpillFile::AppendRow(const std::vector<Value>& row) {
+  RODIN_CHECK(!finished_, "AppendRow after Finish");
+  offsets_.push_back(bytes_);
+  PutU32(&buffer_, static_cast<uint32_t>(row.size()));
+  for (const Value& v : row) EncodeValue(v, &buffer_);
+  bytes_ = flushed_ + buffer_.size();
+  if (buffer_.size() >= kFlushBytes) FlushBuffer();
+}
+
+void SpillFile::Finish() {
+  if (finished_) return;
+  FlushBuffer();
+  RODIN_CHECK(std::fflush(file_) == 0, "spill flush failed");
+  finished_ = true;
+}
+
+uint64_t SpillFile::Partitions(uint64_t partition_pages) const {
+  if (offsets_.empty()) return 0;
+  if (partition_pages == 0) return 1;
+  const uint64_t slice = partition_pages * kPageSizeBytes;
+  return (bytes_ + slice - 1) / slice;
+}
+
+std::vector<Value> SpillFile::ReadRow(size_t i) const {
+  RODIN_CHECK(finished_, "ReadRow before Finish");
+  RODIN_CHECK(i < offsets_.size(), "spill row index out of range");
+  const uint64_t start = offsets_[i];
+  const uint64_t end = i + 1 < offsets_.size() ? offsets_[i + 1] : bytes_;
+  const size_t len = static_cast<size_t>(end - start);
+  std::string buf(len, '\0');
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::pread(fd_, buf.data() + got, len - got,
+                              static_cast<off_t>(start + got));
+    RODIN_CHECK(n > 0, "spill read failed");
+    got += static_cast<size_t>(n);
+  }
+  size_t pos = 0;
+  RODIN_CHECK(len >= 4, "spill row truncated");
+  const uint32_t ncols = GetU32(buf.data());
+  pos = 4;
+  std::vector<Value> row;
+  row.reserve(ncols);
+  for (uint32_t c = 0; c < ncols; ++c) {
+    row.push_back(DecodeValue(buf.data(), len, &pos));
+  }
+  return row;
+}
+
+void SpillFile::ReadAll(std::vector<std::vector<Value>>* out) const {
+  out->reserve(out->size() + offsets_.size());
+  for (size_t i = 0; i < offsets_.size(); ++i) {
+    out->push_back(ReadRow(i));
+  }
+}
+
+}  // namespace rodin

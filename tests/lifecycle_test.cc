@@ -16,6 +16,7 @@
 #include "api/session.h"
 #include "common/query_context.h"
 #include "datagen/music_gen.h"
+#include "exec/executor.h"
 #include "storage/buffer_pool.h"
 
 namespace rodin {
@@ -410,22 +411,45 @@ TEST_F(LifecycleTest, AbandonedCursorReleasesCommitGate) {
   ASSERT_TRUE(commit.ok()) << commit.status.ToString();
 }
 
-TEST(LifecycleHardBudgetTest, SingleAllocationOverBudgetIsResourceExhausted) {
-  // Big enough that the fixpoint's first materialized table alone needs
-  // several pages: a 1-page budget cannot be honoured gracefully.
+TEST(LifecycleHardBudgetTest, OverBudgetWorkingSetSpillsAndCompletes) {
+  // Big enough that the fixpoint's materialized tables each need several
+  // pages: before spill-to-disk landed, a 1-page budget hard-failed this
+  // query with kResourceExhausted.
   MusicConfig config;
   config.num_composers = 400;
   config.lineage_depth = 10;
   GeneratedDb g = GenerateMusicDb(config, PaperMusicPhysical());
   Session session(g.db.get());
-  QueryOptions options;
-  options.cold = true;
-  options.query.memory_budget_pages = 1;
-  const QueryRun run = session.Run(kFig3Text, options);
-  ASSERT_FALSE(run.ok());
-  EXPECT_EQ(run.status.code, Status::Code::kResourceExhausted)
-      << run.status.ToString();
-  EXPECT_TRUE(run.answer.rows.empty());
+  QueryOptions plain;
+  plain.cold = true;
+  const QueryRun base = session.Run(kFig3Text, plain);
+  ASSERT_TRUE(base.ok()) << base.error();
+
+  // With spilling on (the default), the same budget now degrades
+  // gracefully: identical answer, the pool clamp surfaces as extra misses
+  // in the measured cost — never as an error.
+  QueryOptions bounded = plain;
+  bounded.query.memory_budget_pages = 1;
+  const QueryRun run = session.Run(kFig3Text, bounded);
+  ASSERT_TRUE(run.ok()) << run.status.ToString();
+  EXPECT_EQ(Keys(run.answer), Keys(base.answer));
+  EXPECT_GE(run.measured_cost, base.measured_cost);
+  EXPECT_EQ(g.db->buffer_pool().query_budget(), 0u);
+
+  // Opting out of spilling restores the typed hard failure, now carrying
+  // the machine-readable detail: the tripping operator's tag plus the
+  // requested / remaining page arithmetic (see PackResourceDetail).
+  QueryOptions off = bounded;
+  off.query.spill = false;
+  const QueryRun refused = session.Run(kFig3Text, off);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status.code, Status::Code::kResourceExhausted)
+      << refused.status.ToString();
+  EXPECT_NE(static_cast<int>(ResourceDetailOp(refused.status.detail)), 0);
+  EXPECT_GT(ResourceDetailRequested(refused.status.detail),
+            ResourceDetailRemaining(refused.status.detail));
+  EXPECT_LE(ResourceDetailRemaining(refused.status.detail), 1u);
+  EXPECT_TRUE(refused.answer.rows.empty());
   EXPECT_EQ(g.db->buffer_pool().query_budget(), 0u);
 }
 

@@ -144,6 +144,70 @@ TEST(WireCodecTest, QueryOptionsRoundTripPreservesInheritRule) {
   EXPECT_FALSE(decoded2.feedback.enabled.has_value());
   EXPECT_EQ(decoded2.feedback.drift_threshold, 0.0);
   EXPECT_EQ(decoded2.feedback.ewma_alpha, 0.0);
+  EXPECT_FALSE(decoded2.query.spill.has_value());
+  EXPECT_EQ(decoded2.query.spill_budget_pages, 0u);
+}
+
+TEST(WireCodecTest, SpillOptionsRoundTripOnV4AndDropOnV3) {
+  QueryOptions original;
+  original.query.spill = true;
+  original.query.spill_budget_pages = 4096;
+
+  // v4 (the default): tri-state and ledger budget round-trip exactly.
+  PayloadWriter w;
+  WireQueryOptions::FromQueryOptions(original).Encode(&w);
+  const std::string payload = w.data();
+  PayloadReader r(payload.data(), payload.size());
+  WireQueryOptions wire;
+  ASSERT_TRUE(wire.Decode(&r));
+  EXPECT_TRUE(r.AtEnd());
+  const QueryOptions decoded = wire.ToQueryOptions();
+  ASSERT_TRUE(decoded.query.spill.has_value());
+  EXPECT_TRUE(*decoded.query.spill);
+  EXPECT_EQ(decoded.query.spill_budget_pages, 4096u);
+
+  // Explicit "off" is distinct from "inherit", and a budget-only block
+  // (no tri-state) keeps the tri-state as inherit.
+  QueryOptions off;
+  off.query.spill = false;
+  PayloadWriter woff;
+  WireQueryOptions::FromQueryOptions(off).Encode(&woff);
+  const std::string poff = woff.data();
+  PayloadReader roff(poff.data(), poff.size());
+  WireQueryOptions wireoff;
+  ASSERT_TRUE(wireoff.Decode(&roff));
+  EXPECT_TRUE(roff.AtEnd());
+  ASSERT_TRUE(wireoff.spill.has_value());
+  EXPECT_FALSE(*wireoff.spill);
+  EXPECT_EQ(wireoff.spill_budget_pages, 0u);
+
+  QueryOptions budget_only;
+  budget_only.query.spill_budget_pages = 7;
+  PayloadWriter wb;
+  WireQueryOptions::FromQueryOptions(budget_only).Encode(&wb);
+  const std::string pb = wb.data();
+  PayloadReader rb(pb.data(), pb.size());
+  WireQueryOptions wireb;
+  ASSERT_TRUE(wireb.Decode(&rb));
+  EXPECT_TRUE(rb.AtEnd());
+  EXPECT_FALSE(wireb.spill.has_value());
+  EXPECT_EQ(wireb.spill_budget_pages, 7u);
+
+  // Encoding for a v3 peer drops the v4 block entirely: the payload is
+  // byte-identical to one from a client that never heard of spilling.
+  PayloadWriter w3;
+  WireQueryOptions::FromQueryOptions(original).Encode(&w3, /*version=*/3);
+  PayloadWriter w3plain;
+  WireQueryOptions::FromQueryOptions(QueryOptions{}).Encode(&w3plain,
+                                                            /*version=*/3);
+  EXPECT_EQ(w3.data(), w3plain.data());
+  const std::string p3 = w3.data();
+  PayloadReader r3(p3.data(), p3.size());
+  WireQueryOptions wire3;
+  ASSERT_TRUE(wire3.Decode(&r3));
+  EXPECT_TRUE(r3.AtEnd());
+  EXPECT_FALSE(wire3.spill.has_value());
+  EXPECT_EQ(wire3.spill_budget_pages, 0u);
 }
 
 TEST(WireCodecTest, FeedbackOptionsRoundTripOnV3AndDropOnV2) {

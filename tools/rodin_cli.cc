@@ -4,6 +4,7 @@
 //             [--optimizer=cost|deductive|naive|exhaustive|annealing]
 //             [--parallel=P] [--threads=N] [--exec-threads=N]
 //             [--batch-rows=N] [--deadline-ms=N] [--memory-budget-pages=N]
+//             [--spill] [--no-spill] [--spill-budget-pages=N]
 //             [--explain] [--plan-only] [--compiled-eval] [--no-compiled-eval]
 //             [--feedback] [--no-feedback] [--feedback-drift=X]
 //             [--feedback-alpha=X] [--no-plan-cache] [--symbolic]
@@ -49,7 +50,13 @@
 // disables caching process-wide).
 //
 // --deadline-ms and --memory-budget-pages bound the run's lifecycle (see
-// docs/ROBUSTNESS.md). On failure the exit code is the Status taxonomy's
+// docs/ROBUSTNESS.md). --spill / --no-spill select whether an over-budget
+// operator working set spills to disk (graceful degradation; the default)
+// or fails fast with resource_exhausted; omitted, the RODIN_SPILL
+// environment switch decides. --spill-budget-pages bounds the temp-page
+// ledger alone — unlike --memory-budget-pages it never clamps the buffer
+// pool, so spilling can be forced while accounting stays identical.
+// On failure the exit code is the Status taxonomy's
 // code (ExitCodeForStatus): parse=3 semantic=4 optimize=5 exec=6
 // cancelled=7 deadline=8 resource=9 fault=10 internal=11
 // invalid_argument=12; usage errors exit 2.
@@ -108,6 +115,9 @@ struct CliOptions {
   double feedback_alpha = 0;
   uint64_t deadline_ms = 0;   // 0 = no deadline
   uint64_t memory_budget_pages = 0;  // 0 = unlimited
+  // Unset = RODIN_SPILL environment default (on); 0 budget = inherit.
+  std::optional<bool> spill;
+  uint64_t spill_budget_pages = 0;
   bool explain = false;
   bool plan_only = false;
   bool no_plan_cache = false;
@@ -378,7 +388,8 @@ void Usage() {
       "annealing]\n"
       "                 [--parallel=P] [--threads=N] [--exec-threads=N]\n"
       "                 [--batch-rows=N] [--deadline-ms=N]\n"
-      "                 [--memory-budget-pages=N] [--explain] [--plan-only]\n"
+      "                 [--memory-budget-pages=N] [--spill] [--no-spill]\n"
+      "                 [--spill-budget-pages=N] [--explain] [--plan-only]\n"
       "                 [--compiled-eval] [--no-compiled-eval]\n"
       "                 [--feedback] [--no-feedback] [--feedback-drift=X]\n"
       "                 [--feedback-alpha=X]\n"
@@ -459,6 +470,9 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "memory-budget-pages", &value)) {
       options.memory_budget_pages =
           ParseCount(value, "memory-budget-pages");
+    } else if (ParseFlag(argv[i], "spill-budget-pages", &value)) {
+      options.spill_budget_pages =
+          ParseCount(value, "spill-budget-pages");
     } else if (ParseFlag(argv[i], "query", &value)) {
       options.query_file = value;
     } else if (ParseFlag(argv[i], "mutate", &value)) {
@@ -469,6 +483,10 @@ int main(int argc, char** argv) {
       options.compiled_eval = true;
     } else if (std::strcmp(argv[i], "--no-compiled-eval") == 0) {
       options.compiled_eval = false;
+    } else if (std::strcmp(argv[i], "--spill") == 0) {
+      options.spill = true;
+    } else if (std::strcmp(argv[i], "--no-spill") == 0) {
+      options.spill = false;
     } else if (std::strcmp(argv[i], "--feedback") == 0) {
       options.feedback = true;
     } else if (std::strcmp(argv[i], "--no-feedback") == 0) {
@@ -572,6 +590,8 @@ int main(int argc, char** argv) {
   ro.bypass_plan_cache = options.no_plan_cache;
   ro.query.deadline_ms = options.deadline_ms;
   ro.query.memory_budget_pages = options.memory_budget_pages;
+  ro.query.spill = options.spill;
+  ro.query.spill_budget_pages = options.spill_budget_pages;
 
   if (options.explain) {
     const ExplainResult ex = session.Explain(text, ro);

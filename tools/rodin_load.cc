@@ -2,7 +2,7 @@
 //
 //   rodin_load --port=P [--host=ADDR] [--clients=N] [--requests=N]
 //              [--rate-qps=R] [--query=FILE|recursive] [--deadline-ms=N]
-//              [--prepare] [--max-retries=N] [--out=FILE]
+//              [--prepare] [--max-retries=N] [--seed=S] [--out=FILE]
 //              [--mix=NrMw] [--write-extent=E] [--write-attr=A]
 //              [--write-slots=K]
 //
@@ -15,8 +15,11 @@
 //
 // Shed requests (the retryable `overloaded` wire code) are retried with
 // capped exponential backoff up to --max-retries and counted; any other
-// failure counts as an error and fails the run. --prepare switches to the
-// PREPARE-once / EXECUTE-per-request path.
+// failure counts as an error and fails the run. The backoff jitter draws
+// from per-client RNG streams based at --seed (default 0x10ad, the
+// historical constant), so retry schedules are reproducible per seed and
+// decorrelated across seeds. --prepare switches to the PREPARE-once /
+// EXECUTE-per-request path.
 //
 // --mix=NrMw (e.g. --mix=90r10w) interleaves writes into each client's
 // request stream in the given read:write proportion (deterministically, so
@@ -85,6 +88,9 @@ struct LoadOptions {
   uint64_t deadline_ms = 0;
   bool prepare = false;
   size_t max_retries = 8;
+  // Base of the per-client backoff-jitter RNG streams (client i draws from
+  // seed + i). The default keeps historical runs reproducible.
+  uint64_t seed = 0x10ad;
   std::string out;  // empty = mode default (BENCH_server/BENCH_mutate)
   // --mix=NrMw; both 0 = read-only mode.
   size_t read_weight = 0;
@@ -164,8 +170,9 @@ void RunClient(const LoadOptions& options, size_t index, ClientStats* stats) {
   QueryOptions qo;
   qo.query.deadline_ms = options.deadline_ms;
   // Per-client backoff jitter stream (decorrelates retry schedules; seeded
-  // by index so runs stay reproducible modulo thread timing).
-  Rng backoff_rng(0x10ad + index);
+  // from --seed plus the client index so runs stay reproducible modulo
+  // thread timing, and different seeds decorrelate whole runs).
+  Rng backoff_rng(options.seed + index);
 
   using clock = std::chrono::steady_clock;
   // Open loop: this client's fixed send schedule, phase-shifted by index so
@@ -322,6 +329,8 @@ int main(int argc, char** argv) {
     } else if (ParseFlag(argv[i], "max-retries", &value)) {
       options.max_retries =
           static_cast<size_t>(ParseCount(value, "max-retries"));
+    } else if (ParseFlag(argv[i], "seed", &value)) {
+      options.seed = ParseCount(value, "seed");
     } else if (ParseFlag(argv[i], "out", &value)) {
       options.out = value;
     } else if (ParseFlag(argv[i], "mix", &value)) {
@@ -362,7 +371,8 @@ int main(int argc, char** argv) {
           "usage: rodin_load --port=P [--host=ADDR] [--clients=N]\n"
           "                  [--requests=N] [--rate-qps=R]\n"
           "                  [--query=FILE|recursive] [--deadline-ms=N]\n"
-          "                  [--prepare] [--max-retries=N] [--out=FILE]\n"
+          "                  [--prepare] [--max-retries=N] [--seed=S]\n"
+          "                  [--out=FILE]\n"
           "                  [--mix=NrMw] [--write-extent=E]\n"
           "                  [--write-attr=A] [--write-slots=K]\n");
       return 2;
